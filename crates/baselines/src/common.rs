@@ -1,0 +1,233 @@
+//! Shared infrastructure for the baseline methods.
+
+use multirag_datasets::Query;
+use multirag_kg::{FxHashMap, KnowledgeGraph, Object, SourceId, TripleId, Value};
+
+/// One claim about a query slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotClaim {
+    /// Backing triple.
+    pub triple: TripleId,
+    /// Asserted value.
+    pub value: Value,
+    /// Asserting source.
+    pub source: SourceId,
+}
+
+/// Collects the claims filling a query's `(entity, attribute)` slot.
+pub fn slot_claims(kg: &KnowledgeGraph, query: &Query) -> Vec<SlotClaim> {
+    let domain = if kg.source_count() > 0 {
+        kg.resolve(kg.source(SourceId(0)).domain).to_string()
+    } else {
+        String::new()
+    };
+    let (Some(entity), Some(relation)) = (
+        kg.find_entity(&query.entity, &domain),
+        kg.find_relation(&query.attribute),
+    ) else {
+        return Vec::new();
+    };
+    kg.slot_triples(entity, relation)
+        .iter()
+        .map(|&tid| {
+            let t = kg.triple(tid);
+            let value = match &t.object {
+                Object::Entity(e) => Value::Str(kg.entity_name(*e).to_string()),
+                Object::Literal(v) => v.clone(),
+            };
+            SlotClaim {
+                triple: tid,
+                value,
+                source: t.source,
+            }
+        })
+        .collect()
+}
+
+/// Claims about the entity under *other* attributes — retrieval noise
+/// for methods that stuff context.
+pub fn neighbor_noise(kg: &KnowledgeGraph, query: &Query, limit: usize) -> Vec<SlotClaim> {
+    let domain = if kg.source_count() > 0 {
+        kg.resolve(kg.source(SourceId(0)).domain).to_string()
+    } else {
+        String::new()
+    };
+    let Some(entity) = kg.find_entity(&query.entity, &domain) else {
+        return Vec::new();
+    };
+    let relation = kg.find_relation(&query.attribute);
+    kg.outgoing(entity)
+        .iter()
+        .filter(|&&tid| Some(kg.triple(tid).predicate) != relation)
+        .take(limit)
+        .map(|&tid| {
+            let t = kg.triple(tid);
+            let value = match &t.object {
+                Object::Entity(e) => Value::Str(kg.entity_name(*e).to_string()),
+                Object::Literal(v) => v.clone(),
+            };
+            SlotClaim {
+                triple: tid,
+                value,
+                source: t.source,
+            }
+        })
+        .collect()
+}
+
+/// Support count per canonical value.
+pub fn support_counts(claims: &[SlotClaim]) -> Vec<(Value, usize)> {
+    let mut counts: FxHashMap<String, (Value, usize)> = FxHashMap::default();
+    for c in claims {
+        let entry = counts
+            .entry(c.value.canonical_key())
+            .or_insert_with(|| (c.value.clone(), 0));
+        entry.1 += 1;
+    }
+    let mut out: Vec<(Value, usize)> = counts.into_values().collect();
+    out.sort_by(|a, b| {
+        b.1.cmp(&a.1)
+            .then_with(|| a.0.canonical_key().cmp(&b.0.canonical_key()))
+    });
+    out
+}
+
+/// The multi-valued majority read shared by several baselines: values
+/// with *strictly* more than half the modal support survive (gold
+/// values of a multi-valued truth split the correct sources' assertions
+/// evenly, so they all tie at the max). When every value is asserted
+/// exactly once there is no consensus at all — only the tie-break
+/// winner is returned.
+pub fn majority_values(claims: &[SlotClaim]) -> Vec<Value> {
+    let counts = support_counts(claims);
+    let max = counts.first().map(|&(_, c)| c).unwrap_or(0);
+    if max <= 1 {
+        return counts.into_iter().take(1).map(|(v, _)| v).collect();
+    }
+    counts
+        .into_iter()
+        .filter(|&(_, c)| c * 2 > max)
+        .map(|(v, _)| v)
+        .collect()
+}
+
+/// The raw disagreement of a claim set: `1 − support(answer set)/n`.
+pub fn conflict_ratio(claims: &[SlotClaim], answers: &[Value]) -> f64 {
+    if claims.is_empty() {
+        return 1.0;
+    }
+    let keys: std::collections::HashSet<String> =
+        answers.iter().map(Value::canonical_key).collect();
+    let supporting = claims
+        .iter()
+        .filter(|c| keys.contains(&c.value.canonical_key()))
+        .count();
+    1.0 - supporting as f64 / claims.len() as f64
+}
+
+/// A method's verdict for one query.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MethodAnswer {
+    /// Emitted values.
+    pub values: Vec<Value>,
+    /// Whether the simulated generation hallucinated (harness-only
+    /// signal).
+    pub hallucinated: bool,
+}
+
+/// A multi-source fusion / QA method evaluated on Table II.
+pub trait FusionMethod {
+    /// Method display name (the Table II column header).
+    fn name(&self) -> &'static str;
+
+    /// One-time preparation over the full graph (global fusion methods
+    /// do their iterative work here; the harness times it).
+    fn prepare(&mut self, _kg: &KnowledgeGraph) {}
+
+    /// Answers one query.
+    fn answer(&mut self, kg: &KnowledgeGraph, query: &Query) -> MethodAnswer;
+
+    /// Simulated LLM milliseconds consumed so far (0 for LLM-free
+    /// methods).
+    fn simulated_ms(&self) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multirag_datasets::movies::MoviesSpec;
+
+    #[test]
+    fn slot_claims_finds_all_assertions() {
+        let data = MoviesSpec::small().generate(42);
+        let q = &data.queries[0];
+        let claims = slot_claims(&data.graph, q);
+        assert!(!claims.is_empty());
+        // Cross-check against the graph index.
+        let e = data.graph.find_entity(&q.entity, "movies").unwrap();
+        let r = data.graph.find_relation(&q.attribute).unwrap();
+        assert_eq!(claims.len(), data.graph.slot_triples(e, r).len());
+    }
+
+    #[test]
+    fn unknown_queries_give_no_claims() {
+        let data = MoviesSpec::small().generate(42);
+        let bogus = Query {
+            id: 0,
+            text: "?".into(),
+            entity: "missing".into(),
+            attribute: "year".into(),
+            gold: vec![],
+        };
+        assert!(slot_claims(&data.graph, &bogus).is_empty());
+    }
+
+    #[test]
+    fn neighbor_noise_excludes_the_slot() {
+        let data = MoviesSpec::small().generate(42);
+        let q = &data.queries[0];
+        let noise = neighbor_noise(&data.graph, q, 10);
+        let r = data.graph.find_relation(&q.attribute).unwrap();
+        assert!(noise
+            .iter()
+            .all(|c| data.graph.triple(c.triple).predicate != r));
+    }
+
+    fn claim(v: Value, s: u32) -> SlotClaim {
+        SlotClaim {
+            triple: TripleId(0),
+            value: v,
+            source: SourceId(s),
+        }
+    }
+
+    #[test]
+    fn majority_values_handles_multivalued_truths() {
+        let claims = vec![
+            claim(Value::from("lana"), 0),
+            claim(Value::from("lilly"), 0),
+            claim(Value::from("lana"), 1),
+            claim(Value::from("lilly"), 1),
+            claim(Value::from("cameron"), 2),
+        ];
+        let values = majority_values(&claims);
+        assert_eq!(values.len(), 2);
+        assert!(values.contains(&Value::from("lana")));
+        assert!(values.contains(&Value::from("lilly")));
+    }
+
+    #[test]
+    fn conflict_ratio_bounds() {
+        let claims = vec![
+            claim(Value::from("a"), 0),
+            claim(Value::from("a"), 1),
+            claim(Value::from("b"), 2),
+        ];
+        let r = conflict_ratio(&claims, &[Value::from("a")]);
+        assert!((r - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(conflict_ratio(&[], &[Value::from("a")]), 1.0);
+        assert_eq!(conflict_ratio(&claims, &[]), 1.0);
+    }
+}

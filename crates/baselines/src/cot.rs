@@ -1,0 +1,168 @@
+//! Chain-of-Thought prompting (Wei et al.) with a GPT-3.5-class model
+//! and **no retrieval**.
+//!
+//! CoT answers from parametric knowledge. We model that knowledge as a
+//! seeded oracle with a fixed hit rate (the probability the base model
+//! "knows" the fact); on a hit the faithful answer is the gold value
+//! under a clean context, on a miss the context is empty and the
+//! hallucination law takes over (fabrication / refusal). Long
+//! step-by-step reasoning burns simulated tokens, which is why CoT's
+//! time column is the worst of the LLM methods.
+
+use crate::common::{FusionMethod, MethodAnswer};
+use multirag_datasets::Query;
+use multirag_kg::KnowledgeGraph;
+use multirag_llmsim::determinism::bernoulli;
+use multirag_llmsim::{ContextProfile, MockLlm, Schema};
+
+/// CoT configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CotParams {
+    /// Probability the parametric model knows a fact.
+    pub knowledge_rate: f64,
+    /// Simulated reasoning tokens per query (CoT traces are long).
+    pub reasoning_tokens: usize,
+}
+
+impl Default for CotParams {
+    fn default() -> Self {
+        Self {
+            knowledge_rate: 0.35,
+            reasoning_tokens: 420,
+        }
+    }
+}
+
+/// CoT baseline.
+pub struct Cot {
+    params: CotParams,
+    llm: MockLlm,
+    seed: u64,
+}
+
+impl Cot {
+    /// Creates a CoT baseline with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            params: CotParams::default(),
+            llm: MockLlm::new(Schema::new(), seed),
+            seed,
+        }
+    }
+
+    /// Overrides parameters.
+    pub fn with_params(mut self, params: CotParams) -> Self {
+        self.params = params;
+        self
+    }
+}
+
+impl FusionMethod for Cot {
+    fn name(&self) -> &'static str {
+        "CoT"
+    }
+
+    fn answer(&mut self, _kg: &KnowledgeGraph, query: &Query) -> MethodAnswer {
+        // Step-by-step reasoning trace.
+        self.llm
+            .reason(96, self.params.reasoning_tokens);
+        let knows = bernoulli(
+            self.seed,
+            &format!("cot-knows:{}", query.key()),
+            self.params.knowledge_rate,
+        );
+        let (faithful, profile) = if knows {
+            (
+                query.gold.clone(),
+                ContextProfile {
+                    conflict_ratio: 0.1,
+                    irrelevance_ratio: 0.0,
+                    coverage: 1.0,
+                    claims: query.gold.len().max(1),
+                },
+            )
+        } else {
+            (Vec::new(), ContextProfile::clean(0))
+        };
+        let generated =
+            self.llm
+                .generate_answer(&format!("cot:{}", query.key()), faithful, &[], &profile, 96);
+        MethodAnswer {
+            values: generated.values,
+            hallucinated: generated.hallucinated,
+        }
+    }
+
+    fn simulated_ms(&self) -> f64 {
+        self.llm.usage().simulated_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multirag_datasets::movies::MoviesSpec;
+
+    #[test]
+    fn accuracy_tracks_knowledge_rate() {
+        let data = MoviesSpec::small().generate(42);
+        let mut cot = Cot::new(42);
+        let mut hit = 0usize;
+        for q in &data.queries {
+            let a = cot.answer(&data.graph, q);
+            if a
+                .values
+                .iter()
+                .any(|v| data.truth.is_correct(&q.entity, &q.attribute, v))
+            {
+                hit += 1;
+            }
+        }
+        let rate = hit as f64 / data.queries.len() as f64;
+        assert!(rate < 0.8, "CoT without retrieval can't be great: {rate}");
+    }
+
+    #[test]
+    fn burns_many_tokens() {
+        let data = MoviesSpec::small().generate(42);
+        let mut cot = Cot::new(42);
+        for q in data.queries.iter().take(3) {
+            cot.answer(&data.graph, q);
+        }
+        assert!(cot.simulated_ms() > 3.0 * 400.0 * 10.0, "CoT must be slow");
+    }
+
+    #[test]
+    fn unknown_facts_often_fabricate() {
+        let data = MoviesSpec::small().generate(42);
+        let mut cot = Cot::new(42).with_params(CotParams {
+            knowledge_rate: 0.0,
+            reasoning_tokens: 50,
+        });
+        let fabricated = data
+            .queries
+            .iter()
+            .filter(|q| {
+                let a = cot.answer(&data.graph, q);
+                a.hallucinated
+            })
+            .count();
+        assert!(
+            fabricated as f64 / data.queries.len() as f64 > 0.7,
+            "zero-knowledge CoT must mostly hallucinate"
+        );
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let data = MoviesSpec::small().generate(42);
+        let run = || {
+            let mut cot = Cot::new(7);
+            data.queries
+                .iter()
+                .map(|q| cot.answer(&data.graph, q).values)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # multirag-baselines
+//!
+//! The comparison methods of Tables II and IV, implemented from scratch:
+//!
+//! **Data-fusion / truth-discovery baselines** (no LLM):
+//! * [`mv`] — majority voting (single-answer, the paper's note on why
+//!   it fails multi-valued queries applies verbatim).
+//! * [`truthfinder`] — Yin et al.'s iterative source-trust / claim-
+//!   confidence fixpoint.
+//! * [`ltm`] — Zhao et al.'s Latent Truth Model (Bayesian
+//!   sensitivity/specificity, EM).
+//! * [`fusionquery`] — Zhu et al.'s on-demand query-time fusion with
+//!   incrementally learned source trust.
+//!
+//! **LLM-driven SOTA baselines** (share the simulated LLM and its
+//! hallucination law with MultiRAG, so comparisons are apples-to-apples):
+//! * [`cot`] — GPT-3.5-style chain-of-thought from parametric knowledge.
+//! * [`standard_rag`] — retrieve-everything-then-generate.
+//! * [`ircot`] — interleaved retrieval + CoT.
+//! * [`chatkbqa`] — generate-then-retrieve logical-form KBQA.
+//! * [`mdqa`] — knowledge-graph-prompting multi-document QA.
+//! * [`rqrag`] — query refinement / decomposition.
+//! * [`metarag`] — metacognitive self-checking RAG.
+//!
+//! [`multihop`] hosts each method's Table IV (text-corpus, 2-hop)
+//! variant.
+//!
+//! Every method implements [`FusionMethod`] (structured multi-source
+//! queries) and/or [`multihop::MultiHopMethod`].
+
+pub mod chatkbqa;
+pub mod common;
+pub mod cot;
+pub mod fusionquery;
+pub mod ircot;
+pub mod ltm;
+pub mod mdqa;
+pub mod metarag;
+pub mod multihop;
+pub mod mv;
+pub mod rqrag;
+pub mod standard_rag;
+pub mod truthfinder;
+
+pub use common::{slot_claims, FusionMethod, MethodAnswer, SlotClaim};

@@ -1,0 +1,754 @@
+//! Table IV variants: each baseline's behaviour on text-corpus 2-hop
+//! questions, sharing the BM25 retriever, the corpus extraction schema
+//! and the hallucination law with MultiRAG's own QA pipeline
+//! ([`multirag_core::qa`]).
+
+use multirag_core::qa::{corpus_schema, parse_bridge_question, MultiHopOutcome};
+use multirag_datasets::multihop::{MultiHopDataset, MultiHopQuestion};
+use multirag_kg::{FxHashMap, Value};
+use multirag_llmsim::determinism::bernoulli;
+use multirag_llmsim::{ContextProfile, MockLlm};
+use multirag_retrieval::text::normalize_mention as normalize;
+use multirag_retrieval::Bm25Index;
+
+/// A method evaluated on the multi-hop corpora.
+pub trait MultiHopMethod {
+    /// Display name (Table IV row).
+    fn name(&self) -> &'static str;
+    /// Answers one question.
+    fn answer(&mut self, question: &MultiHopQuestion) -> MultiHopOutcome;
+    /// Simulated LLM milliseconds so far.
+    fn simulated_ms(&self) -> f64;
+}
+
+/// Shared retrieval + extraction plumbing.
+pub struct MhContext<'d> {
+    data: &'d MultiHopDataset,
+    bm25: Bm25Index,
+    llm: MockLlm,
+    /// Title → doc index, for logical-form (title-exact) retrieval.
+    titles: FxHashMap<String, usize>,
+}
+
+impl<'d> MhContext<'d> {
+    /// Builds the shared context.
+    pub fn new(data: &'d MultiHopDataset, seed: u64) -> Self {
+        let bm25 = Bm25Index::build(data.corpus.iter().map(|d| d.text.as_str()));
+        let llm = MockLlm::new(corpus_schema(data), seed);
+        let titles = data
+            .corpus
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (normalize(&d.title), i))
+            .collect();
+        Self {
+            data,
+            bm25,
+            llm,
+            titles,
+        }
+    }
+
+    /// Top-k doc indices for a text query.
+    fn retrieve(&self, query: &str, k: usize) -> Vec<usize> {
+        self.bm25
+            .search(query, k)
+            .into_iter()
+            .map(|(d, _)| d.index())
+            .collect()
+    }
+
+    /// Extracts `(subject, object)` pairs of a relation from a doc.
+    fn extract_relation(&mut self, doc: usize, relation: &str) -> Vec<(String, String)> {
+        let text = self.data.corpus[doc].text.clone();
+        self.llm
+            .extract_triples(&text)
+            .into_iter()
+            .filter(|t| t.predicate == relation)
+            .map(|t| (t.subject, t.object.to_string()))
+            .collect()
+    }
+
+    /// Generation under the hallucination law.
+    fn generate(
+        &mut self,
+        key: &str,
+        faithful: Option<String>,
+        profile: &ContextProfile,
+        tokens: usize,
+    ) -> (Option<String>, bool) {
+        let faithful_values = faithful.map(|a| vec![Value::Str(a)]).unwrap_or_default();
+        let out = self
+            .llm
+            .generate_answer(key, faithful_values, &[], profile, tokens);
+        (out.values.first().map(|v| v.to_string()), out.hallucinated)
+    }
+}
+
+fn cap5(mut docs: Vec<usize>) -> Vec<usize> {
+    let mut seen = std::collections::HashSet::new();
+    docs.retain(|d| seen.insert(*d));
+    docs.truncate(5);
+    docs
+}
+
+// -------------------------------------------------------------------
+// Standard RAG: one retrieval round on the raw question.
+// -------------------------------------------------------------------
+
+/// Standard RAG on multi-hop questions.
+pub struct StandardRagMh<'d>(pub MhContext<'d>);
+
+impl MultiHopMethod for StandardRagMh<'_> {
+    fn name(&self) -> &'static str {
+        "Standard RAG"
+    }
+
+    fn answer(&mut self, question: &MultiHopQuestion) -> MultiHopOutcome {
+        let ctx = &mut self.0;
+        let docs = ctx.retrieve(&question.text, 5);
+        let Some((rel2, _rel1, _anchor)) = parse_bridge_question(&question.text) else {
+            return MultiHopOutcome {
+                answer: None,
+                evidence: cap5(docs),
+                hallucinated: false,
+            };
+        };
+        // Single-round RAG reads whatever it got and answers with any
+        // rel2 assertion found — usually the wrong subject's, because
+        // the hop-2 document is rarely retrieved by the question text.
+        let mut candidates: Vec<String> = Vec::new();
+        for &d in &docs {
+            for (_, obj) in ctx.extract_relation(d, &rel2) {
+                candidates.push(obj);
+            }
+        }
+        let answer = candidates.first().cloned();
+        let profile = ContextProfile {
+            conflict_ratio: if candidates.len() > 1 { 0.5 } else { 0.1 },
+            irrelevance_ratio: 0.4,
+            coverage: if answer.is_some() { 0.6 } else { 0.0 },
+            claims: candidates.len(),
+        };
+        let (answer, hallucinated) =
+            ctx.generate(&format!("srag-mh{}", question.id), answer, &profile, 320);
+        MultiHopOutcome {
+            answer,
+            evidence: cap5(docs),
+            hallucinated,
+        }
+    }
+
+    fn simulated_ms(&self) -> f64 {
+        self.0.llm.usage().simulated_ms
+    }
+}
+
+// -------------------------------------------------------------------
+// CoT: parametric knowledge, retrieval only as nominal evidence.
+// -------------------------------------------------------------------
+
+/// GPT-3.5 + CoT on multi-hop questions.
+pub struct CotMh<'d> {
+    /// Shared plumbing.
+    pub ctx: MhContext<'d>,
+    /// Probability the parametric model can chain both hops.
+    pub knowledge_rate: f64,
+    seed: u64,
+}
+
+impl<'d> CotMh<'d> {
+    /// Creates the CoT multi-hop baseline.
+    pub fn new(data: &'d MultiHopDataset, seed: u64) -> Self {
+        Self {
+            ctx: MhContext::new(data, seed),
+            knowledge_rate: 0.40,
+            seed,
+        }
+    }
+}
+
+impl MultiHopMethod for CotMh<'_> {
+    fn name(&self) -> &'static str {
+        "GPT-3.5-Turbo+CoT"
+    }
+
+    fn answer(&mut self, question: &MultiHopQuestion) -> MultiHopOutcome {
+        // Long reasoning trace.
+        self.ctx.llm.reason(128, 420);
+        let docs = self.ctx.retrieve(&question.text, 5);
+        let knows = bernoulli(
+            self.seed,
+            &format!("cotmh-knows:{}", question.id),
+            self.knowledge_rate,
+        );
+        let (faithful, profile) = if knows {
+            (
+                Some(question.answer.clone()),
+                ContextProfile {
+                    conflict_ratio: 0.1,
+                    irrelevance_ratio: 0.1,
+                    coverage: 1.0,
+                    claims: 2,
+                },
+            )
+        } else {
+            (None, ContextProfile::clean(0))
+        };
+        let (answer, hallucinated) =
+            self.ctx
+                .generate(&format!("cot-mh{}", question.id), faithful, &profile, 160);
+        MultiHopOutcome {
+            answer,
+            evidence: cap5(docs),
+            hallucinated,
+        }
+    }
+
+    fn simulated_ms(&self) -> f64 {
+        self.ctx.llm.usage().simulated_ms
+    }
+}
+
+// -------------------------------------------------------------------
+// IRCoT: two interleaved retrieval rounds, first bridge candidate.
+// -------------------------------------------------------------------
+
+/// IRCoT on multi-hop questions.
+pub struct IrCotMh<'d>(pub MhContext<'d>);
+
+impl MultiHopMethod for IrCotMh<'_> {
+    fn name(&self) -> &'static str {
+        "IRCoT"
+    }
+
+    fn answer(&mut self, question: &MultiHopQuestion) -> MultiHopOutcome {
+        let ctx = &mut self.0;
+        let Some((rel2, rel1, anchor)) = parse_bridge_question(&question.text) else {
+            return MultiHopOutcome {
+                answer: None,
+                evidence: Vec::new(),
+                hallucinated: false,
+            };
+        };
+        let hop1 = ctx.retrieve(&anchor, 3);
+        ctx.llm.reason(160, 96); // CoT step between rounds
+        // First bridge candidate (no voting — IRCoT trusts its chain).
+        let mut bridge = None;
+        for &d in &hop1 {
+            if let Some((subj, obj)) = ctx.extract_relation(d, &rel1).into_iter().next() {
+                if normalize(&subj) == normalize(&anchor) {
+                    bridge = Some(obj);
+                    break;
+                }
+                if bridge.is_none() {
+                    bridge = Some(obj); // chain follows the first lead
+                }
+            }
+        }
+        let mut docs = hop1.clone();
+        let mut answer = None;
+        if let Some(bridge) = &bridge {
+            let hop2 = ctx.retrieve(bridge, 3);
+            for &d in &hop2 {
+                if answer.is_none() {
+                    for (subj, obj) in ctx.extract_relation(d, &rel2) {
+                        if normalize(&subj) == normalize(bridge) {
+                            answer = Some(obj);
+                            break;
+                        }
+                    }
+                }
+            }
+            docs.extend(hop2);
+        }
+        let profile = ContextProfile {
+            conflict_ratio: 0.15,
+            irrelevance_ratio: 0.2,
+            coverage: if answer.is_some() { 1.0 } else { 0.0 },
+            claims: if answer.is_some() { 2 } else { 0 },
+        };
+        let (answer, hallucinated) =
+            ctx.generate(&format!("ircot-mh{}", question.id), answer, &profile, 280);
+        MultiHopOutcome {
+            answer,
+            evidence: cap5(docs),
+            hallucinated,
+        }
+    }
+
+    fn simulated_ms(&self) -> f64 {
+        self.0.llm.usage().simulated_ms
+    }
+}
+
+// -------------------------------------------------------------------
+// ChatKBQA: logical-form, title-exact retrieval.
+// -------------------------------------------------------------------
+
+/// ChatKBQA on multi-hop questions.
+pub struct ChatKbqaMh<'d> {
+    /// Shared plumbing.
+    pub ctx: MhContext<'d>,
+    /// Probability the logical form executes cleanly.
+    pub form_success_rate: f64,
+    seed: u64,
+}
+
+impl<'d> ChatKbqaMh<'d> {
+    /// Creates the ChatKBQA multi-hop baseline.
+    pub fn new(data: &'d MultiHopDataset, seed: u64) -> Self {
+        Self {
+            ctx: MhContext::new(data, seed),
+            form_success_rate: 0.78,
+            seed,
+        }
+    }
+}
+
+impl MultiHopMethod for ChatKbqaMh<'_> {
+    fn name(&self) -> &'static str {
+        "ChatKBQA"
+    }
+
+    fn answer(&mut self, question: &MultiHopQuestion) -> MultiHopOutcome {
+        self.ctx.llm.reason(140, 64); // form generation
+        let parsed = bernoulli(
+            self.seed,
+            &format!("ckbqa-mh-form:{}", question.id),
+            self.form_success_rate,
+        ) && parse_bridge_question(&question.text).is_some();
+        if !parsed {
+            // Fallback: one BM25 round, answer blind.
+            let docs = self.ctx.retrieve(&question.text, 5);
+            let (answer, hallucinated) = self.ctx.generate(
+                &format!("ckbqa-mh{}", question.id),
+                None,
+                &ContextProfile::clean(0),
+                96,
+            );
+            return MultiHopOutcome {
+                answer,
+                evidence: cap5(docs),
+                hallucinated,
+            };
+        }
+        let (rel2, rel1, anchor) =
+            parse_bridge_question(&question.text).expect("checked above");
+        // Title-exact execution.
+        let mut docs = Vec::new();
+        let mut answer = None;
+        if let Some(&d1) = self.ctx.titles.get(&normalize(&anchor)) {
+            docs.push(d1);
+            let bridge = self
+                .ctx
+                .extract_relation(d1, &rel1)
+                .into_iter()
+                .map(|(_, obj)| obj)
+                .next();
+            if let Some(bridge) = bridge {
+                if let Some(&d2) = self.ctx.titles.get(&normalize(&bridge)) {
+                    docs.push(d2);
+                    answer = self
+                        .ctx
+                        .extract_relation(d2, &rel2)
+                        .into_iter()
+                        .map(|(_, obj)| obj)
+                        .next();
+                }
+            }
+        }
+        let profile = ContextProfile {
+            conflict_ratio: 0.05,
+            irrelevance_ratio: 0.0,
+            coverage: if answer.is_some() { 1.0 } else { 0.0 },
+            claims: docs.len(),
+        };
+        let (answer, hallucinated) =
+            self.ctx
+                .generate(&format!("ckbqa-mh{}", question.id), answer, &profile, 128);
+        MultiHopOutcome {
+            answer,
+            evidence: cap5(docs),
+            hallucinated,
+        }
+    }
+
+    fn simulated_ms(&self) -> f64 {
+        self.ctx.llm.usage().simulated_ms
+    }
+}
+
+// -------------------------------------------------------------------
+// MDQA: single retrieval round + local graph walk.
+// -------------------------------------------------------------------
+
+/// MDQA on multi-hop questions.
+pub struct MdqaMh<'d>(pub MhContext<'d>);
+
+impl MultiHopMethod for MdqaMh<'_> {
+    fn name(&self) -> &'static str {
+        "MDQA"
+    }
+
+    fn answer(&mut self, question: &MultiHopQuestion) -> MultiHopOutcome {
+        let ctx = &mut self.0;
+        let Some((rel2, rel1, anchor)) = parse_bridge_question(&question.text) else {
+            return MultiHopOutcome {
+                answer: None,
+                evidence: Vec::new(),
+                hallucinated: false,
+            };
+        };
+        // One wider retrieval round (k=5 on question + anchor), then a
+        // graph walk *within* the retrieved set only.
+        let mut docs = ctx.retrieve(&question.text, 3);
+        docs.extend(ctx.retrieve(&anchor, 3));
+        let docs = cap5(docs);
+        ctx.llm.reason(200 + 40 * docs.len(), 96);
+        let mut bridges = Vec::new();
+        for &d in &docs {
+            for (subj, obj) in ctx.extract_relation(d, &rel1) {
+                if normalize(&subj) == normalize(&anchor) {
+                    bridges.push(obj);
+                }
+            }
+        }
+        let mut answer = None;
+        'outer: for bridge in &bridges {
+            for &d in &docs {
+                for (subj, obj) in ctx.extract_relation(d, &rel2) {
+                    if normalize(&subj) == normalize(bridge) {
+                        answer = Some(obj);
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let profile = ContextProfile {
+            conflict_ratio: 0.1,
+            irrelevance_ratio: 0.3,
+            coverage: if answer.is_some() { 1.0 } else { 0.3 },
+            claims: bridges.len() + usize::from(answer.is_some()),
+        };
+        let (answer, hallucinated) =
+            ctx.generate(&format!("mdqa-mh{}", question.id), answer, &profile, 256);
+        MultiHopOutcome {
+            answer,
+            evidence: docs,
+            hallucinated,
+        }
+    }
+
+    fn simulated_ms(&self) -> f64 {
+        self.0.llm.usage().simulated_ms
+    }
+}
+
+// -------------------------------------------------------------------
+// RQ-RAG: decomposed queries, union retrieval.
+// -------------------------------------------------------------------
+
+/// RQ-RAG on multi-hop questions.
+pub struct RqRagMh<'d>(pub MhContext<'d>);
+
+impl MultiHopMethod for RqRagMh<'_> {
+    fn name(&self) -> &'static str {
+        "RQ-RAG"
+    }
+
+    fn answer(&mut self, question: &MultiHopQuestion) -> MultiHopOutcome {
+        let ctx = &mut self.0;
+        ctx.llm.reason(160, 80); // decomposition pass
+        let Some((rel2, rel1, anchor)) = parse_bridge_question(&question.text) else {
+            return MultiHopOutcome {
+                answer: None,
+                evidence: Vec::new(),
+                hallucinated: false,
+            };
+        };
+        // Decomposed sub-queries: the anchor, and "rel1 of anchor".
+        let mut docs = ctx.retrieve(&anchor, 3);
+        docs.extend(ctx.retrieve(&format!("{rel1} {anchor}"), 2));
+        let mut bridge = None;
+        for &d in &docs.clone() {
+            for (subj, obj) in ctx.extract_relation(d, &rel1) {
+                if normalize(&subj) == normalize(&anchor) {
+                    bridge = Some(obj);
+                }
+            }
+        }
+        let mut answer = None;
+        if let Some(bridge) = &bridge {
+            let hop2 = ctx.retrieve(&format!("{rel2} {bridge}"), 3);
+            'outer: for &d in &hop2 {
+                for (subj, obj) in ctx.extract_relation(d, &rel2) {
+                    if normalize(&subj) == normalize(bridge) {
+                        // The chain follows its first lead — no
+                        // cross-document consistency check.
+                        answer = Some(obj);
+                        break 'outer;
+                    }
+                }
+            }
+            docs.extend(hop2);
+        }
+        let profile = ContextProfile {
+            conflict_ratio: 0.15,
+            irrelevance_ratio: 0.15,
+            coverage: if answer.is_some() { 1.0 } else { 0.2 },
+            claims: usize::from(bridge.is_some()) + usize::from(answer.is_some()),
+        };
+        let (answer, hallucinated) =
+            ctx.generate(&format!("rqrag-mh{}", question.id), answer, &profile, 256);
+        MultiHopOutcome {
+            answer,
+            evidence: cap5(docs),
+            hallucinated,
+        }
+    }
+
+    fn simulated_ms(&self) -> f64 {
+        self.0.llm.usage().simulated_ms
+    }
+}
+
+// -------------------------------------------------------------------
+// MetaRAG: IRCoT + verification retry.
+// -------------------------------------------------------------------
+
+/// MetaRAG on multi-hop questions.
+pub struct MetaRagMh<'d>(pub MhContext<'d>);
+
+impl MultiHopMethod for MetaRagMh<'_> {
+    fn name(&self) -> &'static str {
+        "MetaRAG"
+    }
+
+    fn answer(&mut self, question: &MultiHopQuestion) -> MultiHopOutcome {
+        let ctx = &mut self.0;
+        let Some((rel2, rel1, anchor)) = parse_bridge_question(&question.text) else {
+            return MultiHopOutcome {
+                answer: None,
+                evidence: Vec::new(),
+                hallucinated: false,
+            };
+        };
+        // Round 1 (IRCoT-style, subject-checked).
+        let mut docs = ctx.retrieve(&anchor, 3);
+        ctx.llm.reason(160, 96);
+        let mut bridges: Vec<String> = Vec::new();
+        for &d in &docs.clone() {
+            for (subj, obj) in ctx.extract_relation(d, &rel1) {
+                if normalize(&subj) == normalize(&anchor) {
+                    bridges.push(obj);
+                }
+            }
+        }
+        // Metacognitive monitor: no subject-checked bridge → widen the
+        // retrieval and retry once.
+        if bridges.is_empty() {
+            ctx.llm.reason(192, 96);
+            let wider = ctx.retrieve(&question.text, 5);
+            for &d in &wider {
+                for (subj, obj) in ctx.extract_relation(d, &rel1) {
+                    if normalize(&subj) == normalize(&anchor) {
+                        bridges.push(obj);
+                    }
+                }
+            }
+            docs.extend(wider);
+        }
+        let bridge = bridges.first().cloned();
+        let mut answer = None;
+        let mut conflicted = false;
+        if let Some(bridge) = &bridge {
+            let hop2 = ctx.retrieve(bridge, 3);
+            let mut claims: Vec<String> = Vec::new();
+            for &d in &hop2 {
+                for (subj, obj) in ctx.extract_relation(d, &rel2) {
+                    if normalize(&subj) == normalize(bridge) {
+                        claims.push(obj);
+                    }
+                }
+            }
+            let distinct: std::collections::HashSet<String> =
+                claims.iter().map(|c| normalize(c)).collect();
+            conflicted = distinct.len() > 1;
+            if conflicted {
+                // The monitor notices the disagreement and runs one
+                // self-questioning loop. Without MultiRAG's authority
+                // and corroboration machinery it resolves the conflict
+                // correctly only part of the time — here modelled as a
+                // fixed success rate on picking the majority claim.
+                ctx.llm.reason(224, 96);
+                let resolves = bernoulli(
+                    0x4d45_5441, // stable method salt
+                    &format!("meta-resolve:{}", question.id),
+                    0.70,
+                );
+                if resolves {
+                    let mut counts: FxHashMap<String, (String, usize)> = FxHashMap::default();
+                    for c in &claims {
+                        let e = counts
+                            .entry(normalize(c))
+                            .or_insert_with(|| (c.clone(), 0));
+                        e.1 += 1;
+                    }
+                    answer = counts
+                        .into_values()
+                        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+                        .map(|(c, _)| c);
+                } else {
+                    answer = claims.first().cloned();
+                }
+            } else {
+                answer = claims.first().cloned();
+            }
+            docs.extend(hop2);
+        }
+        // Verification: the monitor rejects answers absent from the
+        // evidence (cheap self-check that kills fabrications).
+        let verified = answer.as_ref().is_some_and(|a| {
+            docs.iter()
+                .any(|&d| normalize(&ctx.data.corpus[d].text).contains(&normalize(a)))
+        });
+        let profile = ContextProfile {
+            conflict_ratio: if conflicted || bridges.len() > 1 { 0.3 } else { 0.05 },
+            irrelevance_ratio: 0.1,
+            coverage: if verified { 1.0 } else { 0.0 },
+            claims: bridges.len() + usize::from(answer.is_some()),
+        };
+        let (answer, hallucinated) = ctx.generate(
+            &format!("meta-mh{}", question.id),
+            if verified { answer } else { None },
+            &profile,
+            280,
+        );
+        MultiHopOutcome {
+            answer,
+            evidence: cap5(docs),
+            hallucinated,
+        }
+    }
+
+    fn simulated_ms(&self) -> f64 {
+        self.0.llm.usage().simulated_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multirag_core::{MultiRagConfig, MultiRagQa};
+    use multirag_datasets::multihop::{MultiHopFlavor, MultiHopSpec};
+
+    fn score(
+        data: &MultiHopDataset,
+        method: &mut dyn MultiHopMethod,
+    ) -> (f64, f64) {
+        let mut correct = 0usize;
+        let mut recall_sum = 0.0;
+        for q in &data.questions {
+            let out = method.answer(q);
+            if out
+                .answer
+                .as_ref()
+                .is_some_and(|a| normalize(a) == normalize(&q.answer))
+            {
+                correct += 1;
+            }
+            let hit = q
+                .gold_docs
+                .iter()
+                .filter(|d| out.evidence.contains(d))
+                .count();
+            recall_sum += hit as f64 / q.gold_docs.len() as f64;
+        }
+        (
+            correct as f64 / data.questions.len() as f64,
+            recall_sum / data.questions.len() as f64,
+        )
+    }
+
+    #[test]
+    fn multirag_beats_every_baseline_on_precision() {
+        let data = MultiHopSpec::small(MultiHopFlavor::Hotpot).generate(42);
+        let mut qa = MultiRagQa::new(&data, MultiRagConfig::default(), 42);
+        let mut mr_correct = 0usize;
+        for q in &data.questions {
+            let out = qa.answer(q);
+            if out
+                .answer
+                .as_ref()
+                .is_some_and(|a| normalize(a) == normalize(&q.answer))
+            {
+                mr_correct += 1;
+            }
+        }
+        let mr_precision = mr_correct as f64 / data.questions.len() as f64;
+
+        let mut methods: Vec<Box<dyn MultiHopMethod>> = vec![
+            Box::new(StandardRagMh(MhContext::new(&data, 42))),
+            Box::new(CotMh::new(&data, 42)),
+        ];
+        for method in &mut methods {
+            let (precision, _) = score(&data, method.as_mut());
+            assert!(
+                mr_precision >= precision,
+                "MultiRAG {mr_precision} must be >= {} {precision}",
+                method.name()
+            );
+        }
+    }
+
+    #[test]
+    fn ircot_beats_standard_rag_on_recall() {
+        let data = MultiHopSpec::small(MultiHopFlavor::Hotpot).generate(42);
+        let (_, srag_recall) = score(&data, &mut StandardRagMh(MhContext::new(&data, 42)));
+        let (_, ircot_recall) = score(&data, &mut IrCotMh(MhContext::new(&data, 42)));
+        assert!(
+            ircot_recall > srag_recall,
+            "IRCoT recall {ircot_recall} vs Standard RAG {srag_recall}"
+        );
+    }
+
+    #[test]
+    fn metarag_is_a_strong_baseline() {
+        let data = MultiHopSpec::small(MultiHopFlavor::Hotpot).generate(42);
+        let (meta_p, meta_r) = score(&data, &mut MetaRagMh(MhContext::new(&data, 42)));
+        let (srag_p, _) = score(&data, &mut StandardRagMh(MhContext::new(&data, 42)));
+        assert!(meta_p > srag_p);
+        assert!(meta_r > 0.5);
+    }
+
+    #[test]
+    fn all_methods_emit_at_most_five_evidence_docs() {
+        let data = MultiHopSpec::small(MultiHopFlavor::TwoWiki).generate(7);
+        let mut methods: Vec<Box<dyn MultiHopMethod>> = vec![
+            Box::new(StandardRagMh(MhContext::new(&data, 7))),
+            Box::new(CotMh::new(&data, 7)),
+            Box::new(IrCotMh(MhContext::new(&data, 7))),
+            Box::new(ChatKbqaMh::new(&data, 7)),
+            Box::new(MdqaMh(MhContext::new(&data, 7))),
+            Box::new(RqRagMh(MhContext::new(&data, 7))),
+            Box::new(MetaRagMh(MhContext::new(&data, 7))),
+        ];
+        for method in &mut methods {
+            for q in data.questions.iter().take(5) {
+                let out = method.answer(q);
+                assert!(out.evidence.len() <= 5, "{} overflowed", method.name());
+            }
+            assert!(method.simulated_ms() > 0.0);
+        }
+    }
+
+    #[test]
+    fn chatkbqa_title_execution_finds_gold_docs_when_form_parses() {
+        let data = MultiHopSpec::small(MultiHopFlavor::Hotpot).generate(42);
+        let mut m = ChatKbqaMh::new(&data, 42);
+        m.form_success_rate = 1.0;
+        let (_, recall) = score(&data, &mut m);
+        assert!(recall > 0.8, "title-exact retrieval recall {recall}");
+    }
+}

@@ -1,0 +1,198 @@
+//! RQ-RAG (Chan et al.): learning to refine queries for retrieval
+//! augmented generation.
+//!
+//! The model rewrites / decomposes the query before retrieval, which
+//! recovers evidence simple retrieval misses — a *coverage* win that
+//! matters most on sparse data. It does nothing about conflicts among
+//! the recovered evidence.
+
+use crate::common::{
+    conflict_ratio, majority_values, slot_claims, FusionMethod, MethodAnswer, SlotClaim,
+};
+use multirag_datasets::Query;
+use multirag_kg::{KnowledgeGraph, Object, SourceId, Value};
+use multirag_llmsim::{ContextProfile, MockLlm, Schema};
+
+/// RQ-RAG baseline.
+pub struct RqRag {
+    llm: MockLlm,
+}
+
+impl RqRag {
+    /// Creates an RQ-RAG baseline.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            llm: MockLlm::new(Schema::new(), seed),
+        }
+    }
+
+    /// The refinement pass: beyond the exact slot, rewritten queries
+    /// recover claims filed under sibling attribute names (e.g.
+    /// `departure_time` vs `arrival_time` confusions resolve; here we
+    /// model recovered evidence as claims on the same entity whose
+    /// attribute shares a token with the asked one).
+    fn refined_claims(&self, kg: &KnowledgeGraph, query: &Query) -> Vec<SlotClaim> {
+        let domain = if kg.source_count() > 0 {
+            kg.resolve(kg.source(SourceId(0)).domain).to_string()
+        } else {
+            String::new()
+        };
+        let Some(entity) = kg.find_entity(&query.entity, &domain) else {
+            return Vec::new();
+        };
+        let asked: std::collections::HashSet<String> = query
+            .attribute
+            .split('_')
+            .map(str::to_string)
+            .collect();
+        let exact = kg.find_relation(&query.attribute);
+        kg.outgoing(entity)
+            .iter()
+            .filter_map(|&tid| {
+                let t = kg.triple(tid);
+                if Some(t.predicate) == exact {
+                    return None; // the base retrieval already has these
+                }
+                let name = kg.relation_name(t.predicate);
+                let shares = name.split('_').any(|tok| asked.contains(tok));
+                if !shares {
+                    return None;
+                }
+                let value = match &t.object {
+                    Object::Entity(e) => Value::Str(kg.entity_name(*e).to_string()),
+                    Object::Literal(v) => v.clone(),
+                };
+                Some(SlotClaim {
+                    triple: tid,
+                    value,
+                    source: t.source,
+                })
+            })
+            .collect()
+    }
+}
+
+impl FusionMethod for RqRag {
+    fn name(&self) -> &'static str {
+        "RQ-RAG"
+    }
+
+    fn answer(&mut self, kg: &KnowledgeGraph, query: &Query) -> MethodAnswer {
+        // Query-refinement LLM pass.
+        self.llm.reason(140, 72);
+        let claims = slot_claims(kg, query);
+        let refined = self.refined_claims(kg, query);
+        if claims.is_empty() && refined.is_empty() {
+            let generated = self.llm.generate_answer(
+                &format!("rqrag:{}", query.key()),
+                Vec::new(),
+                &[],
+                &ContextProfile::clean(0),
+                48,
+            );
+            return MethodAnswer {
+                values: generated.values,
+                hallucinated: generated.hallucinated,
+            };
+        }
+        // Refined evidence helps coverage; sibling-attribute claims are
+        // *near*-relevant (they still dilute the context a little).
+        let faithful = if claims.is_empty() {
+            majority_values(&refined)
+        } else {
+            majority_values(&claims)
+        };
+        let base = if claims.is_empty() { &refined } else { &claims };
+        let distractors: Vec<Value> = base
+            .iter()
+            .filter(|c| {
+                !faithful
+                    .iter()
+                    .any(|f| f.canonical_key() == c.value.canonical_key())
+            })
+            .map(|c| c.value.clone())
+            .collect();
+        let profile = ContextProfile {
+            conflict_ratio: conflict_ratio(base, &faithful),
+            irrelevance_ratio: if claims.is_empty() {
+                0.3
+            } else {
+                refined.len() as f64 / (claims.len() + refined.len()).max(1) as f64 * 0.5
+            },
+            coverage: 1.0,
+            claims: claims.len() + refined.len(),
+        };
+        let generated = self.llm.generate_answer(
+            &format!("rqrag:{}", query.key()),
+            faithful,
+            &distractors,
+            &profile,
+            24 * (claims.len() + refined.len()),
+        );
+        MethodAnswer {
+            values: generated.values,
+            hallucinated: generated.hallucinated,
+        }
+    }
+
+    fn simulated_ms(&self) -> f64 {
+        self.llm.usage().simulated_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multirag_datasets::books::BooksSpec;
+    use multirag_datasets::movies::MoviesSpec;
+
+    #[test]
+    fn decent_accuracy_on_sparse_books() {
+        let data = BooksSpec::small().generate(42);
+        let mut m = RqRag::new(42);
+        let mut correct = 0usize;
+        for q in &data.queries {
+            let a = m.answer(&data.graph, q);
+            if a
+                .values
+                .iter()
+                .any(|v| data.truth.is_correct(&q.entity, &q.attribute, v))
+            {
+                correct += 1;
+            }
+        }
+        assert!(correct as f64 / data.queries.len() as f64 > 0.35);
+    }
+
+    #[test]
+    fn refinement_recovers_sibling_attribute_claims() {
+        let data = MoviesSpec::small().generate(42);
+        let m = RqRag::new(42);
+        // 'departure_time' style siblings don't exist in movies;
+        // 'director'/'writer' don't share tokens — but 'year' queries
+        // can't recover siblings either. Just assert the refinement is
+        // well-behaved (no exact-slot duplicates).
+        for q in data.queries.iter().take(10) {
+            let exact: std::collections::HashSet<_> = slot_claims(&data.graph, q)
+                .iter()
+                .map(|c| c.triple)
+                .collect();
+            for r in m.refined_claims(&data.graph, q) {
+                assert!(!exact.contains(&r.triple));
+            }
+        }
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let data = MoviesSpec::small().generate(42);
+        let run = || {
+            let mut m = RqRag::new(5);
+            data.queries
+                .iter()
+                .map(|q| m.answer(&data.graph, q).values)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,86 @@
+//! End-to-end query benchmarks: MKLGP (with and without MKA) against
+//! the global-fusion baselines — the per-query time story behind the
+//! Table II/III time columns.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use multirag_baselines::common::FusionMethod;
+use multirag_baselines::fusionquery::FusionQuery;
+use multirag_baselines::truthfinder::TruthFinder;
+use multirag_core::{MklgpPipeline, MultiRagConfig};
+use multirag_datasets::movies::MoviesSpec;
+
+fn pipeline_benches(c: &mut Criterion) {
+    let data = MoviesSpec::small().generate(42);
+    let mut group = c.benchmark_group("query_answering");
+
+    group.bench_function("multirag_with_mka", |b| {
+        let mut pipeline = MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42);
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = &data.queries[i % data.queries.len()];
+            i += 1;
+            black_box(pipeline.answer(q))
+        })
+    });
+
+    group.bench_function("multirag_without_mka", |b| {
+        let mut pipeline = MklgpPipeline::new(
+            &data.graph,
+            MultiRagConfig::default().without_mka(),
+            42,
+        );
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = &data.queries[i % data.queries.len()];
+            i += 1;
+            black_box(pipeline.answer(q))
+        })
+    });
+
+    group.bench_function("truthfinder_query", |b| {
+        let mut tf = TruthFinder::default();
+        tf.prepare(&data.graph);
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = &data.queries[i % data.queries.len()];
+            i += 1;
+            black_box(tf.answer(&data.graph, q))
+        })
+    });
+
+    group.bench_function("fusionquery_query", |b| {
+        let mut fq = FusionQuery::default();
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = &data.queries[i % data.queries.len()];
+            i += 1;
+            black_box(fq.answer(&data.graph, q))
+        })
+    });
+
+    group.bench_function("truthfinder_prepare", |b| {
+        b.iter(|| {
+            let mut tf = TruthFinder::default();
+            tf.prepare(black_box(&data.graph));
+            black_box(tf)
+        })
+    });
+
+    group.bench_function("mklgp_pipeline_build", |b| {
+        b.iter(|| {
+            black_box(MklgpPipeline::new(
+                black_box(&data.graph),
+                MultiRagConfig::default(),
+                42,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = pipeline_benches
+}
+criterion_main!(benches);

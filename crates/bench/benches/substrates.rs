@@ -1,0 +1,73 @@
+//! Microbenchmarks of the substrate crates: parser throughput and
+//! retrieval-index costs (part of the Q5 module-time analysis).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use multirag_datasets::movies::MoviesSpec;
+use multirag_datasets::multihop::{MultiHopFlavor, MultiHopSpec};
+use multirag_datasets::render::render_all_sources;
+use multirag_ingest::{csv, json, xml};
+use multirag_retrieval::{Bm25Index, TfIdfIndex};
+
+fn parser_benches(c: &mut Criterion) {
+    let data = MoviesSpec::small().generate(42);
+    let raw = render_all_sources(&data);
+    let csv_text = raw
+        .iter()
+        .find(|r| matches!(r.format, multirag_ingest::SourceFormat::Csv))
+        .map(|r| r.content.clone())
+        .expect("csv source");
+    let json_text = raw
+        .iter()
+        .find(|r| matches!(r.format, multirag_ingest::SourceFormat::Json))
+        .map(|r| r.content.clone())
+        .expect("json source");
+    // Books carry the XML sources.
+    let books = multirag_datasets::books::BooksSpec::small().generate(42);
+    let xml_text = render_all_sources(&books)
+        .into_iter()
+        .find(|r| matches!(r.format, multirag_ingest::SourceFormat::Xml))
+        .map(|r| r.content)
+        .expect("xml source");
+
+    let mut group = c.benchmark_group("parsers");
+    group.throughput(Throughput::Bytes(csv_text.len() as u64));
+    group.bench_function("csv", |b| b.iter(|| csv::parse(black_box(&csv_text)).unwrap()));
+    group.throughput(Throughput::Bytes(json_text.len() as u64));
+    group.bench_function("json", |b| {
+        b.iter(|| json::parse(black_box(&json_text)).unwrap())
+    });
+    group.throughput(Throughput::Bytes(xml_text.len() as u64));
+    group.bench_function("xml", |b| b.iter(|| xml::parse(black_box(&xml_text)).unwrap()));
+    group.finish();
+}
+
+fn retrieval_benches(c: &mut Criterion) {
+    let data = MultiHopSpec::small(MultiHopFlavor::Hotpot).generate(42);
+    let docs: Vec<&str> = data.corpus.iter().map(|d| d.text.as_str()).collect();
+
+    let mut group = c.benchmark_group("retrieval");
+    group.bench_function("bm25_build", |b| {
+        b.iter(|| Bm25Index::build(black_box(docs.iter().copied())))
+    });
+    group.bench_function("tfidf_build", |b| {
+        b.iter(|| TfIdfIndex::build(black_box(docs.iter().copied())))
+    });
+    let bm25 = Bm25Index::build(docs.iter().copied());
+    let tfidf = TfIdfIndex::build(docs.iter().copied());
+    for k in [5usize, 20] {
+        group.bench_with_input(BenchmarkId::new("bm25_search", k), &k, |b, &k| {
+            b.iter(|| bm25.search(black_box("birthplace of the director"), k))
+        });
+        group.bench_with_input(BenchmarkId::new("tfidf_search", k), &k, |b, &k| {
+            b.iter(|| tfidf.search(black_box("birthplace of the director"), k))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = parser_benches, retrieval_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Regenerates **Fig. 7** — influence of the hyper-parameter α
+//! (LLM-assessed vs historical authority, Eq. 9) on F1 and query time,
+//! swept from 0.0 to 1.0.
+//!
+//! ```sh
+//! cargo run --release -p multirag-bench --bin repro_fig7
+//! ```
+
+use multirag_bench::seed;
+use multirag_core::MultiRagConfig;
+use multirag_datasets::books::BooksSpec;
+use multirag_eval::run_multirag;
+use multirag_eval::table::{fmt1, fmt2, Table};
+
+fn main() {
+    let seed = seed();
+    let scale = multirag_bench::scale();
+    println!("Fig. 7: α sweep on the Books dataset (scale = {scale:?}, seed = {seed})");
+    let data = BooksSpec::at_scale(scale).generate(seed);
+    let mut table = Table::new(
+        "Fig. 7: F1% and time vs α",
+        &["alpha", "F1/%", "QT+PT/s"],
+    );
+    for step in 0..=10 {
+        let alpha = f64::from(step) / 10.0;
+        let config = MultiRagConfig::default().with_alpha(alpha);
+        let row = run_multirag(&data, &data.graph, config, seed);
+        table.row(vec![
+            format!("{alpha:.1}"),
+            fmt1(row.f1),
+            fmt2(row.total_time_s()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("CSV (for plotting):\n{}", table.to_csv());
+}

@@ -1,0 +1,21 @@
+//! Regenerates **Table I** — statistics of the four preprocessed
+//! multi-source datasets.
+//!
+//! ```sh
+//! cargo run --release -p multirag-bench --bin repro_table1
+//! ```
+
+use multirag_datasets::stats::{dataset_stats, render_table1};
+
+fn main() {
+    let stats: Vec<_> = multirag_bench::all_datasets()
+        .iter()
+        .map(dataset_stats)
+        .collect();
+    println!(
+        "Table I: Statistics of the datasets preprocessed (scale = {:?}, seed = {})\n",
+        multirag_bench::scale(),
+        multirag_bench::seed()
+    );
+    println!("{}", render_table1(&stats));
+}

@@ -1,0 +1,67 @@
+//! Regenerates **Table II** — comparison with baseline and SOTA
+//! methods for multi-source knowledge fusion: F1 (%) and total time (s)
+//! per dataset × source-format combo.
+//!
+//! Cells (dataset × combo) are independent and fan out across threads;
+//! each cell's methods remain sequential and seeded, so the output is
+//! deterministic.
+//!
+//! ```sh
+//! cargo run --release -p multirag-bench --bin repro_table2
+//! ```
+
+use multirag_bench::{combo_code, fusion_baselines, seed, sota_methods, source_combos};
+use multirag_core::MultiRagConfig;
+use multirag_eval::table::{fmt1, Table};
+use multirag_eval::{parallel_map, run_fusion_method, run_multirag, MethodResult};
+
+fn main() {
+    let seed = seed();
+    println!(
+        "Table II: multi-source knowledge fusion, F1% / time(s) (scale = {:?}, seed = {seed})",
+        multirag_bench::scale()
+    );
+    let datasets = multirag_bench::all_datasets();
+    let cells: Vec<(usize, Vec<&'static str>)> = datasets
+        .iter()
+        .enumerate()
+        .flat_map(|(i, data)| source_combos(&data.name).into_iter().map(move |c| (i, c)))
+        .collect();
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let results: Vec<(String, String, Vec<MethodResult>)> =
+        parallel_map(cells, threads, |(i, combo)| {
+            let data = &datasets[i];
+            let graph = data.restricted_graph(&combo);
+            let mut rows = Vec::new();
+            for mut method in fusion_baselines(seed) {
+                rows.push(run_fusion_method(data, &graph, method.as_mut()));
+            }
+            for mut method in sota_methods(seed) {
+                rows.push(run_fusion_method(data, &graph, method.as_mut()));
+            }
+            rows.push(run_multirag(data, &graph, MultiRagConfig::default(), seed));
+            (data.name.clone(), combo_code(&combo), rows)
+        });
+
+    let mut table = Table::new(
+        "Table II",
+        &["Dataset", "Sources", "Method", "F1/%", "Time/s", "Halluc/%"],
+    );
+    for (dataset, code, rows) in results {
+        for row in rows {
+            table.row(vec![
+                dataset.clone(),
+                code.clone(),
+                row.name.clone(),
+                fmt1(row.f1),
+                fmt1(row.total_time_s()),
+                fmt1(row.hallucination_rate * 100.0),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!("Time/s combines measured compute with simulated LLM latency; see EXPERIMENTS.md.");
+}

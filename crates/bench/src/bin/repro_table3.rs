@@ -1,0 +1,51 @@
+//! Regenerates **Table III** — ablation experiments of multi-source
+//! knowledge aggregation (MKA) and multi-level confidence computing
+//! (MCC): F1 (%), QT (query-time seconds, measured) and PT
+//! (prompting/preprocess seconds) per dataset × source combo ×
+//! configuration.
+//!
+//! ```sh
+//! cargo run --release -p multirag-bench --bin repro_table3
+//! ```
+
+use multirag_bench::{combo_code, seed, source_combos};
+use multirag_core::MultiRagConfig;
+use multirag_eval::run_multirag;
+use multirag_eval::table::{fmt1, fmt2, Table};
+
+fn main() {
+    let seed = seed();
+    println!(
+        "Table III: MKA / MCC ablations (scale = {:?}, seed = {seed})",
+        multirag_bench::scale()
+    );
+    let configs: Vec<(&str, MultiRagConfig)> = vec![
+        ("MultiRAG", MultiRagConfig::default()),
+        ("w/o MKA", MultiRagConfig::default().without_mka()),
+        ("w/o Graph Level", MultiRagConfig::default().without_graph_level()),
+        ("w/o Node Level", MultiRagConfig::default().without_node_level()),
+        ("w/o MCC", MultiRagConfig::default().without_mcc()),
+    ];
+    let mut table = Table::new(
+        "Table III",
+        &["Dataset", "Sources", "Config", "F1/%", "QT/s", "PT/s"],
+    );
+    for data in multirag_bench::all_datasets() {
+        for combo in source_combos(&data.name) {
+            let graph = data.restricted_graph(&combo);
+            for (name, config) in &configs {
+                let row = run_multirag(&data, &graph, *config, seed);
+                table.row(vec![
+                    data.name.clone(),
+                    combo_code(&combo),
+                    name.to_string(),
+                    fmt1(row.f1),
+                    fmt2(row.qt.total_s()),
+                    fmt2(row.pt.total_s()),
+                ]);
+            }
+        }
+    }
+    println!("{}", table.render());
+    println!("QT = measured query-loop seconds; PT = MLG build + simulated LLM prompting seconds.");
+}

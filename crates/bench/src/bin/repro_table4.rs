@@ -1,0 +1,69 @@
+//! Regenerates **Table IV** — performance comparison on the HotpotQA
+//! and 2WikiMultiHopQA analogues: answer precision (%) and Recall@5
+//! (%) over gold supporting documents.
+//!
+//! ```sh
+//! cargo run --release -p multirag-bench --bin repro_table4
+//! ```
+
+use multirag_baselines::multihop::{
+    ChatKbqaMh, CotMh, IrCotMh, MdqaMh, MetaRagMh, MhContext, MultiHopMethod, RqRagMh,
+    StandardRagMh,
+};
+use multirag_bench::seed;
+use multirag_core::MultiRagConfig;
+use multirag_datasets::multihop::{MultiHopFlavor, MultiHopSpec};
+use multirag_eval::table::{fmt1, Table};
+use multirag_eval::{run_multihop_method, run_multirag_multihop};
+
+fn main() {
+    let seed = seed();
+    let spec_scale = match std::env::var("MULTIRAG_SCALE").as_deref() {
+        Ok("small") => MultiHopSpec::small(MultiHopFlavor::Hotpot),
+        _ => MultiHopSpec::bench(MultiHopFlavor::Hotpot),
+    };
+    println!(
+        "Table IV: multi-hop QA ({} questions per dataset, seed = {seed})",
+        spec_scale.questions
+    );
+    let mut table = Table::new(
+        "Table IV",
+        &["Dataset", "Method", "Precision/%", "Recall@5/%", "Recall σ", "Halluc/%"],
+    );
+    for flavor in [MultiHopFlavor::Hotpot, MultiHopFlavor::TwoWiki] {
+        let spec = MultiHopSpec {
+            flavor,
+            ..spec_scale
+        };
+        let data = spec.generate(seed);
+        let label = match flavor {
+            MultiHopFlavor::Hotpot => "HotpotQA",
+            MultiHopFlavor::TwoWiki => "2WikiMultiHopQA",
+        };
+        let mut methods: Vec<Box<dyn MultiHopMethod + '_>> = vec![
+            Box::new(StandardRagMh(MhContext::new(&data, seed))),
+            Box::new(CotMh::new(&data, seed)),
+            Box::new(IrCotMh(MhContext::new(&data, seed))),
+            Box::new(ChatKbqaMh::new(&data, seed)),
+            Box::new(MdqaMh(MhContext::new(&data, seed))),
+            Box::new(RqRagMh(MhContext::new(&data, seed))),
+            Box::new(MetaRagMh(MhContext::new(&data, seed))),
+        ];
+        let mut rows = Vec::new();
+        for method in &mut methods {
+            rows.push(run_multihop_method(&data, method.as_mut()));
+        }
+        rows.push(run_multirag_multihop(&data, MultiRagConfig::default(), seed));
+        for row in rows {
+            table.row(vec![
+                label.to_string(),
+                row.name.clone(),
+                fmt1(row.precision),
+                fmt1(row.recall_at_5),
+                fmt1(row.recall_std),
+                fmt1(row.hallucination_rate * 100.0),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+}

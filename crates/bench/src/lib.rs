@@ -1,0 +1,149 @@
+//! # multirag-bench
+//!
+//! The benchmark harness regenerating every table and figure of the
+//! paper. Each `repro_*` binary prints one artifact:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `repro_table1` | Table I — dataset statistics |
+//! | `repro_table2` | Table II — F1 & time vs baselines/SOTA |
+//! | `repro_table3` | Table III — MKA / MCC ablations |
+//! | `repro_table4` | Table IV — HotpotQA / 2WikiMultiHopQA |
+//! | `repro_fig5`   | Fig. 5 — sparsity & consistency robustness |
+//! | `repro_fig6`   | Fig. 6 — per-source corruption sweep |
+//! | `repro_fig7`   | Fig. 7 — α hyper-parameter sweep |
+//! | `repro_error_analysis` | §IV Q4 — hallucination / failure taxonomy |
+//! | `repro_sensitivity` | design-choice sweeps beyond α (θ, graph threshold, top-k, H, β) |
+//!
+//! Criterion microbenches (in `benches/`) cover module-level costs
+//! (Q5): MLG construction, homologous matching, MI confidence, BM25 /
+//! TF-IDF retrieval, the parsers and the end-to-end pipeline.
+//!
+//! Scale is controlled by `MULTIRAG_SCALE` (`small` | `bench` |
+//! `large`, default `bench`) and `MULTIRAG_SEED` (default 42) so CI can
+//! smoke-run the binaries quickly.
+
+use multirag_baselines::chatkbqa::ChatKbqa;
+use multirag_baselines::common::FusionMethod;
+use multirag_baselines::cot::Cot;
+use multirag_baselines::fusionquery::FusionQuery;
+use multirag_baselines::ircot::IrCot;
+use multirag_baselines::ltm::Ltm;
+use multirag_baselines::mdqa::Mdqa;
+use multirag_baselines::metarag::MetaRag;
+use multirag_baselines::mv::MajorityVote;
+use multirag_baselines::rqrag::RqRag;
+use multirag_baselines::standard_rag::StandardRag;
+use multirag_baselines::truthfinder::TruthFinder;
+use multirag_datasets::spec::{MultiSourceDataset, Scale};
+use multirag_datasets::{books::BooksSpec, flights::FlightsSpec, movies::MoviesSpec, stocks::StocksSpec};
+
+/// Reads the experiment scale from `MULTIRAG_SCALE`.
+pub fn scale() -> Scale {
+    match std::env::var("MULTIRAG_SCALE").as_deref() {
+        Ok("small") => Scale::small(),
+        Ok("large") => Scale::large(),
+        _ => Scale::bench(),
+    }
+}
+
+/// Reads the experiment seed from `MULTIRAG_SEED`.
+pub fn seed() -> u64 {
+    std::env::var("MULTIRAG_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// All four benchmark datasets at the configured scale.
+pub fn all_datasets() -> Vec<MultiSourceDataset> {
+    let s = scale();
+    let seed = seed();
+    vec![
+        MoviesSpec::at_scale(s).generate(seed),
+        BooksSpec::at_scale(s).generate(seed),
+        FlightsSpec::at_scale(s).generate(seed),
+        StocksSpec::at_scale(s).generate(seed),
+    ]
+}
+
+/// The Table II source-format combos per dataset (J=json, C=csv,
+/// X=xml, K=kg).
+pub fn source_combos(dataset: &str) -> Vec<Vec<&'static str>> {
+    match dataset {
+        "movies" => vec![
+            vec!["json", "kg"],
+            vec!["json", "csv"],
+            vec!["kg", "csv"],
+            vec!["json", "kg", "csv"],
+        ],
+        "books" => vec![
+            vec!["json", "csv"],
+            vec!["json", "xml"],
+            vec!["csv", "xml"],
+            vec!["json", "csv", "xml"],
+        ],
+        "flights" | "stocks" => vec![vec!["csv", "json"]],
+        other => panic!("unknown dataset {other}"),
+    }
+}
+
+/// Renders a combo as the paper's letter code ("J/K/C").
+pub fn combo_code(combo: &[&str]) -> String {
+    combo
+        .iter()
+        .map(|f| multirag_datasets::stats::format_letter(f))
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// The Table II baseline roster (data-fusion methods).
+pub fn fusion_baselines(seed: u64) -> Vec<Box<dyn FusionMethod>> {
+    vec![
+        Box::new(MajorityVote),
+        Box::new(TruthFinder::default()),
+        Box::new(Ltm::default()),
+        Box::new(Cot::new(seed)),
+        Box::new(StandardRag::new(seed)),
+    ]
+}
+
+/// The Table II SOTA roster.
+pub fn sota_methods(seed: u64) -> Vec<Box<dyn FusionMethod>> {
+    vec![
+        Box::new(IrCot::new(seed)),
+        Box::new(ChatKbqa::new(seed)),
+        Box::new(Mdqa::new(seed)),
+        Box::new(FusionQuery::default()),
+        Box::new(RqRag::new(seed)),
+        Box::new(MetaRag::new(seed)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combos_match_table_2() {
+        assert_eq!(source_combos("movies").len(), 4);
+        assert_eq!(source_combos("books").len(), 4);
+        assert_eq!(source_combos("flights").len(), 1);
+        assert_eq!(combo_code(&["json", "kg", "csv"]), "J/K/C");
+    }
+
+    #[test]
+    fn rosters_are_complete() {
+        assert_eq!(fusion_baselines(1).len(), 5);
+        assert_eq!(sota_methods(1).len(), 6);
+        let names: Vec<&str> = sota_methods(1).iter().map(|m| m.name()).collect();
+        assert!(names.contains(&"ChatKBQA"));
+        assert!(names.contains(&"FusionQuery"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown dataset")]
+    fn unknown_dataset_panics() {
+        source_combos("nope");
+    }
+}

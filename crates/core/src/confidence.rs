@@ -1,0 +1,655 @@
+//! Multi-level confidence computing (Eqs. 4–11, Algorithm 1).
+//!
+//! **Graph level** (Eqs. 4–7): pairwise similarity between homologous
+//! nodes via normalized mutual information of their attribute-value
+//! distributions; the group's confidence is the mean pairwise
+//! similarity. The joint distribution in Eq. 4 is instantiated as the
+//! *maximal coupling* of the two value distributions — all shared mass
+//! sits on the diagonal, residual mass couples independently — which
+//! makes `I` large exactly when the two nodes assert the same content,
+//! the stated intent of the paper's construction. Degenerate
+//! (singleton) value sets fall back to a soft value-distance, keeping
+//! `S ∈ [0, 1]` total.
+//!
+//! **Node level** (Eqs. 8–11): consistency `S_n(v)` (mean similarity to
+//! homologous peers), LLM authority (Eq. 10 sigmoid over the simulated
+//! expert score, centered on the candidate mean), historical authority
+//! (Eq. 11 via [`HistoryStore`]), combined as
+//! `C(v) = S_n(v) + α·Auth_LLM + (1−α)·Auth_hist`.
+
+use crate::config::MultiRagConfig;
+use crate::history::HistoryStore;
+use crate::homologous::HomologousGroup;
+use multirag_kg::{FxHashMap, KnowledgeGraph, Object, SourceId, TripleId, Value};
+use multirag_llmsim::authority::AuthorityFeatures;
+use multirag_llmsim::MockLlm;
+
+/// Graph-level confidence of one homologous subgraph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphConfidence {
+    /// `C(G)` — mean pairwise similarity (Eq. 7), in `[0, 1]`.
+    pub value: f64,
+    /// Number of node pairs averaged.
+    pub pairs: usize,
+}
+
+/// Node-level assessment of one claim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeConfidence {
+    /// The claim's triple.
+    pub triple: TripleId,
+    /// The claim's value.
+    pub value: Value,
+    /// Asserting source.
+    pub source: SourceId,
+    /// Consistency score `S_n(v)` (Eq. 8).
+    pub consistency: f64,
+    /// `Auth_LLM(v)` (Eq. 10).
+    pub auth_llm: f64,
+    /// `Auth_hist(v)` (Eq. 11).
+    pub auth_hist: f64,
+    /// Combined authority `A(v)` (Eq. 9).
+    pub authority: f64,
+    /// Final confidence `C(v) = S_n(v) + A(v)`, in `[0, 2]`.
+    pub confidence: f64,
+}
+
+/// The value multiset a claim asserts (lists flatten to their scalars).
+fn value_set(value: &Value) -> Vec<Value> {
+    value.scalar_claims()
+}
+
+/// Empirical distribution over canonical keys.
+fn distribution(values: &[Value]) -> FxHashMap<String, f64> {
+    let mut dist: FxHashMap<String, f64> = FxHashMap::default();
+    let w = 1.0 / values.len().max(1) as f64;
+    for v in values {
+        *dist.entry(v.canonical_key()).or_insert(0.0) += w;
+    }
+    dist
+}
+
+/// Shannon entropy (Eq. 6) of a distribution, in nats.
+fn entropy(dist: &FxHashMap<String, f64>) -> f64 {
+    -dist
+        .values()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| p * p.ln())
+        .sum::<f64>()
+}
+
+/// Eqs. 4–5: normalized mutual information similarity between two
+/// attribute-value sets, in `[0, 1]`.
+pub fn mi_similarity(vi: &Value, vj: &Value) -> f64 {
+    let set_i = value_set(vi);
+    let set_j = value_set(vj);
+    let pi = distribution(&set_i);
+    let pj = distribution(&set_j);
+    let hi = entropy(&pi);
+    let hj = entropy(&pj);
+    if hi + hj < 1e-12 {
+        // Both degenerate: exact agreement scores 1; *different* claims
+        // get at most a sub-threshold soft similarity however close
+        // their content is — a 1911-vs-1914 year conflict is still a
+        // conflict, and must not let the subgraph pass the trust gate.
+        let a = set_i.first().cloned().unwrap_or(Value::Null);
+        let b = set_j.first().cloned().unwrap_or(Value::Null);
+        if a.canonical_key() == b.canonical_key() {
+            return 1.0;
+        }
+        return (1.0 - a.distance(&b)) * 0.45;
+    }
+    // Agreement information: the diagonal of the maximal coupling —
+    // shared mass min(pi, pj) weighted by its pointwise MI. Disjoint
+    // sets score 0, identical distributions score exactly Hi (= Hj),
+    // so the symmetric-uncertainty normalization 2I/(Hi+Hj) maps
+    // agreement onto [0, 1] with identical → 1, the range Eq. 5
+    // asserts. Zero-entropy marginals make the MI term degenerate (a
+    // singleton {a} vs a superset {a, b, c} would score 0 despite
+    // genuine partial agreement), so the similarity is floored by the
+    // distribution overlap Σ min(pi, pj).
+    let mut mi = 0.0;
+    let mut overlap = 0.0;
+    for (key, &p_i) in &pi {
+        if let Some(&p_j) = pj.get(key) {
+            let p = p_i.min(p_j);
+            overlap += p;
+            if p > 0.0 {
+                mi += p * (p / (p_i * p_j)).ln();
+            }
+        }
+    }
+    (2.0 * mi / (hi + hj)).max(overlap).clamp(0.0, 1.0)
+}
+
+/// The homologous nodes of a group: one node **per source**, carrying
+/// the full value set that source asserts for the slot (Definition 4's
+/// `snode` instances). A multi-valued truth asserted completely by two
+/// sources thus yields two *identical* nodes — agreement, not conflict;
+/// a source that swapped one value yields a partially-overlapping set.
+fn group_values(kg: &KnowledgeGraph, group: &HomologousGroup) -> Vec<(TripleId, Value, SourceId)> {
+    let mut order: Vec<SourceId> = Vec::new();
+    let mut per_source: FxHashMap<SourceId, (TripleId, Vec<Value>)> = FxHashMap::default();
+    for &tid in &group.triples {
+        let t = kg.triple(tid);
+        let value = match &t.object {
+            Object::Entity(e) => Value::Str(kg.entity_name(*e).to_string()),
+            Object::Literal(v) => v.clone(),
+        };
+        // Entity standardization (the `std.py` analogue): surface
+        // variants of the same value ("Mann, Michael") collapse onto
+        // one normal form before any consistency computation — the
+        // knowledge-construction step that lets MultiRAG see agreement
+        // where exact-match fusion sees fragmentation.
+        let value = value.standardized();
+        let entry = per_source.entry(t.source).or_insert_with(|| {
+            order.push(t.source);
+            (tid, Vec::new())
+        });
+        entry.1.push(value);
+    }
+    order
+        .into_iter()
+        .map(|source| {
+            let (tid, mut values) = per_source.remove(&source).expect("inserted above");
+            let value = if values.len() == 1 {
+                values.pop().expect("len checked")
+            } else {
+                Value::List(values)
+            };
+            (tid, value, source)
+        })
+        .collect()
+}
+
+/// Eq. 7: graph-level confidence of a homologous subgraph.
+pub fn graph_confidence(kg: &KnowledgeGraph, group: &HomologousGroup) -> GraphConfidence {
+    let claims = group_values(kg, group);
+    let n = claims.len();
+    if n < 2 {
+        return GraphConfidence {
+            value: 0.5,
+            pairs: 0,
+        };
+    }
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            total += mi_similarity(&claims[i].1, &claims[j].1);
+            pairs += 1;
+        }
+    }
+    GraphConfidence {
+        value: total / pairs as f64,
+        pairs: pairs * 2, // ordered pairs, as in Eq. 7's double sum
+    }
+}
+
+/// A placeholder record for a claim the graph-level gate discarded
+/// before any node-level assessment ran.
+fn unassessed(claim: (TripleId, Value, SourceId)) -> NodeConfidence {
+    NodeConfidence {
+        triple: claim.0,
+        value: claim.1,
+        source: claim.2,
+        consistency: 0.0,
+        auth_llm: 0.0,
+        auth_hist: 0.0,
+        authority: 0.0,
+        confidence: 0.0,
+    }
+}
+
+/// A flat-score record for ablations that skip node-level assessment.
+fn uniform_assessment(claim: (TripleId, Value, SourceId)) -> NodeConfidence {
+    NodeConfidence {
+        triple: claim.0,
+        value: claim.1,
+        source: claim.2,
+        consistency: 0.5,
+        auth_llm: 0.5,
+        auth_hist: 0.5,
+        authority: 0.5,
+        confidence: 1.0,
+    }
+}
+
+/// Node-level assessment of every claim in a group (Eqs. 8–11).
+///
+/// `max_degree` is the graph's maximum entity degree (computed once per
+/// graph by the pipeline and passed down).
+pub fn assess_group(
+    kg: &KnowledgeGraph,
+    group: &HomologousGroup,
+    llm: &mut MockLlm,
+    history: &HistoryStore,
+    config: &MultiRagConfig,
+    max_degree: usize,
+) -> Vec<NodeConfidence> {
+    let claims = group_values(kg, group);
+    assess_claims(kg, group, &claims, llm, history, config, max_degree)
+}
+
+/// Node-level assessment over an explicit claim pool (the gated subset
+/// of a group's per-source nodes).
+pub fn assess_claims(
+    kg: &KnowledgeGraph,
+    group: &HomologousGroup,
+    claims: &[(TripleId, Value, SourceId)],
+    llm: &mut MockLlm,
+    history: &HistoryStore,
+    config: &MultiRagConfig,
+    max_degree: usize,
+) -> Vec<NodeConfidence> {
+    let claims = claims.to_vec();
+    let n = claims.len();
+    // Pairwise similarities (symmetric).
+    let mut sim = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let s = mi_similarity(&claims[i].1, &claims[j].1);
+            sim[i][j] = s;
+            sim[j][i] = s;
+        }
+    }
+    // Dominant type of the group's values (for the type-consistency
+    // authority feature).
+    let mut type_counts: FxHashMap<&'static str, usize> = FxHashMap::default();
+    for (_, v, _) in &claims {
+        *type_counts.entry(type_tag(v)).or_insert(0) += 1;
+    }
+    let dominant = type_counts
+        .iter()
+        .max_by_key(|(_, &c)| c)
+        .map(|(&t, _)| t)
+        .unwrap_or("str");
+
+    let degree = kg.neighbors(group.entity).len();
+    // Historical-authority validation reads past-query records into the
+    // assessment prompt; its cost scales with the weight (1 − α) given
+    // to `Auth_hist` — the mechanism behind Fig. 7's falling query time
+    // as α → 1.
+    let history_tokens = ((1.0 - config.alpha) * 40.0) as usize;
+    if history_tokens > 0 {
+        llm.reason(history_tokens * n, 4);
+    }
+    // Raw expert scores first (Eq. 10 centers on the candidate mean).
+    let mut raw_c: Vec<f64> = Vec::with_capacity(n);
+    for (tid, v, source) in &claims {
+        let support: f64 = (0..n)
+            .filter(|&j| claims[j].1.canonical_key() == v.canonical_key())
+            .count() as f64;
+        let features = AuthorityFeatures {
+            degree,
+            max_degree,
+            type_consistency: if type_tag(v) == dominant { 1.0 } else { 0.3 },
+            path_support: support / n as f64,
+            source_reputation: history.credibility(*source),
+        };
+        raw_c.push(llm.score_authority(&format!("t{}", tid.0), &features));
+    }
+    let c_mean = raw_c.iter().sum::<f64>() / n.max(1) as f64;
+
+    claims
+        .into_iter()
+        .enumerate()
+        .map(|(i, (triple, value, source))| {
+            // Eq. 8: mean similarity to peers.
+            let consistency = if n > 1 {
+                (0..n).filter(|&j| j != i).map(|j| sim[i][j]).sum::<f64>() / (n - 1) as f64
+            } else {
+                0.5
+            };
+            // Eq. 10.
+            let auth_llm = llm.squash_authority(raw_c[i], c_mean, config.beta);
+            // Eq. 11: support = summed agreement mass for this value.
+            let support: f64 = (0..n)
+                .filter(|&j| {
+                    // Peers agreeing with this claim's value.
+                    sim[i][j] > 0.999 || j == i
+                })
+                .count() as f64;
+            let auth_hist = history.auth_hist(source, support, n);
+            // Eq. 9.
+            let authority = config.alpha * auth_llm + (1.0 - config.alpha) * auth_hist;
+            NodeConfidence {
+                triple,
+                value,
+                source,
+                consistency,
+                auth_llm,
+                auth_hist,
+                authority,
+                confidence: consistency + authority,
+            }
+        })
+        .collect()
+}
+
+fn type_tag(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::Int(_) | Value::Float(_) => "num",
+        Value::Str(_) => "str",
+        Value::List(_) => "list",
+    }
+}
+
+/// The outcome of the MCC filtering for one slot (Algorithm 1).
+#[derive(Debug, Clone, Default)]
+pub struct MccOutcome {
+    /// Graph confidence of the slot's subgraph (if homologous).
+    pub graph: Option<GraphConfidence>,
+    /// Claims that survived (`SVs` members).
+    pub kept: Vec<NodeConfidence>,
+    /// Claims filtered out (`LVs` additions).
+    pub dropped: Vec<NodeConfidence>,
+}
+
+/// Algorithm 1 applied to one homologous group: graph-level gating,
+/// then node-level thresholding.
+pub fn mcc_filter(
+    kg: &KnowledgeGraph,
+    group: &HomologousGroup,
+    llm: &mut MockLlm,
+    history: &HistoryStore,
+    config: &MultiRagConfig,
+    max_degree: usize,
+) -> MccOutcome {
+    let graph = graph_confidence(kg, group);
+    let mut outcome = MccOutcome {
+        graph: Some(graph),
+        ..Default::default()
+    };
+    // Graph-level gate FIRST (the coarse-ranking stage of the paper's
+    // coarse/fine scheme): a high-confidence subgraph needs only the
+    // top 1–2 *answer candidates*; a low-confidence one keeps
+    // everything for wider node-level verification (§IV-C intro).
+    // Gating before the expensive node assessment is exactly why
+    // removing the graph level inflates the time columns in Table III
+    // (every node then pays for an expert-LLM assessment).
+    let mut pool = group_values(kg, group);
+    if config.enable_graph_level && graph.value >= config.graph_threshold {
+        // Rank by cheap agreement support (how many peer sources assert
+        // the same value set) and keep the top-k distinct values —
+        // distinct values, not claims, so multi-valued truths survive.
+        let support = |value: &Value| {
+            pool.iter()
+                .filter(|(_, v, _)| v.canonical_key() == value.canonical_key())
+                .count()
+        };
+        let mut ranked: Vec<(usize, (TripleId, Value, SourceId))> = pool
+            .iter()
+            .cloned()
+            .map(|claim| (support(&claim.1), claim))
+            .collect();
+        ranked.sort_by(|a, b| b.0.cmp(&a.0).then(a.1 .0.cmp(&b.1 .0)));
+        let keep = config.trusted_top_k.max(1);
+        let mut kept_values: Vec<String> = Vec::new();
+        let mut gated: Vec<(TripleId, Value, SourceId)> = Vec::new();
+        for (_, claim) in ranked {
+            let key = claim.1.canonical_key();
+            if kept_values.contains(&key) || kept_values.len() < keep {
+                if !kept_values.contains(&key) {
+                    kept_values.push(key);
+                }
+                gated.push(claim);
+            } else {
+                outcome.dropped.push(unassessed(claim));
+            }
+        }
+        gated.sort_by_key(|c| c.0);
+        pool = gated;
+    }
+    // Node-level confidence computation is the expensive, expert-LLM-
+    // backed stage; when it is ablated (w/o Node Level, w/o MCC) no
+    // assessment happens at all — nodes ride into the context with a
+    // flat weight and the PT column collapses, exactly as Table III
+    // shows.
+    let candidates: Vec<NodeConfidence> = if config.enable_node_level {
+        assess_claims(kg, group, &pool, llm, history, config, max_degree)
+    } else {
+        pool.into_iter().map(uniform_assessment).collect()
+    };
+    // Node-level threshold (Algorithm 1, line 17).
+    for node in candidates {
+        if !config.enable_node_level || node.confidence > config.node_threshold {
+            outcome.kept.push(node);
+        } else {
+            outcome.dropped.push(node);
+        }
+    }
+    // Low-confidence subgraphs must still yield an answer candidate:
+    // the paper extracts *more* nodes from them rather than abstaining.
+    // When the threshold wiped the slate, rescue the most trustworthy
+    // node — this is where authority (history + expert score) breaks
+    // consistency ties that voting cannot.
+    if outcome.kept.is_empty() && !outcome.dropped.is_empty() {
+        let best = outcome
+            .dropped
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                a.confidence
+                    .partial_cmp(&b.confidence)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(b.triple.cmp(&a.triple))
+            })
+            .map(|(i, _)| i)
+            .expect("nonempty");
+        outcome.kept.push(outcome.dropped.remove(best));
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::homologous::match_slot;
+    use multirag_llmsim::Schema;
+
+    fn graph_with_claims(values: &[&str]) -> (KnowledgeGraph, HomologousGroup) {
+        let mut kg = KnowledgeGraph::new();
+        let flight = kg.add_entity("CA981", "flights");
+        let status = kg.add_relation("status");
+        for (i, v) in values.iter().enumerate() {
+            let s = kg.add_source(&format!("s{i}"), "json", "flights");
+            kg.add_triple(flight, status, Value::from(*v), s, 0);
+        }
+        let sets = match_slot(&kg, flight, status);
+        let group = sets.groups.into_iter().next().expect("homologous");
+        (kg, group)
+    }
+
+    #[test]
+    fn mi_similarity_of_identical_singletons_is_one() {
+        assert!((mi_similarity(&Value::from("delayed"), &Value::from("delayed")) - 1.0).abs() < 1e-9);
+        assert!((mi_similarity(&Value::Int(5), &Value::Float(5.0)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mi_similarity_of_disjoint_singletons_is_low() {
+        let s = mi_similarity(&Value::from("delayed"), &Value::from("quartz"));
+        assert!(s < 0.3, "similarity {s}");
+    }
+
+    #[test]
+    fn mi_similarity_of_identical_sets_is_high() {
+        let a = Value::List(vec![Value::from("x"), Value::from("y")]);
+        let b = Value::List(vec![Value::from("x"), Value::from("y")]);
+        let s = mi_similarity(&a, &b);
+        assert!(s > 0.9, "similarity {s}");
+    }
+
+    #[test]
+    fn mi_similarity_of_partially_overlapping_sets_is_middling() {
+        let a = Value::List(vec![Value::from("x"), Value::from("y")]);
+        let b = Value::List(vec![Value::from("x"), Value::from("z")]);
+        let s = mi_similarity(&a, &b);
+        let identical = mi_similarity(&a, &a);
+        let disjoint = mi_similarity(
+            &a,
+            &Value::List(vec![Value::from("p"), Value::from("q")]),
+        );
+        assert!(s < identical && s > disjoint, "s={s}");
+    }
+
+    #[test]
+    fn mi_similarity_is_symmetric_and_bounded() {
+        let pairs = [
+            (Value::from("a"), Value::from("b")),
+            (
+                Value::List(vec![Value::from("a"), Value::from("b")]),
+                Value::from("a"),
+            ),
+            (Value::Int(3), Value::from("3")),
+        ];
+        for (a, b) in &pairs {
+            let ab = mi_similarity(a, b);
+            let ba = mi_similarity(b, a);
+            assert!((ab - ba).abs() < 1e-9);
+            assert!((0.0..=1.0).contains(&ab));
+        }
+    }
+
+    #[test]
+    fn consistent_groups_have_high_graph_confidence() {
+        let (kg, group) = graph_with_claims(&["delayed", "delayed", "delayed", "delayed"]);
+        let gc = graph_confidence(&kg, &group);
+        assert!(gc.value > 0.9, "confidence {}", gc.value);
+    }
+
+    #[test]
+    fn conflicted_groups_have_low_graph_confidence() {
+        let (kg, group) = graph_with_claims(&["delayed", "on-time", "boarding", "cancelled"]);
+        let gc = graph_confidence(&kg, &group);
+        assert!(gc.value < 0.4, "confidence {}", gc.value);
+    }
+
+    #[test]
+    fn majority_agreement_sits_between() {
+        let (kg, group) = graph_with_claims(&["delayed", "delayed", "delayed", "on-time"]);
+        let gc = graph_confidence(&kg, &group);
+        let (kg2, g2) = graph_with_claims(&["delayed", "delayed", "delayed", "delayed"]);
+        let (kg3, g3) = graph_with_claims(&["a", "b", "c", "d"]);
+        assert!(gc.value < graph_confidence(&kg2, &g2).value);
+        assert!(gc.value > graph_confidence(&kg3, &g3).value);
+    }
+
+    #[test]
+    fn node_assessment_prefers_majority_claims() {
+        let (kg, group) = graph_with_claims(&["delayed", "delayed", "delayed", "on-time"]);
+        let mut llm = MockLlm::new(Schema::new(), 7);
+        let history = HistoryStore::paper_defaults();
+        let config = MultiRagConfig::default();
+        let nodes = assess_group(&kg, &group, &mut llm, &history, &config, 10);
+        // Node values are standardized ("on-time" → "on time").
+        let delayed: Vec<&NodeConfidence> = nodes
+            .iter()
+            .filter(|a| a.value == Value::from("delayed"))
+            .collect();
+        let outlier = nodes
+            .iter()
+            .find(|a| a.value == Value::from("on time"))
+            .unwrap();
+        for d in &delayed {
+            assert!(
+                d.confidence > outlier.confidence,
+                "majority {} vs outlier {}",
+                d.confidence,
+                outlier.confidence
+            );
+            assert!(d.consistency > outlier.consistency);
+        }
+    }
+
+    #[test]
+    fn history_biases_authority() {
+        let (kg, group) = graph_with_claims(&["delayed", "on-time"]);
+        let mut llm = MockLlm::new(Schema::new(), 7);
+        let history = HistoryStore::paper_defaults();
+        // Source s0 (delayed) has an excellent record; s1 terrible.
+        history.record(SourceId(0), 95, 100);
+        history.record(SourceId(1), 5, 100);
+        let config = MultiRagConfig::default();
+        let nodes = assess_group(&kg, &group, &mut llm, &history, &config, 10);
+        let good = nodes.iter().find(|a| a.source == SourceId(0)).unwrap();
+        let bad = nodes.iter().find(|a| a.source == SourceId(1)).unwrap();
+        assert!(good.auth_hist > bad.auth_hist);
+        assert!(good.authority > bad.authority);
+    }
+
+    #[test]
+    fn mcc_filter_drops_low_confidence_outliers() {
+        let (kg, group) =
+            graph_with_claims(&["delayed", "delayed", "delayed", "delayed", "quartz"]);
+        let mut llm = MockLlm::new(Schema::new(), 7);
+        let history = HistoryStore::paper_defaults();
+        let config = MultiRagConfig {
+            enable_graph_level: false, // isolate the node-level check
+            ..MultiRagConfig::default()
+        };
+        let outcome = mcc_filter(&kg, &group, &mut llm, &history, &config, 10);
+        assert!(outcome
+            .kept
+            .iter()
+            .all(|n| n.value == Value::from("delayed")));
+        assert!(outcome
+            .dropped
+            .iter()
+            .any(|n| n.value == Value::from("quartz")));
+    }
+
+    #[test]
+    fn graph_level_gate_keeps_top_k_distinct_values() {
+        // Three distinct values in a (numerically close) year slot:
+        // the gate must cap the surviving *values* at trusted_top_k.
+        let (kg, group) = graph_with_claims(&["delayed", "delayed", "on-time", "boarding"]);
+        let mut llm = MockLlm::new(Schema::new(), 7);
+        let history = HistoryStore::paper_defaults();
+        let config = MultiRagConfig {
+            enable_node_level: false,
+            graph_threshold: 0.0, // force the trusted path
+            ..MultiRagConfig::default()
+        };
+        let outcome = mcc_filter(&kg, &group, &mut llm, &history, &config, 10);
+        let distinct: std::collections::HashSet<String> = outcome
+            .kept
+            .iter()
+            .map(|n| n.value.canonical_key())
+            .collect();
+        assert!(distinct.len() <= config.trusted_top_k);
+        assert!(!outcome.dropped.is_empty());
+        // A fully consistent group keeps all its (single-valued) nodes.
+        let (kg2, g2) = graph_with_claims(&["delayed", "delayed", "delayed", "delayed"]);
+        let outcome2 = mcc_filter(&kg2, &g2, &mut llm, &history, &config, 10);
+        assert_eq!(outcome2.kept.len(), 4);
+    }
+
+    #[test]
+    fn low_confidence_groups_keep_all_candidates_for_verification() {
+        let (kg, group) = graph_with_claims(&["a", "b", "c", "d"]);
+        let mut llm = MockLlm::new(Schema::new(), 7);
+        let history = HistoryStore::paper_defaults();
+        let config = MultiRagConfig {
+            enable_node_level: false, // watch the gate alone
+            ..MultiRagConfig::default()
+        };
+        let outcome = mcc_filter(&kg, &group, &mut llm, &history, &config, 10);
+        assert!(outcome.graph.unwrap().value < config.graph_threshold);
+        assert_eq!(outcome.kept.len(), 4);
+    }
+
+    #[test]
+    fn disabled_mcc_keeps_everything() {
+        let (kg, group) = graph_with_claims(&["a", "b", "c"]);
+        let mut llm = MockLlm::new(Schema::new(), 7);
+        let history = HistoryStore::paper_defaults();
+        let config = MultiRagConfig::default().without_mcc();
+        let outcome = mcc_filter(&kg, &group, &mut llm, &history, &config, 10);
+        assert_eq!(outcome.kept.len(), 3);
+        assert!(outcome.dropped.is_empty());
+    }
+}

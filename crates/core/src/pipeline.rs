@@ -1,0 +1,714 @@
+//! MKLGP — Multi-source Knowledge Line Graph Prompting (Algorithm 2).
+//!
+//! Given a user query, the pipeline:
+//!
+//! 1. generates a logic form via the (simulated) LLM,
+//! 2. extracts the query-relevant documents/claims — through the MLG's
+//!    slot index when MKA is enabled, or by scanning the entity's whole
+//!    neighbourhood when it is not (the `w/o MKA` ablation, which both
+//!    slows extraction dramatically and pollutes the context),
+//! 3. runs MCC (Algorithm 1) to obtain the trusted node set `SVs` and
+//!    the isolated/low-confidence set `LVs`,
+//! 4. generates a trustworthy answer by prompting the LLM with the
+//!    surviving claims (the hallucination model sees exactly how clean
+//!    that context is),
+//! 5. updates the historical source-credibility store.
+
+use crate::config::MultiRagConfig;
+use crate::confidence::{mcc_filter, GraphConfidence, NodeConfidence};
+use crate::history::HistoryStore;
+use crate::mlg::MultiSourceLineGraph;
+use multirag_datasets::Query;
+use multirag_kg::{FxHashMap, KnowledgeGraph, Object, TripleId, Value};
+use multirag_llmsim::{ContextProfile, MockLlm, Schema};
+
+/// The pipeline's verdict on one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineAnswer {
+    /// Emitted answer values (empty when abstaining).
+    pub values: Vec<Value>,
+    /// The trustworthy fused value set *before* generation — what the
+    /// MCC module hands to the LLM. Table II's "data fusion results"
+    /// F1 is computed on this set (§IV-A-b), while `values` carries the
+    /// post-generation answer the hallucination law may corrupt.
+    pub fusion_values: Vec<Value>,
+    /// True when no trustworthy context survived at all.
+    pub abstained: bool,
+    /// Whether the generation step hallucinated (ground truth of the
+    /// simulation — the harness uses it for error analysis, never the
+    /// pipeline itself).
+    pub hallucinated: bool,
+    /// Graph-level confidence of the answering subgraph.
+    pub graph_confidence: Option<GraphConfidence>,
+    /// Claims that survived MCC.
+    pub kept: Vec<NodeConfidence>,
+    /// Claims MCC dropped.
+    pub dropped: usize,
+    /// Number of context claims examined during extraction (the w/o MKA
+    /// path examines many more).
+    pub examined: usize,
+}
+
+/// The MKLGP pipeline bound to one knowledge graph.
+///
+/// # Examples
+///
+/// ```
+/// use multirag_core::{MklgpPipeline, MultiRagConfig};
+/// use multirag_datasets::movies::MoviesSpec;
+///
+/// let dataset = MoviesSpec::small().generate(42);
+/// let mut pipeline = MklgpPipeline::new(&dataset.graph, MultiRagConfig::default(), 42);
+/// let answer = pipeline.answer(&dataset.queries[0]);
+/// assert!(!answer.fusion_values.is_empty());
+/// ```
+pub struct MklgpPipeline<'g> {
+    kg: &'g KnowledgeGraph,
+    mlg: Option<MultiSourceLineGraph>,
+    llm: MockLlm,
+    history: HistoryStore,
+    config: MultiRagConfig,
+    max_degree: usize,
+}
+
+impl<'g> MklgpPipeline<'g> {
+    /// Builds the pipeline: schema from the graph's relations and
+    /// entities, the MLG (unless ablated), and a fresh history store.
+    pub fn new(kg: &'g KnowledgeGraph, config: MultiRagConfig, seed: u64) -> Self {
+        let mut schema = Schema::new();
+        for r in 0..kg.relation_count() {
+            schema.add_relation(kg.relation_name(multirag_kg::RelationId(r as u32)));
+        }
+        for e in kg.entity_ids() {
+            schema.add_entity_verbatim(kg.entity_name(e));
+        }
+        let llm = MockLlm::new(schema, seed);
+        let mlg = config.enable_mka.then(|| MultiSourceLineGraph::build(kg));
+        let max_degree = kg
+            .entity_ids()
+            .map(|e| kg.neighbors(e).len())
+            .max()
+            .unwrap_or(0);
+        let history = HistoryStore::new(config.history_pseudo, 0.5);
+        // MKA consistency feedback: the homologous line graph makes
+        // cross-source agreement a local property (§III-C: "enabling
+        // rapid consistency checks and conflict feedback for homologous
+        // data"). A few credibility-weighted consensus rounds over the
+        // aggregated groups estimate each source's historical
+        // credibility — the `Pr^h(D)` that `Auth_hist` (Eq. 11) blends
+        // in. Without MKA this signal does not exist (part of the
+        // w/o-MKA F1 drop in Table III).
+        if let Some(mlg) = &mlg {
+            let groups: Vec<Vec<(multirag_kg::SourceId, String)>> = mlg
+                .sets()
+                .groups
+                .iter()
+                .map(|group| {
+                    group
+                        .triples
+                        .iter()
+                        .map(|&tid| {
+                            let t = kg.triple(tid);
+                            let key = match &t.object {
+                                multirag_kg::Object::Literal(v) => {
+                                    v.standardized().canonical_key()
+                                }
+                                other => other.canonical_key(),
+                            };
+                            (t.source, key)
+                        })
+                        .collect()
+                })
+                .collect();
+            let mut cred: FxHashMap<multirag_kg::SourceId, f64> = FxHashMap::default();
+            let mut final_tally: FxHashMap<multirag_kg::SourceId, (usize, usize)> =
+                FxHashMap::default();
+            for _round in 0..3 {
+                let mut tally: FxHashMap<multirag_kg::SourceId, (usize, usize)> =
+                    FxHashMap::default();
+                for claims in &groups {
+                    if claims.len() < 2 {
+                        continue;
+                    }
+                    // Credibility-weighted support per value.
+                    let mut weight: FxHashMap<&str, f64> = FxHashMap::default();
+                    let mut total = 0.0;
+                    for (source, key) in claims {
+                        let w = cred.get(source).copied().unwrap_or(0.5);
+                        *weight.entry(key.as_str()).or_insert(0.0) += w;
+                        total += w;
+                    }
+                    let Some((best, &max_w)) = weight
+                        .iter()
+                        .max_by(|a, b| {
+                            a.1.partial_cmp(b.1)
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                                .then(b.0.cmp(a.0))
+                        })
+                        .map(|(k, w)| (*k, w))
+                    else {
+                        continue;
+                    };
+                    // Only groups with a clear weighted consensus carry
+                    // a trustworthy signal.
+                    if max_w * 2.0 <= total {
+                        continue;
+                    }
+                    for (source, key) in claims {
+                        let entry = tally.entry(*source).or_insert((0, 0));
+                        entry.1 += 1;
+                        if key == best {
+                            entry.0 += 1;
+                        }
+                    }
+                }
+                for (source, (correct, total)) in &tally {
+                    // Smoothed agreement rate.
+                    cred.insert(
+                        *source,
+                        (*correct as f64 + 2.5) / (*total as f64 + 5.0),
+                    );
+                }
+                final_tally = tally;
+            }
+            for (source, (correct, total)) in final_tally {
+                history.record(source, correct, total);
+            }
+        }
+        Self {
+            kg,
+            mlg,
+            llm,
+            history,
+            config,
+            max_degree,
+        }
+    }
+
+    /// The LLM client (for usage metering).
+    pub fn llm(&self) -> &MockLlm {
+        &self.llm
+    }
+
+    /// Resets the LLM usage meter.
+    pub fn reset_usage(&mut self) {
+        self.llm.reset_usage();
+    }
+
+    /// The MLG, when MKA is enabled.
+    pub fn mlg(&self) -> Option<&MultiSourceLineGraph> {
+        self.mlg.as_ref()
+    }
+
+    /// The history store (shared source credibility).
+    pub fn history(&self) -> &HistoryStore {
+        &self.history
+    }
+
+    /// Answers one benchmark query (Algorithm 2).
+    pub fn answer(&mut self, query: &Query) -> PipelineAnswer {
+        // Step 1: logic-form generation.
+        let lf = self.llm.logic_form(&query.text);
+        let (entity_name, relation_name) = match &lf {
+            Some(lf) => (lf.entity.clone(), lf.target_relation().to_string()),
+            // Fallback: the benchmark query carries its slot.
+            None => (query.entity.clone(), query.attribute.clone()),
+        };
+        let entity = self
+            .kg
+            .find_entity(&entity_name, self.kg_domain())
+            .or_else(|| self.kg.find_entity(&query.entity, self.kg_domain()));
+        let relation = self
+            .kg
+            .find_relation(&relation_name)
+            .or_else(|| self.kg.find_relation(&query.attribute));
+        let (Some(entity), Some(relation)) = (entity, relation) else {
+            return PipelineAnswer {
+                values: Vec::new(),
+                fusion_values: Vec::new(),
+                abstained: true,
+                hallucinated: false,
+                graph_confidence: None,
+                kept: Vec::new(),
+                dropped: 0,
+                examined: 0,
+            };
+        };
+
+        // Step 2: multi-document extraction.
+        let (slot_triples, noise_triples, examined) = self.extract(entity, relation);
+
+        // Step 3: MCC, over the *extracted* claims (the MKA path
+        // extracts the full slot; the unaggregated path may have missed
+        // some).
+        let sets = sets_from_extraction(self.kg, entity, relation, &slot_triples);
+        let (graph_confidence, kept, dropped) = if let Some(group) = sets.groups.first() {
+            let outcome = mcc_filter(
+                self.kg,
+                group,
+                &mut self.llm,
+                &self.history,
+                &self.config,
+                self.max_degree,
+            );
+            (outcome.graph, outcome.kept, outcome.dropped.len())
+        } else {
+            // Isolated slot: a single claim, assessed leniently (no
+            // peers to contradict it).
+            let kept: Vec<NodeConfidence> = sets
+                .isolated
+                .iter()
+                .map(|&tid| self.singleton_assessment(tid))
+                .collect();
+            (None, kept, 0)
+        };
+
+        // Step 4: trustworthy answer generation.
+        let (faithful, distractors, profile, context_tokens) =
+            self.build_context(&kept, dropped, &noise_triples);
+        if faithful.is_empty() && kept.is_empty() {
+            return PipelineAnswer {
+                values: Vec::new(),
+                fusion_values: Vec::new(),
+                abstained: true,
+                hallucinated: false,
+                graph_confidence,
+                kept,
+                dropped,
+                examined,
+            };
+        }
+        let fusion_values = self.restore_surface(entity, relation, faithful.clone());
+        let generated = self.llm.generate_answer(
+            &query.key(),
+            faithful,
+            &distractors,
+            &profile,
+            context_tokens,
+        );
+
+        // Step 5: historical credibility update, using the emitted
+        // answer set as the feedback signal.
+        let mut per_source: FxHashMap<multirag_kg::SourceId, (usize, usize)> =
+            FxHashMap::default();
+        for node in &kept {
+            let correct = generated
+                .values
+                .iter()
+                .any(|v| v.canonical_key() == node.value.canonical_key());
+            let entry = per_source.entry(node.source).or_insert((0, 0));
+            entry.1 += 1;
+            if correct {
+                entry.0 += 1;
+            }
+        }
+        for (source, (correct, total)) in per_source {
+            self.history.record(source, correct, total);
+        }
+
+        PipelineAnswer {
+            values: self.restore_surface(entity, relation, generated.values),
+            fusion_values,
+            abstained: false,
+            hallucinated: generated.hallucinated,
+            graph_confidence,
+            kept,
+            dropped,
+            examined,
+        }
+    }
+
+    /// Maps standardized answer values back to a representative surface
+    /// form from the slot's raw claims (the normal form is an internal
+    /// artifact of std.py-style standardization; users should see what
+    /// a source actually wrote).
+    fn restore_surface(
+        &self,
+        entity: multirag_kg::EntityId,
+        relation: multirag_kg::RelationId,
+        values: Vec<Value>,
+    ) -> Vec<Value> {
+        let raw: Vec<Value> = self
+            .kg
+            .slot_triples(entity, relation)
+            .iter()
+            .map(|&tid| match &self.kg.triple(tid).object {
+                Object::Entity(e) => Value::Str(self.kg.entity_name(*e).to_string()),
+                Object::Literal(v) => v.clone(),
+            })
+            .collect();
+        values
+            .into_iter()
+            .map(|v| {
+                raw.iter()
+                    .flat_map(|r| r.scalar_claims())
+                    .find(|r| r.answer_key() == v.answer_key())
+                    .unwrap_or(v)
+            })
+            .collect()
+    }
+
+    fn kg_domain(&self) -> &str {
+        // All benchmark graphs are single-domain; read it off the first
+        // source.
+        if self.kg.source_count() > 0 {
+            let rec = self.kg.source(multirag_kg::SourceId(0));
+            self.kg.resolve(rec.domain)
+        } else {
+            ""
+        }
+    }
+
+    /// Extraction step: MKA path (slot-index probe) vs the unaggregated
+    /// scan. Returns `(slot_triples, noise_triples, examined_count)`.
+    fn extract(
+        &mut self,
+        entity: multirag_kg::EntityId,
+        relation: multirag_kg::RelationId,
+    ) -> (Vec<TripleId>, Vec<TripleId>, usize) {
+        if self.mlg.is_some() {
+            // MKA: O(slot) probe through the homologous index.
+            let slot = self.kg.slot_triples(entity, relation).to_vec();
+            let examined = slot.len();
+            (slot, Vec::new(), examined)
+        } else {
+            // w/o MKA: the whole entity neighbourhood is scanned and
+            // handed to the LLM for relevance filtering — slow and
+            // noisy. We actually do the scan (the time shows up in QT)
+            // and actually keep the noise (it shows up in the context
+            // profile).
+            let mut slot = Vec::new();
+            let mut noise = Vec::new();
+            let mut examined = 0usize;
+            for (tid, t) in self.kg.iter_triples() {
+                examined += 1;
+                if t.subject == entity {
+                    if t.predicate == relation {
+                        slot.push(tid);
+                    } else {
+                        noise.push(tid);
+                    }
+                } else if t.object.as_entity() == Some(entity) {
+                    noise.push(tid);
+                }
+            }
+            // The LLM reads the whole candidate bundle to filter it.
+            self.llm.reason(64 + 8 * (slot.len() + noise.len()), 32);
+            // Imperfect relevance filtering over the unaggregated
+            // bundle: without the homologous index a fraction of
+            // genuine slot claims is missed — the retrieval-recall loss
+            // the paper's Challenge 1 attributes to sparse multi-source
+            // data.
+            let seed = self.llm.seed();
+            slot.retain(|tid| {
+                multirag_llmsim::determinism::bernoulli(
+                    seed,
+                    &format!("mka-filter:{}", tid.0),
+                    0.85,
+                )
+            });
+            // A fixed context window: without the homologous index the
+            // retriever stuffs a conventional top-k chunk budget, and
+            // noise chunks compete with genuine claims for the slots.
+            let window = 8usize.saturating_sub(noise.len().min(3));
+            slot.truncate(window);
+            (slot, noise, examined)
+        }
+    }
+
+    fn singleton_assessment(&mut self, tid: TripleId) -> NodeConfidence {
+        let t = self.kg.triple(tid);
+        let value = match &t.object {
+            Object::Entity(e) => Value::Str(self.kg.entity_name(*e).to_string()),
+            Object::Literal(v) => v.standardized(),
+        };
+        let auth_hist = self.history.auth_hist(t.source, 1.0, 1);
+        let authority = self.config.alpha * 0.5 + (1.0 - self.config.alpha) * auth_hist;
+        NodeConfidence {
+            triple: tid,
+            value,
+            source: t.source,
+            consistency: 0.5,
+            auth_llm: 0.5,
+            auth_hist,
+            authority,
+            confidence: 0.5 + authority,
+        }
+    }
+
+    /// Builds the generation context from the surviving claims.
+    fn build_context(
+        &self,
+        kept: &[NodeConfidence],
+        dropped: usize,
+        noise: &[TripleId],
+    ) -> (Vec<Value>, Vec<Value>, ContextProfile, usize) {
+        // Confidence-weighted support per canonical value among the
+        // kept claims: a claim "votes" with its node confidence, so a
+        // reliable source outweighs a decoy-copying one even at equal
+        // claim counts.
+        let mut support: FxHashMap<String, (Value, f64, usize)> = FxHashMap::default();
+        for node in kept {
+            // A node is one source's assertion; multi-valued assertions
+            // vote for each of their scalar claims.
+            for scalar in node.value.scalar_claims() {
+                let entry = support
+                    .entry(scalar.canonical_key())
+                    .or_insert((scalar.clone(), 0.0, 0));
+                entry.1 += node.confidence.max(0.05);
+                entry.2 += 1;
+            }
+        }
+        let max_support = support
+            .values()
+            .map(|&(_, w, _)| w)
+            .fold(0.0f64, f64::max);
+        // Faithful read: every value within 48% of the modal weighted
+        // support (multi-valued truths tie near the max even under
+        // uneven coverage; weakly supported outliers fall away).
+        let mut faithful: Vec<(Value, f64)> = support
+            .values()
+            .filter(|&&(_, w, _)| w > 0.48 * max_support)
+            .map(|(v, w, _)| (v.clone(), *w))
+            .collect();
+        // When every claim stands alone (all singleton support) keep
+        // only the best-weighted candidate: there is no consensus.
+        let lone_claims = support.values().all(|&(_, _, c)| c <= 1);
+        faithful.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.canonical_key().cmp(&b.0.canonical_key()))
+        });
+        if lone_claims && faithful.len() > 1 {
+            faithful.truncate(1);
+        }
+        let answer_support: f64 = faithful.iter().map(|&(_, w)| w).sum();
+        let faithful_keys: std::collections::HashSet<String> =
+            faithful.iter().map(|(v, _)| v.canonical_key()).collect();
+        let distractors: Vec<Value> = support
+            .values()
+            .filter(|(v, _, _)| !faithful_keys.contains(&v.canonical_key()))
+            .map(|(v, _, _)| v.clone())
+            .collect();
+
+        let total_claims = kept.len() + noise.len();
+        let total_weight: f64 = support.values().map(|&(_, w, _)| w).sum();
+        let conflict_ratio = if kept.is_empty() || total_weight <= 0.0 {
+            1.0
+        } else {
+            (1.0 - answer_support / total_weight).max(0.0)
+        };
+        let irrelevance_ratio = if total_claims == 0 {
+            0.0
+        } else {
+            noise.len() as f64 / total_claims as f64
+        };
+        let coverage = if kept.is_empty() { 0.0 } else { 1.0 };
+        let profile = ContextProfile {
+            conflict_ratio,
+            irrelevance_ratio,
+            coverage,
+            claims: total_claims,
+        };
+        let context_tokens = 24 * kept.len() + 16 * noise.len() + 8 * dropped.min(8);
+        (
+            faithful.into_iter().map(|(v, _)| v).collect(),
+            distractors,
+            profile,
+            context_tokens,
+        )
+    }
+}
+
+/// Builds homologous sets from the triples extraction actually
+/// recovered — the per-query variant of [`match_slot`] that respects
+/// retrieval recall (the w/o-MKA path may have missed claims).
+fn sets_from_extraction(
+    kg: &KnowledgeGraph,
+    entity: multirag_kg::EntityId,
+    relation: multirag_kg::RelationId,
+    extracted: &[TripleId],
+) -> crate::homologous::HomologousSets {
+    let mut sets = crate::homologous::HomologousSets::default();
+    if extracted.len() >= 2 {
+        let mut triples = extracted.to_vec();
+        triples.sort_unstable();
+        let mut sources: Vec<multirag_kg::SourceId> =
+            triples.iter().map(|&tid| kg.triple(tid).source).collect();
+        sources.sort_unstable();
+        sources.dedup();
+        sets.groups.push(crate::homologous::HomologousGroup {
+            entity,
+            relation,
+            triples,
+            source_count: sources.len(),
+        });
+    } else {
+        sets.isolated = extracted.to_vec();
+    }
+    sets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multirag_datasets::movies::MoviesSpec;
+    use multirag_datasets::spec::MultiSourceDataset;
+
+    fn dataset() -> MultiSourceDataset {
+        MoviesSpec::small().generate(42)
+    }
+
+    fn f1(answers: &[(Vec<Value>, &Query)]) -> f64 {
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut fn_ = 0usize;
+        for (values, query) in answers {
+            // Representation-insensitive comparison (answer_key): the
+            // pipeline emits standardized forms.
+            let gold: std::collections::HashSet<String> =
+                query.gold.iter().map(Value::answer_key).collect();
+            let got: std::collections::HashSet<String> =
+                values.iter().map(Value::answer_key).collect();
+            tp += got.intersection(&gold).count();
+            fp += got.difference(&gold).count();
+            fn_ += gold.difference(&got).count();
+        }
+        let p = tp as f64 / (tp + fp).max(1) as f64;
+        let r = tp as f64 / (tp + fn_).max(1) as f64;
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    #[test]
+    fn pipeline_answers_most_queries_correctly() {
+        let data = dataset();
+        let mut pipeline = MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42);
+        let answers: Vec<(Vec<Value>, &Query)> = data
+            .queries
+            .iter()
+            .map(|q| (pipeline.answer(q).fusion_values, q))
+            .collect();
+        let score = f1(&answers);
+        assert!(score > 0.5, "F1 {score}");
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let data = dataset();
+        let run = || {
+            let mut p = MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42);
+            data.queries
+                .iter()
+                .map(|q| p.answer(q).values)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn mka_ablation_examines_far_more_claims() {
+        let data = dataset();
+        let mut with = MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42);
+        let mut without =
+            MklgpPipeline::new(&data.graph, MultiRagConfig::default().without_mka(), 42);
+        let q = &data.queries[0];
+        let fast = with.answer(q);
+        let slow = without.answer(q);
+        assert!(
+            slow.examined > fast.examined * 10,
+            "w/o MKA must scan: {} vs {}",
+            slow.examined,
+            fast.examined
+        );
+    }
+
+    #[test]
+    fn full_config_beats_no_mcc_on_f1() {
+        let data = dataset();
+        let run = |config: MultiRagConfig| {
+            let mut p = MklgpPipeline::new(&data.graph, config, 42);
+            let answers: Vec<(Vec<Value>, &Query)> = data
+                .queries
+                .iter()
+                .map(|q| (p.answer(q).fusion_values, q))
+                .collect();
+            f1(&answers)
+        };
+        // Use many queries for a stable comparison: answer each query
+        // set 5 times under different seeds folded into the key via
+        // repeated runs (the noise is keyed per query, so one pass with
+        // 12 queries is noisy; compare across the whole set).
+        let full = run(MultiRagConfig::default());
+        let gutted = run(MultiRagConfig::default().without_mcc());
+        assert!(
+            full >= gutted,
+            "full {full} must not lose to w/o MCC {gutted}"
+        );
+    }
+
+    #[test]
+    fn abstains_on_unknown_entities() {
+        let data = dataset();
+        let mut pipeline = MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42);
+        let bogus = Query {
+            id: 999,
+            text: "What is the year of Nonexistent Film 9999?".into(),
+            entity: "Nonexistent Film 9999".into(),
+            attribute: "year".into(),
+            gold: vec![],
+        };
+        let answer = pipeline.answer(&bogus);
+        assert!(answer.abstained);
+        assert!(answer.values.is_empty());
+    }
+
+    #[test]
+    fn usage_meter_accumulates_llm_cost() {
+        let data = dataset();
+        let mut pipeline = MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42);
+        pipeline.answer(&data.queries[0]);
+        let usage = pipeline.llm().usage();
+        assert!(usage.calls >= 2, "logic form + generation at minimum");
+        assert!(usage.simulated_ms > 0.0);
+        let mut p2 = MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42);
+        p2.answer(&data.queries[0]);
+        p2.reset_usage();
+        assert_eq!(p2.llm().usage().calls, 0);
+    }
+
+    #[test]
+    fn history_learns_source_quality_over_queries() {
+        let data = dataset();
+        let mut pipeline = MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42);
+        for q in &data.queries {
+            pipeline.answer(q);
+        }
+        // After the query load, per-source credibilities must have
+        // spread away from the 0.5 prior.
+        let creds: Vec<f64> = data
+            .sources
+            .iter()
+            .map(|s| pipeline.history().credibility(s.id))
+            .collect();
+        let spread = creds
+            .iter()
+            .fold(0.0f64, |acc, &c| acc.max((c - 0.5).abs()));
+        assert!(spread > 0.01, "credibility never moved: {creds:?}");
+    }
+
+    #[test]
+    fn graph_confidence_is_reported_for_homologous_slots() {
+        let data = dataset();
+        let mut pipeline = MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42);
+        let with_conf = data
+            .queries
+            .iter()
+            .filter(|q| pipeline.answer(q).graph_confidence.is_some())
+            .count();
+        assert!(with_conf > 0, "dense movies data must have homologous slots");
+    }
+}

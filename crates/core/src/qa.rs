@@ -1,0 +1,364 @@
+//! MultiRAG over unstructured multi-hop corpora (the Table IV path).
+//!
+//! For HotpotQA-style bridge questions the pipeline runs MKLGP over
+//! text: logic-form the question, retrieve hop-1 documents with BM25,
+//! extract bridge candidate triples with the (simulated) LLM, apply the
+//! confidence machinery across candidates — multiple documents
+//! asserting the same bridge are homologous claims — retrieve hop-2
+//! documents for the surviving bridge, extract the answer, and verify
+//! it the same way.
+
+use crate::config::MultiRagConfig;
+use multirag_datasets::multihop::{MultiHopDataset, MultiHopQuestion};
+use multirag_kg::FxHashMap;
+use multirag_llmsim::{ContextProfile, MockLlm, Schema};
+use multirag_retrieval::Bm25Index;
+
+/// Outcome of one multi-hop question.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiHopOutcome {
+    /// The emitted answer (None = abstained).
+    pub answer: Option<String>,
+    /// The (up to 5) documents the method used as evidence, in rank
+    /// order — Recall@5 is computed over these.
+    pub evidence: Vec<usize>,
+    /// Whether generation hallucinated.
+    pub hallucinated: bool,
+}
+
+/// MultiRAG's multi-hop QA pipeline.
+pub struct MultiRagQa<'d> {
+    data: &'d MultiHopDataset,
+    bm25: Bm25Index,
+    llm: MockLlm,
+    config: MultiRagConfig,
+}
+
+/// Builds the extraction schema for a multi-hop corpus: every document
+/// title is a gazetteer entity; the bridge/answer relations get their
+/// natural-language aliases.
+pub fn corpus_schema(data: &MultiHopDataset) -> Schema {
+    let mut schema = Schema::new();
+    for doc in &data.corpus {
+        schema.add_entity_verbatim(&doc.title);
+    }
+    schema.add_relation_alias("directed by", "director");
+    schema.add_relation_alias("directed", "director");
+    schema.add_relation_alias("written by", "author");
+    schema.add_relation_alias("wrote", "author");
+    schema.add_relation_alias("was born in", "birthplace");
+    schema.add_relation_alias("born in", "birthplace");
+    schema.add_relation_alias("is married to", "spouse");
+    schema.add_relation_alias("married to", "spouse");
+    schema.add_relation_alias("married", "spouse");
+    schema
+}
+
+impl<'d> MultiRagQa<'d> {
+    /// Builds the pipeline over a corpus.
+    pub fn new(data: &'d MultiHopDataset, config: MultiRagConfig, seed: u64) -> Self {
+        let bm25 = Bm25Index::build(data.corpus.iter().map(|d| d.text.as_str()));
+        let llm = MockLlm::new(corpus_schema(data), seed);
+        Self {
+            data,
+            bm25,
+            llm,
+            config,
+        }
+    }
+
+    /// The LLM client (for usage metering).
+    pub fn llm(&self) -> &MockLlm {
+        &self.llm
+    }
+
+    /// Answers one bridge / chain question.
+    pub fn answer(&mut self, question: &MultiHopQuestion) -> MultiHopOutcome {
+        // Parse "What is the <relN> of the ... of <work>?" into an
+        // application-ordered relation chain.
+        let Some((relations, anchor)) = parse_chain_question(&question.text) else {
+            return MultiHopOutcome {
+                answer: None,
+                evidence: Vec::new(),
+                hallucinated: false,
+            };
+        };
+        self.llm.reason(48, 16); // logic-form call
+        // Relations arrive outermost-first; hops apply innermost-first.
+        let chain: Vec<String> = relations.into_iter().rev().collect();
+
+        // Walk the chain: at each hop, retrieve docs about the current
+        // entity, extract homologous claims of the hop's relation from
+        // every doc, and take the consistency-weighted majority —
+        // MultiRAG's cross-document verification, applied per hop.
+        let mut current = anchor;
+        let mut contributing: Vec<usize> = Vec::new();
+        let mut retrieved: Vec<usize> = Vec::new();
+        let mut last_claims: Vec<String> = Vec::new();
+        for (hop, rel) in chain.iter().enumerate() {
+            let docs = self.bm25.search(&current, 3);
+            retrieved.extend(docs.iter().map(|&(d, _)| d.index()));
+            let mut claims: Vec<(String, usize)> = Vec::new();
+            for &(doc, _) in &docs {
+                let text = &self.data.corpus[doc.index()].text;
+                for triple in self.llm.extract_triples(text) {
+                    if triple.predicate == *rel
+                        && normalize(&triple.subject) == normalize(&current)
+                    {
+                        claims.push((triple.object.to_string(), doc.index()));
+                    }
+                }
+            }
+            last_claims = claims.iter().map(|(c, _)| c.clone()).collect();
+            let Some(next) = majority(&last_claims) else {
+                return MultiHopOutcome {
+                    answer: None,
+                    evidence: {
+                        let mut e = contributing;
+                        e.extend(retrieved);
+                        cap_evidence(e)
+                    },
+                    hallucinated: false,
+                };
+            };
+            contributing.extend(claims.iter().map(|&(_, d)| d));
+            let _ = hop;
+            current = next;
+        }
+
+        // Evidence: claim-contributing docs first, padded by retrieval
+        // rank, deduped, capped at 5.
+        let mut evidence = contributing;
+        evidence.extend(retrieved);
+        let evidence = cap_evidence(evidence);
+
+        // Generation under the hallucination law: conflict from
+        // disagreeing final-hop claims, coverage from having found any.
+        let answers: Vec<String> = last_claims;
+        let final_answer = Some(current);
+        let distinct: std::collections::HashSet<String> =
+            answers.iter().map(|a| normalize(a)).collect();
+        let support = final_answer
+            .as_ref()
+            .map(|f| answers.iter().filter(|a| normalize(a) == normalize(f)).count())
+            .unwrap_or(0);
+        let profile = ContextProfile {
+            conflict_ratio: if answers.is_empty() {
+                1.0
+            } else {
+                1.0 - support as f64 / answers.len() as f64
+            },
+            irrelevance_ratio: if distinct.len() > 1 { 0.2 } else { 0.0 },
+            coverage: if final_answer.is_some() { 1.0 } else { 0.0 },
+            claims: answers.len(),
+        };
+        let _ = self.config; // thresholds are folded into majority voting here
+        let faithful = final_answer
+            .clone()
+            .map(|a| vec![multirag_kg::Value::Str(a)])
+            .unwrap_or_default();
+        let generated = self.llm.generate_answer(
+            &format!("mh{}", question.id),
+            faithful,
+            &[],
+            &profile,
+            64 * evidence.len(),
+        );
+        MultiHopOutcome {
+            answer: generated
+                .values
+                .first()
+                .map(|v| v.to_string()),
+            evidence,
+            hallucinated: generated.hallucinated,
+        }
+    }
+}
+
+/// Parses a compositional chain question into `(relations, anchor)`,
+/// with relations ordered **outermost first** ("the birthplace of the
+/// spouse of the author of W" → `[birthplace, spouse, author]`,
+/// anchor `w`). Only the first question sentence is parsed — trailing
+/// hint sentences ("The director is X.") are retrieval fodder, not
+/// logical form.
+pub fn parse_chain_question(text: &str) -> Option<(Vec<String>, String)> {
+    // The corpus relation vocabulary (a production system would read
+    // this off the schema, as the structured-query path's logic-form
+    // generator does); needed to stop the chain split from eating into
+    // titles that themselves contain " of the " ("The Testament of
+    // Sol").
+    const KNOWN: [&str; 4] = ["birthplace", "spouse", "director", "author"];
+    let known = |s: &str| KNOWN.contains(&s.trim());
+
+    let first = text.split('?').next().unwrap_or(text);
+    let lower = first.trim().trim_end_matches('?').to_lowercase();
+    let rest = lower
+        .strip_prefix("what is the ")
+        .or_else(|| lower.strip_prefix("who is the "))?;
+    let parts: Vec<&str> = rest.split(" of the ").collect();
+    let mut relations: Vec<String> = Vec::new();
+    let mut idx = 0;
+    while idx + 1 < parts.len() && known(parts[idx]) {
+        relations.push(parts[idx].trim().to_string());
+        idx += 1;
+    }
+    if relations.is_empty() {
+        return None;
+    }
+    let remaining = parts[idx..].join(" of the ");
+    // The innermost segment is either "<rel> of <anchor>" (plain " of "
+    // delimiter) or already the anchor whose leading "the" the last
+    // " of the " delimiter consumed.
+    let anchor = match remaining.split_once(" of ") {
+        Some((rel, anchor)) if known(rel) => {
+            relations.push(rel.trim().to_string());
+            anchor.trim().to_string()
+        }
+        _ => format!("the {}", remaining.trim()),
+    };
+    if relations.len() < 2 || anchor.is_empty() {
+        return None;
+    }
+    Some((relations, anchor))
+}
+
+/// Parses a strictly 2-hop bridge question into `(rel2, rel1, anchor)`
+/// — the form the single-bridge baselines understand. Compositional
+/// (≥3-hop) chains return `None` for them.
+pub fn parse_bridge_question(text: &str) -> Option<(String, String, String)> {
+    let (relations, anchor) = parse_chain_question(text)?;
+    if relations.len() != 2 {
+        return None;
+    }
+    let mut iter = relations.into_iter();
+    let rel2 = iter.next().expect("len checked");
+    let rel1 = iter.next().expect("len checked");
+    Some((rel2, rel1, anchor))
+}
+
+/// Dedupes and caps an evidence list at 5 documents, keeping first
+/// occurrences (claim-contributing docs come first by construction).
+fn cap_evidence(mut docs: Vec<usize>) -> Vec<usize> {
+    let mut seen = std::collections::HashSet::new();
+    docs.retain(|d| seen.insert(*d));
+    docs.truncate(5);
+    docs
+}
+
+fn normalize(s: &str) -> String {
+    multirag_retrieval::text::normalize_mention(s)
+}
+
+/// Majority vote over string claims (normalized), `None` when empty.
+fn majority(claims: &[String]) -> Option<String> {
+    if claims.is_empty() {
+        return None;
+    }
+    let mut counts: FxHashMap<String, (String, usize)> = FxHashMap::default();
+    for c in claims {
+        let entry = counts
+            .entry(normalize(c))
+            .or_insert_with(|| (c.clone(), 0));
+        entry.1 += 1;
+    }
+    counts
+        .into_values()
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        .map(|(c, _)| c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multirag_datasets::multihop::{MultiHopFlavor, MultiHopSpec};
+
+    #[test]
+    fn parses_bridge_questions() {
+        let (rel2, rel1, anchor) =
+            parse_bridge_question("What is the birthplace of the director of Crimson Tide 3?")
+                .unwrap();
+        assert_eq!(rel2, "birthplace");
+        assert_eq!(rel1, "director");
+        assert_eq!(anchor, "crimson tide 3");
+        assert!(parse_bridge_question("Tell me a joke").is_none());
+    }
+
+    #[test]
+    fn majority_votes_normalized() {
+        let claims = vec![
+            "Beijing".to_string(),
+            "beijing".to_string(),
+            "Tokyo".to_string(),
+        ];
+        assert_eq!(majority(&claims), Some("Beijing".to_string()));
+        assert_eq!(majority(&[]), None);
+    }
+
+    #[test]
+    fn answers_many_hotpot_questions_correctly() {
+        let data = MultiHopSpec::small(MultiHopFlavor::Hotpot).generate(42);
+        let mut qa = MultiRagQa::new(&data, MultiRagConfig::default(), 42);
+        let mut correct = 0;
+        for q in &data.questions {
+            let out = qa.answer(q);
+            if let Some(a) = &out.answer {
+                if normalize(a) == normalize(&q.answer) {
+                    correct += 1;
+                }
+            }
+        }
+        let precision = correct as f64 / data.questions.len() as f64;
+        assert!(precision > 0.5, "precision {precision}");
+    }
+
+    #[test]
+    fn evidence_recall_is_high() {
+        let data = MultiHopSpec::small(MultiHopFlavor::Hotpot).generate(42);
+        let mut qa = MultiRagQa::new(&data, MultiRagConfig::default(), 42);
+        let mut recall_sum = 0.0;
+        for q in &data.questions {
+            let out = qa.answer(q);
+            let hit = q
+                .gold_docs
+                .iter()
+                .filter(|d| out.evidence.contains(d))
+                .count();
+            recall_sum += hit as f64 / q.gold_docs.len() as f64;
+        }
+        let recall = recall_sum / data.questions.len() as f64;
+        assert!(recall > 0.5, "recall@5 {recall}");
+    }
+
+    #[test]
+    fn twowiki_flavor_also_works() {
+        let data = MultiHopSpec::small(MultiHopFlavor::TwoWiki).generate(7);
+        let mut qa = MultiRagQa::new(&data, MultiRagConfig::default(), 7);
+        let answered = data
+            .questions
+            .iter()
+            .filter(|q| qa.answer(q).answer.is_some())
+            .count();
+        assert!(answered as f64 / data.questions.len() as f64 > 0.5);
+    }
+
+    #[test]
+    fn outcome_is_deterministic() {
+        let data = MultiHopSpec::small(MultiHopFlavor::Hotpot).generate(3);
+        let run = || {
+            let mut qa = MultiRagQa::new(&data, MultiRagConfig::default(), 3);
+            data.questions
+                .iter()
+                .map(|q| qa.answer(q))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn usage_is_metered() {
+        let data = MultiHopSpec::small(MultiHopFlavor::Hotpot).generate(3);
+        let mut qa = MultiRagQa::new(&data, MultiRagConfig::default(), 3);
+        qa.answer(&data.questions[0]);
+        assert!(qa.llm().usage().calls > 2);
+    }
+}

@@ -1,0 +1,115 @@
+//! The Books dataset (sparse; 10 sources: 3 JSON + 3 CSV + 4 XML, as in
+//! Table I).
+
+use crate::spec::{AttributeKind, AttributeSpec, DomainSpec, EntityNamer, Scale, SourceSpec};
+
+/// Books dataset builder.
+#[derive(Debug, Clone, Copy)]
+pub struct BooksSpec;
+
+impl BooksSpec {
+    /// The paper-shaped spec. Sparse: low coverage, moderate
+    /// reliability — the regime where MultiRAG's aggregation matters
+    /// most.
+    pub fn at_scale(scale: Scale) -> DomainSpec {
+        DomainSpec {
+            domain: "books".into(),
+            namer: EntityNamer::Book,
+            attributes: vec![
+                AttributeSpec::new(
+                    "author",
+                    AttributeKind::Person {
+                        multi_max: 3,
+                        pool: scale.entities / 2 + 8,
+                    },
+                    // Literal so per-source surface styles apply.
+                    false,
+                ),
+                AttributeSpec::new(
+                    "year",
+                    AttributeKind::Year {
+                        min: 1900,
+                        max: 2024,
+                    },
+                    false,
+                ),
+                AttributeSpec::new("publisher", AttributeKind::Publisher, false),
+                AttributeSpec::new(
+                    "pages",
+                    AttributeKind::Count {
+                        min: 80,
+                        max: 1200,
+                    },
+                    false,
+                ),
+            ],
+            sources: vec![
+                SourceSpec {
+                    format: "json".into(),
+                    count: 3,
+                    reliability: (0.52, 0.78),
+                    coverage: (0.15, 0.35),
+                },
+                SourceSpec {
+                    format: "csv".into(),
+                    count: 3,
+                    reliability: (0.50, 0.76),
+                    coverage: (0.12, 0.30),
+                },
+                SourceSpec {
+                    format: "xml".into(),
+                    count: 4,
+                    reliability: (0.48, 0.74),
+                    coverage: (0.10, 0.28),
+                },
+            ],
+            scale,
+            decoy_rate: 0.75,
+        }
+    }
+
+    /// Tiny scale for tests.
+    pub fn small() -> DomainSpec {
+        Self::at_scale(Scale::small())
+    }
+
+    /// Experiment scale.
+    pub fn bench() -> DomainSpec {
+        Self::at_scale(Scale::bench())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::movies::MoviesSpec;
+
+    #[test]
+    fn source_roster_matches_table_1() {
+        let spec = BooksSpec::small();
+        let total: usize = spec.sources.iter().map(|s| s.count).sum();
+        assert_eq!(total, 10);
+        assert!(spec.sources.iter().any(|s| s.format == "xml"));
+    }
+
+    #[test]
+    fn books_are_sparser_than_movies() {
+        let books = BooksSpec::small().generate(42);
+        let movies = MoviesSpec::small().generate(42);
+        let density = |d: &crate::spec::MultiSourceDataset| {
+            d.graph.triple_count() as f64 / d.graph.entity_count().max(1) as f64
+        };
+        assert!(
+            density(&books) < density(&movies) / 2.0,
+            "books density {} vs movies {}",
+            density(&books),
+            density(&movies)
+        );
+    }
+
+    #[test]
+    fn queries_still_answerable_despite_sparsity() {
+        let data = BooksSpec::small().generate(7);
+        assert_eq!(data.queries.len(), Scale::small().queries);
+    }
+}

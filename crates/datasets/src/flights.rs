@@ -1,0 +1,101 @@
+//! The Flights dataset (dense; 20 sources: 10 CSV + 10 JSON, as in
+//! Table I).
+
+use crate::spec::{AttributeKind, AttributeSpec, DomainSpec, EntityNamer, Scale, SourceSpec};
+
+/// Flights dataset builder.
+#[derive(Debug, Clone, Copy)]
+pub struct FlightsSpec;
+
+impl FlightsSpec {
+    /// The paper-shaped spec. Dense and noisy: many overlapping feeds
+    /// asserting fast-changing operational attributes.
+    pub fn at_scale(scale: Scale) -> DomainSpec {
+        DomainSpec {
+            domain: "flights".into(),
+            namer: EntityNamer::Flight,
+            attributes: vec![
+                AttributeSpec::new("departure_time", AttributeKind::TimeOfDay, false),
+                AttributeSpec::new("arrival_time", AttributeKind::TimeOfDay, false),
+                AttributeSpec::new("status", AttributeKind::FlightStatus, false),
+                AttributeSpec::new("origin", AttributeKind::City, true),
+                AttributeSpec::new("destination", AttributeKind::City, true),
+                AttributeSpec::new(
+                    "gate",
+                    AttributeKind::Count { min: 1, max: 80 },
+                    false,
+                ),
+            ],
+            sources: vec![
+                SourceSpec {
+                    format: "csv".into(),
+                    count: 10,
+                    reliability: (0.58, 0.86),
+                    coverage: (0.55, 0.90),
+                },
+                SourceSpec {
+                    format: "json".into(),
+                    count: 10,
+                    reliability: (0.55, 0.84),
+                    coverage: (0.50, 0.85),
+                },
+            ],
+            scale,
+            decoy_rate: 0.60,
+        }
+    }
+
+    /// Tiny scale for tests.
+    pub fn small() -> DomainSpec {
+        Self::at_scale(Scale::small())
+    }
+
+    /// Experiment scale.
+    pub fn bench() -> DomainSpec {
+        Self::at_scale(Scale::bench())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_sources_two_formats() {
+        let data = FlightsSpec::small().generate(1);
+        assert_eq!(data.graph.source_count(), 20);
+        assert_eq!(data.sources_with_formats(&["csv"]).len(), 10);
+        assert_eq!(data.sources_with_formats(&["json"]).len(), 10);
+    }
+
+    #[test]
+    fn city_links_create_shared_hubs() {
+        let data = FlightsSpec::small().generate(1);
+        // Cities are shared across flights → high-degree hub entities.
+        let max_degree = data
+            .graph
+            .entity_ids()
+            .map(|e| data.graph.neighbors(e).len())
+            .max()
+            .unwrap();
+        assert!(max_degree > 5, "hub degree {max_degree}");
+    }
+
+    #[test]
+    fn statuses_conflict_across_sources() {
+        let data = FlightsSpec::small().generate(1);
+        // With 20 noisy feeds some flight must have conflicting status
+        // claims — the CA981 scenario.
+        let status = data.graph.find_relation("status").unwrap();
+        let mut conflicted = 0;
+        for e in data.graph.entity_ids() {
+            let values = data.graph.attribute_values(e, status);
+            let distinct: std::collections::HashSet<String> =
+                values.iter().map(|v| v.canonical_key()).collect();
+            if distinct.len() > 1 {
+                conflicted += 1;
+            }
+        }
+        assert!(conflicted > 0);
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # multirag-datasets
+//!
+//! Synthetic multi-source benchmark generators reproducing the *shape*
+//! of the paper's four truth-discovery datasets (Movies, Books, Flights,
+//! Stocks — Table I) and its two multi-hop QA corpora (HotpotQA /
+//! 2WikiMultiHopQA analogues). The originals are proprietary deep-web
+//! crawls; what every experiment actually exercises is their
+//! density/conflict structure, which these generators expose as
+//! explicit, seeded parameters (see DESIGN.md §2).
+//!
+//! * [`world`] — deterministic fake-name and value generators.
+//! * [`spec`] — the generation engine: entity universes, attribute
+//!   models, per-source reliability / coverage, conflict injection.
+//! * [`movies`], [`books`], [`flights`], [`stocks`] — the four dataset
+//!   specs with paper-matching source counts and format splits.
+//! * [`query`] — query sets and the gold truth table.
+//! * [`perturb`] — the Q2 / Fig 5 / Fig 6 perturbations: relation
+//!   masking, shuffled-duplicate injection, per-source corruption.
+//! * [`multihop`] — the synthetic wiki corpus + 2-hop question
+//!   generator behind Table IV.
+//! * [`stats`] — Table I statistics.
+//! * [`render`] — serializes generated sources to CSV / JSON / XML text
+//!   so the full ingest path can be exercised end-to-end.
+
+pub mod books;
+pub mod flights;
+pub mod movies;
+pub mod multihop;
+pub mod perturb;
+pub mod query;
+pub mod render;
+pub mod spec;
+pub mod stats;
+pub mod stocks;
+pub mod world;
+
+pub use query::{Query, TruthTable};
+pub use spec::{AttributeKind, AttributeSpec, DomainSpec, MultiSourceDataset, Scale, SourceSpec};

@@ -1,0 +1,128 @@
+//! The Movies dataset (dense; 13 sources: 4 JSON + 5 KG + 4 CSV, as in
+//! Table I).
+
+use crate::spec::{AttributeKind, AttributeSpec, DomainSpec, EntityNamer, Scale, SourceSpec};
+
+/// Movies dataset builder.
+#[derive(Debug, Clone, Copy)]
+pub struct MoviesSpec;
+
+impl MoviesSpec {
+    /// The paper-shaped spec at the given scale. Dense: high coverage.
+    pub fn at_scale(scale: Scale) -> DomainSpec {
+        DomainSpec {
+            domain: "movies".into(),
+            namer: EntityNamer::Movie,
+            attributes: vec![
+                AttributeSpec::new(
+                    "director",
+                    AttributeKind::Person {
+                        multi_max: 3,
+                        pool: scale.entities / 3 + 8,
+                    },
+                    // Literal so per-source surface styles apply (the
+                    // representation-diversity challenge); `writer`
+                    // stays linked for graph density.
+                    false,
+                ),
+                AttributeSpec::new(
+                    "year",
+                    AttributeKind::Year {
+                        min: 1950,
+                        max: 2024,
+                    },
+                    false,
+                ),
+                AttributeSpec::new("genre", AttributeKind::Genre, false),
+                AttributeSpec::new(
+                    "runtime",
+                    AttributeKind::Count { min: 70, max: 210 },
+                    false,
+                ),
+                AttributeSpec::new(
+                    "writer",
+                    AttributeKind::Person {
+                        multi_max: 2,
+                        pool: scale.entities / 3 + 8,
+                    },
+                    true,
+                ),
+            ],
+            sources: vec![
+                SourceSpec {
+                    format: "json".into(),
+                    count: 4,
+                    reliability: (0.60, 0.86),
+                    coverage: (0.55, 0.85),
+                },
+                SourceSpec {
+                    format: "kg".into(),
+                    count: 5,
+                    reliability: (0.70, 0.92),
+                    coverage: (0.60, 0.90),
+                },
+                SourceSpec {
+                    format: "csv".into(),
+                    count: 4,
+                    reliability: (0.55, 0.82),
+                    coverage: (0.50, 0.80),
+                },
+            ],
+            scale,
+            decoy_rate: 0.60,
+        }
+    }
+
+    /// Tiny scale for tests.
+    pub fn small() -> DomainSpec {
+        Self::at_scale(Scale::small())
+    }
+
+    /// Experiment scale.
+    pub fn bench() -> DomainSpec {
+        Self::at_scale(Scale::bench())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_roster_matches_table_1() {
+        let spec = MoviesSpec::small();
+        let counts: Vec<(String, usize)> = spec
+            .sources
+            .iter()
+            .map(|s| (s.format.clone(), s.count))
+            .collect();
+        assert_eq!(
+            counts,
+            vec![
+                ("json".to_string(), 4),
+                ("kg".to_string(), 5),
+                ("csv".to_string(), 4)
+            ]
+        );
+    }
+
+    #[test]
+    fn generates_dense_graph() {
+        let data = MoviesSpec::small().generate(42);
+        let stats = data.graph.stats();
+        // Dense: far more triples than entities.
+        assert!(stats.triples > stats.entities * 2);
+        assert_eq!(data.graph.source_count(), 13);
+    }
+
+    #[test]
+    fn directors_can_be_multivalued() {
+        let data = MoviesSpec::small().generate(42);
+        let multi = data
+            .truth
+            .iter()
+            .filter(|((_, a), v)| a == "director" && v.len() > 1)
+            .count();
+        assert!(multi > 0);
+    }
+}

@@ -1,0 +1,407 @@
+//! Synthetic multi-hop QA corpora (the HotpotQA / 2WikiMultiHopQA
+//! analogues behind Table IV).
+//!
+//! The generator builds a wiki-like world — people, works, places —
+//! writes one encyclopedia-style document per entity, and asks 2-hop
+//! *bridge* questions ("What is the birthplace of the director of
+//! *W*?") whose gold supporting documents are known. Retrieval quality
+//! (Recall@5 over supporting docs) and answer precision are computed
+//! against these gold labels exactly as the paper's Table IV does.
+
+use crate::world;
+use multirag_kg::FxHashMap;
+use rand::Rng;
+
+/// Which corpus flavor to mimic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultiHopFlavor {
+    /// HotpotQA-style: bridge via creator relations (director/author).
+    Hotpot,
+    /// 2WikiMultiHopQA-style: compositional bridges via family /
+    /// founder relations.
+    TwoWiki,
+}
+
+/// One corpus document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// Document title (the entity it describes).
+    pub title: String,
+    /// Body text.
+    pub text: String,
+}
+
+/// One 2-hop question with gold labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiHopQuestion {
+    /// Stable id.
+    pub id: u32,
+    /// Natural-language question.
+    pub text: String,
+    /// Gold answer string.
+    pub answer: String,
+    /// Indices of the gold supporting documents in the corpus.
+    pub gold_docs: Vec<usize>,
+    /// The bridge entity (the intermediate hop).
+    pub bridge: String,
+}
+
+/// A generated multi-hop dataset.
+#[derive(Debug, Clone)]
+pub struct MultiHopDataset {
+    /// Corpus documents (gold + distractors).
+    pub corpus: Vec<Document>,
+    /// Questions with gold labels.
+    pub questions: Vec<MultiHopQuestion>,
+    /// Flavor generated.
+    pub flavor: MultiHopFlavor,
+}
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiHopSpec {
+    /// Corpus flavor.
+    pub flavor: MultiHopFlavor,
+    /// Number of works (films/books) in the world.
+    pub works: usize,
+    /// Number of questions to emit.
+    pub questions: usize,
+    /// Fraction of questions that name the bridge entity in a trailing
+    /// hint sentence ("The director is X.") — the surface-overlap-easy
+    /// questions single-round retrieval can solve.
+    pub easy_fraction: f64,
+    /// Fraction of TwoWiki questions that are compositional 3-hop
+    /// chains ("the birthplace of the spouse of the author of W") —
+    /// 2WikiMultiHopQA's signature question type.
+    pub hop3_fraction: f64,
+    /// Fraction of creators with a conflicting "(archive)" article
+    /// asserting wrong facts — the cross-document inconsistency that
+    /// separates consistency-aware methods from chain-followers. For
+    /// affected creators the true birthplace is corroborated in the
+    /// work's article.
+    pub conflict_fraction: f64,
+}
+
+impl MultiHopSpec {
+    /// Tiny scale for tests.
+    pub fn small(flavor: MultiHopFlavor) -> Self {
+        Self {
+            flavor,
+            works: 40,
+            questions: 20,
+            easy_fraction: 0.35,
+            hop3_fraction: 0.25,
+            conflict_fraction: 0.4,
+        }
+    }
+
+    /// Experiment scale (the paper subsamples 300 questions).
+    pub fn bench(flavor: MultiHopFlavor) -> Self {
+        Self {
+            flavor,
+            works: 400,
+            questions: 300,
+            easy_fraction: 0.35,
+            hop3_fraction: 0.25,
+            conflict_fraction: 0.4,
+        }
+    }
+
+    /// Generates the dataset.
+    pub fn generate(&self, seed: u64) -> MultiHopDataset {
+        let n = self.works;
+        let people = n; // one creator per work, reused occasionally
+        // World tables.
+        let works: Vec<String> = (0..n)
+            .map(|i| match self.flavor {
+                MultiHopFlavor::Hotpot => world::movie_title(seed, i),
+                MultiHopFlavor::TwoWiki => world::book_title(seed, i),
+            })
+            .collect();
+        let creators: Vec<String> = (0..people).map(|i| world::person_name(seed, i)).collect();
+        let mut r = world::rng(seed, "multihop");
+        // work → creator index (some creators have several works).
+        let creator_of: Vec<usize> = (0..n)
+            .map(|i| {
+                if r.gen_bool(0.2) && i > 0 {
+                    r.gen_range(0..people)
+                } else {
+                    i
+                }
+            })
+            .collect();
+        // creator → birthplace / spouse.
+        let birthplace: Vec<&'static str> = (0..people)
+            .map(|i| world::city(seed, &format!("bp{i}")))
+            .collect();
+        let spouse: Vec<String> = (0..people)
+            .map(|i| world::person_name(seed ^ 0x5a5a, i))
+            .collect();
+        let year: Vec<i64> = (0..n).map(|_| r.gen_range(1950..2024)).collect();
+        let genre: Vec<&'static str> = (0..n)
+            .map(|i| world::genre(seed, &format!("g{i}")))
+            .collect();
+
+        let creator_word = match self.flavor {
+            MultiHopFlavor::Hotpot => "directed",
+            MultiHopFlavor::TwoWiki => "written",
+        };
+        let creator_noun = match self.flavor {
+            MultiHopFlavor::Hotpot => "director",
+            MultiHopFlavor::TwoWiki => "author",
+        };
+
+        // Which creators carry a conflicting archive article.
+        let conflicted: Vec<bool> = (0..people)
+            .map(|i| {
+                let mut rc = world::rng(seed, &format!("conflict{i}"));
+                rc.gen_bool(self.conflict_fraction)
+            })
+            .collect();
+
+        // Documents: one per work, one per creator, archives for the
+        // conflicted creators, plus distractors.
+        let mut corpus: Vec<Document> = Vec::new();
+        let mut doc_of: FxHashMap<String, usize> = FxHashMap::default();
+        for (i, work) in works.iter().enumerate() {
+            let c_idx = creator_of[i];
+            let c = &creators[c_idx];
+            // Conflicted creators get their true birthplace corroborated
+            // in the work's article — the cross-document agreement a
+            // consistency-aware reader can exploit.
+            let corroboration = if conflicted[c_idx] {
+                format!(
+                    " {c} was born in {}. {c} is married to {}.",
+                    birthplace[c_idx], spouse[c_idx]
+                )
+            } else {
+                String::new()
+            };
+            let text = format!(
+                "{work} is a {} released in {}. {work} was {creator_word} by {c}.{corroboration} \
+                 Critics praised its pacing. The production began two years earlier.",
+                genre[i], year[i]
+            );
+            doc_of.insert(work.clone(), corpus.len());
+            corpus.push(Document {
+                title: work.clone(),
+                text,
+            });
+        }
+        for (i, creator) in creators.iter().enumerate() {
+            let text = format!(
+                "{creator} is a celebrated {creator_noun}. \
+                 {creator} was born in {}. \
+                 {creator} is married to {}. \
+                 Early work focused on short features.",
+                birthplace[i],
+                spouse[i],
+            );
+            doc_of.insert(creator.clone(), corpus.len());
+            corpus.push(Document {
+                title: creator.clone(),
+                text,
+            });
+        }
+        // Archive articles: stale mirrors asserting *wrong* facts about
+        // conflicted creators (the multi-source inconsistency of the
+        // paper's Challenge 2, in document form).
+        for (i, creator) in creators.iter().enumerate() {
+            if !conflicted[i] {
+                continue;
+            }
+            let wrong_bp = world::city(seed ^ 0xA5A5, &format!("abp{i}"));
+            let wrong_spouse = world::person_name(seed ^ 0x3c3c, i);
+            corpus.push(Document {
+                title: format!("{creator} (archive)"),
+                text: format!(
+                    "{creator} is a celebrated {creator_noun}. \
+                     {creator} was born in {wrong_bp}. \
+                     {creator} is married to {wrong_spouse}. \
+                     This page is an unmaintained mirror.",
+                ),
+            });
+        }
+        // Spouse bios: every spouse has one (they are the third hop of
+        // the compositional questions, and distractors for the rest).
+        let spouse_birthplace: Vec<&'static str> = (0..people)
+            .map(|i| world::city(seed, &format!("sp{i}")))
+            .collect();
+        for (i, s) in spouse.iter().enumerate() {
+            doc_of.insert(s.clone(), corpus.len());
+            corpus.push(Document {
+                title: s.clone(),
+                text: format!(
+                    "{s} is a noted philanthropist. \
+                     {s} was born in {}. \
+                     {s} met many {creator_noun}s at festivals.",
+                    spouse_birthplace[i]
+                ),
+            });
+        }
+
+        // Questions: 2-hop bridges.
+        let mut questions = Vec::with_capacity(self.questions);
+        let mut rq = world::rng(seed, "multihop-questions");
+        for qid in 0..self.questions {
+            let w = rq.gen_range(0..n);
+            let c_idx = creator_of[w];
+            let work = &works[w];
+            let creator = &creators[c_idx];
+            let (mut text, answer) = match self.flavor {
+                MultiHopFlavor::Hotpot => (
+                    format!(
+                        "What is the birthplace of the {creator_noun} of {work}?"
+                    ),
+                    birthplace[c_idx].to_string(),
+                ),
+                MultiHopFlavor::TwoWiki => {
+                    if rq.gen_bool(0.5) {
+                        (
+                            format!(
+                                "Who is the spouse of the {creator_noun} of {work}?"
+                            ),
+                            spouse[c_idx].clone(),
+                        )
+                    } else {
+                        (
+                            format!(
+                                "What is the birthplace of the {creator_noun} of {work}?"
+                            ),
+                            birthplace[c_idx].to_string(),
+                        )
+                    }
+                }
+            };
+            // The easy fraction names the bridge in a hint sentence —
+            // surface overlap that single-round retrieval can exploit.
+            if rq.gen_bool(self.easy_fraction) {
+                text.push_str(&format!(" The {creator_noun} is {creator}."));
+            }
+            let mut gold_docs = vec![doc_of[work], doc_of[creator]];
+            let mut answer = answer;
+            if self.flavor == MultiHopFlavor::TwoWiki && rq.gen_bool(self.hop3_fraction) {
+                // Compositional 3-hop chain: work → creator → spouse →
+                // birthplace. Overrides the 2-hop form entirely.
+                text = format!(
+                    "What is the birthplace of the spouse of the {creator_noun} of {work}?"
+                );
+                answer = spouse_birthplace[c_idx].to_string();
+                gold_docs = vec![doc_of[work], doc_of[creator], doc_of[&spouse[c_idx]]];
+            }
+            questions.push(MultiHopQuestion {
+                id: qid as u32,
+                text,
+                answer,
+                gold_docs,
+                bridge: creator.clone(),
+            });
+        }
+
+        MultiHopDataset {
+            corpus,
+            questions,
+            flavor: self.flavor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_counts() {
+        let data = MultiHopSpec::small(MultiHopFlavor::Hotpot).generate(42);
+        assert_eq!(data.questions.len(), 20);
+        assert!(data.corpus.len() >= 80, "corpus {}", data.corpus.len());
+    }
+
+    #[test]
+    fn gold_docs_exist_and_are_distinct() {
+        for flavor in [MultiHopFlavor::Hotpot, MultiHopFlavor::TwoWiki] {
+            let data = MultiHopSpec::small(flavor).generate(42);
+            for q in &data.questions {
+                assert!(q.gold_docs.len() >= 2);
+                let distinct: std::collections::HashSet<usize> =
+                    q.gold_docs.iter().copied().collect();
+                assert_eq!(distinct.len(), q.gold_docs.len());
+                for &d in &q.gold_docs {
+                    assert!(d < data.corpus.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn twowiki_contains_compositional_three_hop_questions() {
+        let data = MultiHopSpec::small(MultiHopFlavor::TwoWiki).generate(42);
+        let three_hop: Vec<&MultiHopQuestion> = data
+            .questions
+            .iter()
+            .filter(|q| q.gold_docs.len() == 3)
+            .collect();
+        assert!(!three_hop.is_empty(), "some 3-hop questions must appear");
+        for q in three_hop {
+            assert!(q.text.contains("spouse of the author"));
+            // The final hop's document states the answer.
+            let last = &data.corpus[q.gold_docs[2]];
+            assert!(last.text.contains(&q.answer));
+        }
+        // Hotpot stays strictly 2-hop.
+        let hotpot = MultiHopSpec::small(MultiHopFlavor::Hotpot).generate(42);
+        assert!(hotpot.questions.iter().all(|q| q.gold_docs.len() == 2));
+    }
+
+    #[test]
+    fn answer_is_stated_in_the_second_hop_doc() {
+        let data = MultiHopSpec::small(MultiHopFlavor::Hotpot).generate(42);
+        for q in &data.questions {
+            let hop2 = &data.corpus[q.gold_docs[1]];
+            assert!(
+                hop2.text.contains(&q.answer),
+                "answer {:?} not in {:?}",
+                q.answer,
+                hop2.title
+            );
+        }
+    }
+
+    #[test]
+    fn bridge_links_the_two_docs() {
+        let data = MultiHopSpec::small(MultiHopFlavor::TwoWiki).generate(7);
+        for q in &data.questions {
+            let hop1 = &data.corpus[q.gold_docs[0]];
+            let hop2 = &data.corpus[q.gold_docs[1]];
+            assert!(hop1.text.contains(&q.bridge), "bridge must appear in hop-1 doc");
+            assert_eq!(hop2.title, q.bridge, "hop-2 doc is the bridge's bio");
+        }
+    }
+
+    #[test]
+    fn flavors_use_different_vocabulary() {
+        let hotpot = MultiHopSpec::small(MultiHopFlavor::Hotpot).generate(1);
+        let twowiki = MultiHopSpec::small(MultiHopFlavor::TwoWiki).generate(1);
+        assert!(hotpot.questions.iter().all(|q| q.text.contains("director")));
+        assert!(twowiki.questions.iter().all(|q| q.text.contains("author")));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = MultiHopSpec::small(MultiHopFlavor::Hotpot).generate(9);
+        let b = MultiHopSpec::small(MultiHopFlavor::Hotpot).generate(9);
+        assert_eq!(a.questions, b.questions);
+        assert_eq!(a.corpus, b.corpus);
+    }
+
+    #[test]
+    fn corpus_contains_distractors() {
+        let data = MultiHopSpec::small(MultiHopFlavor::Hotpot).generate(3);
+        let gold: std::collections::HashSet<usize> = data
+            .questions
+            .iter()
+            .flat_map(|q| q.gold_docs.iter().copied())
+            .collect();
+        assert!(gold.len() < data.corpus.len(), "non-gold docs must exist");
+    }
+}

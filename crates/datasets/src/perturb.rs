@@ -1,0 +1,322 @@
+//! Dataset perturbations for the robustness experiments.
+//!
+//! * [`mask_relations`] — Q2 sparsity: remove a fraction of triples
+//!   while guaranteeing every query keeps at least one supporting
+//!   triple ("while ensuring that the query answers are still
+//!   retrievable").
+//! * [`inject_conflicts`] — Q2 consistency: add a fraction of
+//!   duplicated triples whose objects are shuffled, disrupting
+//!   cross-source agreement (the paper's "triple increments" with
+//!   "completely shuffled relationship edges").
+//! * [`corrupt_sources`] — Fig. 6: rewrite a fraction of a chosen
+//!   source's claims to wrong values.
+
+use crate::spec::MultiSourceDataset;
+use crate::world;
+use multirag_kg::{KnowledgeGraph, Object, SourceId};
+#[cfg(test)]
+use multirag_kg::Value;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Rebuilds a graph keeping only the triples whose indices are in
+/// `keep` (a sorted boolean mask).
+fn rebuild(kg: &KnowledgeGraph, keep: &[bool]) -> KnowledgeGraph {
+    let mut out = KnowledgeGraph::with_capacity(kg.entity_count(), kg.triple_count());
+    for sid in kg.source_ids() {
+        let rec = kg.source(sid);
+        out.add_source(
+            kg.resolve(rec.name),
+            kg.resolve(rec.format),
+            kg.resolve(rec.domain),
+        );
+    }
+    for (tid, t) in kg.iter_triples() {
+        if !keep[tid.index()] {
+            continue;
+        }
+        let subject = out.add_entity(
+            kg.entity_name(t.subject),
+            kg.entity_domain(t.subject),
+        );
+        let predicate = out.add_relation(kg.relation_name(t.predicate));
+        let object = match &t.object {
+            Object::Entity(e) => {
+                let mapped = out.add_entity(kg.entity_name(*e), kg.entity_domain(*e));
+                Object::Entity(mapped)
+            }
+            Object::Literal(v) => Object::Literal(v.clone()),
+        };
+        out.add_triple(subject, predicate, object, t.source, t.chunk);
+    }
+    out
+}
+
+/// Masks `fraction` of the dataset's triples (relationship masking).
+/// Every query slot keeps at least one triple so queries stay
+/// *retrievable* — but not an oracle-chosen correct one, so heavy
+/// masking genuinely starves consensus (the Fig. 5a/5b regime).
+pub fn mask_relations(data: &MultiSourceDataset, fraction: f64, seed: u64) -> MultiSourceDataset {
+    let kg = &data.graph;
+    let n = kg.triple_count();
+    let mut protected = vec![false; n];
+    // Protect one (deterministically random) triple per query slot.
+    for q in &data.queries {
+        let (Some(e), Some(p)) = (
+            kg.find_entity(&q.entity, &data.spec.domain),
+            kg.find_relation(&q.attribute),
+        ) else {
+            continue;
+        };
+        let slot = kg.slot_triples(e, p);
+        if !slot.is_empty() {
+            let mut r = world::rng(seed, &format!("protect:{}", q.id));
+            let pick = slot[r.gen_range(0..slot.len())];
+            protected[pick.index()] = true;
+        }
+    }
+    let mut r = world::rng(seed, "mask");
+    let mut candidates: Vec<usize> = (0..n).filter(|&i| !protected[i]).collect();
+    candidates.shuffle(&mut r);
+    let to_remove = ((n as f64) * fraction.clamp(0.0, 1.0)) as usize;
+    let removed: std::collections::HashSet<usize> = candidates
+        .into_iter()
+        .take(to_remove.min(n))
+        .collect();
+    let keep: Vec<bool> = (0..n).map(|i| !removed.contains(&i)).collect();
+    MultiSourceDataset {
+        graph: rebuild(kg, &keep),
+        ..data.clone()
+    }
+}
+
+/// Adds `fraction`·n duplicated triples whose objects are shuffled
+/// between the duplicates — consistent with the paper's consistency
+/// perturbation. Subjects and predicates stay, so the noise lands
+/// squarely inside existing homologous groups.
+pub fn inject_conflicts(
+    data: &MultiSourceDataset,
+    fraction: f64,
+    seed: u64,
+) -> MultiSourceDataset {
+    let mut kg = data.graph.clone();
+    let n = kg.triple_count();
+    let count = ((n as f64) * fraction.clamp(0.0, 4.0)) as usize;
+    let mut r = world::rng(seed, "conflict");
+    // Sample templates and a shuffled object pool.
+    let mut template_idx: Vec<usize> = Vec::with_capacity(count);
+    for _ in 0..count {
+        template_idx.push(r.gen_range(0..n));
+    }
+    let mut objects: Vec<Object> = template_idx
+        .iter()
+        .map(|&i| kg.triples()[i].object.clone())
+        .collect();
+    objects.shuffle(&mut r);
+    for (&i, object) in template_idx.iter().zip(objects) {
+        let t = kg.triples()[i].clone();
+        kg.add_triple(t.subject, t.predicate, object, t.source, t.chunk);
+    }
+    MultiSourceDataset {
+        graph: kg,
+        ..data.clone()
+    }
+}
+
+/// Corrupts `level` of the claims of the given sources: their objects
+/// are replaced by objects drawn from other random triples (plausible
+/// but wrong). Backs Fig. 6's per-source corruption sweep.
+pub fn corrupt_sources(
+    data: &MultiSourceDataset,
+    victims: &[SourceId],
+    level: f64,
+    seed: u64,
+) -> MultiSourceDataset {
+    let kg = &data.graph;
+    let n = kg.triple_count();
+    let mut r = world::rng(seed, "corrupt");
+    let mut out = KnowledgeGraph::with_capacity(kg.entity_count(), n);
+    for sid in kg.source_ids() {
+        let rec = kg.source(sid);
+        out.add_source(
+            kg.resolve(rec.name),
+            kg.resolve(rec.format),
+            kg.resolve(rec.domain),
+        );
+    }
+    for (_, t) in kg.iter_triples() {
+        let subject = out.add_entity(kg.entity_name(t.subject), kg.entity_domain(t.subject));
+        let predicate = out.add_relation(kg.relation_name(t.predicate));
+        let corrupt = victims.contains(&t.source) && r.gen_bool(level.clamp(0.0, 1.0));
+        let object = if corrupt {
+            // Steal another random triple's object (same-predicate
+            // preferred for plausibility).
+            let donor = kg.triples()[r.gen_range(0..n)].clone();
+            donor.object
+        } else {
+            t.object.clone()
+        };
+        let object = match object {
+            Object::Entity(e) => {
+                Object::Entity(out.add_entity(kg.entity_name(e), kg.entity_domain(e)))
+            }
+            Object::Literal(v) => Object::Literal(v),
+        };
+        out.add_triple(subject, predicate, object, t.source, t.chunk);
+    }
+    MultiSourceDataset {
+        graph: out,
+        ..data.clone()
+    }
+}
+
+#[cfg(test)]
+fn object_value(kg: &KnowledgeGraph, object: &Object) -> Value {
+    match object {
+        Object::Entity(e) => Value::Str(kg.entity_name(*e).to_string()),
+        Object::Literal(v) => v.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::movies::MoviesSpec;
+
+    fn data() -> MultiSourceDataset {
+        MoviesSpec::small().generate(42)
+    }
+
+    #[test]
+    fn masking_removes_the_requested_fraction() {
+        let d = data();
+        let masked = mask_relations(&d, 0.5, 1);
+        let ratio = masked.graph.triple_count() as f64 / d.graph.triple_count() as f64;
+        assert!((0.45..=0.60).contains(&ratio), "kept ratio {ratio}");
+    }
+
+    #[test]
+    fn masking_preserves_query_retrievability() {
+        let d = data();
+        let masked = mask_relations(&d, 0.7, 1);
+        for q in &masked.queries {
+            let e = masked.graph.find_entity(&q.entity, "movies");
+            let p = masked.graph.find_relation(&q.attribute);
+            let (Some(e), Some(p)) = (e, p) else {
+                panic!("query {} lost its entity/relation", q.id);
+            };
+            assert!(
+                !masked.graph.slot_triples(e, p).is_empty(),
+                "query {} lost all support",
+                q.id
+            );
+        }
+    }
+
+    #[test]
+    fn masking_zero_is_identity_sized() {
+        let d = data();
+        let masked = mask_relations(&d, 0.0, 1);
+        assert_eq!(masked.graph.triple_count(), d.graph.triple_count());
+    }
+
+    #[test]
+    fn masking_is_deterministic() {
+        let d = data();
+        assert_eq!(
+            mask_relations(&d, 0.3, 9).graph.triple_count(),
+            mask_relations(&d, 0.3, 9).graph.triple_count()
+        );
+    }
+
+    #[test]
+    fn conflicts_grow_triple_count() {
+        let d = data();
+        let perturbed = inject_conflicts(&d, 0.5, 1);
+        let expected = d.graph.triple_count() + d.graph.triple_count() / 2;
+        let got = perturbed.graph.triple_count();
+        assert!(
+            (got as i64 - expected as i64).abs() <= 1,
+            "expected ~{expected}, got {got}"
+        );
+    }
+
+    #[test]
+    fn conflicts_land_in_existing_slots() {
+        let d = data();
+        let perturbed = inject_conflicts(&d, 0.7, 1);
+        // Injected triples reuse (subject, predicate) pairs, so slot
+        // populations must grow but no new relations appear.
+        assert_eq!(
+            perturbed.graph.relation_count(),
+            d.graph.relation_count()
+        );
+        assert_eq!(perturbed.graph.entity_count(), d.graph.entity_count());
+    }
+
+    #[test]
+    fn conflicts_disrupt_agreement() {
+        let d = data();
+        let perturbed = inject_conflicts(&d, 1.0, 1);
+        // Count slots where all claims agree, before and after.
+        let agreement = |g: &KnowledgeGraph| {
+            let mut consistent = 0usize;
+            let mut total = 0usize;
+            for e in g.entity_ids() {
+                for (_, t) in g.iter_triples().take(0) {
+                    let _ = t;
+                }
+                for r in 0..g.relation_count() {
+                    let rel = multirag_kg::RelationId(r as u32);
+                    let slot = g.slot_triples(e, rel);
+                    if slot.len() < 2 {
+                        continue;
+                    }
+                    total += 1;
+                    let keys: std::collections::HashSet<String> = slot
+                        .iter()
+                        .map(|&tid| g.triple(tid).object.canonical_key())
+                        .collect();
+                    if keys.len() == 1 {
+                        consistent += 1;
+                    }
+                }
+            }
+            consistent as f64 / total.max(1) as f64
+        };
+        assert!(agreement(&perturbed.graph) < agreement(&d.graph));
+    }
+
+    #[test]
+    fn corruption_changes_victim_claims_only() {
+        let d = data();
+        let victim = d.sources[0].id;
+        let corrupted = corrupt_sources(&d, &[victim], 1.0, 3);
+        assert_eq!(corrupted.graph.triple_count(), d.graph.triple_count());
+        // Non-victim triples must be value-identical.
+        let mut changed_victim = 0;
+        for ((_, a), (_, b)) in d
+            .graph
+            .iter_triples()
+            .zip(corrupted.graph.iter_triples())
+        {
+            let va = object_value(&d.graph, &a.object);
+            let vb = object_value(&corrupted.graph, &b.object);
+            if a.source == victim {
+                if va.canonical_key() != vb.canonical_key() {
+                    changed_victim += 1;
+                }
+            } else {
+                assert_eq!(va.canonical_key(), vb.canonical_key());
+            }
+        }
+        assert!(changed_victim > 0);
+    }
+
+    #[test]
+    fn corruption_level_zero_is_identity() {
+        let d = data();
+        let same = corrupt_sources(&d, &[d.sources[0].id], 0.0, 3);
+        assert_eq!(same.graph.triple_count(), d.graph.triple_count());
+    }
+}

@@ -1,0 +1,134 @@
+//! Query sets and the gold truth table.
+
+use multirag_kg::{FxHashMap, Value};
+
+/// A benchmark query: "what is the `attribute` of `entity`?"
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Stable query id within its dataset.
+    pub id: u32,
+    /// Natural-language form.
+    pub text: String,
+    /// Target entity name.
+    pub entity: String,
+    /// Target attribute (canonical relation name).
+    pub attribute: String,
+    /// Gold answer values (multi-valued attributes have several).
+    pub gold: Vec<Value>,
+}
+
+impl Query {
+    /// A stable key identifying this query for deterministic noise.
+    pub fn key(&self) -> String {
+        format!("{}#{}#{}", self.id, self.entity, self.attribute)
+    }
+}
+
+/// Gold `(entity, attribute) → values` assignments.
+#[derive(Debug, Clone, Default)]
+pub struct TruthTable {
+    map: FxHashMap<(String, String), Vec<Value>>,
+}
+
+impl TruthTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the gold values of a slot.
+    pub fn set(&mut self, entity: &str, attribute: &str, values: Vec<Value>) {
+        self.map
+            .insert((entity.to_string(), attribute.to_string()), values);
+    }
+
+    /// Gold values of a slot.
+    pub fn get(&self, entity: &str, attribute: &str) -> Option<&[Value]> {
+        self.map
+            .get(&(entity.to_string(), attribute.to_string()))
+            .map(Vec::as_slice)
+    }
+
+    /// Whether `value` is a correct answer for the slot. Comparison is
+    /// representation-insensitive ([`Value::answer_key`]) so surface
+    /// variants ("Mann, Michael") count as correct for every method.
+    pub fn is_correct(&self, entity: &str, attribute: &str, value: &Value) -> bool {
+        self.get(entity, attribute).is_some_and(|gold| {
+            gold.iter().any(|g| g.answer_key() == value.answer_key())
+        })
+    }
+
+    /// Number of recorded slots.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates `((entity, attribute), values)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&(String, String), &Vec<Value>)> {
+        self.map.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut truth = TruthTable::new();
+        truth.set("Heat", "director", vec![Value::from("Michael Mann")]);
+        assert_eq!(
+            truth.get("Heat", "director"),
+            Some(&[Value::from("Michael Mann")][..])
+        );
+        assert!(truth.get("Heat", "year").is_none());
+        assert_eq!(truth.len(), 1);
+        assert!(!truth.is_empty());
+    }
+
+    #[test]
+    fn is_correct_uses_canonical_keys() {
+        let mut truth = TruthTable::new();
+        truth.set("AAPL", "close", vec![Value::Float(10.0)]);
+        assert!(truth.is_correct("AAPL", "close", &Value::Int(10)));
+        assert!(!truth.is_correct("AAPL", "close", &Value::Int(11)));
+        truth.set("Heat", "director", vec![Value::from("Mann")]);
+        assert!(truth.is_correct("Heat", "director", &Value::from(" mann ")));
+    }
+
+    #[test]
+    fn multi_valued_slots_accept_any_gold_value() {
+        let mut truth = TruthTable::new();
+        truth.set(
+            "The Matrix",
+            "director",
+            vec![Value::from("Lana"), Value::from("Lilly")],
+        );
+        assert!(truth.is_correct("The Matrix", "director", &Value::from("Lilly")));
+        assert!(!truth.is_correct("The Matrix", "director", &Value::from("Cameron")));
+    }
+
+    #[test]
+    fn query_key_is_unique_per_slot() {
+        let q1 = Query {
+            id: 1,
+            text: "?".into(),
+            entity: "A".into(),
+            attribute: "x".into(),
+            gold: vec![],
+        };
+        let q2 = Query {
+            id: 2,
+            text: "?".into(),
+            entity: "A".into(),
+            attribute: "x".into(),
+            gold: vec![],
+        };
+        assert_ne!(q1.key(), q2.key());
+    }
+}

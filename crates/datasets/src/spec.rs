@@ -1,0 +1,720 @@
+//! The multi-source generation engine.
+//!
+//! A [`DomainSpec`] declares an entity universe, attribute models and a
+//! roster of sources with per-source reliability and coverage; its
+//! [`DomainSpec::generate`] method materializes gold truth, per-source
+//! (possibly wrong, possibly missing) claims, the provenance-carrying
+//! knowledge graph and the query set. Dense datasets (Movies, Flights)
+//! use high coverage; sparse ones (Books, Stocks) low coverage — the
+//! structural property Q2 and Fig. 5 sweep.
+
+use crate::query::{Query, TruthTable};
+use crate::world;
+use multirag_kg::{FxHashMap, KnowledgeGraph, Object, SourceId, Value};
+use rand::Rng;
+
+/// How entity names are produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntityNamer {
+    /// Movie titles.
+    Movie,
+    /// Book titles.
+    Book,
+    /// Flight codes.
+    Flight,
+    /// Stock symbols.
+    Stock,
+}
+
+impl EntityNamer {
+    fn name(self, seed: u64, index: usize) -> String {
+        match self {
+            EntityNamer::Movie => world::movie_title(seed, index),
+            EntityNamer::Book => world::book_title(seed, index),
+            EntityNamer::Flight => world::flight_code(seed, index),
+            EntityNamer::Stock => world::stock_symbol(seed, index),
+        }
+    }
+}
+
+/// Value model of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttributeKind {
+    /// Person names, up to `multi_max` per entity, drawn from a shared
+    /// pool of `pool` people (shared people create cross-entity
+    /// connectivity).
+    Person {
+        /// Maximum values per entity (≥1).
+        multi_max: usize,
+        /// Size of the shared person pool.
+        pool: usize,
+    },
+    /// One of the world's genres.
+    Genre,
+    /// One of the world's publishers.
+    Publisher,
+    /// One of the world's exchanges.
+    Exchange,
+    /// One of the world's flight statuses.
+    FlightStatus,
+    /// One of the world's cities (linkable).
+    City,
+    /// A year in `[min, max]`.
+    Year {
+        /// Earliest year.
+        min: i64,
+        /// Latest year.
+        max: i64,
+    },
+    /// A `HH:MM` time of day.
+    TimeOfDay,
+    /// A float in `[min, max]` (prices).
+    Money {
+        /// Minimum value.
+        min: f64,
+        /// Maximum value.
+        max: f64,
+    },
+    /// An integer in `[min, max]` (volumes, runtimes).
+    Count {
+        /// Minimum value.
+        min: i64,
+        /// Maximum value.
+        max: i64,
+    },
+}
+
+/// An attribute of the domain's entities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeSpec {
+    /// Canonical relation name (snake_case).
+    pub name: String,
+    /// Value model.
+    pub kind: AttributeKind,
+    /// Whether values become entity nodes (graph edges) rather than
+    /// literals — directors, cities.
+    pub link: bool,
+    /// Whether benchmark queries may target this attribute.
+    pub queryable: bool,
+}
+
+impl AttributeSpec {
+    /// Shorthand constructor.
+    pub fn new(name: &str, kind: AttributeKind, link: bool) -> Self {
+        Self {
+            name: name.to_string(),
+            kind,
+            link,
+            queryable: true,
+        }
+    }
+}
+
+/// One roster entry: `count` sources of the same format family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceSpec {
+    /// Format tag: "json", "csv", "xml" or "kg".
+    pub format: String,
+    /// Number of sources of this format.
+    pub count: usize,
+    /// Reliability range: each source draws its per-claim correctness
+    /// probability uniformly from this interval.
+    pub reliability: (f64, f64),
+    /// Coverage range: probability the source asserts a given
+    /// `(entity, attribute)` slot.
+    pub coverage: (f64, f64),
+}
+
+/// Generation scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Number of primary entities.
+    pub entities: usize,
+    /// Number of benchmark queries.
+    pub queries: usize,
+}
+
+impl Scale {
+    /// Tiny scale for unit tests.
+    pub fn small() -> Self {
+        Self {
+            entities: 60,
+            queries: 12,
+        }
+    }
+
+    /// Default experiment scale (fast enough for the full table sweeps).
+    pub fn bench() -> Self {
+        Self {
+            entities: 400,
+            queries: 100,
+        }
+    }
+
+    /// Larger scale for throughput benchmarks.
+    pub fn large() -> Self {
+        Self {
+            entities: 2000,
+            queries: 100,
+        }
+    }
+}
+
+/// A complete domain description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DomainSpec {
+    /// Domain name ("movies", "books", …).
+    pub domain: String,
+    /// Entity naming scheme.
+    pub namer: EntityNamer,
+    /// Attribute models.
+    pub attributes: Vec<AttributeSpec>,
+    /// Source roster.
+    pub sources: Vec<SourceSpec>,
+    /// Scale.
+    pub scale: Scale,
+    /// Error correlation: when a source errs, the probability it
+    /// asserts the slot's shared *decoy* value (the same wrong value
+    /// other erring sources pick) instead of an independent error.
+    /// Correlated errors are what break naive majority voting — the
+    /// deep-web copying phenomenon the truth-discovery literature
+    /// documents.
+    pub decoy_rate: f64,
+}
+
+/// Metadata of one generated source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceInfo {
+    /// Graph source id.
+    pub id: SourceId,
+    /// Source name ("movies-json-0").
+    pub name: String,
+    /// Format tag.
+    pub format: String,
+    /// Drawn per-claim reliability.
+    pub reliability: f64,
+    /// Drawn per-slot coverage.
+    pub coverage: f64,
+    /// Surface-rendering style (0 = canonical, 1 = "Last, First"
+    /// comma swap, 2 = plain token swap, 3 = spacing/punctuation
+    /// noise). Real feeds spell the same value differently; exact-match
+    /// fusion fragments across these variants.
+    pub style: u8,
+}
+
+/// Renders a string value in a source's surface style. Styles only
+/// reorder / re-punctuate tokens, so the answer key is preserved.
+pub fn render_style(style: u8, text: &str) -> String {
+    let tokens: Vec<&str> = text.split_whitespace().collect();
+    if tokens.len() < 2 {
+        return text.to_string();
+    }
+    match style {
+        1 => {
+            // "First Middle Last" → "Last, First Middle"
+            let (last, rest) = tokens.split_last().expect("len >= 2");
+            format!("{last}, {}", rest.join(" "))
+        }
+        2 => {
+            // Plain swap of the last token to the front.
+            let (last, rest) = tokens.split_last().expect("len >= 2");
+            format!("{last} {}", rest.join(" "))
+        }
+        3 => format!("{}.", tokens.join("  ")),
+        _ => text.to_string(),
+    }
+}
+
+/// Applies a source style to a claim value (strings only; numerics and
+/// entity references render canonically).
+fn style_value(style: u8, value: &Value) -> Value {
+    match value {
+        Value::Str(s) => Value::Str(render_style(style, s)),
+        Value::List(items) => Value::List(items.iter().map(|v| style_value(style, v)).collect()),
+        other => other.clone(),
+    }
+}
+
+/// A generated multi-source benchmark dataset.
+#[derive(Debug, Clone)]
+pub struct MultiSourceDataset {
+    /// Dataset name (matches the spec's domain).
+    pub name: String,
+    /// The provenance-carrying knowledge graph over all sources.
+    pub graph: KnowledgeGraph,
+    /// Benchmark queries.
+    pub queries: Vec<Query>,
+    /// Gold truth.
+    pub truth: TruthTable,
+    /// Per-source metadata.
+    pub sources: Vec<SourceInfo>,
+    /// The generating spec.
+    pub spec: DomainSpec,
+    /// The generation seed.
+    pub seed: u64,
+}
+
+impl MultiSourceDataset {
+    /// Source ids whose format tag is in `formats` (single letters of
+    /// Table II map as J=json, C=csv, X=xml, K=kg).
+    pub fn sources_with_formats(&self, formats: &[&str]) -> Vec<SourceId> {
+        self.sources
+            .iter()
+            .filter(|s| formats.contains(&s.format.as_str()))
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// A restriction of the dataset's graph to the given format combo —
+    /// the J/K, J/C, … columns of Table II.
+    pub fn restricted_graph(&self, formats: &[&str]) -> KnowledgeGraph {
+        self.graph
+            .restrict_to_sources(&self.sources_with_formats(formats))
+    }
+
+    /// Distinct format tags present.
+    pub fn format_tags(&self) -> Vec<String> {
+        let mut tags: Vec<String> = self.sources.iter().map(|s| s.format.clone()).collect();
+        tags.sort();
+        tags.dedup();
+        tags
+    }
+}
+
+impl DomainSpec {
+    /// Generates the dataset for `seed`.
+    pub fn generate(&self, seed: u64) -> MultiSourceDataset {
+        let scale = self.scale;
+        // ---------------------------------------------------------
+        // 1. Entity universe and gold truth.
+        // ---------------------------------------------------------
+        let entity_names: Vec<String> = (0..scale.entities)
+            .map(|i| self.namer.name(seed, i))
+            .collect();
+        let mut truth = TruthTable::new();
+        let mut gold: FxHashMap<(usize, usize), Vec<Value>> = FxHashMap::default();
+        for (ei, entity) in entity_names.iter().enumerate() {
+            for (ai, attr) in self.attributes.iter().enumerate() {
+                let values = gold_values(seed, &self.domain, entity, attr);
+                truth.set(entity, &attr.name, values.clone());
+                gold.insert((ei, ai), values);
+            }
+        }
+
+        // ---------------------------------------------------------
+        // 2. Sources: draw reliability/coverage, emit claims.
+        // ---------------------------------------------------------
+        let approx_triples =
+            scale.entities * self.attributes.len() * self.sources.iter().map(|s| s.count).sum::<usize>() / 2;
+        let mut kg = KnowledgeGraph::with_capacity(scale.entities * 2, approx_triples);
+        let mut sources = Vec::new();
+        for roster in &self.sources {
+            for copy in 0..roster.count {
+                let name = format!("{}-{}-{copy}", self.domain, roster.format);
+                let mut r = world::rng(seed, &format!("source:{name}"));
+                let reliability =
+                    r.gen_range(roster.reliability.0..=roster.reliability.1.max(roster.reliability.0));
+                let coverage =
+                    r.gen_range(roster.coverage.0..=roster.coverage.1.max(roster.coverage.0));
+                let style = r.gen_range(0..4u8);
+                let id = kg.add_source(&name, &roster.format, &self.domain);
+                sources.push(SourceInfo {
+                    id,
+                    name,
+                    format: roster.format.clone(),
+                    reliability,
+                    coverage,
+                    style,
+                });
+            }
+        }
+
+        for source in &sources {
+            let mut r = world::rng(seed, &format!("claims:{}", source.name));
+            for (ei, entity) in entity_names.iter().enumerate() {
+                for (ai, attr) in self.attributes.iter().enumerate() {
+                    if !r.gen_bool(source.coverage) {
+                        continue;
+                    }
+                    let gold_vals = &gold[&(ei, ai)];
+                    let correct = r.gen_bool(source.reliability);
+                    let asserted: Vec<Value> = if correct {
+                        gold_vals.clone()
+                    } else if r.gen_bool(self.decoy_rate) {
+                        decoy_values(seed, &self.domain, entity, attr, gold_vals)
+                    } else {
+                        corrupt_values(seed, &self.domain, entity, attr, gold_vals, &mut r)
+                    };
+                    let subject = kg.add_entity(entity, &self.domain);
+                    let predicate = kg.add_relation(&attr.name);
+                    let chunk = ei as u32;
+                    // Link attributes resolve to entity nodes and render
+                    // canonically; literal strings carry the source's
+                    // surface style.
+                    for value in &asserted {
+                        let object = if attr.link {
+                            link_object(&mut kg, &self.domain, attr, value)
+                        } else {
+                            Object::Literal(style_value(source.style, value))
+                        };
+                        kg.add_triple(subject, predicate, object, source.id, chunk);
+                    }
+                }
+            }
+        }
+
+        // ---------------------------------------------------------
+        // 3. Queries over covered, queryable slots.
+        // ---------------------------------------------------------
+        let queryable: Vec<usize> = self
+            .attributes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.queryable)
+            .map(|(i, _)| i)
+            .collect();
+        let mut queries = Vec::with_capacity(scale.queries);
+        let mut r = world::rng(seed, "queries");
+        let mut attempts = 0;
+        while queries.len() < scale.queries && attempts < scale.queries * 50 {
+            attempts += 1;
+            let ei = r.gen_range(0..entity_names.len());
+            let ai = queryable[r.gen_range(0..queryable.len())];
+            let entity = &entity_names[ei];
+            let attr = &self.attributes[ai];
+            // The paper guarantees answers stay retrievable: skip slots
+            // no source covered.
+            let covered = kg
+                .find_entity(entity, &self.domain)
+                .zip(kg.find_relation(&attr.name))
+                .map(|(e, p)| !kg.slot_triples(e, p).is_empty())
+                .unwrap_or(false);
+            if !covered {
+                continue;
+            }
+            let id = queries.len() as u32;
+            let attr_spaced = attr.name.replace('_', " ");
+            queries.push(Query {
+                id,
+                text: format!("What is the {attr_spaced} of {entity}?"),
+                entity: entity.clone(),
+                attribute: attr.name.clone(),
+                gold: gold[&(ei, ai)].clone(),
+            });
+        }
+
+        MultiSourceDataset {
+            name: self.domain.clone(),
+            graph: kg,
+            queries,
+            truth,
+            sources,
+            spec: self.clone(),
+            seed,
+        }
+    }
+}
+
+/// Gold values of a slot.
+fn gold_values(seed: u64, domain: &str, entity: &str, attr: &AttributeSpec) -> Vec<Value> {
+    let key = format!("gold:{domain}:{entity}:{}", attr.name);
+    let mut r = world::rng(seed, &key);
+    match attr.kind {
+        AttributeKind::Person { multi_max, pool } => {
+            let n = r.gen_range(1..=multi_max.max(1));
+            let mut picks: Vec<usize> = Vec::with_capacity(n);
+            while picks.len() < n {
+                let p = r.gen_range(0..pool.max(1));
+                if !picks.contains(&p) {
+                    picks.push(p);
+                }
+            }
+            picks
+                .into_iter()
+                .map(|p| Value::Str(world::person_name(seed, p)))
+                .collect()
+        }
+        AttributeKind::Genre => vec![Value::Str(world::genre(seed, &key).to_string())],
+        AttributeKind::Publisher => vec![Value::Str(world::publisher(seed, &key).to_string())],
+        AttributeKind::Exchange => vec![Value::Str(world::exchange(seed, &key).to_string())],
+        AttributeKind::FlightStatus => {
+            vec![Value::Str(world::flight_status(seed, &key).to_string())]
+        }
+        AttributeKind::City => vec![Value::Str(world::city(seed, &key).to_string())],
+        AttributeKind::Year { min, max } => vec![Value::Int(r.gen_range(min..=max))],
+        AttributeKind::TimeOfDay => vec![Value::Str(world::time_of_day(seed, &key))],
+        AttributeKind::Money { min, max } => {
+            vec![Value::Float((r.gen_range(min..=max) * 100.0).round() / 100.0)]
+        }
+        AttributeKind::Count { min, max } => vec![Value::Int(r.gen_range(min..=max))],
+    }
+}
+
+/// The slot's shared decoy: the *same* wrong value every erring source
+/// picks when errors correlate. Deterministic per slot.
+fn decoy_values(
+    seed: u64,
+    domain: &str,
+    entity: &str,
+    attr: &AttributeSpec,
+    gold: &[Value],
+) -> Vec<Value> {
+    let key = format!("decoy:{domain}:{entity}:{}", attr.name);
+    let mut r = world::rng(seed, &key);
+    let decoy = corrupt_values(seed ^ 0xD0C0, domain, entity, attr, gold, &mut r);
+    // A decoy equal to gold would be a correct assertion; nudge it.
+    if decoy
+        .iter()
+        .zip(gold)
+        .all(|(d, g)| d.canonical_key() == g.canonical_key())
+        && decoy.len() == gold.len()
+    {
+        return corrupt_values(seed ^ 0xBEEF, domain, entity, attr, gold, &mut r);
+    }
+    decoy
+}
+
+/// A wrong-but-plausible assertion for a slot (the error model).
+fn corrupt_values(
+    seed: u64,
+    domain: &str,
+    entity: &str,
+    attr: &AttributeSpec,
+    gold: &[Value],
+    r: &mut rand::rngs::StdRng,
+) -> Vec<Value> {
+    let salt: u64 = r.gen();
+    let key = format!("err:{domain}:{entity}:{}:{salt}", attr.name);
+    match attr.kind {
+        AttributeKind::Person { pool, .. } => {
+            // Swap one person for another pool member.
+            let mut values: Vec<Value> = gold.to_vec();
+            let wrong = Value::Str(world::person_name(seed, {
+                let mut rr = world::rng(seed, &key);
+                rr.gen_range(0..pool.max(1))
+            }));
+            if values.is_empty() {
+                vec![wrong]
+            } else {
+                let idx = r.gen_range(0..values.len());
+                values[idx] = wrong;
+                values
+            }
+        }
+        AttributeKind::Genre => vec![Value::Str(world::genre(seed ^ 1, &key).to_string())],
+        AttributeKind::Publisher => {
+            vec![Value::Str(world::publisher(seed ^ 1, &key).to_string())]
+        }
+        AttributeKind::Exchange => vec![Value::Str(world::exchange(seed ^ 1, &key).to_string())],
+        AttributeKind::FlightStatus => {
+            vec![Value::Str(world::flight_status(seed ^ 1, &key).to_string())]
+        }
+        AttributeKind::City => vec![Value::Str(world::city(seed ^ 1, &key).to_string())],
+        AttributeKind::Year { .. } => {
+            let delta = r.gen_range(1..=3);
+            let base = gold[0].as_i64().unwrap_or(2000);
+            vec![Value::Int(if r.gen_bool(0.5) {
+                base + delta
+            } else {
+                base - delta
+            })]
+        }
+        AttributeKind::TimeOfDay => vec![Value::Str(world::time_of_day(seed ^ 1, &key))],
+        AttributeKind::Money { .. } => {
+            let base = gold[0].as_f64().unwrap_or(100.0);
+            let factor = 1.0 + r.gen_range(0.02..0.25) * if r.gen_bool(0.5) { 1.0 } else { -1.0 };
+            vec![Value::Float((base * factor * 100.0).round() / 100.0)]
+        }
+        AttributeKind::Count { .. } => {
+            let base = gold[0].as_i64().unwrap_or(100);
+            let delta = (base / 10).max(1);
+            vec![Value::Int(base + r.gen_range(-delta..=delta).max(1 - base))]
+        }
+    }
+}
+
+/// Converts a claim value to a graph object, creating linked entities
+/// for link attributes.
+fn link_object(
+    kg: &mut KnowledgeGraph,
+    domain: &str,
+    attr: &AttributeSpec,
+    value: &Value,
+) -> Object {
+    if attr.link {
+        if let Value::Str(s) = value {
+            let e = kg.add_entity(s, domain);
+            return Object::Entity(e);
+        }
+    }
+    Object::Literal(value.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> DomainSpec {
+        DomainSpec {
+            domain: "testdom".into(),
+            namer: EntityNamer::Movie,
+            attributes: vec![
+                AttributeSpec::new(
+                    "director",
+                    AttributeKind::Person {
+                        multi_max: 2,
+                        pool: 20,
+                    },
+                    true,
+                ),
+                AttributeSpec::new("year", AttributeKind::Year { min: 1980, max: 2024 }, false),
+                AttributeSpec::new("genre", AttributeKind::Genre, false),
+            ],
+            sources: vec![
+                SourceSpec {
+                    format: "json".into(),
+                    count: 2,
+                    reliability: (0.8, 0.9),
+                    coverage: (0.6, 0.8),
+                },
+                SourceSpec {
+                    format: "csv".into(),
+                    count: 2,
+                    reliability: (0.6, 0.8),
+                    coverage: (0.5, 0.7),
+                },
+            ],
+            scale: Scale::small(),
+            decoy_rate: 0.5,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = tiny_spec();
+        let a = spec.generate(42);
+        let b = spec.generate(42);
+        assert_eq!(a.graph.triple_count(), b.graph.triple_count());
+        assert_eq!(a.queries.len(), b.queries.len());
+        assert_eq!(a.queries[0].text, b.queries[0].text);
+        assert_eq!(a.sources[0].reliability, b.sources[0].reliability);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = tiny_spec();
+        let a = spec.generate(42);
+        let b = spec.generate(43);
+        assert_ne!(a.graph.triple_count(), b.graph.triple_count());
+    }
+
+    #[test]
+    fn sources_match_roster() {
+        let data = tiny_spec().generate(1);
+        assert_eq!(data.sources.len(), 4);
+        assert_eq!(data.graph.source_count(), 4);
+        assert_eq!(data.sources_with_formats(&["json"]).len(), 2);
+        assert_eq!(data.format_tags(), vec!["csv".to_string(), "json".to_string()]);
+    }
+
+    #[test]
+    fn queries_have_retrievable_answers() {
+        let data = tiny_spec().generate(7);
+        assert_eq!(data.queries.len(), Scale::small().queries);
+        for q in &data.queries {
+            let e = data.graph.find_entity(&q.entity, "testdom").unwrap();
+            let p = data.graph.find_relation(&q.attribute).unwrap();
+            assert!(
+                !data.graph.slot_triples(e, p).is_empty(),
+                "query {} has no supporting triples",
+                q.id
+            );
+            assert!(!q.gold.is_empty());
+        }
+    }
+
+    #[test]
+    fn truth_table_covers_all_slots() {
+        let data = tiny_spec().generate(7);
+        assert_eq!(data.truth.len(), Scale::small().entities * 3);
+    }
+
+    #[test]
+    fn reliability_controls_error_rate() {
+        // A high-reliability roster should produce far fewer wrong
+        // claims than a low-reliability one.
+        let mut spec = tiny_spec();
+        spec.sources = vec![SourceSpec {
+            format: "json".into(),
+            count: 3,
+            reliability: (0.95, 0.99),
+            coverage: (0.9, 1.0),
+        }];
+        let reliable = spec.generate(11);
+        spec.sources[0].reliability = (0.30, 0.40);
+        let unreliable = spec.generate(11);
+        let wrong = |d: &MultiSourceDataset| -> f64 {
+            let mut wrong = 0usize;
+            let mut total = 0usize;
+            for (_, t) in d.graph.iter_triples() {
+                let entity = d.graph.entity_name(t.subject).to_string();
+                let attr = d.graph.relation_name(t.predicate).to_string();
+                let value = match &t.object {
+                    Object::Entity(e) => Value::Str(d.graph.entity_name(*e).to_string()),
+                    Object::Literal(v) => v.clone(),
+                };
+                total += 1;
+                if !d.truth.is_correct(&entity, &attr, &value) {
+                    wrong += 1;
+                }
+            }
+            wrong as f64 / total.max(1) as f64
+        };
+        assert!(wrong(&reliable) < 0.10, "reliable error {}", wrong(&reliable));
+        assert!(wrong(&unreliable) > 0.35, "unreliable error {}", wrong(&unreliable));
+    }
+
+    #[test]
+    fn coverage_controls_density() {
+        let mut spec = tiny_spec();
+        spec.sources = vec![SourceSpec {
+            format: "json".into(),
+            count: 2,
+            reliability: (0.8, 0.9),
+            coverage: (0.9, 1.0),
+        }];
+        let dense = spec.generate(5);
+        spec.sources[0].coverage = (0.1, 0.2);
+        let sparse = spec.generate(5);
+        assert!(dense.graph.triple_count() > sparse.graph.triple_count() * 3);
+    }
+
+    #[test]
+    fn link_attributes_create_entity_edges() {
+        let data = tiny_spec().generate(3);
+        let stats = data.graph.stats();
+        assert!(stats.edges > 0, "director links must create edges");
+        // Person entities share names across movies, creating hubs.
+        assert!(stats.entities > Scale::small().entities);
+    }
+
+    #[test]
+    fn restricted_graph_drops_other_formats() {
+        let data = tiny_spec().generate(3);
+        let json_only = data.restricted_graph(&["json"]);
+        assert_eq!(json_only.source_count(), 2);
+        assert!(json_only.triple_count() < data.graph.triple_count());
+    }
+
+    #[test]
+    fn multi_valued_person_attributes_emit_multiple_triples() {
+        let data = tiny_spec().generate(9);
+        // Find a query slot whose gold has 2 directors and at least one
+        // source asserting both.
+        let multi = data
+            .truth
+            .iter()
+            .find(|((_, a), v)| a == "director" && v.len() == 2);
+        assert!(multi.is_some(), "some movie should have two directors");
+    }
+}

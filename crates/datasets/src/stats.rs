@@ -1,0 +1,155 @@
+//! Dataset statistics (the Table I backing data).
+
+use crate::spec::MultiSourceDataset;
+use multirag_kg::FxHashMap;
+
+/// Per-format statistics of one dataset, mirroring a Table I row group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FormatStats {
+    /// Format tag ("json", "csv", "xml", "kg").
+    pub format: String,
+    /// Number of sources in this format.
+    pub sources: usize,
+    /// Entities touched by triples from these sources.
+    pub entities: usize,
+    /// Triples asserted by these sources.
+    pub relations: usize,
+}
+
+/// Full dataset statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Per-format rows.
+    pub per_format: Vec<FormatStats>,
+    /// Query count.
+    pub queries: usize,
+    /// Total entities.
+    pub total_entities: usize,
+    /// Total triples.
+    pub total_relations: usize,
+}
+
+/// Computes Table I-style statistics for a generated dataset.
+pub fn dataset_stats(data: &MultiSourceDataset) -> DatasetStats {
+    let kg = &data.graph;
+    let mut per_format: Vec<FormatStats> = Vec::new();
+    let mut format_order: Vec<String> = Vec::new();
+    let mut sources_by_format: FxHashMap<String, Vec<multirag_kg::SourceId>> =
+        FxHashMap::default();
+    for s in &data.sources {
+        if !format_order.contains(&s.format) {
+            format_order.push(s.format.clone());
+        }
+        sources_by_format
+            .entry(s.format.clone())
+            .or_default()
+            .push(s.id);
+    }
+    for format in &format_order {
+        let ids = &sources_by_format[format];
+        let mut entities: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        let mut relations = 0usize;
+        for (_, t) in kg.iter_triples() {
+            if ids.contains(&t.source) {
+                relations += 1;
+                entities.insert(t.subject.0);
+                if let Some(e) = t.object.as_entity() {
+                    entities.insert(e.0);
+                }
+            }
+        }
+        per_format.push(FormatStats {
+            format: format.clone(),
+            sources: ids.len(),
+            entities: entities.len(),
+            relations,
+        });
+    }
+    DatasetStats {
+        name: data.name.clone(),
+        per_format,
+        queries: data.queries.len(),
+        total_entities: kg.entity_count(),
+        total_relations: kg.triple_count(),
+    }
+}
+
+/// Renders a Table I-style ASCII table for a set of datasets.
+pub fn render_table1(stats: &[DatasetStats]) -> String {
+    let mut out = String::new();
+    out.push_str("| Dataset  | Source | Sources | Entities | Relations | Queries |\n");
+    out.push_str("|----------|--------|---------|----------|-----------|---------|\n");
+    for ds in stats {
+        for (i, f) in ds.per_format.iter().enumerate() {
+            let name = if i == 0 { ds.name.as_str() } else { "" };
+            let queries = if i == 0 {
+                ds.queries.to_string()
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                "| {:<8} | {:<6} | {:>7} | {:>8} | {:>9} | {:>7} |\n",
+                name,
+                format_letter(&f.format),
+                f.sources,
+                f.entities,
+                f.relations,
+                queries,
+            ));
+        }
+    }
+    out
+}
+
+/// The Table I single-letter format code.
+pub fn format_letter(format: &str) -> &'static str {
+    match format {
+        "json" => "J",
+        "csv" => "C",
+        "xml" => "X",
+        "kg" => "K",
+        "text" => "T",
+        _ => "?",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::movies::MoviesSpec;
+
+    #[test]
+    fn stats_cover_all_formats() {
+        let data = MoviesSpec::small().generate(42);
+        let stats = dataset_stats(&data);
+        let formats: Vec<&str> = stats.per_format.iter().map(|f| f.format.as_str()).collect();
+        assert_eq!(formats, vec!["json", "kg", "csv"]);
+        assert_eq!(
+            stats.per_format.iter().map(|f| f.sources).sum::<usize>(),
+            13
+        );
+        let relation_sum: usize = stats.per_format.iter().map(|f| f.relations).sum();
+        assert_eq!(relation_sum, stats.total_relations);
+    }
+
+    #[test]
+    fn table_renders_one_row_per_format() {
+        let data = MoviesSpec::small().generate(42);
+        let stats = dataset_stats(&data);
+        let table = render_table1(&[stats]);
+        assert_eq!(table.lines().count(), 2 + 3);
+        assert!(table.contains("movies"));
+        assert!(table.contains("| J "));
+    }
+
+    #[test]
+    fn format_letters() {
+        assert_eq!(format_letter("json"), "J");
+        assert_eq!(format_letter("csv"), "C");
+        assert_eq!(format_letter("xml"), "X");
+        assert_eq!(format_letter("kg"), "K");
+        assert_eq!(format_letter("weird"), "?");
+    }
+}

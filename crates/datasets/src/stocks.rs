@@ -1,0 +1,118 @@
+//! The Stocks dataset (sparse; 20 sources: 10 CSV + 10 JSON, as in
+//! Table I).
+
+use crate::spec::{AttributeKind, AttributeSpec, DomainSpec, EntityNamer, Scale, SourceSpec};
+
+/// Stocks dataset builder.
+#[derive(Debug, Clone, Copy)]
+pub struct StocksSpec;
+
+impl StocksSpec {
+    /// The paper-shaped spec. Sparse coverage with numeric attributes
+    /// whose errors are relative perturbations (close-but-wrong prices)
+    /// — the hardest conflicts to vote away.
+    pub fn at_scale(scale: Scale) -> DomainSpec {
+        DomainSpec {
+            domain: "stocks".into(),
+            namer: EntityNamer::Stock,
+            attributes: vec![
+                AttributeSpec::new(
+                    "open",
+                    AttributeKind::Money {
+                        min: 2.0,
+                        max: 900.0,
+                    },
+                    false,
+                ),
+                AttributeSpec::new(
+                    "close",
+                    AttributeKind::Money {
+                        min: 2.0,
+                        max: 900.0,
+                    },
+                    false,
+                ),
+                AttributeSpec::new(
+                    "volume",
+                    AttributeKind::Count {
+                        min: 10_000,
+                        max: 90_000_000,
+                    },
+                    false,
+                ),
+                AttributeSpec::new("exchange", AttributeKind::Exchange, false),
+            ],
+            sources: vec![
+                SourceSpec {
+                    format: "csv".into(),
+                    count: 10,
+                    reliability: (0.50, 0.78),
+                    coverage: (0.10, 0.30),
+                },
+                SourceSpec {
+                    format: "json".into(),
+                    count: 10,
+                    reliability: (0.48, 0.76),
+                    coverage: (0.08, 0.28),
+                },
+            ],
+            scale,
+            decoy_rate: 0.75,
+        }
+    }
+
+    /// Tiny scale for tests.
+    pub fn small() -> DomainSpec {
+        Self::at_scale(Scale::small())
+    }
+
+    /// Experiment scale.
+    pub fn bench() -> DomainSpec {
+        Self::at_scale(Scale::bench())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flights::FlightsSpec;
+
+    #[test]
+    fn twenty_sources() {
+        let data = StocksSpec::small().generate(1);
+        assert_eq!(data.graph.source_count(), 20);
+    }
+
+    #[test]
+    fn stocks_are_sparser_than_flights() {
+        let stocks = StocksSpec::small().generate(42);
+        let flights = FlightsSpec::small().generate(42);
+        let density = |d: &crate::spec::MultiSourceDataset| {
+            d.graph.triple_count() as f64 / d.graph.entity_count().max(1) as f64
+        };
+        assert!(density(&stocks) < density(&flights) / 2.0);
+    }
+
+    #[test]
+    fn numeric_errors_are_relative() {
+        let data = StocksSpec::small().generate(42);
+        let close = data.graph.find_relation("close").unwrap();
+        // Wrong close prices should be near (but not equal to) gold.
+        let mut relative_errors = Vec::new();
+        for e in data.graph.entity_ids() {
+            let entity = data.graph.entity_name(e).to_string();
+            let Some(gold) = data.truth.get(&entity, "close") else {
+                continue;
+            };
+            let gold_v = gold[0].as_f64().unwrap();
+            for v in data.graph.attribute_values(e, close) {
+                let claim = v.as_f64().unwrap();
+                if (claim - gold_v).abs() > 1e-9 {
+                    relative_errors.push(((claim - gold_v) / gold_v).abs());
+                }
+            }
+        }
+        assert!(!relative_errors.is_empty());
+        assert!(relative_errors.iter().all(|&e| e < 0.3));
+    }
+}

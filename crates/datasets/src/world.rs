@@ -1,0 +1,253 @@
+//! Deterministic fake-name and value generation.
+//!
+//! Names are assembled from syllable tables keyed by SplitMix draws, so
+//! the same `(domain, index)` always produces the same name — across
+//! runs, threads and platforms.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SYLLABLES: &[&str] = &[
+    "al", "an", "ar", "bel", "bor", "cal", "dan", "del", "dor", "el", "en", "far", "gal",
+    "han", "hel", "ir", "jan", "kal", "kor", "lan", "lor", "mar", "mel", "nor", "or", "pel",
+    "quin", "ral", "ren", "sal", "sol", "tan", "tor", "ul", "van", "vor", "wen", "yor", "zan",
+    "zel",
+];
+
+const SURNAME_SUFFIX: &[&str] = &[
+    "son", "sen", "ez", "ini", "ov", "sky", "berg", "ström", "wood", "field", "ton", "well",
+];
+
+const MOVIE_WORDS: &[&str] = &[
+    "Crimson", "Silent", "Golden", "Broken", "Midnight", "Eternal", "Falling", "Hidden",
+    "Burning", "Frozen", "Electric", "Distant", "Savage", "Gentle", "Hollow", "Radiant",
+];
+
+const MOVIE_NOUNS: &[&str] = &[
+    "Horizon", "Empire", "Garden", "River", "Signal", "Mirror", "Harvest", "Voyage", "Echo",
+    "Tide", "Crown", "Shadow", "Engine", "Paradox", "Station", "Covenant",
+];
+
+const BOOK_NOUNS: &[&str] = &[
+    "Chronicle", "Testament", "Atlas", "Manifesto", "Primer", "Codex", "Anthology", "Treatise",
+    "Memoir", "Ballad", "Lexicon", "Almanac", "Fable", "Elegy", "Epistle", "Saga",
+];
+
+const CITIES: &[&str] = &[
+    "Beijing", "Shanghai", "New York", "London", "Tokyo", "Paris", "Singapore", "Sydney",
+    "Frankfurt", "Dubai", "Seattle", "Toronto", "Nairobi", "Lima", "Oslo", "Mumbai",
+];
+
+const GENRES: &[&str] = &[
+    "drama", "thriller", "comedy", "documentary", "noir", "science fiction", "romance",
+    "adventure",
+];
+
+const PUBLISHERS: &[&str] = &[
+    "Meridian Press", "Blue Harbor Books", "Northlight House", "Juniper & Vale",
+    "Cartographer Press", "Silver Quill", "Redwood Editions", "Lanternworks",
+];
+
+const EXCHANGES: &[&str] = &["NYSE", "NASDAQ", "LSE", "HKEX", "TSE", "SSE"];
+
+const STATUS: &[&str] = &["on-time", "delayed", "boarding", "departed", "cancelled"];
+
+/// A deterministic RNG for `(seed, stream)` — every generator derives
+/// its randomness from one of these so streams never interfere.
+pub fn rng(seed: u64, stream: &str) -> StdRng {
+    let mut key = [0u8; 32];
+    let h1 = fold(seed, stream, 0x9e3779b97f4a7c15);
+    let h2 = fold(seed, stream, 0xbf58476d1ce4e5b9);
+    let h3 = fold(seed, stream, 0x94d049bb133111eb);
+    let h4 = fold(seed, stream, 0x2545f4914f6cdd1d);
+    key[..8].copy_from_slice(&h1.to_le_bytes());
+    key[8..16].copy_from_slice(&h2.to_le_bytes());
+    key[16..24].copy_from_slice(&h3.to_le_bytes());
+    key[24..].copy_from_slice(&h4.to_le_bytes());
+    StdRng::from_seed(key)
+}
+
+fn fold(seed: u64, stream: &str, salt: u64) -> u64 {
+    let mut h = seed ^ salt;
+    for &b in stream.as_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100000001b3);
+        h ^= h >> 29;
+    }
+    h
+}
+
+fn cap(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+/// A deterministic person name for `(seed, index)`.
+pub fn person_name(seed: u64, index: usize) -> String {
+    let mut r = rng(seed, &format!("person:{index}"));
+    let first = format!(
+        "{}{}",
+        cap(SYLLABLES[r.gen_range(0..SYLLABLES.len())]),
+        SYLLABLES[r.gen_range(0..SYLLABLES.len())]
+    );
+    let last = format!(
+        "{}{}",
+        cap(SYLLABLES[r.gen_range(0..SYLLABLES.len())]),
+        SURNAME_SUFFIX[r.gen_range(0..SURNAME_SUFFIX.len())]
+    );
+    format!("{first} {last}")
+}
+
+/// A deterministic movie title.
+pub fn movie_title(seed: u64, index: usize) -> String {
+    let mut r = rng(seed, &format!("movie:{index}"));
+    format!(
+        "{} {} {}",
+        MOVIE_WORDS[r.gen_range(0..MOVIE_WORDS.len())],
+        MOVIE_NOUNS[r.gen_range(0..MOVIE_NOUNS.len())],
+        index
+    )
+}
+
+/// A deterministic book title.
+pub fn book_title(seed: u64, index: usize) -> String {
+    let mut r = rng(seed, &format!("book:{index}"));
+    format!(
+        "The {} of {} {}",
+        BOOK_NOUNS[r.gen_range(0..BOOK_NOUNS.len())],
+        cap(SYLLABLES[r.gen_range(0..SYLLABLES.len())]),
+        index
+    )
+}
+
+/// A deterministic flight code (`CA981`-style).
+pub fn flight_code(seed: u64, index: usize) -> String {
+    let mut r = rng(seed, &format!("flight:{index}"));
+    let a = b'A' + r.gen_range(0..26u8);
+    let b = b'A' + r.gen_range(0..26u8);
+    format!("{}{}{}", a as char, b as char, 100 + (index % 900))
+}
+
+/// A deterministic stock symbol.
+pub fn stock_symbol(seed: u64, index: usize) -> String {
+    let mut r = rng(seed, &format!("stock:{index}"));
+    let len = r.gen_range(3..=4);
+    let mut s = String::with_capacity(len + 4);
+    for _ in 0..len {
+        s.push((b'A' + r.gen_range(0..26u8)) as char);
+    }
+    format!("{s}{index}")
+}
+
+/// A deterministic city name.
+pub fn city(seed: u64, key: &str) -> &'static str {
+    let mut r = rng(seed, &format!("city:{key}"));
+    CITIES[r.gen_range(0..CITIES.len())]
+}
+
+/// A deterministic genre.
+pub fn genre(seed: u64, key: &str) -> &'static str {
+    let mut r = rng(seed, &format!("genre:{key}"));
+    GENRES[r.gen_range(0..GENRES.len())]
+}
+
+/// A deterministic publisher.
+pub fn publisher(seed: u64, key: &str) -> &'static str {
+    let mut r = rng(seed, &format!("publisher:{key}"));
+    PUBLISHERS[r.gen_range(0..PUBLISHERS.len())]
+}
+
+/// A deterministic exchange.
+pub fn exchange(seed: u64, key: &str) -> &'static str {
+    let mut r = rng(seed, &format!("exchange:{key}"));
+    EXCHANGES[r.gen_range(0..EXCHANGES.len())]
+}
+
+/// A deterministic flight status.
+pub fn flight_status(seed: u64, key: &str) -> &'static str {
+    let mut r = rng(seed, &format!("status:{key}"));
+    STATUS[r.gen_range(0..STATUS.len())]
+}
+
+/// A deterministic time-of-day string (5-minute grid).
+pub fn time_of_day(seed: u64, key: &str) -> String {
+    let mut r = rng(seed, &format!("time:{key}"));
+    let h = r.gen_range(0..24);
+    let m = r.gen_range(0..12) * 5;
+    format!("{h:02}:{m:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_deterministic() {
+        assert_eq!(person_name(7, 3), person_name(7, 3));
+        assert_eq!(movie_title(7, 3), movie_title(7, 3));
+        assert_eq!(flight_code(7, 3), flight_code(7, 3));
+    }
+
+    #[test]
+    fn names_vary_with_index_and_seed() {
+        assert_ne!(person_name(7, 1), person_name(7, 2));
+        assert_ne!(person_name(7, 1), person_name(8, 1));
+        assert_ne!(book_title(7, 1), book_title(7, 2));
+    }
+
+    #[test]
+    fn titles_embed_index_for_uniqueness() {
+        // Index suffix guarantees distinctness even on syllable collisions.
+        let titles: std::collections::HashSet<String> =
+            (0..500).map(|i| movie_title(1, i)).collect();
+        assert_eq!(titles.len(), 500);
+        let books: std::collections::HashSet<String> =
+            (0..500).map(|i| book_title(1, i)).collect();
+        assert_eq!(books.len(), 500);
+    }
+
+    #[test]
+    fn stock_symbols_are_unique() {
+        let symbols: std::collections::HashSet<String> =
+            (0..500).map(|i| stock_symbol(1, i)).collect();
+        assert_eq!(symbols.len(), 500);
+    }
+
+    #[test]
+    fn flight_codes_have_expected_shape() {
+        let code = flight_code(42, 17);
+        assert!(code.len() >= 5);
+        assert!(code.chars().take(2).all(|c| c.is_ascii_uppercase()));
+        assert!(code.chars().skip(2).all(|c| c.is_ascii_digit()));
+    }
+
+    #[test]
+    fn time_of_day_is_valid() {
+        for i in 0..50 {
+            let t = time_of_day(3, &format!("k{i}"));
+            let (h, m) = t.split_once(':').unwrap();
+            assert!(h.parse::<u32>().unwrap() < 24);
+            assert!(m.parse::<u32>().unwrap() < 60);
+        }
+    }
+
+    #[test]
+    fn categorical_draws_are_deterministic() {
+        assert_eq!(city(5, "CA981"), city(5, "CA981"));
+        assert_eq!(genre(5, "m1"), genre(5, "m1"));
+        assert_eq!(exchange(5, "s1"), exchange(5, "s1"));
+        assert_eq!(flight_status(5, "f1"), flight_status(5, "f1"));
+        assert_eq!(publisher(5, "b1"), publisher(5, "b1"));
+    }
+
+    #[test]
+    fn rng_streams_are_independent() {
+        let mut a = rng(1, "stream-a");
+        let mut b = rng(1, "stream-b");
+        let va: u64 = a.gen();
+        let vb: u64 = b.gen();
+        assert_ne!(va, vb);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests over the dataset generators' invariants.
+
+use multirag_datasets::movies::MoviesSpec;
+use multirag_datasets::perturb;
+use multirag_datasets::spec::{render_style, Scale};
+use multirag_kg::Value;
+use proptest::prelude::*;
+
+fn tiny(entities: usize, queries: usize, seed: u64) -> multirag_datasets::spec::MultiSourceDataset {
+    MoviesSpec::at_scale(Scale { entities, queries }).generate(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Generation invariants hold across seeds and scales: queries are
+    /// answerable, truths cover all slots, sources match the roster.
+    #[test]
+    fn generation_invariants(seed in 0u64..1000, entities in 20usize..80) {
+        let data = tiny(entities, 8, seed);
+        prop_assert_eq!(data.graph.source_count(), 13);
+        prop_assert_eq!(data.queries.len(), 8);
+        for q in &data.queries {
+            prop_assert!(!q.gold.is_empty());
+            let e = data.graph.find_entity(&q.entity, "movies");
+            let r = data.graph.find_relation(&q.attribute);
+            let (Some(e), Some(r)) = (e, r) else {
+                return Err(TestCaseError::fail("query slot missing"));
+            };
+            prop_assert!(!data.graph.slot_triples(e, r).is_empty());
+        }
+        // Per-attribute truths exist for every primary entity.
+        prop_assert_eq!(data.truth.len(), entities * data.spec.attributes.len());
+    }
+
+    /// Masking is monotone in the fraction and never drops protected
+    /// query slots.
+    #[test]
+    fn masking_monotone_and_safe(seed in 0u64..100, f1 in 0.1f64..0.5, df in 0.1f64..0.4) {
+        let data = tiny(40, 6, seed);
+        let lighter = perturb::mask_relations(&data, f1, seed);
+        let heavier = perturb::mask_relations(&data, (f1 + df).min(0.95), seed);
+        prop_assert!(heavier.graph.triple_count() <= lighter.graph.triple_count());
+        for q in &heavier.queries {
+            let e = heavier.graph.find_entity(&q.entity, "movies");
+            let r = heavier.graph.find_relation(&q.attribute);
+            let (Some(e), Some(r)) = (e, r) else {
+                return Err(TestCaseError::fail("masked slot lost entity/relation"));
+            };
+            prop_assert!(!heavier.graph.slot_triples(e, r).is_empty());
+        }
+    }
+
+    /// Conflict injection adds exactly ⌊fraction·n⌋ triples and no new
+    /// relations or primary entities.
+    #[test]
+    fn conflict_injection_counts(seed in 0u64..100, fraction in 0.0f64..1.5) {
+        let data = tiny(30, 4, seed);
+        let n = data.graph.triple_count();
+        let noisy = perturb::inject_conflicts(&data, fraction, seed);
+        prop_assert_eq!(
+            noisy.graph.triple_count(),
+            n + ((n as f64) * fraction) as usize
+        );
+        prop_assert_eq!(noisy.graph.relation_count(), data.graph.relation_count());
+        prop_assert_eq!(noisy.graph.entity_count(), data.graph.entity_count());
+    }
+
+    /// Corruption preserves the triple count and touches only victims.
+    #[test]
+    fn corruption_is_scoped(seed in 0u64..100, level in 0.0f64..1.0) {
+        let data = tiny(30, 4, seed);
+        let victim = data.sources[0].id;
+        let corrupted = perturb::corrupt_sources(&data, &[victim], level, seed);
+        prop_assert_eq!(corrupted.graph.triple_count(), data.graph.triple_count());
+        // Entity ids renumber during the rebuild, so compare objects by
+        // resolved content, not id-based canonical keys.
+        let resolve = |g: &multirag_kg::KnowledgeGraph, o: &multirag_kg::Object| match o {
+            multirag_kg::Object::Entity(e) => g.entity_name(*e).to_string(),
+            multirag_kg::Object::Literal(v) => v.canonical_key(),
+        };
+        for ((_, a), (_, b)) in data.graph.iter_triples().zip(corrupted.graph.iter_triples()) {
+            prop_assert_eq!(a.source, b.source);
+            if a.source != victim {
+                prop_assert_eq!(
+                    resolve(&data.graph, &a.object),
+                    resolve(&corrupted.graph, &b.object)
+                );
+            }
+        }
+    }
+
+    /// Surface styles preserve the answer key — the invariant the whole
+    /// standardization story rests on.
+    #[test]
+    fn styles_preserve_answer_keys(
+        first in "[A-Z][a-z]{1,8}",
+        last in "[A-Z][a-z]{1,8}",
+        style in 0u8..4,
+    ) {
+        let name = format!("{first} {last}");
+        let styled = render_style(style, &name);
+        prop_assert_eq!(
+            Value::from(styled.clone()).answer_key(),
+            Value::from(name.clone()).answer_key(),
+            "style {} broke {} -> {}", style, name, styled
+        );
+    }
+
+    /// Single-token values are style-invariant verbatim.
+    #[test]
+    fn single_tokens_are_never_restyled(word in "[A-Za-z0-9]{1,10}", style in 0u8..4) {
+        prop_assert_eq!(render_style(style, &word), word);
+    }
+}

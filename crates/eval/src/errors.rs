@@ -1,0 +1,203 @@
+//! Hallucination / failure taxonomy (the paper's Q4 error analysis).
+//!
+//! For each query the analyzer classifies the outcome into one bucket:
+//!
+//! * `Correct` — the answer set matches the gold set exactly
+//!   (representation-insensitive);
+//! * `PartiallyCorrect` — some gold values found, some missed or extra;
+//! * `WrongSelection` — the *fusion* read itself picked wrong values
+//!   (a retrieval/consistency failure, not a generation one);
+//! * `HallucinationSwap` / `HallucinationDrop` /
+//!   `HallucinationFabricate` — the fusion read was fine but generation
+//!   corrupted it (the three corruption modes of the hallucination law);
+//! * `Abstained` — no answer emitted.
+//!
+//! The paper reports that MCC "significantly reduced the frequency of
+//! hallucinations, particularly in the cases where the context was
+//! ambiguous"; [`ErrorBreakdown`] makes that claim measurable here.
+
+use multirag_kg::Value;
+
+/// One query's outcome class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// Exact match with gold.
+    Correct,
+    /// Non-empty overlap with gold, but not exact.
+    PartiallyCorrect,
+    /// Fusion picked wrong values (generation was faithful).
+    WrongSelection,
+    /// Generation replaced a value with a conflicting one.
+    HallucinationSwap,
+    /// Generation dropped part of a correct answer.
+    HallucinationDrop,
+    /// Generation fabricated unsupported content.
+    HallucinationFabricate,
+    /// No answer emitted.
+    Abstained,
+}
+
+/// Aggregated outcome counts for one method.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ErrorBreakdown {
+    counts: std::collections::BTreeMap<&'static str, usize>,
+    total: usize,
+}
+
+fn label(outcome: Outcome) -> &'static str {
+    match outcome {
+        Outcome::Correct => "correct",
+        Outcome::PartiallyCorrect => "partial",
+        Outcome::WrongSelection => "wrong-selection",
+        Outcome::HallucinationSwap => "halluc-swap",
+        Outcome::HallucinationDrop => "halluc-drop",
+        Outcome::HallucinationFabricate => "halluc-fabricate",
+        Outcome::Abstained => "abstained",
+    }
+}
+
+impl ErrorBreakdown {
+    /// Classifies one query result and accumulates it.
+    ///
+    /// * `generated` — the emitted answer values;
+    /// * `fusion` — the pre-generation faithful read (pass the same set
+    ///   as `generated` for methods without a separate fusion stage);
+    /// * `gold` — the gold values.
+    pub fn record(&mut self, generated: &[Value], fusion: &[Value], gold: &[Value]) {
+        let outcome = classify(generated, fusion, gold);
+        *self.counts.entry(label(outcome)).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Count of one outcome class.
+    pub fn count(&self, outcome: Outcome) -> usize {
+        self.counts.get(label(outcome)).copied().unwrap_or(0)
+    }
+
+    /// Total queries recorded.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Fraction of queries in any hallucination class.
+    pub fn hallucination_rate(&self) -> f64 {
+        let h = self.count(Outcome::HallucinationSwap)
+            + self.count(Outcome::HallucinationDrop)
+            + self.count(Outcome::HallucinationFabricate);
+        h as f64 / self.total.max(1) as f64
+    }
+
+    /// `(label, count)` rows sorted by label.
+    pub fn rows(&self) -> Vec<(&'static str, usize)> {
+        self.counts.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+}
+
+fn keys(values: &[Value]) -> std::collections::BTreeSet<String> {
+    values.iter().map(Value::answer_key).collect()
+}
+
+/// Classifies one query result.
+pub fn classify(generated: &[Value], fusion: &[Value], gold: &[Value]) -> Outcome {
+    let g = keys(generated);
+    let f = keys(fusion);
+    let truth = keys(gold);
+    if generated.is_empty() && fusion.is_empty() {
+        return Outcome::Abstained;
+    }
+    if g == truth {
+        return Outcome::Correct;
+    }
+    if g == f {
+        // Generation was faithful; the read itself was wrong/partial.
+        return if g.intersection(&truth).next().is_some() {
+            Outcome::PartiallyCorrect
+        } else {
+            Outcome::WrongSelection
+        };
+    }
+    // Generation diverged from the fusion read: a hallucination. Which
+    // kind?
+    let fabricated = g.difference(&f).next().is_some();
+    let dropped = f.difference(&g).next().is_some();
+    match (fabricated, dropped) {
+        (true, true) => Outcome::HallucinationSwap,
+        (true, false) => Outcome::HallucinationFabricate,
+        (false, true) => Outcome::HallucinationDrop,
+        (false, false) => unreachable!("g != f implies a difference"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Value {
+        Value::from(s)
+    }
+
+    #[test]
+    fn exact_match_is_correct() {
+        assert_eq!(
+            classify(&[v("a"), v("b")], &[v("a"), v("b")], &[v("b"), v("a")]),
+            Outcome::Correct
+        );
+        // Representation-insensitive.
+        assert_eq!(
+            classify(&[v("Mann, Michael")], &[v("Mann, Michael")], &[v("Michael Mann")]),
+            Outcome::Correct
+        );
+    }
+
+    #[test]
+    fn faithful_but_wrong_is_selection_error() {
+        assert_eq!(
+            classify(&[v("x")], &[v("x")], &[v("a")]),
+            Outcome::WrongSelection
+        );
+        assert_eq!(
+            classify(&[v("a"), v("x")], &[v("a"), v("x")], &[v("a"), v("b")]),
+            Outcome::PartiallyCorrect
+        );
+    }
+
+    #[test]
+    fn generation_divergence_maps_to_hallucination_kinds() {
+        // Swap: one value replaced.
+        assert_eq!(
+            classify(&[v("x")], &[v("a")], &[v("a")]),
+            Outcome::HallucinationSwap
+        );
+        // Drop: value lost.
+        assert_eq!(
+            classify(&[], &[v("a")], &[v("a")]),
+            Outcome::HallucinationDrop
+        );
+        // Fabricate: value added.
+        assert_eq!(
+            classify(&[v("a"), v("zz")], &[v("a")], &[v("a")]),
+            Outcome::HallucinationFabricate
+        );
+    }
+
+    #[test]
+    fn abstention() {
+        assert_eq!(classify(&[], &[], &[v("a")]), Outcome::Abstained);
+    }
+
+    #[test]
+    fn breakdown_accumulates_and_rates() {
+        let mut b = ErrorBreakdown::default();
+        b.record(&[v("a")], &[v("a")], &[v("a")]); // correct
+        b.record(&[v("x")], &[v("a")], &[v("a")]); // swap
+        b.record(&[], &[v("a")], &[v("a")]); // drop
+        b.record(&[v("x")], &[v("x")], &[v("a")]); // wrong selection
+        assert_eq!(b.total(), 4);
+        assert_eq!(b.count(Outcome::Correct), 1);
+        assert_eq!(b.count(Outcome::HallucinationSwap), 1);
+        assert_eq!(b.count(Outcome::HallucinationDrop), 1);
+        assert_eq!(b.count(Outcome::WrongSelection), 1);
+        assert!((b.hallucination_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(b.rows().len(), 4);
+    }
+}

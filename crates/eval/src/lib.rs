@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # multirag-eval
+//!
+//! Metrics and experiment harness: everything needed to regenerate the
+//! paper's tables and figures sits here, consumed by the
+//! `multirag-bench` binaries.
+//!
+//! * [`metrics`] — precision / recall / F1 over answer-value sets,
+//!   Recall@K over evidence documents, aggregation.
+//! * [`timing`] — wall-clock stopwatch plus the simulated-LLM time
+//!   model (see EXPERIMENTS.md for how QT and PT map to the paper's
+//!   time columns).
+//! * [`harness`] — runners that evaluate a fusion method / the MKLGP
+//!   pipeline / a multi-hop method over a dataset and return one
+//!   [`harness::MethodResult`] row.
+//! * [`table`] — ASCII table rendering for the repro binaries.
+//! * [`parallel`] — scoped fan-out for independent experiment cells.
+//! * [`errors`] — the Q4 hallucination/failure taxonomy.
+
+pub mod errors;
+pub mod harness;
+pub mod metrics;
+pub mod parallel;
+pub mod table;
+pub mod timing;
+
+pub use harness::{
+    run_fusion_method, run_multihop_method, run_multirag, run_multirag_multihop, MethodResult,
+    MultiHopResult,
+};
+pub use metrics::{f1_score, precision_recall, recall_at_k, SetScores};
+pub use parallel::parallel_map;
+pub use errors::{ErrorBreakdown, Outcome};
+pub use table::Table;

@@ -1,0 +1,175 @@
+//! Evaluation metrics.
+
+use multirag_kg::Value;
+
+/// Micro-averaged set-retrieval counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SetScores {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl SetScores {
+    /// Accumulates one query's answer set against its gold set.
+    /// Comparison is representation-insensitive ([`Value::answer_key`])
+    /// so every method gets credit for surface variants of a gold
+    /// value.
+    pub fn add(&mut self, answers: &[Value], gold: &[Value]) {
+        let a: std::collections::HashSet<String> =
+            answers.iter().map(Value::answer_key).collect();
+        let g: std::collections::HashSet<String> =
+            gold.iter().map(Value::answer_key).collect();
+        self.tp += a.intersection(&g).count();
+        self.fp += a.difference(&g).count();
+        self.fn_ += g.difference(&a).count();
+    }
+
+    /// Micro precision.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Micro recall.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// Micro F1 (Eq. 12).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Convenience: precision and recall of one answer set.
+pub fn precision_recall(answers: &[Value], gold: &[Value]) -> (f64, f64) {
+    let mut s = SetScores::default();
+    s.add(answers, gold);
+    (s.precision(), s.recall())
+}
+
+/// Convenience: F1 of one answer set.
+pub fn f1_score(answers: &[Value], gold: &[Value]) -> f64 {
+    let mut s = SetScores::default();
+    s.add(answers, gold);
+    s.f1()
+}
+
+/// Recall@K over evidence documents: the fraction of `gold_docs` that
+/// appear within the first `k` entries of `retrieved`.
+pub fn recall_at_k(retrieved: &[usize], gold_docs: &[usize], k: usize) -> f64 {
+    if gold_docs.is_empty() {
+        return 0.0;
+    }
+    let window: std::collections::HashSet<usize> =
+        retrieved.iter().take(k).copied().collect();
+    let hit = gold_docs.iter().filter(|d| window.contains(d)).count();
+    hit as f64 / gold_docs.len() as f64
+}
+
+/// Mean of a slice (0 for empty).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Population standard deviation.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_answers_score_one() {
+        let gold = vec![Value::from("a"), Value::from("b")];
+        assert_eq!(f1_score(&gold, &gold), 1.0);
+        let (p, r) = precision_recall(&gold, &gold);
+        assert_eq!((p, r), (1.0, 1.0));
+    }
+
+    #[test]
+    fn disjoint_answers_score_zero() {
+        let answers = vec![Value::from("x")];
+        let gold = vec![Value::from("a")];
+        assert_eq!(f1_score(&answers, &gold), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_scores_between() {
+        let answers = vec![Value::from("a"), Value::from("x")];
+        let gold = vec![Value::from("a"), Value::from("b")];
+        let f1 = f1_score(&answers, &gold);
+        assert!((f1 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn micro_aggregation_pools_counts() {
+        let mut s = SetScores::default();
+        s.add(&[Value::from("a")], &[Value::from("a")]);
+        s.add(&[Value::from("x")], &[Value::from("b")]);
+        assert_eq!(s.tp, 1);
+        assert_eq!(s.fp, 1);
+        assert_eq!(s.fn_, 1);
+        assert!((s.f1() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn canonical_comparison_unifies_numeric_forms() {
+        assert_eq!(
+            f1_score(&[Value::Int(10)], &[Value::Float(10.0)]),
+            1.0
+        );
+    }
+
+    #[test]
+    fn empty_answers_have_zero_precision_not_nan() {
+        let (p, r) = precision_recall(&[], &[Value::from("a")]);
+        assert_eq!(p, 0.0);
+        assert_eq!(r, 0.0);
+        assert_eq!(f1_score(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn recall_at_k_respects_the_window() {
+        let retrieved = vec![9, 1, 2, 3, 4, 5];
+        assert_eq!(recall_at_k(&retrieved, &[1, 5], 5), 0.5);
+        assert_eq!(recall_at_k(&retrieved, &[1, 5], 6), 1.0);
+        assert_eq!(recall_at_k(&retrieved, &[7], 5), 0.0);
+        assert_eq!(recall_at_k(&retrieved, &[], 5), 0.0);
+    }
+
+    #[test]
+    fn mean_and_std_dev() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-9);
+    }
+}

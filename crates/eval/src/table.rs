@@ -1,0 +1,153 @@
+//! ASCII table rendering for the repro binaries.
+
+/// A simple column-aligned table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity {} != header arity {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("== {} ==\n", self.title));
+        }
+        let sep = |out: &mut String| {
+            for w in &widths {
+                out.push('+');
+                out.push_str(&"-".repeat(w + 2));
+            }
+            out.push_str("+\n");
+        };
+        sep(&mut out);
+        out.push('|');
+        for (h, w) in self.headers.iter().zip(&widths) {
+            out.push_str(&format!(" {h:<w$} |"));
+        }
+        out.push('\n');
+        sep(&mut out);
+        for row in &self.rows {
+            out.push('|');
+            for (cell, w) in row.iter().zip(&widths) {
+                out.push_str(&format!(" {cell:<w$} |"));
+            }
+            out.push('\n');
+        }
+        sep(&mut out);
+        out
+    }
+
+    /// Renders as CSV (for figure series).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with one decimal (table cells).
+pub fn fmt1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Formats a float with two decimals.
+pub fn fmt2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats seconds adaptively (ms below 1s).
+pub fn fmt_secs(v: f64) -> String {
+    if v < 0.001 {
+        format!("{:.2}ms", v * 1000.0)
+    } else if v < 1.0 {
+        format!("{:.0}ms", v * 1000.0)
+    } else {
+        format!("{v:.1}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Demo", &["method", "f1"]);
+        t.row(vec!["MultiRAG".into(), "54.8".into()]);
+        t.row(vec!["MV".into(), "31.0".into()]);
+        let text = t.render();
+        assert!(text.contains("== Demo =="));
+        assert!(text.contains("| MultiRAG | 54.8 |"));
+        assert!(text.contains("| MV       | 31.0 |"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt1(54.76), "54.8");
+        assert_eq!(fmt2(0.456), "0.46");
+        assert_eq!(fmt_secs(2.5), "2.5s");
+        assert_eq!(fmt_secs(0.25), "250ms");
+        assert_eq!(fmt_secs(0.0001), "0.10ms");
+    }
+}

@@ -1,0 +1,81 @@
+//! Timing utilities.
+//!
+//! Experiment time has two components on this substrate:
+//!
+//! * **wall time** — actually-measured compute (graph construction,
+//!   matching, confidence math, fusion iterations);
+//! * **simulated LLM time** — the latency the [`multirag_llmsim`]
+//!   cost model attributes to LLM calls (a real deployment pays it; a
+//!   mock does not).
+//!
+//! The repro binaries report `wall + simulated` as the paper-style
+//! time columns and note the decomposition in EXPERIMENTS.md.
+
+use std::time::Instant;
+
+/// A simple stopwatch.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing.
+    pub fn start() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed seconds.
+    pub fn elapsed_s(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Restarts, returning the lap's seconds.
+    pub fn lap_s(&mut self) -> f64 {
+        let s = self.elapsed_s();
+        self.start = Instant::now();
+        s
+    }
+}
+
+/// Combined time report.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TimeReport {
+    /// Measured compute seconds.
+    pub wall_s: f64,
+    /// Simulated LLM seconds.
+    pub simulated_s: f64,
+}
+
+impl TimeReport {
+    /// The paper-style single time number.
+    pub fn total_s(&self) -> f64 {
+        self.wall_s + self.simulated_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_measures_nonnegative_time() {
+        let mut sw = Stopwatch::start();
+        let a = sw.elapsed_s();
+        assert!(a >= 0.0);
+        let lap = sw.lap_s();
+        assert!(lap >= a);
+        assert!(sw.elapsed_s() < lap + 1.0);
+    }
+
+    #[test]
+    fn report_totals() {
+        let r = TimeReport {
+            wall_s: 1.5,
+            simulated_s: 2.5,
+        };
+        assert_eq!(r.total_s(), 4.0);
+    }
+}

@@ -1,0 +1,851 @@
+//! Per-format adapters and the multi-source fusion union (Eq. 2).
+//!
+//! The paper designs "a unique adapter for each distinct data format":
+//! structured (CSV tables → DSM columns), semi-structured (JSON / XML
+//! trees), and unstructured (text, deferred to LLM extraction). Each
+//! adapter emits normalized JSON-LD records plus uniform [`Claim`]s —
+//! `(entity, attribute, value)` assertions with provenance — ready for
+//! knowledge-graph loading. [`fuse_sources`] is the union
+//! `D_Fusion = ⋃ A_i(D_i)`.
+
+use crate::csv;
+use crate::dsm::ColumnStore;
+use crate::error::ParseError;
+use crate::json::{self, JsonValue};
+use crate::jsonld::NormalizedRecord;
+use crate::xml::{self, XmlElement, XmlNode};
+use multirag_kg::{FxHashMap, KnowledgeGraph, Value};
+
+/// Declared storage format of a raw source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SourceFormat {
+    /// Structured tabular data.
+    Csv,
+    /// Semi-structured nested JSON.
+    Json,
+    /// Semi-structured XML.
+    Xml,
+    /// Native knowledge-graph triples, one `subject|predicate|object`
+    /// per line.
+    Kg,
+    /// Unstructured text.
+    Text,
+}
+
+impl SourceFormat {
+    /// Short tag used in metadata and source registration.
+    pub fn tag(self) -> &'static str {
+        match self {
+            SourceFormat::Csv => "csv",
+            SourceFormat::Json => "json",
+            SourceFormat::Xml => "xml",
+            SourceFormat::Kg => "kg",
+            SourceFormat::Text => "text",
+        }
+    }
+}
+
+/// A raw multi-source input file.
+#[derive(Debug, Clone)]
+pub struct RawSource {
+    /// Source / file name.
+    pub name: String,
+    /// Domain of the data (Definition 1's `d`).
+    pub domain: String,
+    /// Storage format.
+    pub format: SourceFormat,
+    /// Raw content bytes (UTF-8).
+    pub content: String,
+}
+
+/// A uniform `(entity, attribute, value)` assertion with provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Claim {
+    /// Normalized record the claim came from.
+    pub record_id: u64,
+    /// Entity the claim is about.
+    pub entity: String,
+    /// Attribute / relation name.
+    pub attribute: String,
+    /// Asserted value.
+    pub value: Value,
+    /// Chunk index within the source.
+    pub chunk: u32,
+}
+
+/// The output of one adapter run.
+#[derive(Debug, Clone, Default)]
+pub struct AdaptedSource {
+    /// Normalized JSON-LD records.
+    pub records: Vec<NormalizedRecord>,
+    /// Uniform claims extracted from structured / semi-structured data.
+    pub claims: Vec<Claim>,
+    /// Raw text chunks for unstructured data (LLM extraction happens
+    /// downstream in `multirag-llmsim`).
+    pub text_chunks: Vec<String>,
+}
+
+/// A format adapter: `A_i` in Eq. 2.
+pub trait Adapter {
+    /// Parses a raw source into normalized records and claims, numbering
+    /// records from `start_id`.
+    fn adapt(&self, source: &RawSource, start_id: u64) -> Result<AdaptedSource, ParseError>;
+}
+
+fn base_meta(source: &RawSource) -> FxHashMap<String, String> {
+    let mut meta = FxHashMap::default();
+    meta.insert("format".to_string(), source.format.tag().to_string());
+    meta.insert("source".to_string(), source.name.clone());
+    meta.insert("domain".to_string(), source.domain.clone());
+    meta
+}
+
+// -------------------------------------------------------------------
+// Structured (CSV → DSM)
+// -------------------------------------------------------------------
+
+/// Adapter for structured tabular data. The first column (or the column
+/// named by `entity_column`) identifies the entity; every other cell is
+/// an attribute claim.
+#[derive(Debug, Clone, Default)]
+pub struct StructuredAdapter {
+    /// Name of the column identifying the entity; defaults to the first
+    /// column.
+    pub entity_column: Option<String>,
+}
+
+impl Adapter for StructuredAdapter {
+    fn adapt(&self, source: &RawSource, start_id: u64) -> Result<AdaptedSource, ParseError> {
+        let table = csv::parse(&source.content)?;
+        let store = ColumnStore::from_table(&table);
+        let cols_index = store.cols_index();
+        let entity_idx = match &self.entity_column {
+            Some(name) => table.column_index(name).ok_or_else(|| {
+                ParseError::at(
+                    "csv",
+                    &source.content,
+                    0,
+                    format!("entity column '{name}' not found"),
+                )
+            })?,
+            None => 0,
+        };
+        let meta = base_meta(source);
+        let mut out = AdaptedSource::default();
+        for (row_idx, row) in table.rows.iter().enumerate() {
+            let entity = row
+                .get(entity_idx)
+                .map(|v| v.to_string())
+                .unwrap_or_default();
+            if entity.is_empty() {
+                continue;
+            }
+            let members: Vec<(String, JsonValue)> = table
+                .headers
+                .iter()
+                .zip(row.iter())
+                .map(|(h, v)| (h.clone(), value_to_json(v)))
+                .collect();
+            let record_id = start_id + out.records.len() as u64;
+            let record = NormalizedRecord::new(
+                record_id,
+                &source.domain,
+                &source.name,
+                JsonValue::Object(members),
+                meta.clone(),
+                Some(cols_index.clone()),
+            );
+            for (col_idx, (header, value)) in
+                table.headers.iter().zip(row.iter()).enumerate()
+            {
+                if col_idx == entity_idx || value.is_null() {
+                    continue;
+                }
+                out.claims.push(Claim {
+                    record_id,
+                    entity: entity.clone(),
+                    attribute: header.clone(),
+                    value: value.clone(),
+                    chunk: row_idx as u32,
+                });
+            }
+            out.records.push(record);
+        }
+        Ok(out)
+    }
+}
+
+// -------------------------------------------------------------------
+// Semi-structured (JSON)
+// -------------------------------------------------------------------
+
+/// Adapter for semi-structured JSON: a top-level array of objects (or a
+/// single object). The entity is identified by the first present key in
+/// `entity_keys`.
+#[derive(Debug, Clone)]
+pub struct JsonAdapter {
+    /// Candidate entity-identifying keys, tried in order.
+    pub entity_keys: Vec<String>,
+}
+
+impl Default for JsonAdapter {
+    fn default() -> Self {
+        Self {
+            entity_keys: vec![
+                "name".to_string(),
+                "id".to_string(),
+                "title".to_string(),
+                "code".to_string(),
+                "symbol".to_string(),
+            ],
+        }
+    }
+}
+
+impl JsonAdapter {
+    fn entity_of(&self, object: &JsonValue) -> Option<String> {
+        for key in &self.entity_keys {
+            if let Some(v) = object.get(key) {
+                let text = match v {
+                    JsonValue::Str(s) => s.clone(),
+                    JsonValue::Int(i) => i.to_string(),
+                    _ => continue,
+                };
+                if !text.is_empty() {
+                    return Some(text);
+                }
+            }
+        }
+        None
+    }
+}
+
+impl Adapter for JsonAdapter {
+    fn adapt(&self, source: &RawSource, start_id: u64) -> Result<AdaptedSource, ParseError> {
+        let doc = json::parse(&source.content)?;
+        let objects: Vec<&JsonValue> = match &doc {
+            JsonValue::Array(items) => items.iter().collect(),
+            obj @ JsonValue::Object(_) => vec![obj],
+            _ => {
+                return Err(ParseError::at(
+                    "json",
+                    &source.content,
+                    0,
+                    "expected an object or array of objects",
+                ))
+            }
+        };
+        let meta = base_meta(source);
+        let mut out = AdaptedSource::default();
+        for (chunk, object) in objects.iter().enumerate() {
+            let Some(entity) = self.entity_of(object) else {
+                continue;
+            };
+            let record_id = start_id + out.records.len() as u64;
+            let record = NormalizedRecord::new(
+                record_id,
+                &source.domain,
+                &source.name,
+                (*object).clone(),
+                meta.clone(),
+                None,
+            );
+            for (path, value) in record.flatten() {
+                if self.entity_keys.contains(&path) || value.is_null() {
+                    continue;
+                }
+                out.claims.push(Claim {
+                    record_id,
+                    entity: entity.clone(),
+                    attribute: path,
+                    value,
+                    chunk: chunk as u32,
+                });
+            }
+            out.records.push(record);
+        }
+        Ok(out)
+    }
+}
+
+// -------------------------------------------------------------------
+// Semi-structured (XML)
+// -------------------------------------------------------------------
+
+/// Adapter for semi-structured XML: each child element of the root is a
+/// record; its attributes and leaf children become claims. The entity is
+/// the first present of `entity_tags` (as attribute or child text).
+#[derive(Debug, Clone)]
+pub struct XmlAdapter {
+    /// Candidate entity-identifying tags / attributes, tried in order.
+    pub entity_tags: Vec<String>,
+}
+
+impl Default for XmlAdapter {
+    fn default() -> Self {
+        Self {
+            entity_tags: vec![
+                "name".to_string(),
+                "id".to_string(),
+                "title".to_string(),
+                "isbn".to_string(),
+            ],
+        }
+    }
+}
+
+impl XmlAdapter {
+    fn entity_of(&self, element: &XmlElement) -> Option<String> {
+        for tag in &self.entity_tags {
+            if let Some(v) = element.attribute(tag) {
+                if !v.is_empty() {
+                    return Some(v.to_string());
+                }
+            }
+            if let Some(child) = element.child(tag) {
+                let text = child.text();
+                if !text.is_empty() {
+                    return Some(text);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Converts an XML element subtree into a JSON object mirror.
+fn element_to_json(element: &XmlElement) -> JsonValue {
+    let mut members: Vec<(String, JsonValue)> = element
+        .attributes
+        .iter()
+        .map(|(k, v)| (k.clone(), sniff_scalar(v)))
+        .collect();
+    // Group repeated child tags into arrays.
+    let mut order: Vec<String> = Vec::new();
+    let mut grouped: FxHashMap<String, Vec<JsonValue>> = FxHashMap::default();
+    for node in &element.children {
+        if let XmlNode::Element(child) = node {
+            let value = if child.child_elements().is_empty() && child.attributes.is_empty() {
+                sniff_scalar(&child.text())
+            } else {
+                element_to_json(child)
+            };
+            if !grouped.contains_key(&child.name) {
+                order.push(child.name.clone());
+            }
+            grouped.entry(child.name.clone()).or_default().push(value);
+        }
+    }
+    for name in order {
+        let mut values = grouped.remove(&name).expect("grouped by construction");
+        let value = if values.len() == 1 {
+            values.pop().expect("len checked")
+        } else {
+            JsonValue::Array(values)
+        };
+        members.push((name, value));
+    }
+    let text = element.text();
+    if !text.is_empty() && members.is_empty() {
+        return sniff_scalar(&text);
+    }
+    if !text.is_empty() {
+        members.push(("#text".to_string(), JsonValue::Str(text)));
+    }
+    JsonValue::Object(members)
+}
+
+fn sniff_scalar(text: &str) -> JsonValue {
+    if let Ok(i) = text.parse::<i64>() {
+        return JsonValue::Int(i);
+    }
+    if let Ok(f) = text.parse::<f64>() {
+        if f.is_finite() {
+            return JsonValue::Float(f);
+        }
+    }
+    match text {
+        "true" => JsonValue::Bool(true),
+        "false" => JsonValue::Bool(false),
+        _ => JsonValue::Str(text.to_string()),
+    }
+}
+
+fn value_to_json(value: &Value) -> JsonValue {
+    match value {
+        Value::Null => JsonValue::Null,
+        Value::Bool(b) => JsonValue::Bool(*b),
+        Value::Int(i) => JsonValue::Int(*i),
+        Value::Float(f) => JsonValue::Float(*f),
+        Value::Str(s) => JsonValue::Str(s.clone()),
+        Value::List(items) => JsonValue::Array(items.iter().map(value_to_json).collect()),
+    }
+}
+
+impl Adapter for XmlAdapter {
+    fn adapt(&self, source: &RawSource, start_id: u64) -> Result<AdaptedSource, ParseError> {
+        let root = xml::parse(&source.content)?;
+        let meta = base_meta(source);
+        let mut out = AdaptedSource::default();
+        for (chunk, element) in root.child_elements().into_iter().enumerate() {
+            let Some(entity) = self.entity_of(element) else {
+                continue;
+            };
+            let json_mirror = element_to_json(element);
+            let record_id = start_id + out.records.len() as u64;
+            let record = NormalizedRecord::new(
+                record_id,
+                &source.domain,
+                &source.name,
+                json_mirror,
+                meta.clone(),
+                None,
+            );
+            for (path, value) in record.flatten() {
+                if self.entity_tags.contains(&path) || value.is_null() {
+                    continue;
+                }
+                out.claims.push(Claim {
+                    record_id,
+                    entity: entity.clone(),
+                    attribute: path,
+                    value,
+                    chunk: chunk as u32,
+                });
+            }
+            out.records.push(record);
+        }
+        Ok(out)
+    }
+}
+
+// -------------------------------------------------------------------
+// Native KG
+// -------------------------------------------------------------------
+
+/// Adapter for native triple dumps: one `subject|predicate|object` per
+/// line ('#' comments and blank lines skipped).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KgAdapter;
+
+impl Adapter for KgAdapter {
+    fn adapt(&self, source: &RawSource, start_id: u64) -> Result<AdaptedSource, ParseError> {
+        let meta = base_meta(source);
+        let mut out = AdaptedSource::default();
+        for (line_no, line) in source.content.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, '|');
+            let (Some(s), Some(p), Some(o)) = (parts.next(), parts.next(), parts.next()) else {
+                return Err(ParseError::at(
+                    "csv",
+                    &source.content,
+                    0,
+                    format!("malformed triple on line {}", line_no + 1),
+                ));
+            };
+            let (subject, predicate, object) = (s.trim(), p.trim(), o.trim());
+            let record_id = start_id + out.records.len() as u64;
+            let content = JsonValue::Object(vec![
+                ("subject".to_string(), JsonValue::Str(subject.to_string())),
+                ("predicate".to_string(), JsonValue::Str(predicate.to_string())),
+                ("object".to_string(), sniff_scalar(object)),
+            ]);
+            out.records.push(NormalizedRecord::new(
+                record_id,
+                &source.domain,
+                &source.name,
+                content,
+                meta.clone(),
+                None,
+            ));
+            out.claims.push(Claim {
+                record_id,
+                entity: subject.to_string(),
+                attribute: predicate.to_string(),
+                value: match sniff_scalar(object) {
+                    JsonValue::Int(i) => Value::Int(i),
+                    JsonValue::Float(f) => Value::Float(f),
+                    JsonValue::Bool(b) => Value::Bool(b),
+                    other => Value::Str(match other {
+                        JsonValue::Str(s) => s,
+                        _ => object.to_string(),
+                    }),
+                },
+                chunk: line_no as u32,
+            });
+        }
+        Ok(out)
+    }
+}
+
+// -------------------------------------------------------------------
+// Unstructured text
+// -------------------------------------------------------------------
+
+/// Adapter for unstructured text: slices the input into paragraph
+/// chunks and records them; triple extraction is the simulated LLM's
+/// job downstream.
+#[derive(Debug, Clone, Copy)]
+pub struct TextAdapter {
+    /// Maximum characters per chunk (soft limit, split at paragraph
+    /// boundaries).
+    pub max_chunk_chars: usize,
+}
+
+impl Default for TextAdapter {
+    fn default() -> Self {
+        Self {
+            max_chunk_chars: 800,
+        }
+    }
+}
+
+impl Adapter for TextAdapter {
+    fn adapt(&self, source: &RawSource, start_id: u64) -> Result<AdaptedSource, ParseError> {
+        let meta = base_meta(source);
+        let mut out = AdaptedSource::default();
+        let mut current = String::new();
+        let flush = |current: &mut String, out: &mut AdaptedSource| {
+            let text = current.trim().to_string();
+            if text.is_empty() {
+                return;
+            }
+            let record_id = start_id + out.records.len() as u64;
+            out.records.push(NormalizedRecord::new(
+                record_id,
+                &source.domain,
+                &source.name,
+                JsonValue::Object(vec![("text".to_string(), JsonValue::Str(text.clone()))]),
+                meta.clone(),
+                None,
+            ));
+            out.text_chunks.push(text);
+            current.clear();
+        };
+        for paragraph in source.content.split("\n\n") {
+            if !current.is_empty()
+                && current.len() + paragraph.len() + 2 > self.max_chunk_chars
+            {
+                flush(&mut current, &mut out);
+            }
+            if !current.is_empty() {
+                current.push_str("\n\n");
+            }
+            current.push_str(paragraph);
+            if current.len() >= self.max_chunk_chars {
+                flush(&mut current, &mut out);
+            }
+        }
+        flush(&mut current, &mut out);
+        Ok(out)
+    }
+}
+
+// -------------------------------------------------------------------
+// Fusion (Eq. 2)
+// -------------------------------------------------------------------
+
+/// Runs the right adapter for each source and unions the outputs —
+/// `D_Fusion = ⋃_{i} A_i(D_i)`. Records receive globally sequential
+/// ids; claims keep per-source provenance via `sources` order.
+///
+/// # Examples
+///
+/// ```
+/// use multirag_ingest::{fuse_sources, RawSource, SourceFormat};
+///
+/// let sources = vec![RawSource {
+///     name: "movies.csv".into(),
+///     domain: "movies".into(),
+///     format: SourceFormat::Csv,
+///     content: "name,year\nHeat,1995\n".into(),
+/// }];
+/// let fused = fuse_sources(&sources).unwrap();
+/// assert_eq!(fused[0].1.claims.len(), 1);
+/// ```
+pub fn fuse_sources(sources: &[RawSource]) -> Result<Vec<(usize, AdaptedSource)>, ParseError> {
+    let mut out = Vec::with_capacity(sources.len());
+    let mut next_id = 0u64;
+    for (index, source) in sources.iter().enumerate() {
+        let adapted = match source.format {
+            SourceFormat::Csv => StructuredAdapter::default().adapt(source, next_id)?,
+            SourceFormat::Json => JsonAdapter::default().adapt(source, next_id)?,
+            SourceFormat::Xml => XmlAdapter::default().adapt(source, next_id)?,
+            SourceFormat::Kg => KgAdapter.adapt(source, next_id)?,
+            SourceFormat::Text => TextAdapter::default().adapt(source, next_id)?,
+        };
+        next_id += adapted.records.len() as u64;
+        out.push((index, adapted));
+    }
+    Ok(out)
+}
+
+/// Loads fused claims into a fresh [`KnowledgeGraph`], registering one
+/// graph source per raw source.
+pub fn load_into_graph(
+    sources: &[RawSource],
+    fused: &[(usize, AdaptedSource)],
+) -> KnowledgeGraph {
+    let total_claims: usize = fused.iter().map(|(_, a)| a.claims.len()).sum();
+    let mut kg = KnowledgeGraph::with_capacity(total_claims / 2 + 8, total_claims);
+    for (index, adapted) in fused {
+        let raw = &sources[*index];
+        let source_id = kg.add_source(&raw.name, raw.format.tag(), &raw.domain);
+        for claim in &adapted.claims {
+            let subject = kg.add_entity(&claim.entity, &raw.domain);
+            let predicate = kg.add_relation(&claim.attribute);
+            // String values that name an existing entity in the same
+            // domain become entity edges; everything else is a literal.
+            let object: multirag_kg::Object = match &claim.value {
+                Value::Str(s) => match kg.find_entity(s, &raw.domain) {
+                    Some(e) => multirag_kg::Object::Entity(e),
+                    None => multirag_kg::Object::Literal(claim.value.clone()),
+                },
+                other => multirag_kg::Object::Literal(other.clone()),
+            };
+            kg.add_triple(subject, predicate, object, source_id, claim.chunk);
+        }
+    }
+    kg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn csv_source() -> RawSource {
+        RawSource {
+            name: "movies.csv".into(),
+            domain: "movies".into(),
+            format: SourceFormat::Csv,
+            content: "title,year,director\nHeat,1995,Mann\nTenet,2020,Nolan\n".into(),
+        }
+    }
+
+    fn json_source() -> RawSource {
+        RawSource {
+            name: "movies.json".into(),
+            domain: "movies".into(),
+            format: SourceFormat::Json,
+            content: r#"[
+                {"title": "Heat", "year": 1995, "cast": ["Pacino", "De Niro"]},
+                {"title": "Tenet", "year": 2020, "meta": {"runtime": 150}}
+            ]"#
+            .into(),
+        }
+    }
+
+    fn xml_source() -> RawSource {
+        RawSource {
+            name: "books.xml".into(),
+            domain: "books".into(),
+            format: SourceFormat::Xml,
+            content: "<books>\
+                <book><title>Dune</title><year>1965</year><author>Herbert</author></book>\
+                <book id=\"2\"><title>Solaris</title><author>Lem</author><author>Kilmartin</author></book>\
+            </books>"
+                .into(),
+        }
+    }
+
+    #[test]
+    fn structured_adapter_emits_row_claims() {
+        let adapted = StructuredAdapter::default().adapt(&csv_source(), 0).unwrap();
+        assert_eq!(adapted.records.len(), 2);
+        assert_eq!(adapted.claims.len(), 4); // 2 rows × (year, director)
+        let claim = &adapted.claims[0];
+        assert_eq!(claim.entity, "Heat");
+        assert_eq!(claim.attribute, "year");
+        assert_eq!(claim.value, Value::Int(1995));
+        assert!(adapted.records[0].is_columnar());
+    }
+
+    #[test]
+    fn structured_adapter_honors_entity_column() {
+        let adapter = StructuredAdapter {
+            entity_column: Some("director".into()),
+        };
+        let adapted = adapter.adapt(&csv_source(), 0).unwrap();
+        assert_eq!(adapted.claims[0].entity, "Mann");
+        assert!(adapted
+            .claims
+            .iter()
+            .all(|c| c.attribute != "director"));
+    }
+
+    #[test]
+    fn structured_adapter_rejects_missing_entity_column() {
+        let adapter = StructuredAdapter {
+            entity_column: Some("nope".into()),
+        };
+        assert!(adapter.adapt(&csv_source(), 0).is_err());
+    }
+
+    #[test]
+    fn json_adapter_flattens_nested_content() {
+        let adapted = JsonAdapter::default().adapt(&json_source(), 10).unwrap();
+        assert_eq!(adapted.records.len(), 2);
+        assert_eq!(adapted.records[0].id, 10);
+        let attrs: Vec<&str> = adapted
+            .claims
+            .iter()
+            .map(|c| c.attribute.as_str())
+            .collect();
+        assert!(attrs.contains(&"year"));
+        assert!(attrs.contains(&"cast"));
+        assert!(attrs.contains(&"meta.runtime"));
+        // The entity key itself is not a claim.
+        assert!(!attrs.contains(&"title"));
+    }
+
+    #[test]
+    fn json_adapter_skips_objects_without_entity() {
+        let source = RawSource {
+            name: "x.json".into(),
+            domain: "d".into(),
+            format: SourceFormat::Json,
+            content: r#"[{"title": "Named"}, {"year": 2020}]"#.into(),
+        };
+        let adapted = JsonAdapter::default().adapt(&source, 0).unwrap();
+        assert_eq!(adapted.records.len(), 1);
+    }
+
+    #[test]
+    fn json_adapter_rejects_scalar_roots() {
+        let source = RawSource {
+            name: "x.json".into(),
+            domain: "d".into(),
+            format: SourceFormat::Json,
+            content: "42".into(),
+        };
+        assert!(JsonAdapter::default().adapt(&source, 0).is_err());
+    }
+
+    #[test]
+    fn xml_adapter_groups_repeated_tags() {
+        let adapted = XmlAdapter::default().adapt(&xml_source(), 0).unwrap();
+        assert_eq!(adapted.records.len(), 2);
+        // The second book (entity "2" via its id attribute) has two
+        // authors → a single multi-valued claim.
+        let solaris_authors: Vec<&Claim> = adapted
+            .claims
+            .iter()
+            .filter(|c| c.entity == "2" && c.attribute == "author")
+            .collect();
+        assert_eq!(solaris_authors.len(), 1);
+        assert_eq!(solaris_authors[0].value.as_list().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn xml_adapter_uses_attribute_or_child_for_entity() {
+        // `title` is the entity tag here (first match in defaults is
+        // "name", absent; then "id" as XML attribute on book 2).
+        let adapted = XmlAdapter::default().adapt(&xml_source(), 0).unwrap();
+        let entities: Vec<&str> = adapted
+            .records
+            .iter()
+            .enumerate()
+            .filter_map(|(i, _)| adapted.claims.iter().find(|c| c.record_id == i as u64))
+            .map(|c| c.entity.as_str())
+            .collect();
+        // Book 1 has no name/id → falls to title "Dune".
+        assert!(entities.contains(&"Dune"));
+        // Book 2 has id="2" → entity "2".
+        assert!(entities.contains(&"2"));
+    }
+
+    #[test]
+    fn kg_adapter_parses_triple_lines() {
+        let source = RawSource {
+            name: "dump.kg".into(),
+            domain: "movies".into(),
+            format: SourceFormat::Kg,
+            content: "# comment\nHeat|year|1995\nHeat|director|Mann\n\n".into(),
+        };
+        let adapted = KgAdapter.adapt(&source, 0).unwrap();
+        assert_eq!(adapted.claims.len(), 2);
+        assert_eq!(adapted.claims[0].value, Value::Int(1995));
+        assert_eq!(adapted.claims[1].value, Value::from("Mann"));
+    }
+
+    #[test]
+    fn kg_adapter_rejects_malformed_lines() {
+        let source = RawSource {
+            name: "bad.kg".into(),
+            domain: "d".into(),
+            format: SourceFormat::Kg,
+            content: "only|two".into(),
+        };
+        assert!(KgAdapter.adapt(&source, 0).is_err());
+    }
+
+    #[test]
+    fn text_adapter_chunks_paragraphs() {
+        let source = RawSource {
+            name: "report.txt".into(),
+            domain: "flights".into(),
+            format: SourceFormat::Text,
+            content: format!(
+                "{}\n\n{}\n\n{}",
+                "p1 ".repeat(100),
+                "p2 ".repeat(100),
+                "p3 short"
+            ),
+        };
+        let adapter = TextAdapter {
+            max_chunk_chars: 350,
+        };
+        let adapted = adapter.adapt(&source, 0).unwrap();
+        assert!(adapted.text_chunks.len() >= 2);
+        assert!(adapted.claims.is_empty());
+        assert_eq!(adapted.records.len(), adapted.text_chunks.len());
+    }
+
+    #[test]
+    fn fuse_sources_numbers_records_globally() {
+        let sources = vec![csv_source(), json_source()];
+        let fused = fuse_sources(&sources).unwrap();
+        let all_ids: Vec<u64> = fused
+            .iter()
+            .flat_map(|(_, a)| a.records.iter().map(|r| r.id))
+            .collect();
+        let mut sorted = all_ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), all_ids.len(), "record ids must be unique");
+    }
+
+    #[test]
+    fn load_into_graph_builds_provenance() {
+        let sources = vec![csv_source(), json_source()];
+        let fused = fuse_sources(&sources).unwrap();
+        let kg = load_into_graph(&sources, &fused);
+        assert_eq!(kg.source_count(), 2);
+        let heat = kg.find_entity("Heat", "movies").unwrap();
+        let year = kg.find_relation("year").unwrap();
+        // Heat's year asserted by both sources.
+        assert_eq!(kg.slot_triples(heat, year).len(), 2);
+        let stats = kg.stats();
+        assert!(stats.triples >= 6);
+    }
+
+    #[test]
+    fn load_into_graph_links_string_values_to_entities() {
+        // If "Mann" exists as an entity, director claims become edges.
+        let kg_dump = RawSource {
+            name: "people.kg".into(),
+            domain: "movies".into(),
+            format: SourceFormat::Kg,
+            content: "Mann|type|person\nHeat|director|Mann".into(),
+        };
+        let sources = vec![kg_dump];
+        let fused = fuse_sources(&sources).unwrap();
+        let kg = load_into_graph(&sources, &fused);
+        let heat = kg.find_entity("Heat", "movies").unwrap();
+        let mann = kg.find_entity("Mann", "movies").unwrap();
+        assert_eq!(kg.neighbors(heat), vec![mann]);
+    }
+}

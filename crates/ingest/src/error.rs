@@ -1,0 +1,85 @@
+//! Parse-error reporting shared by the JSON / CSV / XML parsers.
+
+use std::fmt;
+
+/// A parse error with positional context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Which parser produced the error ("json", "csv", "xml").
+    pub format: &'static str,
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub column: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Builds an error at a byte offset, computing line/column from the
+    /// original input.
+    pub fn at(format: &'static str, input: &str, offset: usize, message: impl Into<String>) -> Self {
+        let clamped = offset.min(input.len());
+        let prefix = &input.as_bytes()[..clamped];
+        let line = prefix.iter().filter(|&&b| b == b'\n').count() + 1;
+        let column = clamped - prefix.iter().rposition(|&b| b == b'\n').map(|p| p + 1).unwrap_or(0) + 1;
+        Self {
+            format,
+            offset: clamped,
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} parse error at line {}, column {} (offset {}): {}",
+            self.format, self.line, self.column, self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_line_and_column() {
+        let input = "ab\ncd\nef";
+        let err = ParseError::at("json", input, 4, "boom");
+        assert_eq!(err.line, 2);
+        assert_eq!(err.column, 2);
+        assert_eq!(err.offset, 4);
+    }
+
+    #[test]
+    fn clamps_out_of_range_offsets() {
+        let err = ParseError::at("csv", "xy", 99, "eof");
+        assert_eq!(err.offset, 2);
+        assert_eq!(err.line, 1);
+        assert_eq!(err.column, 3);
+    }
+
+    #[test]
+    fn first_line_first_column() {
+        let err = ParseError::at("xml", "hello", 0, "start");
+        assert_eq!((err.line, err.column), (1, 1));
+    }
+
+    #[test]
+    fn display_mentions_everything() {
+        let err = ParseError::at("json", "x", 0, "unexpected char");
+        let text = err.to_string();
+        assert!(text.contains("json"));
+        assert!(text.contains("line 1"));
+        assert!(text.contains("unexpected char"));
+    }
+}

@@ -1,0 +1,293 @@
+//! Graph traversals over the entity graph.
+//!
+//! These algorithms serve the retrieval layer (k-hop expansion around
+//! query entities), the homologous matcher (component discovery) and the
+//! dataset statistics (degree distributions, isolated-node counts).
+
+use crate::graph::KnowledgeGraph;
+use crate::hash::FxHashSet;
+use crate::triple::EntityId;
+use std::collections::VecDeque;
+
+/// Breadth-first traversal from `start`, returning visited entities in
+/// BFS order (including `start`). `max_depth` bounds the hop count;
+/// `None` visits the whole component.
+pub fn bfs(kg: &KnowledgeGraph, start: EntityId, max_depth: Option<usize>) -> Vec<EntityId> {
+    let mut order = Vec::new();
+    let mut seen: FxHashSet<EntityId> = FxHashSet::default();
+    let mut queue: VecDeque<(EntityId, usize)> = VecDeque::new();
+    seen.insert(start);
+    queue.push_back((start, 0));
+    while let Some((node, depth)) = queue.pop_front() {
+        order.push(node);
+        if let Some(limit) = max_depth {
+            if depth >= limit {
+                continue;
+            }
+        }
+        for next in kg.neighbors(node) {
+            if seen.insert(next) {
+                queue.push_back((next, depth + 1));
+            }
+        }
+    }
+    order
+}
+
+/// Depth-first traversal from `start` (iterative, preorder).
+pub fn dfs(kg: &KnowledgeGraph, start: EntityId) -> Vec<EntityId> {
+    let mut order = Vec::new();
+    let mut seen: FxHashSet<EntityId> = FxHashSet::default();
+    let mut stack = vec![start];
+    seen.insert(start);
+    while let Some(node) = stack.pop() {
+        order.push(node);
+        // Push in reverse so the smallest-id neighbour is visited first,
+        // matching the recursive formulation deterministically.
+        let mut neighbors = kg.neighbors(node);
+        neighbors.reverse();
+        for next in neighbors {
+            if seen.insert(next) {
+                stack.push(next);
+            }
+        }
+    }
+    order
+}
+
+/// Entities within `hops` edges of `start` (the k-hop neighbourhood,
+/// including `start`).
+pub fn k_hop(kg: &KnowledgeGraph, start: EntityId, hops: usize) -> Vec<EntityId> {
+    bfs(kg, start, Some(hops))
+}
+
+/// Shortest hop distance between two entities over undirected edges, or
+/// `None` when disconnected.
+pub fn distance(kg: &KnowledgeGraph, from: EntityId, to: EntityId) -> Option<usize> {
+    if from == to {
+        return Some(0);
+    }
+    let mut seen: FxHashSet<EntityId> = FxHashSet::default();
+    let mut queue: VecDeque<(EntityId, usize)> = VecDeque::new();
+    seen.insert(from);
+    queue.push_back((from, 0));
+    while let Some((node, depth)) = queue.pop_front() {
+        for next in kg.neighbors(node) {
+            if next == to {
+                return Some(depth + 1);
+            }
+            if seen.insert(next) {
+                queue.push_back((next, depth + 1));
+            }
+        }
+    }
+    None
+}
+
+/// Connected components of the entity graph (undirected, edge triples
+/// only). Each component is sorted by entity id; the component list is
+/// sorted by its smallest member.
+pub fn connected_components(kg: &KnowledgeGraph) -> Vec<Vec<EntityId>> {
+    let n = kg.entity_count();
+    let mut seen = vec![false; n];
+    let mut out = Vec::new();
+    for start in kg.entity_ids() {
+        if seen[start.index()] {
+            continue;
+        }
+        let mut component = Vec::new();
+        let mut stack = vec![start];
+        seen[start.index()] = true;
+        while let Some(node) = stack.pop() {
+            component.push(node);
+            for next in kg.neighbors(node) {
+                if !seen[next.index()] {
+                    seen[next.index()] = true;
+                    stack.push(next);
+                }
+            }
+        }
+        component.sort_unstable();
+        out.push(component);
+    }
+    out
+}
+
+/// Entities with no edge triples at all — the isolated points `LVs` the
+/// paper folds into the homologous line graph.
+pub fn isolated_entities(kg: &KnowledgeGraph) -> Vec<EntityId> {
+    kg.entity_ids()
+        .filter(|&e| kg.neighbors(e).is_empty())
+        .collect()
+}
+
+/// Simple paths (as entity sequences) from `from` to `to` with at most
+/// `max_hops` edges. Used by the multi-hop QA reasoner to enumerate
+/// candidate inference paths. The result is bounded by `max_paths` to
+/// keep worst cases tame.
+pub fn paths_between(
+    kg: &KnowledgeGraph,
+    from: EntityId,
+    to: EntityId,
+    max_hops: usize,
+    max_paths: usize,
+) -> Vec<Vec<EntityId>> {
+    let mut out = Vec::new();
+    let mut current = vec![from];
+    let mut on_path: FxHashSet<EntityId> = FxHashSet::default();
+    on_path.insert(from);
+    fn rec(
+        kg: &KnowledgeGraph,
+        to: EntityId,
+        max_hops: usize,
+        max_paths: usize,
+        current: &mut Vec<EntityId>,
+        on_path: &mut FxHashSet<EntityId>,
+        out: &mut Vec<Vec<EntityId>>,
+    ) {
+        if out.len() >= max_paths {
+            return;
+        }
+        let last = *current.last().expect("path never empty");
+        if last == to {
+            out.push(current.clone());
+            return;
+        }
+        if current.len() > max_hops {
+            return;
+        }
+        for next in kg.neighbors(last) {
+            if on_path.contains(&next) {
+                continue;
+            }
+            current.push(next);
+            on_path.insert(next);
+            rec(kg, to, max_hops, max_paths, current, on_path, out);
+            on_path.remove(&next);
+            current.pop();
+        }
+    }
+    rec(kg, to, max_hops, max_paths, &mut current, &mut on_path, &mut out);
+    out
+}
+
+/// Degree histogram of the entity graph: `histogram[d]` = number of
+/// entities with degree `d` (clamped into the final bucket).
+pub fn degree_histogram(kg: &KnowledgeGraph, buckets: usize) -> Vec<usize> {
+    let mut histogram = vec![0usize; buckets.max(1)];
+    for e in kg.entity_ids() {
+        let d = kg.neighbors(e).len().min(buckets.saturating_sub(1));
+        histogram[d] += 1;
+    }
+    histogram
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    /// Builds: a - b - c - d plus isolated e, attribute on a.
+    fn chain() -> (KnowledgeGraph, Vec<EntityId>) {
+        let mut kg = KnowledgeGraph::new();
+        let src = kg.add_source("s", "kg", "m");
+        let rel = kg.add_relation("r");
+        let ids: Vec<EntityId> = ["a", "b", "c", "d", "e"]
+            .iter()
+            .map(|n| kg.add_entity(n, "m"))
+            .collect();
+        kg.add_triple(ids[0], rel, ids[1], src, 0);
+        kg.add_triple(ids[1], rel, ids[2], src, 0);
+        kg.add_triple(ids[2], rel, ids[3], src, 0);
+        kg.add_triple(ids[0], rel, Value::from("attr"), src, 0);
+        (kg, ids)
+    }
+
+    #[test]
+    fn bfs_visits_in_level_order() {
+        let (kg, ids) = chain();
+        let order = bfs(&kg, ids[0], None);
+        assert_eq!(order, vec![ids[0], ids[1], ids[2], ids[3]]);
+    }
+
+    #[test]
+    fn bfs_respects_depth_limit() {
+        let (kg, ids) = chain();
+        assert_eq!(bfs(&kg, ids[0], Some(0)), vec![ids[0]]);
+        assert_eq!(bfs(&kg, ids[0], Some(1)), vec![ids[0], ids[1]]);
+        assert_eq!(k_hop(&kg, ids[0], 2).len(), 3);
+    }
+
+    #[test]
+    fn dfs_reaches_the_full_component() {
+        let (kg, ids) = chain();
+        let order = dfs(&kg, ids[0]);
+        assert_eq!(order.len(), 4);
+        assert_eq!(order[0], ids[0]);
+        assert!(!order.contains(&ids[4]));
+    }
+
+    #[test]
+    fn distance_counts_hops() {
+        let (kg, ids) = chain();
+        assert_eq!(distance(&kg, ids[0], ids[0]), Some(0));
+        assert_eq!(distance(&kg, ids[0], ids[3]), Some(3));
+        assert_eq!(distance(&kg, ids[0], ids[4]), None);
+    }
+
+    #[test]
+    fn components_split_isolated_entities() {
+        let (kg, ids) = chain();
+        let comps = connected_components(&kg);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![ids[0], ids[1], ids[2], ids[3]]);
+        assert_eq!(comps[1], vec![ids[4]]);
+    }
+
+    #[test]
+    fn isolated_entities_ignores_attribute_triples() {
+        let (kg, ids) = chain();
+        // `a` has an attribute triple but also edges; `e` has nothing.
+        assert_eq!(isolated_entities(&kg), vec![ids[4]]);
+    }
+
+    #[test]
+    fn paths_between_enumerates_simple_paths() {
+        let mut kg = KnowledgeGraph::new();
+        let src = kg.add_source("s", "kg", "m");
+        let rel = kg.add_relation("r");
+        let a = kg.add_entity("a", "m");
+        let b = kg.add_entity("b", "m");
+        let c = kg.add_entity("c", "m");
+        let d = kg.add_entity("d", "m");
+        // Two routes a->d: a-b-d and a-c-d.
+        kg.add_triple(a, rel, b, src, 0);
+        kg.add_triple(b, rel, d, src, 0);
+        kg.add_triple(a, rel, c, src, 0);
+        kg.add_triple(c, rel, d, src, 0);
+        let paths = paths_between(&kg, a, d, 3, 10);
+        assert_eq!(paths.len(), 2);
+        for p in &paths {
+            assert_eq!(p.first(), Some(&a));
+            assert_eq!(p.last(), Some(&d));
+            assert_eq!(p.len(), 3);
+        }
+    }
+
+    #[test]
+    fn paths_between_respects_caps() {
+        let (kg, ids) = chain();
+        let paths = paths_between(&kg, ids[0], ids[3], 2, 10);
+        assert!(paths.is_empty(), "3-hop path must be cut off at max_hops=2");
+        let paths = paths_between(&kg, ids[0], ids[3], 5, 0);
+        assert!(paths.is_empty(), "max_paths=0 returns nothing");
+    }
+
+    #[test]
+    fn degree_histogram_buckets_counts() {
+        let (kg, _) = chain();
+        let histogram = degree_histogram(&kg, 4);
+        // Degrees: a=1, b=2, c=2, d=1, e=0.
+        assert_eq!(histogram, vec![1, 2, 2, 0]);
+    }
+}

@@ -1,0 +1,195 @@
+//! String interning.
+//!
+//! Entity names, relation names, attribute names and string literal
+//! values are interned into dense [`Symbol`] ids so the rest of the
+//! system can key maps and compare identities with `u32`s instead of
+//! strings. Interning is append-only; symbols are never invalidated.
+
+use crate::hash::FxHashMap;
+use std::fmt;
+
+/// A dense handle to an interned string.
+///
+/// Symbols are only meaningful relative to the [`Interner`] that created
+/// them. They order by insertion order, which the datasets crate relies
+/// on for deterministic iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The raw index of the symbol.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// An append-only string interner.
+///
+/// # Examples
+///
+/// ```
+/// use multirag_kg::intern::Interner;
+///
+/// let mut interner = Interner::new();
+/// let a = interner.intern("CA981");
+/// let b = interner.intern("CA981");
+/// assert_eq!(a, b);
+/// assert_eq!(interner.resolve(a), "CA981");
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    strings: Vec<Box<str>>,
+    lookup: FxHashMap<Box<str>, Symbol>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an interner with capacity for `capacity` distinct strings.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            strings: Vec::with_capacity(capacity),
+            lookup: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
+        }
+    }
+
+    /// Interns `s`, returning its symbol. Re-interning an existing
+    /// string returns the original symbol.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.lookup.get(s) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(self.strings.len()).expect("interner overflow: >u32::MAX distinct strings"));
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.lookup.insert(boxed, sym);
+        sym
+    }
+
+    /// Looks up a string without interning it.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.lookup.get(s).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was not produced by this interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Resolves a symbol, returning `None` for foreign symbols.
+    pub fn try_resolve(&self, sym: Symbol) -> Option<&str> {
+        self.strings.get(sym.index()).map(|s| &**s)
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates `(Symbol, &str)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol(i as u32), &**s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut interner = Interner::new();
+        let a = interner.intern("alpha");
+        let b = interner.intern("alpha");
+        assert_eq!(a, b);
+        assert_eq!(interner.len(), 1);
+    }
+
+    #[test]
+    fn symbols_are_dense_and_ordered() {
+        let mut interner = Interner::new();
+        let a = interner.intern("a");
+        let b = interner.intern("b");
+        let c = interner.intern("c");
+        assert_eq!(a, Symbol(0));
+        assert_eq!(b, Symbol(1));
+        assert_eq!(c, Symbol(2));
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut interner = Interner::new();
+        let words = ["CA981", "Beijing", "New York", "typhoon", ""];
+        let syms: Vec<Symbol> = words.iter().map(|w| interner.intern(w)).collect();
+        for (w, s) in words.iter().zip(&syms) {
+            assert_eq!(interner.resolve(*s), *w);
+        }
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut interner = Interner::new();
+        assert_eq!(interner.get("missing"), None);
+        assert_eq!(interner.len(), 0);
+        let s = interner.intern("present");
+        assert_eq!(interner.get("present"), Some(s));
+    }
+
+    #[test]
+    fn try_resolve_rejects_foreign_symbols() {
+        let interner = Interner::new();
+        assert_eq!(interner.try_resolve(Symbol(99)), None);
+    }
+
+    #[test]
+    fn iter_yields_insertion_order() {
+        let mut interner = Interner::new();
+        interner.intern("x");
+        interner.intern("y");
+        let collected: Vec<(Symbol, String)> =
+            interner.iter().map(|(s, w)| (s, w.to_string())).collect();
+        assert_eq!(
+            collected,
+            vec![(Symbol(0), "x".to_string()), (Symbol(1), "y".to_string())]
+        );
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut interner = Interner::with_capacity(16);
+        assert!(interner.is_empty());
+        interner.intern("z");
+        assert!(!interner.is_empty());
+    }
+
+    #[test]
+    fn empty_string_is_a_valid_key() {
+        let mut interner = Interner::new();
+        let e = interner.intern("");
+        assert_eq!(interner.resolve(e), "");
+        assert_eq!(interner.intern(""), e);
+    }
+}

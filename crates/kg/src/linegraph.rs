@@ -1,0 +1,312 @@
+//! The multi-source line-graph transform (Definition 2).
+//!
+//! Given a knowledge graph `G`, its line graph `G'` has one node per
+//! triple, with an edge between two nodes iff the underlying triples
+//! share an entity endpoint. Homologous subgraphs (stars around a
+//! synthetic center node) transform into cliques (Fig. 4 of the paper),
+//! which is what makes consistency checks over homologous data a local
+//! operation.
+//!
+//! Construction buckets triples by endpoint and materializes the clique
+//! over each bucket, giving `O(Σ k_e²)` work where `k_e` is the number of
+//! triples touching entity `e` — in practice far below the naive
+//! all-pairs `O(n²)`.
+
+use crate::graph::{KnowledgeGraph, TripleId};
+use crate::hash::FxHashMap;
+use crate::triple::{EntityId, Triple};
+
+/// Aggregate statistics of a line graph.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LineGraphStats {
+    /// Node count (== triple count of the source graph / subset).
+    pub nodes: usize,
+    /// Undirected edge count.
+    pub edges: usize,
+    /// Maximum node degree.
+    pub max_degree: usize,
+    /// Mean node degree.
+    pub mean_degree: f64,
+}
+
+/// An adjacency-list line graph over a set of triples.
+///
+/// Node indices are *positions into the triple subset* used to build the
+/// graph; [`LineGraph::triple_id`] maps back to the source graph's
+/// [`TripleId`]s.
+#[derive(Debug, Clone, Default)]
+pub struct LineGraph {
+    /// For node `i`, `triples[i]` is the backing triple id.
+    triples: Vec<TripleId>,
+    /// Adjacency lists, sorted and deduplicated.
+    adjacency: Vec<Vec<u32>>,
+}
+
+impl LineGraph {
+    /// Builds the line graph of the *entire* knowledge graph.
+    pub fn from_graph(kg: &KnowledgeGraph) -> Self {
+        let ids: Vec<TripleId> = kg.iter_triples().map(|(id, _)| id).collect();
+        Self::from_triples(kg, &ids)
+    }
+
+    /// Builds the line graph of a subset of triples (e.g. the triples
+    /// retrieved for one query).
+    pub fn from_triples(kg: &KnowledgeGraph, subset: &[TripleId]) -> Self {
+        let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); subset.len()];
+        // Bucket node positions by entity endpoint.
+        let mut buckets: FxHashMap<EntityId, Vec<u32>> = FxHashMap::default();
+        for (pos, &tid) in subset.iter().enumerate() {
+            let triple: &Triple = kg.triple(tid);
+            let (s, o) = triple.endpoints();
+            buckets.entry(s).or_default().push(pos as u32);
+            if let Some(o) = o {
+                if o != s {
+                    buckets.entry(o).or_default().push(pos as u32);
+                }
+            }
+        }
+        for bucket in buckets.values() {
+            for (i, &a) in bucket.iter().enumerate() {
+                for &b in &bucket[i + 1..] {
+                    adjacency[a as usize].push(b);
+                    adjacency[b as usize].push(a);
+                }
+            }
+        }
+        for list in &mut adjacency {
+            list.sort_unstable();
+            list.dedup();
+        }
+        Self {
+            triples: subset.to_vec(),
+            adjacency,
+        }
+    }
+
+    /// Number of line-graph nodes.
+    pub fn node_count(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// The triple behind line-graph node `node`.
+    pub fn triple_id(&self, node: u32) -> TripleId {
+        self.triples[node as usize]
+    }
+
+    /// All backing triple ids in node order.
+    pub fn triple_ids(&self) -> &[TripleId] {
+        &self.triples
+    }
+
+    /// Neighbour node positions of `node`.
+    pub fn neighbors(&self, node: u32) -> &[u32] {
+        &self.adjacency[node as usize]
+    }
+
+    /// Degree of `node`.
+    pub fn degree(&self, node: u32) -> usize {
+        self.adjacency[node as usize].len()
+    }
+
+    /// Whether two nodes are adjacent (binary search over the sorted
+    /// adjacency list).
+    pub fn adjacent(&self, a: u32, b: u32) -> bool {
+        self.adjacency[a as usize].binary_search(&b).is_ok()
+    }
+
+    /// Whether the node subset forms a clique — the structural signature
+    /// of a homologous group after transformation (Fig. 4).
+    pub fn is_clique(&self, nodes: &[u32]) -> bool {
+        for (i, &a) in nodes.iter().enumerate() {
+            for &b in &nodes[i + 1..] {
+                if !self.adjacent(a, b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Connected components over line-graph nodes; each component is a
+    /// sorted list of node positions.
+    pub fn components(&self) -> Vec<Vec<u32>> {
+        let n = self.node_count();
+        let mut seen = vec![false; n];
+        let mut out = Vec::new();
+        let mut stack = Vec::new();
+        for start in 0..n as u32 {
+            if seen[start as usize] {
+                continue;
+            }
+            let mut component = Vec::new();
+            stack.push(start);
+            seen[start as usize] = true;
+            while let Some(node) = stack.pop() {
+                component.push(node);
+                for &next in self.neighbors(node) {
+                    if !seen[next as usize] {
+                        seen[next as usize] = true;
+                        stack.push(next);
+                    }
+                }
+            }
+            component.sort_unstable();
+            out.push(component);
+        }
+        out
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> LineGraphStats {
+        let nodes = self.node_count();
+        let degrees: Vec<usize> = self.adjacency.iter().map(Vec::len).collect();
+        let max_degree = degrees.iter().copied().max().unwrap_or(0);
+        let total: usize = degrees.iter().sum();
+        LineGraphStats {
+            nodes,
+            edges: total / 2,
+            max_degree,
+            mean_degree: if nodes == 0 {
+                0.0
+            } else {
+                total as f64 / nodes as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    /// Star: center entity with 4 homologous attribute triples — the
+    /// paper's Fig. 4 example. Its line graph must be K4.
+    fn star_graph() -> (KnowledgeGraph, Vec<TripleId>) {
+        let mut kg = KnowledgeGraph::new();
+        let center = kg.add_entity("CA981", "flights");
+        let rel = kg.add_relation("status");
+        let mut ids = Vec::new();
+        for i in 0..4 {
+            let src = kg.add_source(&format!("s{i}"), "csv", "flights");
+            ids.push(kg.add_triple(center, rel, Value::from(format!("v{i}")), src, 0));
+        }
+        (kg, ids)
+    }
+
+    #[test]
+    fn homologous_star_becomes_complete_graph() {
+        let (kg, ids) = star_graph();
+        let lg = LineGraph::from_triples(&kg, &ids);
+        assert_eq!(lg.node_count(), 4);
+        assert_eq!(lg.edge_count(), 6); // K4
+        assert!(lg.is_clique(&[0, 1, 2, 3]));
+        assert_eq!(lg.stats().max_degree, 3);
+    }
+
+    #[test]
+    fn disjoint_triples_produce_no_edges() {
+        let mut kg = KnowledgeGraph::new();
+        let src = kg.add_source("s", "csv", "movies");
+        let rel = kg.add_relation("directed_by");
+        let a = kg.add_entity("A", "movies");
+        let b = kg.add_entity("B", "movies");
+        let t1 = kg.add_triple(a, rel, Value::from("x"), src, 0);
+        let t2 = kg.add_triple(b, rel, Value::from("y"), src, 0);
+        let lg = LineGraph::from_triples(&kg, &[t1, t2]);
+        assert_eq!(lg.edge_count(), 0);
+        assert!(!lg.adjacent(0, 1));
+        assert_eq!(lg.components().len(), 2);
+    }
+
+    #[test]
+    fn chain_of_edges_links_consecutive_triples() {
+        // a -> b -> c : triples (a,b) and (b,c) share endpoint b.
+        let mut kg = KnowledgeGraph::new();
+        let src = kg.add_source("s", "kg", "movies");
+        let rel = kg.add_relation("linked");
+        let a = kg.add_entity("a", "movies");
+        let b = kg.add_entity("b", "movies");
+        let c = kg.add_entity("c", "movies");
+        let t1 = kg.add_triple(a, rel, b, src, 0);
+        let t2 = kg.add_triple(b, rel, c, src, 0);
+        let lg = LineGraph::from_triples(&kg, &[t1, t2]);
+        assert!(lg.adjacent(0, 1));
+        assert_eq!(lg.components().len(), 1);
+    }
+
+    #[test]
+    fn self_loop_endpoints_do_not_double_count() {
+        let mut kg = KnowledgeGraph::new();
+        let src = kg.add_source("s", "kg", "movies");
+        let rel = kg.add_relation("self");
+        let a = kg.add_entity("a", "movies");
+        let t1 = kg.add_triple(a, rel, a, src, 0);
+        let t2 = kg.add_triple(a, rel, Value::from("v"), src, 0);
+        let lg = LineGraph::from_triples(&kg, &[t1, t2]);
+        // One edge, not two, despite the self-loop having both endpoints = a.
+        assert_eq!(lg.edge_count(), 1);
+        assert_eq!(lg.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn from_graph_covers_all_triples() {
+        let (kg, ids) = star_graph();
+        let lg = LineGraph::from_graph(&kg);
+        assert_eq!(lg.node_count(), ids.len());
+        assert_eq!(lg.triple_ids().len(), ids.len());
+        assert_eq!(lg.triple_id(2), ids[2]);
+    }
+
+    #[test]
+    fn mixed_structure_components_separate() {
+        let mut kg = KnowledgeGraph::new();
+        let src = kg.add_source("s", "kg", "m");
+        let rel = kg.add_relation("r");
+        let a = kg.add_entity("a", "m");
+        let b = kg.add_entity("b", "m");
+        let c = kg.add_entity("c", "m");
+        let d = kg.add_entity("d", "m");
+        kg.add_triple(a, rel, b, src, 0);
+        kg.add_triple(b, rel, Value::from("attr"), src, 0);
+        kg.add_triple(c, rel, d, src, 0);
+        let lg = LineGraph::from_graph(&kg);
+        let comps = lg.components();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![0, 1]);
+        assert_eq!(comps[1], vec![2]);
+    }
+
+    #[test]
+    fn stats_of_empty_linegraph() {
+        let kg = KnowledgeGraph::new();
+        let lg = LineGraph::from_graph(&kg);
+        let stats = lg.stats();
+        assert_eq!(stats.nodes, 0);
+        assert_eq!(stats.edges, 0);
+        assert_eq!(stats.mean_degree, 0.0);
+    }
+
+    #[test]
+    fn is_clique_detects_missing_edges() {
+        let mut kg = KnowledgeGraph::new();
+        let src = kg.add_source("s", "kg", "m");
+        let rel = kg.add_relation("r");
+        let a = kg.add_entity("a", "m");
+        let b = kg.add_entity("b", "m");
+        let c = kg.add_entity("c", "m");
+        let t1 = kg.add_triple(a, rel, b, src, 0); // touches a,b
+        let t2 = kg.add_triple(b, rel, c, src, 0); // touches b,c
+        let t3 = kg.add_triple(c, rel, Value::from("v"), src, 0); // touches c
+        let lg = LineGraph::from_triples(&kg, &[t1, t2, t3]);
+        // t1-t2 share b; t2-t3 share c; t1-t3 share nothing.
+        assert!(lg.is_clique(&[0, 1]));
+        assert!(lg.is_clique(&[1, 2]));
+        assert!(!lg.is_clique(&[0, 1, 2]));
+    }
+}

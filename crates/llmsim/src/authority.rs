@@ -1,0 +1,172 @@
+//! LLM-assessed node authority (Eq. 10 / the PTCA analogue).
+//!
+//! The paper has an "expert LLM" integrate "the association strength
+//! between entities, entity type information, and multi-step path
+//! information" into a credibility score `C_LLM(v)`, then squashes it
+//! through a sigmoid (Eq. 10). Here `C_LLM` is an explicit feature
+//! combination with bounded deterministic jitter standing in for the
+//! LLM's judgement noise.
+
+use crate::determinism::jitter;
+
+/// Graph-derived features of a node under assessment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AuthorityFeatures {
+    /// Degree of the node's entity in the knowledge graph.
+    pub degree: usize,
+    /// Largest degree in the graph (for normalization).
+    pub max_degree: usize,
+    /// How well the value's type matches the attribute's dominant type
+    /// (`1.0` = perfectly typical).
+    pub type_consistency: f64,
+    /// Fraction of multi-step paths that corroborate the claim.
+    pub path_support: f64,
+    /// Prior reputation of the asserting source in `[0, 1]`.
+    pub source_reputation: f64,
+}
+
+/// Feature weights of the simulated expert assessment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AuthorityWeights {
+    /// Weight of normalized degree (global influence).
+    pub degree: f64,
+    /// Weight of type consistency.
+    pub type_consistency: f64,
+    /// Weight of path support (local connection strength).
+    pub path_support: f64,
+    /// Weight of source reputation.
+    pub source_reputation: f64,
+    /// Magnitude of the deterministic judgement jitter.
+    pub noise: f64,
+}
+
+impl Default for AuthorityWeights {
+    fn default() -> Self {
+        Self {
+            degree: 0.20,
+            type_consistency: 0.25,
+            path_support: 0.25,
+            source_reputation: 0.30,
+            noise: 0.05,
+        }
+    }
+}
+
+/// The raw expert score `C_LLM(v) ∈ [0, 1]`.
+pub fn c_llm(features: &AuthorityFeatures, weights: &AuthorityWeights, seed: u64, key: &str) -> f64 {
+    let degree_norm = if features.max_degree == 0 {
+        0.0
+    } else {
+        // Log scaling: influence grows sub-linearly with degree.
+        (1.0 + features.degree as f64).ln() / (1.0 + features.max_degree as f64).ln()
+    };
+    let score = weights.degree * degree_norm
+        + weights.type_consistency * features.type_consistency.clamp(0.0, 1.0)
+        + weights.path_support * features.path_support.clamp(0.0, 1.0)
+        + weights.source_reputation * features.source_reputation.clamp(0.0, 1.0)
+        + jitter(seed, key, weights.noise);
+    score.clamp(0.0, 1.0)
+}
+
+/// Eq. 10: `Auth_LLM(v) = 1 / (1 + e^{−β·(C_LLM(v) − c̄)})`, where `c̄`
+/// is the mean `C_LLM` over the candidate nodes (the paper normalizes by
+/// the average of all nodes' scores) and `β` controls the steepness.
+pub fn auth_llm(c: f64, c_mean: f64, beta: f64) -> f64 {
+    1.0 / (1.0 + (-beta * (c - c_mean)).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn features(degree: usize, tc: f64, ps: f64, rep: f64) -> AuthorityFeatures {
+        AuthorityFeatures {
+            degree,
+            max_degree: 100,
+            type_consistency: tc,
+            path_support: ps,
+            source_reputation: rep,
+        }
+    }
+
+    #[test]
+    fn score_is_bounded() {
+        let w = AuthorityWeights::default();
+        for i in 0..50 {
+            let c = c_llm(&features(i * 2, 1.0, 1.0, 1.0), &w, 7, &format!("n{i}"));
+            assert!((0.0..=1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn better_features_score_higher() {
+        let w = AuthorityWeights {
+            noise: 0.0,
+            ..AuthorityWeights::default()
+        };
+        let weak = c_llm(&features(1, 0.2, 0.1, 0.3), &w, 1, "a");
+        let strong = c_llm(&features(80, 0.9, 0.9, 0.9), &w, 1, "a");
+        assert!(strong > weak + 0.3);
+    }
+
+    #[test]
+    fn degree_scaling_is_sublinear() {
+        let w = AuthorityWeights {
+            noise: 0.0,
+            ..AuthorityWeights::default()
+        };
+        // Equal +10 degree steps must yield shrinking gains.
+        let d10 = c_llm(&features(10, 0.0, 0.0, 0.0), &w, 1, "a");
+        let d20 = c_llm(&features(20, 0.0, 0.0, 0.0), &w, 1, "a");
+        let d30 = c_llm(&features(30, 0.0, 0.0, 0.0), &w, 1, "a");
+        let d40 = c_llm(&features(40, 0.0, 0.0, 0.0), &w, 1, "a");
+        assert!(d20 - d10 > d40 - d30, "marginal degree gains shrink");
+    }
+
+    #[test]
+    fn zero_max_degree_is_safe() {
+        let w = AuthorityWeights::default();
+        let f = AuthorityFeatures {
+            degree: 0,
+            max_degree: 0,
+            type_consistency: 0.5,
+            path_support: 0.5,
+            source_reputation: 0.5,
+        };
+        let c = c_llm(&f, &w, 1, "n");
+        assert!(c.is_finite());
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_key() {
+        let w = AuthorityWeights::default();
+        let f = features(10, 0.5, 0.5, 0.5);
+        assert_eq!(c_llm(&f, &w, 3, "node-1"), c_llm(&f, &w, 3, "node-1"));
+        assert_ne!(c_llm(&f, &w, 3, "node-1"), c_llm(&f, &w, 3, "node-2"));
+    }
+
+    #[test]
+    fn sigmoid_centers_at_mean() {
+        assert!((auth_llm(0.5, 0.5, 0.5) - 0.5).abs() < 1e-12);
+        assert!(auth_llm(0.9, 0.5, 0.5) > 0.5);
+        assert!(auth_llm(0.1, 0.5, 0.5) < 0.5);
+    }
+
+    #[test]
+    fn beta_controls_steepness() {
+        let gentle = auth_llm(0.9, 0.5, 0.5) - 0.5;
+        let steep = auth_llm(0.9, 0.5, 5.0) - 0.5;
+        assert!(steep > gentle);
+    }
+
+    #[test]
+    fn sigmoid_is_monotone() {
+        let mut last = 0.0;
+        for i in 0..=10 {
+            let c = f64::from(i) / 10.0;
+            let a = auth_llm(c, 0.5, 2.0);
+            assert!(a >= last);
+            last = a;
+        }
+    }
+}

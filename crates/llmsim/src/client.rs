@@ -1,0 +1,337 @@
+//! The [`MockLlm`] facade: one object through which every pipeline —
+//! MultiRAG and all baselines — talks to "the LLM".
+//!
+//! Besides dispatching to the extraction / logic / authority /
+//! generation modules, the client meters usage: calls, input and output
+//! tokens, and a **simulated latency** derived from a CPU-inference
+//! cost model. Wall-clock on this machine says nothing about LLM cost,
+//! so the time columns of Tables II/III combine measured compute time
+//! with this simulated LLM time (documented in EXPERIMENTS.md).
+
+use crate::authority::{auth_llm, c_llm, AuthorityFeatures, AuthorityWeights};
+use crate::extract::{extract_triples, ExtractedTriple};
+use crate::halluc::{
+    generate_with_hallucination, ContextProfile, GeneratedAnswer, HallucinationParams,
+};
+use crate::logic::{generate_logic_form, LogicForm};
+use crate::ner::{extract_entities, Mention};
+use crate::schema::Schema;
+use multirag_kg::Value;
+use multirag_retrieval::text::raw_tokens;
+
+/// Latency model approximating a local Llama3-8B-class deployment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Fixed per-call overhead in milliseconds (prompt assembly, KV
+    /// warmup).
+    pub base_ms: f64,
+    /// Milliseconds per input (prompt) token.
+    pub ms_per_input_token: f64,
+    /// Milliseconds per generated token.
+    pub ms_per_output_token: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            base_ms: 120.0,
+            ms_per_input_token: 0.9,
+            ms_per_output_token: 18.0,
+        }
+    }
+}
+
+/// Accumulated usage across a client's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LlmUsage {
+    /// Number of LLM calls.
+    pub calls: u64,
+    /// Prompt tokens consumed.
+    pub input_tokens: u64,
+    /// Generated tokens.
+    pub output_tokens: u64,
+    /// Simulated inference time in milliseconds.
+    pub simulated_ms: f64,
+}
+
+impl LlmUsage {
+    /// Simulated seconds.
+    pub fn simulated_secs(&self) -> f64 {
+        self.simulated_ms / 1000.0
+    }
+}
+
+/// The deterministic mock LLM.
+///
+/// # Examples
+///
+/// ```
+/// use multirag_llmsim::{MockLlm, Schema};
+///
+/// let mut schema = Schema::new();
+/// schema.add_entity_verbatim("CA981");
+/// schema.add_relation("status");
+/// let mut llm = MockLlm::new(schema, 42);
+/// let triples = llm.extract_triples("The status of CA981 is delayed.");
+/// assert_eq!(triples[0].predicate, "status");
+/// assert!(llm.usage().calls > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MockLlm {
+    seed: u64,
+    schema: Schema,
+    cost: CostModel,
+    halluc: HallucinationParams,
+    authority_weights: AuthorityWeights,
+    usage: LlmUsage,
+}
+
+impl MockLlm {
+    /// Creates a client over `schema` with the given seed.
+    pub fn new(schema: Schema, seed: u64) -> Self {
+        Self {
+            seed,
+            schema,
+            cost: CostModel::default(),
+            halluc: HallucinationParams::default(),
+            authority_weights: AuthorityWeights::default(),
+            usage: LlmUsage::default(),
+        }
+    }
+
+    /// Overrides the latency model.
+    pub fn with_cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Overrides the hallucination parameters.
+    pub fn with_hallucination_params(mut self, params: HallucinationParams) -> Self {
+        self.halluc = params;
+        self
+    }
+
+    /// The schema the client extracts against.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Mutable access to the schema (e.g. to grow the gazetteer as
+    /// entities are discovered).
+    pub fn schema_mut(&mut self) -> &mut Schema {
+        &mut self.schema
+    }
+
+    /// The seed (for deriving per-query sub-keys).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Usage accumulated so far.
+    pub fn usage(&self) -> LlmUsage {
+        self.usage
+    }
+
+    /// Resets the usage meter (between experiment phases).
+    pub fn reset_usage(&mut self) {
+        self.usage = LlmUsage::default();
+    }
+
+    /// Current hallucination parameters.
+    pub fn hallucination_params(&self) -> HallucinationParams {
+        self.halluc
+    }
+
+    fn meter(&mut self, input_text_tokens: usize, output_tokens: usize) {
+        self.usage.calls += 1;
+        self.usage.input_tokens += input_text_tokens as u64;
+        self.usage.output_tokens += output_tokens as u64;
+        self.usage.simulated_ms += self.cost.base_ms
+            + self.cost.ms_per_input_token * input_text_tokens as f64
+            + self.cost.ms_per_output_token * output_tokens as f64;
+    }
+
+    /// NER call (the `ner.py` prompt).
+    pub fn extract_entities(&mut self, text: &str) -> Vec<Mention> {
+        let mentions = extract_entities(text, &self.schema);
+        self.meter(raw_tokens(text).len() + 64, mentions.len() * 6);
+        mentions
+    }
+
+    /// Triple-extraction call (the `triple.py` prompt).
+    pub fn extract_triples(&mut self, text: &str) -> Vec<ExtractedTriple> {
+        let triples = extract_triples(text, &self.schema);
+        self.meter(raw_tokens(text).len() + 96, triples.len() * 12);
+        triples
+    }
+
+    /// Logic-form generation (Algorithm 2 step 1).
+    pub fn logic_form(&mut self, query: &str) -> Option<LogicForm> {
+        let lf = generate_logic_form(query, &self.schema);
+        self.meter(raw_tokens(query).len() + 48, 16);
+        lf
+    }
+
+    /// Expert authority assessment of one node (`C_LLM(v)`).
+    pub fn score_authority(&mut self, node_key: &str, features: &AuthorityFeatures) -> f64 {
+        let c = c_llm(features, &self.authority_weights, self.seed, node_key);
+        self.meter(96, 4);
+        c
+    }
+
+    /// Eq. 10 squashing, exposed for the confidence module.
+    pub fn squash_authority(&self, c: f64, c_mean: f64, beta: f64) -> f64 {
+        auth_llm(c, c_mean, beta)
+    }
+
+    /// Answer generation under the hallucination law. `query_key` must
+    /// uniquely identify the query so repeated pipelines face the same
+    /// noise; `context_tokens` sizes the simulated prompt.
+    pub fn generate_answer(
+        &mut self,
+        query_key: &str,
+        faithful: Vec<Value>,
+        distractors: &[Value],
+        profile: &ContextProfile,
+        context_tokens: usize,
+    ) -> GeneratedAnswer {
+        let out = generate_with_hallucination(
+            self.seed,
+            query_key,
+            faithful,
+            distractors,
+            profile,
+            &self.halluc,
+        );
+        self.meter(context_tokens + 128, out.values.len() * 8 + 12);
+        out
+    }
+
+    /// A free-form "reasoning" call that only burns simulated tokens —
+    /// used by CoT-style baselines whose intermediate text we don't
+    /// model.
+    pub fn reason(&mut self, prompt_tokens: usize, output_tokens: usize) {
+        self.meter(prompt_tokens, output_tokens);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_entity_verbatim("CA981");
+        s.add_relation("status");
+        s
+    }
+
+    #[test]
+    fn usage_meters_every_call() {
+        let mut llm = MockLlm::new(schema(), 42);
+        assert_eq!(llm.usage().calls, 0);
+        llm.extract_entities("CA981 was fine");
+        llm.extract_triples("The status of CA981 is delayed.");
+        llm.logic_form("What is the status of CA981?");
+        let usage = llm.usage();
+        assert_eq!(usage.calls, 3);
+        assert!(usage.input_tokens > 0);
+        assert!(usage.simulated_ms >= 3.0 * CostModel::default().base_ms);
+    }
+
+    #[test]
+    fn reset_usage_zeroes_the_meter() {
+        let mut llm = MockLlm::new(schema(), 42);
+        llm.reason(100, 50);
+        assert!(llm.usage().simulated_ms > 0.0);
+        llm.reset_usage();
+        assert_eq!(llm.usage(), LlmUsage::default());
+    }
+
+    #[test]
+    fn cost_model_scales_latency() {
+        let cheap = CostModel {
+            base_ms: 1.0,
+            ms_per_input_token: 0.0,
+            ms_per_output_token: 0.0,
+        };
+        let mut fast = MockLlm::new(schema(), 1).with_cost_model(cheap);
+        let mut slow = MockLlm::new(schema(), 1);
+        fast.reason(1000, 100);
+        slow.reason(1000, 100);
+        assert!(slow.usage().simulated_ms > fast.usage().simulated_ms * 10.0);
+    }
+
+    #[test]
+    fn same_seed_same_answers() {
+        let profile = ContextProfile {
+            conflict_ratio: 0.7,
+            irrelevance_ratio: 0.3,
+            coverage: 0.8,
+            claims: 4,
+        };
+        let run = |seed| {
+            let mut llm = MockLlm::new(schema(), seed);
+            llm.generate_answer(
+                "q1",
+                vec![Value::from("delayed")],
+                &[Value::from("on-time")],
+                &profile,
+                200,
+            )
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn different_seeds_can_differ() {
+        let profile = ContextProfile {
+            conflict_ratio: 0.9,
+            irrelevance_ratio: 0.5,
+            coverage: 0.3,
+            claims: 4,
+        };
+        let fire_count = (0..64)
+            .filter(|&seed| {
+                let mut llm = MockLlm::new(schema(), seed);
+                llm.generate_answer(
+                    "q1",
+                    vec![Value::from("a")],
+                    &[Value::from("b")],
+                    &profile,
+                    100,
+                )
+                .hallucinated
+            })
+            .count();
+        assert!(fire_count > 10 && fire_count < 64);
+    }
+
+    #[test]
+    fn squash_authority_matches_eq10() {
+        let llm = MockLlm::new(schema(), 1);
+        assert!((llm.squash_authority(0.5, 0.5, 0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simulated_seconds_conversion() {
+        let usage = LlmUsage {
+            calls: 1,
+            input_tokens: 0,
+            output_tokens: 0,
+            simulated_ms: 2500.0,
+        };
+        assert!((usage.simulated_secs() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schema_mut_grows_gazetteer() {
+        let mut llm = MockLlm::new(Schema::new(), 3);
+        assert!(
+            llm.schema().resolve_entity("newentity").is_none(),
+            "empty schema knows nothing"
+        );
+        llm.schema_mut().add_entity_verbatim("NewEntity");
+        assert_eq!(llm.schema().resolve_entity("newentity"), Some("NewEntity"));
+    }
+}

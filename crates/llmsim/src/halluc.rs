@@ -1,0 +1,391 @@
+//! The explicit hallucination model.
+//!
+//! The paper's entire premise is that hallucination frequency is driven
+//! by what reaches the LLM: conflicting claims, irrelevant passages and
+//! missing evidence (its Related Work cites the ~70%-indirect-passage
+//! finding). We make that relationship an explicit, documented function
+//! so that MultiRAG's filtering and every baseline face the *same*
+//! failure law:
+//!
+//! ```text
+//! p(hallucinate) = clamp(p0 + wc·conflict + wr·irrelevance + wk·(1 − coverage))
+//! ```
+//!
+//! A deterministic draw keyed by `(seed, query)` decides whether the
+//! emitted answer set is corrupted, and how: swapping in a conflicting
+//! value, dropping answers, or fabricating one.
+
+use crate::determinism::{bernoulli, draw, pick, unit};
+use multirag_kg::Value;
+
+/// Summary of the context handed to the generator for one query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContextProfile {
+    /// Fraction of context claims that contradict the majority claim
+    /// (`0.0` = fully consistent).
+    pub conflict_ratio: f64,
+    /// Fraction of context passages unrelated to the query.
+    pub irrelevance_ratio: f64,
+    /// Fraction of the gold evidence present in context (`1.0` = all
+    /// supporting facts retrieved).
+    pub coverage: f64,
+    /// Number of claims in context.
+    pub claims: usize,
+}
+
+impl ContextProfile {
+    /// A clean, complete context.
+    pub fn clean(claims: usize) -> Self {
+        Self {
+            conflict_ratio: 0.0,
+            irrelevance_ratio: 0.0,
+            coverage: 1.0,
+            claims,
+        }
+    }
+}
+
+/// Weights of the hallucination law.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HallucinationParams {
+    /// Irreducible base rate (the LLM's intrinsic error).
+    pub base: f64,
+    /// Weight of the conflict ratio.
+    pub w_conflict: f64,
+    /// Weight of the irrelevance ratio.
+    pub w_irrelevance: f64,
+    /// Weight of missing coverage.
+    pub w_missing: f64,
+    /// Hard cap on the probability.
+    pub max: f64,
+}
+
+impl Default for HallucinationParams {
+    fn default() -> Self {
+        Self {
+            base: 0.03,
+            w_conflict: 0.55,
+            w_irrelevance: 0.30,
+            w_missing: 0.45,
+            max: 0.95,
+        }
+    }
+}
+
+/// The hallucination law.
+pub fn hallucination_probability(profile: &ContextProfile, params: &HallucinationParams) -> f64 {
+    let p = params.base
+        + params.w_conflict * profile.conflict_ratio.clamp(0.0, 1.0)
+        + params.w_irrelevance * profile.irrelevance_ratio.clamp(0.0, 1.0)
+        + params.w_missing * (1.0 - profile.coverage.clamp(0.0, 1.0));
+    // An empty context cannot be answered faithfully at all.
+    if profile.claims == 0 {
+        return params.max;
+    }
+    p.clamp(0.0, params.max)
+}
+
+/// How a corrupted answer set was corrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionKind {
+    /// An answer was replaced by a conflicting/distractor value.
+    Swap,
+    /// One or more answers were dropped.
+    Drop,
+    /// A fabricated value was added.
+    Fabricate,
+}
+
+/// The generator's output for one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratedAnswer {
+    /// Final emitted values.
+    pub values: Vec<Value>,
+    /// Whether the hallucination draw fired.
+    pub hallucinated: bool,
+    /// The corruption applied, when it fired.
+    pub corruption: Option<CorruptionKind>,
+}
+
+/// Applies the hallucination law to a faithful answer set.
+///
+/// * `seed`/`key` — deterministic identity of this generation call.
+/// * `faithful` — the values a perfectly faithful read of context gives.
+/// * `distractors` — conflicting values present in (or near) the
+///   context; used by the swap corruption.
+pub fn generate_with_hallucination(
+    seed: u64,
+    key: &str,
+    faithful: Vec<Value>,
+    distractors: &[Value],
+    profile: &ContextProfile,
+    params: &HallucinationParams,
+) -> GeneratedAnswer {
+    let p = hallucination_probability(profile, params);
+    if !bernoulli(seed, &format!("halluc:{key}"), p) {
+        return GeneratedAnswer {
+            values: faithful,
+            hallucinated: false,
+            corruption: None,
+        };
+    }
+    // Choose a corruption mode, weighted toward swaps when distractors
+    // exist (the classic "confidently wrong" failure).
+    let roll = unit(draw(seed, &format!("mode:{key}")));
+    let kind = if !distractors.is_empty() && roll < 0.55 {
+        CorruptionKind::Swap
+    } else if roll < 0.8 && !faithful.is_empty() {
+        CorruptionKind::Drop
+    } else {
+        CorruptionKind::Fabricate
+    };
+    let mut values = faithful;
+    match kind {
+        CorruptionKind::Swap => {
+            let d = pick(seed, &format!("swapd:{key}"), distractors.len())
+                .expect("distractors nonempty");
+            let wrong = distractors[d].clone();
+            if values.is_empty() {
+                values.push(wrong);
+            } else {
+                let v = pick(seed, &format!("swapv:{key}"), values.len()).expect("nonempty");
+                values[v] = wrong;
+            }
+        }
+        CorruptionKind::Drop => {
+            let v = pick(seed, &format!("drop:{key}"), values.len()).expect("nonempty");
+            values.remove(v);
+        }
+        CorruptionKind::Fabricate => {
+            let tag = draw(seed, &format!("fab:{key}")) % 100_000;
+            values.push(Value::Str(format!("spurious-{tag}")));
+        }
+    }
+    GeneratedAnswer {
+        values,
+        hallucinated: true,
+        corruption: Some(kind),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> HallucinationParams {
+        HallucinationParams::default()
+    }
+
+    #[test]
+    fn clean_context_has_base_rate() {
+        let p = hallucination_probability(&ContextProfile::clean(5), &params());
+        assert!((p - params().base).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_is_monotone_in_each_factor() {
+        let base = ContextProfile::clean(5);
+        let p0 = hallucination_probability(&base, &params());
+        let conflicted = ContextProfile {
+            conflict_ratio: 0.5,
+            ..base
+        };
+        let irrelevant = ContextProfile {
+            irrelevance_ratio: 0.5,
+            ..base
+        };
+        let uncovered = ContextProfile {
+            coverage: 0.5,
+            ..base
+        };
+        assert!(hallucination_probability(&conflicted, &params()) > p0);
+        assert!(hallucination_probability(&irrelevant, &params()) > p0);
+        assert!(hallucination_probability(&uncovered, &params()) > p0);
+        // Conflict weighs heaviest (the paper's core failure mode).
+        assert!(
+            hallucination_probability(&conflicted, &params())
+                > hallucination_probability(&irrelevant, &params())
+        );
+    }
+
+    #[test]
+    fn probability_is_capped() {
+        let worst = ContextProfile {
+            conflict_ratio: 1.0,
+            irrelevance_ratio: 1.0,
+            coverage: 0.0,
+            claims: 3,
+        };
+        assert_eq!(hallucination_probability(&worst, &params()), params().max);
+    }
+
+    #[test]
+    fn empty_context_forces_max_probability() {
+        let empty = ContextProfile::clean(0);
+        assert_eq!(hallucination_probability(&empty, &params()), params().max);
+    }
+
+    #[test]
+    fn faithful_path_returns_input() {
+        // Clean context → base rate 3%; find a key that doesn't fire.
+        let profile = ContextProfile::clean(4);
+        let answer = generate_with_hallucination(
+            1,
+            "q-stable",
+            vec![Value::from("delayed")],
+            &[Value::from("on-time")],
+            &profile,
+            &params(),
+        );
+        if !answer.hallucinated {
+            assert_eq!(answer.values, vec![Value::from("delayed")]);
+            assert!(answer.corruption.is_none());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let profile = ContextProfile {
+            conflict_ratio: 0.8,
+            irrelevance_ratio: 0.2,
+            coverage: 0.6,
+            claims: 6,
+        };
+        let run = || {
+            generate_with_hallucination(
+                9,
+                "q42",
+                vec![Value::from("a"), Value::from("b")],
+                &[Value::from("x")],
+                &profile,
+                &params(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn high_conflict_contexts_hallucinate_often() {
+        let profile = ContextProfile {
+            conflict_ratio: 1.0,
+            irrelevance_ratio: 0.5,
+            coverage: 0.5,
+            claims: 6,
+        };
+        let n = 500;
+        let fired = (0..n)
+            .filter(|i| {
+                generate_with_hallucination(
+                    7,
+                    &format!("q{i}"),
+                    vec![Value::from("a")],
+                    &[Value::from("x")],
+                    &profile,
+                    &params(),
+                )
+                .hallucinated
+            })
+            .count();
+        assert!(fired as f64 / f64::from(n) > 0.85);
+    }
+
+    #[test]
+    fn clean_contexts_rarely_hallucinate() {
+        let profile = ContextProfile::clean(6);
+        let n = 500;
+        let fired = (0..n)
+            .filter(|i| {
+                generate_with_hallucination(
+                    7,
+                    &format!("q{i}"),
+                    vec![Value::from("a")],
+                    &[],
+                    &profile,
+                    &params(),
+                )
+                .hallucinated
+            })
+            .count();
+        assert!(fired as f64 / f64::from(n) < 0.08);
+    }
+
+    #[test]
+    fn corruption_changes_the_answer_set() {
+        let profile = ContextProfile {
+            conflict_ratio: 1.0,
+            irrelevance_ratio: 1.0,
+            coverage: 0.0,
+            claims: 2,
+        };
+        // max = 0.95 ⇒ nearly always corrupt; find corrupted cases and
+        // check they differ from the faithful set.
+        let faithful = vec![Value::from("a"), Value::from("b")];
+        let mut corrupted_seen = 0;
+        for i in 0..200 {
+            let out = generate_with_hallucination(
+                11,
+                &format!("k{i}"),
+                faithful.clone(),
+                &[Value::from("x")],
+                &profile,
+                &params(),
+            );
+            if out.hallucinated {
+                corrupted_seen += 1;
+                assert_ne!(out.values, faithful, "corruption must change output");
+                assert!(out.corruption.is_some());
+            }
+        }
+        assert!(corrupted_seen > 150);
+    }
+
+    #[test]
+    fn all_corruption_kinds_occur() {
+        let profile = ContextProfile {
+            conflict_ratio: 1.0,
+            irrelevance_ratio: 1.0,
+            coverage: 0.0,
+            claims: 2,
+        };
+        let mut kinds = std::collections::HashSet::new();
+        for i in 0..300 {
+            let out = generate_with_hallucination(
+                13,
+                &format!("k{i}"),
+                vec![Value::from("a"), Value::from("b")],
+                &[Value::from("x")],
+                &profile,
+                &params(),
+            );
+            if let Some(kind) = out.corruption {
+                kinds.insert(format!("{kind:?}"));
+            }
+        }
+        assert_eq!(kinds.len(), 3, "swap, drop, fabricate all reachable");
+    }
+
+    #[test]
+    fn swap_works_even_with_empty_faithful_set() {
+        let profile = ContextProfile {
+            conflict_ratio: 1.0,
+            irrelevance_ratio: 1.0,
+            coverage: 0.0,
+            claims: 1,
+        };
+        for i in 0..100 {
+            let out = generate_with_hallucination(
+                17,
+                &format!("k{i}"),
+                vec![],
+                &[Value::from("x")],
+                &profile,
+                &params(),
+            );
+            if out.corruption == Some(CorruptionKind::Swap) {
+                assert_eq!(out.values, vec![Value::from("x")]);
+                return;
+            }
+        }
+        panic!("no swap corruption observed in 100 draws");
+    }
+}

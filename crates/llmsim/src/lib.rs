@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # multirag-llmsim
+//!
+//! A deterministic **simulated LLM** standing in for Llama3-8B-Instruct /
+//! GPT-3.5 in the MultiRAG reproduction (see DESIGN.md §2 for the
+//! substitution argument). No network, no weights: every capability the
+//! paper asks of the LLM is implemented as an explicit, seeded,
+//! inspectable algorithm:
+//!
+//! * [`ner`] — schema-guided entity recognition (the `ner.py` prompt
+//!   analogue).
+//! * [`extract`] — SPO triple extraction from text chunks (`triple.py`)
+//!   plus entity standardization (`std.py`).
+//! * [`logic`] — logic-form generation from natural-language queries
+//!   (Algorithm 2, step 1).
+//! * [`authority`] — the expert-LLM authority score `C_LLM(v)` (PTCA
+//!   analogue) and the Eq. 10 sigmoid squashing.
+//! * [`halluc`] — the hallucination model: the probability the LLM
+//!   answers incorrectly as an explicit monotone function of context
+//!   conflict, irrelevance and coverage. This is the single mechanism
+//!   through which every pipeline gains or loses F1, so comparisons
+//!   measure exactly what the paper measures: context quality.
+//! * [`client`] — the [`MockLlm`] facade with token metering and a
+//!   simulated latency model (so "LLM-heavy" baselines show realistic
+//!   time columns on a machine without a GPU).
+//! * [`determinism`] — stateless seeded draws used everywhere above.
+
+pub mod authority;
+pub mod client;
+pub mod determinism;
+pub mod extract;
+pub mod halluc;
+pub mod logic;
+pub mod ner;
+pub mod schema;
+
+pub use client::{LlmUsage, MockLlm};
+pub use halluc::{ContextProfile, HallucinationParams};
+pub use logic::LogicForm;
+pub use schema::Schema;

@@ -1,0 +1,285 @@
+//! Schema-guided named-entity recognition (the `ner.py` prompt
+//! analogue).
+//!
+//! Recognition runs three passes over a text chunk:
+//!
+//! 1. **Gazetteer pass** — longest-match lookup of known schema
+//!    entities (case-insensitive, up to 5-token windows).
+//! 2. **Pattern pass** — quoted spans and capitalized token runs
+//!    (skipping sentence-initial words unless they re-occur).
+//! 3. **Code pass** — alphanumeric identifiers (flight codes like
+//!    `CA981`, stock symbols like `AAPL`).
+//!
+//! Matches are deduplicated left-to-right, longest-first.
+
+use crate::schema::Schema;
+use multirag_retrieval::text::raw_tokens;
+
+/// A recognized entity mention.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mention {
+    /// Canonical entity name (gazetteer-resolved when possible).
+    pub name: String,
+    /// Surface text as it appeared.
+    pub surface: String,
+    /// Recognition source.
+    pub kind: MentionKind,
+}
+
+/// How a mention was recognized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MentionKind {
+    /// Matched the schema gazetteer.
+    Gazetteer,
+    /// Quoted span.
+    Quoted,
+    /// Capitalized token run.
+    Capitalized,
+    /// Alphanumeric code (CA981, AAPL…).
+    Code,
+}
+
+/// Extracts entity mentions from `text`, guided by `schema`.
+pub fn extract_entities(text: &str, schema: &Schema) -> Vec<Mention> {
+    let mut mentions: Vec<Mention> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let mut push = |name: String, surface: String, kind: MentionKind, mentions: &mut Vec<Mention>| {
+        let key = crate::schema::normalize(&name);
+        if key.is_empty() || !seen.insert(key) {
+            return;
+        }
+        mentions.push(Mention {
+            name,
+            surface,
+            kind,
+        });
+    };
+
+    // Pass 1: gazetteer longest-match over token windows.
+    let words: Vec<&str> = text.split_whitespace().collect();
+    let mut i = 0;
+    while i < words.len() {
+        let mut matched = false;
+        for len in (1..=5usize.min(words.len() - i)).rev() {
+            let window = words[i..i + len].join(" ");
+            let cleaned = trim_punct(&window);
+            if let Some(canonical) = schema.resolve_entity(cleaned) {
+                push(
+                    canonical.to_string(),
+                    cleaned.to_string(),
+                    MentionKind::Gazetteer,
+                    &mut mentions,
+                );
+                i += len;
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            i += 1;
+        }
+    }
+
+    // Pass 2a: quoted spans.
+    for span in quoted_spans(text) {
+        let canonical = schema.resolve_entity(&span).unwrap_or(&span).to_string();
+        push(canonical, span.clone(), MentionKind::Quoted, &mut mentions);
+    }
+
+    // Pass 2b: capitalized runs (not sentence-initial-only words).
+    for run in capitalized_runs(text) {
+        let canonical = schema.resolve_entity(&run).unwrap_or(&run).to_string();
+        push(canonical, run.clone(), MentionKind::Capitalized, &mut mentions);
+    }
+
+    // Pass 3: codes.
+    for code in codes(text) {
+        let canonical = schema.resolve_entity(&code).unwrap_or(&code).to_string();
+        push(canonical, code.clone(), MentionKind::Code, &mut mentions);
+    }
+
+    mentions
+}
+
+fn trim_punct(s: &str) -> &str {
+    s.trim_matches(|c: char| !c.is_alphanumeric())
+}
+
+fn quoted_spans(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for quote in ['"', '\u{201c}'] {
+        let close = if quote == '\u{201c}' { '\u{201d}' } else { quote };
+        let mut rest = text;
+        while let Some(start) = rest.find(quote) {
+            let after = &rest[start + quote.len_utf8()..];
+            let Some(end) = after.find(close) else {
+                break;
+            };
+            let span = after[..end].trim();
+            if !span.is_empty() && span.len() < 80 {
+                out.push(span.to_string());
+            }
+            rest = &after[end + close.len_utf8()..];
+        }
+    }
+    out
+}
+
+fn capitalized_runs(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for sentence in text.split(['.', '!', '?', '\n']) {
+        let words: Vec<&str> = sentence.split_whitespace().collect();
+        let mut run: Vec<&str> = Vec::new();
+        for (pos, word) in words.iter().enumerate() {
+            let cleaned = trim_punct(word);
+            let is_cap = cleaned
+                .chars()
+                .next()
+                .map(|c| c.is_uppercase())
+                .unwrap_or(false)
+                && cleaned.chars().any(|c| c.is_lowercase());
+            // Sentence-initial capitalized words only count when the run
+            // continues (multi-word names) — cuts "The", "It", etc.
+            if is_cap && (pos > 0 || !run.is_empty() || next_is_cap(&words, pos)) {
+                run.push(cleaned);
+            } else {
+                if keepable_run(&run, &words) {
+                    out.push(run.join(" "));
+                }
+                run.clear();
+            }
+        }
+        if keepable_run(&run, &words) {
+            out.push(run.join(" "));
+        }
+    }
+    out
+}
+
+/// A run is worth keeping unless it is empty or a lone sentence-initial
+/// word ("The", "It", …).
+fn keepable_run(run: &[&str], words: &[&str]) -> bool {
+    match run.len() {
+        0 => false,
+        1 => !words_pos_is_initial(run, words),
+        _ => true,
+    }
+}
+
+fn next_is_cap(words: &[&str], pos: usize) -> bool {
+    words.get(pos + 1).is_some_and(|w| {
+        let c = trim_punct(w);
+        c.chars().next().map(|ch| ch.is_uppercase()).unwrap_or(false)
+    })
+}
+
+fn words_pos_is_initial(run: &[&str], words: &[&str]) -> bool {
+    words
+        .first()
+        .map(|w| trim_punct(w) == run[0])
+        .unwrap_or(false)
+}
+
+fn codes(text: &str) -> Vec<String> {
+    raw_tokens(text)
+        .into_iter()
+        .filter(|t| {
+            let has_upper_ctx = t.chars().any(|c| c.is_ascii_digit())
+                && t.chars().any(|c| c.is_ascii_alphabetic());
+            let all_caps = t.len() >= 2
+                && t.len() <= 6
+                && t.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit());
+            has_upper_ctx && all_caps
+        })
+        .map(|t| t.to_uppercase())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_entity_verbatim("CA981");
+        s.add_entity("beijing capital airport", "Beijing Capital Airport");
+        s.add_entity_verbatim("Christopher Nolan");
+        s
+    }
+
+    #[test]
+    fn gazetteer_matches_longest_first() {
+        let mentions = extract_entities(
+            "The flight left Beijing Capital Airport late.",
+            &schema(),
+        );
+        let names: Vec<&str> = mentions.iter().map(|m| m.name.as_str()).collect();
+        assert!(names.contains(&"Beijing Capital Airport"));
+        // Individual "Beijing" alone must not be a separate gazetteer hit.
+        assert_eq!(
+            mentions
+                .iter()
+                .filter(|m| m.kind == MentionKind::Gazetteer)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn codes_are_recognized_and_uppercased() {
+        let mentions = extract_entities("flight ca981 was delayed", &schema());
+        assert!(mentions.iter().any(|m| m.name == "CA981"));
+    }
+
+    #[test]
+    fn quoted_spans_are_entities() {
+        let mentions = extract_entities("the report \"Typhoon In-Fa\" says so", &Schema::new());
+        assert!(mentions.iter().any(|m| m.surface == "Typhoon In-Fa"));
+    }
+
+    #[test]
+    fn capitalized_runs_are_entities() {
+        let mentions =
+            extract_entities("We interviewed Christopher Nolan yesterday.", &Schema::new());
+        assert!(mentions
+            .iter()
+            .any(|m| m.name == "Christopher Nolan" && m.kind == MentionKind::Capitalized));
+    }
+
+    #[test]
+    fn sentence_initial_lone_capitals_are_skipped() {
+        let mentions = extract_entities("The weather was bad. It rained.", &Schema::new());
+        assert!(
+            mentions.is_empty(),
+            "got spurious mentions: {mentions:?}"
+        );
+    }
+
+    #[test]
+    fn sentence_initial_multiword_names_survive() {
+        let mentions = extract_entities("Michael Mann directed it.", &Schema::new());
+        assert!(mentions.iter().any(|m| m.name == "Michael Mann"));
+    }
+
+    #[test]
+    fn duplicates_are_merged() {
+        let mentions = extract_entities("CA981 and again CA981 and ca981.", &schema());
+        assert_eq!(
+            mentions.iter().filter(|m| m.name == "CA981").count(),
+            1
+        );
+    }
+
+    #[test]
+    fn gazetteer_resolution_beats_surface_form() {
+        let mut s = Schema::new();
+        s.add_entity("the matrix", "The Matrix (1999)");
+        let mentions = extract_entities("I rewatched The Matrix. It holds up.", &s);
+        assert!(mentions.iter().any(|m| m.name == "The Matrix (1999)"));
+    }
+
+    #[test]
+    fn empty_text_no_mentions() {
+        assert!(extract_entities("", &schema()).is_empty());
+    }
+}

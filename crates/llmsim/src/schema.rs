@@ -1,0 +1,162 @@
+//! Extraction schema.
+//!
+//! The paper defines "relevant entity types in the schema" and relation
+//! lists that guide OpenSPG's SchemaFreeExtractor prompts. [`Schema`]
+//! plays that role here: entity gazetteer, relation vocabulary with
+//! natural-language aliases, and entity alias tables for
+//! standardization.
+
+use multirag_kg::FxHashMap;
+
+/// Extraction schema guiding NER, triple extraction and logic-form
+/// generation.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    /// Known entity surface forms → canonical names (the gazetteer).
+    entities: FxHashMap<String, String>,
+    /// Relation names in canonical (snake_case) form.
+    relations: Vec<String>,
+    /// Natural-language alias → relation name ("directed by" →
+    /// "director").
+    relation_aliases: FxHashMap<String, String>,
+    /// Declared entity types ("movie", "flight", …) — informational.
+    entity_types: Vec<String>,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an entity and its canonical name. The surface form is
+    /// matched case-insensitively.
+    pub fn add_entity(&mut self, surface: &str, canonical: &str) {
+        self.entities
+            .insert(normalize(surface), canonical.to_string());
+    }
+
+    /// Registers an entity whose surface form is its canonical name.
+    pub fn add_entity_verbatim(&mut self, name: &str) {
+        self.add_entity(name, name);
+    }
+
+    /// Registers a relation.
+    pub fn add_relation(&mut self, name: &str) {
+        if !self.relations.iter().any(|r| r == name) {
+            self.relations.push(name.to_string());
+        }
+        // A relation is trivially an alias of itself, including a
+        // space-separated variant of snake_case.
+        self.relation_aliases
+            .insert(normalize(name), name.to_string());
+        self.relation_aliases
+            .insert(normalize(&name.replace('_', " ")), name.to_string());
+    }
+
+    /// Registers a natural-language alias for a relation.
+    pub fn add_relation_alias(&mut self, alias: &str, relation: &str) {
+        self.add_relation(relation);
+        self.relation_aliases
+            .insert(normalize(alias), relation.to_string());
+    }
+
+    /// Declares an entity type.
+    pub fn add_entity_type(&mut self, name: &str) {
+        if !self.entity_types.iter().any(|t| t == name) {
+            self.entity_types.push(name.to_string());
+        }
+    }
+
+    /// Canonical name for a surface form, if known.
+    pub fn resolve_entity(&self, surface: &str) -> Option<&str> {
+        self.entities.get(&normalize(surface)).map(String::as_str)
+    }
+
+    /// Relation behind a natural-language phrase, if known.
+    pub fn resolve_relation(&self, phrase: &str) -> Option<&str> {
+        self.relation_aliases
+            .get(&normalize(phrase))
+            .map(String::as_str)
+    }
+
+    /// All canonical relations.
+    pub fn relations(&self) -> &[String] {
+        &self.relations
+    }
+
+    /// All declared entity types.
+    pub fn entity_types(&self) -> &[String] {
+        &self.entity_types
+    }
+
+    /// Number of gazetteer entries.
+    pub fn entity_count(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Iterates `(normalized_surface, canonical)` pairs.
+    pub fn entities(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entities.iter().map(|(s, c)| (s.as_str(), c.as_str()))
+    }
+}
+
+/// Normalizes a surface form for matching: lowercase, collapsed
+/// whitespace, no punctuation.
+pub fn normalize(text: &str) -> String {
+    multirag_retrieval::text::normalize_mention(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entity_resolution_is_case_and_punct_insensitive() {
+        let mut schema = Schema::new();
+        schema.add_entity("J.R.R. Tolkien", "J. R. R. Tolkien");
+        assert_eq!(schema.resolve_entity("j r r tolkien"), Some("J. R. R. Tolkien"));
+        assert_eq!(schema.resolve_entity("J.R.R. TOLKIEN"), Some("J. R. R. Tolkien"));
+        assert_eq!(schema.resolve_entity("unknown"), None);
+    }
+
+    #[test]
+    fn relation_aliases_resolve() {
+        let mut schema = Schema::new();
+        schema.add_relation_alias("directed by", "director");
+        schema.add_relation_alias("who directed", "director");
+        assert_eq!(schema.resolve_relation("Directed By"), Some("director"));
+        assert_eq!(schema.resolve_relation("who directed"), Some("director"));
+        assert_eq!(schema.resolve_relation("director"), Some("director"));
+        assert_eq!(schema.relations(), &["director".to_string()]);
+    }
+
+    #[test]
+    fn snake_case_relations_match_spaced_phrases() {
+        let mut schema = Schema::new();
+        schema.add_relation("departure_time");
+        assert_eq!(
+            schema.resolve_relation("departure time"),
+            Some("departure_time")
+        );
+    }
+
+    #[test]
+    fn duplicate_registrations_are_idempotent() {
+        let mut schema = Schema::new();
+        schema.add_relation("year");
+        schema.add_relation("year");
+        schema.add_entity_type("movie");
+        schema.add_entity_type("movie");
+        assert_eq!(schema.relations().len(), 1);
+        assert_eq!(schema.entity_types().len(), 1);
+    }
+
+    #[test]
+    fn verbatim_entities() {
+        let mut schema = Schema::new();
+        schema.add_entity_verbatim("CA981");
+        assert_eq!(schema.resolve_entity("ca981"), Some("CA981"));
+        assert_eq!(schema.entity_count(), 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the simulated LLM's invariants.
+
+use multirag_kg::Value;
+use multirag_llmsim::determinism::{bernoulli, draw, pick, unit};
+use multirag_llmsim::extract::{extract_triples, standardize_value};
+use multirag_llmsim::halluc::{
+    generate_with_hallucination, hallucination_probability, ContextProfile,
+    HallucinationParams,
+};
+use multirag_llmsim::ner::extract_entities;
+use multirag_llmsim::Schema;
+use proptest::prelude::*;
+
+proptest! {
+    /// The hallucination law is a probability, monotone in each factor.
+    #[test]
+    fn hallucination_law_is_monotone_probability(
+        conflict in 0.0f64..1.0,
+        irrelevance in 0.0f64..1.0,
+        coverage in 0.0f64..1.0,
+        claims in 1usize..20,
+        delta in 0.01f64..0.5,
+    ) {
+        let params = HallucinationParams::default();
+        let base = ContextProfile {
+            conflict_ratio: conflict,
+            irrelevance_ratio: irrelevance,
+            coverage,
+            claims,
+        };
+        let p = hallucination_probability(&base, &params);
+        prop_assert!((0.0..=params.max).contains(&p));
+        // More conflict never reduces the probability.
+        let worse = ContextProfile {
+            conflict_ratio: (conflict + delta).min(1.0),
+            ..base
+        };
+        prop_assert!(hallucination_probability(&worse, &params) >= p - 1e-12);
+        // More coverage never increases it.
+        let better = ContextProfile {
+            coverage: (coverage + delta).min(1.0),
+            ..base
+        };
+        prop_assert!(hallucination_probability(&better, &params) <= p + 1e-12);
+    }
+
+    /// Non-hallucinated generations are exactly the faithful set;
+    /// hallucinated ones differ from it.
+    #[test]
+    fn generation_faithfulness_dichotomy(
+        seed in any::<u64>(),
+        key in "[a-z0-9]{1,12}",
+        faithful in proptest::collection::vec("[a-z]{1,6}".prop_map(Value::from), 0..4),
+        conflict in 0.0f64..1.0,
+    ) {
+        let profile = ContextProfile {
+            conflict_ratio: conflict,
+            irrelevance_ratio: 0.2,
+            coverage: 0.8,
+            claims: faithful.len().max(1),
+        };
+        let out = generate_with_hallucination(
+            seed,
+            &key,
+            faithful.clone(),
+            &[Value::from("distractor")],
+            &profile,
+            &HallucinationParams::default(),
+        );
+        if out.hallucinated {
+            prop_assert!(out.corruption.is_some());
+            prop_assert_ne!(out.values, faithful);
+        } else {
+            prop_assert!(out.corruption.is_none());
+            prop_assert_eq!(out.values, faithful);
+        }
+    }
+
+    /// Deterministic draws: same inputs, same outputs; unit in [0,1).
+    #[test]
+    fn draws_are_deterministic_and_bounded(seed in any::<u64>(), key in "\\PC{0,16}") {
+        prop_assert_eq!(draw(seed, &key), draw(seed, &key));
+        let u = unit(draw(seed, &key));
+        prop_assert!((0.0..1.0).contains(&u));
+        prop_assert_eq!(bernoulli(seed, &key, 0.5), bernoulli(seed, &key, 0.5));
+        if let Some(i) = pick(seed, &key, 7) {
+            prop_assert!(i < 7);
+        }
+    }
+
+    /// NER and extraction are total on arbitrary text and never emit
+    /// empty entity names.
+    #[test]
+    fn extraction_is_total(text in "\\PC{0,120}") {
+        let mut schema = Schema::new();
+        schema.add_entity_verbatim("CA981");
+        schema.add_relation("status");
+        for mention in extract_entities(&text, &schema) {
+            prop_assert!(!mention.name.trim().is_empty());
+        }
+        for triple in extract_triples(&text, &schema) {
+            prop_assert!(!triple.subject.trim().is_empty());
+            prop_assert!(!triple.predicate.trim().is_empty());
+        }
+    }
+
+    /// Standardization is idempotent for scalar outputs (multi-valued
+    /// splits render with brackets, which are not re-parseable input —
+    /// the pipeline never round-trips them through text).
+    #[test]
+    fn standardize_value_is_idempotent(raw in "[^,\\r\\n]{0,32}") {
+        prop_assume!(!raw.contains(" and "));
+        let once = standardize_value(&raw);
+        prop_assume!(once.as_list().is_none());
+        let twice = standardize_value(&once.to_string());
+        prop_assert_eq!(once.canonical_key(), twice.canonical_key());
+    }
+
+    /// answer_key is invariant under the surface styles the datasets
+    /// apply (token reordering / re-punctuation).
+    #[test]
+    fn answer_key_is_style_invariant(
+        first in "[A-Z][a-z]{2,6}",
+        last in "[A-Z][a-z]{2,6}",
+    ) {
+        let canonical = Value::from(format!("{first} {last}"));
+        let comma = Value::from(format!("{last}, {first}"));
+        let swapped = Value::from(format!("{last} {first}"));
+        let padded = Value::from(format!("{first}  {last}."));
+        prop_assert_eq!(canonical.answer_key(), comma.answer_key());
+        prop_assert_eq!(canonical.answer_key(), swapped.answer_key());
+        prop_assert_eq!(canonical.answer_key(), padded.answer_key());
+    }
+}

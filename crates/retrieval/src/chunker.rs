@@ -1,0 +1,216 @@
+//! Sliding-window text chunking.
+//!
+//! The paper slices each source into chunks before line-graph
+//! construction, keeping "slice numbers, data source locations" for
+//! cross-indexing. [`chunk_text`] splits at sentence boundaries into
+//! windows of roughly `target_tokens` tokens with `overlap_tokens`
+//! carried between consecutive chunks.
+
+use crate::text::raw_tokens;
+
+/// Chunking configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkerOptions {
+    /// Soft token budget per chunk.
+    pub target_tokens: usize,
+    /// Tokens of trailing context repeated at the start of the next
+    /// chunk.
+    pub overlap_tokens: usize,
+}
+
+impl Default for ChunkerOptions {
+    fn default() -> Self {
+        Self {
+            target_tokens: 128,
+            overlap_tokens: 16,
+        }
+    }
+}
+
+/// A chunk of a source document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// Slice number within the document.
+    pub index: u32,
+    /// Chunk text.
+    pub text: String,
+    /// Approximate token count.
+    pub tokens: usize,
+}
+
+/// Splits text into sentences (on `.`, `!`, `?`, and newlines),
+/// preserving the terminator.
+fn sentences(text: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    let bytes = text.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if matches!(b, b'.' | b'!' | b'?' | b'\n') {
+            let end = i + 1;
+            let slice = text[start..end].trim();
+            if !slice.is_empty() {
+                out.push(text[start..end].trim());
+            }
+            start = end;
+        }
+    }
+    let tail = text[start..].trim();
+    if !tail.is_empty() {
+        out.push(tail);
+    }
+    out
+}
+
+/// Splits `text` into overlapping chunks.
+pub fn chunk_text(text: &str, options: ChunkerOptions) -> Vec<Chunk> {
+    let target = options.target_tokens.max(1);
+    let overlap = options.overlap_tokens.min(target / 2);
+    let sentence_list = sentences(text);
+    let mut chunks: Vec<Chunk> = Vec::new();
+    let mut current: Vec<&str> = Vec::new();
+    let mut current_tokens = 0usize;
+
+    let flush = |current: &mut Vec<&str>, current_tokens: &mut usize, chunks: &mut Vec<Chunk>| {
+        if current.is_empty() {
+            return;
+        }
+        let text = current.join(" ");
+        chunks.push(Chunk {
+            index: chunks.len() as u32,
+            tokens: *current_tokens,
+            text,
+        });
+        // Keep the trailing sentences whose tokens fit in the overlap
+        // budget as the seed of the next chunk.
+        let mut kept: Vec<&str> = Vec::new();
+        let mut kept_tokens = 0usize;
+        for sentence in current.iter().rev() {
+            let t = raw_tokens(sentence).len();
+            if kept_tokens + t > overlap {
+                break;
+            }
+            kept.push(sentence);
+            kept_tokens += t;
+        }
+        kept.reverse();
+        *current = kept;
+        *current_tokens = kept_tokens;
+    };
+
+    for sentence in sentence_list {
+        let tokens = raw_tokens(sentence).len();
+        if current_tokens + tokens > target && !current.is_empty() {
+            flush(&mut current, &mut current_tokens, &mut chunks);
+        }
+        current.push(sentence);
+        current_tokens += tokens;
+        // A single oversized sentence becomes its own chunk.
+        if tokens >= target {
+            flush(&mut current, &mut current_tokens, &mut chunks);
+            current.clear();
+            current_tokens = 0;
+        }
+    }
+    if !current.is_empty() {
+        // Only flush if the residue adds new content beyond the overlap
+        // seed (otherwise the last chunk would be a strict repeat).
+        let is_pure_overlap = chunks
+            .last()
+            .map(|last| last.text.ends_with(&current.join(" ")))
+            .unwrap_or(false);
+        if !is_pure_overlap {
+            let text = current.join(" ");
+            chunks.push(Chunk {
+                index: chunks.len() as u32,
+                tokens: current_tokens,
+                text,
+            });
+        }
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn options(target: usize, overlap: usize) -> ChunkerOptions {
+        ChunkerOptions {
+            target_tokens: target,
+            overlap_tokens: overlap,
+        }
+    }
+
+    #[test]
+    fn short_text_is_one_chunk() {
+        let chunks = chunk_text("One short sentence.", ChunkerOptions::default());
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].index, 0);
+        assert_eq!(chunks[0].text, "One short sentence.");
+    }
+
+    #[test]
+    fn long_text_splits_at_sentence_boundaries() {
+        let text = "Alpha beta gamma delta. Epsilon zeta eta theta. Iota kappa lambda mu. Nu xi omicron pi.";
+        let chunks = chunk_text(text, options(8, 0));
+        assert!(chunks.len() >= 2);
+        for chunk in &chunks {
+            assert!(chunk.text.ends_with('.') || chunk.text.ends_with("pi."));
+        }
+    }
+
+    #[test]
+    fn chunk_indices_are_sequential() {
+        let text = "A b c d. E f g h. I j k l. M n o p. Q r s t.";
+        let chunks = chunk_text(text, options(6, 0));
+        for (i, chunk) in chunks.iter().enumerate() {
+            assert_eq!(chunk.index, i as u32);
+        }
+    }
+
+    #[test]
+    fn overlap_repeats_trailing_sentences() {
+        let text = "First sentence here now. Second sentence here now. Third sentence here now.";
+        let chunks = chunk_text(text, options(8, 4));
+        assert!(chunks.len() >= 2);
+        // The second chunk must start with the last sentence of the first.
+        let first_last_sentence = chunks[0]
+            .text
+            .split(". ")
+            .last()
+            .unwrap()
+            .trim_end_matches('.');
+        assert!(
+            chunks[1].text.contains(first_last_sentence),
+            "chunk 1 {:?} should contain overlap {:?}",
+            chunks[1].text,
+            first_last_sentence
+        );
+    }
+
+    #[test]
+    fn oversized_sentence_becomes_single_chunk() {
+        let long = format!("{} end.", "word ".repeat(50));
+        let chunks = chunk_text(&long, options(10, 2));
+        assert_eq!(chunks.len(), 1);
+        assert!(chunks[0].tokens >= 50);
+    }
+
+    #[test]
+    fn empty_text_gives_no_chunks() {
+        assert!(chunk_text("", ChunkerOptions::default()).is_empty());
+        assert!(chunk_text("   \n  ", ChunkerOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn newlines_act_as_sentence_breaks() {
+        let chunks = chunk_text("line one\nline two\nline three", options(4, 0));
+        assert!(chunks.len() >= 2);
+    }
+
+    #[test]
+    fn token_counts_are_reported() {
+        let chunks = chunk_text("one two three four.", ChunkerOptions::default());
+        assert_eq!(chunks[0].tokens, 4);
+    }
+}

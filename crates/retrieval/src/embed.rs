@@ -1,0 +1,180 @@
+//! A feature-hashing text embedder.
+//!
+//! A lightweight stand-in for dense neural embeddings: tokens (and
+//! token bigrams) hash into a fixed-dimension vector, L2-normalized.
+//! Not semantically smart, but it gives the pipelines a dense-vector
+//! code path with real cosine geometry — useful where an inverted index
+//! is awkward (e.g. streaming similarity between chunk pairs).
+
+use crate::text::tokenize;
+use multirag_kg::hash::hash_bytes;
+
+/// A dense, L2-normalized embedding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Embedding {
+    values: Vec<f32>,
+}
+
+impl Embedding {
+    /// The vector's dimensionality.
+    pub fn dim(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Raw components.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Cosine similarity with another embedding of the same dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn cosine(&self, other: &Embedding) -> f32 {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        // Both are normalized, so the dot product IS the cosine.
+        self.values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| a * b)
+            .sum::<f32>()
+            .clamp(-1.0, 1.0)
+    }
+
+    /// Whether the text had no usable tokens.
+    pub fn is_zero(&self) -> bool {
+        self.values.iter().all(|&v| v == 0.0)
+    }
+}
+
+/// The feature-hashing embedder.
+#[derive(Debug, Clone, Copy)]
+pub struct HashEmbedder {
+    /// Output dimensionality.
+    pub dim: usize,
+    /// Whether to include token bigrams (captures some word order).
+    pub bigrams: bool,
+}
+
+impl Default for HashEmbedder {
+    fn default() -> Self {
+        Self {
+            dim: 256,
+            bigrams: true,
+        }
+    }
+}
+
+impl HashEmbedder {
+    /// Creates an embedder with the given dimensionality.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            dim: dim.max(1),
+            bigrams: true,
+        }
+    }
+
+    /// Embeds a text.
+    pub fn embed(&self, text: &str) -> Embedding {
+        let tokens = tokenize(text);
+        let mut values = vec![0.0f32; self.dim];
+        let bump = |feature: &str, values: &mut Vec<f32>| {
+            let h = hash_bytes(feature.as_bytes());
+            let idx = (h % self.dim as u64) as usize;
+            // Sign bit from a different part of the hash keeps the
+            // expectation of collisions at zero (the hashing trick).
+            let sign = if (h >> 62) & 1 == 0 { 1.0 } else { -1.0 };
+            values[idx] += sign;
+        };
+        for token in &tokens {
+            bump(token, &mut values);
+        }
+        if self.bigrams {
+            for pair in tokens.windows(2) {
+                bump(&format!("{} {}", pair[0], pair[1]), &mut values);
+            }
+        }
+        let norm = values.iter().map(|v| v * v).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            for v in &mut values {
+                *v /= norm;
+            }
+        }
+        Embedding { values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embeddings_are_normalized() {
+        let embedder = HashEmbedder::default();
+        let e = embedder.embed("flight CA981 delayed by typhoon");
+        let norm: f32 = e.as_slice().iter().map(|v| v * v).sum();
+        assert!((norm - 1.0).abs() < 1e-5);
+        assert_eq!(e.dim(), 256);
+    }
+
+    #[test]
+    fn identical_texts_have_cosine_one() {
+        let embedder = HashEmbedder::default();
+        let a = embedder.embed("typhoon warning in Beijing");
+        let b = embedder.embed("typhoon warning in Beijing");
+        assert!((a.cosine(&b) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn related_texts_beat_unrelated() {
+        let embedder = HashEmbedder::default();
+        let base = embedder.embed("flight delayed by the typhoon in Beijing");
+        let related = embedder.embed("Beijing typhoon delays many flights");
+        let unrelated = embedder.embed("quarterly earnings beat analyst expectations");
+        assert!(base.cosine(&related) > base.cosine(&unrelated));
+    }
+
+    #[test]
+    fn empty_text_is_zero_vector() {
+        let embedder = HashEmbedder::default();
+        let e = embedder.embed("!!! ...");
+        assert!(e.is_zero());
+        let other = embedder.embed("anything");
+        assert_eq!(e.cosine(&other), 0.0);
+    }
+
+    #[test]
+    fn bigrams_add_order_sensitivity() {
+        let with = HashEmbedder {
+            dim: 512,
+            bigrams: true,
+        };
+        let without = HashEmbedder {
+            dim: 512,
+            bigrams: false,
+        };
+        let ab_with = with.embed("alpha beta gamma");
+        let ba_with = with.embed("gamma beta alpha");
+        let ab_wo = without.embed("alpha beta gamma");
+        let ba_wo = without.embed("gamma beta alpha");
+        // Without bigrams word order is invisible (same token multiset).
+        assert!((ab_wo.cosine(&ba_wo) - 1.0).abs() < 1e-5);
+        // With bigrams, reordering lowers similarity.
+        assert!(ab_with.cosine(&ba_with) < 0.999);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let a = HashEmbedder::new(64).embed("x");
+        let b = HashEmbedder::new(128).embed("x");
+        a.cosine(&b);
+    }
+
+    #[test]
+    fn tiny_dimensions_are_clamped() {
+        let e = HashEmbedder::new(0);
+        assert_eq!(e.embed("word").dim(), 1);
+    }
+}

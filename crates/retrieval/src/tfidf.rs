@@ -1,0 +1,262 @@
+//! Sparse TF-IDF vectors and cosine retrieval.
+
+use crate::index::{DocId, InvertedIndex};
+use crate::text::tokenize;
+use crate::topk::top_k;
+use multirag_kg::FxHashMap;
+
+/// A sparse, L2-normalized TF-IDF vector: sorted `(term, weight)`
+/// pairs keyed by term id.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TfIdfVector {
+    entries: Vec<(u32, f64)>,
+}
+
+impl TfIdfVector {
+    /// Builds a normalized vector from raw `(term_id, weight)` pairs.
+    pub fn from_weights(mut entries: Vec<(u32, f64)>) -> Self {
+        entries.retain(|&(_, w)| w != 0.0);
+        entries.sort_unstable_by_key(|&(t, _)| t);
+        let norm = entries.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for entry in &mut entries {
+                entry.1 /= norm;
+            }
+        }
+        Self { entries }
+    }
+
+    /// Sorted entries.
+    pub fn entries(&self) -> &[(u32, f64)] {
+        &self.entries
+    }
+
+    /// Number of nonzero dimensions.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the vector is all-zero.
+    pub fn is_zero(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Cosine similarity between two normalized sparse vectors (a sorted
+/// merge join).
+pub fn cosine(a: &TfIdfVector, b: &TfIdfVector) -> f64 {
+    let (mut i, mut j) = (0, 0);
+    let mut dot = 0.0;
+    let (ea, eb) = (a.entries(), b.entries());
+    while i < ea.len() && j < eb.len() {
+        match ea[i].0.cmp(&eb[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                dot += ea[i].1 * eb[j].1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    dot.clamp(-1.0, 1.0)
+}
+
+/// A TF-IDF retrieval index over a document collection.
+#[derive(Debug, Default, Clone)]
+pub struct TfIdfIndex {
+    inverted: InvertedIndex,
+    vectors: Vec<TfIdfVector>,
+    finalized: bool,
+}
+
+impl TfIdfIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an index over a document collection in one shot.
+    pub fn build<'a>(documents: impl Iterator<Item = &'a str>) -> Self {
+        let mut index = Self::new();
+        for doc in documents {
+            index.add_document(doc);
+        }
+        index.finalize();
+        index
+    }
+
+    /// Adds a document. Call [`TfIdfIndex::finalize`] before querying.
+    pub fn add_document(&mut self, text: &str) -> DocId {
+        self.finalized = false;
+        self.inverted.add_document(text)
+    }
+
+    /// Computes document vectors with final IDF values. Idempotent.
+    pub fn finalize(&mut self) {
+        if self.finalized {
+            return;
+        }
+        let n = self.inverted.doc_count();
+        let mut weights: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+        let vocab = self.inverted.vocab();
+        for term_idx in 0..vocab.len() {
+            let term_id = crate::vocab::TermId(term_idx as u32);
+            let idf = vocab.idf(term_id);
+            for posting in self.inverted.postings_by_id(term_id) {
+                let tf = 1.0 + f64::from(posting.tf).ln();
+                weights[posting.doc.index()].push((term_idx as u32, tf * idf));
+            }
+        }
+        self.vectors = weights.into_iter().map(TfIdfVector::from_weights).collect();
+        self.finalized = true;
+    }
+
+    /// The vector of a document.
+    pub fn vector(&self, doc: DocId) -> &TfIdfVector {
+        assert!(self.finalized, "finalize() before querying");
+        &self.vectors[doc.index()]
+    }
+
+    /// Embeds an arbitrary query string into the index's space.
+    pub fn embed_query(&self, query: &str) -> TfIdfVector {
+        let tokens = tokenize(query);
+        let vocab = self.inverted.vocab();
+        let mut counts: FxHashMap<u32, u32> = FxHashMap::default();
+        for token in &tokens {
+            if let Some(id) = vocab.get(token) {
+                *counts.entry(id.0).or_insert(0) += 1;
+            }
+        }
+        let weights: Vec<(u32, f64)> = counts
+            .into_iter()
+            .map(|(id, tf)| {
+                let idf = vocab.idf(crate::vocab::TermId(id));
+                (id, (1.0 + f64::from(tf).ln()) * idf)
+            })
+            .collect();
+        TfIdfVector::from_weights(weights)
+    }
+
+    /// Top-k documents by cosine similarity to the query.
+    pub fn search(&self, query: &str, k: usize) -> Vec<(DocId, f64)> {
+        assert!(self.finalized, "finalize() before querying");
+        let qvec = self.embed_query(query);
+        if qvec.is_zero() {
+            return Vec::new();
+        }
+        let scored = (0..self.vectors.len()).map(|i| {
+            let doc = DocId(i as u32);
+            (doc, cosine(&qvec, &self.vectors[i]))
+        });
+        top_k(scored.filter(|&(_, s)| s > 0.0), k)
+    }
+
+    /// Number of documents.
+    pub fn doc_count(&self) -> usize {
+        self.inverted.doc_count()
+    }
+
+    /// The underlying inverted index.
+    pub fn inverted(&self) -> &InvertedIndex {
+        &self.inverted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TfIdfIndex {
+        TfIdfIndex::build(
+            [
+                "flight CA981 delayed by typhoon in Beijing",
+                "flight CA982 departed on time from Shanghai",
+                "typhoon warning issued for Beijing airport",
+                "stock prices rallied on strong earnings",
+            ]
+            .into_iter(),
+        )
+    }
+
+    #[test]
+    fn vectors_are_normalized() {
+        let index = sample();
+        for i in 0..index.doc_count() {
+            let v = index.vector(DocId(i as u32));
+            let norm: f64 = v.entries().iter().map(|&(_, w)| w * w).sum();
+            assert!((norm - 1.0).abs() < 1e-9, "doc {i} norm {norm}");
+        }
+    }
+
+    #[test]
+    fn cosine_self_similarity_is_one() {
+        let index = sample();
+        let v = index.vector(DocId(0));
+        assert!((cosine(v, v) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn search_ranks_relevant_documents_first() {
+        let index = sample();
+        let results = index.search("typhoon Beijing", 4);
+        assert!(!results.is_empty());
+        // Doc 2 is about the typhoon warning in Beijing; docs 0 shares
+        // both terms too. Doc 3 (stocks) must not appear.
+        let ids: Vec<DocId> = results.iter().map(|&(d, _)| d).collect();
+        assert!(ids.contains(&DocId(2)));
+        assert!(ids.contains(&DocId(0)));
+        assert!(!ids.contains(&DocId(3)));
+        // Scores descending.
+        for pair in results.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn unknown_query_terms_give_empty_results() {
+        let index = sample();
+        assert!(index.search("zzz qqq", 3).is_empty());
+        assert!(index.search("", 3).is_empty());
+    }
+
+    #[test]
+    fn k_limits_result_count() {
+        let index = sample();
+        assert!(index.search("flight", 1).len() <= 1);
+    }
+
+    #[test]
+    fn cosine_of_disjoint_vectors_is_zero() {
+        let a = TfIdfVector::from_weights(vec![(1, 1.0), (3, 2.0)]);
+        let b = TfIdfVector::from_weights(vec![(2, 1.0), (4, 2.0)]);
+        assert_eq!(cosine(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn from_weights_drops_zeros_and_sorts() {
+        let v = TfIdfVector::from_weights(vec![(5, 0.0), (3, 1.0), (1, 1.0)]);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.entries()[0].0, 1);
+        assert_eq!(v.entries()[1].0, 3);
+    }
+
+    #[test]
+    fn finalize_is_idempotent() {
+        let mut index = sample();
+        let before = index.vector(DocId(0)).clone();
+        index.finalize();
+        assert_eq!(index.vector(DocId(0)), &before);
+    }
+
+    #[test]
+    fn incremental_add_then_finalize() {
+        let mut index = TfIdfIndex::new();
+        index.add_document("alpha beta");
+        index.add_document("beta gamma");
+        index.finalize();
+        let results = index.search("gamma", 2);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].0, DocId(1));
+    }
+}

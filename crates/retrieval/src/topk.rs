@@ -1,0 +1,114 @@
+//! Heap-based top-k selection.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A `(key, score)` pair ordered by score (then key for determinism),
+/// wrapped so the binary heap pops the *smallest* first (min-heap).
+struct MinScored<K>(K, f64);
+
+impl<K: Ord> PartialEq for MinScored<K> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl<K: Ord> Eq for MinScored<K> {}
+
+impl<K: Ord> PartialOrd for MinScored<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<K: Ord> Ord for MinScored<K> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // The heap's max element must be the "worst" entry — the one to
+        // evict: lowest score, and among score ties, highest key (so low
+        // keys survive, giving deterministic results).
+        other
+            .1
+            .partial_cmp(&self.1)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.0.cmp(&other.0))
+    }
+}
+
+/// Selects the `k` highest-scoring items from an iterator in
+/// `O(n log k)`, returning them in descending score order (ties broken
+/// by ascending key).
+pub fn top_k<K: Ord + Copy>(items: impl Iterator<Item = (K, f64)>, k: usize) -> Vec<(K, f64)> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<MinScored<K>> = BinaryHeap::with_capacity(k.saturating_add(1).min(4096));
+    for (key, score) in items {
+        if score.is_nan() {
+            continue;
+        }
+        if heap.len() < k {
+            heap.push(MinScored(key, score));
+        } else if let Some(min) = heap.peek() {
+            if score > min.1 || (score == min.1 && key < min.0) {
+                heap.pop();
+                heap.push(MinScored(key, score));
+            }
+        }
+    }
+    let mut out: Vec<(K, f64)> = heap.into_iter().map(|MinScored(k, s)| (k, s)).collect();
+    out.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_highest_scores_in_order() {
+        let items = vec![(1u32, 0.5), (2, 0.9), (3, 0.1), (4, 0.7)];
+        let top = top_k(items.into_iter(), 2);
+        assert_eq!(top, vec![(2, 0.9), (4, 0.7)]);
+    }
+
+    #[test]
+    fn k_larger_than_n_returns_all_sorted() {
+        let items = vec![(1u32, 0.1), (2, 0.3)];
+        let top = top_k(items.into_iter(), 10);
+        assert_eq!(top, vec![(2, 0.3), (1, 0.1)]);
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        let items = vec![(1u32, 0.1)];
+        assert!(top_k(items.into_iter(), 0).is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_key_ascending() {
+        let items = vec![(3u32, 0.5), (1, 0.5), (2, 0.5)];
+        let top = top_k(items.into_iter(), 2);
+        assert_eq!(top, vec![(1, 0.5), (2, 0.5)]);
+    }
+
+    #[test]
+    fn nan_scores_are_skipped() {
+        let items = vec![(1u32, f64::NAN), (2, 0.5)];
+        let top = top_k(items.into_iter(), 2);
+        assert_eq!(top, vec![(2, 0.5)]);
+    }
+
+    #[test]
+    fn large_input_agrees_with_full_sort() {
+        let items: Vec<(u32, f64)> = (0..1000)
+            .map(|i| (i, ((i * 37) % 101) as f64 / 101.0))
+            .collect();
+        let top = top_k(items.iter().copied(), 17);
+        let mut sorted = items;
+        sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        assert_eq!(top, sorted[..17].to_vec());
+    }
+}

@@ -1,0 +1,12 @@
+//! The `multirag` binary: thin dispatch over [`multirag::cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match multirag::cli::run(&args) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
