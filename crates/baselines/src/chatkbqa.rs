@@ -128,8 +128,7 @@ mod tests {
         let mut correct = 0usize;
         for q in &data.queries {
             let a = m.answer(&data.graph, q);
-            if a
-                .values
+            if a.values
                 .iter()
                 .any(|v| data.truth.is_correct(&q.entity, &q.attribute, v))
             {

@@ -64,8 +64,7 @@ impl FusionMethod for Cot {
 
     fn answer(&mut self, _kg: &KnowledgeGraph, query: &Query) -> MethodAnswer {
         // Step-by-step reasoning trace.
-        self.llm
-            .reason(96, self.params.reasoning_tokens);
+        self.llm.reason(96, self.params.reasoning_tokens);
         let knows = bernoulli(
             self.seed,
             &format!("cot-knows:{}", query.key()),
@@ -110,8 +109,7 @@ mod tests {
         let mut hit = 0usize;
         for q in &data.queries {
             let a = cot.answer(&data.graph, q);
-            if a
-                .values
+            if a.values
                 .iter()
                 .any(|v| data.truth.is_correct(&q.entity, &q.attribute, v))
             {

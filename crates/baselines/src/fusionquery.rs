@@ -74,10 +74,8 @@ impl FusionQuery {
             s.dedup();
             s
         };
-        let mut trust: FxHashMap<SourceId, f64> = slot_sources
-            .iter()
-            .map(|&s| (s, self.trust(s)))
-            .collect();
+        let mut trust: FxHashMap<SourceId, f64> =
+            slot_sources.iter().map(|&s| (s, self.trust(s))).collect();
         let mut veracity: FxHashMap<String, f64> = FxHashMap::default();
         for _ in 0..self.params.em_iters {
             // E: veracity of each value from asserting/non-asserting trust.
@@ -128,10 +126,7 @@ impl FusionMethod for FusionQuery {
             return MethodAnswer::default();
         }
         let scored = self.em(&claims);
-        let best = scored
-            .iter()
-            .map(|&(_, s)| s)
-            .fold(0.0f64, f64::max);
+        let best = scored.iter().map(|&(_, s)| s).fold(0.0f64, f64::max);
         // Veracity-thresholded answers (relative threshold handles
         // multi-valued truths whose support splits).
         let cutoff = (self.params.threshold * best).max(1e-9);
@@ -185,8 +180,7 @@ mod tests {
         let mut correct = 0usize;
         for q in &data.queries {
             let a = fq.answer(&data.graph, q);
-            if a
-                .values
+            if a.values
                 .iter()
                 .any(|v| data.truth.is_correct(&q.entity, &q.attribute, v))
             {

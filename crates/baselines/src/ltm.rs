@@ -109,14 +109,10 @@ impl FusionMethod for Ltm {
 
         let (sa, sb) = self.params.sensitivity_prior;
         let (pa, pb) = self.params.specificity_prior;
-        let mut sens: FxHashMap<SourceId, f64> = kg
-            .source_ids()
-            .map(|s| (s, sa / (sa + sb)))
-            .collect();
-        let mut spec: FxHashMap<SourceId, f64> = kg
-            .source_ids()
-            .map(|s| (s, pa / (pa + pb)))
-            .collect();
+        let mut sens: FxHashMap<SourceId, f64> =
+            kg.source_ids().map(|s| (s, sa / (sa + sb))).collect();
+        let mut spec: FxHashMap<SourceId, f64> =
+            kg.source_ids().map(|s| (s, pa / (pa + pb))).collect();
         let mut posterior: FxHashMap<FactKey, f64> = FxHashMap::default();
 
         for _ in 0..self.params.iterations {
@@ -295,8 +291,7 @@ mod tests {
         let mut correct = 0usize;
         for q in &data.queries {
             let a = ltm.answer(&data.graph, q);
-            if a
-                .values
+            if a.values
                 .iter()
                 .any(|v| data.truth.is_correct(&q.entity, &q.attribute, v))
             {

@@ -124,12 +124,14 @@ mod tests {
     use crate::standard_rag::StandardRag;
     use multirag_datasets::movies::MoviesSpec;
 
-    fn accuracy(data: &multirag_datasets::spec::MultiSourceDataset, f: &mut dyn FusionMethod) -> f64 {
+    fn accuracy(
+        data: &multirag_datasets::spec::MultiSourceDataset,
+        f: &mut dyn FusionMethod,
+    ) -> f64 {
         let mut correct = 0usize;
         for q in &data.queries {
             let a = f.answer(&data.graph, q);
-            if a
-                .values
+            if a.values
                 .iter()
                 .any(|v| data.truth.is_correct(&q.entity, &q.attribute, v))
             {
@@ -182,7 +184,10 @@ mod tests {
                     .any(|v| v == &Value::from("right"))
             })
             .count();
-        assert!(hits >= 28, "metacognition should settle 4-2 splits: {hits}/32");
+        assert!(
+            hits >= 28,
+            "metacognition should settle 4-2 splits: {hits}/32"
+        );
     }
 
     #[test]

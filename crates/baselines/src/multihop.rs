@@ -233,7 +233,7 @@ impl MultiHopMethod for IrCotMh<'_> {
         };
         let hop1 = ctx.retrieve(&anchor, 3);
         ctx.llm.reason(160, 96); // CoT step between rounds
-        // First bridge candidate (no voting — IRCoT trusts its chain).
+                                 // First bridge candidate (no voting — IRCoT trusts its chain).
         let mut bridge = None;
         for &d in &hop1 {
             if let Some((subj, obj)) = ctx.extract_relation(d, &rel1).into_iter().next() {
@@ -333,8 +333,7 @@ impl MultiHopMethod for ChatKbqaMh<'_> {
                 hallucinated,
             };
         }
-        let (rel2, rel1, anchor) =
-            parse_bridge_question(&question.text).expect("checked above");
+        let (rel2, rel1, anchor) = parse_bridge_question(&question.text).expect("checked above");
         // Title-exact execution.
         let mut docs = Vec::new();
         let mut answer = None;
@@ -590,9 +589,7 @@ impl MultiHopMethod for MetaRagMh<'_> {
                 if resolves {
                     let mut counts: FxHashMap<String, (String, usize)> = FxHashMap::default();
                     for c in &claims {
-                        let e = counts
-                            .entry(normalize(c))
-                            .or_insert_with(|| (c.clone(), 0));
+                        let e = counts.entry(normalize(c)).or_insert_with(|| (c.clone(), 0));
                         e.1 += 1;
                     }
                     answer = counts
@@ -614,7 +611,11 @@ impl MultiHopMethod for MetaRagMh<'_> {
                 .any(|&d| normalize(&ctx.data.corpus[d].text).contains(&normalize(a)))
         });
         let profile = ContextProfile {
-            conflict_ratio: if conflicted || bridges.len() > 1 { 0.3 } else { 0.05 },
+            conflict_ratio: if conflicted || bridges.len() > 1 {
+                0.3
+            } else {
+                0.05
+            },
             irrelevance_ratio: 0.1,
             coverage: if verified { 1.0 } else { 0.0 },
             claims: bridges.len() + usize::from(answer.is_some()),
@@ -643,10 +644,7 @@ mod tests {
     use multirag_core::{MultiRagConfig, MultiRagQa};
     use multirag_datasets::multihop::{MultiHopFlavor, MultiHopSpec};
 
-    fn score(
-        data: &MultiHopDataset,
-        method: &mut dyn MultiHopMethod,
-    ) -> (f64, f64) {
+    fn score(data: &MultiHopDataset, method: &mut dyn MultiHopMethod) -> (f64, f64) {
         let mut correct = 0usize;
         let mut recall_sum = 0.0;
         for q in &data.questions {

@@ -54,8 +54,7 @@ mod tests {
         for q in data.queries.iter().filter(|q| q.gold.len() == 1) {
             total += 1;
             let a = mv.answer(&data.graph, q);
-            if a
-                .values
+            if a.values
                 .first()
                 .is_some_and(|v| data.truth.is_correct(&q.entity, &q.attribute, v))
             {

@@ -40,11 +40,8 @@ impl RqRag {
         let Some(entity) = kg.find_entity(&query.entity, &domain) else {
             return Vec::new();
         };
-        let asked: std::collections::HashSet<String> = query
-            .attribute
-            .split('_')
-            .map(str::to_string)
-            .collect();
+        let asked: std::collections::HashSet<String> =
+            query.attribute.split('_').map(str::to_string).collect();
         let exact = kg.find_relation(&query.attribute);
         kg.outgoing(entity)
             .iter()
@@ -153,8 +150,7 @@ mod tests {
         let mut correct = 0usize;
         for q in &data.queries {
             let a = m.answer(&data.graph, q);
-            if a
-                .values
+            if a.values
                 .iter()
                 .any(|v| data.truth.is_correct(&q.entity, &q.attribute, v))
             {

@@ -98,8 +98,7 @@ mod tests {
         let mut correct = 0usize;
         for q in &data.queries {
             let a = rag.answer(&data.graph, q);
-            if a
-                .values
+            if a.values
                 .iter()
                 .any(|v| data.truth.is_correct(&q.entity, &q.attribute, v))
             {

@@ -32,7 +32,10 @@ fn construction_benches(c: &mut Criterion) {
             |b, kg| b.iter(|| LineGraph::from_graph(black_box(kg))),
         );
         group.bench_with_input(
-            BenchmarkId::new("homologous_match", format!("{label}/{}t", kg.triple_count())),
+            BenchmarkId::new(
+                "homologous_match",
+                format!("{label}/{}t", kg.triple_count()),
+            ),
             &kg,
             |b, kg| b.iter(|| match_homologous(black_box(kg))),
         );
@@ -95,9 +98,7 @@ fn incremental_benches(c: &mut Criterion) {
     group.bench_function("incremental_single_insert", |b| {
         let mut index = IncrementalMlg::from_graph(&kg);
         let (tid, t) = kg.iter_triples().next().unwrap();
-        b.iter(|| {
-            black_box(index.insert(t.subject, t.predicate, t.source, tid))
-        })
+        b.iter(|| black_box(index.insert(t.subject, t.predicate, t.source, tid)))
     });
     group.finish();
 }

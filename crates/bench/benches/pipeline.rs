@@ -24,11 +24,8 @@ fn pipeline_benches(c: &mut Criterion) {
     });
 
     group.bench_function("multirag_without_mka", |b| {
-        let mut pipeline = MklgpPipeline::new(
-            &data.graph,
-            MultiRagConfig::default().without_mka(),
-            42,
-        );
+        let mut pipeline =
+            MklgpPipeline::new(&data.graph, MultiRagConfig::default().without_mka(), 42);
         let mut i = 0usize;
         b.iter(|| {
             let q = &data.queries[i % data.queries.len()];

@@ -31,13 +31,17 @@ fn parser_benches(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("parsers");
     group.throughput(Throughput::Bytes(csv_text.len() as u64));
-    group.bench_function("csv", |b| b.iter(|| csv::parse(black_box(&csv_text)).unwrap()));
+    group.bench_function("csv", |b| {
+        b.iter(|| csv::parse(black_box(&csv_text)).unwrap())
+    });
     group.throughput(Throughput::Bytes(json_text.len() as u64));
     group.bench_function("json", |b| {
         b.iter(|| json::parse(black_box(&json_text)).unwrap())
     });
     group.throughput(Throughput::Bytes(xml_text.len() as u64));
-    group.bench_function("xml", |b| b.iter(|| xml::parse(black_box(&xml_text)).unwrap()));
+    group.bench_function("xml", |b| {
+        b.iter(|| xml::parse(black_box(&xml_text)).unwrap())
+    });
     group.finish();
 }
 

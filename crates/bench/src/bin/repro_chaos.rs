@@ -1,0 +1,170 @@
+//! Chaos harness — degradation curves under deterministic fault
+//! injection.
+//!
+//! Sweeps a fault rate over every benchmark dataset along two legs:
+//!
+//! * **runtime** — source outages, LLM failures and latency spikes hit
+//!   the live MKLGP pipeline (quarantine, retry/backoff, abstention);
+//! * **ingest** — rendered source files are corrupted (bit flips /
+//!   truncation) and re-ingested leniently, so whatever still parses
+//!   flows on and the rest surfaces as skip diagnostics.
+//!
+//! The contract: quality may fall as the fault rate rises, but failures
+//! surface as abstentions and quarantines — never silent wrong answers
+//! — and a fixed seed reproduces `results/chaos.json` byte-for-byte.
+//!
+//! ```sh
+//! cargo run --release -p multirag-bench --bin repro_chaos
+//! ```
+
+use multirag_bench::seed;
+use multirag_core::MultiRagConfig;
+use multirag_datasets::render::render_source;
+use multirag_datasets::spec::MultiSourceDataset;
+use multirag_eval::table::{fmt1, Table};
+use multirag_eval::{chaos_report_json, parallel_map, run_multirag_chaos, ChaosPoint};
+use multirag_faults::{corrupt_text, FaultPlan};
+use multirag_ingest::{fuse_sources_with, load_into_graph, IngestMode, RawSource};
+
+/// The fault rates swept by the harness.
+const RATES: [f64; 4] = [0.0, 0.05, 0.1, 0.2];
+
+/// Runtime leg: the pristine graph, with the fault plan injected into
+/// the pipeline itself.
+fn runtime_curve(data: &MultiSourceDataset, seed: u64) -> Vec<ChaosPoint> {
+    RATES
+        .iter()
+        .map(|&rate| {
+            run_multirag_chaos(
+                data,
+                &data.graph,
+                MultiRagConfig::default(),
+                seed,
+                FaultPlan::uniform(seed, rate),
+                rate,
+            )
+        })
+        .collect()
+}
+
+/// Ingest leg: render each source to its on-disk format, corrupt a
+/// seeded fraction of the files, re-ingest leniently and evaluate the
+/// pipeline (itself healthy) on the surviving graph.
+fn ingest_curve(data: &MultiSourceDataset, seed: u64) -> Vec<ChaosPoint> {
+    let rendered: Vec<RawSource> = data
+        .sources
+        .iter()
+        .map(|s| render_source(data, s.id))
+        .collect();
+    RATES
+        .iter()
+        .map(|&rate| {
+            let plan = FaultPlan::uniform(seed, rate);
+            let corrupted: Vec<RawSource> = rendered
+                .iter()
+                .map(|src| {
+                    let mut src = src.clone();
+                    if let Some(kind) = plan.record_corruption(&src.name, "content") {
+                        src.content = corrupt_text(kind, seed, &src.name, &src.content);
+                    }
+                    src
+                })
+                .collect();
+            let report = fuse_sources_with(&corrupted, IngestMode::Lenient)
+                .expect("lenient fusion never fails");
+            let graph = load_into_graph(&corrupted, &report.adapted);
+            let mut point = run_multirag_chaos(
+                data,
+                &graph,
+                MultiRagConfig::default(),
+                seed,
+                FaultPlan::healthy(seed),
+                rate,
+            );
+            point.skipped_records = report.diagnostics.len();
+            point
+        })
+        .collect()
+}
+
+fn main() {
+    let seed = seed();
+    let scale = format!("{:?}", multirag_bench::scale());
+    println!("Chaos harness: fault-rate sweep {RATES:?} (scale = {scale}, seed = {seed})");
+
+    let datasets = multirag_bench::all_datasets();
+    let legs: Vec<(usize, bool)> = (0..datasets.len())
+        .flat_map(|i| [(i, false), (i, true)])
+        .collect();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let sections: Vec<(String, Vec<ChaosPoint>)> = parallel_map(legs, threads, |(i, ingest)| {
+        let data = &datasets[i];
+        if ingest {
+            (format!("ingest:{}", data.name), ingest_curve(data, seed))
+        } else {
+            (format!("runtime:{}", data.name), runtime_curve(data, seed))
+        }
+    });
+
+    let mut table = Table::new(
+        "Degradation curves",
+        &[
+            "Curve",
+            "Rate",
+            "F1/%",
+            "Answer/%",
+            "Abstain/%",
+            "Halluc/%",
+            "Quar",
+            "Retry",
+            "Dead",
+            "Skip",
+        ],
+    );
+    for (name, points) in &sections {
+        for p in points {
+            table.row(vec![
+                name.clone(),
+                fmt1(p.fault_rate * 100.0),
+                fmt1(p.f1),
+                fmt1(p.answered_rate * 100.0),
+                fmt1(p.abstained_rate * 100.0),
+                fmt1(p.hallucination_rate * 100.0),
+                p.quarantined_sources.to_string(),
+                p.llm_retries.to_string(),
+                p.llm_failed_calls.to_string(),
+                p.skipped_records.to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+
+    for (name, points) in &sections {
+        let healthy = &points[0];
+        let worst = &points[points.len() - 1];
+        if worst.f1 > healthy.f1 + 1e-9 {
+            println!(
+                "warning: {name} improved under faults ({} -> {})",
+                healthy.f1, worst.f1
+            );
+        }
+        if worst.abstained_rate + 1e-9 < healthy.abstained_rate {
+            println!("warning: {name} abstained less under faults");
+        }
+    }
+
+    let json = chaos_report_json(seed, &scale, &sections);
+    let out_dir = std::path::Path::new("results");
+    if let Err(err) = std::fs::create_dir_all(out_dir)
+        .and_then(|()| std::fs::write(out_dir.join("chaos.json"), &json))
+    {
+        println!("note: could not write results/chaos.json: {err}");
+    } else {
+        println!(
+            "wrote results/chaos.json ({} bytes; bit-identical for a fixed seed)",
+            json.len()
+        );
+    }
+}

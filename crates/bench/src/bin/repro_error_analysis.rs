@@ -81,11 +81,7 @@ fn main() {
     push(&mut table, "MultiRAG", &breakdown);
 
     // And the w/o MCC ablation, to show where the reduction comes from.
-    let mut gutted = MklgpPipeline::new(
-        &data.graph,
-        MultiRagConfig::default().without_mcc(),
-        seed,
-    );
+    let mut gutted = MklgpPipeline::new(&data.graph, MultiRagConfig::default().without_mcc(), seed);
     let mut breakdown = ErrorBreakdown::default();
     for q in &data.queries {
         let a = gutted.answer(q);

@@ -17,10 +17,7 @@ fn main() {
     let scale = multirag_bench::scale();
     println!("Fig. 7: α sweep on the Books dataset (scale = {scale:?}, seed = {seed})");
     let data = BooksSpec::at_scale(scale).generate(seed);
-    let mut table = Table::new(
-        "Fig. 7: F1% and time vs α",
-        &["alpha", "F1/%", "QT+PT/s"],
-    );
+    let mut table = Table::new("Fig. 7: F1% and time vs α", &["alpha", "F1/%", "QT+PT/s"]);
     for step in 0..=10 {
         let alpha = f64::from(step) / 10.0;
         let config = MultiRagConfig::default().with_alpha(alpha);

@@ -22,8 +22,14 @@ fn main() {
     let configs: Vec<(&str, MultiRagConfig)> = vec![
         ("MultiRAG", MultiRagConfig::default()),
         ("w/o MKA", MultiRagConfig::default().without_mka()),
-        ("w/o Graph Level", MultiRagConfig::default().without_graph_level()),
-        ("w/o Node Level", MultiRagConfig::default().without_node_level()),
+        (
+            "w/o Graph Level",
+            MultiRagConfig::default().without_graph_level(),
+        ),
+        (
+            "w/o Node Level",
+            MultiRagConfig::default().without_node_level(),
+        ),
         ("w/o MCC", MultiRagConfig::default().without_mcc()),
     ];
     let mut table = Table::new(

@@ -28,7 +28,14 @@ fn main() {
     );
     let mut table = Table::new(
         "Table IV",
-        &["Dataset", "Method", "Precision/%", "Recall@5/%", "Recall σ", "Halluc/%"],
+        &[
+            "Dataset",
+            "Method",
+            "Precision/%",
+            "Recall@5/%",
+            "Recall σ",
+            "Halluc/%",
+        ],
     );
     for flavor in [MultiHopFlavor::Hotpot, MultiHopFlavor::TwoWiki] {
         let spec = MultiHopSpec {
@@ -53,7 +60,11 @@ fn main() {
         for method in &mut methods {
             rows.push(run_multihop_method(&data, method.as_mut()));
         }
-        rows.push(run_multirag_multihop(&data, MultiRagConfig::default(), seed));
+        rows.push(run_multirag_multihop(
+            &data,
+            MultiRagConfig::default(),
+            seed,
+        ));
         for row in rows {
             table.row(vec![
                 label.to_string(),

@@ -36,7 +36,9 @@ use multirag_baselines::rqrag::RqRag;
 use multirag_baselines::standard_rag::StandardRag;
 use multirag_baselines::truthfinder::TruthFinder;
 use multirag_datasets::spec::{MultiSourceDataset, Scale};
-use multirag_datasets::{books::BooksSpec, flights::FlightsSpec, movies::MoviesSpec, stocks::StocksSpec};
+use multirag_datasets::{
+    books::BooksSpec, flights::FlightsSpec, movies::MoviesSpec, stocks::StocksSpec,
+};
 
 /// Reads the experiment scale from `MULTIRAG_SCALE`.
 pub fn scale() -> Scale {

@@ -287,7 +287,13 @@ pub fn assess_claims(
             path_support: support / n as f64,
             source_reputation: history.credibility(*source),
         };
-        raw_c.push(llm.score_authority(&format!("t{}", tid.0), &features));
+        // Degraded mode: when the expert call dies even after retries,
+        // fall back to a neutral raw score — consistency and history
+        // still discriminate, so one flaky call never sinks a claim.
+        let c = llm
+            .try_score_authority(&format!("t{}", tid.0), &features)
+            .unwrap_or(0.5);
+        raw_c.push(c);
     }
     let c_mean = raw_c.iter().sum::<f64>() / n.max(1) as f64;
 
@@ -465,7 +471,9 @@ mod tests {
 
     #[test]
     fn mi_similarity_of_identical_singletons_is_one() {
-        assert!((mi_similarity(&Value::from("delayed"), &Value::from("delayed")) - 1.0).abs() < 1e-9);
+        assert!(
+            (mi_similarity(&Value::from("delayed"), &Value::from("delayed")) - 1.0).abs() < 1e-9
+        );
         assert!((mi_similarity(&Value::Int(5), &Value::Float(5.0)) - 1.0).abs() < 1e-9);
     }
 
@@ -489,10 +497,7 @@ mod tests {
         let b = Value::List(vec![Value::from("x"), Value::from("z")]);
         let s = mi_similarity(&a, &b);
         let identical = mi_similarity(&a, &a);
-        let disjoint = mi_similarity(
-            &a,
-            &Value::List(vec![Value::from("p"), Value::from("q")]),
-        );
+        let disjoint = mi_similarity(&a, &Value::List(vec![Value::from("p"), Value::from("q")]));
         assert!(s < identical && s > disjoint, "s={s}");
     }
 

@@ -57,9 +57,7 @@ impl HomologousSets {
     pub fn group_for(&self, entity: EntityId, relation: RelationId) -> Option<&HomologousGroup> {
         // Groups are sorted by (entity, relation): binary search.
         self.groups
-            .binary_search_by(|g| {
-                (g.entity, g.relation).cmp(&(entity, relation))
-            })
+            .binary_search_by(|g| (g.entity, g.relation).cmp(&(entity, relation)))
             .ok()
             .map(|i| &self.groups[i])
     }
@@ -84,10 +82,7 @@ pub fn match_homologous(kg: &KnowledgeGraph) -> HomologousSets {
         }
         let members: Vec<TripleId> = keyed[i..j].iter().map(|&(_, _, t)| t).collect();
         if members.len() >= 2 {
-            let mut sources: Vec<_> = members
-                .iter()
-                .map(|&tid| kg.triple(tid).source)
-                .collect();
+            let mut sources: Vec<_> = members.iter().map(|&tid| kg.triple(tid).source).collect();
             sources.sort_unstable();
             sources.dedup();
             sets.groups.push(HomologousGroup {
@@ -229,9 +224,7 @@ mod tests {
         let kg = sample();
         let sets = match_homologous(&kg);
         for pair in sets.groups.windows(2) {
-            assert!(
-                (pair[0].entity, pair[0].relation) < (pair[1].entity, pair[1].relation)
-            );
+            assert!((pair[0].entity, pair[0].relation) < (pair[1].entity, pair[1].relation));
         }
     }
 }

@@ -26,8 +26,8 @@
 //! * [`pipeline`] — MKLGP (Algorithm 2): logic form → extraction → MLG
 //!   → MCC → trustworthy answer.
 
-pub mod config;
 pub mod confidence;
+pub mod config;
 pub mod history;
 pub mod homologous;
 pub mod incremental;
@@ -35,11 +35,11 @@ pub mod mlg;
 pub mod pipeline;
 pub mod qa;
 
-pub use config::MultiRagConfig;
 pub use confidence::{GraphConfidence, NodeConfidence};
+pub use config::MultiRagConfig;
 pub use history::HistoryStore;
 pub use homologous::{HomologousGroup, HomologousSets};
 pub use incremental::IncrementalMlg;
 pub use mlg::MultiSourceLineGraph;
-pub use pipeline::{MklgpPipeline, PipelineAnswer};
+pub use pipeline::{AbstainReason, MklgpPipeline, PipelineAnswer};
 pub use qa::{MultiHopOutcome, MultiRagQa};

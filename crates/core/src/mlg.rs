@@ -75,7 +75,11 @@ impl MultiSourceLineGraph {
     pub fn groups_of(&self, entity: EntityId) -> Vec<&HomologousGroup> {
         self.by_entity
             .get(&entity)
-            .map(|idxs| idxs.iter().map(|&i| &self.sets.groups[i as usize]).collect())
+            .map(|idxs| {
+                idxs.iter()
+                    .map(|&i| &self.sets.groups[i as usize])
+                    .collect()
+            })
             .unwrap_or_default()
     }
 

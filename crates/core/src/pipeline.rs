@@ -14,13 +14,48 @@
 //!    that context is),
 //! 5. updates the historical source-credibility store.
 
-use crate::config::MultiRagConfig;
 use crate::confidence::{mcc_filter, GraphConfidence, NodeConfidence};
+use crate::config::MultiRagConfig;
 use crate::history::HistoryStore;
 use crate::mlg::MultiSourceLineGraph;
 use multirag_datasets::Query;
-use multirag_kg::{FxHashMap, KnowledgeGraph, Object, TripleId, Value};
+use multirag_faults::{FaultPlan, RetryPolicy};
+use multirag_kg::{FxHashMap, FxHashSet, KnowledgeGraph, Object, SourceId, TripleId, Value};
 use multirag_llmsim::{ContextProfile, MockLlm, Schema};
+
+/// Why the pipeline declined to answer — degraded modes surface a
+/// structured verdict instead of a silent empty answer, so the chaos
+/// harness (and any caller) can distinguish "the data never existed"
+/// from "the data was there but its sources were down".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbstainReason {
+    /// The query's entity or attribute is not in the graph.
+    UnknownSlot,
+    /// Claims for the slot exist, but every asserting source is
+    /// quarantined by the fault plan.
+    AllSourcesDown,
+    /// Extraction and MCC left no trustworthy context at all.
+    NoTrustedContext,
+    /// The generation call failed even after retrying; answering
+    /// without the LLM would mean guessing.
+    GenerationFailed {
+        /// Attempts the retry policy made before giving up.
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for AbstainReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AbstainReason::UnknownSlot => write!(f, "unknown entity or attribute"),
+            AbstainReason::AllSourcesDown => write!(f, "all asserting sources down"),
+            AbstainReason::NoTrustedContext => write!(f, "no trustworthy context"),
+            AbstainReason::GenerationFailed { attempts } => {
+                write!(f, "generation failed after {attempts} attempt(s)")
+            }
+        }
+    }
+}
 
 /// The pipeline's verdict on one query.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,6 +69,8 @@ pub struct PipelineAnswer {
     pub fusion_values: Vec<Value>,
     /// True when no trustworthy context survived at all.
     pub abstained: bool,
+    /// Structured abstention verdict (set iff `abstained`).
+    pub abstain_reason: Option<AbstainReason>,
     /// Whether the generation step hallucinated (ground truth of the
     /// simulation — the harness uses it for error analysis, never the
     /// pipeline itself).
@@ -47,6 +84,8 @@ pub struct PipelineAnswer {
     /// Number of context claims examined during extraction (the w/o MKA
     /// path examines many more).
     pub examined: usize,
+    /// Claims skipped because their source is quarantined (down).
+    pub quarantined_claims: usize,
 }
 
 /// The MKLGP pipeline bound to one knowledge graph.
@@ -69,6 +108,7 @@ pub struct MklgpPipeline<'g> {
     history: HistoryStore,
     config: MultiRagConfig,
     max_degree: usize,
+    quarantined: FxHashSet<SourceId>,
 }
 
 impl<'g> MklgpPipeline<'g> {
@@ -110,9 +150,7 @@ impl<'g> MklgpPipeline<'g> {
                         .map(|&tid| {
                             let t = kg.triple(tid);
                             let key = match &t.object {
-                                multirag_kg::Object::Literal(v) => {
-                                    v.standardized().canonical_key()
-                                }
+                                multirag_kg::Object::Literal(v) => v.standardized().canonical_key(),
                                 other => other.canonical_key(),
                             };
                             (t.source, key)
@@ -164,10 +202,7 @@ impl<'g> MklgpPipeline<'g> {
                 }
                 for (source, (correct, total)) in &tally {
                     // Smoothed agreement rate.
-                    cred.insert(
-                        *source,
-                        (*correct as f64 + 2.5) / (*total as f64 + 5.0),
-                    );
+                    cred.insert(*source, (*correct as f64 + 2.5) / (*total as f64 + 5.0));
                 }
                 final_tally = tally;
             }
@@ -182,7 +217,33 @@ impl<'g> MklgpPipeline<'g> {
             history,
             config,
             max_degree,
+            quarantined: FxHashSet::default(),
         }
+    }
+
+    /// Subjects the pipeline to a deterministic fault plan: LLM calls
+    /// can fail (and are retried with seeded backoff), and sources the
+    /// plan declares down are quarantined — their claims are skipped
+    /// and their credibility takes the hit, so answers come from the
+    /// surviving sources.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.quarantined = (0..self.kg.source_count())
+            .map(|i| SourceId(i as u32))
+            .filter(|&id| plan.source_down(self.kg.source_name(id)))
+            .collect();
+        self.llm = self.llm.with_fault_plan(plan);
+        self
+    }
+
+    /// Overrides the retry policy the LLM applies under faults.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.llm = self.llm.with_retry_policy(retry);
+        self
+    }
+
+    /// Sources the fault plan declared down for this run.
+    pub fn quarantined_sources(&self) -> &FxHashSet<SourceId> {
+        &self.quarantined
     }
 
     /// The LLM client (for usage metering).
@@ -207,8 +268,13 @@ impl<'g> MklgpPipeline<'g> {
 
     /// Answers one benchmark query (Algorithm 2).
     pub fn answer(&mut self, query: &Query) -> PipelineAnswer {
-        // Step 1: logic-form generation.
-        let lf = self.llm.logic_form(&query.text);
+        // Step 1: logic-form generation. A failed call (fault plan +
+        // exhausted retries) degrades to the slot the benchmark query
+        // carries — same as the LLM failing to parse the question.
+        let lf = self
+            .llm
+            .try_logic_form(&format!("lf:{}", query.key()), &query.text)
+            .unwrap_or(None);
         let (entity_name, relation_name) = match &lf {
             Some(lf) => (lf.entity.clone(), lf.target_relation().to_string()),
             // Fallback: the benchmark query carries its slot.
@@ -227,16 +293,65 @@ impl<'g> MklgpPipeline<'g> {
                 values: Vec::new(),
                 fusion_values: Vec::new(),
                 abstained: true,
+                abstain_reason: Some(AbstainReason::UnknownSlot),
                 hallucinated: false,
                 graph_confidence: None,
                 kept: Vec::new(),
                 dropped: 0,
                 examined: 0,
+                quarantined_claims: 0,
             };
         };
 
         // Step 2: multi-document extraction.
         let (slot_triples, noise_triples, examined) = self.extract(entity, relation);
+
+        // Degraded mode: claims from quarantined (down) sources never
+        // reach the context — the answer comes from whoever survives.
+        // Each skipped claim is recorded as a miss so outage-prone
+        // sources lose historical credibility (Eq. 11 feedback).
+        let had_claims = !slot_triples.is_empty();
+        let mut quarantined_claims = 0usize;
+        let (slot_triples, noise_triples) = if self.quarantined.is_empty() {
+            (slot_triples, noise_triples)
+        } else {
+            let mut down_tally: FxHashMap<SourceId, usize> = FxHashMap::default();
+            let slot: Vec<TripleId> = slot_triples
+                .into_iter()
+                .filter(|&tid| {
+                    let source = self.kg.triple(tid).source;
+                    if self.quarantined.contains(&source) {
+                        *down_tally.entry(source).or_insert(0) += 1;
+                        false
+                    } else {
+                        true
+                    }
+                })
+                .collect();
+            let noise: Vec<TripleId> = noise_triples
+                .into_iter()
+                .filter(|&tid| !self.quarantined.contains(&self.kg.triple(tid).source))
+                .collect();
+            for (source, skipped) in down_tally {
+                quarantined_claims += skipped;
+                self.history.record(source, 0, skipped);
+            }
+            (slot, noise)
+        };
+        if had_claims && slot_triples.is_empty() {
+            return PipelineAnswer {
+                values: Vec::new(),
+                fusion_values: Vec::new(),
+                abstained: true,
+                abstain_reason: Some(AbstainReason::AllSourcesDown),
+                hallucinated: false,
+                graph_confidence: None,
+                kept: Vec::new(),
+                dropped: 0,
+                examined,
+                quarantined_claims,
+            };
+        }
 
         // Step 3: MCC, over the *extracted* claims (the MKA path
         // extracts the full slot; the unaggregated path may have missed
@@ -271,26 +386,47 @@ impl<'g> MklgpPipeline<'g> {
                 values: Vec::new(),
                 fusion_values: Vec::new(),
                 abstained: true,
+                abstain_reason: Some(AbstainReason::NoTrustedContext),
                 hallucinated: false,
                 graph_confidence,
                 kept,
                 dropped,
                 examined,
+                quarantined_claims,
             };
         }
         let fusion_values = self.restore_surface(entity, relation, faithful.clone());
-        let generated = self.llm.generate_answer(
+        let generated = match self.llm.try_generate_answer(
             &query.key(),
             faithful,
             &distractors,
             &profile,
             context_tokens,
-        );
+        ) {
+            Ok(g) => g,
+            // A dead generation call must abstain, never guess: the
+            // fusion result (computed without the LLM) still stands.
+            Err(err) => {
+                return PipelineAnswer {
+                    values: Vec::new(),
+                    fusion_values,
+                    abstained: true,
+                    abstain_reason: Some(AbstainReason::GenerationFailed {
+                        attempts: err.attempts(),
+                    }),
+                    hallucinated: false,
+                    graph_confidence,
+                    kept,
+                    dropped,
+                    examined,
+                    quarantined_claims,
+                };
+            }
+        };
 
         // Step 5: historical credibility update, using the emitted
         // answer set as the feedback signal.
-        let mut per_source: FxHashMap<multirag_kg::SourceId, (usize, usize)> =
-            FxHashMap::default();
+        let mut per_source: FxHashMap<multirag_kg::SourceId, (usize, usize)> = FxHashMap::default();
         for node in &kept {
             let correct = generated
                 .values
@@ -310,11 +446,13 @@ impl<'g> MklgpPipeline<'g> {
             values: self.restore_surface(entity, relation, generated.values),
             fusion_values,
             abstained: false,
+            abstain_reason: None,
             hallucinated: generated.hallucinated,
             graph_confidence,
             kept,
             dropped,
             examined,
+            quarantined_claims,
         }
     }
 
@@ -452,17 +590,15 @@ impl<'g> MklgpPipeline<'g> {
             // A node is one source's assertion; multi-valued assertions
             // vote for each of their scalar claims.
             for scalar in node.value.scalar_claims() {
-                let entry = support
-                    .entry(scalar.canonical_key())
-                    .or_insert((scalar.clone(), 0.0, 0));
+                let entry =
+                    support
+                        .entry(scalar.canonical_key())
+                        .or_insert((scalar.clone(), 0.0, 0));
                 entry.1 += node.confidence.max(0.05);
                 entry.2 += 1;
             }
         }
-        let max_support = support
-            .values()
-            .map(|&(_, w, _)| w)
-            .fold(0.0f64, f64::max);
+        let max_support = support.values().map(|&(_, w, _)| w).fold(0.0f64, f64::max);
         // Faithful read: every value within 48% of the modal weighted
         // support (multi-valued truths tie near the max even under
         // uneven coverage; weakly supported outliers fall away).
@@ -701,6 +837,98 @@ mod tests {
     }
 
     #[test]
+    fn healthy_fault_plan_changes_nothing() {
+        let data = dataset();
+        let plain = {
+            let mut p = MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42);
+            data.queries.iter().map(|q| p.answer(q)).collect::<Vec<_>>()
+        };
+        let chaos_off = {
+            let mut p = MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42)
+                .with_fault_plan(multirag_faults::FaultPlan::healthy(42));
+            data.queries.iter().map(|q| p.answer(q)).collect::<Vec<_>>()
+        };
+        assert_eq!(plain, chaos_off);
+    }
+
+    #[test]
+    fn outages_quarantine_sources_but_survivors_still_answer() {
+        let data = dataset();
+        let plan = FaultPlan {
+            outage_rate: 0.4,
+            ..FaultPlan::healthy(9)
+        };
+        let mut p =
+            MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42).with_fault_plan(plan);
+        let down = p.quarantined_sources().clone();
+        assert!(
+            !down.is_empty() && down.len() < data.graph.source_count(),
+            "partial outage expected: {} of {}",
+            down.len(),
+            data.graph.source_count()
+        );
+        let answers: Vec<PipelineAnswer> = data.queries.iter().map(|q| p.answer(q)).collect();
+        assert!(
+            answers.iter().any(|a| !a.abstained),
+            "surviving sources must still carry answers"
+        );
+        assert!(
+            answers.iter().any(|a| a.quarantined_claims > 0),
+            "some claims must have been skipped"
+        );
+        // Outage feedback sinks the credibility of a down source
+        // relative to the fault-free run.
+        let mut control = MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42);
+        for q in &data.queries {
+            control.answer(q);
+        }
+        let punished = down
+            .iter()
+            .any(|&s| p.history().credibility(s) < control.history().credibility(s) - 1e-9);
+        assert!(punished, "outages must cost credibility");
+    }
+
+    #[test]
+    fn total_outage_abstains_with_structured_reason() {
+        let data = dataset();
+        let plan = FaultPlan {
+            outage_rate: 1.0,
+            ..FaultPlan::healthy(3)
+        };
+        let mut p =
+            MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42).with_fault_plan(plan);
+        for q in &data.queries {
+            let a = p.answer(q);
+            assert!(a.abstained, "no sources, no answer");
+            assert!(a.values.is_empty(), "never a silent wrong answer");
+            assert_eq!(a.abstain_reason, Some(AbstainReason::AllSourcesDown));
+        }
+    }
+
+    #[test]
+    fn dead_generation_abstains_but_keeps_fusion() {
+        let data = dataset();
+        let plan = FaultPlan {
+            llm_failure_rate: 1.0,
+            ..FaultPlan::healthy(5)
+        };
+        let mut p =
+            MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42).with_fault_plan(plan);
+        let answers: Vec<PipelineAnswer> = data.queries.iter().map(|q| p.answer(q)).collect();
+        assert!(answers.iter().all(|a| a.abstained && a.values.is_empty()));
+        assert!(answers.iter().any(|a| matches!(
+            a.abstain_reason,
+            Some(AbstainReason::GenerationFailed { attempts: 3 })
+        )));
+        // Fusion is LLM-free past MCC: it survives the dead generator.
+        assert!(
+            answers.iter().any(|a| !a.fusion_values.is_empty()),
+            "fusion values must survive generation failure"
+        );
+        assert!(p.llm().usage().retries > 0, "retries were attempted");
+    }
+
+    #[test]
     fn graph_confidence_is_reported_for_homologous_slots() {
         let data = dataset();
         let mut pipeline = MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42);
@@ -709,6 +937,9 @@ mod tests {
             .iter()
             .filter(|q| pipeline.answer(q).graph_confidence.is_some())
             .count();
-        assert!(with_conf > 0, "dense movies data must have homologous slots");
+        assert!(
+            with_conf > 0,
+            "dense movies data must have homologous slots"
+        );
     }
 }

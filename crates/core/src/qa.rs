@@ -84,7 +84,7 @@ impl<'d> MultiRagQa<'d> {
             };
         };
         self.llm.reason(48, 16); // logic-form call
-        // Relations arrive outermost-first; hops apply innermost-first.
+                                 // Relations arrive outermost-first; hops apply innermost-first.
         let chain: Vec<String> = relations.into_iter().rev().collect();
 
         // Walk the chain: at each hop, retrieve docs about the current
@@ -102,8 +102,7 @@ impl<'d> MultiRagQa<'d> {
             for &(doc, _) in &docs {
                 let text = &self.data.corpus[doc.index()].text;
                 for triple in self.llm.extract_triples(text) {
-                    if triple.predicate == *rel
-                        && normalize(&triple.subject) == normalize(&current)
+                    if triple.predicate == *rel && normalize(&triple.subject) == normalize(&current)
                     {
                         claims.push((triple.object.to_string(), doc.index()));
                     }
@@ -140,7 +139,12 @@ impl<'d> MultiRagQa<'d> {
             answers.iter().map(|a| normalize(a)).collect();
         let support = final_answer
             .as_ref()
-            .map(|f| answers.iter().filter(|a| normalize(a) == normalize(f)).count())
+            .map(|f| {
+                answers
+                    .iter()
+                    .filter(|a| normalize(a) == normalize(f))
+                    .count()
+            })
             .unwrap_or(0);
         let profile = ContextProfile {
             conflict_ratio: if answers.is_empty() {
@@ -165,10 +169,7 @@ impl<'d> MultiRagQa<'d> {
             64 * evidence.len(),
         );
         MultiHopOutcome {
-            answer: generated
-                .values
-                .first()
-                .map(|v| v.to_string()),
+            answer: generated.values.first().map(|v| v.to_string()),
             evidence,
             hallucinated: generated.hallucinated,
         }
@@ -256,9 +257,7 @@ fn majority(claims: &[String]) -> Option<String> {
     }
     let mut counts: FxHashMap<String, (String, usize)> = FxHashMap::default();
     for c in claims {
-        let entry = counts
-            .entry(normalize(c))
-            .or_insert_with(|| (c.clone(), 0));
+        let entry = counts.entry(normalize(c)).or_insert_with(|| (c.clone(), 0));
         entry.1 += 1;
     }
     counts

@@ -14,13 +14,18 @@ fn value_strategy() -> impl Strategy<Value = Value> {
         (-50i64..50).prop_map(Value::Int),
         (-10.0f64..10.0).prop_map(Value::Float),
         "[a-c]{1,6}".prop_map(Value::from),
-        proptest::collection::vec("[a-c]{1,4}".prop_map(Value::from), 1..4)
-            .prop_map(Value::List),
+        proptest::collection::vec("[a-c]{1,4}".prop_map(Value::from), 1..4).prop_map(Value::List),
     ]
 }
 
 /// A slot with `values.len()` claims, one per source.
-fn slot_graph(values: &[Value]) -> (KnowledgeGraph, multirag_kg::EntityId, multirag_kg::RelationId) {
+fn slot_graph(
+    values: &[Value],
+) -> (
+    KnowledgeGraph,
+    multirag_kg::EntityId,
+    multirag_kg::RelationId,
+) {
     let mut kg = KnowledgeGraph::new();
     let e = kg.add_entity("X", "d");
     let r = kg.add_relation("attr");

@@ -34,14 +34,7 @@ impl BooksSpec {
                     false,
                 ),
                 AttributeSpec::new("publisher", AttributeKind::Publisher, false),
-                AttributeSpec::new(
-                    "pages",
-                    AttributeKind::Count {
-                        min: 80,
-                        max: 1200,
-                    },
-                    false,
-                ),
+                AttributeSpec::new("pages", AttributeKind::Count { min: 80, max: 1200 }, false),
             ],
             sources: vec![
                 SourceSpec {

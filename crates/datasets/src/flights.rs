@@ -20,11 +20,7 @@ impl FlightsSpec {
                 AttributeSpec::new("status", AttributeKind::FlightStatus, false),
                 AttributeSpec::new("origin", AttributeKind::City, true),
                 AttributeSpec::new("destination", AttributeKind::City, true),
-                AttributeSpec::new(
-                    "gate",
-                    AttributeKind::Count { min: 1, max: 80 },
-                    false,
-                ),
+                AttributeSpec::new("gate", AttributeKind::Count { min: 1, max: 80 }, false),
             ],
             sources: vec![
                 SourceSpec {

@@ -34,11 +34,7 @@ impl MoviesSpec {
                     false,
                 ),
                 AttributeSpec::new("genre", AttributeKind::Genre, false),
-                AttributeSpec::new(
-                    "runtime",
-                    AttributeKind::Count { min: 70, max: 210 },
-                    false,
-                ),
+                AttributeSpec::new("runtime", AttributeKind::Count { min: 70, max: 210 }, false),
                 AttributeSpec::new(
                     "writer",
                     AttributeKind::Person {

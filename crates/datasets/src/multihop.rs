@@ -111,7 +111,7 @@ impl MultiHopSpec {
     pub fn generate(&self, seed: u64) -> MultiHopDataset {
         let n = self.works;
         let people = n; // one creator per work, reused occasionally
-        // World tables.
+                        // World tables.
         let works: Vec<String> = (0..n)
             .map(|i| match self.flavor {
                 MultiHopFlavor::Hotpot => world::movie_title(seed, i),
@@ -194,8 +194,7 @@ impl MultiHopSpec {
                  {creator} was born in {}. \
                  {creator} is married to {}. \
                  Early work focused on short features.",
-                birthplace[i],
-                spouse[i],
+                birthplace[i], spouse[i],
             );
             doc_of.insert(creator.clone(), corpus.len());
             corpus.push(Document {
@@ -250,24 +249,18 @@ impl MultiHopSpec {
             let creator = &creators[c_idx];
             let (mut text, answer) = match self.flavor {
                 MultiHopFlavor::Hotpot => (
-                    format!(
-                        "What is the birthplace of the {creator_noun} of {work}?"
-                    ),
+                    format!("What is the birthplace of the {creator_noun} of {work}?"),
                     birthplace[c_idx].to_string(),
                 ),
                 MultiHopFlavor::TwoWiki => {
                     if rq.gen_bool(0.5) {
                         (
-                            format!(
-                                "Who is the spouse of the {creator_noun} of {work}?"
-                            ),
+                            format!("Who is the spouse of the {creator_noun} of {work}?"),
                             spouse[c_idx].clone(),
                         )
                     } else {
                         (
-                            format!(
-                                "What is the birthplace of the {creator_noun} of {work}?"
-                            ),
+                            format!("What is the birthplace of the {creator_noun} of {work}?"),
                             birthplace[c_idx].to_string(),
                         )
                     }
@@ -373,7 +366,10 @@ mod tests {
         for q in &data.questions {
             let hop1 = &data.corpus[q.gold_docs[0]];
             let hop2 = &data.corpus[q.gold_docs[1]];
-            assert!(hop1.text.contains(&q.bridge), "bridge must appear in hop-1 doc");
+            assert!(
+                hop1.text.contains(&q.bridge),
+                "bridge must appear in hop-1 doc"
+            );
             assert_eq!(hop2.title, q.bridge, "hop-2 doc is the bridge's bio");
         }
     }

@@ -13,9 +13,9 @@
 
 use crate::spec::MultiSourceDataset;
 use crate::world;
-use multirag_kg::{KnowledgeGraph, Object, SourceId};
 #[cfg(test)]
 use multirag_kg::Value;
+use multirag_kg::{KnowledgeGraph, Object, SourceId};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -35,10 +35,7 @@ fn rebuild(kg: &KnowledgeGraph, keep: &[bool]) -> KnowledgeGraph {
         if !keep[tid.index()] {
             continue;
         }
-        let subject = out.add_entity(
-            kg.entity_name(t.subject),
-            kg.entity_domain(t.subject),
-        );
+        let subject = out.add_entity(kg.entity_name(t.subject), kg.entity_domain(t.subject));
         let predicate = out.add_relation(kg.relation_name(t.predicate));
         let object = match &t.object {
             Object::Entity(e) => {
@@ -79,10 +76,8 @@ pub fn mask_relations(data: &MultiSourceDataset, fraction: f64, seed: u64) -> Mu
     let mut candidates: Vec<usize> = (0..n).filter(|&i| !protected[i]).collect();
     candidates.shuffle(&mut r);
     let to_remove = ((n as f64) * fraction.clamp(0.0, 1.0)) as usize;
-    let removed: std::collections::HashSet<usize> = candidates
-        .into_iter()
-        .take(to_remove.min(n))
-        .collect();
+    let removed: std::collections::HashSet<usize> =
+        candidates.into_iter().take(to_remove.min(n)).collect();
     let keep: Vec<bool> = (0..n).map(|i| !removed.contains(&i)).collect();
     MultiSourceDataset {
         graph: rebuild(kg, &keep),
@@ -94,11 +89,7 @@ pub fn mask_relations(data: &MultiSourceDataset, fraction: f64, seed: u64) -> Mu
 /// between the duplicates — consistent with the paper's consistency
 /// perturbation. Subjects and predicates stay, so the noise lands
 /// squarely inside existing homologous groups.
-pub fn inject_conflicts(
-    data: &MultiSourceDataset,
-    fraction: f64,
-    seed: u64,
-) -> MultiSourceDataset {
+pub fn inject_conflicts(data: &MultiSourceDataset, fraction: f64, seed: u64) -> MultiSourceDataset {
     let mut kg = data.graph.clone();
     let n = kg.triple_count();
     let count = ((n as f64) * fraction.clamp(0.0, 4.0)) as usize;
@@ -247,10 +238,7 @@ mod tests {
         let perturbed = inject_conflicts(&d, 0.7, 1);
         // Injected triples reuse (subject, predicate) pairs, so slot
         // populations must grow but no new relations appear.
-        assert_eq!(
-            perturbed.graph.relation_count(),
-            d.graph.relation_count()
-        );
+        assert_eq!(perturbed.graph.relation_count(), d.graph.relation_count());
         assert_eq!(perturbed.graph.entity_count(), d.graph.entity_count());
     }
 
@@ -295,11 +283,7 @@ mod tests {
         assert_eq!(corrupted.graph.triple_count(), d.graph.triple_count());
         // Non-victim triples must be value-identical.
         let mut changed_victim = 0;
-        for ((_, a), (_, b)) in d
-            .graph
-            .iter_triples()
-            .zip(corrupted.graph.iter_triples())
-        {
+        for ((_, a), (_, b)) in d.graph.iter_triples().zip(corrupted.graph.iter_triples()) {
             let va = object_value(&d.graph, &a.object);
             let vb = object_value(&corrupted.graph, &b.object);
             if a.source == victim {

@@ -53,9 +53,8 @@ impl TruthTable {
     /// representation-insensitive ([`Value::answer_key`]) so surface
     /// variants ("Mann, Michael") count as correct for every method.
     pub fn is_correct(&self, entity: &str, attribute: &str, value: &Value) -> bool {
-        self.get(entity, attribute).is_some_and(|gold| {
-            gold.iter().any(|g| g.answer_key() == value.answer_key())
-        })
+        self.get(entity, attribute)
+            .is_some_and(|gold| gold.iter().any(|g| g.answer_key() == value.answer_key()))
     }
 
     /// Number of recorded slots.

@@ -149,10 +149,7 @@ fn render_xml(rows: &[(String, FxHashMap<String, Vec<Value>>)], attrs: &[String]
         for attr in attrs {
             if let Some(vs) = values.get(attr) {
                 for v in vs {
-                    out.push_str(&format!(
-                        "<{attr}>{}</{attr}>",
-                        xml_escape(&v.to_string())
-                    ));
+                    out.push_str(&format!("<{attr}>{}</{attr}>", xml_escape(&v.to_string())));
                 }
             }
         }
@@ -209,10 +206,7 @@ mod tests {
 
     #[test]
     fn csv_rendering_escapes_fields() {
-        let rows = vec![(
-            "A, \"B\"".to_string(),
-            FxHashMap::default(),
-        )];
+        let rows = vec![("A, \"B\"".to_string(), FxHashMap::default())];
         let text = render_csv(&rows, &[]);
         assert!(text.contains("\"A, \"\"B\"\"\""));
     }
@@ -230,12 +224,7 @@ mod tests {
     #[test]
     fn kg_rendering_is_line_per_claim() {
         let data = MoviesSpec::small().generate(42);
-        let kg_source = data
-            .sources
-            .iter()
-            .find(|s| s.format == "kg")
-            .unwrap()
-            .id;
+        let kg_source = data.sources.iter().find(|s| s.format == "kg").unwrap().id;
         let raw = render_source(&data, kg_source);
         assert!(raw.content.lines().all(|l| l.split('|').count() >= 3));
     }

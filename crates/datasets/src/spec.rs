@@ -304,16 +304,19 @@ impl DomainSpec {
         // ---------------------------------------------------------
         // 2. Sources: draw reliability/coverage, emit claims.
         // ---------------------------------------------------------
-        let approx_triples =
-            scale.entities * self.attributes.len() * self.sources.iter().map(|s| s.count).sum::<usize>() / 2;
+        let approx_triples = scale.entities
+            * self.attributes.len()
+            * self.sources.iter().map(|s| s.count).sum::<usize>()
+            / 2;
         let mut kg = KnowledgeGraph::with_capacity(scale.entities * 2, approx_triples);
         let mut sources = Vec::new();
         for roster in &self.sources {
             for copy in 0..roster.count {
                 let name = format!("{}-{}-{copy}", self.domain, roster.format);
                 let mut r = world::rng(seed, &format!("source:{name}"));
-                let reliability =
-                    r.gen_range(roster.reliability.0..=roster.reliability.1.max(roster.reliability.0));
+                let reliability = r.gen_range(
+                    roster.reliability.0..=roster.reliability.1.max(roster.reliability.0),
+                );
                 let coverage =
                     r.gen_range(roster.coverage.0..=roster.coverage.1.max(roster.coverage.0));
                 let style = r.gen_range(0..4u8);
@@ -444,7 +447,9 @@ fn gold_values(seed: u64, domain: &str, entity: &str, attr: &AttributeSpec) -> V
         AttributeKind::Year { min, max } => vec![Value::Int(r.gen_range(min..=max))],
         AttributeKind::TimeOfDay => vec![Value::Str(world::time_of_day(seed, &key))],
         AttributeKind::Money { min, max } => {
-            vec![Value::Float((r.gen_range(min..=max) * 100.0).round() / 100.0)]
+            vec![Value::Float(
+                (r.gen_range(min..=max) * 100.0).round() / 100.0,
+            )]
         }
         AttributeKind::Count { min, max } => vec![Value::Int(r.gen_range(min..=max))],
     }
@@ -511,7 +516,7 @@ fn corrupt_values(
         }
         AttributeKind::City => vec![Value::Str(world::city(seed ^ 1, &key).to_string())],
         AttributeKind::Year { .. } => {
-            let delta = r.gen_range(1..=3);
+            let delta = r.gen_range(1i64..=3);
             let base = gold[0].as_i64().unwrap_or(2000);
             vec![Value::Int(if r.gen_bool(0.5) {
                 base + delta
@@ -522,7 +527,8 @@ fn corrupt_values(
         AttributeKind::TimeOfDay => vec![Value::Str(world::time_of_day(seed ^ 1, &key))],
         AttributeKind::Money { .. } => {
             let base = gold[0].as_f64().unwrap_or(100.0);
-            let factor = 1.0 + r.gen_range(0.02..0.25) * if r.gen_bool(0.5) { 1.0 } else { -1.0 };
+            let factor =
+                1.0 + r.gen_range(0.02f64..0.25) * if r.gen_bool(0.5) { 1.0 } else { -1.0 };
             vec![Value::Float((base * factor * 100.0).round() / 100.0)]
         }
         AttributeKind::Count { .. } => {
@@ -567,7 +573,14 @@ mod tests {
                     },
                     true,
                 ),
-                AttributeSpec::new("year", AttributeKind::Year { min: 1980, max: 2024 }, false),
+                AttributeSpec::new(
+                    "year",
+                    AttributeKind::Year {
+                        min: 1980,
+                        max: 2024,
+                    },
+                    false,
+                ),
                 AttributeSpec::new("genre", AttributeKind::Genre, false),
             ],
             sources: vec![
@@ -614,7 +627,10 @@ mod tests {
         assert_eq!(data.sources.len(), 4);
         assert_eq!(data.graph.source_count(), 4);
         assert_eq!(data.sources_with_formats(&["json"]).len(), 2);
-        assert_eq!(data.format_tags(), vec!["csv".to_string(), "json".to_string()]);
+        assert_eq!(
+            data.format_tags(),
+            vec!["csv".to_string(), "json".to_string()]
+        );
     }
 
     #[test]
@@ -670,8 +686,16 @@ mod tests {
             }
             wrong as f64 / total.max(1) as f64
         };
-        assert!(wrong(&reliable) < 0.10, "reliable error {}", wrong(&reliable));
-        assert!(wrong(&unreliable) > 0.35, "unreliable error {}", wrong(&unreliable));
+        assert!(
+            wrong(&reliable) < 0.10,
+            "reliable error {}",
+            wrong(&reliable)
+        );
+        assert!(
+            wrong(&unreliable) > 0.35,
+            "unreliable error {}",
+            wrong(&unreliable)
+        );
     }
 
     #[test]

@@ -36,8 +36,7 @@ pub fn dataset_stats(data: &MultiSourceDataset) -> DatasetStats {
     let kg = &data.graph;
     let mut per_format: Vec<FormatStats> = Vec::new();
     let mut format_order: Vec<String> = Vec::new();
-    let mut sources_by_format: FxHashMap<String, Vec<multirag_kg::SourceId>> =
-        FxHashMap::default();
+    let mut sources_by_format: FxHashMap<String, Vec<multirag_kg::SourceId>> = FxHashMap::default();
     for s in &data.sources {
         if !format_order.contains(&s.format) {
             format_order.push(s.format.clone());

@@ -8,10 +8,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const SYLLABLES: &[&str] = &[
-    "al", "an", "ar", "bel", "bor", "cal", "dan", "del", "dor", "el", "en", "far", "gal",
-    "han", "hel", "ir", "jan", "kal", "kor", "lan", "lor", "mar", "mel", "nor", "or", "pel",
-    "quin", "ral", "ren", "sal", "sol", "tan", "tor", "ul", "van", "vor", "wen", "yor", "zan",
-    "zel",
+    "al", "an", "ar", "bel", "bor", "cal", "dan", "del", "dor", "el", "en", "far", "gal", "han",
+    "hel", "ir", "jan", "kal", "kor", "lan", "lor", "mar", "mel", "nor", "or", "pel", "quin",
+    "ral", "ren", "sal", "sol", "tan", "tor", "ul", "van", "vor", "wen", "yor", "zan", "zel",
 ];
 
 const SURNAME_SUFFIX: &[&str] = &[
@@ -19,8 +18,8 @@ const SURNAME_SUFFIX: &[&str] = &[
 ];
 
 const MOVIE_WORDS: &[&str] = &[
-    "Crimson", "Silent", "Golden", "Broken", "Midnight", "Eternal", "Falling", "Hidden",
-    "Burning", "Frozen", "Electric", "Distant", "Savage", "Gentle", "Hollow", "Radiant",
+    "Crimson", "Silent", "Golden", "Broken", "Midnight", "Eternal", "Falling", "Hidden", "Burning",
+    "Frozen", "Electric", "Distant", "Savage", "Gentle", "Hollow", "Radiant",
 ];
 
 const MOVIE_NOUNS: &[&str] = &[
@@ -29,23 +28,63 @@ const MOVIE_NOUNS: &[&str] = &[
 ];
 
 const BOOK_NOUNS: &[&str] = &[
-    "Chronicle", "Testament", "Atlas", "Manifesto", "Primer", "Codex", "Anthology", "Treatise",
-    "Memoir", "Ballad", "Lexicon", "Almanac", "Fable", "Elegy", "Epistle", "Saga",
+    "Chronicle",
+    "Testament",
+    "Atlas",
+    "Manifesto",
+    "Primer",
+    "Codex",
+    "Anthology",
+    "Treatise",
+    "Memoir",
+    "Ballad",
+    "Lexicon",
+    "Almanac",
+    "Fable",
+    "Elegy",
+    "Epistle",
+    "Saga",
 ];
 
 const CITIES: &[&str] = &[
-    "Beijing", "Shanghai", "New York", "London", "Tokyo", "Paris", "Singapore", "Sydney",
-    "Frankfurt", "Dubai", "Seattle", "Toronto", "Nairobi", "Lima", "Oslo", "Mumbai",
+    "Beijing",
+    "Shanghai",
+    "New York",
+    "London",
+    "Tokyo",
+    "Paris",
+    "Singapore",
+    "Sydney",
+    "Frankfurt",
+    "Dubai",
+    "Seattle",
+    "Toronto",
+    "Nairobi",
+    "Lima",
+    "Oslo",
+    "Mumbai",
 ];
 
 const GENRES: &[&str] = &[
-    "drama", "thriller", "comedy", "documentary", "noir", "science fiction", "romance",
+    "drama",
+    "thriller",
+    "comedy",
+    "documentary",
+    "noir",
+    "science fiction",
+    "romance",
     "adventure",
 ];
 
 const PUBLISHERS: &[&str] = &[
-    "Meridian Press", "Blue Harbor Books", "Northlight House", "Juniper & Vale",
-    "Cartographer Press", "Silver Quill", "Redwood Editions", "Lanternworks",
+    "Meridian Press",
+    "Blue Harbor Books",
+    "Northlight House",
+    "Juniper & Vale",
+    "Cartographer Press",
+    "Silver Quill",
+    "Redwood Editions",
+    "Lanternworks",
 ];
 
 const EXCHANGES: &[&str] = &["NYSE", "NASDAQ", "LSE", "HKEX", "TSE", "SSE"];
@@ -133,7 +172,7 @@ pub fn flight_code(seed: u64, index: usize) -> String {
 /// A deterministic stock symbol.
 pub fn stock_symbol(seed: u64, index: usize) -> String {
     let mut r = rng(seed, &format!("stock:{index}"));
-    let len = r.gen_range(3..=4);
+    let len = r.gen_range(3usize..=4);
     let mut s = String::with_capacity(len + 4);
     for _ in 0..len {
         s.push((b'A' + r.gen_range(0..26u8)) as char);
@@ -203,8 +242,7 @@ mod tests {
         let titles: std::collections::HashSet<String> =
             (0..500).map(|i| movie_title(1, i)).collect();
         assert_eq!(titles.len(), 500);
-        let books: std::collections::HashSet<String> =
-            (0..500).map(|i| book_title(1, i)).collect();
+        let books: std::collections::HashSet<String> = (0..500).map(|i| book_title(1, i)).collect();
         assert_eq!(books.len(), 500);
     }
 

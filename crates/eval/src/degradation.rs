@@ -1,0 +1,216 @@
+//! Graceful-degradation metrics for chaos runs.
+//!
+//! The chaos harness (`repro_chaos`) sweeps a fault rate over the MKLGP
+//! pipeline and charts how answer quality degrades. The contract under
+//! test: quality may fall as faults rise, but failures must surface as
+//! *abstentions* (or quarantined sources), never as silent wrong
+//! answers, and a fixed `(seed, rate)` pair must reproduce bit-identical
+//! numbers.
+
+use crate::metrics::SetScores;
+use multirag_core::{MklgpPipeline, MultiRagConfig};
+use multirag_datasets::spec::MultiSourceDataset;
+use multirag_faults::FaultPlan;
+use multirag_kg::KnowledgeGraph;
+
+/// One point on a degradation curve: the pipeline evaluated under a
+/// fault plan at one fault rate. Carries no wall-clock fields so the
+/// serialized form is bit-identical across runs of the same seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosPoint {
+    /// The injected fault rate (0 = healthy control).
+    pub fault_rate: f64,
+    /// Micro F1 (%) of the fusion values against gold.
+    pub f1: f64,
+    /// Micro precision (%).
+    pub precision: f64,
+    /// Micro recall (%).
+    pub recall: f64,
+    /// Fraction of queries where generation hallucinated.
+    pub hallucination_rate: f64,
+    /// Fraction of queries answered (non-abstained).
+    pub answered_rate: f64,
+    /// Fraction of queries abstained — the pressure valve that keeps
+    /// dead sources from becoming silent wrong answers.
+    pub abstained_rate: f64,
+    /// Sources quarantined by the outage plan.
+    pub quarantined_sources: usize,
+    /// LLM retry attempts beyond the first, summed over the run.
+    pub llm_retries: u64,
+    /// LLM calls that exhausted their retry budget.
+    pub llm_failed_calls: u64,
+    /// Records skipped by lenient ingest (filled by corruption legs;
+    /// zero for pure runtime-fault legs).
+    pub skipped_records: usize,
+}
+
+/// Formats a float with fixed precision so JSON output is reproducible
+/// byte-for-byte for equal inputs.
+fn json_f(x: f64) -> String {
+    format!("{x:.6}")
+}
+
+impl ChaosPoint {
+    /// Serializes the point as a deterministic JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"fault_rate\":{},\"f1\":{},\"precision\":{},\"recall\":{},",
+                "\"hallucination_rate\":{},\"answered_rate\":{},\"abstained_rate\":{},",
+                "\"quarantined_sources\":{},\"llm_retries\":{},\"llm_failed_calls\":{},",
+                "\"skipped_records\":{}}}"
+            ),
+            json_f(self.fault_rate),
+            json_f(self.f1),
+            json_f(self.precision),
+            json_f(self.recall),
+            json_f(self.hallucination_rate),
+            json_f(self.answered_rate),
+            json_f(self.abstained_rate),
+            self.quarantined_sources,
+            self.llm_retries,
+            self.llm_failed_calls,
+            self.skipped_records,
+        )
+    }
+}
+
+/// Serializes a full chaos report — named curve sections, each a swept
+/// list of [`ChaosPoint`]s — as deterministic JSON.
+pub fn chaos_report_json(seed: u64, scale: &str, sections: &[(String, Vec<ChaosPoint>)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"seed\":{seed},\"scale\":\"{scale}\",\"curves\":["
+    ));
+    for (i, (name, points)) in sections.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"name\":\"{name}\",\"points\":["));
+        for (j, point) in points.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&point.to_json());
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Runs the MKLGP pipeline over a dataset under `plan` and reports one
+/// degradation point at `fault_rate`. With a healthy plan this matches
+/// [`crate::run_multirag`]'s quality numbers exactly.
+pub fn run_multirag_chaos(
+    data: &MultiSourceDataset,
+    graph: &KnowledgeGraph,
+    config: MultiRagConfig,
+    seed: u64,
+    plan: FaultPlan,
+    fault_rate: f64,
+) -> ChaosPoint {
+    let mut pipeline = MklgpPipeline::new(graph, config, seed).with_fault_plan(plan);
+    let quarantined_sources = pipeline.quarantined_sources().len();
+
+    let mut scores = SetScores::default();
+    let mut hallucinated = 0usize;
+    let mut answered = 0usize;
+    for query in &data.queries {
+        let answer = pipeline.answer(query);
+        scores.add(&answer.fusion_values, &query.gold);
+        if answer.hallucinated {
+            hallucinated += 1;
+        }
+        if !answer.abstained {
+            answered += 1;
+        }
+    }
+    let usage = pipeline.llm().usage();
+    let n = data.queries.len().max(1);
+    ChaosPoint {
+        fault_rate,
+        f1: scores.f1() * 100.0,
+        precision: scores.precision() * 100.0,
+        recall: scores.recall() * 100.0,
+        hallucination_rate: hallucinated as f64 / n as f64,
+        answered_rate: answered as f64 / n as f64,
+        abstained_rate: (n - answered) as f64 / n as f64,
+        quarantined_sources,
+        llm_retries: usage.retries,
+        llm_failed_calls: usage.failed_calls,
+        skipped_records: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_multirag;
+    use multirag_datasets::movies::MoviesSpec;
+
+    #[test]
+    fn healthy_chaos_point_matches_run_multirag() {
+        let data = MoviesSpec::small().generate(42);
+        let baseline = run_multirag(&data, &data.graph, MultiRagConfig::default(), 42);
+        let point = run_multirag_chaos(
+            &data,
+            &data.graph,
+            MultiRagConfig::default(),
+            42,
+            FaultPlan::healthy(42),
+            0.0,
+        );
+        assert_eq!(point.f1, baseline.f1);
+        assert_eq!(point.answered_rate, baseline.answered_rate);
+        assert_eq!(point.quarantined_sources, 0);
+        assert_eq!(point.llm_failed_calls, 0);
+    }
+
+    #[test]
+    fn faults_degrade_quality_not_honesty() {
+        let data = MoviesSpec::small().generate(42);
+        let healthy = run_multirag_chaos(
+            &data,
+            &data.graph,
+            MultiRagConfig::default(),
+            42,
+            FaultPlan::healthy(42),
+            0.0,
+        );
+        let chaotic = run_multirag_chaos(
+            &data,
+            &data.graph,
+            MultiRagConfig::default(),
+            42,
+            FaultPlan::uniform(42, 0.3),
+            0.3,
+        );
+        assert!(chaotic.f1 <= healthy.f1, "{} vs {}", chaotic.f1, healthy.f1);
+        assert!(
+            chaotic.abstained_rate >= healthy.abstained_rate,
+            "faults must surface as abstention, not silent answers"
+        );
+        assert!(chaotic.quarantined_sources > 0 || chaotic.llm_failed_calls > 0);
+    }
+
+    #[test]
+    fn chaos_json_is_deterministic() {
+        let data = MoviesSpec::small().generate(42);
+        let run = || {
+            let point = run_multirag_chaos(
+                &data,
+                &data.graph,
+                MultiRagConfig::default(),
+                42,
+                FaultPlan::uniform(42, 0.1),
+                0.1,
+            );
+            chaos_report_json(42, "small", &[("movies".to_string(), vec![point])])
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed must produce bit-identical JSON");
+        assert!(a.starts_with("{\"seed\":42,\"scale\":\"small\""));
+    }
+}

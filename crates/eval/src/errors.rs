@@ -144,7 +144,11 @@ mod tests {
         );
         // Representation-insensitive.
         assert_eq!(
-            classify(&[v("Mann, Michael")], &[v("Mann, Michael")], &[v("Michael Mann")]),
+            classify(
+                &[v("Mann, Michael")],
+                &[v("Mann, Michael")],
+                &[v("Michael Mann")]
+            ),
             Outcome::Correct
         );
     }

@@ -269,12 +269,7 @@ mod tests {
         let mr = run_multirag(&data, &data.graph, MultiRagConfig::default(), 42);
         let mut mv = MajorityVote;
         let mv_row = run_fusion_method(&data, &data.graph, &mut mv);
-        assert!(
-            mr.f1 > mv_row.f1,
-            "MultiRAG {} vs MV {}",
-            mr.f1,
-            mv_row.f1
-        );
+        assert!(mr.f1 > mv_row.f1, "MultiRAG {} vs MV {}", mr.f1, mv_row.f1);
     }
 
     #[test]

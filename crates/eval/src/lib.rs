@@ -17,7 +17,10 @@
 //! * [`table`] — ASCII table rendering for the repro binaries.
 //! * [`parallel`] — scoped fan-out for independent experiment cells.
 //! * [`errors`] — the Q4 hallucination/failure taxonomy.
+//! * [`degradation`] — chaos-run metrics: fault-rate degradation curves
+//!   with deterministic JSON serialization.
 
+pub mod degradation;
 pub mod errors;
 pub mod harness;
 pub mod metrics;
@@ -25,11 +28,12 @@ pub mod parallel;
 pub mod table;
 pub mod timing;
 
+pub use degradation::{chaos_report_json, run_multirag_chaos, ChaosPoint};
+pub use errors::{ErrorBreakdown, Outcome};
 pub use harness::{
     run_fusion_method, run_multihop_method, run_multirag, run_multirag_multihop, MethodResult,
     MultiHopResult,
 };
 pub use metrics::{f1_score, precision_recall, recall_at_k, SetScores};
-pub use parallel::parallel_map;
-pub use errors::{ErrorBreakdown, Outcome};
+pub use parallel::{parallel_map, try_parallel_map, CellPanic};
 pub use table::Table;

@@ -19,10 +19,8 @@ impl SetScores {
     /// so every method gets credit for surface variants of a gold
     /// value.
     pub fn add(&mut self, answers: &[Value], gold: &[Value]) {
-        let a: std::collections::HashSet<String> =
-            answers.iter().map(Value::answer_key).collect();
-        let g: std::collections::HashSet<String> =
-            gold.iter().map(Value::answer_key).collect();
+        let a: std::collections::HashSet<String> = answers.iter().map(Value::answer_key).collect();
+        let g: std::collections::HashSet<String> = gold.iter().map(Value::answer_key).collect();
         self.tp += a.intersection(&g).count();
         self.fp += a.difference(&g).count();
         self.fn_ += g.difference(&a).count();
@@ -78,8 +76,7 @@ pub fn recall_at_k(retrieved: &[usize], gold_docs: &[usize], k: usize) -> f64 {
     if gold_docs.is_empty() {
         return 0.0;
     }
-    let window: std::collections::HashSet<usize> =
-        retrieved.iter().take(k).copied().collect();
+    let window: std::collections::HashSet<usize> = retrieved.iter().take(k).copied().collect();
     let hit = gold_docs.iter().filter(|d| window.contains(d)).count();
     hit as f64 / gold_docs.len() as f64
 }
@@ -142,10 +139,7 @@ mod tests {
 
     #[test]
     fn canonical_comparison_unifies_numeric_forms() {
-        assert_eq!(
-            f1_score(&[Value::Int(10)], &[Value::Float(10.0)]),
-            1.0
-        );
+        assert_eq!(f1_score(&[Value::Int(10)], &[Value::Float(10.0)]), 1.0);
     }
 
     #[test]

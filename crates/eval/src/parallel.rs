@@ -5,10 +5,38 @@
 //! with [`parallel_map`]. Determinism is unaffected: each cell seeds
 //! its own RNGs.
 
-/// Applies `f` to every item on its own crossbeam-scoped thread (capped
-/// at `max_threads` concurrent items) and returns results in input
-/// order.
-pub fn parallel_map<T, R, F>(items: Vec<T>, max_threads: usize, f: F) -> Vec<R>
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A cell whose closure panicked during [`try_parallel_map`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellPanic {
+    /// Index of the input item whose closure panicked.
+    pub index: usize,
+    /// The panic payload rendered as text, when it was a string.
+    pub message: String,
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Applies `f` to every item on a pool of crossbeam-scoped threads
+/// (capped at `max_threads` concurrent items) and returns per-cell
+/// results in input order. A panicking cell is trapped at the cell
+/// boundary and reported as `Err(CellPanic)`; its siblings keep running
+/// and their results are kept — one poisoned experiment cell no longer
+/// takes the whole sweep down with it.
+pub fn try_parallel_map<T, R, F>(
+    items: Vec<T>,
+    max_threads: usize,
+    f: F,
+) -> Vec<Result<R, CellPanic>>
 where
     T: Send,
     R: Send,
@@ -16,26 +44,54 @@ where
 {
     let max_threads = max_threads.max(1);
     let n = items.len();
-    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut results: Vec<Option<Result<R, CellPanic>>> = (0..n).map(|_| None).collect();
     let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
     let queue = parking_lot::Mutex::new(work);
     let out = parking_lot::Mutex::new(&mut results);
-    crossbeam::scope(|scope| {
+    let run = crossbeam::scope(|scope| {
         for _ in 0..max_threads.min(n.max(1)) {
             scope.spawn(|_| loop {
                 let item = queue.lock().pop();
                 let Some((idx, item)) = item else {
                     break;
                 };
-                let result = f(item);
+                // AssertUnwindSafe: `f` is only shared by reference and
+                // the slot is written exactly once, so a trapped panic
+                // cannot leave a cell half-filled.
+                let result =
+                    catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|payload| CellPanic {
+                        index: idx,
+                        message: panic_message(payload.as_ref()),
+                    });
                 out.lock()[idx] = Some(result);
             });
         }
-    })
-    .expect("worker panicked");
+    });
+    // Cells trap their own panics, so the scope can only fail if a
+    // worker died outside the cell boundary — nothing to salvage then.
+    run.expect("worker thread died outside the cell boundary");
     results
         .into_iter()
         .map(|r| r.expect("every index filled"))
+        .collect()
+}
+
+/// Infallible wrapper over [`try_parallel_map`]: returns results in
+/// input order, and if any cell panicked, re-raises the first panic —
+/// but only after every sibling cell has finished, so no in-flight work
+/// is torn down mid-cell.
+pub fn parallel_map<T, R, F>(items: Vec<T>, max_threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    try_parallel_map(items, max_threads, f)
+        .into_iter()
+        .map(|result| match result {
+            Ok(r) => r,
+            Err(p) => panic!("parallel_map cell {} panicked: {}", p.index, p.message),
+        })
         .collect()
 }
 
@@ -66,6 +122,51 @@ mod tests {
     fn more_threads_than_items() {
         let results = parallel_map(vec![5], 16, |x| x * x);
         assert_eq!(results, vec![25]);
+    }
+
+    #[test]
+    fn panicking_cell_does_not_poison_siblings() {
+        let results = try_parallel_map((0..16).collect::<Vec<i32>>(), 4, |x| {
+            if x == 7 {
+                panic!("cell {x} exploded");
+            }
+            x * 10
+        });
+        assert_eq!(results.len(), 16);
+        for (i, result) in results.iter().enumerate() {
+            if i == 7 {
+                let err = result.as_ref().unwrap_err();
+                assert_eq!(err.index, 7);
+                assert!(err.message.contains("cell 7 exploded"));
+            } else {
+                assert_eq!(
+                    result.as_ref().unwrap(),
+                    &(i as i32 * 10),
+                    "sibling cell {i} must survive the panic in cell 7"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_reraises_after_siblings_finish() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let completed = AtomicUsize::new(0);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map((0..8).collect::<Vec<i32>>(), 2, |x| {
+                if x == 0 {
+                    panic!("boom");
+                }
+                completed.fetch_add(1, Ordering::SeqCst);
+                x
+            })
+        }));
+        assert!(caught.is_err(), "the panic must still propagate");
+        assert_eq!(
+            completed.load(Ordering::SeqCst),
+            7,
+            "every non-panicking sibling must have run to completion"
+        );
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Deterministic text-damage helpers applied to raw source payloads.
+
+use crate::draw;
+
+/// The concrete damage a corrupted record receives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorruptionKind {
+    /// Random bytes replaced throughout the payload.
+    BitFlip,
+    /// The payload cut off mid-record.
+    Truncation,
+}
+
+/// Applies `kind` to `text`, keyed so the damage replays exactly.
+pub fn corrupt_text(kind: CorruptionKind, seed: u64, key: &str, text: &str) -> String {
+    match kind {
+        CorruptionKind::BitFlip => bit_flip(seed, key, text),
+        CorruptionKind::Truncation => truncate(seed, key, text),
+    }
+}
+
+/// Replaces ~2% of bytes (at least one) with seeded garbage. Works on
+/// the raw byte level — the result may be invalid UTF-8 re-encoded
+/// lossily, which is exactly the kind of damage a lenient parser must
+/// survive.
+pub fn bit_flip(seed: u64, key: &str, text: &str) -> String {
+    if text.is_empty() {
+        return String::new();
+    }
+    let mut bytes = text.as_bytes().to_vec();
+    let flips = (bytes.len() / 50).max(1);
+    for i in 0..flips {
+        let roll = draw(seed, &format!("flip:{key}:{i}"));
+        let pos = (roll % bytes.len() as u64) as usize;
+        bytes[pos] ^= (roll >> 32) as u8 | 1; // never a zero-bit flip
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// Cuts the payload at a seeded point in its second half, landing on a
+/// char boundary so the result is a prefix a parser can begin on but
+/// never finish.
+pub fn truncate(seed: u64, key: &str, text: &str) -> String {
+    if text.len() < 2 {
+        return String::new();
+    }
+    let roll = draw(seed, &format!("trunc:{key}"));
+    let half = text.len() / 2;
+    let mut cut = half + (roll % half.max(1) as u64) as usize;
+    while cut < text.len() && !text.is_char_boundary(cut) {
+        cut += 1;
+    }
+    text[..cut.min(text.len())].to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_flip_changes_content_deterministically() {
+        let original = "entity,attribute,value\nInception,year,2010\n";
+        let a = bit_flip(7, "rec1", original);
+        let b = bit_flip(7, "rec1", original);
+        assert_eq!(a, b);
+        assert_ne!(a, original);
+    }
+
+    #[test]
+    fn different_keys_damage_differently() {
+        let original = "a longer payload with enough bytes to flip differently";
+        assert_ne!(bit_flip(7, "k1", original), bit_flip(7, "k2", original));
+    }
+
+    #[test]
+    fn truncation_is_a_strict_prefix() {
+        let original = "0123456789abcdef0123456789abcdef";
+        let cut = truncate(3, "rec", original);
+        assert!(cut.len() < original.len());
+        assert!(cut.len() >= original.len() / 2);
+        assert!(original.starts_with(&cut));
+    }
+
+    #[test]
+    fn truncation_respects_utf8_boundaries() {
+        let original = "é世µ".repeat(20);
+        let cut = truncate(5, "rec", &original);
+        assert!(cut.is_char_boundary(cut.len()));
+        assert!(original.starts_with(&cut));
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        assert_eq!(bit_flip(1, "k", ""), "");
+        assert_eq!(truncate(1, "k", ""), "");
+        assert_eq!(truncate(1, "k", "x"), "");
+    }
+
+    #[test]
+    fn corrupt_text_dispatches() {
+        let original = "abcdefghij".repeat(10);
+        assert_ne!(
+            corrupt_text(CorruptionKind::BitFlip, 2, "k", &original),
+            original
+        );
+        assert!(original.starts_with(&corrupt_text(CorruptionKind::Truncation, 2, "k", &original)));
+    }
+}

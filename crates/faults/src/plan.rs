@@ -1,0 +1,262 @@
+//! The seeded fault plan: a pure, replayable schedule of failures.
+
+use crate::corrupt::CorruptionKind;
+use crate::{bernoulli, draw, unit};
+
+/// What kind of fault a probe can report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The whole source is unreachable for this run.
+    SourceOutage,
+    /// A record's payload is damaged (bit flips or truncation).
+    RecordCorruption,
+    /// A record carries outdated data and should be distrusted.
+    StaleRecord,
+    /// A simulated LLM call fails outright.
+    LlmFailure,
+    /// A simulated LLM call succeeds but takes a latency hit.
+    LlmLatencySpike,
+}
+
+/// Outcome of probing the plan at one injection point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultDecision {
+    /// Proceed normally.
+    Healthy,
+    /// Inject the given fault.
+    Inject(FaultKind),
+}
+
+impl FaultDecision {
+    /// True when a fault fires.
+    pub fn is_fault(&self) -> bool {
+        matches!(self, FaultDecision::Inject(_))
+    }
+}
+
+/// Per-source fault summary, precomputed for reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceFaults {
+    /// The probed source name.
+    pub source: String,
+    /// Whether the source is down for the whole run.
+    pub outage: bool,
+}
+
+/// A deterministic, seeded schedule of faults.
+///
+/// All rates are probabilities in `[0, 1]`. The plan holds no mutable
+/// state: every query is answered by hashing `(seed, kind, key)`, so
+/// probes are order-independent and replayable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every draw this plan makes.
+    pub seed: u64,
+    /// Probability that a given source is down for the whole run.
+    pub outage_rate: f64,
+    /// Probability that a given record arrives corrupted.
+    pub corruption_rate: f64,
+    /// Probability that a given record is stale.
+    pub staleness_rate: f64,
+    /// Probability that a given LLM call fails.
+    pub llm_failure_rate: f64,
+    /// Probability that a given LLM call takes a latency spike.
+    pub llm_latency_spike_rate: f64,
+}
+
+impl FaultPlan {
+    /// A plan that never injects anything.
+    pub fn healthy(seed: u64) -> Self {
+        Self {
+            seed,
+            outage_rate: 0.0,
+            corruption_rate: 0.0,
+            staleness_rate: 0.0,
+            llm_failure_rate: 0.0,
+            llm_latency_spike_rate: 0.0,
+        }
+    }
+
+    /// A plan applying `rate` uniformly to every fault channel — the
+    /// single-knob sweep the chaos harness uses. LLM latency spikes run
+    /// at twice the base rate since they are recoverable.
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        let rate = rate.clamp(0.0, 1.0);
+        Self {
+            seed,
+            outage_rate: rate,
+            corruption_rate: rate,
+            staleness_rate: rate,
+            llm_failure_rate: rate,
+            llm_latency_spike_rate: (2.0 * rate).min(1.0),
+        }
+    }
+
+    /// True when no channel can ever fire.
+    pub fn is_healthy(&self) -> bool {
+        self.outage_rate <= 0.0
+            && self.corruption_rate <= 0.0
+            && self.staleness_rate <= 0.0
+            && self.llm_failure_rate <= 0.0
+            && self.llm_latency_spike_rate <= 0.0
+    }
+
+    /// Is `source` down for this entire run?
+    pub fn source_down(&self, source: &str) -> bool {
+        bernoulli(self.seed, &format!("outage:{source}"), self.outage_rate)
+    }
+
+    /// Probes record-level corruption for `record_key` within `source`.
+    /// Returns the concrete corruption to apply, if any.
+    pub fn record_corruption(&self, source: &str, record_key: &str) -> Option<CorruptionKind> {
+        let key = format!("corrupt:{source}:{record_key}");
+        if !bernoulli(self.seed, &key, self.corruption_rate) {
+            return None;
+        }
+        // Split the surviving draw space between damage modes.
+        let pick = draw(self.seed, &format!("{key}:mode"));
+        Some(if pick & 1 == 0 {
+            CorruptionKind::BitFlip
+        } else {
+            CorruptionKind::Truncation
+        })
+    }
+
+    /// Is the record stale (outdated value that should be distrusted)?
+    pub fn record_stale(&self, source: &str, record_key: &str) -> bool {
+        bernoulli(
+            self.seed,
+            &format!("stale:{source}:{record_key}"),
+            self.staleness_rate,
+        )
+    }
+
+    /// Probes one simulated LLM call attempt. `call_key` identifies the
+    /// logical call; `attempt` distinguishes retries so a retried call
+    /// re-rolls rather than failing forever.
+    pub fn llm_call(&self, call_key: &str, attempt: u32) -> FaultDecision {
+        let key = format!("llm:{call_key}:a{attempt}");
+        if bernoulli(self.seed, &format!("{key}:fail"), self.llm_failure_rate) {
+            return FaultDecision::Inject(FaultKind::LlmFailure);
+        }
+        if bernoulli(
+            self.seed,
+            &format!("{key}:spike"),
+            self.llm_latency_spike_rate,
+        ) {
+            return FaultDecision::Inject(FaultKind::LlmLatencySpike);
+        }
+        FaultDecision::Healthy
+    }
+
+    /// Latency multiplier for a spiking call, in `[4, 16)`. Keyed like
+    /// [`FaultPlan::llm_call`] so the spike size is replayable.
+    pub fn latency_spike_factor(&self, call_key: &str, attempt: u32) -> f64 {
+        4.0 + 12.0 * unit(self.seed, &format!("llm:{call_key}:a{attempt}:mag"))
+    }
+
+    /// Summarises the plan's verdict for each named source.
+    pub fn source_report<'a>(
+        &self,
+        sources: impl IntoIterator<Item = &'a str>,
+    ) -> Vec<SourceFaults> {
+        sources
+            .into_iter()
+            .map(|name| SourceFaults {
+                source: name.to_string(),
+                outage: self.source_down(name),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_plan_never_fires() {
+        let plan = FaultPlan::healthy(3);
+        assert!(plan.is_healthy());
+        for i in 0..200 {
+            let src = format!("s{i}");
+            assert!(!plan.source_down(&src));
+            assert!(plan.record_corruption(&src, "r").is_none());
+            assert!(!plan.record_stale(&src, "r"));
+            assert_eq!(plan.llm_call(&src, 0), FaultDecision::Healthy);
+        }
+    }
+
+    #[test]
+    fn decisions_are_replayable() {
+        let plan = FaultPlan::uniform(11, 0.3);
+        let again = FaultPlan::uniform(11, 0.3);
+        for i in 0..100 {
+            let src = format!("s{i}");
+            assert_eq!(plan.source_down(&src), again.source_down(&src));
+            assert_eq!(
+                plan.record_corruption(&src, "rec"),
+                again.record_corruption(&src, "rec")
+            );
+            assert_eq!(plan.llm_call(&src, 2), again.llm_call(&src, 2));
+        }
+    }
+
+    #[test]
+    fn different_seeds_schedule_different_outages() {
+        let a = FaultPlan::uniform(1, 0.5);
+        let b = FaultPlan::uniform(2, 0.5);
+        let differs = (0..64).any(|i| {
+            let src = format!("s{i}");
+            a.source_down(&src) != b.source_down(&src)
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn rates_track_probability() {
+        let plan = FaultPlan::uniform(5, 0.25);
+        let downs = (0..4000)
+            .filter(|i| plan.source_down(&format!("s{i}")))
+            .count();
+        assert!((800..1200).contains(&downs), "downs={downs}");
+    }
+
+    #[test]
+    fn retries_reroll_llm_failures() {
+        let plan = FaultPlan {
+            llm_latency_spike_rate: 0.0,
+            ..FaultPlan::uniform(13, 0.5)
+        };
+        // With per-attempt rerolls, some call that fails at attempt 0
+        // must succeed at a later attempt.
+        let recovered = (0..64).any(|i| {
+            let key = format!("call{i}");
+            plan.llm_call(&key, 0) == FaultDecision::Inject(FaultKind::LlmFailure)
+                && plan.llm_call(&key, 1) == FaultDecision::Healthy
+        });
+        assert!(recovered);
+    }
+
+    #[test]
+    fn spike_factor_is_bounded_and_stable() {
+        let plan = FaultPlan::uniform(17, 0.2);
+        for i in 0..100 {
+            let key = format!("c{i}");
+            let f = plan.latency_spike_factor(&key, 0);
+            assert!((4.0..16.0).contains(&f));
+            assert_eq!(f, plan.latency_spike_factor(&key, 0));
+        }
+    }
+
+    #[test]
+    fn source_report_matches_probe() {
+        let plan = FaultPlan::uniform(23, 0.4);
+        let names = ["alpha", "beta", "gamma"];
+        let report = plan.source_report(names);
+        assert_eq!(report.len(), 3);
+        for entry in &report {
+            assert_eq!(entry.outage, plan.source_down(&entry.source));
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Retry policy with seeded exponential backoff and deadline budgets.
+//!
+//! Everything here is expressed in *simulated milliseconds*: callers
+//! (the MockLlm cost model) accumulate the returned delays into their
+//! simulated-latency meters instead of sleeping, which keeps chaos runs
+//! fast and bit-identical.
+
+use crate::unit;
+
+/// One resolved backoff schedule: the delay to wait before each retry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackoffSchedule {
+    /// `delays_ms[i]` is the wait before retry attempt `i + 1`.
+    pub delays_ms: Vec<f64>,
+}
+
+impl BackoffSchedule {
+    /// Total simulated time spent backing off.
+    pub fn total_ms(&self) -> f64 {
+        self.delays_ms.iter().sum()
+    }
+}
+
+/// How a retried call ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryOutcome {
+    /// Succeeded on the given attempt (0 = first try).
+    Succeeded { attempt: u32 },
+    /// All attempts failed.
+    Exhausted { attempts: u32 },
+    /// The deadline budget ran out before the attempts did.
+    DeadlineExceeded { attempts: u32 },
+}
+
+impl RetryOutcome {
+    /// True for [`RetryOutcome::Succeeded`].
+    pub fn is_success(&self) -> bool {
+        matches!(self, RetryOutcome::Succeeded { .. })
+    }
+}
+
+/// Seeded exponential-backoff retry policy with a per-call deadline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum attempts including the first (must be ≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in simulated ms.
+    pub base_delay_ms: f64,
+    /// Multiplier applied per retry (2.0 = classic doubling).
+    pub multiplier: f64,
+    /// Upper bound on any single delay, in simulated ms.
+    pub max_delay_ms: f64,
+    /// Jitter fraction in `[0, 1]`: each delay is scaled by a seeded
+    /// factor in `[1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+    /// Total simulated-time budget for the call, attempts included.
+    /// `f64::INFINITY` disables the deadline.
+    pub deadline_ms: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base_delay_ms: 100.0,
+            multiplier: 2.0,
+            max_delay_ms: 2_000.0,
+            jitter: 0.25,
+            deadline_ms: f64::INFINITY,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (single attempt, no backoff).
+    pub fn no_retries() -> Self {
+        Self {
+            max_attempts: 1,
+            base_delay_ms: 0.0,
+            multiplier: 1.0,
+            max_delay_ms: 0.0,
+            jitter: 0.0,
+            deadline_ms: f64::INFINITY,
+        }
+    }
+
+    /// Sets the deadline budget, builder-style.
+    pub fn with_deadline_ms(mut self, deadline_ms: f64) -> Self {
+        self.deadline_ms = deadline_ms;
+        self
+    }
+
+    /// The backoff delay before retry attempt `attempt` (1-based: the
+    /// wait after the `attempt`-th failure), jittered by `(seed, key)`.
+    pub fn delay_before_attempt_ms(&self, seed: u64, key: &str, attempt: u32) -> f64 {
+        if attempt == 0 {
+            return 0.0;
+        }
+        let exp = self.base_delay_ms * self.multiplier.powi(attempt as i32 - 1);
+        let capped = exp.min(self.max_delay_ms);
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        let scale = 1.0 - jitter + 2.0 * jitter * unit(seed, &format!("backoff:{key}:a{attempt}"));
+        capped * scale
+    }
+
+    /// Resolves the full schedule for a call that fails `failures`
+    /// times — what the latency meter charges for the retries.
+    pub fn schedule(&self, seed: u64, key: &str, failures: u32) -> BackoffSchedule {
+        let retries = failures.min(self.max_attempts.saturating_sub(1));
+        BackoffSchedule {
+            delays_ms: (1..=retries)
+                .map(|a| self.delay_before_attempt_ms(seed, key, a))
+                .collect(),
+        }
+    }
+
+    /// Drives `attempt_cost` until success, exhaustion, or deadline.
+    ///
+    /// `attempt_cost(attempt)` returns `Some(cost_ms)` when the attempt
+    /// succeeds after `cost_ms` of simulated work, or `None` when it
+    /// fails. Returns the outcome plus the *total* simulated time spent
+    /// (work + backoff) — failed attempts still cost their backoff.
+    pub fn run<F>(&self, seed: u64, key: &str, mut attempt_cost: F) -> (RetryOutcome, f64)
+    where
+        F: FnMut(u32) -> Option<f64>,
+    {
+        let mut elapsed_ms = 0.0;
+        let attempts = self.max_attempts.max(1);
+        for attempt in 0..attempts {
+            let backoff = self.delay_before_attempt_ms(seed, key, attempt);
+            if elapsed_ms + backoff > self.deadline_ms {
+                return (
+                    RetryOutcome::DeadlineExceeded { attempts: attempt },
+                    elapsed_ms,
+                );
+            }
+            elapsed_ms += backoff;
+            match attempt_cost(attempt) {
+                Some(cost_ms) => {
+                    elapsed_ms += cost_ms;
+                    return (RetryOutcome::Succeeded { attempt }, elapsed_ms);
+                }
+                None => {
+                    // A failed attempt still burns nominal work time
+                    // before the failure surfaces.
+                    elapsed_ms += self.base_delay_ms.min(self.max_delay_ms);
+                    if elapsed_ms > self.deadline_ms {
+                        return (
+                            RetryOutcome::DeadlineExceeded {
+                                attempts: attempt + 1,
+                            },
+                            elapsed_ms,
+                        );
+                    }
+                }
+            }
+        }
+        (RetryOutcome::Exhausted { attempts }, elapsed_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attempt_zero_has_no_delay() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.delay_before_attempt_ms(1, "k", 0), 0.0);
+    }
+
+    #[test]
+    fn delays_grow_exponentially_within_jitter() {
+        let p = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        let d1 = p.delay_before_attempt_ms(1, "k", 1);
+        let d2 = p.delay_before_attempt_ms(1, "k", 2);
+        let d3 = p.delay_before_attempt_ms(1, "k", 3);
+        assert_eq!(d1, 100.0);
+        assert_eq!(d2, 200.0);
+        assert_eq!(d3, 400.0);
+    }
+
+    #[test]
+    fn delays_cap_at_max() {
+        let p = RetryPolicy {
+            jitter: 0.0,
+            max_attempts: 10,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.delay_before_attempt_ms(1, "k", 9), 2_000.0);
+    }
+
+    #[test]
+    fn jitter_is_seeded_and_bounded() {
+        let p = RetryPolicy::default();
+        let d = p.delay_before_attempt_ms(5, "call", 1);
+        assert_eq!(d, p.delay_before_attempt_ms(5, "call", 1));
+        assert!((75.0..=125.0).contains(&d), "d={d}");
+        assert_ne!(d, p.delay_before_attempt_ms(6, "call", 1));
+    }
+
+    #[test]
+    fn run_succeeds_first_try_without_backoff() {
+        let p = RetryPolicy::default();
+        let (outcome, ms) = p.run(1, "k", |_| Some(120.0));
+        assert_eq!(outcome, RetryOutcome::Succeeded { attempt: 0 });
+        assert_eq!(ms, 120.0);
+    }
+
+    #[test]
+    fn run_retries_until_success() {
+        let p = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        let (outcome, ms) = p.run(1, "k", |attempt| (attempt == 2).then_some(50.0));
+        assert_eq!(outcome, RetryOutcome::Succeeded { attempt: 2 });
+        // Two failed attempts (100ms nominal each) + backoffs 100 + 200
+        // + final 50ms of work.
+        assert!(
+            (ms - (100.0 + 100.0 + 100.0 + 200.0 + 50.0)).abs() < 1e-9,
+            "ms={ms}"
+        );
+    }
+
+    #[test]
+    fn run_exhausts_after_max_attempts() {
+        let p = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        let mut calls = 0;
+        let (outcome, _) = p.run(1, "k", |_| {
+            calls += 1;
+            None
+        });
+        assert_eq!(outcome, RetryOutcome::Exhausted { attempts: 3 });
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn deadline_cuts_retries_short() {
+        let p = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        }
+        .with_deadline_ms(150.0);
+        let (outcome, ms) = p.run(1, "k", |_| None);
+        assert!(
+            matches!(outcome, RetryOutcome::DeadlineExceeded { .. }),
+            "outcome={outcome:?}"
+        );
+        assert!(ms <= 150.0 + 100.0, "ms={ms}");
+    }
+
+    #[test]
+    fn schedule_totals_match_individual_delays() {
+        let p = RetryPolicy::default();
+        let sched = p.schedule(3, "call", 2);
+        assert_eq!(sched.delays_ms.len(), 2);
+        let expected: f64 = (1..=2)
+            .map(|a| p.delay_before_attempt_ms(3, "call", a))
+            .sum();
+        assert!((sched.total_ms() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_retries_policy_is_single_shot() {
+        let p = RetryPolicy::no_retries();
+        let mut calls = 0;
+        let (outcome, _) = p.run(1, "k", |_| {
+            calls += 1;
+            None
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(outcome, RetryOutcome::Exhausted { attempts: 1 });
+    }
+}

@@ -90,6 +90,19 @@ pub trait Adapter {
     /// Parses a raw source into normalized records and claims, numbering
     /// records from `start_id`.
     fn adapt(&self, source: &RawSource, start_id: u64) -> Result<AdaptedSource, ParseError>;
+
+    /// Lenient variant: instead of aborting on the first malformed
+    /// input, skips what cannot be parsed and reports each skip as a
+    /// positional [`ParseError`]. The default implementation treats the
+    /// source as one unit (a parse error drops the whole source);
+    /// record-oriented adapters override it to skip only the bad
+    /// records.
+    fn adapt_lenient(&self, source: &RawSource, start_id: u64) -> (AdaptedSource, Vec<ParseError>) {
+        match self.adapt(source, start_id) {
+            Ok(out) => (out, Vec::new()),
+            Err(err) => (AdaptedSource::default(), vec![err]),
+        }
+    }
 }
 
 fn base_meta(source: &RawSource) -> FxHashMap<String, String> {
@@ -155,9 +168,7 @@ impl Adapter for StructuredAdapter {
                 meta.clone(),
                 Some(cols_index.clone()),
             );
-            for (col_idx, (header, value)) in
-                table.headers.iter().zip(row.iter()).enumerate()
-            {
+            for (col_idx, (header, value)) in table.headers.iter().zip(row.iter()).enumerate() {
                 if col_idx == entity_idx || value.is_null() {
                     continue;
                 }
@@ -337,11 +348,12 @@ fn element_to_json(element: &XmlElement) -> JsonValue {
         }
     }
     for name in order {
-        let mut values = grouped.remove(&name).expect("grouped by construction");
-        let value = if values.len() == 1 {
-            values.pop().expect("len checked")
-        } else {
-            JsonValue::Array(values)
+        let Some(mut values) = grouped.remove(&name) else {
+            continue;
+        };
+        let value = match values.len() {
+            1 => values.remove(0),
+            _ => JsonValue::Array(values),
         };
         members.push((name, value));
     }
@@ -428,29 +440,45 @@ impl Adapter for XmlAdapter {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct KgAdapter;
 
-impl Adapter for KgAdapter {
-    fn adapt(&self, source: &RawSource, start_id: u64) -> Result<AdaptedSource, ParseError> {
+impl KgAdapter {
+    fn adapt_impl(
+        &self,
+        source: &RawSource,
+        start_id: u64,
+        lenient: bool,
+    ) -> (AdaptedSource, Vec<ParseError>) {
         let meta = base_meta(source);
         let mut out = AdaptedSource::default();
-        for (line_no, line) in source.content.lines().enumerate() {
-            let line = line.trim();
+        let mut skipped = Vec::new();
+        let mut offset = 0usize;
+        for (line_no, raw_line) in source.content.split('\n').enumerate() {
+            let line_offset = offset;
+            offset += raw_line.len() + 1;
+            let line = raw_line.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
             let mut parts = line.splitn(3, '|');
             let (Some(s), Some(p), Some(o)) = (parts.next(), parts.next(), parts.next()) else {
-                return Err(ParseError::at(
-                    "csv",
+                skipped.push(ParseError::at(
+                    "kg",
                     &source.content,
-                    0,
+                    line_offset,
                     format!("malformed triple on line {}", line_no + 1),
                 ));
+                if lenient {
+                    continue;
+                }
+                return (out, skipped);
             };
             let (subject, predicate, object) = (s.trim(), p.trim(), o.trim());
             let record_id = start_id + out.records.len() as u64;
             let content = JsonValue::Object(vec![
                 ("subject".to_string(), JsonValue::Str(subject.to_string())),
-                ("predicate".to_string(), JsonValue::Str(predicate.to_string())),
+                (
+                    "predicate".to_string(),
+                    JsonValue::Str(predicate.to_string()),
+                ),
                 ("object".to_string(), sniff_scalar(object)),
             ]);
             out.records.push(NormalizedRecord::new(
@@ -477,7 +505,21 @@ impl Adapter for KgAdapter {
                 chunk: line_no as u32,
             });
         }
-        Ok(out)
+        (out, skipped)
+    }
+}
+
+impl Adapter for KgAdapter {
+    fn adapt(&self, source: &RawSource, start_id: u64) -> Result<AdaptedSource, ParseError> {
+        let (out, mut skipped) = self.adapt_impl(source, start_id, false);
+        match skipped.pop() {
+            Some(err) => Err(err),
+            None => Ok(out),
+        }
+    }
+
+    fn adapt_lenient(&self, source: &RawSource, start_id: u64) -> (AdaptedSource, Vec<ParseError>) {
+        self.adapt_impl(source, start_id, true)
     }
 }
 
@@ -526,9 +568,7 @@ impl Adapter for TextAdapter {
             current.clear();
         };
         for paragraph in source.content.split("\n\n") {
-            if !current.is_empty()
-                && current.len() + paragraph.len() + 2 > self.max_chunk_chars
-            {
+            if !current.is_empty() && current.len() + paragraph.len() + 2 > self.max_chunk_chars {
                 flush(&mut current, &mut out);
             }
             if !current.is_empty() {
@@ -567,28 +607,90 @@ impl Adapter for TextAdapter {
 /// assert_eq!(fused[0].1.claims.len(), 1);
 /// ```
 pub fn fuse_sources(sources: &[RawSource]) -> Result<Vec<(usize, AdaptedSource)>, ParseError> {
-    let mut out = Vec::with_capacity(sources.len());
+    Ok(fuse_sources_with(sources, IngestMode::Strict)?.adapted)
+}
+
+/// How [`fuse_sources_with`] treats malformed input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IngestMode {
+    /// The first parse error aborts the whole fusion (the historical
+    /// [`fuse_sources`] behavior).
+    #[default]
+    Strict,
+    /// Malformed sources — or, for record-oriented formats, just the
+    /// malformed records — are skipped with positional diagnostics, and
+    /// the healthy remainder still loads.
+    Lenient,
+}
+
+/// One skipped input from a lenient fusion run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestDiagnostic {
+    /// Index of the offending source in the input slice.
+    pub source_index: usize,
+    /// Name of the offending source.
+    pub source: String,
+    /// The positional parse error explaining the skip.
+    pub error: ParseError,
+}
+
+/// Fused sources plus any skip diagnostics. Strict runs never carry
+/// diagnostics; lenient runs never fail.
+#[derive(Debug, Clone, Default)]
+pub struct FusionReport {
+    /// `(source index, adapted output)` pairs, in input order. A source
+    /// dropped in lenient mode still appears here with empty output, so
+    /// downstream credibility tracking can see it produced nothing.
+    pub adapted: Vec<(usize, AdaptedSource)>,
+    /// Skips recorded in lenient mode.
+    pub diagnostics: Vec<IngestDiagnostic>,
+}
+
+fn adapter_for(format: SourceFormat) -> Box<dyn Adapter> {
+    match format {
+        SourceFormat::Csv => Box::new(StructuredAdapter::default()),
+        SourceFormat::Json => Box::new(JsonAdapter::default()),
+        SourceFormat::Xml => Box::new(XmlAdapter::default()),
+        SourceFormat::Kg => Box::new(KgAdapter),
+        SourceFormat::Text => Box::new(TextAdapter::default()),
+    }
+}
+
+/// [`fuse_sources`] with an explicit [`IngestMode`]. In
+/// [`IngestMode::Lenient`] a malformed source no longer poisons the
+/// whole fusion: whatever parses survives, and each skip is reported as
+/// an [`IngestDiagnostic`] with file position.
+pub fn fuse_sources_with(
+    sources: &[RawSource],
+    mode: IngestMode,
+) -> Result<FusionReport, ParseError> {
+    let mut report = FusionReport::default();
     let mut next_id = 0u64;
     for (index, source) in sources.iter().enumerate() {
-        let adapted = match source.format {
-            SourceFormat::Csv => StructuredAdapter::default().adapt(source, next_id)?,
-            SourceFormat::Json => JsonAdapter::default().adapt(source, next_id)?,
-            SourceFormat::Xml => XmlAdapter::default().adapt(source, next_id)?,
-            SourceFormat::Kg => KgAdapter.adapt(source, next_id)?,
-            SourceFormat::Text => TextAdapter::default().adapt(source, next_id)?,
+        let adapter = adapter_for(source.format);
+        let adapted = match mode {
+            IngestMode::Strict => adapter.adapt(source, next_id)?,
+            IngestMode::Lenient => {
+                let (adapted, skipped) = adapter.adapt_lenient(source, next_id);
+                for error in skipped {
+                    report.diagnostics.push(IngestDiagnostic {
+                        source_index: index,
+                        source: source.name.clone(),
+                        error,
+                    });
+                }
+                adapted
+            }
         };
         next_id += adapted.records.len() as u64;
-        out.push((index, adapted));
+        report.adapted.push((index, adapted));
     }
-    Ok(out)
+    Ok(report)
 }
 
 /// Loads fused claims into a fresh [`KnowledgeGraph`], registering one
 /// graph source per raw source.
-pub fn load_into_graph(
-    sources: &[RawSource],
-    fused: &[(usize, AdaptedSource)],
-) -> KnowledgeGraph {
+pub fn load_into_graph(sources: &[RawSource], fused: &[(usize, AdaptedSource)]) -> KnowledgeGraph {
     let total_claims: usize = fused.iter().map(|(_, a)| a.claims.len()).sum();
     let mut kg = KnowledgeGraph::with_capacity(total_claims / 2 + 8, total_claims);
     for (index, adapted) in fused {
@@ -653,7 +755,9 @@ mod tests {
 
     #[test]
     fn structured_adapter_emits_row_claims() {
-        let adapted = StructuredAdapter::default().adapt(&csv_source(), 0).unwrap();
+        let adapted = StructuredAdapter::default()
+            .adapt(&csv_source(), 0)
+            .unwrap();
         assert_eq!(adapted.records.len(), 2);
         assert_eq!(adapted.claims.len(), 4); // 2 rows × (year, director)
         let claim = &adapted.claims[0];
@@ -670,10 +774,7 @@ mod tests {
         };
         let adapted = adapter.adapt(&csv_source(), 0).unwrap();
         assert_eq!(adapted.claims[0].entity, "Mann");
-        assert!(adapted
-            .claims
-            .iter()
-            .all(|c| c.attribute != "director"));
+        assert!(adapted.claims.iter().all(|c| c.attribute != "director"));
     }
 
     #[test]
@@ -780,6 +881,57 @@ mod tests {
             content: "only|two".into(),
         };
         assert!(KgAdapter.adapt(&source, 0).is_err());
+    }
+
+    #[test]
+    fn kg_adapter_lenient_skips_bad_lines_with_positions() {
+        let source = RawSource {
+            name: "dump.kg".into(),
+            domain: "movies".into(),
+            format: SourceFormat::Kg,
+            content: "Heat|year|1995\nonly|two\nHeat|director|Mann\n".into(),
+        };
+        let (adapted, skipped) = KgAdapter.adapt_lenient(&source, 0);
+        assert_eq!(adapted.claims.len(), 2, "good lines must survive");
+        assert_eq!(skipped.len(), 1);
+        assert_eq!(skipped[0].line, 2);
+        assert!(skipped[0].message.contains("malformed triple"));
+    }
+
+    #[test]
+    fn fuse_sources_with_lenient_keeps_healthy_sources() {
+        let broken_csv = RawSource {
+            name: "broken.csv".into(),
+            domain: "movies".into(),
+            format: SourceFormat::Csv,
+            content: "title,year\n\"Heat,1995\n".into(),
+        };
+        let sources = vec![broken_csv, json_source()];
+        // Strict fusion aborts on the broken quote...
+        assert!(fuse_sources(&sources).is_err());
+        // ...lenient fusion drops the broken source with a diagnostic
+        // and still fuses the rest.
+        let report = fuse_sources_with(&sources, IngestMode::Lenient).unwrap();
+        assert_eq!(report.adapted.len(), 2);
+        assert!(report.adapted[0].1.records.is_empty());
+        assert!(!report.adapted[1].1.records.is_empty());
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.diagnostics[0].source_index, 0);
+        assert_eq!(report.diagnostics[0].source, "broken.csv");
+    }
+
+    #[test]
+    fn lenient_mode_matches_strict_on_clean_input() {
+        let sources = vec![csv_source(), json_source(), xml_source()];
+        let strict = fuse_sources(&sources).unwrap();
+        let report = fuse_sources_with(&sources, IngestMode::Lenient).unwrap();
+        assert!(report.diagnostics.is_empty());
+        assert_eq!(report.adapted.len(), strict.len());
+        for ((si, sa), (li, la)) in strict.iter().zip(report.adapted.iter()) {
+            assert_eq!(si, li);
+            assert_eq!(sa.claims, la.claims);
+            assert_eq!(sa.records.len(), la.records.len());
+        }
     }
 
     #[test]

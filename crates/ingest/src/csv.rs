@@ -186,7 +186,10 @@ fn write_row<'a>(out: &mut String, fields: impl Iterator<Item = &'a str>) {
         if i > 0 {
             out.push(',');
         }
-        if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r')
+        if field.contains(',')
+            || field.contains('"')
+            || field.contains('\n')
+            || field.contains('\r')
         {
             out.push('"');
             for c in field.chars() {
@@ -221,23 +224,22 @@ fn read_records(input: &str, options: CsvOptions) -> Result<Vec<Vec<Field>>, Par
     let mut in_quotes = false;
     let mut record_started = false;
 
-    let finish_field =
-        |field: &mut String,
-         quoted: &mut bool,
-         offset: usize,
-         record: &mut Vec<Field>,
-         trim: bool| {
-            let mut text = std::mem::take(field);
-            if trim && !*quoted {
-                text = text.trim().to_string();
-            }
-            record.push(Field {
-                text,
-                quoted: *quoted,
-                offset,
-            });
-            *quoted = false;
-        };
+    let finish_field = |field: &mut String,
+                        quoted: &mut bool,
+                        offset: usize,
+                        record: &mut Vec<Field>,
+                        trim: bool| {
+        let mut text = std::mem::take(field);
+        if trim && !*quoted {
+            text = text.trim().to_string();
+        }
+        record.push(Field {
+            text,
+            quoted: *quoted,
+            offset,
+        });
+        *quoted = false;
+    };
 
     while pos < bytes.len() {
         let b = bytes[pos];
@@ -253,7 +255,9 @@ fn read_records(input: &str, options: CsvOptions) -> Result<Vec<Vec<Field>>, Par
                     }
                 }
                 _ => {
-                    let c = input[pos..].chars().next().expect("in-bounds char");
+                    let Some(c) = input.get(pos..).and_then(|s| s.chars().next()) else {
+                        return Err(ParseError::at("csv", input, pos, "broken character"));
+                    };
                     field.push(c);
                     pos += c.len_utf8();
                 }
@@ -277,7 +281,13 @@ fn read_records(input: &str, options: CsvOptions) -> Result<Vec<Vec<Field>>, Par
                 ));
             }
             _ if b == options.separator => {
-                finish_field(&mut field, &mut field_quoted, field_offset, &mut record, options.trim);
+                finish_field(
+                    &mut field,
+                    &mut field_quoted,
+                    field_offset,
+                    &mut record,
+                    options.trim,
+                );
                 record_started = true;
                 pos += 1;
                 field_offset = pos;
@@ -285,7 +295,13 @@ fn read_records(input: &str, options: CsvOptions) -> Result<Vec<Vec<Field>>, Par
             b'\r' => {
                 // Treat CRLF as one terminator; a lone CR also ends the line.
                 if record_started || !field.is_empty() || !record.is_empty() {
-                    finish_field(&mut field, &mut field_quoted, field_offset, &mut record, options.trim);
+                    finish_field(
+                        &mut field,
+                        &mut field_quoted,
+                        field_offset,
+                        &mut record,
+                        options.trim,
+                    );
                     records.push(std::mem::take(&mut record));
                     record_started = false;
                 }
@@ -297,7 +313,13 @@ fn read_records(input: &str, options: CsvOptions) -> Result<Vec<Vec<Field>>, Par
             }
             b'\n' => {
                 if record_started || !field.is_empty() || !record.is_empty() {
-                    finish_field(&mut field, &mut field_quoted, field_offset, &mut record, options.trim);
+                    finish_field(
+                        &mut field,
+                        &mut field_quoted,
+                        field_offset,
+                        &mut record,
+                        options.trim,
+                    );
                     records.push(std::mem::take(&mut record));
                     record_started = false;
                 }
@@ -305,7 +327,9 @@ fn read_records(input: &str, options: CsvOptions) -> Result<Vec<Vec<Field>>, Par
                 field_offset = pos;
             }
             _ => {
-                let c = input[pos..].chars().next().expect("in-bounds char");
+                let Some(c) = input.get(pos..).and_then(|s| s.chars().next()) else {
+                    return Err(ParseError::at("csv", input, pos, "broken character"));
+                };
                 field.push(c);
                 record_started = true;
                 pos += c.len_utf8();
@@ -313,10 +337,21 @@ fn read_records(input: &str, options: CsvOptions) -> Result<Vec<Vec<Field>>, Par
         }
     }
     if in_quotes {
-        return Err(ParseError::at("csv", input, pos, "unterminated quoted field"));
+        return Err(ParseError::at(
+            "csv",
+            input,
+            pos,
+            "unterminated quoted field",
+        ));
     }
     if record_started || !field.is_empty() || !record.is_empty() {
-        finish_field(&mut field, &mut field_quoted, field_offset, &mut record, options.trim);
+        finish_field(
+            &mut field,
+            &mut field_quoted,
+            field_offset,
+            &mut record,
+            options.trim,
+        );
         records.push(record);
     }
     Ok(records)

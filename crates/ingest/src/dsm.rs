@@ -181,12 +181,7 @@ impl ColumnStore {
         if row >= self.rows {
             return None;
         }
-        Some(
-            self.columns
-                .iter()
-                .map(|c| c.get(row).expect("aligned columns"))
-                .collect(),
-        )
+        self.columns.iter().map(|c| c.get(row)).collect()
     }
 
     /// Rows whose `attribute` equals `needle` — a single inverted-index
@@ -237,8 +232,14 @@ mod tests {
     fn inverted_index_answers_point_queries() {
         let store = sample();
         assert_eq!(store.select("director", &Value::from("Nolan")), vec![1, 2]);
-        assert_eq!(store.select("director", &Value::from("Scott")), Vec::<u32>::new());
-        assert_eq!(store.select("missing_attr", &Value::Null), Vec::<u32>::new());
+        assert_eq!(
+            store.select("director", &Value::from("Scott")),
+            Vec::<u32>::new()
+        );
+        assert_eq!(
+            store.select("missing_attr", &Value::Null),
+            Vec::<u32>::new()
+        );
     }
 
     #[test]

@@ -20,11 +20,22 @@ pub struct ParseError {
 impl ParseError {
     /// Builds an error at a byte offset, computing line/column from the
     /// original input.
-    pub fn at(format: &'static str, input: &str, offset: usize, message: impl Into<String>) -> Self {
+    pub fn at(
+        format: &'static str,
+        input: &str,
+        offset: usize,
+        message: impl Into<String>,
+    ) -> Self {
         let clamped = offset.min(input.len());
         let prefix = &input.as_bytes()[..clamped];
         let line = prefix.iter().filter(|&&b| b == b'\n').count() + 1;
-        let column = clamped - prefix.iter().rposition(|&b| b == b'\n').map(|p| p + 1).unwrap_or(0) + 1;
+        let column = clamped
+            - prefix
+                .iter()
+                .rposition(|&b| b == b'\n')
+                .map(|p| p + 1)
+                .unwrap_or(0)
+            + 1;
         Self {
             format,
             offset: clamped,

@@ -33,9 +33,7 @@ impl JsonValue {
     /// Member lookup on objects.
     pub fn get(&self, key: &str) -> Option<&JsonValue> {
         match self {
-            JsonValue::Object(members) => {
-                members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-            }
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
@@ -420,8 +418,7 @@ impl<'a> Parser<'a> {
                                     if !(0xDC00..0xE000).contains(&low) {
                                         return Err(self.error("invalid low surrogate"));
                                     }
-                                    let code =
-                                        0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                                    let code = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
                                     char::from_u32(code)
                                         .ok_or_else(|| self.error("invalid surrogate pair"))?
                                 } else {
@@ -436,16 +433,17 @@ impl<'a> Parser<'a> {
                             out.push(c);
                         }
                         other => {
-                            return Err(
-                                self.error(format!("invalid escape '\\{}'", other as char))
-                            )
+                            return Err(self.error(format!("invalid escape '\\{}'", other as char)))
                         }
                     }
                 }
                 _ => {
                     // Consume one UTF-8 character.
-                    let rest = &self.input[self.pos..];
-                    let c = rest.chars().next().expect("peek guaranteed a byte");
+                    let c = self
+                        .input
+                        .get(self.pos..)
+                        .and_then(|s| s.chars().next())
+                        .ok_or_else(|| self.error("broken character"))?;
                     if (c as u32) < 0x20 {
                         return Err(self.error("unescaped control character in string"));
                     }

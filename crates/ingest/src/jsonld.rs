@@ -43,7 +43,10 @@ impl NormalizedRecord {
         cols_index: Option<Vec<(String, usize)>>,
     ) -> Self {
         let mut members = vec![
-            ("@context".to_string(), JsonValue::Str(DEFAULT_CONTEXT.into())),
+            (
+                "@context".to_string(),
+                JsonValue::Str(DEFAULT_CONTEXT.into()),
+            ),
             (
                 "@id".to_string(),
                 JsonValue::Str(format!("urn:multirag:{domain}:{name}:{id}")),
@@ -69,12 +72,13 @@ impl NormalizedRecord {
         }
     }
 
-    /// The JSON-LD `@id` IRI of the record.
+    /// The JSON-LD `@id` IRI of the record. `new` always stamps an
+    /// `@id`, so this is only empty for hand-built envelopes.
     pub fn iri(&self) -> &str {
         self.jsc
             .get("@id")
             .and_then(JsonValue::as_str)
-            .expect("normalized records always carry @id")
+            .unwrap_or("")
     }
 
     /// Fetches a content attribute. `@`-keywords are envelope fields,

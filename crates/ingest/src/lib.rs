@@ -32,7 +32,10 @@ pub mod json;
 pub mod jsonld;
 pub mod xml;
 
-pub use adapter::{fuse_sources, load_into_graph, Adapter, Claim, RawSource, SourceFormat};
+pub use adapter::{
+    fuse_sources, fuse_sources_with, load_into_graph, Adapter, Claim, FusionReport,
+    IngestDiagnostic, IngestMode, RawSource, SourceFormat,
+};
 pub use dsm::ColumnStore;
 pub use error::ParseError;
 pub use json::JsonValue;

@@ -186,7 +186,10 @@ impl<'a> Parser<'a> {
     }
 
     fn skip_whitespace(&mut self) {
-        while matches!(self.peek(), Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'\r')) {
+        while matches!(
+            self.peek(),
+            Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'\r')
+        ) {
             self.pos += 1;
         }
     }
@@ -236,8 +239,10 @@ impl<'a> Parser<'a> {
             if c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | ':') {
                 self.pos += 1;
             } else if b >= 0x80 {
-                let c = self.input[self.pos..].chars().next().expect("in-bounds");
-                self.pos += c.len_utf8();
+                match self.input.get(self.pos..).and_then(|s| s.chars().next()) {
+                    Some(c) => self.pos += c.len_utf8(),
+                    None => break,
+                }
             } else {
                 break;
             }
@@ -332,7 +337,9 @@ impl<'a> Parser<'a> {
                 self.pos += 9;
                 match self.input[self.pos..].find("]]>") {
                     Some(idx) => {
-                        children.push(XmlNode::Text(self.input[self.pos..self.pos + idx].to_string()));
+                        children.push(XmlNode::Text(
+                            self.input[self.pos..self.pos + idx].to_string(),
+                        ));
                         self.pos += idx + 3;
                     }
                     None => return Err(self.error("unterminated CDATA section")),
@@ -374,7 +381,12 @@ fn decode_entities(raw: &str, doc: &str, base: usize) -> Result<String, ParseErr
         out.push_str(&rest[..idx]);
         let after = &rest[idx + 1..];
         let Some(end) = after.find(';') else {
-            return Err(ParseError::at("xml", doc, base + consumed + idx, "unterminated entity"));
+            return Err(ParseError::at(
+                "xml",
+                doc,
+                base + consumed + idx,
+                "unterminated entity",
+            ));
         };
         let entity = &after[..end];
         match entity {
@@ -438,7 +450,8 @@ mod tests {
 
     #[test]
     fn handles_declaration_comments_and_doctype() {
-        let doc = "<?xml version=\"1.0\"?>\n<!DOCTYPE books>\n<!-- catalog -->\n<books><book/></books>";
+        let doc =
+            "<?xml version=\"1.0\"?>\n<!DOCTYPE books>\n<!-- catalog -->\n<books><book/></books>";
         let root = parse(doc).unwrap();
         assert_eq!(root.name, "books");
         assert_eq!(root.child_elements().len(), 1);

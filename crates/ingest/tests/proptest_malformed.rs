@@ -1,0 +1,102 @@
+//! Chaos proptests for the ingest path: corrupted or arbitrary input
+//! must parse or return a positional error — never panic — and lenient
+//! fusion must always deliver whatever still parses.
+
+use multirag_faults::{corrupt_text, CorruptionKind};
+use multirag_ingest::{fuse_sources_with, load_into_graph, IngestMode, RawSource, SourceFormat};
+use proptest::prelude::*;
+
+/// A small well-formed document per format, with enough structure
+/// (quotes, nesting, unicode) that bit flips and truncations can land
+/// somewhere interesting.
+fn sample_content(format: SourceFormat) -> &'static str {
+    match format {
+        SourceFormat::Csv => {
+            "title,year,director,note\nHeat,1995,Mann,\"crime, drama\"\nAm\u{00e9}lie,2001,Jeunet,\"caf\u{00e9} scene\"\nTenet,2020,Nolan,\"time \"\"stuff\"\"\"\n"
+        }
+        SourceFormat::Json => {
+            "[{\"name\":\"Heat\",\"year\":1995,\"cast\":[\"Pacino\",\"De Niro\"]},{\"name\":\"Am\u{00e9}lie\",\"year\":2001,\"tags\":{\"mood\":\"whimsical\"}}]"
+        }
+        SourceFormat::Xml => {
+            "<films><film id=\"1\"><name>Heat</name><year>1995</year></film><film id=\"2\"><name>Am\u{00e9}lie</name><year>2001</year></film></films>"
+        }
+        SourceFormat::Kg => {
+            "# dump\nHeat|year|1995\nHeat|director|Mann\nAm\u{00e9}lie|year|2001\n"
+        }
+        SourceFormat::Text => "Heat opens with a heist.\n\nAm\u{00e9}lie is set in Montmartre.\n",
+    }
+}
+
+fn any_format() -> impl Strategy<Value = SourceFormat> {
+    prop_oneof![
+        Just(SourceFormat::Csv),
+        Just(SourceFormat::Json),
+        Just(SourceFormat::Xml),
+        Just(SourceFormat::Kg),
+        Just(SourceFormat::Text),
+    ]
+}
+
+fn any_corruption() -> impl Strategy<Value = CorruptionKind> {
+    prop_oneof![
+        Just(CorruptionKind::BitFlip),
+        Just(CorruptionKind::Truncation)
+    ]
+}
+
+fn source(format: SourceFormat, content: String) -> RawSource {
+    RawSource {
+        name: format!("chaos.{}", format.tag()),
+        domain: "movies".to_string(),
+        format,
+        content,
+    }
+}
+
+proptest! {
+    /// Seeded corruption of valid documents: every adapter either
+    /// parses the wreckage or reports an error. Lenient fusion always
+    /// succeeds, and its output loads into a graph without panicking.
+    #[test]
+    fn corrupted_sources_parse_or_error(
+        seed in any::<u64>(),
+        kind in any_corruption(),
+        format in any_format(),
+    ) {
+        let corrupted = corrupt_text(kind, seed, "chaos", sample_content(format));
+        let sources = [source(format, corrupted)];
+        let _ = fuse_sources_with(&sources, IngestMode::Strict);
+        let report = fuse_sources_with(&sources, IngestMode::Lenient).unwrap();
+        let _ = load_into_graph(&sources, &report.adapted);
+    }
+
+    /// Arbitrary text through every adapter: parses or errors, never
+    /// panics, in both modes.
+    #[test]
+    fn arbitrary_input_never_panics(
+        input in "\\PC{0,200}",
+        format in any_format(),
+    ) {
+        let sources = [source(format, input)];
+        let _ = fuse_sources_with(&sources, IngestMode::Strict);
+        let report = fuse_sources_with(&sources, IngestMode::Lenient).unwrap();
+        let _ = load_into_graph(&sources, &report.adapted);
+    }
+
+    /// Truncating a valid document at every byte boundary — the classic
+    /// half-written-file crash — must never panic an adapter.
+    #[test]
+    fn truncation_at_any_boundary_is_safe(
+        format in any_format(),
+        fraction in 0.0f64..1.0,
+    ) {
+        let full = sample_content(format);
+        let mut cut = (full.len() as f64 * fraction) as usize;
+        while cut < full.len() && !full.is_char_boundary(cut) {
+            cut += 1;
+        }
+        let sources = [source(format, full[..cut].to_string())];
+        let _ = fuse_sources_with(&sources, IngestMode::Strict);
+        let _ = fuse_sources_with(&sources, IngestMode::Lenient).unwrap();
+    }
+}

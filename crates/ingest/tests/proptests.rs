@@ -138,29 +138,27 @@ proptest! {
 
 fn xml_tree(depth: u32) -> BoxedStrategy<XmlElement> {
     let name = "[a-z][a-z0-9]{0,6}";
-    let attrs = proptest::collection::vec(
-        ("[a-z]{1,5}", "[a-zA-Z0-9 &<>'\"]{0,10}"),
-        0..3,
-    )
-    .prop_map(|attrs| {
-        let mut seen = std::collections::HashSet::new();
-        attrs
-            .into_iter()
-            .filter(|(k, _)| seen.insert(k.clone()))
-            .collect::<Vec<_>>()
-    });
-    let leaf = (name, attrs.clone(), "[a-zA-Z0-9 &<>]{0,12}").prop_map(|(name, attributes, text)| {
-        let children = if text.trim().is_empty() {
-            vec![]
-        } else {
-            vec![XmlNode::Text(text)]
-        };
-        XmlElement {
-            name,
-            attributes,
-            children,
-        }
-    });
+    let attrs = proptest::collection::vec(("[a-z]{1,5}", "[a-zA-Z0-9 &<>'\"]{0,10}"), 0..3)
+        .prop_map(|attrs| {
+            let mut seen = std::collections::HashSet::new();
+            attrs
+                .into_iter()
+                .filter(|(k, _)| seen.insert(k.clone()))
+                .collect::<Vec<_>>()
+        });
+    let leaf =
+        (name, attrs.clone(), "[a-zA-Z0-9 &<>]{0,12}").prop_map(|(name, attributes, text)| {
+            let children = if text.trim().is_empty() {
+                vec![]
+            } else {
+                vec![XmlNode::Text(text)]
+            };
+            XmlElement {
+                name,
+                attributes,
+                children,
+            }
+        });
     leaf.prop_recursive(depth, 32, 4, move |inner| {
         (
             "[a-z][a-z0-9]{0,6}",

@@ -167,7 +167,15 @@ pub fn paths_between(
             current.pop();
         }
     }
-    rec(kg, to, max_hops, max_paths, &mut current, &mut on_path, &mut out);
+    rec(
+        kg,
+        to,
+        max_hops,
+        max_paths,
+        &mut current,
+        &mut on_path,
+        &mut out,
+    );
     out
 }
 

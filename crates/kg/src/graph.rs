@@ -197,7 +197,10 @@ impl KnowledgeGraph {
             self.by_object_entity.entry(obj).or_default().push(id);
         }
         self.by_predicate.entry(predicate).or_default().push(id);
-        self.by_slot.entry((subject, predicate)).or_default().push(id);
+        self.by_slot
+            .entry((subject, predicate))
+            .or_default()
+            .push(id);
         self.triples.push(triple);
         id
     }
@@ -402,15 +405,17 @@ impl KnowledgeGraph {
             }
         }
         let mut entity_map: FxHashMap<EntityId, EntityId> = FxHashMap::default();
-        let map_entity =
-            |g: &Self, out: &mut KnowledgeGraph, map: &mut FxHashMap<EntityId, EntityId>, e: EntityId| {
-                *map.entry(e).or_insert_with(|| {
-                    let rec = g.entity(e);
-                    let name = g.interner.resolve(rec.name).to_string();
-                    let domain = g.interner.resolve(rec.domain).to_string();
-                    out.add_entity(&name, &domain)
-                })
-            };
+        let map_entity = |g: &Self,
+                          out: &mut KnowledgeGraph,
+                          map: &mut FxHashMap<EntityId, EntityId>,
+                          e: EntityId| {
+            *map.entry(e).or_insert_with(|| {
+                let rec = g.entity(e);
+                let name = g.interner.resolve(rec.name).to_string();
+                let domain = g.interner.resolve(rec.domain).to_string();
+                out.add_entity(&name, &domain)
+            })
+        };
         for t in &self.triples {
             let Some(&new_src) = source_map.get(&t.source) else {
                 continue;

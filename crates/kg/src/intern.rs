@@ -69,7 +69,10 @@ impl Interner {
         if let Some(&sym) = self.lookup.get(s) {
             return sym;
         }
-        let sym = Symbol(u32::try_from(self.strings.len()).expect("interner overflow: >u32::MAX distinct strings"));
+        let sym = Symbol(
+            u32::try_from(self.strings.len())
+                .expect("interner overflow: >u32::MAX distinct strings"),
+        );
         let boxed: Box<str> = s.into();
         self.strings.push(boxed.clone());
         self.lookup.insert(boxed, sym);

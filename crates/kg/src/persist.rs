@@ -120,10 +120,9 @@ pub fn dump(kg: &KnowledgeGraph) -> String {
             Object::Literal(Value::Float(f)) => ("f", format!("{f:?}")),
             Object::Literal(Value::Bool(b)) => ("b", b.to_string()),
             Object::Literal(Value::Null) => ("n", String::new()),
-            Object::Literal(Value::List(items)) => (
-                "s",
-                escape(&Value::List(items.clone()).to_string()),
-            ),
+            Object::Literal(Value::List(items)) => {
+                ("s", escape(&Value::List(items.clone()).to_string()))
+            }
         };
         out.push_str(&format!(
             "T|{}|{}|{kind}|{object}|{}|{}\n",
@@ -189,9 +188,11 @@ pub fn load(text: &str) -> Result<KnowledgeGraph, PersistError> {
                         let oi: usize = fields[4]
                             .parse()
                             .map_err(|_| err(line_no, "bad object entity index"))?;
-                        Object::Entity(*entities.get(oi).ok_or_else(|| {
-                            err(line_no, "object entity index out of range")
-                        })?)
+                        Object::Entity(
+                            *entities
+                                .get(oi)
+                                .ok_or_else(|| err(line_no, "object entity index out of range"))?,
+                        )
                     }
                     "s" => Object::Literal(Value::Str(unescape(&fields[4]))),
                     "i" => Object::Literal(Value::Int(
@@ -212,9 +213,7 @@ pub fn load(text: &str) -> Result<KnowledgeGraph, PersistError> {
                 let source = *sources
                     .get(src)
                     .ok_or_else(|| err(line_no, "source index out of range"))?;
-                let chunk: u32 = fields[6]
-                    .parse()
-                    .map_err(|_| err(line_no, "bad chunk"))?;
+                let chunk: u32 = fields[6].parse().map_err(|_| err(line_no, "bad chunk"))?;
                 kg.add_triple(subject, predicate, object, source, chunk);
             }
             other => return Err(err(line_no, &format!("unknown record '{other}'"))),
@@ -311,10 +310,7 @@ mod tests {
         kg.add_triple(e, r, Value::Float(0.1 + 0.2), s, 0);
         let loaded = load(&dump(&kg)).unwrap();
         let t = loaded.triple(crate::graph::TripleId(0));
-        assert_eq!(
-            t.object.as_literal().unwrap().as_f64().unwrap(),
-            0.1 + 0.2
-        );
+        assert_eq!(t.object.as_literal().unwrap().as_f64().unwrap(), 0.1 + 0.2);
     }
 
     #[test]
@@ -323,7 +319,9 @@ mod tests {
         let mut kg = KnowledgeGraph::new();
         let s = kg.add_source("s", "kg", "d");
         let r = kg.add_relation("r");
-        let ids: Vec<_> = (0..50).map(|i| kg.add_entity(&format!("n{i}"), "d")).collect();
+        let ids: Vec<_> = (0..50)
+            .map(|i| kg.add_entity(&format!("n{i}"), "d"))
+            .collect();
         for i in 0..49 {
             kg.add_triple(ids[i], r, ids[i + 1], s, i as u32);
         }

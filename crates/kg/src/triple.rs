@@ -163,10 +163,7 @@ impl Triple {
     pub fn shares_endpoint(&self, other: &Triple) -> bool {
         let (s1, o1) = self.endpoints();
         let (s2, o2) = other.endpoints();
-        s1 == s2
-            || Some(s1) == o2
-            || Some(s2) == o1
-            || (o1.is_some() && o1 == o2)
+        s1 == s2 || Some(s1) == o2 || Some(s2) == o1 || (o1.is_some() && o1 == o2)
     }
 
     /// The `(subject, predicate)` slot this triple fills. Triples from
@@ -246,13 +243,7 @@ mod tests {
     #[test]
     fn slot_groups_by_subject_and_predicate() {
         let a = t(1, 4, Object::Literal(Value::from("x")));
-        let b = Triple::new(
-            EntityId(1),
-            RelationId(4),
-            Value::from("y"),
-            SourceId(3),
-            7,
-        );
+        let b = Triple::new(EntityId(1), RelationId(4), Value::from("y"), SourceId(3), 7);
         assert_eq!(a.slot(), b.slot());
     }
 

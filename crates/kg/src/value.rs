@@ -200,10 +200,7 @@ fn jaccard_bigrams(a: &str, b: &str) -> f64 {
         return 1.0;
     }
     let bigrams = |s: &str| -> crate::hash::FxHashSet<[u8; 2]> {
-        s.as_bytes()
-            .windows(2)
-            .map(|w| [w[0], w[1]])
-            .collect()
+        s.as_bytes().windows(2).map(|w| [w[0], w[1]]).collect()
     };
     let sa = bigrams(a);
     let sb = bigrams(b);
@@ -340,8 +337,14 @@ mod tests {
 
     #[test]
     fn canonical_key_unifies_integral_floats_and_ints() {
-        assert_eq!(Value::Int(3).canonical_key(), Value::Float(3.0).canonical_key());
-        assert_ne!(Value::Int(3).canonical_key(), Value::Float(3.5).canonical_key());
+        assert_eq!(
+            Value::Int(3).canonical_key(),
+            Value::Float(3.0).canonical_key()
+        );
+        assert_ne!(
+            Value::Int(3).canonical_key(),
+            Value::Float(3.5).canonical_key()
+        );
     }
 
     #[test]
@@ -385,7 +388,10 @@ mod tests {
 
     #[test]
     fn distance_is_zero_for_equal_claims() {
-        assert_eq!(Value::from("delayed").distance(&Value::from("Delayed ")), 0.0);
+        assert_eq!(
+            Value::from("delayed").distance(&Value::from("Delayed ")),
+            0.0
+        );
         assert_eq!(Value::Int(10).distance(&Value::Float(10.0)), 0.0);
     }
 

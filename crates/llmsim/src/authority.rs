@@ -53,7 +53,12 @@ impl Default for AuthorityWeights {
 }
 
 /// The raw expert score `C_LLM(v) ∈ [0, 1]`.
-pub fn c_llm(features: &AuthorityFeatures, weights: &AuthorityWeights, seed: u64, key: &str) -> f64 {
+pub fn c_llm(
+    features: &AuthorityFeatures,
+    weights: &AuthorityWeights,
+    seed: u64,
+    key: &str,
+) -> f64 {
     let degree_norm = if features.max_degree == 0 {
         0.0
     } else {

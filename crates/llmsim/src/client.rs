@@ -9,6 +9,7 @@
 //! with this simulated LLM time (documented in EXPERIMENTS.md).
 
 use crate::authority::{auth_llm, c_llm, AuthorityFeatures, AuthorityWeights};
+use crate::error::LlmError;
 use crate::extract::{extract_triples, ExtractedTriple};
 use crate::halluc::{
     generate_with_hallucination, ContextProfile, GeneratedAnswer, HallucinationParams,
@@ -16,6 +17,7 @@ use crate::halluc::{
 use crate::logic::{generate_logic_form, LogicForm};
 use crate::ner::{extract_entities, Mention};
 use crate::schema::Schema;
+use multirag_faults::{FaultDecision, FaultKind, FaultPlan, RetryOutcome, RetryPolicy};
 use multirag_kg::Value;
 use multirag_retrieval::text::raw_tokens;
 
@@ -52,6 +54,10 @@ pub struct LlmUsage {
     pub output_tokens: u64,
     /// Simulated inference time in milliseconds.
     pub simulated_ms: f64,
+    /// Retry attempts beyond the first, across all calls.
+    pub retries: u64,
+    /// Calls that failed even after retrying.
+    pub failed_calls: u64,
 }
 
 impl LlmUsage {
@@ -84,6 +90,8 @@ pub struct MockLlm {
     halluc: HallucinationParams,
     authority_weights: AuthorityWeights,
     usage: LlmUsage,
+    faults: Option<FaultPlan>,
+    retry: RetryPolicy,
 }
 
 impl MockLlm {
@@ -96,6 +104,8 @@ impl MockLlm {
             halluc: HallucinationParams::default(),
             authority_weights: AuthorityWeights::default(),
             usage: LlmUsage::default(),
+            faults: None,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -109,6 +119,31 @@ impl MockLlm {
     pub fn with_hallucination_params(mut self, params: HallucinationParams) -> Self {
         self.halluc = params;
         self
+    }
+
+    /// Subjects the `try_*` calls to a fault plan. Without one (or with
+    /// a healthy plan) they behave exactly like their infallible
+    /// counterparts.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Overrides the retry policy used when a fault plan makes a call
+    /// fail.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// The retry policy applied to faulted calls.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
     }
 
     /// The schema the client extracts against.
@@ -149,6 +184,64 @@ impl MockLlm {
         self.usage.simulated_ms += self.cost.base_ms
             + self.cost.ms_per_input_token * input_text_tokens as f64
             + self.cost.ms_per_output_token * output_tokens as f64;
+    }
+
+    /// Meters one logical call under the fault plan: retries failed
+    /// attempts with seeded backoff (charged to `simulated_ms`, never
+    /// slept), inflates spiking attempts by the plan's latency factor,
+    /// and surfaces a typed error once retries or the deadline budget
+    /// run out. Without a plan this is exactly [`MockLlm::meter`].
+    fn meter_guarded(
+        &mut self,
+        call_key: &str,
+        input_text_tokens: usize,
+        output_tokens: usize,
+    ) -> Result<(), LlmError> {
+        let Some(plan) = self.faults.clone() else {
+            self.meter(input_text_tokens, output_tokens);
+            return Ok(());
+        };
+        let nominal_ms = self.cost.base_ms
+            + self.cost.ms_per_input_token * input_text_tokens as f64
+            + self.cost.ms_per_output_token * output_tokens as f64;
+        let (outcome, total_ms) = self.retry.run(plan.seed, call_key, |attempt| {
+            match plan.llm_call(call_key, attempt) {
+                FaultDecision::Inject(FaultKind::LlmFailure) => None,
+                FaultDecision::Inject(FaultKind::LlmLatencySpike) => {
+                    Some(nominal_ms * plan.latency_spike_factor(call_key, attempt))
+                }
+                _ => Some(nominal_ms),
+            }
+        });
+        // The prompt is sent (and paid for) on every outcome; output
+        // tokens only materialise on success.
+        self.usage.calls += 1;
+        self.usage.input_tokens += input_text_tokens as u64;
+        self.usage.simulated_ms += total_ms;
+        match outcome {
+            RetryOutcome::Succeeded { attempt } => {
+                self.usage.retries += u64::from(attempt);
+                self.usage.output_tokens += output_tokens as u64;
+                Ok(())
+            }
+            RetryOutcome::Exhausted { attempts } => {
+                self.usage.retries += u64::from(attempts.saturating_sub(1));
+                self.usage.failed_calls += 1;
+                Err(LlmError::Exhausted {
+                    call_key: call_key.to_string(),
+                    attempts,
+                })
+            }
+            RetryOutcome::DeadlineExceeded { attempts } => {
+                self.usage.retries += u64::from(attempts.saturating_sub(1));
+                self.usage.failed_calls += 1;
+                Err(LlmError::DeadlineExceeded {
+                    call_key: call_key.to_string(),
+                    attempts,
+                    budget_ms: self.retry.deadline_ms,
+                })
+            }
+        }
     }
 
     /// NER call (the `ner.py` prompt).
@@ -212,6 +305,83 @@ impl MockLlm {
     /// model.
     pub fn reason(&mut self, prompt_tokens: usize, output_tokens: usize) {
         self.meter(prompt_tokens, output_tokens);
+    }
+
+    // ---- Fallible variants, subject to the fault plan -----------------
+    //
+    // Each takes a `call_key` uniquely identifying the logical call so
+    // the fault plan's verdict (and any retry backoff) is replayable.
+    // With no fault plan configured they are bit-identical to the
+    // infallible calls above.
+
+    /// Fallible [`MockLlm::extract_entities`].
+    pub fn try_extract_entities(
+        &mut self,
+        call_key: &str,
+        text: &str,
+    ) -> Result<Vec<Mention>, LlmError> {
+        let mentions = extract_entities(text, &self.schema);
+        self.meter_guarded(call_key, raw_tokens(text).len() + 64, mentions.len() * 6)?;
+        Ok(mentions)
+    }
+
+    /// Fallible [`MockLlm::extract_triples`].
+    pub fn try_extract_triples(
+        &mut self,
+        call_key: &str,
+        text: &str,
+    ) -> Result<Vec<ExtractedTriple>, LlmError> {
+        let triples = extract_triples(text, &self.schema);
+        self.meter_guarded(call_key, raw_tokens(text).len() + 96, triples.len() * 12)?;
+        Ok(triples)
+    }
+
+    /// Fallible [`MockLlm::logic_form`].
+    pub fn try_logic_form(
+        &mut self,
+        call_key: &str,
+        query: &str,
+    ) -> Result<Option<LogicForm>, LlmError> {
+        let lf = generate_logic_form(query, &self.schema);
+        self.meter_guarded(call_key, raw_tokens(query).len() + 48, 16)?;
+        Ok(lf)
+    }
+
+    /// Fallible [`MockLlm::score_authority`].
+    pub fn try_score_authority(
+        &mut self,
+        node_key: &str,
+        features: &AuthorityFeatures,
+    ) -> Result<f64, LlmError> {
+        let c = c_llm(features, &self.authority_weights, self.seed, node_key);
+        self.meter_guarded(&format!("auth:{node_key}"), 96, 4)?;
+        Ok(c)
+    }
+
+    /// Fallible [`MockLlm::generate_answer`]. The fault-plan call key is
+    /// derived from `query_key`.
+    pub fn try_generate_answer(
+        &mut self,
+        query_key: &str,
+        faithful: Vec<Value>,
+        distractors: &[Value],
+        profile: &ContextProfile,
+        context_tokens: usize,
+    ) -> Result<GeneratedAnswer, LlmError> {
+        let out = generate_with_hallucination(
+            self.seed,
+            query_key,
+            faithful,
+            distractors,
+            profile,
+            &self.halluc,
+        );
+        self.meter_guarded(
+            &format!("gen:{query_key}"),
+            context_tokens + 128,
+            out.values.len() * 8 + 12,
+        )?;
+        Ok(out)
     }
 }
 
@@ -317,9 +487,8 @@ mod tests {
     fn simulated_seconds_conversion() {
         let usage = LlmUsage {
             calls: 1,
-            input_tokens: 0,
-            output_tokens: 0,
             simulated_ms: 2500.0,
+            ..LlmUsage::default()
         };
         assert!((usage.simulated_secs() - 2.5).abs() < 1e-12);
     }
@@ -333,5 +502,140 @@ mod tests {
         );
         llm.schema_mut().add_entity_verbatim("NewEntity");
         assert_eq!(llm.schema().resolve_entity("newentity"), Some("NewEntity"));
+    }
+
+    #[test]
+    fn healthy_fault_plan_is_bitwise_identical_to_no_plan() {
+        let run = |plan: Option<FaultPlan>| {
+            let mut llm = MockLlm::new(schema(), 42);
+            if let Some(p) = plan {
+                llm = llm.with_fault_plan(p);
+            }
+            llm.try_extract_triples("t1", "The status of CA981 is delayed.")
+                .unwrap();
+            llm.try_logic_form("q1", "What is the status of CA981?")
+                .unwrap();
+            llm.usage()
+        };
+        assert_eq!(run(None), run(Some(FaultPlan::healthy(42))));
+    }
+
+    #[test]
+    fn exhausted_retries_surface_typed_error() {
+        let plan = FaultPlan {
+            llm_failure_rate: 1.0,
+            ..FaultPlan::healthy(7)
+        };
+        let mut llm = MockLlm::new(schema(), 7).with_fault_plan(plan);
+        let err = llm
+            .try_logic_form("q1", "What is the status of CA981?")
+            .unwrap_err();
+        assert_eq!(
+            err,
+            LlmError::Exhausted {
+                call_key: "q1".into(),
+                attempts: 3
+            }
+        );
+        let usage = llm.usage();
+        assert_eq!(usage.calls, 1);
+        assert_eq!(usage.failed_calls, 1);
+        assert_eq!(usage.retries, 2);
+        assert_eq!(usage.output_tokens, 0, "no output tokens on failure");
+        assert!(usage.simulated_ms > 0.0, "failed attempts still cost time");
+    }
+
+    #[test]
+    fn deadline_budget_cuts_retries_short() {
+        let plan = FaultPlan {
+            llm_failure_rate: 1.0,
+            ..FaultPlan::healthy(7)
+        };
+        let mut llm = MockLlm::new(schema(), 7)
+            .with_fault_plan(plan)
+            .with_retry_policy(RetryPolicy::default().with_deadline_ms(150.0));
+        let err = llm
+            .try_logic_form("q1", "What is the status of CA981?")
+            .unwrap_err();
+        assert!(
+            matches!(err, LlmError::DeadlineExceeded { budget_ms, .. } if budget_ms == 150.0),
+            "err={err:?}"
+        );
+    }
+
+    #[test]
+    fn retries_recover_and_charge_backoff() {
+        let plan = FaultPlan {
+            llm_failure_rate: 0.5,
+            ..FaultPlan::healthy(13)
+        };
+        // Find a call that fails at attempt 0 and recovers at attempt 1.
+        let key = (0..64)
+            .map(|i| format!("call{i}"))
+            .find(|k| {
+                plan.llm_call(k, 0) == FaultDecision::Inject(FaultKind::LlmFailure)
+                    && plan.llm_call(k, 1) == FaultDecision::Healthy
+            })
+            .expect("some call recovers on retry");
+        let mut faulty = MockLlm::new(schema(), 13).with_fault_plan(plan);
+        let mut clean = MockLlm::new(schema(), 13);
+        let got = faulty
+            .try_logic_form(&key, "What is the status of CA981?")
+            .unwrap();
+        let want = clean
+            .try_logic_form(&key, "What is the status of CA981?")
+            .unwrap();
+        assert_eq!(got, want, "retried call returns the same answer");
+        assert_eq!(faulty.usage().retries, 1);
+        assert_eq!(faulty.usage().failed_calls, 0);
+        assert!(
+            faulty.usage().simulated_ms > clean.usage().simulated_ms,
+            "retry burns backoff plus the failed attempt's work"
+        );
+    }
+
+    #[test]
+    fn faulted_usage_is_deterministic() {
+        let run = || {
+            let mut llm = MockLlm::new(schema(), 21)
+                .with_fault_plan(FaultPlan::uniform(21, 0.3))
+                .with_retry_policy(RetryPolicy::default());
+            for i in 0..20 {
+                let _ =
+                    llm.try_extract_triples(&format!("t{i}"), "The status of CA981 is delayed.");
+                let features = AuthorityFeatures {
+                    degree: 3,
+                    max_degree: 10,
+                    type_consistency: 0.8,
+                    path_support: 0.5,
+                    source_reputation: 0.6,
+                };
+                let _ = llm.try_score_authority(&format!("n{i}"), &features);
+            }
+            llm.usage()
+        };
+        // Bit-identical across replays, including the f64 meter.
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn latency_spikes_inflate_simulated_time() {
+        let plan = FaultPlan {
+            llm_latency_spike_rate: 1.0,
+            ..FaultPlan::healthy(5)
+        };
+        let mut spiky = MockLlm::new(schema(), 5).with_fault_plan(plan);
+        let mut clean = MockLlm::new(schema(), 5);
+        spiky
+            .try_logic_form("q1", "What is the status of CA981?")
+            .unwrap();
+        clean
+            .try_logic_form("q1", "What is the status of CA981?")
+            .unwrap();
+        let ratio = spiky.usage().simulated_ms / clean.usage().simulated_ms;
+        assert!(
+            (4.0..16.0).contains(&ratio),
+            "spike factor should be in [4, 16): {ratio}"
+        );
     }
 }

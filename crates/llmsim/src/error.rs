@@ -1,0 +1,104 @@
+//! Typed failures surfaced by the fallible [`crate::MockLlm`] calls.
+//!
+//! Under a fault plan an LLM call can fail outright; the retry policy
+//! re-rolls it with seeded backoff, and when that is not enough the
+//! caller receives one of these instead of a silent success. The
+//! pipeline turns them into degraded-mode decisions (skip a node score,
+//! abstain on a query) rather than panicking.
+
+use std::fmt;
+
+/// A simulated LLM call that did not produce an answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LlmError {
+    /// Every allowed attempt failed.
+    Exhausted {
+        /// The logical call that failed (the fault-plan key).
+        call_key: String,
+        /// Attempts made, including the first.
+        attempts: u32,
+    },
+    /// The per-call simulated-time budget ran out before the attempts
+    /// did.
+    DeadlineExceeded {
+        /// The logical call that failed (the fault-plan key).
+        call_key: String,
+        /// Attempts made before the budget ran out.
+        attempts: u32,
+        /// The budget that was exceeded, in simulated ms.
+        budget_ms: f64,
+    },
+}
+
+impl LlmError {
+    /// The fault-plan key of the failed call.
+    pub fn call_key(&self) -> &str {
+        match self {
+            LlmError::Exhausted { call_key, .. } | LlmError::DeadlineExceeded { call_key, .. } => {
+                call_key
+            }
+        }
+    }
+
+    /// Attempts made before giving up.
+    pub fn attempts(&self) -> u32 {
+        match self {
+            LlmError::Exhausted { attempts, .. } | LlmError::DeadlineExceeded { attempts, .. } => {
+                *attempts
+            }
+        }
+    }
+}
+
+impl fmt::Display for LlmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LlmError::Exhausted { call_key, attempts } => {
+                write!(f, "llm call `{call_key}` failed after {attempts} attempt(s)")
+            }
+            LlmError::DeadlineExceeded {
+                call_key,
+                attempts,
+                budget_ms,
+            } => write!(
+                f,
+                "llm call `{call_key}` exceeded its {budget_ms:.0}ms budget after {attempts} attempt(s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LlmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_cover_both_variants() {
+        let a = LlmError::Exhausted {
+            call_key: "k1".into(),
+            attempts: 3,
+        };
+        let b = LlmError::DeadlineExceeded {
+            call_key: "k2".into(),
+            attempts: 2,
+            budget_ms: 500.0,
+        };
+        assert_eq!(a.call_key(), "k1");
+        assert_eq!(a.attempts(), 3);
+        assert_eq!(b.call_key(), "k2");
+        assert_eq!(b.attempts(), 2);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = LlmError::Exhausted {
+            call_key: "logic:q7".into(),
+            attempts: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("logic:q7"));
+        assert!(msg.contains('3'));
+    }
+}

@@ -301,8 +301,9 @@ mod tests {
     #[test]
     fn extracts_colon_shape() {
         let triples = extract_triples("CA981 status: on-time", &schema());
-        assert!(triples.iter().any(|t| t.predicate == "status"
-            && t.object == Value::from("on-time")));
+        assert!(triples
+            .iter()
+            .any(|t| t.predicate == "status" && t.object == Value::from("on-time")));
     }
 
     #[test]
@@ -316,8 +317,9 @@ mod tests {
     #[test]
     fn extracts_verb_phrase_alias() {
         let triples = extract_triples("CA981 departs from Beijing.", &schema());
-        assert!(triples.iter().any(|t| t.subject == "CA981"
-            && t.predicate == "departs_from"));
+        assert!(triples
+            .iter()
+            .any(|t| t.subject == "CA981" && t.predicate == "departs_from"));
     }
 
     #[test]

@@ -29,6 +29,7 @@
 pub mod authority;
 pub mod client;
 pub mod determinism;
+pub mod error;
 pub mod extract;
 pub mod halluc;
 pub mod logic;
@@ -36,6 +37,7 @@ pub mod ner;
 pub mod schema;
 
 pub use client::{LlmUsage, MockLlm};
+pub use error::LlmError;
 pub use halluc::{ContextProfile, HallucinationParams};
 pub use logic::LogicForm;
 pub use schema::Schema;

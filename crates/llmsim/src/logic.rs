@@ -78,10 +78,7 @@ pub fn generate_logic_form(query: &str, schema: &Schema) -> Option<LogicForm> {
         // Innermost attribute applies first: "the director of the sequel
         // of X" = sequel(X) then director.
         relations.reverse();
-        return Some(LogicForm {
-            entity,
-            relations,
-        });
+        return Some(LogicForm { entity, relations });
     }
 
     None
@@ -142,10 +139,12 @@ mod tests {
     #[test]
     fn parses_two_hop_chains_in_application_order() {
         let lf =
-            generate_logic_form("What is the director of the sequel of Heat?", &schema())
-                .unwrap();
+            generate_logic_form("What is the director of the sequel of Heat?", &schema()).unwrap();
         assert_eq!(lf.entity, "Heat");
-        assert_eq!(lf.relations, vec!["sequel".to_string(), "director".to_string()]);
+        assert_eq!(
+            lf.relations,
+            vec!["sequel".to_string(), "director".to_string()]
+        );
         assert_eq!(lf.target_relation(), "director");
         assert_eq!(lf.hops(), 2);
     }

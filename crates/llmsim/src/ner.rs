@@ -43,17 +43,18 @@ pub enum MentionKind {
 pub fn extract_entities(text: &str, schema: &Schema) -> Vec<Mention> {
     let mut mentions: Vec<Mention> = Vec::new();
     let mut seen = std::collections::HashSet::new();
-    let mut push = |name: String, surface: String, kind: MentionKind, mentions: &mut Vec<Mention>| {
-        let key = crate::schema::normalize(&name);
-        if key.is_empty() || !seen.insert(key) {
-            return;
-        }
-        mentions.push(Mention {
-            name,
-            surface,
-            kind,
-        });
-    };
+    let mut push =
+        |name: String, surface: String, kind: MentionKind, mentions: &mut Vec<Mention>| {
+            let key = crate::schema::normalize(&name);
+            if key.is_empty() || !seen.insert(key) {
+                return;
+            }
+            mentions.push(Mention {
+                name,
+                surface,
+                kind,
+            });
+        };
 
     // Pass 1: gazetteer longest-match over token windows.
     let words: Vec<&str> = text.split_whitespace().collect();
@@ -89,7 +90,12 @@ pub fn extract_entities(text: &str, schema: &Schema) -> Vec<Mention> {
     // Pass 2b: capitalized runs (not sentence-initial-only words).
     for run in capitalized_runs(text) {
         let canonical = schema.resolve_entity(&run).unwrap_or(&run).to_string();
-        push(canonical, run.clone(), MentionKind::Capitalized, &mut mentions);
+        push(
+            canonical,
+            run.clone(),
+            MentionKind::Capitalized,
+            &mut mentions,
+        );
     }
 
     // Pass 3: codes.
@@ -108,7 +114,11 @@ fn trim_punct(s: &str) -> &str {
 fn quoted_spans(text: &str) -> Vec<String> {
     let mut out = Vec::new();
     for quote in ['"', '\u{201c}'] {
-        let close = if quote == '\u{201c}' { '\u{201d}' } else { quote };
+        let close = if quote == '\u{201c}' {
+            '\u{201d}'
+        } else {
+            quote
+        };
         let mut rest = text;
         while let Some(start) = rest.find(quote) {
             let after = &rest[start + quote.len_utf8()..];
@@ -169,7 +179,10 @@ fn keepable_run(run: &[&str], words: &[&str]) -> bool {
 fn next_is_cap(words: &[&str], pos: usize) -> bool {
     words.get(pos + 1).is_some_and(|w| {
         let c = trim_punct(w);
-        c.chars().next().map(|ch| ch.is_uppercase()).unwrap_or(false)
+        c.chars()
+            .next()
+            .map(|ch| ch.is_uppercase())
+            .unwrap_or(false)
     })
 }
 
@@ -184,11 +197,12 @@ fn codes(text: &str) -> Vec<String> {
     raw_tokens(text)
         .into_iter()
         .filter(|t| {
-            let has_upper_ctx = t.chars().any(|c| c.is_ascii_digit())
-                && t.chars().any(|c| c.is_ascii_alphabetic());
+            let has_upper_ctx =
+                t.chars().any(|c| c.is_ascii_digit()) && t.chars().any(|c| c.is_ascii_alphabetic());
             let all_caps = t.len() >= 2
                 && t.len() <= 6
-                && t.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit());
+                && t.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit());
             has_upper_ctx && all_caps
         })
         .map(|t| t.to_uppercase())
@@ -209,10 +223,7 @@ mod tests {
 
     #[test]
     fn gazetteer_matches_longest_first() {
-        let mentions = extract_entities(
-            "The flight left Beijing Capital Airport late.",
-            &schema(),
-        );
+        let mentions = extract_entities("The flight left Beijing Capital Airport late.", &schema());
         let names: Vec<&str> = mentions.iter().map(|m| m.name.as_str()).collect();
         assert!(names.contains(&"Beijing Capital Airport"));
         // Individual "Beijing" alone must not be a separate gazetteer hit.
@@ -239,8 +250,10 @@ mod tests {
 
     #[test]
     fn capitalized_runs_are_entities() {
-        let mentions =
-            extract_entities("We interviewed Christopher Nolan yesterday.", &Schema::new());
+        let mentions = extract_entities(
+            "We interviewed Christopher Nolan yesterday.",
+            &Schema::new(),
+        );
         assert!(mentions
             .iter()
             .any(|m| m.name == "Christopher Nolan" && m.kind == MentionKind::Capitalized));
@@ -249,10 +262,7 @@ mod tests {
     #[test]
     fn sentence_initial_lone_capitals_are_skipped() {
         let mentions = extract_entities("The weather was bad. It rained.", &Schema::new());
-        assert!(
-            mentions.is_empty(),
-            "got spurious mentions: {mentions:?}"
-        );
+        assert!(mentions.is_empty(), "got spurious mentions: {mentions:?}");
     }
 
     #[test]
@@ -264,10 +274,7 @@ mod tests {
     #[test]
     fn duplicates_are_merged() {
         let mentions = extract_entities("CA981 and again CA981 and ca981.", &schema());
-        assert_eq!(
-            mentions.iter().filter(|m| m.name == "CA981").count(),
-            1
-        );
+        assert_eq!(mentions.iter().filter(|m| m.name == "CA981").count(), 1);
     }
 
     #[test]

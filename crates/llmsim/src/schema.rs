@@ -115,8 +115,14 @@ mod tests {
     fn entity_resolution_is_case_and_punct_insensitive() {
         let mut schema = Schema::new();
         schema.add_entity("J.R.R. Tolkien", "J. R. R. Tolkien");
-        assert_eq!(schema.resolve_entity("j r r tolkien"), Some("J. R. R. Tolkien"));
-        assert_eq!(schema.resolve_entity("J.R.R. TOLKIEN"), Some("J. R. R. Tolkien"));
+        assert_eq!(
+            schema.resolve_entity("j r r tolkien"),
+            Some("J. R. R. Tolkien")
+        );
+        assert_eq!(
+            schema.resolve_entity("J.R.R. TOLKIEN"),
+            Some("J. R. R. Tolkien")
+        );
         assert_eq!(schema.resolve_entity("unknown"), None);
     }
 

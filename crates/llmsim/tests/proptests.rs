@@ -4,8 +4,7 @@ use multirag_kg::Value;
 use multirag_llmsim::determinism::{bernoulli, draw, pick, unit};
 use multirag_llmsim::extract::{extract_triples, standardize_value};
 use multirag_llmsim::halluc::{
-    generate_with_hallucination, hallucination_probability, ContextProfile,
-    HallucinationParams,
+    generate_with_hallucination, hallucination_probability, ContextProfile, HallucinationParams,
 };
 use multirag_llmsim::ner::extract_entities;
 use multirag_llmsim::Schema;

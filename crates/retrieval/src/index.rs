@@ -56,9 +56,7 @@ impl InvertedIndex {
         // Register distinct terms (bumps document frequencies).
         let mut pairs: Vec<(&str, u32)> = counts.into_iter().collect();
         pairs.sort_unstable(); // deterministic posting construction
-        let ids = self
-            .vocab
-            .add_document_terms(pairs.iter().map(|(t, _)| *t));
+        let ids = self.vocab.add_document_terms(pairs.iter().map(|(t, _)| *t));
         for (id, (_, tf)) in ids.into_iter().zip(&pairs) {
             if id.index() >= self.postings.len() {
                 self.postings.resize(id.index() + 1, Vec::new());
@@ -105,8 +103,7 @@ impl InvertedIndex {
         if self.doc_lengths.is_empty() {
             return 0.0;
         }
-        self.doc_lengths.iter().map(|&l| f64::from(l)).sum::<f64>()
-            / self.doc_lengths.len() as f64
+        self.doc_lengths.iter().map(|&l| f64::from(l)).sum::<f64>() / self.doc_lengths.len() as f64
     }
 
     /// Documents containing *all* of the query's terms (conjunctive
@@ -176,7 +173,12 @@ mod tests {
         let postings = index.postings("delay");
         assert_eq!(postings.len(), 1);
         assert_eq!(postings[0].tf, 3);
-        assert_eq!(index.vocab().doc_frequency(index.vocab().get("delay").unwrap()), 1);
+        assert_eq!(
+            index
+                .vocab()
+                .doc_frequency(index.vocab().get("delay").unwrap()),
+            1
+        );
     }
 
     #[test]

@@ -9,10 +9,9 @@
 /// English stopwords dropped by [`tokenize`].
 pub const STOPWORDS: &[&str] = &[
     "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "has", "have", "he",
-    "her", "his", "if", "in", "into", "is", "it", "its", "no", "not", "of", "on", "or", "s",
-    "she", "so", "such", "that", "the", "their", "them", "then", "there", "these", "they",
-    "this", "to", "was", "were", "what", "when", "where", "which", "who", "whom", "will",
-    "with", "you",
+    "her", "his", "if", "in", "into", "is", "it", "its", "no", "not", "of", "on", "or", "s", "she",
+    "so", "such", "that", "the", "their", "them", "then", "there", "these", "they", "this", "to",
+    "was", "were", "what", "when", "where", "which", "who", "whom", "will", "with", "you",
 ];
 
 fn is_stopword(word: &str) -> bool {
@@ -167,7 +166,10 @@ mod tests {
     fn term_frequencies_counts() {
         let tokens = tokenize("delay delay typhoon");
         let tf = term_frequencies(&tokens);
-        assert_eq!(tf, vec![("delay".to_string(), 2), ("typhoon".to_string(), 1)]);
+        assert_eq!(
+            tf,
+            vec![("delay".to_string(), 2), ("typhoon".to_string(), 1)]
+        );
     }
 
     #[test]

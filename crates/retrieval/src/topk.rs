@@ -40,7 +40,8 @@ pub fn top_k<K: Ord + Copy>(items: impl Iterator<Item = (K, f64)>, k: usize) -> 
     if k == 0 {
         return Vec::new();
     }
-    let mut heap: BinaryHeap<MinScored<K>> = BinaryHeap::with_capacity(k.saturating_add(1).min(4096));
+    let mut heap: BinaryHeap<MinScored<K>> =
+        BinaryHeap::with_capacity(k.saturating_add(1).min(4096));
     for (key, score) in items {
         if score.is_nan() {
             continue;

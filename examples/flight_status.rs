@@ -116,7 +116,10 @@ fn main() {
     let answer = pipeline.answer(&query);
     println!("\nQuery: {}", query.text);
     if let Some(gc) = answer.graph_confidence {
-        println!("graph confidence of the homologous subgraph: {:.2}", gc.value);
+        println!(
+            "graph confidence of the homologous subgraph: {:.2}",
+            gc.value
+        );
     }
     for node in &answer.kept {
         println!(

@@ -44,8 +44,14 @@ fn main() {
             shown += 1;
             println!("Q: {}", q.text);
             println!("  gold answer: {}", q.answer);
-            println!("  MultiRAG:    {:?} ✓ (evidence: {:?})", mr.answer, mr.evidence);
-            println!("  IRCoT:       {:?} ✗ — followed the first chain it found", ir.answer);
+            println!(
+                "  MultiRAG:    {:?} ✓ (evidence: {:?})",
+                mr.answer, mr.evidence
+            );
+            println!(
+                "  IRCoT:       {:?} ✗ — followed the first chain it found",
+                ir.answer
+            );
             let archive_title = format!("{} (archive)", q.bridge);
             if data.corpus.iter().any(|d| d.title == archive_title) {
                 println!("  note: '{archive_title}' asserts conflicting facts\n");

@@ -1,0 +1,125 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! Implements the one entry point the workspace uses —
+//! [`scope`] — over `std::thread::scope`. Matching crossbeam
+//! semantics, `scope` returns `Err` with the first panic payload if any
+//! spawned thread panicked, instead of propagating the panic.
+//!
+//! One deliberate simplification: spawned tasks are *collected* while
+//! the user closure runs and *started* when it returns (std's scoped
+//! threads cannot outlive a borrow of the collecting scope). Callers in
+//! this workspace only spawn workers and immediately return from the
+//! closure, so observable behaviour is identical. The closure passed to
+//! [`Scope::spawn`] receives `()` where crossbeam passes a nested
+//! `&Scope` (the workspace always ignores it).
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Payload of the first panicking worker, as crossbeam reports it.
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+type Task<'env> = Box<dyn FnOnce() -> Result<(), PanicPayload> + Send + 'env>;
+
+/// Collects tasks to run on scoped threads.
+pub struct Scope<'env> {
+    tasks: RefCell<Vec<Task<'env>>>,
+}
+
+impl<'env> Scope<'env> {
+    /// Registers `f` to run on its own scoped thread. The argument
+    /// passed to `f` is a placeholder for crossbeam's nested scope.
+    pub fn spawn<F, T>(&self, f: F)
+    where
+        F: FnOnce(()) -> T + Send + 'env,
+        T: Send + 'env,
+    {
+        self.tasks.borrow_mut().push(Box::new(move || {
+            catch_unwind(AssertUnwindSafe(move || {
+                f(());
+            }))
+        }));
+    }
+}
+
+/// Runs `f` with a [`Scope`], executes every spawned task on its own
+/// thread, joins them all, and reports the first panic as `Err`.
+pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+where
+    F: FnOnce(&Scope<'env>) -> R,
+{
+    let scope = Scope {
+        tasks: RefCell::new(Vec::new()),
+    };
+    let result = f(&scope);
+    let tasks = scope.tasks.into_inner();
+    let mut first_panic: Option<PanicPayload> = None;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = tasks.into_iter().map(|task| s.spawn(task)).collect();
+        for handle in handles {
+            if let Ok(Err(payload)) = handle.join() {
+                first_panic.get_or_insert(payload);
+            }
+        }
+    });
+    match first_panic {
+        Some(payload) => Err(payload),
+        None => Ok(result),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_all_tasks_and_returns_closure_value() {
+        let counter = AtomicUsize::new(0);
+        let out = scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            "done"
+        })
+        .unwrap();
+        assert_eq!(out, "done");
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn panicking_worker_surfaces_as_err() {
+        let survivors = AtomicUsize::new(0);
+        let result = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+            s.spawn(|_| {
+                survivors.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert!(result.is_err());
+        assert_eq!(survivors.load(Ordering::SeqCst), 1, "siblings still ran");
+        let payload = result.unwrap_err();
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"boom"));
+    }
+
+    #[test]
+    fn tasks_run_concurrently() {
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    live.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert!(peak.load(Ordering::SeqCst) >= 2);
+    }
+}

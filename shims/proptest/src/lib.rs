@@ -1,0 +1,210 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Reproduces the subset of the proptest 1.x API this workspace uses:
+//! the [`proptest!`] macro family, `Strategy` with
+//! `prop_map`/`prop_flat_map`/`prop_recursive`/`boxed`, range and
+//! regex-string strategies, `collection::vec`, `any::<T>()`, `Just`,
+//! `prop_oneof!`, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, none of which this workspace's
+//! tests depend on:
+//! - **No shrinking.** A failing case reports the generated inputs but
+//!   does not minimise them.
+//! - **Deterministic seeding.** Each test derives its RNG seed from its
+//!   module path and name, so failures reproduce exactly across runs.
+//!   `PROPTEST_CASES` still overrides the per-test case count.
+//! - **Regex strategies** support the literal/class/group/alternation/
+//!   quantifier subset the workspace's patterns use, not full regex.
+//! - `.proptest-regressions` files are ignored.
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Single-import surface, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let cases = config.effective_cases();
+            let mut runner = $crate::test_runner::TestRunner::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut passed = 0u32;
+            let mut rejected = 0u32;
+            while passed < cases {
+                let mut inputs = String::new();
+                $(
+                    let raw = $crate::strategy::Strategy::new_value(&($strat), &mut runner);
+                    inputs.push_str(&format!(
+                        "{} = {:?}; ",
+                        stringify!($arg),
+                        &raw
+                    ));
+                    let $arg = raw;
+                )+
+                let outcome = (|| -> ::core::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => passed += 1,
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => {
+                        rejected += 1;
+                        assert!(
+                            rejected < cases.saturating_mul(16).max(256),
+                            "proptest '{}': too many rejected cases ({rejected})",
+                            stringify!($name),
+                        );
+                    }
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(msg),
+                    ) => {
+                        panic!(
+                            "proptest '{}' failed after {} passing case(s): {}\n  inputs: {}",
+                            stringify!($name),
+                            passed,
+                            msg,
+                            inputs,
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::string::String::from(concat!("assertion failed: ", stringify!($cond))),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left,
+                    right,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+),
+                    left,
+                    right,
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!(
+                    "assertion failed: `{}` != `{}`\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{}\n  both: {:?}", format!($($fmt)+), left),
+            ));
+        }
+    }};
+}
+
+/// Rejects the current case (it is regenerated, not counted).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Picks uniformly among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,401 @@
+//! The `Strategy` trait and the combinators the workspace uses.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::test_runner::TestRunner;
+
+/// Generates values of `Self::Value`, mirroring `proptest::strategy::Strategy`
+/// (minus shrinking: there is no value tree, just fresh draws).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Draws one fresh value.
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a second strategy from each generated value and draws
+    /// from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Builds recursive structures: `f` receives a strategy for the
+    /// shallower levels and returns the strategy for one level deeper.
+    /// `_desired_size` and `_expected_branch` are accepted for API
+    /// compatibility; depth alone bounds recursion here.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let mut current = self.boxed();
+        for _ in 0..depth {
+            let deeper = f(current.clone()).boxed();
+            // Each level keeps a 50% chance of staying shallow, so
+            // generated depths spread over 0..=depth.
+            current = Union::new(vec![current, deeper]).boxed();
+        }
+        current
+    }
+
+    /// Erases the strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T: Debug>(Rc<dyn Strategy<Value = T>>);
+
+impl<T: Debug> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self(Rc::clone(&self.0))
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        self.0.new_value(runner)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.new_value(runner))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn new_value(&self, runner: &mut TestRunner) -> S2::Value {
+        (self.f)(self.inner.new_value(runner)).new_value(runner)
+    }
+}
+
+/// Uniform choice among same-typed strategies (`prop_oneof!`).
+pub struct Union<T: Debug> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: Debug> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Self {
+            options: self.options.clone(),
+        }
+    }
+}
+
+impl<T: Debug> Union<T> {
+    /// Builds the union; `options` must be non-empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Self { options }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        let idx = runner.below(self.options.len());
+        self.options[idx].new_value(runner)
+    }
+}
+
+/// Produces any value of `T` (`any::<T>()`).
+pub trait Arbitrary: Debug + Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(runner: &mut TestRunner) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(runner: &mut TestRunner) -> Self {
+                runner.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(runner: &mut TestRunner) -> Self {
+        runner.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(runner: &mut TestRunner) -> Self {
+        // Finite, symmetric around zero, spanning a useful magnitude
+        // range without generating NaN/inf (like proptest's default).
+        (runner.unit() - 0.5) * 2.0e9
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(runner: &mut TestRunner) -> Self {
+        crate::string::printable_char(runner)
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct ArbitraryStrategy<T>(PhantomData<T>);
+
+impl<T> Clone for ArbitraryStrategy<T> {
+    fn clone(&self) -> Self {
+        Self(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for ArbitraryStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, runner: &mut TestRunner) -> T {
+        T::arbitrary(runner)
+    }
+}
+
+/// Strategy producing any value of `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+    ArbitraryStrategy(PhantomData)
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add((runner.next_u64() % span) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                if span == u64::MAX {
+                    return runner.next_u64() as $t;
+                }
+                lo.wrapping_add((runner.next_u64() % (span + 1)) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (runner.unit() as $t) * (self.end - self.start)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                lo + (runner.unit() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+/// Regex-subset string strategy: any `&str` is treated as a pattern.
+impl Strategy for &str {
+    type Value = String;
+
+    fn new_value(&self, runner: &mut TestRunner) -> String {
+        crate::string::generate(self, runner)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+                ($(self.$idx.new_value(runner),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runner() -> TestRunner {
+        TestRunner::deterministic("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = runner();
+        for _ in 0..500 {
+            assert!((2usize..24).new_value(&mut r) < 24);
+            let v = (-5i64..5).new_value(&mut r);
+            assert!((-5..5).contains(&v));
+            let f = (-1.0e9f64..1.0e9).new_value(&mut r);
+            assert!(f.is_finite() && (-1.0e9..1.0e9).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut r = runner();
+        let doubled = (1usize..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            assert_eq!(doubled.new_value(&mut r) % 2, 0);
+        }
+        let nested = (1usize..4).prop_flat_map(|n| crate::collection::vec(0usize..10, n));
+        for _ in 0..100 {
+            let v = nested.new_value(&mut r);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn union_draws_every_arm() {
+        let mut r = runner();
+        let u = Union::new(vec![
+            Just(1u8).boxed(),
+            Just(2u8).boxed(),
+            Just(3u8).boxed(),
+        ]);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[u.new_value(&mut r) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn recursive_strategies_terminate_and_nest() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0u8..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 4, |inner| {
+                crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
+        let mut r = runner();
+        let mut max_depth = 0;
+        for _ in 0..300 {
+            max_depth = max_depth.max(depth(&strat.new_value(&mut r)));
+        }
+        assert!(max_depth >= 1, "recursion never nested");
+        assert!(max_depth <= 3, "depth bound exceeded: {max_depth}");
+    }
+
+    #[test]
+    fn tuples_and_just_work() {
+        let mut r = runner();
+        let (a, b, c) = (Just(7u8), 0usize..3, "x{2}").new_value(&mut r);
+        assert_eq!(a, 7);
+        assert!(c == "xx");
+        assert!(b < 3);
+    }
+}

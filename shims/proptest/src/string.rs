@@ -1,0 +1,409 @@
+//! Regex-subset string generation backing `&str` strategies.
+//!
+//! Supports the constructs the workspace's patterns use: literals,
+//! escapes (`\n`, `\t`, `\r`, `\\`, `\-`, …), `.` (any printable,
+//! no newline), `\PC` (any printable), character classes with ranges
+//! and negation, groups with alternation, and the quantifiers
+//! `{n}`, `{m,n}`, `{m,}`, `?`, `*`, `+`. Unsupported syntax panics
+//! with the offending pattern, which surfaces immediately in tests.
+
+use crate::test_runner::TestRunner;
+
+/// Cap applied to the open-ended quantifiers `*`, `+`, and `{m,}`.
+const UNBOUNDED_CAP: u32 = 8;
+
+/// One parsed regex atom.
+enum Node {
+    Literal(char),
+    /// `.` and `\PC`: any printable character.
+    AnyPrintable,
+    Class {
+        negated: bool,
+        items: Vec<ClassItem>,
+    },
+    /// A `(...)` group: one of several alternative sequences.
+    Group(Vec<Vec<Term>>),
+}
+
+enum ClassItem {
+    Single(char),
+    Range(char, char),
+}
+
+impl ClassItem {
+    fn contains(&self, c: char) -> bool {
+        match self {
+            ClassItem::Single(s) => *s == c,
+            ClassItem::Range(lo, hi) => (*lo..=*hi).contains(&c),
+        }
+    }
+}
+
+/// An atom plus its quantifier bounds.
+struct Term {
+    node: Node,
+    min: u32,
+    max: u32,
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, runner: &mut TestRunner) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0usize;
+    let alternatives = parse_alternatives(pattern, &chars, &mut pos, false);
+    assert!(
+        pos == chars.len(),
+        "proptest shim: trailing input in regex {pattern:?} at {pos}"
+    );
+    let mut out = String::new();
+    emit_alternatives(&alternatives, runner, &mut out);
+    out
+}
+
+/// A printable character: mostly ASCII, occasionally multi-byte, so
+/// UTF-8 boundary handling gets exercised. Never a control character.
+pub fn printable_char(runner: &mut TestRunner) -> char {
+    match runner.below(24) {
+        0 => 'é',
+        1 => '世',
+        2 => 'µ',
+        _ => (0x20u8 + runner.below(95) as u8) as char,
+    }
+}
+
+fn emit_alternatives(alts: &[Vec<Term>], runner: &mut TestRunner, out: &mut String) {
+    let seq = &alts[runner.below(alts.len())];
+    for term in seq {
+        let count = term.min + runner.below((term.max - term.min + 1) as usize) as u32;
+        for _ in 0..count {
+            emit_node(&term.node, runner, out);
+        }
+    }
+}
+
+fn emit_node(node: &Node, runner: &mut TestRunner, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::AnyPrintable => out.push(printable_char(runner)),
+        Node::Class { negated, items } => {
+            if *negated {
+                for _ in 0..256 {
+                    let c = printable_char(runner);
+                    if !items.iter().any(|i| i.contains(c)) {
+                        out.push(c);
+                        return;
+                    }
+                }
+                panic!("proptest shim: negated class rejects all printable chars");
+            }
+            assert!(!items.is_empty(), "proptest shim: empty character class");
+            match &items[runner.below(items.len())] {
+                ClassItem::Single(c) => out.push(*c),
+                ClassItem::Range(lo, hi) => {
+                    let span = *hi as u32 - *lo as u32 + 1;
+                    let c = char::from_u32(*lo as u32 + runner.below(span as usize) as u32)
+                        .expect("class range stays in valid scalar space");
+                    out.push(c);
+                }
+            }
+        }
+        Node::Group(alts) => emit_alternatives(alts, runner, out),
+    }
+}
+
+fn parse_alternatives(
+    pattern: &str,
+    chars: &[char],
+    pos: &mut usize,
+    in_group: bool,
+) -> Vec<Vec<Term>> {
+    let mut alternatives = vec![Vec::new()];
+    while *pos < chars.len() {
+        match chars[*pos] {
+            ')' if in_group => break,
+            ')' => panic!("proptest shim: unbalanced ')' in regex {pattern:?}"),
+            '|' => {
+                *pos += 1;
+                alternatives.push(Vec::new());
+            }
+            _ => {
+                let node = parse_atom(pattern, chars, pos);
+                let (min, max) = parse_quantifier(pattern, chars, pos);
+                alternatives
+                    .last_mut()
+                    .expect("alternatives never empty")
+                    .push(Term { node, min, max });
+            }
+        }
+    }
+    alternatives
+}
+
+fn parse_atom(pattern: &str, chars: &[char], pos: &mut usize) -> Node {
+    let c = chars[*pos];
+    *pos += 1;
+    match c {
+        '(' => {
+            let alts = parse_alternatives(pattern, chars, pos, true);
+            assert!(
+                *pos < chars.len() && chars[*pos] == ')',
+                "proptest shim: unterminated group in regex {pattern:?}"
+            );
+            *pos += 1;
+            Node::Group(alts)
+        }
+        '[' => parse_class(pattern, chars, pos),
+        '.' => Node::AnyPrintable,
+        '\\' => parse_escape(pattern, chars, pos),
+        _ => Node::Literal(c),
+    }
+}
+
+fn parse_escape(pattern: &str, chars: &[char], pos: &mut usize) -> Node {
+    assert!(
+        *pos < chars.len(),
+        "proptest shim: dangling backslash in regex {pattern:?}"
+    );
+    let c = chars[*pos];
+    *pos += 1;
+    match c {
+        'n' => Node::Literal('\n'),
+        'r' => Node::Literal('\r'),
+        't' => Node::Literal('\t'),
+        'd' => Node::Class {
+            negated: false,
+            items: vec![ClassItem::Range('0', '9')],
+        },
+        'w' => Node::Class {
+            negated: false,
+            items: vec![
+                ClassItem::Range('a', 'z'),
+                ClassItem::Range('A', 'Z'),
+                ClassItem::Range('0', '9'),
+                ClassItem::Single('_'),
+            ],
+        },
+        's' => Node::Class {
+            negated: false,
+            items: vec![ClassItem::Single(' '), ClassItem::Single('\t')],
+        },
+        // `\PC` — "not in Unicode category Control", i.e. printable.
+        'P' => {
+            assert!(
+                *pos < chars.len() && chars[*pos] == 'C',
+                "proptest shim: only \\PC is supported in regex {pattern:?}"
+            );
+            *pos += 1;
+            Node::AnyPrintable
+        }
+        other => Node::Literal(other),
+    }
+}
+
+fn parse_class(pattern: &str, chars: &[char], pos: &mut usize) -> Node {
+    let negated = *pos < chars.len() && chars[*pos] == '^';
+    if negated {
+        *pos += 1;
+    }
+    let mut items = Vec::new();
+    loop {
+        assert!(
+            *pos < chars.len(),
+            "proptest shim: unterminated class in regex {pattern:?}"
+        );
+        let c = chars[*pos];
+        *pos += 1;
+        if c == ']' {
+            break;
+        }
+        let lo = if c == '\\' {
+            assert!(
+                *pos < chars.len(),
+                "proptest shim: dangling backslash in class in regex {pattern:?}"
+            );
+            let esc = chars[*pos];
+            *pos += 1;
+            match esc {
+                'n' => '\n',
+                'r' => '\r',
+                't' => '\t',
+                other => other,
+            }
+        } else {
+            c
+        };
+        // A `-` between two members forms a range unless it abuts `]`.
+        if *pos + 1 < chars.len() && chars[*pos] == '-' && chars[*pos + 1] != ']' {
+            *pos += 1;
+            let hi = chars[*pos];
+            *pos += 1;
+            assert!(
+                lo <= hi,
+                "proptest shim: inverted class range in regex {pattern:?}"
+            );
+            items.push(ClassItem::Range(lo, hi));
+        } else {
+            items.push(ClassItem::Single(lo));
+        }
+    }
+    Node::Class { negated, items }
+}
+
+fn parse_quantifier(pattern: &str, chars: &[char], pos: &mut usize) -> (u32, u32) {
+    if *pos >= chars.len() {
+        return (1, 1);
+    }
+    match chars[*pos] {
+        '?' => {
+            *pos += 1;
+            (0, 1)
+        }
+        '*' => {
+            *pos += 1;
+            (0, UNBOUNDED_CAP)
+        }
+        '+' => {
+            *pos += 1;
+            (1, UNBOUNDED_CAP)
+        }
+        '{' => {
+            *pos += 1;
+            let min = parse_number(pattern, chars, pos);
+            let max = if chars.get(*pos) == Some(&',') {
+                *pos += 1;
+                if chars.get(*pos) == Some(&'}') {
+                    min + UNBOUNDED_CAP
+                } else {
+                    parse_number(pattern, chars, pos)
+                }
+            } else {
+                min
+            };
+            assert!(
+                chars.get(*pos) == Some(&'}'),
+                "proptest shim: unterminated quantifier in regex {pattern:?}"
+            );
+            *pos += 1;
+            assert!(
+                min <= max,
+                "proptest shim: inverted quantifier in regex {pattern:?}"
+            );
+            (min, max)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse_number(pattern: &str, chars: &[char], pos: &mut usize) -> u32 {
+    let start = *pos;
+    while chars.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+        *pos += 1;
+    }
+    assert!(
+        *pos > start,
+        "proptest shim: expected number in quantifier in regex {pattern:?}"
+    );
+    chars[start..*pos]
+        .iter()
+        .collect::<String>()
+        .parse()
+        .expect("digits parse")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runner() -> TestRunner {
+        TestRunner::deterministic("string-tests")
+    }
+
+    fn gen_many(pattern: &str, n: usize) -> Vec<String> {
+        let mut r = runner();
+        (0..n).map(|_| generate(pattern, &mut r)).collect()
+    }
+
+    #[test]
+    fn class_with_quantifier() {
+        for s in gen_many("[a-z]{1,8}", 200) {
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn concatenated_atoms() {
+        for s in gen_many("[A-Z][a-z]{1,8}", 100) {
+            let mut it = s.chars();
+            assert!(it.next().unwrap().is_ascii_uppercase());
+            assert!(it.all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn group_with_quantifier() {
+        for s in gen_many("[a-z]{2,8}( [a-z]{2,8}){0,6}", 100) {
+            for word in s.split(' ') {
+                assert!((2..=8).contains(&word.chars().count()), "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn negated_class_excludes_members() {
+        for s in gen_many("[^,x]{0,32}", 200) {
+            assert!(!s.contains(',') && !s.contains('x'), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_escape_and_dot_exclude_controls() {
+        for s in gen_many("\\PC{0,64}", 100) {
+            assert!(!s.chars().any(char::is_control), "{s:?}");
+        }
+        for s in gen_many(".{0,16}", 100) {
+            assert!(!s.contains('\n'), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_escapes_are_literal() {
+        for s in gen_many("[a\\-\\\\\"]{1,8}", 300) {
+            assert!(
+                s.chars().all(|c| matches!(c, 'a' | '-' | '\\' | '"')),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn alternation_picks_both_arms() {
+        let outputs = gen_many("(ab|cd)", 100);
+        assert!(outputs.iter().any(|s| s == "ab"));
+        assert!(outputs.iter().any(|s| s == "cd"));
+        assert!(outputs.iter().all(|s| s == "ab" || s == "cd"));
+    }
+
+    #[test]
+    fn exact_and_open_quantifiers() {
+        for s in gen_many("x{3}", 20) {
+            assert_eq!(s, "xxx");
+        }
+        for s in gen_many("x+", 100) {
+            assert!((1..=UNBOUNDED_CAP as usize).contains(&s.len()));
+        }
+        for s in gen_many("x{2,}", 100) {
+            assert!(s.len() >= 2);
+        }
+        for s in gen_many("x?", 100) {
+            assert!(s.len() <= 1);
+        }
+    }
+
+    #[test]
+    fn unicode_class_members() {
+        for s in gen_many("[aé世]{1,4}", 200) {
+            assert!(s.chars().all(|c| matches!(c, 'a' | 'é' | '世')), "{s:?}");
+        }
+    }
+}

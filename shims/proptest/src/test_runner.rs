@@ -1,0 +1,124 @@
+//! Test execution support: configuration, case outcomes, and the RNG
+//! that drives value generation.
+
+/// Per-block configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+
+    /// Cases to run, honouring the `PROPTEST_CASES` env override.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(self.cases).max(1),
+            Err(_) => self.cases.max(1),
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; the shim runs fewer because it
+        // doesn't shrink (so long runs buy less) and the workspace's
+        // suite runs on every tier-1 gate. Override via PROPTEST_CASES.
+        Self { cases: 64 }
+    }
+}
+
+/// Outcome of a single generated case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was vetoed by `prop_assume!`; it is not counted.
+    Reject(String),
+    /// An assertion failed; the test panics with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure, mirroring `TestCaseError::fail`.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self::Fail(msg.into())
+    }
+
+    /// Builds a rejection, mirroring `TestCaseError::reject`.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        Self::Reject(msg.into())
+    }
+}
+
+/// Deterministic SplitMix64 stream driving all strategies in one test.
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    state: u64,
+}
+
+impl TestRunner {
+    /// Seeds the runner from a stable key (the test's full path), so a
+    /// given test sees the same case sequence on every run.
+    pub fn deterministic(key: &str) -> Self {
+        let mut state = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+        for b in key.bytes() {
+            state ^= b as u64;
+            state = state.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self { state }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform index in `0..n` (`n` must be positive).
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_same_stream() {
+        let mut a = TestRunner::deterministic("x::y");
+        let mut b = TestRunner::deterministic("x::y");
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_keys_diverge() {
+        let mut a = TestRunner::deterministic("x::y");
+        let mut b = TestRunner::deterministic("x::z");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_and_unit_in_bounds() {
+        let mut r = TestRunner::deterministic("bounds");
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

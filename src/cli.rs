@@ -81,14 +81,16 @@ pub fn render_stats(kg: &KnowledgeGraph) -> String {
     let stats = kg.stats();
     let mut out = format!(
         "entities: {}\nrelations: {}\ntriples: {}\nsources: {}\nedges: {}\nmean degree: {:.2}\n",
-        stats.entities, stats.relations, stats.triples, stats.sources, stats.edges, stats.mean_degree
+        stats.entities,
+        stats.relations,
+        stats.triples,
+        stats.sources,
+        stats.edges,
+        stats.mean_degree
     );
     out.push_str("per-source:\n");
     for sid in kg.source_ids() {
-        let count = kg
-            .iter_triples()
-            .filter(|(_, t)| t.source == sid)
-            .count();
+        let count = kg.iter_triples().filter(|(_, t)| t.source == sid).count();
         out.push_str(&format!("  {:<32} {count} triples\n", kg.source_name(sid)));
     }
     out
@@ -126,11 +128,7 @@ pub fn answer_question(kg: &KnowledgeGraph, question: &str, seed: u64) -> Result
             lf.target_relation()
         ));
     }
-    let values: Vec<String> = answer
-        .fusion_values
-        .iter()
-        .map(|v| v.to_string())
-        .collect();
+    let values: Vec<String> = answer.fusion_values.iter().map(|v| v.to_string()).collect();
     let confidence = answer
         .graph_confidence
         .map(|g| format!(" (graph confidence {:.2})", g.value))
@@ -267,10 +265,7 @@ mod tests {
 
     #[test]
     fn ingest_stats_query_round_trip() {
-        let csv = write_temp(
-            "movies.csv",
-            "name,year,director\nHeat,1995,Michael Mann\n",
-        );
+        let csv = write_temp("movies.csv", "name,year,director\nHeat,1995,Michael Mann\n");
         let json = write_temp(
             "reviews.json",
             r#"[{"name": "Heat", "year": 1995, "director": "Michael Mann"}]"#,
@@ -291,12 +286,7 @@ mod tests {
         let stats = run(&["stats".into(), dump.clone()]).unwrap();
         assert!(stats.contains("triples"));
 
-        let answer = run(&[
-            "query".into(),
-            dump,
-            "What is the director of Heat?".into(),
-        ])
-        .unwrap();
+        let answer = run(&["query".into(), dump, "What is the director of Heat?".into()]).unwrap();
         assert!(answer.to_lowercase().contains("michael mann"), "{answer}");
     }
 
