@@ -13,35 +13,44 @@
 //! surface as abstentions and quarantines — never silent wrong answers
 //! — and a fixed seed reproduces `results/chaos.json` byte-for-byte.
 //!
+//! A shared metrics-only observer spans the whole sweep: chaos events
+//! (quarantines, retries, dead calls, abstains, lenient ingest skips)
+//! land as named counters, the harness asserts they actually fired, and
+//! the counter snapshot is exported to `results/obs_chaos.json`
+//! (counters only — counter sums are order-independent, so the file is
+//! byte-stable even though legs run on a thread pool).
+//!
 //! ```sh
 //! cargo run --release -p multirag-bench --bin repro_chaos
 //! ```
 
-use multirag_bench::seed;
+use multirag_bench::{check_schema, seed};
 use multirag_core::MultiRagConfig;
 use multirag_datasets::render::render_source;
 use multirag_datasets::spec::MultiSourceDataset;
 use multirag_eval::table::{fmt1, Table};
-use multirag_eval::{chaos_report_json, parallel_map, run_multirag_chaos, ChaosPoint};
+use multirag_eval::{chaos_report_json, parallel_map, run_multirag_chaos_observed, ChaosPoint};
 use multirag_faults::{corrupt_text, FaultPlan};
 use multirag_ingest::{fuse_sources_with, load_into_graph, IngestMode, RawSource};
+use multirag_obs::{ObsHandle, Observer};
 
 /// The fault rates swept by the harness.
 const RATES: [f64; 4] = [0.0, 0.05, 0.1, 0.2];
 
 /// Runtime leg: the pristine graph, with the fault plan injected into
 /// the pipeline itself.
-fn runtime_curve(data: &MultiSourceDataset, seed: u64) -> Vec<ChaosPoint> {
+fn runtime_curve(data: &MultiSourceDataset, seed: u64, obs: &ObsHandle) -> Vec<ChaosPoint> {
     RATES
         .iter()
         .map(|&rate| {
-            run_multirag_chaos(
+            run_multirag_chaos_observed(
                 data,
                 &data.graph,
                 MultiRagConfig::default(),
                 seed,
                 FaultPlan::uniform(seed, rate),
                 rate,
+                Some(obs.clone()),
             )
         })
         .collect()
@@ -50,7 +59,7 @@ fn runtime_curve(data: &MultiSourceDataset, seed: u64) -> Vec<ChaosPoint> {
 /// Ingest leg: render each source to its on-disk format, corrupt a
 /// seeded fraction of the files, re-ingest leniently and evaluate the
 /// pipeline (itself healthy) on the surviving graph.
-fn ingest_curve(data: &MultiSourceDataset, seed: u64) -> Vec<ChaosPoint> {
+fn ingest_curve(data: &MultiSourceDataset, seed: u64, obs: &ObsHandle) -> Vec<ChaosPoint> {
     let rendered: Vec<RawSource> = data
         .sources
         .iter()
@@ -72,14 +81,16 @@ fn ingest_curve(data: &MultiSourceDataset, seed: u64) -> Vec<ChaosPoint> {
                 .collect();
             let report = fuse_sources_with(&corrupted, IngestMode::Lenient)
                 .expect("lenient fusion never fails");
+            report.record_metrics(&obs.registry());
             let graph = load_into_graph(&corrupted, &report.adapted);
-            let mut point = run_multirag_chaos(
+            let mut point = run_multirag_chaos_observed(
                 data,
                 &graph,
                 MultiRagConfig::default(),
                 seed,
                 FaultPlan::healthy(seed),
                 rate,
+                Some(obs.clone()),
             );
             point.skipped_records = report.diagnostics.len();
             point
@@ -93,6 +104,7 @@ fn main() {
     println!("Chaos harness: fault-rate sweep {RATES:?} (scale = {scale}, seed = {seed})");
 
     let datasets = multirag_bench::all_datasets();
+    let obs = Observer::metrics_only();
     let legs: Vec<(usize, bool)> = (0..datasets.len())
         .flat_map(|i| [(i, false), (i, true)])
         .collect();
@@ -102,9 +114,15 @@ fn main() {
     let sections: Vec<(String, Vec<ChaosPoint>)> = parallel_map(legs, threads, |(i, ingest)| {
         let data = &datasets[i];
         if ingest {
-            (format!("ingest:{}", data.name), ingest_curve(data, seed))
+            (
+                format!("ingest:{}", data.name),
+                ingest_curve(data, seed, &obs),
+            )
         } else {
-            (format!("runtime:{}", data.name), runtime_curve(data, seed))
+            (
+                format!("runtime:{}", data.name),
+                runtime_curve(data, seed, &obs),
+            )
         }
     });
 
@@ -155,6 +173,30 @@ fn main() {
         }
     }
 
+    // The whole point of chaos: the failure machinery must actually
+    // fire. A sweep where nothing was quarantined, retried or abstained
+    // means the fault injection silently stopped working.
+    let snap = obs.registry().snapshot();
+    for counter in [
+        "chaos_quarantine_events_total",
+        "chaos_llm_retries_total",
+        "chaos_abstain_total",
+        "ingest_lenient_skips_total",
+    ] {
+        assert!(
+            snap.counter(counter) > 0,
+            "chaos sweep recorded zero {counter} — fault injection is not reaching the pipeline"
+        );
+    }
+    println!(
+        "chaos counters: {} quarantine events, {} retries, {} dead calls, {} abstains, {} lenient skips",
+        snap.counter("chaos_quarantine_events_total"),
+        snap.counter("chaos_llm_retries_total"),
+        snap.counter("chaos_llm_failed_calls_total"),
+        snap.counter("chaos_abstain_total"),
+        snap.counter("ingest_lenient_skips_total"),
+    );
+
     let json = chaos_report_json(seed, &scale, &sections);
     let out_dir = std::path::Path::new("results");
     if let Err(err) = std::fs::create_dir_all(out_dir)
@@ -167,4 +209,22 @@ fn main() {
             json.len()
         );
     }
+
+    // Counters only: sums are order-independent, so this file is
+    // byte-stable for a fixed seed even though the legs above raced on
+    // a thread pool. (Gauges and wall-time histograms are not.)
+    let mut obs_json = format!("{{\"seed\":{seed},\"scale\":\"{scale}\",\"counters\":[");
+    for (i, (name, value)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            obs_json.push(',');
+        }
+        let escaped = name.replace('\\', "\\\\").replace('"', "\\\"");
+        obs_json.push_str(&format!("{{\"name\":\"{escaped}\",\"value\":{value}}}"));
+    }
+    obs_json.push_str("]}");
+    match std::fs::write(out_dir.join("obs_chaos.json"), &obs_json) {
+        Ok(()) => println!("wrote results/obs_chaos.json ({} bytes)", obs_json.len()),
+        Err(err) => println!("note: could not write results/obs_chaos.json: {err}"),
+    }
+    check_schema("obs_chaos", &obs_json);
 }

@@ -1,0 +1,173 @@
+//! Per-stage cost profile of the MKLGP pipeline.
+//!
+//! Runs the observed pipeline over every benchmark dataset and prints
+//! where the time goes, stage by stage (`mlg_build` →
+//! `homologous_group` → `graph_confidence` → `node_confidence` →
+//! `generation`), splitting measured wall time from simulated LLM
+//! latency and reporting the input/output cardinality of each stage.
+//!
+//! Each dataset is run **twice** with independent observers and the
+//! canonical trace export is asserted byte-identical across the two
+//! runs — the determinism contract `results/obs_traces_<name>.json`
+//! relies on. Wall-clock columns vary run to run; simulated time,
+//! cardinalities, counters and traces do not.
+//!
+//! Artifacts: `results/obs_profile.json` (counters/gauges/deterministic
+//! stage stats; schema-gated by `MULTIRAG_CHECK_SCHEMA=1`) and one
+//! `results/obs_traces_<name>.json` per dataset.
+//!
+//! ```sh
+//! cargo run --release -p multirag-bench --bin repro_profile
+//! ```
+
+use multirag_bench::{check_schema, seed};
+use multirag_core::MultiRagConfig;
+use multirag_eval::run_multirag_observed;
+use multirag_eval::table::{fmt1, Table};
+use multirag_obs::{traces_json, ObsHandle, Observer};
+
+/// JSON string literal with the two escapes metric names can contain
+/// (label values are quoted, e.g. `...{reason="generation_failed"}`).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The deterministic slice of one dataset's observer state: stage
+/// stats minus wall clock, plus the full counter and gauge sets.
+/// Counters/gauges are arrays of `{name,value}` objects so the schema
+/// outline does not depend on which labeled metrics happened to fire.
+fn dataset_json(name: &str, queries: usize, obs: &ObsHandle) -> String {
+    let mut out = format!("{{\"name\":{},\"queries\":{queries}", json_str(name));
+    out.push_str(",\"stages\":[");
+    for (i, p) in obs.profile().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"stage\":{},\"spans\":{},\"sim_ms\":{:.6},\"input\":{},\"output\":{}}}",
+            json_str(p.stage.name()),
+            p.spans,
+            p.sim_ms,
+            p.input,
+            p.output
+        ));
+    }
+    out.push_str("],\"counters\":[");
+    let snap = obs.registry().snapshot();
+    for (i, (name, value)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":{},\"value\":{value}}}",
+            json_str(name)
+        ));
+    }
+    out.push_str("],\"gauges\":[");
+    for (i, (name, value)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":{},\"value\":{value:.6}}}",
+            json_str(name)
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+fn main() {
+    let seed = seed();
+    let scale = format!("{:?}", multirag_bench::scale());
+    println!("Stage profile (scale = {scale}, seed = {seed})");
+
+    let out_dir = std::path::Path::new("results");
+    let writable = std::fs::create_dir_all(out_dir).is_ok();
+
+    let mut table = Table::new(
+        "Per-stage cost breakdown (Wall/s varies run to run; the rest is deterministic)",
+        &["Dataset", "Stage", "Spans", "Wall/s", "Sim/ms", "In", "Out"],
+    );
+    let mut datasets_json = Vec::new();
+    for data in multirag_bench::all_datasets() {
+        let obs = Observer::new();
+        let row = run_multirag_observed(
+            &data,
+            &data.graph,
+            MultiRagConfig::default(),
+            seed,
+            Some(obs.clone()),
+        );
+
+        // Determinism contract: a second observed run of the same seed
+        // must export byte-identical canonical traces.
+        let rerun = Observer::new();
+        run_multirag_observed(
+            &data,
+            &data.graph,
+            MultiRagConfig::default(),
+            seed,
+            Some(rerun.clone()),
+        );
+        let traces = traces_json(seed, &data.name, &obs.traces());
+        let retraced = traces_json(seed, &data.name, &rerun.traces());
+        assert_eq!(
+            traces, retraced,
+            "{}: trace export must be byte-identical across same-seed runs",
+            data.name
+        );
+
+        for p in obs.profile() {
+            table.row(vec![
+                data.name.clone(),
+                p.stage.name().to_string(),
+                p.spans.to_string(),
+                format!("{:.4}", p.wall_s),
+                fmt1(p.sim_ms),
+                p.input.to_string(),
+                p.output.to_string(),
+            ]);
+        }
+        println!(
+            "{}: {} queries, F1 {:.1}%, answered {:.1}%, traces byte-stable across reruns",
+            data.name,
+            data.queries.len(),
+            row.f1,
+            row.answered_rate * 100.0
+        );
+
+        if writable {
+            let path = out_dir.join(format!("obs_traces_{}.json", data.name));
+            match std::fs::write(&path, &traces) {
+                Ok(()) => println!("wrote {} ({} bytes)", path.display(), traces.len()),
+                Err(err) => println!("note: could not write {}: {err}", path.display()),
+            }
+        }
+        datasets_json.push(dataset_json(&data.name, data.queries.len(), &obs));
+    }
+    println!("{}", table.render());
+    println!("Sim/ms is simulated LLM latency attributed by the cost model; see EXPERIMENTS.md.");
+
+    let profile = format!(
+        "{{\"seed\":{seed},\"scale\":\"{scale}\",\"datasets\":[{}]}}",
+        datasets_json.join(",")
+    );
+    if writable {
+        match std::fs::write(out_dir.join("obs_profile.json"), &profile) {
+            Ok(()) => println!("wrote results/obs_profile.json ({} bytes)", profile.len()),
+            Err(err) => println!("note: could not write results/obs_profile.json: {err}"),
+        }
+    }
+    check_schema("obs_profile", &profile);
+}

@@ -13,7 +13,7 @@ use multirag_baselines::multihop::{
 use multirag_bench::seed;
 use multirag_core::MultiRagConfig;
 use multirag_datasets::multihop::{MultiHopFlavor, MultiHopSpec};
-use multirag_eval::table::{fmt1, Table};
+use multirag_eval::table::{fmt1, fmt2, Table};
 use multirag_eval::{run_multihop_method, run_multirag_multihop};
 
 fn main() {
@@ -35,6 +35,8 @@ fn main() {
             "Recall@5/%",
             "Recall σ",
             "Halluc/%",
+            "Wall/s",
+            "Sim/s",
         ],
     );
     for flavor in [MultiHopFlavor::Hotpot, MultiHopFlavor::TwoWiki] {
@@ -73,8 +75,13 @@ fn main() {
                 fmt1(row.recall_at_5),
                 fmt1(row.recall_std),
                 fmt1(row.hallucination_rate * 100.0),
+                fmt2(row.time.wall_s),
+                fmt2(row.time.simulated_s),
             ]);
         }
     }
     println!("{}", table.render());
+    println!(
+        "Wall/s = measured compute; Sim/s = simulated LLM latency attributed by the cost model."
+    );
 }

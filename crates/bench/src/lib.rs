@@ -39,6 +39,7 @@ use multirag_datasets::spec::{MultiSourceDataset, Scale};
 use multirag_datasets::{
     books::BooksSpec, flights::FlightsSpec, movies::MoviesSpec, stocks::StocksSpec,
 };
+use multirag_ingest::JsonValue;
 
 /// Reads the experiment scale from `MULTIRAG_SCALE`.
 pub fn scale() -> Scale {
@@ -110,6 +111,84 @@ pub fn fusion_baselines(seed: u64) -> Vec<Box<dyn FusionMethod>> {
     ]
 }
 
+/// Structural outline of a JSON document: object keys and value types,
+/// with arrays collapsed to their distinct element shapes. Two
+/// documents with the same outline share a schema even when every value
+/// differs, so the outline is the drift detector the
+/// `MULTIRAG_CHECK_SCHEMA=1` gate compares against
+/// `golden/obs_schema.txt`.
+pub fn schema_outline(json: &str) -> Result<String, String> {
+    let doc = multirag_ingest::json::parse(json).map_err(|e| e.to_string())?;
+    Ok(outline(&doc))
+}
+
+fn outline(v: &JsonValue) -> String {
+    match v {
+        JsonValue::Null => "null".to_string(),
+        JsonValue::Bool(_) => "bool".to_string(),
+        JsonValue::Int(_) | JsonValue::Float(_) => "number".to_string(),
+        JsonValue::Str(_) => "string".to_string(),
+        JsonValue::Array(items) => {
+            let mut shapes: Vec<String> = Vec::new();
+            for item in items {
+                let shape = outline(item);
+                if !shapes.contains(&shape) {
+                    shapes.push(shape);
+                }
+            }
+            format!("[{}]", shapes.join("|"))
+        }
+        JsonValue::Object(members) => {
+            let body: Vec<String> = members
+                .iter()
+                .map(|(k, v)| format!("{k}:{}", outline(v)))
+                .collect();
+            format!("{{{}}}", body.join(","))
+        }
+    }
+}
+
+/// The checked-in golden outline for one `[section]` of
+/// `golden/obs_schema.txt` (one outline per section, `#` comments and
+/// blank lines ignored). The goldens are generated at the CI smoke
+/// configuration: `MULTIRAG_SCALE=small`, seed 42.
+pub fn golden_schema(section: &str) -> Option<&'static str> {
+    let golden = include_str!("../golden/obs_schema.txt");
+    let mut in_section = false;
+    for line in golden.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            in_section = name == section;
+        } else if in_section {
+            return Some(line);
+        }
+    }
+    None
+}
+
+/// When `MULTIRAG_CHECK_SCHEMA=1`, asserts that `json`'s outline
+/// matches the checked-in golden for `section` — the repro binaries
+/// call this on their `results/obs_*.json` artifacts so CI fails on
+/// schema drift. A no-op without the env var.
+pub fn check_schema(section: &str, json: &str) {
+    if std::env::var("MULTIRAG_CHECK_SCHEMA").as_deref() != Ok("1") {
+        return;
+    }
+    let actual =
+        schema_outline(json).unwrap_or_else(|e| panic!("[{section}] emitted invalid JSON: {e}"));
+    let golden = golden_schema(section).unwrap_or_else(|| {
+        panic!("no golden schema for [{section}] in crates/bench/golden/obs_schema.txt")
+    });
+    assert_eq!(
+        actual, golden,
+        "[{section}] schema drift vs golden/obs_schema.txt — regenerate the golden if intentional"
+    );
+    println!("schema check [{section}]: ok");
+}
+
 /// The Table II SOTA roster.
 pub fn sota_methods(seed: u64) -> Vec<Box<dyn FusionMethod>> {
     vec![
@@ -147,5 +226,50 @@ mod tests {
     #[should_panic(expected = "unknown dataset")]
     fn unknown_dataset_panics() {
         source_combos("nope");
+    }
+
+    #[test]
+    fn outline_collapses_values_to_shapes() {
+        let json = r#"{"seed":42,"name":"movies","f1":93.5,"ok":true,"none":null}"#;
+        assert_eq!(
+            schema_outline(json).unwrap(),
+            "{seed:number,name:string,f1:number,ok:bool,none:null}"
+        );
+    }
+
+    #[test]
+    fn outline_dedups_array_element_shapes() {
+        assert_eq!(schema_outline("[1,2,3]").unwrap(), "[number]");
+        assert_eq!(schema_outline("[]").unwrap(), "[]");
+        assert_eq!(schema_outline(r#"[1,"a",2]"#).unwrap(), "[number|string]");
+        assert_eq!(
+            schema_outline(r#"[{"a":1},{"a":2.5}]"#).unwrap(),
+            "[{a:number}]"
+        );
+    }
+
+    #[test]
+    fn outline_is_value_independent() {
+        let a = schema_outline(r#"{"curves":[{"name":"x","points":[{"f1":1.0}]}]}"#).unwrap();
+        let b = schema_outline(r#"{"curves":[{"name":"y","points":[{"f1":93.25}]}]}"#).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn outline_rejects_invalid_json() {
+        assert!(schema_outline("{nope").is_err());
+    }
+
+    #[test]
+    fn golden_sections_exist_and_parse() {
+        for section in ["obs_profile", "obs_chaos"] {
+            let outline = golden_schema(section)
+                .unwrap_or_else(|| panic!("missing golden section [{section}]"));
+            assert!(
+                outline.starts_with('{'),
+                "[{section}] golden should be an object outline"
+            );
+        }
+        assert!(golden_schema("no_such_section").is_none());
     }
 }

@@ -352,6 +352,13 @@ pub struct MccOutcome {
     pub kept: Vec<NodeConfidence>,
     /// Claims filtered out (`LVs` additions).
     pub dropped: Vec<NodeConfidence>,
+    /// Claims that survived the graph-level gate into node assessment.
+    pub gated: usize,
+    /// Cost of the graph-level stage (MI confidence + gating).
+    pub graph_cost: multirag_obs::StageCost,
+    /// Cost of the node-level stage (assessment + thresholding) — the
+    /// expert-LLM half, so `sim_ms` is nonzero when node level is on.
+    pub node_cost: multirag_obs::StageCost,
 }
 
 /// Algorithm 1 applied to one homologous group: graph-level gating,
@@ -364,6 +371,7 @@ pub fn mcc_filter(
     config: &MultiRagConfig,
     max_degree: usize,
 ) -> MccOutcome {
+    let graph_started = std::time::Instant::now();
     let graph = graph_confidence(kg, group);
     let mut outcome = MccOutcome {
         graph: Some(graph),
@@ -409,6 +417,13 @@ pub fn mcc_filter(
         gated.sort_by_key(|c| c.0);
         pool = gated;
     }
+    outcome.gated = pool.len();
+    outcome.graph_cost = multirag_obs::StageCost {
+        wall_s: graph_started.elapsed().as_secs_f64(),
+        sim_ms: 0.0, // the graph level never consults the expert LLM
+    };
+    let node_started = std::time::Instant::now();
+    let sim_before = llm.usage().simulated_ms;
     // Node-level confidence computation is the expensive, expert-LLM-
     // backed stage; when it is ablated (w/o Node Level, w/o MCC) no
     // assessment happens at all — nodes ride into the context with a
@@ -447,6 +462,10 @@ pub fn mcc_filter(
             .expect("nonempty");
         outcome.kept.push(outcome.dropped.remove(best));
     }
+    outcome.node_cost = multirag_obs::StageCost {
+        wall_s: node_started.elapsed().as_secs_f64(),
+        sim_ms: llm.usage().simulated_ms - sim_before,
+    };
     outcome
 }
 

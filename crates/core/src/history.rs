@@ -7,6 +7,7 @@
 //! shared across queries (and threads — the harness fans out).
 
 use multirag_kg::SourceId;
+use multirag_obs::MetricsRegistry;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 
@@ -25,6 +26,7 @@ pub struct HistoryStore {
     prior: f64,
     pseudo: f64,
     inner: RwLock<HashMap<SourceId, SourceHistory>>,
+    metrics: RwLock<Option<MetricsRegistry>>,
 }
 
 impl HistoryStore {
@@ -35,7 +37,18 @@ impl HistoryStore {
             prior: prior.clamp(0.0, 1.0),
             pseudo: pseudo.max(0.0),
             inner: RwLock::new(HashMap::new()),
+            metrics: RwLock::new(None),
         }
+    }
+
+    /// Attaches a metrics registry; every subsequent [`record`]
+    /// increments `history_updates_total` / `history_claims_total` /
+    /// `history_correct_claims_total` and refreshes the
+    /// `history_tracked_sources` gauge.
+    ///
+    /// [`record`]: HistoryStore::record
+    pub fn attach_metrics(&self, metrics: MetricsRegistry) {
+        *self.metrics.write() = Some(metrics);
     }
 
     /// The paper's defaults: H = 50 pseudo-entities at a neutral 0.5.
@@ -72,6 +85,14 @@ impl HistoryStore {
         });
         entry.correct += correct as f64;
         entry.total += total as f64;
+        let tracked = map.len();
+        drop(map);
+        if let Some(metrics) = self.metrics.read().as_ref() {
+            metrics.inc("history_updates_total", 1);
+            metrics.inc("history_claims_total", total as u64);
+            metrics.inc("history_correct_claims_total", correct as u64);
+            metrics.gauge_set("history_tracked_sources", tracked as f64);
+        }
     }
 
     /// Eq. 11: `Auth_hist(v) = (H·Pr^h(D) + Σ Pr(v_p)) / (H + |Data(q,
@@ -176,6 +197,21 @@ mod tests {
         assert!(store.credibility(SourceId(8)) > 0.5);
         store.reset();
         assert_eq!(store.credibility(SourceId(8)), 0.5);
+    }
+
+    #[test]
+    fn attached_metrics_count_record_outcomes() {
+        let store = HistoryStore::paper_defaults();
+        let metrics = MetricsRegistry::new();
+        store.attach_metrics(metrics.clone());
+        store.record(SourceId(0), 3, 4);
+        store.record(SourceId(1), 1, 2);
+        store.record(SourceId(2), 0, 0); // ignored — no update counted
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("history_updates_total"), 2);
+        assert_eq!(snap.counter("history_claims_total"), 6);
+        assert_eq!(snap.counter("history_correct_claims_total"), 4);
+        assert_eq!(snap.gauge("history_tracked_sources"), Some(2.0));
     }
 
     #[test]

@@ -21,7 +21,12 @@ use crate::mlg::MultiSourceLineGraph;
 use multirag_datasets::Query;
 use multirag_faults::{FaultPlan, RetryPolicy};
 use multirag_kg::{FxHashMap, FxHashSet, KnowledgeGraph, Object, SourceId, TripleId, Value};
-use multirag_llmsim::{ContextProfile, MockLlm, Schema};
+use multirag_llmsim::{ContextProfile, LlmUsage, MockLlm, Schema};
+use multirag_obs::{
+    AnswerProvenance, ObsHandle, QueryTrace, SourceContribution, Stage, StageCost, StageSpan,
+    SubgraphDecision, TraceEvent,
+};
+use std::time::Instant;
 
 /// Why the pipeline declined to answer — degraded modes surface a
 /// structured verdict instead of a silent empty answer, so the chaos
@@ -42,6 +47,19 @@ pub enum AbstainReason {
         /// Attempts the retry policy made before giving up.
         attempts: u32,
     },
+}
+
+impl AbstainReason {
+    /// Stable snake-case identifier, used as a metrics label and in the
+    /// canonical [`QueryTrace`] export.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            AbstainReason::UnknownSlot => "unknown_slot",
+            AbstainReason::AllSourcesDown => "all_sources_down",
+            AbstainReason::NoTrustedContext => "no_trusted_context",
+            AbstainReason::GenerationFailed { .. } => "generation_failed",
+        }
+    }
 }
 
 impl std::fmt::Display for AbstainReason {
@@ -109,6 +127,43 @@ pub struct MklgpPipeline<'g> {
     config: MultiRagConfig,
     max_degree: usize,
     quarantined: FxHashSet<SourceId>,
+    obs: Option<ObsHandle>,
+    mlg_cost: StageCost,
+    mlg_groups: usize,
+}
+
+/// Raw per-query observations collected while answering; the [`answer`]
+/// wrapper turns them into a [`QueryTrace`] when an observer is
+/// attached.
+///
+/// [`answer`]: MklgpPipeline::answer
+#[derive(Default)]
+struct AnswerStats {
+    spans: Vec<StageSpan>,
+    subgraph: Option<SubgraphDecision>,
+    quarantined: Vec<(SourceId, usize)>,
+}
+
+impl AnswerStats {
+    /// Closes a span: wall from `started`, simulated time as the meter
+    /// delta over the region.
+    fn span(
+        &mut self,
+        stage: Stage,
+        started: Instant,
+        sim_before: f64,
+        sim_now: f64,
+        input: usize,
+        output: usize,
+    ) {
+        self.spans.push(StageSpan {
+            stage,
+            wall_s: started.elapsed().as_secs_f64(),
+            sim_ms: sim_now - sim_before,
+            input,
+            output,
+        });
+    }
 }
 
 impl<'g> MklgpPipeline<'g> {
@@ -123,6 +178,7 @@ impl<'g> MklgpPipeline<'g> {
             schema.add_entity_verbatim(kg.entity_name(e));
         }
         let llm = MockLlm::new(schema, seed);
+        let mlg_started = Instant::now();
         let mlg = config.enable_mka.then(|| MultiSourceLineGraph::build(kg));
         let max_degree = kg
             .entity_ids()
@@ -210,6 +266,17 @@ impl<'g> MklgpPipeline<'g> {
                 history.record(source, correct, total);
             }
         }
+        // `mlg_build` covers line-graph construction *and* the MKA
+        // consistency-feedback rounds above — the full cost of having
+        // aggregation (zero in the w/o-MKA ablation).
+        let mlg_cost = StageCost {
+            wall_s: mlg_started.elapsed().as_secs_f64(),
+            sim_ms: 0.0,
+        };
+        let mlg_groups = mlg
+            .as_ref()
+            .map(|m| m.sets().groups.len() + m.sets().isolated.len())
+            .unwrap_or(0);
         Self {
             kg,
             mlg,
@@ -218,7 +285,39 @@ impl<'g> MklgpPipeline<'g> {
             config,
             max_degree,
             quarantined: FxHashSet::default(),
+            obs: None,
+            mlg_cost,
+            mlg_groups,
         }
+    }
+
+    /// Attaches an observer: the LLM mirrors its meter into the shared
+    /// registry, history updates are counted, graph-shape gauges are
+    /// set, and the (already paid) `mlg_build` cost is recorded as a
+    /// span. Every subsequent [`answer`] emits a [`QueryTrace`].
+    ///
+    /// [`answer`]: MklgpPipeline::answer
+    pub fn with_observer(mut self, obs: ObsHandle) -> Self {
+        let registry = obs.registry();
+        self.llm = self.llm.clone().with_metrics(registry.clone());
+        self.history.attach_metrics(registry.clone());
+        registry.gauge_set("graph_sources", self.kg.source_count() as f64);
+        registry.gauge_set("graph_triples", self.kg.triple_count() as f64);
+        registry.gauge_set("graph_quarantined_sources", self.quarantined.len() as f64);
+        obs.record_span(&StageSpan {
+            stage: Stage::MlgBuild,
+            wall_s: self.mlg_cost.wall_s,
+            sim_ms: self.mlg_cost.sim_ms,
+            input: self.kg.triple_count(),
+            output: self.mlg_groups,
+        });
+        self.obs = Some(obs);
+        self
+    }
+
+    /// The attached observer, if any.
+    pub fn observer(&self) -> Option<&ObsHandle> {
+        self.obs.as_ref()
     }
 
     /// Subjects the pipeline to a deterministic fault plan: LLM calls
@@ -266,8 +365,24 @@ impl<'g> MklgpPipeline<'g> {
         &self.history
     }
 
-    /// Answers one benchmark query (Algorithm 2).
+    /// Answers one benchmark query (Algorithm 2). When an observer is
+    /// attached the query additionally emits a [`QueryTrace`] — spans,
+    /// subgraph verdicts, chaos events and answer provenance.
     pub fn answer(&mut self, query: &Query) -> PipelineAnswer {
+        let usage_before = self.llm.usage();
+        let mut stats = AnswerStats::default();
+        let answer = self.answer_with_stats(query, &mut stats);
+        if let Some(obs) = self.obs.clone() {
+            let trace = self.build_trace(query, &answer, stats, &usage_before);
+            obs.finish_query(trace);
+        }
+        answer
+    }
+
+    /// Algorithm 2's body, recording raw observations into `stats`.
+    fn answer_with_stats(&mut self, query: &Query, stats: &mut AnswerStats) -> PipelineAnswer {
+        let extract_started = Instant::now();
+        let sim_at_start = self.llm.usage().simulated_ms;
         // Step 1: logic-form generation. A failed call (fault plan +
         // exhausted retries) degrades to the slot the benchmark query
         // carries — same as the LLM failing to parse the question.
@@ -289,6 +404,15 @@ impl<'g> MklgpPipeline<'g> {
             .find_relation(&relation_name)
             .or_else(|| self.kg.find_relation(&query.attribute));
         let (Some(entity), Some(relation)) = (entity, relation) else {
+            let sim = self.llm.usage().simulated_ms;
+            stats.span(
+                Stage::HomologousGroup,
+                extract_started,
+                sim_at_start,
+                sim,
+                0,
+                0,
+            );
             return PipelineAnswer {
                 values: Vec::new(),
                 fusion_values: Vec::new(),
@@ -334,11 +458,21 @@ impl<'g> MklgpPipeline<'g> {
                 .collect();
             for (source, skipped) in down_tally {
                 quarantined_claims += skipped;
+                stats.quarantined.push((source, skipped));
                 self.history.record(source, 0, skipped);
             }
             (slot, noise)
         };
         if had_claims && slot_triples.is_empty() {
+            let sim = self.llm.usage().simulated_ms;
+            stats.span(
+                Stage::HomologousGroup,
+                extract_started,
+                sim_at_start,
+                sim,
+                examined,
+                0,
+            );
             return PipelineAnswer {
                 values: Vec::new(),
                 fusion_values: Vec::new(),
@@ -357,7 +491,18 @@ impl<'g> MklgpPipeline<'g> {
         // extracts the full slot; the unaggregated path may have missed
         // some).
         let sets = sets_from_extraction(self.kg, entity, relation, &slot_triples);
+        let sim = self.llm.usage().simulated_ms;
+        stats.span(
+            Stage::HomologousGroup,
+            extract_started,
+            sim_at_start,
+            sim,
+            examined,
+            slot_triples.len(),
+        );
         let (graph_confidence, kept, dropped) = if let Some(group) = sets.groups.first() {
+            let group_triples = group.triples.len();
+            let group_sources = group.source_count;
             let outcome = mcc_filter(
                 self.kg,
                 group,
@@ -366,22 +511,91 @@ impl<'g> MklgpPipeline<'g> {
                 &self.config,
                 self.max_degree,
             );
+            stats.spans.push(StageSpan {
+                stage: Stage::GraphConfidence,
+                wall_s: outcome.graph_cost.wall_s,
+                sim_ms: outcome.graph_cost.sim_ms,
+                input: group_triples,
+                output: outcome.gated,
+            });
+            stats.spans.push(StageSpan {
+                stage: Stage::NodeConfidence,
+                wall_s: outcome.node_cost.wall_s,
+                sim_ms: outcome.node_cost.sim_ms,
+                input: outcome.gated,
+                output: outcome.kept.len(),
+            });
+            stats.subgraph = Some(SubgraphDecision {
+                entity: self.kg.entity_name(entity).to_string(),
+                relation: self.kg.relation_name(relation).to_string(),
+                triples: group_triples,
+                source_count: group_sources,
+                graph_confidence: outcome.graph.map(|g| g.value),
+                passed_graph_gate: self.config.enable_graph_level
+                    && outcome
+                        .graph
+                        .is_some_and(|g| g.value >= self.config.graph_threshold),
+                kept_nodes: outcome.kept.len(),
+                dropped_nodes: outcome.dropped.len(),
+            });
             (outcome.graph, outcome.kept, outcome.dropped.len())
         } else {
             // Isolated slot: a single claim, assessed leniently (no
             // peers to contradict it).
+            let node_started = Instant::now();
+            let sim_before = self.llm.usage().simulated_ms;
             let kept: Vec<NodeConfidence> = sets
                 .isolated
                 .iter()
                 .map(|&tid| self.singleton_assessment(tid))
                 .collect();
+            let sim = self.llm.usage().simulated_ms;
+            stats.span(
+                Stage::NodeConfidence,
+                node_started,
+                sim_before,
+                sim,
+                sets.isolated.len(),
+                kept.len(),
+            );
+            if !sets.isolated.is_empty() {
+                let mut srcs: Vec<SourceId> = sets
+                    .isolated
+                    .iter()
+                    .map(|&tid| self.kg.triple(tid).source)
+                    .collect();
+                srcs.sort_unstable();
+                srcs.dedup();
+                stats.subgraph = Some(SubgraphDecision {
+                    entity: self.kg.entity_name(entity).to_string(),
+                    relation: self.kg.relation_name(relation).to_string(),
+                    triples: sets.isolated.len(),
+                    source_count: srcs.len(),
+                    graph_confidence: None,
+                    passed_graph_gate: false,
+                    kept_nodes: kept.len(),
+                    dropped_nodes: 0,
+                });
+            }
             (None, kept, 0)
         };
 
         // Step 4: trustworthy answer generation.
+        let gen_started = Instant::now();
+        let sim_before_gen = self.llm.usage().simulated_ms;
+        let context_claims = kept.len() + noise_triples.len();
         let (faithful, distractors, profile, context_tokens) =
             self.build_context(&kept, dropped, &noise_triples);
         if faithful.is_empty() && kept.is_empty() {
+            let sim = self.llm.usage().simulated_ms;
+            stats.span(
+                Stage::Generation,
+                gen_started,
+                sim_before_gen,
+                sim,
+                context_claims,
+                0,
+            );
             return PipelineAnswer {
                 values: Vec::new(),
                 fusion_values: Vec::new(),
@@ -407,6 +621,15 @@ impl<'g> MklgpPipeline<'g> {
             // A dead generation call must abstain, never guess: the
             // fusion result (computed without the LLM) still stands.
             Err(err) => {
+                let sim = self.llm.usage().simulated_ms;
+                stats.span(
+                    Stage::Generation,
+                    gen_started,
+                    sim_before_gen,
+                    sim,
+                    context_claims,
+                    0,
+                );
                 return PipelineAnswer {
                     values: Vec::new(),
                     fusion_values,
@@ -423,6 +646,15 @@ impl<'g> MklgpPipeline<'g> {
                 };
             }
         };
+        let sim = self.llm.usage().simulated_ms;
+        stats.span(
+            Stage::Generation,
+            gen_started,
+            sim_before_gen,
+            sim,
+            context_claims,
+            generated.values.len(),
+        );
 
         // Step 5: historical credibility update, using the emitted
         // answer set as the feedback signal.
@@ -454,6 +686,98 @@ impl<'g> MklgpPipeline<'g> {
             examined,
             quarantined_claims,
         }
+    }
+
+    /// Assembles the canonical [`QueryTrace`] for one answered query:
+    /// spans in pipeline order, the subgraph verdict, per-source
+    /// contributions sorted by name, chaos events, and answer
+    /// provenance. Everything serialized is deterministic for a fixed
+    /// seed (wall clocks stay out of the canonical JSON).
+    fn build_trace(
+        &self,
+        query: &Query,
+        answer: &PipelineAnswer,
+        stats: AnswerStats,
+        before: &LlmUsage,
+    ) -> QueryTrace {
+        let mut trace = QueryTrace::new(u64::from(query.id), query.key());
+        trace.spans = stats.spans;
+        trace.subgraphs.extend(stats.subgraph);
+        // Per-source contributions: kept claims + quarantine losses,
+        // keyed (and therefore sorted) by source name.
+        let mut sources: std::collections::BTreeMap<String, SourceContribution> =
+            std::collections::BTreeMap::new();
+        for node in &answer.kept {
+            let name = self.kg.source_name(node.source).to_string();
+            sources
+                .entry(name.clone())
+                .or_insert_with(|| SourceContribution {
+                    source: name,
+                    kept_claims: 0,
+                    quarantined_claims: 0,
+                })
+                .kept_claims += 1;
+        }
+        let mut quarantined: std::collections::BTreeMap<String, usize> =
+            std::collections::BTreeMap::new();
+        for (source, skipped) in stats.quarantined {
+            *quarantined
+                .entry(self.kg.source_name(source).to_string())
+                .or_default() += skipped;
+        }
+        for (name, &skipped) in &quarantined {
+            sources
+                .entry(name.clone())
+                .or_insert_with(|| SourceContribution {
+                    source: name.clone(),
+                    kept_claims: 0,
+                    quarantined_claims: 0,
+                })
+                .quarantined_claims += skipped;
+        }
+        trace.sources = sources.into_values().collect();
+        for (source, skipped_claims) in quarantined {
+            trace.events.push(TraceEvent::SourceQuarantined {
+                source,
+                skipped_claims,
+            });
+        }
+        let usage = self.llm.usage();
+        let retries = usage.retries.saturating_sub(before.retries);
+        if retries > 0 {
+            trace.events.push(TraceEvent::LlmRetries { count: retries });
+        }
+        let failed = usage.failed_calls.saturating_sub(before.failed_calls);
+        if failed > 0 {
+            trace
+                .events
+                .push(TraceEvent::LlmCallsFailed { count: failed });
+        }
+        if let Some(reason) = answer.abstain_reason {
+            trace.events.push(TraceEvent::Abstained {
+                reason: reason.slug().to_string(),
+            });
+        }
+        let mut supporting: Vec<String> = answer
+            .kept
+            .iter()
+            .map(|n| self.kg.source_name(n.source).to_string())
+            .collect();
+        supporting.sort();
+        supporting.dedup();
+        trace.answer = AnswerProvenance {
+            answered: !answer.abstained,
+            abstain_reason: answer.abstain_reason.map(|r| r.slug().to_string()),
+            values: answer.values.iter().map(Value::canonical_key).collect(),
+            fusion_values: answer
+                .fusion_values
+                .iter()
+                .map(Value::canonical_key)
+                .collect(),
+            supporting_sources: supporting,
+            hallucinated: answer.hallucinated,
+        };
+        trace
     }
 
     /// Maps standardized answer values back to a representative surface
@@ -926,6 +1250,89 @@ mod tests {
             "fusion values must survive generation failure"
         );
         assert!(p.llm().usage().retries > 0, "retries were attempted");
+    }
+
+    #[test]
+    fn observer_records_traces_spans_and_outcome_counters() {
+        let data = dataset();
+        let obs = multirag_obs::Observer::new();
+        let mut p = MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42)
+            .with_observer(obs.clone());
+        for q in &data.queries {
+            p.answer(q);
+        }
+        let traces = obs.traces();
+        assert_eq!(traces.len(), data.queries.len());
+        let snap = obs.registry().snapshot();
+        assert_eq!(
+            snap.counter("pipeline_queries_total"),
+            data.queries.len() as u64
+        );
+        assert!(snap.counter("llm_calls_total") > 0);
+        let stages: Vec<&str> = obs.profile().iter().map(|p| p.stage.name()).collect();
+        assert!(stages.contains(&"mlg_build"));
+        assert!(stages.contains(&"homologous_group"));
+        assert!(stages.contains(&"generation"));
+        // Every trace carries provenance consistent with its outcome.
+        for t in &traces {
+            if t.answer.answered {
+                assert!(!t.answer.fusion_values.is_empty());
+            } else {
+                assert!(t.answer.abstain_reason.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn attaching_an_observer_does_not_change_answers() {
+        let data = dataset();
+        let plain = {
+            let mut p = MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42);
+            data.queries.iter().map(|q| p.answer(q)).collect::<Vec<_>>()
+        };
+        let observed = {
+            let mut p = MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42)
+                .with_observer(multirag_obs::Observer::new());
+            data.queries.iter().map(|q| p.answer(q)).collect::<Vec<_>>()
+        };
+        assert_eq!(plain, observed);
+    }
+
+    #[test]
+    fn traces_are_byte_identical_across_same_seed_runs() {
+        let data = dataset();
+        let run = || {
+            let obs = multirag_obs::Observer::new();
+            let mut p = MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42)
+                .with_observer(obs.clone());
+            for q in &data.queries {
+                p.answer(q);
+            }
+            multirag_obs::traces_json(42, "movies", &obs.take_traces())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn quarantine_shows_up_in_traces_and_chaos_counters() {
+        let data = dataset();
+        let plan = FaultPlan {
+            outage_rate: 0.4,
+            ..FaultPlan::healthy(9)
+        };
+        let obs = multirag_obs::Observer::new();
+        let mut p = MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42)
+            .with_fault_plan(plan)
+            .with_observer(obs.clone());
+        for q in &data.queries {
+            p.answer(q);
+        }
+        let snap = obs.registry().snapshot();
+        assert!(snap.counter("chaos_quarantined_claims_total") > 0);
+        assert!(obs
+            .traces()
+            .iter()
+            .any(|t| t.events.iter().any(|e| e.kind() == "source_quarantined")));
     }
 
     #[test]

@@ -1,0 +1,51 @@
+//! Golden snapshot of the canonical per-query trace export.
+//!
+//! Pins the exact bytes of `traces_json` for the small movies dataset
+//! at seed 42: any change to the trace schema, event ordering, float
+//! formatting or pipeline stage accounting shows up here as a diff.
+//! After an *intentional* change, regenerate with:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p multirag-core --test golden_trace
+//! ```
+
+use multirag_core::{MklgpPipeline, MultiRagConfig};
+use multirag_datasets::movies::MoviesSpec;
+use multirag_obs::{traces_json, Observer};
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_query_trace.json");
+
+fn export_traces() -> String {
+    let data = MoviesSpec::small().generate(42);
+    let obs = Observer::new();
+    let mut pipeline =
+        MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42).with_observer(obs.clone());
+    for query in &data.queries {
+        pipeline.answer(query);
+    }
+    traces_json(42, "movies", &obs.traces())
+}
+
+#[test]
+fn query_traces_match_golden_snapshot() {
+    let json = export_traces();
+    if std::env::var("UPDATE_GOLDEN").as_deref() == Ok("1") {
+        std::fs::write(GOLDEN_PATH, format!("{json}\n")).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect(
+        "missing tests/golden_query_trace.json — generate with UPDATE_GOLDEN=1 cargo test \
+         -p multirag-core --test golden_trace",
+    );
+    assert_eq!(
+        json,
+        golden.trim_end(),
+        "canonical trace export drifted from the golden snapshot; if the change is \
+         intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_export_is_stable_across_runs() {
+    assert_eq!(export_traces(), export_traces());
+}

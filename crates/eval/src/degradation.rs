@@ -110,7 +110,26 @@ pub fn run_multirag_chaos(
     plan: FaultPlan,
     fault_rate: f64,
 ) -> ChaosPoint {
+    run_multirag_chaos_observed(data, graph, config, seed, plan, fault_rate, None)
+}
+
+/// [`run_multirag_chaos`] with an optional observer attached: chaos
+/// events (quarantines, retries, abstains) land in the observer's
+/// registry as named metrics while the returned point stays identical.
+#[allow(clippy::too_many_arguments)]
+pub fn run_multirag_chaos_observed(
+    data: &MultiSourceDataset,
+    graph: &KnowledgeGraph,
+    config: MultiRagConfig,
+    seed: u64,
+    plan: FaultPlan,
+    fault_rate: f64,
+    obs: Option<multirag_obs::ObsHandle>,
+) -> ChaosPoint {
     let mut pipeline = MklgpPipeline::new(graph, config, seed).with_fault_plan(plan);
+    if let Some(obs) = obs {
+        pipeline = pipeline.with_observer(obs);
+    }
     let quarantined_sources = pipeline.quarantined_sources().len();
 
     let mut scores = SetScores::default();

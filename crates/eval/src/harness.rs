@@ -97,8 +97,24 @@ pub fn run_multirag(
     config: MultiRagConfig,
     seed: u64,
 ) -> MethodResult {
+    run_multirag_observed(data, graph, config, seed, None)
+}
+
+/// [`run_multirag`] with an optional observer attached: every query
+/// emits a `QueryTrace` (stage spans, subgraph verdicts, provenance)
+/// into the observer while the returned row stays identical.
+pub fn run_multirag_observed(
+    data: &MultiSourceDataset,
+    graph: &KnowledgeGraph,
+    config: MultiRagConfig,
+    seed: u64,
+    obs: Option<multirag_obs::ObsHandle>,
+) -> MethodResult {
     let mut watch = Stopwatch::start();
     let mut pipeline = MklgpPipeline::new(graph, config, seed);
+    if let Some(obs) = obs {
+        pipeline = pipeline.with_observer(obs);
+    }
     let prepare_wall = watch.lap_s();
 
     let mut scores = SetScores::default();

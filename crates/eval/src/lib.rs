@@ -28,12 +28,15 @@ pub mod parallel;
 pub mod table;
 pub mod timing;
 
-pub use degradation::{chaos_report_json, run_multirag_chaos, ChaosPoint};
+pub use degradation::{
+    chaos_report_json, run_multirag_chaos, run_multirag_chaos_observed, ChaosPoint,
+};
 pub use errors::{ErrorBreakdown, Outcome};
 pub use harness::{
-    run_fusion_method, run_multihop_method, run_multirag, run_multirag_multihop, MethodResult,
-    MultiHopResult,
+    run_fusion_method, run_multihop_method, run_multirag, run_multirag_multihop,
+    run_multirag_observed, MethodResult, MultiHopResult,
 };
 pub use metrics::{f1_score, precision_recall, recall_at_k, SetScores};
 pub use parallel::{parallel_map, try_parallel_map, CellPanic};
 pub use table::Table;
+pub use timing::TimeReport;

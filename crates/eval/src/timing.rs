@@ -54,6 +54,40 @@ impl TimeReport {
     pub fn total_s(&self) -> f64 {
         self.wall_s + self.simulated_s
     }
+
+    /// Folds another report's components into this one (phases of one
+    /// experiment accumulate; `a.merge(&b)` ≡ `a += b`).
+    pub fn merge(&mut self, other: &TimeReport) {
+        self.wall_s += other.wall_s;
+        self.simulated_s += other.simulated_s;
+    }
+
+    /// Deterministically-ordered JSON with both components and the
+    /// paper-style total (hand-rolled fixed-precision floats — the
+    /// workspace serializes without serde).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"wall_s\":{:.6},\"simulated_s\":{:.6},\"total_s\":{:.6}}}",
+            self.wall_s,
+            self.simulated_s,
+            self.total_s()
+        )
+    }
+}
+
+impl std::ops::AddAssign for TimeReport {
+    fn add_assign(&mut self, rhs: Self) {
+        self.merge(&rhs);
+    }
+}
+
+impl std::ops::Add for TimeReport {
+    type Output = TimeReport;
+
+    fn add(mut self, rhs: Self) -> Self {
+        self += rhs;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -77,5 +111,37 @@ mod tests {
             simulated_s: 2.5,
         };
         assert_eq!(r.total_s(), 4.0);
+    }
+
+    #[test]
+    fn merge_and_add_assign_agree() {
+        let a = TimeReport {
+            wall_s: 1.0,
+            simulated_s: 2.0,
+        };
+        let b = TimeReport {
+            wall_s: 0.5,
+            simulated_s: 0.25,
+        };
+        let mut merged = a;
+        merged.merge(&b);
+        let mut added = a;
+        added += b;
+        assert_eq!(merged, added);
+        assert_eq!(merged, a + b);
+        assert_eq!(merged.wall_s, 1.5);
+        assert_eq!(merged.simulated_s, 2.25);
+    }
+
+    #[test]
+    fn json_reports_both_components_and_total() {
+        let r = TimeReport {
+            wall_s: 0.125,
+            simulated_s: 1.0,
+        };
+        assert_eq!(
+            r.to_json(),
+            "{\"wall_s\":0.125000,\"simulated_s\":1.000000,\"total_s\":1.125000}"
+        );
     }
 }

@@ -646,6 +646,54 @@ pub struct FusionReport {
     pub diagnostics: Vec<IngestDiagnostic>,
 }
 
+impl FusionReport {
+    /// Total claims across the fused sources.
+    pub fn claim_count(&self) -> usize {
+        self.adapted.iter().map(|(_, a)| a.claims.len()).sum()
+    }
+
+    /// Counts the fusion into a metrics registry: source/record/claim
+    /// throughput plus the lenient-skip events that used to vanish
+    /// silently (`ingest_lenient_skips_total`, broken down per parser
+    /// format).
+    pub fn record_metrics(&self, metrics: &multirag_obs::MetricsRegistry) {
+        metrics.inc("ingest_sources_total", self.adapted.len() as u64);
+        metrics.inc(
+            "ingest_records_total",
+            self.adapted
+                .iter()
+                .map(|(_, a)| a.records.len() as u64)
+                .sum(),
+        );
+        metrics.inc("ingest_claims_total", self.claim_count() as u64);
+        metrics.inc("ingest_lenient_skips_total", self.diagnostics.len() as u64);
+        for diag in &self.diagnostics {
+            metrics.inc(
+                &multirag_obs::labeled(
+                    "ingest_lenient_skips_by_format_total",
+                    &[("format", diag.error.format)],
+                ),
+                1,
+            );
+        }
+    }
+
+    /// The lenient skips as structured trace events, ready for a
+    /// [`multirag_obs::QueryTrace`] or direct observer recording.
+    pub fn trace_events(&self) -> Vec<multirag_obs::TraceEvent> {
+        self.diagnostics
+            .iter()
+            .map(|diag| multirag_obs::TraceEvent::LenientSkip {
+                source: diag.source.clone(),
+                detail: format!(
+                    "{}:{}:{}: {}",
+                    diag.error.format, diag.error.line, diag.error.column, diag.error.message
+                ),
+            })
+            .collect()
+    }
+}
+
 fn adapter_for(format: SourceFormat) -> Box<dyn Adapter> {
     match format {
         SourceFormat::Csv => Box::new(StructuredAdapter::default()),
@@ -918,6 +966,40 @@ mod tests {
         assert_eq!(report.diagnostics.len(), 1);
         assert_eq!(report.diagnostics[0].source_index, 0);
         assert_eq!(report.diagnostics[0].source, "broken.csv");
+    }
+
+    #[test]
+    fn lenient_skips_surface_as_counted_metrics_and_events() {
+        let broken_csv = RawSource {
+            name: "broken.csv".into(),
+            domain: "movies".into(),
+            format: SourceFormat::Csv,
+            content: "name,year\n\"Heat,1995\n".into(),
+        };
+        let sources = vec![broken_csv, json_source()];
+        let report = fuse_sources_with(&sources, IngestMode::Lenient).unwrap();
+        let metrics = multirag_obs::MetricsRegistry::new();
+        report.record_metrics(&metrics);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("ingest_sources_total"), 2);
+        assert_eq!(snap.counter("ingest_lenient_skips_total"), 1);
+        assert_eq!(
+            snap.counter("ingest_lenient_skips_by_format_total{format=\"csv\"}"),
+            1
+        );
+        assert_eq!(
+            snap.counter("ingest_claims_total") as usize,
+            report.claim_count()
+        );
+        let events = report.trace_events();
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            multirag_obs::TraceEvent::LenientSkip { source, detail } => {
+                assert_eq!(source, "broken.csv");
+                assert!(detail.starts_with("csv:"), "positional detail: {detail}");
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
     }
 
     #[test]

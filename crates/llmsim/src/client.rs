@@ -19,6 +19,7 @@ use crate::ner::{extract_entities, Mention};
 use crate::schema::Schema;
 use multirag_faults::{FaultDecision, FaultKind, FaultPlan, RetryOutcome, RetryPolicy};
 use multirag_kg::Value;
+use multirag_obs::MetricsRegistry;
 use multirag_retrieval::text::raw_tokens;
 
 /// Latency model approximating a local Llama3-8B-class deployment.
@@ -92,6 +93,7 @@ pub struct MockLlm {
     usage: LlmUsage,
     faults: Option<FaultPlan>,
     retry: RetryPolicy,
+    metrics: Option<MetricsRegistry>,
 }
 
 impl MockLlm {
@@ -106,7 +108,17 @@ impl MockLlm {
             usage: LlmUsage::default(),
             faults: None,
             retry: RetryPolicy::default(),
+            metrics: None,
         }
+    }
+
+    /// Mirrors every metered call into a shared metrics registry:
+    /// `llm_calls_total`, token counters, the `llm_call_ms` latency
+    /// histogram, and the retry/failure counters. The usage meter keeps
+    /// working unchanged without one.
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Overrides the latency model.
@@ -178,12 +190,19 @@ impl MockLlm {
     }
 
     fn meter(&mut self, input_text_tokens: usize, output_tokens: usize) {
+        let call_ms = self.cost.base_ms
+            + self.cost.ms_per_input_token * input_text_tokens as f64
+            + self.cost.ms_per_output_token * output_tokens as f64;
         self.usage.calls += 1;
         self.usage.input_tokens += input_text_tokens as u64;
         self.usage.output_tokens += output_tokens as u64;
-        self.usage.simulated_ms += self.cost.base_ms
-            + self.cost.ms_per_input_token * input_text_tokens as f64
-            + self.cost.ms_per_output_token * output_tokens as f64;
+        self.usage.simulated_ms += call_ms;
+        if let Some(metrics) = &self.metrics {
+            metrics.inc("llm_calls_total", 1);
+            metrics.inc("llm_input_tokens_total", input_text_tokens as u64);
+            metrics.inc("llm_output_tokens_total", output_tokens as u64);
+            metrics.observe_ms("llm_call_ms", call_ms);
+        }
     }
 
     /// Meters one logical call under the fault plan: retries failed
@@ -218,15 +237,28 @@ impl MockLlm {
         self.usage.calls += 1;
         self.usage.input_tokens += input_text_tokens as u64;
         self.usage.simulated_ms += total_ms;
+        if let Some(metrics) = &self.metrics {
+            metrics.inc("llm_calls_total", 1);
+            metrics.inc("llm_input_tokens_total", input_text_tokens as u64);
+            metrics.observe_ms("llm_call_ms", total_ms);
+        }
         match outcome {
             RetryOutcome::Succeeded { attempt } => {
                 self.usage.retries += u64::from(attempt);
                 self.usage.output_tokens += output_tokens as u64;
+                if let Some(metrics) = &self.metrics {
+                    metrics.inc("llm_retries_total", u64::from(attempt));
+                    metrics.inc("llm_output_tokens_total", output_tokens as u64);
+                }
                 Ok(())
             }
             RetryOutcome::Exhausted { attempts } => {
                 self.usage.retries += u64::from(attempts.saturating_sub(1));
                 self.usage.failed_calls += 1;
+                if let Some(metrics) = &self.metrics {
+                    metrics.inc("llm_retries_total", u64::from(attempts.saturating_sub(1)));
+                    metrics.inc("llm_failed_calls_total", 1);
+                }
                 Err(LlmError::Exhausted {
                     call_key: call_key.to_string(),
                     attempts,
@@ -235,6 +267,10 @@ impl MockLlm {
             RetryOutcome::DeadlineExceeded { attempts } => {
                 self.usage.retries += u64::from(attempts.saturating_sub(1));
                 self.usage.failed_calls += 1;
+                if let Some(metrics) = &self.metrics {
+                    metrics.inc("llm_retries_total", u64::from(attempts.saturating_sub(1)));
+                    metrics.inc("llm_failed_calls_total", 1);
+                }
                 Err(LlmError::DeadlineExceeded {
                     call_key: call_key.to_string(),
                     attempts,
@@ -616,6 +652,41 @@ mod tests {
         };
         // Bit-identical across replays, including the f64 meter.
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn metrics_registry_mirrors_the_usage_meter() {
+        let reg = MetricsRegistry::new();
+        let mut llm = MockLlm::new(schema(), 42).with_metrics(reg.clone());
+        llm.extract_triples("The status of CA981 is delayed.");
+        llm.try_logic_form("q1", "What is the status of CA981?")
+            .unwrap();
+        let snap = reg.snapshot();
+        let usage = llm.usage();
+        assert_eq!(snap.counter("llm_calls_total"), usage.calls);
+        assert_eq!(snap.counter("llm_input_tokens_total"), usage.input_tokens);
+        assert_eq!(snap.counter("llm_output_tokens_total"), usage.output_tokens);
+        let h = snap.histogram("llm_call_ms").unwrap();
+        assert_eq!(h.count, usage.calls);
+        assert!((h.sum - usage.simulated_ms).abs() < 1e-3);
+    }
+
+    #[test]
+    fn metrics_registry_counts_retries_and_failures() {
+        let plan = FaultPlan {
+            llm_failure_rate: 1.0,
+            ..FaultPlan::healthy(7)
+        };
+        let reg = MetricsRegistry::new();
+        let mut llm = MockLlm::new(schema(), 7)
+            .with_fault_plan(plan)
+            .with_metrics(reg.clone());
+        llm.try_logic_form("q1", "What is the status of CA981?")
+            .unwrap_err();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("llm_failed_calls_total"), 1);
+        assert_eq!(snap.counter("llm_retries_total"), 2);
+        assert_eq!(snap.counter("llm_output_tokens_total"), 0);
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Deterministic JSON building blocks.
+//!
+//! The observability exports promise **byte-stable** output for a fixed
+//! seed, so serialization cannot depend on hash-map iteration order,
+//! platform float printing quirks, or locale. Everything here is
+//! explicit: keys are emitted in the order the caller appends them (or
+//! pre-sorted by the caller), and floats are printed with a fixed
+//! 6-decimal format — the same convention `ChaosPoint::to_json`
+//! established for `results/chaos.json`.
+
+use std::fmt::Write as _;
+
+/// Formats a float with fixed 6-decimal precision so JSON output is
+/// reproducible byte-for-byte for equal inputs.
+pub fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        // JSON has no Inf/NaN literals; clamp to null.
+        "null".to_string()
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An insertion-ordered JSON object builder.
+#[derive(Debug, Clone, Default)]
+pub struct JsonObj {
+    body: String,
+}
+
+impl JsonObj {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn sep(&mut self) {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+    }
+
+    /// Appends a pre-serialized JSON value under `key`.
+    pub fn raw(mut self, key: &str, value: &str) -> Self {
+        self.sep();
+        let _ = write!(self.body, "\"{}\":{}", escape(key), value);
+        self
+    }
+
+    /// Appends a string field.
+    pub fn str(self, key: &str, value: &str) -> Self {
+        let v = format!("\"{}\"", escape(value));
+        self.raw(key, &v)
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn u64(self, key: &str, value: u64) -> Self {
+        self.raw(key, &value.to_string())
+    }
+
+    /// Appends a `usize` field.
+    pub fn usize(self, key: &str, value: usize) -> Self {
+        self.raw(key, &value.to_string())
+    }
+
+    /// Appends a boolean field.
+    pub fn bool(self, key: &str, value: bool) -> Self {
+        self.raw(key, if value { "true" } else { "false" })
+    }
+
+    /// Appends a fixed-precision float field.
+    pub fn f64(self, key: &str, value: f64) -> Self {
+        self.raw(key, &fmt_f64(value))
+    }
+
+    /// Appends an optional string field (`null` when absent).
+    pub fn opt_str(self, key: &str, value: Option<&str>) -> Self {
+        match value {
+            Some(v) => self.str(key, v),
+            None => self.raw(key, "null"),
+        }
+    }
+
+    /// Appends an optional fixed-precision float field.
+    pub fn opt_f64(self, key: &str, value: Option<f64>) -> Self {
+        match value {
+            Some(v) => self.f64(key, v),
+            None => self.raw(key, "null"),
+        }
+    }
+
+    /// Appends an array of pre-serialized JSON values.
+    pub fn arr<I: IntoIterator<Item = String>>(self, key: &str, items: I) -> Self {
+        let body: Vec<String> = items.into_iter().collect();
+        let v = format!("[{}]", body.join(","));
+        self.raw(key, &v)
+    }
+
+    /// Appends an array of string values.
+    pub fn str_arr<'a, I: IntoIterator<Item = &'a str>>(self, key: &str, items: I) -> Self {
+        self.arr(
+            key,
+            items
+                .into_iter()
+                .map(|s| format!("\"{}\"", escape(s)))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Finishes the object.
+    pub fn build(self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floats_are_fixed_precision() {
+        assert_eq!(fmt_f64(1.0), "1.000000");
+        assert_eq!(fmt_f64(0.1234567), "0.123457");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn escape_covers_control_and_quotes() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn object_preserves_insertion_order() {
+        let json = JsonObj::new()
+            .str("name", "x")
+            .u64("count", 3)
+            .f64("score", 0.5)
+            .bool("ok", true)
+            .opt_str("missing", None)
+            .str_arr("tags", ["a", "b"])
+            .build();
+        assert_eq!(
+            json,
+            "{\"name\":\"x\",\"count\":3,\"score\":0.500000,\"ok\":true,\
+             \"missing\":null,\"tags\":[\"a\",\"b\"]}"
+        );
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # multirag-obs
+//!
+//! The observability substrate for the MultiRAG workspace: every stage
+//! of MKA→MCC→MKLGP reports into this crate, and every repro binary
+//! exports from it.
+//!
+//! * [`metrics`] — a lightweight registry of counters, gauges and
+//!   fixed-bucket histograms with deterministic snapshot ordering and
+//!   JSON + Prometheus-text exposition.
+//! * [`trace`] — the span taxonomy (`ingest`, `mlg_build`,
+//!   `homologous_group`, `graph_confidence`, `node_confidence`,
+//!   `generation`) and the per-query [`QueryTrace`] export, serialized
+//!   deterministically so traces are **byte-stable for a fixed seed**.
+//! * [`observer`] — the shared [`Observer`] handle that instrumented
+//!   code feeds and the harness drains.
+//! * [`json`] — the deterministic JSON building blocks both expositions
+//!   share.
+//!
+//! Layering: this crate sits next to `multirag-faults` at the bottom of
+//! the workspace (no internal dependencies), so `llmsim`, `ingest`,
+//! `core` and the harness crates can all report into it.
+
+pub mod json;
+pub mod metrics;
+pub mod observer;
+pub mod trace;
+
+pub use metrics::{labeled, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use observer::{ObsHandle, Observer, StageProfile};
+pub use trace::{
+    traces_json, AnswerProvenance, QueryTrace, SourceContribution, Stage, StageCost, StageSpan,
+    SubgraphDecision, TraceEvent,
+};

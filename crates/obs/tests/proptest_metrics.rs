@@ -1,0 +1,97 @@
+//! Property tests for the metrics registry: a snapshot depends only on
+//! *what* was recorded, never on the interleaving order. This is the
+//! invariant that lets chaos runs share one registry across a thread
+//! pool and still export byte-stable counter JSON.
+
+use multirag_obs::MetricsRegistry;
+use proptest::prelude::*;
+
+const COUNTERS: [&str; 3] = ["requests_total", "errors_total", "retries_total"];
+const HISTOS_MS: [&str; 2] = ["llm_ms", "stage_ms"];
+const GAUGES: [&str; 2] = ["graph_triples", "tracked_sources"];
+
+/// One recording op. Gauge writes are last-write-wins, so the op
+/// generator emits at most one write per gauge name — under that
+/// restriction every op commutes with every other.
+#[derive(Debug, Clone)]
+enum Op {
+    Inc(usize, u64),
+    Observe(usize, f64),
+    Gauge(usize, f64),
+}
+
+fn apply(reg: &MetricsRegistry, op: &Op) {
+    match op {
+        Op::Inc(i, n) => reg.inc(COUNTERS[*i], *n),
+        Op::Observe(i, v) => reg.observe_ms(HISTOS_MS[*i], *v),
+        Op::Gauge(i, v) => reg.gauge_set(GAUGES[*i], *v),
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..COUNTERS.len(), 0u64..1000).prop_map(|(i, n)| Op::Inc(i, n)),
+        (0usize..HISTOS_MS.len(), 0.0f64..5000.0).prop_map(|(i, v)| Op::Observe(i, v)),
+    ]
+}
+
+/// Applies a deterministic permutation derived from `swaps`.
+fn permute(ops: &[Op], swaps: &[usize]) -> Vec<Op> {
+    let mut out = ops.to_vec();
+    let n = out.len();
+    for (i, &s) in swaps.iter().enumerate().take(n) {
+        out.swap(i, s % n);
+    }
+    out
+}
+
+fn snapshot_json(ops: &[Op]) -> String {
+    let reg = MetricsRegistry::new();
+    for op in ops {
+        apply(&reg, op);
+    }
+    reg.snapshot().to_json()
+}
+
+proptest! {
+    /// Recording the same multiset of ops in any order yields a
+    /// byte-identical snapshot — counters and histogram sums are
+    /// integer-accumulated, so no float-association drift sneaks in.
+    #[test]
+    fn snapshots_are_order_independent(
+        mut ops in proptest::collection::vec(op_strategy(), 1..40),
+        gauges in proptest::collection::vec((0usize..GAUGES.len(), -10.0f64..10.0), 0..3),
+        swaps in proptest::collection::vec(0usize..64, 40),
+    ) {
+        // At most one write per gauge name, so permutation cannot
+        // change which write lands last.
+        let mut seen = [false; GAUGES.len()];
+        for (i, v) in gauges {
+            if !seen[i] {
+                seen[i] = true;
+                ops.push(Op::Gauge(i, v));
+            }
+        }
+        let shuffled = permute(&ops, &swaps);
+        prop_assert_eq!(snapshot_json(&ops), snapshot_json(&shuffled));
+    }
+
+    /// Splitting one counter increment into pieces is equivalent to
+    /// recording it whole.
+    #[test]
+    fn counter_increments_are_associative(
+        total in 0u64..10_000,
+        split in 0u64..10_000,
+    ) {
+        let split = split.min(total);
+        let whole = MetricsRegistry::new();
+        whole.inc("requests_total", total);
+        let pieces = MetricsRegistry::new();
+        pieces.inc("requests_total", split);
+        pieces.inc("requests_total", total - split);
+        prop_assert_eq!(
+            whole.snapshot().counter("requests_total"),
+            pieces.snapshot().counter("requests_total")
+        );
+    }
+}

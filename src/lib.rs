@@ -24,6 +24,8 @@
 //!   IRCoT, ChatKBQA, MDQA, FusionQuery, RQ-RAG, MetaRAG.
 //! * [`eval`] — metrics and the experiment harness regenerating every
 //!   table and figure of the paper.
+//! * [`obs`] — observability substrate: metrics registry, span-style
+//!   stage tracing, deterministic per-query trace export.
 //!
 //! ## Quickstart
 //!
@@ -49,4 +51,5 @@ pub use multirag_eval as eval;
 pub use multirag_ingest as ingest;
 pub use multirag_kg as kg;
 pub use multirag_llmsim as llmsim;
+pub use multirag_obs as obs;
 pub use multirag_retrieval as retrieval;
