@@ -14,6 +14,9 @@ use multirag_datasets::movies::MoviesSpec;
 use multirag_datasets::spec::Scale;
 use multirag_eval::table::{fmt2, Table};
 use multirag_eval::timing::Stopwatch;
+use multirag_serve::{
+    build_workload, closed_loop, serve_sequential, CacheStack, IndexWriter, ServeConfig,
+};
 
 fn main() {
     let seed = seed();
@@ -63,5 +66,53 @@ fn main() {
     println!(
         "With MKA the query column stays flat as the graph grows; without it the full-scan\n\
          extraction grows linearly with triples — extrapolate to web scale for the paper's NAN."
+    );
+
+    // Serve-path scaling: throughput vs worker-pool size at a fixed
+    // dataset size. Per-request service times come from the sequential
+    // oracle in *simulated* milliseconds and feed the deterministic
+    // closed loop, so this table is byte-stable for a fixed seed
+    // (unlike the wall-clock columns above).
+    let data = MoviesSpec::at_scale(Scale {
+        entities: 400,
+        queries: 100,
+    })
+    .generate(seed);
+    let mut writer = IndexWriter::new(data.graph.clone(), MultiRagConfig::default(), seed);
+    let snapshot = writer.publish();
+    let serve_cfg = ServeConfig::default();
+    let wave = build_workload(&data.queries, data.queries.len() * 2, seed);
+    let oracle = serve_sequential(&snapshot, &CacheStack::new(), &serve_cfg, &wave);
+    let service_us: Vec<u64> = oracle
+        .iter()
+        .map(|r| (r.service_ms * 1000.0).round().max(1.0) as u64)
+        .collect();
+
+    let mut serve_table = Table::new(
+        "Serve-path throughput vs workers (400 entities, 32 clients, sim time)",
+        &["workers", "completed", "shed", "qps", "p50/ms", "p99/ms"],
+    );
+    let mut last_qps = 0.0;
+    for workers in [1usize, 2, 4, 8] {
+        let point = closed_loop(&service_us, 32, workers, serve_cfg.queue_depth);
+        serve_table.row(vec![
+            workers.to_string(),
+            point.completed.to_string(),
+            point.shed.to_string(),
+            fmt2(point.throughput_qps),
+            fmt2(point.p50_ms),
+            fmt2(point.p99_ms),
+        ]);
+        assert!(
+            point.throughput_qps >= last_qps,
+            "throughput must not fall as workers are added"
+        );
+        last_qps = point.throughput_qps;
+    }
+    println!("{}", serve_table.render());
+    println!(
+        "Workers scale simulated throughput until queueing stops dominating; shed counts fall\n\
+         as capacity absorbs the closed-loop burst (32 clients, queue depth {}).",
+        serve_cfg.queue_depth
     );
 }

@@ -14,6 +14,8 @@
 //! | `repro_fig7`   | Fig. 7 — α hyper-parameter sweep |
 //! | `repro_error_analysis` | §IV Q4 — hallucination / failure taxonomy |
 //! | `repro_sensitivity` | design-choice sweeps beyond α (θ, graph threshold, top-k, H, β) |
+//! | `repro_scaling` | Q5 scaling study + serve-path throughput vs workers |
+//! | `repro_serve` | serving harness: epochs, caches, closed-loop load (`results/serve.json`) |
 //!
 //! Criterion microbenches (in `benches/`) cover module-level costs
 //! (Q5): MLG construction, homologous matching, MI confidence, BM25 /
@@ -262,7 +264,7 @@ mod tests {
 
     #[test]
     fn golden_sections_exist_and_parse() {
-        for section in ["obs_profile", "obs_chaos"] {
+        for section in ["obs_profile", "obs_chaos", "serve"] {
             let outline = golden_schema(section)
                 .unwrap_or_else(|| panic!("missing golden section [{section}]"));
             assert!(

@@ -10,6 +10,7 @@ use multirag_kg::SourceId;
 use multirag_obs::MetricsRegistry;
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Per-source history: pseudo-count-smoothed correctness.
 #[derive(Debug, Clone, Copy)]
@@ -27,6 +28,12 @@ pub struct HistoryStore {
     pseudo: f64,
     inner: RwLock<HashMap<SourceId, SourceHistory>>,
     metrics: RwLock<Option<MetricsRegistry>>,
+    /// When set, [`record`](HistoryStore::record) becomes a no-op: the
+    /// serving path freezes credibility for the lifetime of an epoch so
+    /// answers are pure functions of `(epoch, query)` regardless of the
+    /// order concurrent workers finish in. Feedback is batched outside
+    /// the store and folded in at the next epoch publish.
+    frozen: AtomicBool,
 }
 
 impl HistoryStore {
@@ -38,6 +45,7 @@ impl HistoryStore {
             pseudo: pseudo.max(0.0),
             inner: RwLock::new(HashMap::new()),
             metrics: RwLock::new(None),
+            frozen: AtomicBool::new(false),
         }
     }
 
@@ -75,7 +83,7 @@ impl HistoryStore {
     /// Records the outcome of one query for a source: `correct` of
     /// `total` claims it contributed were right.
     pub fn record(&self, source: SourceId, correct: usize, total: usize) {
-        if total == 0 {
+        if total == 0 || self.frozen.load(Ordering::Relaxed) {
             return;
         }
         let mut map = self.inner.write();
@@ -113,6 +121,36 @@ impl HistoryStore {
     /// Resets all history (between experiment phases).
     pub fn reset(&self) {
         self.inner.write().clear();
+    }
+
+    /// Freezes the store: further [`record`](HistoryStore::record)
+    /// calls are ignored until [`thaw`](HistoryStore::thaw).
+    pub fn freeze(&self) {
+        self.frozen.store(true, Ordering::Relaxed);
+    }
+
+    /// Re-enables recording after a [`freeze`](HistoryStore::freeze).
+    pub fn thaw(&self) {
+        self.frozen.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether the store is currently frozen.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen.load(Ordering::Relaxed)
+    }
+}
+
+impl Clone for HistoryStore {
+    /// Clones the credibility state. The metrics attachment is shared;
+    /// the frozen flag is copied (each clone toggles independently).
+    fn clone(&self) -> Self {
+        Self {
+            prior: self.prior,
+            pseudo: self.pseudo,
+            inner: RwLock::new(self.inner.read().clone()),
+            metrics: RwLock::new(self.metrics.read().clone()),
+            frozen: AtomicBool::new(self.is_frozen()),
+        }
     }
 }
 
@@ -212,6 +250,31 @@ mod tests {
         assert_eq!(snap.counter("history_claims_total"), 6);
         assert_eq!(snap.counter("history_correct_claims_total"), 4);
         assert_eq!(snap.gauge("history_tracked_sources"), Some(2.0));
+    }
+
+    #[test]
+    fn frozen_stores_ignore_records_until_thawed() {
+        let store = HistoryStore::paper_defaults();
+        store.freeze();
+        assert!(store.is_frozen());
+        store.record(SourceId(9), 100, 100);
+        assert_eq!(store.credibility(SourceId(9)), 0.5);
+        store.thaw();
+        store.record(SourceId(9), 100, 100);
+        assert!(store.credibility(SourceId(9)) > 0.5);
+    }
+
+    #[test]
+    fn clones_carry_state_but_diverge_afterwards() {
+        let store = HistoryStore::paper_defaults();
+        store.record(SourceId(10), 40, 50);
+        let copy = store.clone();
+        assert_eq!(
+            copy.credibility(SourceId(10)),
+            store.credibility(SourceId(10))
+        );
+        copy.record(SourceId(10), 0, 50);
+        assert!(copy.credibility(SourceId(10)) < store.credibility(SourceId(10)));
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //!   MCC algorithm (Algorithm 1).
 //! * [`history`] — the incremental source-credibility store behind
 //!   `Auth_hist` (Eq. 11).
+//! * [`memo`] — per-epoch memoization of MCC verdicts by canonical
+//!   subgraph hash (the serving subsystem's mid-level cache).
 //! * [`pipeline`] — MKLGP (Algorithm 2): logic form → extraction → MLG
 //!   → MCC → trustworthy answer.
 
@@ -31,6 +33,7 @@ pub mod config;
 pub mod history;
 pub mod homologous;
 pub mod incremental;
+pub mod memo;
 pub mod mlg;
 pub mod pipeline;
 pub mod qa;
@@ -40,6 +43,7 @@ pub use config::MultiRagConfig;
 pub use history::HistoryStore;
 pub use homologous::{HomologousGroup, HomologousSets};
 pub use incremental::IncrementalMlg;
+pub use memo::{subgraph_hash, ConfidenceMemo, SlotVerdict};
 pub use mlg::MultiSourceLineGraph;
 pub use pipeline::{AbstainReason, MklgpPipeline, PipelineAnswer};
 pub use qa::{MultiHopOutcome, MultiRagQa};

@@ -1,0 +1,212 @@
+//! Per-epoch subgraph-confidence memoization for the serving path.
+//!
+//! MCC (Algorithm 1) is a pure function of the slot's content once the
+//! history store is frozen: the graph-level gate `C(G)` depends only on
+//! the claims' pairwise agreement, and each node-level `A(v)` blends a
+//! seeded LLM authority score with the (frozen) historical credibility.
+//! Paraphrased queries hitting the same `(entity, attribute)` slot can
+//! therefore reuse the whole verdict instead of re-running the
+//! consistency checks and their simulated LLM cost.
+//!
+//! The memo key is a canonical subgraph hash: entity name, relation
+//! name, and the sorted `(source name, standardized value key)` pairs
+//! of the post-quarantine claim set. Keys are content-addressed so a
+//! slot whose membership changed (a source quarantined mid-plan, a new
+//! claim streamed in) misses cleanly. Entries are only valid within one
+//! epoch — `C(G)` thresholds, `max_degree` and frozen credibility are
+//! epoch-scoped — so the serving layer clears the memo on every swap.
+
+use crate::confidence::{GraphConfidence, NodeConfidence};
+use multirag_kg::{EntityId, FxHashMap, KnowledgeGraph, Object, RelationId, TripleId};
+use multirag_obs::MetricsRegistry;
+use parking_lot::Mutex;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A memoized MCC verdict for one slot subgraph.
+#[derive(Debug, Clone, Default)]
+pub struct SlotVerdict {
+    /// Graph-level confidence (None for isolated slots).
+    pub graph: Option<GraphConfidence>,
+    /// Claims that survived node-level assessment.
+    pub kept: Vec<NodeConfidence>,
+    /// Number of claims dropped.
+    pub dropped: usize,
+    /// Claims that reached node-level assessment (post graph gate).
+    pub gated: usize,
+}
+
+/// Canonical content hash of a slot subgraph: entity name, relation
+/// name, and sorted `(source name, standardized value key)` pairs.
+///
+/// Object-entity claims hash their surface entity name (the same form
+/// the pipeline standardizes them to), so the key is stable under
+/// triple-id renumbering across warm starts.
+pub fn subgraph_hash(
+    kg: &KnowledgeGraph,
+    entity: EntityId,
+    relation: RelationId,
+    triples: &[TripleId],
+) -> u64 {
+    let mut pairs: Vec<(String, String)> = triples
+        .iter()
+        .map(|&tid| {
+            let t = kg.triple(tid);
+            let value_key = match &t.object {
+                Object::Literal(v) => v.standardized().canonical_key(),
+                other => other.canonical_key(),
+            };
+            (kg.source_name(t.source).to_string(), value_key)
+        })
+        .collect();
+    pairs.sort_unstable();
+    let mut hasher = multirag_kg::FxHasher::default();
+    kg.entity_name(entity).hash(&mut hasher);
+    kg.entity_domain(entity).hash(&mut hasher);
+    kg.relation_name(relation).hash(&mut hasher);
+    pairs.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[derive(Debug, Default)]
+struct MemoInner {
+    entries: FxHashMap<u64, SlotVerdict>,
+    metrics: Option<MetricsRegistry>,
+}
+
+/// Shared, thread-safe MCC verdict memo. Cheap to clone — all clones
+/// share one store and one set of hit/miss counters.
+#[derive(Debug, Clone, Default)]
+pub struct ConfidenceMemo {
+    inner: Arc<Mutex<MemoInner>>,
+    hits: Arc<AtomicU64>,
+    misses: Arc<AtomicU64>,
+}
+
+impl ConfidenceMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches a metrics registry: lookups bump
+    /// `mcc_memo_hits_total` / `mcc_memo_misses_total`.
+    pub fn attach_metrics(&self, metrics: MetricsRegistry) {
+        self.inner.lock().metrics = Some(metrics);
+    }
+
+    /// Looks up a verdict, counting the hit or miss.
+    pub fn get(&self, key: u64) -> Option<SlotVerdict> {
+        let inner = self.inner.lock();
+        let found = inner.entries.get(&key).cloned();
+        match (&found, &inner.metrics) {
+            (Some(_), Some(m)) => m.inc("mcc_memo_hits_total", 1),
+            (None, Some(m)) => m.inc("mcc_memo_misses_total", 1),
+            _ => {}
+        }
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Stores a verdict.
+    pub fn put(&self, key: u64, verdict: SlotVerdict) {
+        self.inner.lock().entries.insert(key, verdict);
+    }
+
+    /// Drops every entry (epoch swap). Counters survive — they describe
+    /// the run, not the epoch.
+    pub fn clear(&self) {
+        self.inner.lock().entries.clear();
+    }
+
+    /// Number of memoized slots.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Whether the memo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multirag_kg::Value;
+
+    fn slot_graph(values: &[&str]) -> (KnowledgeGraph, EntityId, RelationId, Vec<TripleId>) {
+        let mut kg = KnowledgeGraph::new();
+        let e = kg.add_entity("X", "d");
+        let r = kg.add_relation("attr");
+        let mut tids = Vec::new();
+        for (i, v) in values.iter().enumerate() {
+            let s = kg.add_source(&format!("s{i}"), "json", "d");
+            kg.add_triple(e, r, Value::from(*v), s, 0);
+            tids.push(TripleId(i as u32));
+        }
+        (kg, e, r, tids)
+    }
+
+    #[test]
+    fn hash_is_stable_and_content_sensitive() {
+        let (kg, e, r, tids) = slot_graph(&["a", "b"]);
+        let h1 = subgraph_hash(&kg, e, r, &tids);
+        assert_eq!(h1, subgraph_hash(&kg, e, r, &tids));
+        // Insertion order of the triple list does not matter.
+        let reversed: Vec<TripleId> = tids.iter().rev().copied().collect();
+        assert_eq!(h1, subgraph_hash(&kg, e, r, &reversed));
+        // Different content, different key.
+        let (kg2, e2, r2, tids2) = slot_graph(&["a", "c"]);
+        assert_ne!(h1, subgraph_hash(&kg2, e2, r2, &tids2));
+        // A subset (one source quarantined) misses.
+        assert_ne!(h1, subgraph_hash(&kg, e, r, &tids[..1]));
+    }
+
+    #[test]
+    fn memo_counts_hits_and_misses_and_clears() {
+        let memo = ConfidenceMemo::new();
+        let metrics = MetricsRegistry::new();
+        memo.attach_metrics(metrics.clone());
+        assert!(memo.get(7).is_none());
+        memo.put(
+            7,
+            SlotVerdict {
+                dropped: 1,
+                gated: 3,
+                ..SlotVerdict::default()
+            },
+        );
+        let verdict = memo.get(7).expect("stored");
+        assert_eq!(verdict.dropped, 1);
+        assert_eq!(verdict.gated, 3);
+        assert_eq!((memo.hits(), memo.misses()), (1, 1));
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("mcc_memo_hits_total"), 1);
+        assert_eq!(snap.counter("mcc_memo_misses_total"), 1);
+        // Clones share the store and the counters.
+        let alias = memo.clone();
+        assert!(alias.get(7).is_some());
+        assert_eq!(memo.hits(), 2);
+        alias.clear();
+        assert!(memo.is_empty());
+        assert!(memo.get(7).is_none());
+        assert_eq!(memo.hits(), 2);
+        assert_eq!(memo.misses(), 2);
+    }
+}

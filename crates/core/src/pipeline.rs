@@ -17,11 +17,12 @@
 use crate::confidence::{mcc_filter, GraphConfidence, NodeConfidence};
 use crate::config::MultiRagConfig;
 use crate::history::HistoryStore;
+use crate::memo::{subgraph_hash, ConfidenceMemo, SlotVerdict};
 use crate::mlg::MultiSourceLineGraph;
 use multirag_datasets::Query;
 use multirag_faults::{FaultPlan, RetryPolicy};
 use multirag_kg::{FxHashMap, FxHashSet, KnowledgeGraph, Object, SourceId, TripleId, Value};
-use multirag_llmsim::{ContextProfile, LlmUsage, MockLlm, Schema};
+use multirag_llmsim::{ContextProfile, LlmResponseCache, LlmUsage, MockLlm, Schema};
 use multirag_obs::{
     AnswerProvenance, ObsHandle, QueryTrace, SourceContribution, Stage, StageCost, StageSpan,
     SubgraphDecision, TraceEvent,
@@ -119,6 +120,7 @@ pub struct PipelineAnswer {
 /// let answer = pipeline.answer(&dataset.queries[0]);
 /// assert!(!answer.fusion_values.is_empty());
 /// ```
+#[derive(Clone)]
 pub struct MklgpPipeline<'g> {
     kg: &'g KnowledgeGraph,
     mlg: Option<MultiSourceLineGraph>,
@@ -130,6 +132,7 @@ pub struct MklgpPipeline<'g> {
     obs: Option<ObsHandle>,
     mlg_cost: StageCost,
     mlg_groups: usize,
+    memo: Option<ConfidenceMemo>,
 }
 
 /// Raw per-query observations collected while answering; the [`answer`]
@@ -288,6 +291,7 @@ impl<'g> MklgpPipeline<'g> {
             obs: None,
             mlg_cost,
             mlg_groups,
+            memo: None,
         }
     }
 
@@ -337,6 +341,34 @@ impl<'g> MklgpPipeline<'g> {
     /// Overrides the retry policy the LLM applies under faults.
     pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
         self.llm = self.llm.with_retry_policy(retry);
+        self
+    }
+
+    /// Replaces the history store — the serving layer installs the
+    /// epoch's (frozen) credibility snapshot so every worker clone
+    /// answers from the same `Auth_hist` state, instead of the
+    /// consensus-seeded store [`MklgpPipeline::new`] builds. Call
+    /// before [`MklgpPipeline::with_observer`] so metrics attach to
+    /// the store that will actually be used.
+    pub fn with_history(mut self, history: HistoryStore) -> Self {
+        self.history = history;
+        self
+    }
+
+    /// Shares a per-epoch MCC verdict memo: slots whose canonical
+    /// subgraph hash is already memoized skip the consistency checks
+    /// (and their simulated LLM cost) entirely. Only sound while the
+    /// history store is frozen — the serving layer freezes history for
+    /// the epoch and clears the memo on every swap.
+    pub fn with_confidence_memo(mut self, memo: ConfidenceMemo) -> Self {
+        self.memo = Some(memo);
+        self
+    }
+
+    /// Puts a shared content-addressed response cache in front of the
+    /// LLM (see [`MockLlm::with_response_cache`]).
+    pub fn with_llm_response_cache(mut self, cache: LlmResponseCache) -> Self {
+        self.llm = self.llm.with_response_cache(cache);
         self
     }
 
@@ -503,42 +535,82 @@ impl<'g> MklgpPipeline<'g> {
         let (graph_confidence, kept, dropped) = if let Some(group) = sets.groups.first() {
             let group_triples = group.triples.len();
             let group_sources = group.source_count;
-            let outcome = mcc_filter(
-                self.kg,
-                group,
-                &mut self.llm,
-                &self.history,
-                &self.config,
-                self.max_degree,
-            );
-            stats.spans.push(StageSpan {
-                stage: Stage::GraphConfidence,
-                wall_s: outcome.graph_cost.wall_s,
-                sim_ms: outcome.graph_cost.sim_ms,
-                input: group_triples,
-                output: outcome.gated,
-            });
-            stats.spans.push(StageSpan {
-                stage: Stage::NodeConfidence,
-                wall_s: outcome.node_cost.wall_s,
-                sim_ms: outcome.node_cost.sim_ms,
-                input: outcome.gated,
-                output: outcome.kept.len(),
-            });
+            // Per-epoch MCC memo: the verdict is a pure function of the
+            // slot's (post-quarantine) content once history is frozen,
+            // so a content-hash hit replays it without touching the LLM.
+            let memo_key = self
+                .memo
+                .as_ref()
+                .map(|_| subgraph_hash(self.kg, entity, relation, &group.triples));
+            let spans_before = stats.spans.len();
+            let verdict = memo_key
+                .and_then(|key| self.memo.as_ref().and_then(|m| m.get(key)))
+                .unwrap_or_else(|| {
+                    let outcome = mcc_filter(
+                        self.kg,
+                        group,
+                        &mut self.llm,
+                        &self.history,
+                        &self.config,
+                        self.max_degree,
+                    );
+                    let verdict = SlotVerdict {
+                        graph: outcome.graph,
+                        kept: outcome.kept,
+                        dropped: outcome.dropped.len(),
+                        gated: outcome.gated,
+                    };
+                    if let (Some(memo), Some(key)) = (&self.memo, memo_key) {
+                        memo.put(key, verdict.clone());
+                    }
+                    stats.spans.push(StageSpan {
+                        stage: Stage::GraphConfidence,
+                        wall_s: outcome.graph_cost.wall_s,
+                        sim_ms: outcome.graph_cost.sim_ms,
+                        input: group_triples,
+                        output: verdict.gated,
+                    });
+                    stats.spans.push(StageSpan {
+                        stage: Stage::NodeConfidence,
+                        wall_s: outcome.node_cost.wall_s,
+                        sim_ms: outcome.node_cost.sim_ms,
+                        input: verdict.gated,
+                        output: verdict.kept.len(),
+                    });
+                    verdict
+                });
+            // A memo hit recorded no spans above: account the stages at
+            // zero cost so traces keep their shape.
+            if stats.spans.len() == spans_before {
+                stats.spans.push(StageSpan {
+                    stage: Stage::GraphConfidence,
+                    wall_s: 0.0,
+                    sim_ms: 0.0,
+                    input: group_triples,
+                    output: verdict.gated,
+                });
+                stats.spans.push(StageSpan {
+                    stage: Stage::NodeConfidence,
+                    wall_s: 0.0,
+                    sim_ms: 0.0,
+                    input: verdict.gated,
+                    output: verdict.kept.len(),
+                });
+            }
             stats.subgraph = Some(SubgraphDecision {
                 entity: self.kg.entity_name(entity).to_string(),
                 relation: self.kg.relation_name(relation).to_string(),
                 triples: group_triples,
                 source_count: group_sources,
-                graph_confidence: outcome.graph.map(|g| g.value),
+                graph_confidence: verdict.graph.map(|g| g.value),
                 passed_graph_gate: self.config.enable_graph_level
-                    && outcome
+                    && verdict
                         .graph
                         .is_some_and(|g| g.value >= self.config.graph_threshold),
-                kept_nodes: outcome.kept.len(),
-                dropped_nodes: outcome.dropped.len(),
+                kept_nodes: verdict.kept.len(),
+                dropped_nodes: verdict.dropped,
             });
-            (outcome.graph, outcome.kept, outcome.dropped.len())
+            (verdict.graph, verdict.kept, verdict.dropped)
         } else {
             // Isolated slot: a single claim, assessed leniently (no
             // peers to contradict it).
@@ -1333,6 +1405,72 @@ mod tests {
             .traces()
             .iter()
             .any(|t| t.events.iter().any(|e| e.kind() == "source_quarantined")));
+    }
+
+    #[test]
+    fn confidence_memo_reuses_verdicts_without_changing_answers() {
+        let data = dataset();
+        // Frozen history: the memo contract (per-epoch validity).
+        let run = |memo: Option<ConfidenceMemo>| {
+            let mut p = MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42);
+            p.history().freeze();
+            if let Some(m) = memo {
+                p = p.with_confidence_memo(m);
+            }
+            let mut answers = Vec::new();
+            // Every query twice: the second pass must hit.
+            for q in data.queries.iter().chain(data.queries.iter()) {
+                answers.push(p.answer(q));
+            }
+            (answers, p.llm().usage())
+        };
+        let memo = ConfidenceMemo::new();
+        let (plain, plain_usage) = run(None);
+        let (memoized, memo_usage) = run(Some(memo.clone()));
+        assert_eq!(plain, memoized, "memo must never change an answer");
+        assert!(memo.hits() > 0, "second pass must hit the memo");
+        assert!(
+            memo_usage.simulated_ms < plain_usage.simulated_ms,
+            "memo hits must save simulated LLM time: {} vs {}",
+            memo_usage.simulated_ms,
+            plain_usage.simulated_ms
+        );
+    }
+
+    #[test]
+    fn response_cache_preserves_answers_and_counts_hits() {
+        let data = dataset();
+        let run = |cache: Option<multirag_llmsim::LlmResponseCache>| {
+            let mut p = MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42);
+            p.history().freeze();
+            if let Some(c) = cache {
+                p = p.with_llm_response_cache(c);
+            }
+            let answers: Vec<PipelineAnswer> = data
+                .queries
+                .iter()
+                .chain(data.queries.iter())
+                .map(|q| p.answer(q))
+                .collect();
+            (answers, p.llm().usage())
+        };
+        let cache = multirag_llmsim::LlmResponseCache::new();
+        let (plain, _) = run(None);
+        let (cached, usage) = run(Some(cache.clone()));
+        assert_eq!(plain, cached, "cache must never change an answer");
+        assert!(usage.cache_hits > 0, "repeats must hit");
+        assert!(cache.hits() > 0);
+    }
+
+    #[test]
+    fn cloned_pipelines_answer_identically() {
+        let data = dataset();
+        let mut original = MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42);
+        original.history().freeze();
+        let mut fork = original.clone();
+        for q in &data.queries {
+            assert_eq!(original.answer(q), fork.answer(q));
+        }
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Property test for the epoch-snapshot correctness foundation: an
+//! [`IncrementalMlg`] fed triples one at a time — in *any* order — must
+//! agree exactly with the batch [`MultiSourceLineGraph`] homologous
+//! grouping over the same fused graph. Serving epochs rely on this: the
+//! writer streams updates into the incremental index and publishes it
+//! as if it had been rebuilt from scratch.
+
+use multirag_core::homologous::HomologousSets;
+use multirag_core::{IncrementalMlg, MultiSourceLineGraph};
+use multirag_kg::{KnowledgeGraph, Value};
+use proptest::prelude::*;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-20i64..20).prop_map(Value::Int),
+        "[a-d]{1,4}".prop_map(Value::from),
+    ]
+}
+
+/// (subject pick, relation pick, source pick, value): slot collisions
+/// are the interesting case, so the pick spaces are kept small.
+type TripleSpec = (usize, usize, usize, Value);
+
+fn spec() -> impl Strategy<Value = (Vec<TripleSpec>, u64)> {
+    (
+        proptest::collection::vec((0usize..4, 0usize..3, 0usize..4, value_strategy()), 0..40),
+        any::<u64>(),
+    )
+}
+
+fn build_graph(triples: &[TripleSpec]) -> KnowledgeGraph {
+    let mut kg = KnowledgeGraph::new();
+    let entities: Vec<_> = (0..4)
+        .map(|i| kg.add_entity(&format!("e{i}"), "d"))
+        .collect();
+    let relations: Vec<_> = (0..3).map(|i| kg.add_relation(&format!("r{i}"))).collect();
+    let sources: Vec<_> = (0..4)
+        .map(|i| kg.add_source(&format!("s{i}"), "json", "d"))
+        .collect();
+    for (e, r, s, v) in triples {
+        kg.add_triple(entities[*e], relations[*r], v.clone(), sources[*s], 0);
+    }
+    kg
+}
+
+/// Deterministic Fisher–Yates driven by a splitmix-style stream, so the
+/// insertion order is arbitrary but reproducible from the seed.
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    for i in (1..items.len()).rev() {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (seed >> 33) as usize % (i + 1);
+        items.swap(i, j);
+    }
+}
+
+fn assert_sets_equal(
+    streamed: &HomologousSets,
+    batch: &HomologousSets,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(&streamed.groups, &batch.groups);
+    prop_assert_eq!(&streamed.isolated, &batch.isolated);
+    Ok(())
+}
+
+proptest! {
+    /// Streamed one-at-a-time insertion in shuffled order reproduces the
+    /// batch homologous sets exactly — groups, membership order,
+    /// source counts and isolated points.
+    #[test]
+    fn streamed_index_matches_batch_grouping((triples, order_seed) in spec()) {
+        let kg = build_graph(&triples);
+        let batch = MultiSourceLineGraph::build(&kg);
+
+        let mut stream: Vec<_> = kg
+            .iter_triples()
+            .map(|(tid, t)| (t.subject, t.predicate, t.source, tid))
+            .collect();
+        shuffle(&mut stream, order_seed);
+
+        let mut index = IncrementalMlg::new();
+        for (subject, predicate, source, tid) in &stream {
+            let cardinality = index.insert(*subject, *predicate, *source, *tid);
+            prop_assert!(cardinality >= 1);
+        }
+        prop_assert_eq!(index.triple_count(), kg.triple_count());
+        assert_sets_equal(&index.to_sets(), batch.sets())?;
+
+        // Re-inserting the whole stream is a no-op (idempotence).
+        for (subject, predicate, source, tid) in &stream {
+            index.insert(*subject, *predicate, *source, *tid);
+        }
+        prop_assert_eq!(index.triple_count(), kg.triple_count());
+        assert_sets_equal(&index.to_sets(), batch.sets())?;
+
+        // And the from_graph constructor is the same fixed point.
+        assert_sets_equal(&IncrementalMlg::from_graph(&kg).to_sets(), batch.sets())?;
+    }
+
+    /// Per-slot queries on the streamed index agree with the batch MLG's
+    /// slot groups (the per-query extraction path used while serving).
+    #[test]
+    fn slot_views_agree((triples, order_seed) in spec()) {
+        let kg = build_graph(&triples);
+        let batch = MultiSourceLineGraph::build(&kg);
+        let mut stream: Vec<_> = kg
+            .iter_triples()
+            .map(|(tid, t)| (t.subject, t.predicate, t.source, tid))
+            .collect();
+        shuffle(&mut stream, order_seed);
+        let mut index = IncrementalMlg::new();
+        for (subject, predicate, source, tid) in stream {
+            index.insert(subject, predicate, source, tid);
+        }
+        for e in kg.entity_ids() {
+            for r in 0..3u32 {
+                let r = multirag_kg::RelationId(r);
+                let streamed = index.slot_group(e, r);
+                prop_assert_eq!(
+                    streamed.as_ref(),
+                    batch.slot_group(e, r),
+                    "slot ({e:?}, {r:?}) diverged"
+                );
+            }
+        }
+    }
+}

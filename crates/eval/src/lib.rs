@@ -37,6 +37,8 @@ pub use harness::{
     run_multirag_observed, MethodResult, MultiHopResult,
 };
 pub use metrics::{f1_score, precision_recall, recall_at_k, SetScores};
-pub use parallel::{parallel_map, try_parallel_map, CellPanic};
+pub use parallel::{
+    parallel_map, parallel_map_with, try_parallel_map, try_parallel_map_with, CellPanic,
+};
 pub use table::Table;
 pub use timing::TimeReport;

@@ -42,37 +42,92 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    try_parallel_map_with(items, max_threads, |_| (), |_, item| f(item))
+}
+
+/// The stateful variant of [`try_parallel_map`]: each worker thread
+/// builds its own long-lived state once via `init(worker_index)` and
+/// threads it through every cell it processes. The serving engine uses
+/// this to give each worker its own pipeline clone (sharing the epoch
+/// snapshot and cache stack) instead of rebuilding one per request.
+///
+/// A panicking cell may leave the worker state inconsistent, so the
+/// worker rebuilds it with `init` before touching the next cell.
+pub fn try_parallel_map_with<T, S, R, Init, F>(
+    items: Vec<T>,
+    max_threads: usize,
+    init: Init,
+    f: F,
+) -> Vec<Result<R, CellPanic>>
+where
+    T: Send,
+    R: Send,
+    Init: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
     let max_threads = max_threads.max(1);
     let n = items.len();
     let mut results: Vec<Option<Result<R, CellPanic>>> = (0..n).map(|_| None).collect();
     let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
     let queue = parking_lot::Mutex::new(work);
     let out = parking_lot::Mutex::new(&mut results);
-    let run = crossbeam::scope(|scope| {
-        for _ in 0..max_threads.min(n.max(1)) {
-            scope.spawn(|_| loop {
-                let item = queue.lock().pop();
-                let Some((idx, item)) = item else {
-                    break;
-                };
-                // AssertUnwindSafe: `f` is only shared by reference and
-                // the slot is written exactly once, so a trapped panic
-                // cannot leave a cell half-filled.
-                let result =
-                    catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|payload| CellPanic {
-                        index: idx,
-                        message: panic_message(payload.as_ref()),
-                    });
-                out.lock()[idx] = Some(result);
-            });
-        }
-    });
+    let run =
+        crossbeam::scope(|scope| {
+            let (init, f, queue, out) = (&init, &f, &queue, &out);
+            for worker in 0..max_threads.min(n.max(1)) {
+                scope.spawn(move |_| {
+                    let mut state = init(worker);
+                    loop {
+                        let item = queue.lock().pop();
+                        let Some((idx, item)) = item else {
+                            break;
+                        };
+                        // AssertUnwindSafe: the slot is written exactly
+                        // once, so a trapped panic cannot leave a cell
+                        // half-filled; the worker state is rebuilt below.
+                        let result = catch_unwind(AssertUnwindSafe(|| f(&mut state, item)))
+                            .map_err(|payload| CellPanic {
+                                index: idx,
+                                message: panic_message(payload.as_ref()),
+                            });
+                        if result.is_err() {
+                            state = init(worker);
+                        }
+                        out.lock()[idx] = Some(result);
+                    }
+                });
+            }
+        });
     // Cells trap their own panics, so the scope can only fail if a
     // worker died outside the cell boundary — nothing to salvage then.
     run.expect("worker thread died outside the cell boundary");
     results
         .into_iter()
         .map(|r| r.expect("every index filled"))
+        .collect()
+}
+
+/// Infallible wrapper over [`try_parallel_map_with`]: per-worker state,
+/// results in input order, first trapped panic re-raised after every
+/// sibling finishes.
+pub fn parallel_map_with<T, S, R, Init, F>(
+    items: Vec<T>,
+    max_threads: usize,
+    init: Init,
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    Init: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, T) -> R + Sync,
+{
+    try_parallel_map_with(items, max_threads, init, f)
+        .into_iter()
+        .map(|result| match result {
+            Ok(r) => r,
+            Err(p) => panic!("parallel_map cell {} panicked: {}", p.index, p.message),
+        })
         .collect()
 }
 
@@ -167,6 +222,57 @@ mod tests {
             7,
             "every non-panicking sibling must have run to completion"
         );
+    }
+
+    #[test]
+    fn stateful_workers_reuse_their_state_across_cells() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let results = parallel_map_with(
+            (0..32).collect::<Vec<u64>>(),
+            4,
+            |worker| {
+                inits.fetch_add(1, Ordering::SeqCst);
+                worker as u64
+            },
+            |state, x| {
+                // Worker-local accumulator: proves the state persists
+                // between cells instead of being rebuilt per item.
+                *state += 1;
+                x * 3
+            },
+        );
+        assert_eq!(results, (0..32).map(|x| x * 3).collect::<Vec<u64>>());
+        assert!(
+            inits.load(Ordering::SeqCst) <= 4,
+            "state must be built at most once per worker"
+        );
+    }
+
+    #[test]
+    fn panicking_cell_rebuilds_worker_state() {
+        let results = try_parallel_map_with(
+            (0..8).collect::<Vec<i32>>(),
+            1,
+            |_| 0i32,
+            |state, x| {
+                *state += 1;
+                if x == 2 {
+                    panic!("cell 2 exploded");
+                }
+                *state
+            },
+        );
+        assert!(results[2].is_err());
+        let ok: Vec<i32> = results
+            .iter()
+            .filter_map(|r| r.as_ref().ok().copied())
+            .collect();
+        assert_eq!(ok.len(), 7, "only the panicking cell is lost");
+        // After the panic the single worker's counter restarted from a
+        // fresh init, so the count value 1 appears twice: once at the
+        // very first cell and once right after the rebuild.
+        assert_eq!(ok.iter().filter(|&&v| v == 1).count(), 2);
     }
 
     #[test]

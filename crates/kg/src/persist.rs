@@ -14,7 +14,7 @@
 //!
 //! `kind` is `e` (object entity index), `s` (string), `i` (int),
 //! `f` (float), `b` (bool) or `n` (null). Strings are escaped
-//! (`\|`, `\\`, `\n`).
+//! (`\|`, `\\`, `\n`, `\r`).
 
 use crate::graph::KnowledgeGraph;
 use crate::triple::{EntityId, Object, SourceId};
@@ -44,6 +44,10 @@ fn escape(s: &str) -> String {
             '\\' => out.push_str("\\\\"),
             '|' => out.push_str("\\|"),
             '\n' => out.push_str("\\n"),
+            // A raw `\r` must not reach the dump: `load` splits on
+            // `text.lines()`, which treats `\r\n` as one terminator and
+            // would silently swallow a trailing carriage return.
+            '\r' => out.push_str("\\r"),
             c => out.push(c),
         }
     }
@@ -59,6 +63,7 @@ fn unescape(s: &str) -> String {
                 Some('\\') => out.push('\\'),
                 Some('|') => out.push('|'),
                 Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
                 Some(other) => {
                     out.push('\\');
                     out.push(other);

@@ -16,6 +16,7 @@ use crate::halluc::{
 };
 use crate::logic::{generate_logic_form, LogicForm};
 use crate::ner::{extract_entities, Mention};
+use crate::respcache::{CachedResponse, KeyBuilder, LlmResponseCache};
 use crate::schema::Schema;
 use multirag_faults::{FaultDecision, FaultKind, FaultPlan, RetryOutcome, RetryPolicy};
 use multirag_kg::Value;
@@ -59,6 +60,9 @@ pub struct LlmUsage {
     pub retries: u64,
     /// Calls that failed even after retrying.
     pub failed_calls: u64,
+    /// Calls served from the response cache — these are *not* counted
+    /// in `calls` and burn no tokens or simulated time.
+    pub cache_hits: u64,
 }
 
 impl LlmUsage {
@@ -94,6 +98,7 @@ pub struct MockLlm {
     faults: Option<FaultPlan>,
     retry: RetryPolicy,
     metrics: Option<MetricsRegistry>,
+    cache: Option<LlmResponseCache>,
 }
 
 impl MockLlm {
@@ -109,6 +114,7 @@ impl MockLlm {
             faults: None,
             retry: RetryPolicy::default(),
             metrics: None,
+            cache: None,
         }
     }
 
@@ -146,6 +152,30 @@ impl MockLlm {
     pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
         self
+    }
+
+    /// Puts a shared response cache in front of the fallible calls
+    /// ([`try_logic_form`], [`try_score_authority`],
+    /// [`try_generate_answer`]). Keys hash the complete call input
+    /// (including the seed and schema fingerprint), so a hit is
+    /// guaranteed equivalent to recomputing; hits skip metering and the
+    /// fault plan entirely, counting into [`LlmUsage::cache_hits`].
+    ///
+    /// [`try_logic_form`]: MockLlm::try_logic_form
+    /// [`try_score_authority`]: MockLlm::try_score_authority
+    /// [`try_generate_answer`]: MockLlm::try_generate_answer
+    pub fn with_response_cache(mut self, cache: LlmResponseCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached response cache, if any.
+    pub fn response_cache(&self) -> Option<&LlmResponseCache> {
+        self.cache.as_ref()
+    }
+
+    fn note_cache_hit(&mut self) {
+        self.usage.cache_hits += 1;
     }
 
     /// The active fault plan, if any.
@@ -378,8 +408,24 @@ impl MockLlm {
         call_key: &str,
         query: &str,
     ) -> Result<Option<LogicForm>, LlmError> {
+        let key = self.cache.is_some().then(|| {
+            KeyBuilder::new("lf", self.seed)
+                .str(call_key)
+                .u64(self.schema.fingerprint())
+                .str(query)
+                .build()
+        });
+        if let Some(key) = key {
+            if let Some(CachedResponse::Logic(lf)) = self.cache.as_ref().unwrap().get(key) {
+                self.note_cache_hit();
+                return Ok(lf);
+            }
+        }
         let lf = generate_logic_form(query, &self.schema);
         self.meter_guarded(call_key, raw_tokens(query).len() + 48, 16)?;
+        if let (Some(cache), Some(key)) = (&self.cache, key) {
+            cache.put(key, CachedResponse::Logic(lf.clone()));
+        }
         Ok(lf)
     }
 
@@ -389,8 +435,24 @@ impl MockLlm {
         node_key: &str,
         features: &AuthorityFeatures,
     ) -> Result<f64, LlmError> {
+        let key = self.cache.is_some().then(|| {
+            KeyBuilder::new("auth", self.seed)
+                .str(node_key)
+                .debug(features)
+                .debug(&self.authority_weights)
+                .build()
+        });
+        if let Some(key) = key {
+            if let Some(CachedResponse::Authority(c)) = self.cache.as_ref().unwrap().get(key) {
+                self.note_cache_hit();
+                return Ok(c);
+            }
+        }
         let c = c_llm(features, &self.authority_weights, self.seed, node_key);
         self.meter_guarded(&format!("auth:{node_key}"), 96, 4)?;
+        if let (Some(cache), Some(key)) = (&self.cache, key) {
+            cache.put(key, CachedResponse::Authority(c));
+        }
         Ok(c)
     }
 
@@ -404,6 +466,30 @@ impl MockLlm {
         profile: &ContextProfile,
         context_tokens: usize,
     ) -> Result<GeneratedAnswer, LlmError> {
+        let key = self.cache.is_some().then(|| {
+            let mut kb = KeyBuilder::new("gen", self.seed)
+                .str(query_key)
+                .debug(profile)
+                .debug(&self.halluc)
+                .u64(context_tokens as u64)
+                .u64(faithful.len() as u64);
+            // Exact value forms, not canonical keys: two values that
+            // normalize alike can still surface differently in the
+            // generated answer.
+            for v in &faithful {
+                kb = kb.debug(v);
+            }
+            for v in distractors {
+                kb = kb.debug(v);
+            }
+            kb.build()
+        });
+        if let Some(key) = key {
+            if let Some(CachedResponse::Answer(out)) = self.cache.as_ref().unwrap().get(key) {
+                self.note_cache_hit();
+                return Ok(out);
+            }
+        }
         let out = generate_with_hallucination(
             self.seed,
             query_key,
@@ -417,6 +503,9 @@ impl MockLlm {
             context_tokens + 128,
             out.values.len() * 8 + 12,
         )?;
+        if let (Some(cache), Some(key)) = (&self.cache, key) {
+            cache.put(key, CachedResponse::Answer(out.clone()));
+        }
         Ok(out)
     }
 }
@@ -652,6 +741,100 @@ mod tests {
         };
         // Bit-identical across replays, including the f64 meter.
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn response_cache_serves_repeats_without_metering() {
+        let cache = LlmResponseCache::new();
+        let mut llm = MockLlm::new(schema(), 42).with_response_cache(cache.clone());
+        let first = llm
+            .try_logic_form("q1", "What is the status of CA981?")
+            .unwrap();
+        let cold = llm.usage();
+        assert_eq!(cold.cache_hits, 0);
+        let second = llm
+            .try_logic_form("q1", "What is the status of CA981?")
+            .unwrap();
+        assert_eq!(first, second, "cached response is the computed one");
+        let warm = llm.usage();
+        assert_eq!(warm.cache_hits, 1);
+        assert_eq!(warm.calls, cold.calls, "a hit is not a call");
+        assert_eq!(warm.simulated_ms, cold.simulated_ms, "a hit burns no time");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn cached_answers_match_fresh_ones_exactly() {
+        let profile = ContextProfile {
+            conflict_ratio: 0.7,
+            irrelevance_ratio: 0.3,
+            coverage: 0.8,
+            claims: 4,
+        };
+        let faithful = vec![Value::from("delayed")];
+        let distractors = [Value::from("on-time")];
+        let mut plain = MockLlm::new(schema(), 5);
+        let want = plain
+            .try_generate_answer("q1", faithful.clone(), &distractors, &profile, 200)
+            .unwrap();
+        let mut cached = MockLlm::new(schema(), 5).with_response_cache(LlmResponseCache::new());
+        let miss = cached
+            .try_generate_answer("q1", faithful.clone(), &distractors, &profile, 200)
+            .unwrap();
+        let hit = cached
+            .try_generate_answer("q1", faithful, &distractors, &profile, 200)
+            .unwrap();
+        assert_eq!(want, miss);
+        assert_eq!(want, hit);
+        assert_eq!(cached.usage().cache_hits, 1);
+    }
+
+    #[test]
+    fn changed_inputs_miss_instead_of_serving_stale_answers() {
+        let profile = ContextProfile {
+            conflict_ratio: 0.7,
+            irrelevance_ratio: 0.3,
+            coverage: 0.8,
+            claims: 4,
+        };
+        let cache = LlmResponseCache::new();
+        let mut llm = MockLlm::new(schema(), 5).with_response_cache(cache.clone());
+        llm.try_generate_answer("q1", vec![Value::from("a")], &[], &profile, 200)
+            .unwrap();
+        // Same query key, different context: must not hit.
+        llm.try_generate_answer("q1", vec![Value::from("b")], &[], &profile, 200)
+            .unwrap();
+        assert_eq!(llm.usage().cache_hits, 0);
+        assert_eq!(cache.len(), 2);
+        // A schema change re-namespaces logic-form entries.
+        llm.try_logic_form("q2", "What is the status of CA981?")
+            .unwrap();
+        llm.schema_mut().add_relation("gate");
+        llm.try_logic_form("q2", "What is the status of CA981?")
+            .unwrap();
+        assert_eq!(llm.usage().cache_hits, 0, "schema changed, no hit");
+    }
+
+    #[test]
+    fn cache_hits_bypass_the_fault_plan() {
+        let healthy_then_dead = |cache: LlmResponseCache| {
+            let mut llm = MockLlm::new(schema(), 11).with_response_cache(cache);
+            let warm = llm
+                .try_logic_form("q1", "What is the status of CA981?")
+                .unwrap();
+            let plan = FaultPlan {
+                llm_failure_rate: 1.0,
+                ..FaultPlan::healthy(11)
+            };
+            llm = llm.with_fault_plan(plan);
+            (
+                warm,
+                llm.try_logic_form("q1", "What is the status of CA981?"),
+            )
+        };
+        let (warm, under_faults) = healthy_then_dead(LlmResponseCache::new());
+        // The cached response keeps serving through a total LLM outage.
+        assert_eq!(under_faults.expect("served from cache"), warm);
     }
 
     #[test]

@@ -34,10 +34,12 @@ pub mod extract;
 pub mod halluc;
 pub mod logic;
 pub mod ner;
+pub mod respcache;
 pub mod schema;
 
 pub use client::{LlmUsage, MockLlm};
 pub use error::LlmError;
 pub use halluc::{ContextProfile, HallucinationParams};
 pub use logic::LogicForm;
+pub use respcache::{CachedResponse, LlmResponseCache};
 pub use schema::Schema;

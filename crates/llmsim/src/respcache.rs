@@ -1,0 +1,206 @@
+//! Content-addressed LLM response cache — the serving subsystem's L3.
+//!
+//! Keys hash the *complete* input of a call — kind tag, call key, seed,
+//! schema fingerprint, every value/feature/profile operand — never the
+//! call key alone: the same `gen:{query_key}` can carry a different
+//! context after an epoch swap, and a key that captured only the query
+//! would serve a stale answer. Because every [`MockLlm`] output is a
+//! pure function of exactly these inputs, a hit is guaranteed
+//! equivalent to recomputing, which is what lets the cache survive
+//! epoch swaps unmolested (entries for changed contexts simply miss).
+//!
+//! A hit skips metering *and* the fault plan: no call is placed, so no
+//! fault can hit it — cached answers keep serving through an LLM
+//! brownout, which is precisely their operational value.
+//!
+//! [`MockLlm`]: crate::MockLlm
+
+use crate::halluc::GeneratedAnswer;
+use crate::logic::LogicForm;
+use multirag_kg::{FxHashMap, FxHasher};
+use multirag_obs::MetricsRegistry;
+use parking_lot::Mutex;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A memoized LLM response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CachedResponse {
+    /// Logic-form generation result (including the "no parse" outcome).
+    Logic(Option<LogicForm>),
+    /// Answer generation result.
+    Answer(GeneratedAnswer),
+    /// Authority score `C_LLM(v)`.
+    Authority(f64),
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    entries: FxHashMap<u64, CachedResponse>,
+    metrics: Option<MetricsRegistry>,
+}
+
+/// Shared, thread-safe response cache. Cheap to clone — all clones
+/// share one store and one set of hit/miss counters, so a worker pool
+/// of pipelines deduplicates LLM work across threads.
+#[derive(Debug, Clone, Default)]
+pub struct LlmResponseCache {
+    inner: Arc<Mutex<CacheInner>>,
+    hits: Arc<AtomicU64>,
+    misses: Arc<AtomicU64>,
+}
+
+impl LlmResponseCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches a metrics registry: lookups bump
+    /// `llm_cache_hits_total` / `llm_cache_misses_total`.
+    pub fn attach_metrics(&self, metrics: MetricsRegistry) {
+        self.inner.lock().metrics = Some(metrics);
+    }
+
+    /// Looks up a response, counting the hit or miss.
+    pub fn get(&self, key: u64) -> Option<CachedResponse> {
+        let inner = self.inner.lock();
+        let found = inner.entries.get(&key).cloned();
+        match (&found, &inner.metrics) {
+            (Some(_), Some(m)) => m.inc("llm_cache_hits_total", 1),
+            (None, Some(m)) => m.inc("llm_cache_misses_total", 1),
+            _ => {}
+        }
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Stores a response.
+    pub fn put(&self, key: u64, response: CachedResponse) {
+        self.inner.lock().entries.insert(key, response);
+    }
+
+    /// Drops every entry (counters survive).
+    pub fn clear(&self) {
+        self.inner.lock().entries.clear();
+    }
+
+    /// Number of cached responses.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// Builds a cache key from a call's complete input set. Strings are
+/// length-prefix hashed by `Hash`; floats contribute their exact bit
+/// patterns via the `{v:?}` debug form of the containing struct, which
+/// round-trips f64 exactly.
+pub struct KeyBuilder {
+    hasher: FxHasher,
+}
+
+impl KeyBuilder {
+    /// Starts a key for one call kind ("lf", "auth", "gen", …).
+    pub fn new(kind: &str, seed: u64) -> Self {
+        let mut hasher = FxHasher::default();
+        kind.hash(&mut hasher);
+        seed.hash(&mut hasher);
+        Self { hasher }
+    }
+
+    /// Mixes a string operand.
+    pub fn str(mut self, s: &str) -> Self {
+        s.hash(&mut self.hasher);
+        self
+    }
+
+    /// Mixes an integer operand.
+    pub fn u64(mut self, v: u64) -> Self {
+        v.hash(&mut self.hasher);
+        self
+    }
+
+    /// Mixes a float operand bit-exactly.
+    pub fn f64(mut self, v: f64) -> Self {
+        v.to_bits().hash(&mut self.hasher);
+        self
+    }
+
+    /// Mixes any Debug-printable operand via its exact debug form
+    /// (Rust's `{:?}` prints f64 with round-trip precision).
+    pub fn debug<T: std::fmt::Debug>(mut self, v: &T) -> Self {
+        format!("{v:?}").hash(&mut self.hasher);
+        self
+    }
+
+    /// Finishes the key.
+    pub fn build(self) -> u64 {
+        self.hasher.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_counts_hits_and_misses_and_clears() {
+        let cache = LlmResponseCache::new();
+        let metrics = MetricsRegistry::new();
+        cache.attach_metrics(metrics.clone());
+        assert!(cache.get(1).is_none());
+        cache.put(1, CachedResponse::Authority(0.75));
+        assert_eq!(cache.get(1), Some(CachedResponse::Authority(0.75)));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("llm_cache_hits_total"), 1);
+        assert_eq!(snap.counter("llm_cache_misses_total"), 1);
+        // Clones share everything.
+        let alias = cache.clone();
+        assert_eq!(alias.len(), 1);
+        alias.clear();
+        assert!(cache.is_empty());
+        assert!(cache.get(1).is_none());
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn key_builder_separates_operands_and_kinds() {
+        let base = || KeyBuilder::new("gen", 42).str("q1").f64(0.5).u64(7);
+        assert_eq!(base().build(), base().build());
+        assert_ne!(
+            base().build(),
+            KeyBuilder::new("lf", 42).str("q1").f64(0.5).u64(7).build()
+        );
+        assert_ne!(
+            base().build(),
+            KeyBuilder::new("gen", 43).str("q1").f64(0.5).u64(7).build()
+        );
+        assert_ne!(base().build(), base().str("extra").build());
+        // Bit-exact float discrimination: -0.0 differs from 0.0.
+        assert_ne!(
+            KeyBuilder::new("k", 0).f64(0.0).build(),
+            KeyBuilder::new("k", 0).f64(-0.0).build()
+        );
+    }
+}

@@ -6,7 +6,8 @@
 //! natural-language aliases, and entity alias tables for
 //! standardization.
 
-use multirag_kg::FxHashMap;
+use multirag_kg::{FxHashMap, FxHasher};
+use std::hash::{Hash, Hasher};
 
 /// Extraction schema guiding NER, triple extraction and logic-form
 /// generation.
@@ -21,6 +22,20 @@ pub struct Schema {
     relation_aliases: FxHashMap<String, String>,
     /// Declared entity types ("movie", "flight", …) — informational.
     entity_types: Vec<String>,
+    /// Incremental content fingerprint: the XOR of every live entry's
+    /// hash, so it is order-independent and updated in O(1) per
+    /// mutation. Response-cache keys include it so a schema change
+    /// (a new epoch's graph) namespaces the cache instead of serving
+    /// stale parses.
+    fingerprint: u64,
+}
+
+fn entry_hash(kind: &str, key: &str, value: &str) -> u64 {
+    let mut h = FxHasher::default();
+    kind.hash(&mut h);
+    key.hash(&mut h);
+    value.hash(&mut h);
+    h.finish()
 }
 
 impl Schema {
@@ -32,8 +47,11 @@ impl Schema {
     /// Registers an entity and its canonical name. The surface form is
     /// matched case-insensitively.
     pub fn add_entity(&mut self, surface: &str, canonical: &str) {
-        self.entities
-            .insert(normalize(surface), canonical.to_string());
+        let norm = normalize(surface);
+        if let Some(old) = self.entities.insert(norm.clone(), canonical.to_string()) {
+            self.fingerprint ^= entry_hash("ent", &norm, &old);
+        }
+        self.fingerprint ^= entry_hash("ent", &norm, canonical);
     }
 
     /// Registers an entity whose surface form is its canonical name.
@@ -45,27 +63,41 @@ impl Schema {
     pub fn add_relation(&mut self, name: &str) {
         if !self.relations.iter().any(|r| r == name) {
             self.relations.push(name.to_string());
+            self.fingerprint ^= entry_hash("rel", name, "");
         }
         // A relation is trivially an alias of itself, including a
         // space-separated variant of snake_case.
-        self.relation_aliases
-            .insert(normalize(name), name.to_string());
-        self.relation_aliases
-            .insert(normalize(&name.replace('_', " ")), name.to_string());
+        self.insert_alias(&normalize(name), name);
+        self.insert_alias(&normalize(&name.replace('_', " ")), name);
     }
 
     /// Registers a natural-language alias for a relation.
     pub fn add_relation_alias(&mut self, alias: &str, relation: &str) {
         self.add_relation(relation);
-        self.relation_aliases
-            .insert(normalize(alias), relation.to_string());
+        self.insert_alias(&normalize(alias), relation);
+    }
+
+    fn insert_alias(&mut self, norm: &str, relation: &str) {
+        if let Some(old) = self
+            .relation_aliases
+            .insert(norm.to_string(), relation.to_string())
+        {
+            self.fingerprint ^= entry_hash("ali", norm, &old);
+        }
+        self.fingerprint ^= entry_hash("ali", norm, relation);
     }
 
     /// Declares an entity type.
     pub fn add_entity_type(&mut self, name: &str) {
         if !self.entity_types.iter().any(|t| t == name) {
             self.entity_types.push(name.to_string());
+            self.fingerprint ^= entry_hash("typ", name, "");
         }
+    }
+
+    /// Order-independent content fingerprint of the whole schema.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// Canonical name for a surface form, if known.
@@ -156,6 +188,32 @@ mod tests {
         schema.add_entity_type("movie");
         assert_eq!(schema.relations().len(), 1);
         assert_eq!(schema.entity_types().len(), 1);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_not_order() {
+        let mut a = Schema::new();
+        a.add_relation("year");
+        a.add_entity_verbatim("CA981");
+        let mut b = Schema::new();
+        b.add_entity_verbatim("CA981");
+        b.add_relation("year");
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), Schema::new().fingerprint());
+        // Idempotent registration leaves the fingerprint alone...
+        let before = a.fingerprint();
+        a.add_relation("year");
+        a.add_entity_verbatim("CA981");
+        assert_eq!(a.fingerprint(), before);
+        // ...while new content moves it.
+        a.add_entity_verbatim("CA982");
+        assert_ne!(a.fingerprint(), before);
+        // Remapping an existing surface form also moves it.
+        let mut c = Schema::new();
+        c.add_entity("x", "X1");
+        let c1 = c.fingerprint();
+        c.add_entity("x", "X2");
+        assert_ne!(c.fingerprint(), c1);
     }
 
     #[test]

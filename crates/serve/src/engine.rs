@@ -1,0 +1,405 @@
+//! The query engine: snapshot-bound pipelines, the L1 fast path,
+//! worker-pool execution, and bounded admission with load shedding.
+//!
+//! Service time is accounted in *simulated* milliseconds, the same
+//! clock the LLM meter charges, so it is deterministic: an L1 hit
+//! costs [`RESULT_CACHE_HIT_MS`]; a miss costs the pipeline's metered
+//! LLM time plus [`SERVE_OVERHEAD_MS`] of fixed per-request overhead.
+//! The closed-loop simulator ([`crate::simloop`]) consumes these
+//! per-request times to model queueing; the engine itself never reads
+//! a wall clock.
+
+use crate::cache::{result_key, CacheStack};
+use crate::epoch::EpochSnapshot;
+use crate::workload::{RequestKind, ServeRequest};
+use multirag_core::{MklgpPipeline, PipelineAnswer};
+use multirag_eval::parallel_map_with;
+use multirag_faults::{FaultPlan, RetryPolicy};
+use multirag_kg::{FxHashMap, SourceId};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, TrySendError};
+
+/// Simulated cost of answering straight from the L1 result cache.
+pub const RESULT_CACHE_HIT_MS: f64 = 0.05;
+
+/// Fixed per-request overhead added to every full pipeline pass
+/// (parsing, routing, cache bookkeeping) on top of metered LLM time.
+pub const SERVE_OVERHEAD_MS: f64 = 0.2;
+
+/// Tunables for one serving run.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker pool size for the concurrent paths.
+    pub workers: usize,
+    /// Bounded admission queue depth; a full queue sheds the request.
+    pub queue_depth: usize,
+    /// Per-request retry deadline budget (simulated ms) handed to the
+    /// pipeline's [`RetryPolicy`].
+    pub deadline_ms: f64,
+    /// Optional fault plan the snapshot pipelines serve under.
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_depth: 8,
+            deadline_ms: 20_000.0,
+            fault_plan: None,
+        }
+    }
+}
+
+/// What the engine decided about one request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeVerdict {
+    /// The pipeline produced an answer (possibly a structured
+    /// abstention — abstaining is an answer, not an overload).
+    Answered(PipelineAnswer),
+    /// Shed at admission: the bounded queue was full.
+    Overloaded,
+}
+
+/// One served (or shed) request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeResponse {
+    /// Stream sequence number of the request.
+    pub seq: u32,
+    /// The request's workload kind.
+    pub kind: RequestKind,
+    /// Outcome.
+    pub verdict: ServeVerdict,
+    /// Whether the L1 result cache short-circuited the pipeline.
+    pub result_cache_hit: bool,
+    /// Deterministic service time in simulated milliseconds (0 for
+    /// shed requests — they never reach a worker).
+    pub service_ms: f64,
+}
+
+/// Binds a reader pipeline to an epoch snapshot: frozen history from
+/// the snapshot, the shared cache stack's L2/L3 levels, a retry
+/// deadline from the config, and the config's fault plan if any.
+pub fn snapshot_pipeline<'s>(
+    snapshot: &'s EpochSnapshot,
+    caches: &CacheStack,
+    config: &ServeConfig,
+) -> MklgpPipeline<'s> {
+    let mut pipeline = snapshot
+        .pipeline()
+        .with_confidence_memo(caches.memo.clone())
+        .with_llm_response_cache(caches.llm.clone())
+        .with_retry_policy(RetryPolicy::default().with_deadline_ms(config.deadline_ms));
+    if let Some(plan) = &config.fault_plan {
+        pipeline = pipeline.with_fault_plan(plan.clone());
+    }
+    pipeline
+}
+
+/// Serves one request through an already-bound pipeline: L1 first,
+/// full pipeline on a miss (storing the fresh answer back into L1).
+pub fn serve_one(
+    pipeline: &mut MklgpPipeline<'_>,
+    caches: &CacheStack,
+    request: &ServeRequest,
+) -> ServeResponse {
+    let key = result_key(&request.query);
+    if let Some(answer) = caches.result.get(key) {
+        return ServeResponse {
+            seq: request.seq,
+            kind: request.kind,
+            verdict: ServeVerdict::Answered(answer),
+            result_cache_hit: true,
+            service_ms: RESULT_CACHE_HIT_MS,
+        };
+    }
+    let sim_before = pipeline.llm().usage().simulated_ms;
+    let answer = pipeline.answer(&request.query);
+    let sim_after = pipeline.llm().usage().simulated_ms;
+    caches.result.put(key, answer.clone());
+    ServeResponse {
+        seq: request.seq,
+        kind: request.kind,
+        verdict: ServeVerdict::Answered(answer),
+        result_cache_hit: false,
+        service_ms: (sim_after - sim_before) + SERVE_OVERHEAD_MS,
+    }
+}
+
+/// The sequential oracle: one pipeline, requests in stream order.
+/// Fully deterministic — this is the path whose per-request
+/// `service_ms` feeds the closed-loop simulator, and the reference the
+/// concurrent paths are checked against.
+pub fn serve_sequential(
+    snapshot: &EpochSnapshot,
+    caches: &CacheStack,
+    config: &ServeConfig,
+    requests: &[ServeRequest],
+) -> Vec<ServeResponse> {
+    let mut pipeline = snapshot_pipeline(snapshot, caches, config);
+    requests
+        .iter()
+        .map(|request| serve_one(&mut pipeline, caches, request))
+        .collect()
+}
+
+/// Serves the stream on a worker pool, one snapshot-bound pipeline per
+/// worker (built once via the stateful fan-out, not per request), all
+/// workers sharing the cache stack. Responses come back in stream
+/// order. Answers are deterministic; which worker served which request
+/// (and therefore per-worker LLM meters) is not.
+pub fn serve_concurrent(
+    snapshot: &EpochSnapshot,
+    caches: &CacheStack,
+    config: &ServeConfig,
+    requests: Vec<ServeRequest>,
+) -> Vec<ServeResponse> {
+    parallel_map_with(
+        requests,
+        config.workers,
+        |_| snapshot_pipeline(snapshot, caches, config),
+        |pipeline, request| serve_one(pipeline, caches, &request),
+    )
+}
+
+/// [`serve_concurrent`] behind a bounded admission queue: the caller
+/// thread `try_send`s every request; when the queue is full the
+/// request is shed immediately as [`ServeVerdict::Overloaded`] instead
+/// of blocking the stream.
+pub fn serve_with_admission(
+    snapshot: &EpochSnapshot,
+    caches: &CacheStack,
+    config: &ServeConfig,
+    requests: Vec<ServeRequest>,
+) -> Vec<ServeResponse> {
+    serve_with_admission_gated(snapshot, caches, config, requests, None)
+}
+
+/// Implementation of [`serve_with_admission`] with an optional start
+/// gate: while the gate reads `true`, workers do not pull from the
+/// queue, so admission outcomes depend only on `queue_depth` — the
+/// deterministic overload path the tests pin down. The gate drops
+/// after the last `try_send`.
+fn serve_with_admission_gated(
+    snapshot: &EpochSnapshot,
+    caches: &CacheStack,
+    config: &ServeConfig,
+    requests: Vec<ServeRequest>,
+    gate: Option<&AtomicBool>,
+) -> Vec<ServeResponse> {
+    let n = requests.len();
+    let (tx, rx) = sync_channel::<(usize, ServeRequest)>(config.queue_depth.max(1));
+    let rx = Mutex::new(rx);
+    let mut results: Vec<Option<ServeResponse>> = (0..n).map(|_| None).collect();
+    let out = Mutex::new(&mut results);
+    crossbeam::scope(|scope| {
+        let (rx, out) = (&rx, &out);
+        for _ in 0..config.workers.max(1) {
+            scope.spawn(move |_| {
+                let mut pipeline = snapshot_pipeline(snapshot, caches, config);
+                loop {
+                    if let Some(gate) = gate {
+                        while gate.load(Ordering::SeqCst) {
+                            std::thread::yield_now();
+                        }
+                    }
+                    let message = rx.lock().recv();
+                    let Ok((idx, request)) = message else {
+                        break;
+                    };
+                    let response = serve_one(&mut pipeline, caches, &request);
+                    out.lock()[idx] = Some(response);
+                }
+            });
+        }
+        for (idx, request) in requests.into_iter().enumerate() {
+            match tx.try_send((idx, request)) {
+                Ok(()) => {}
+                Err(TrySendError::Full((idx, request))) => {
+                    out.lock()[idx] = Some(ServeResponse {
+                        seq: request.seq,
+                        kind: request.kind,
+                        verdict: ServeVerdict::Overloaded,
+                        result_cache_hit: false,
+                        service_ms: 0.0,
+                    });
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    unreachable!("workers hold the receiver until the sender closes")
+                }
+            }
+        }
+        drop(tx);
+        if let Some(gate) = gate {
+            gate.store(false, Ordering::SeqCst);
+        }
+    })
+    .expect("admission worker died outside the cell boundary");
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every request resolved"))
+        .collect()
+}
+
+/// Recomputes the pipeline's Step-5 credibility feedback from served
+/// responses. Serving freezes the history store (answers must be pure
+/// per epoch), so the signal the batch pipeline would have recorded
+/// inline is gathered here instead and folded in at the next publish.
+///
+/// Counts one observation per *computed* answer — L1 hits replay an
+/// already-counted computation and shed requests never produced one.
+/// Comparison is representation-insensitive ([`Value::answer_key`]),
+/// matching the evaluation metrics. The tally comes back sorted by
+/// source id, so folding order never depends on serving interleavings.
+pub fn feedback_tally(responses: &[ServeResponse]) -> Vec<(SourceId, usize, usize)> {
+    let mut per_source: FxHashMap<SourceId, (usize, usize)> = FxHashMap::default();
+    for response in responses {
+        let ServeVerdict::Answered(answer) = &response.verdict else {
+            continue;
+        };
+        if response.result_cache_hit || answer.abstained {
+            continue;
+        }
+        for node in &answer.kept {
+            let correct = answer
+                .values
+                .iter()
+                .any(|v| v.answer_key() == node.value.answer_key());
+            let entry = per_source.entry(node.source).or_insert((0, 0));
+            entry.1 += 1;
+            if correct {
+                entry.0 += 1;
+            }
+        }
+    }
+    let mut tally: Vec<(SourceId, usize, usize)> = per_source
+        .into_iter()
+        .map(|(source, (correct, total))| (source, correct, total))
+        .collect();
+    tally.sort_by_key(|&(source, _, _)| source);
+    tally
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epoch::IndexWriter;
+    use crate::workload::build_workload;
+    use multirag_core::MultiRagConfig;
+    use multirag_datasets::movies::MoviesSpec;
+    use std::sync::Arc;
+
+    fn snapshot() -> (Arc<EpochSnapshot>, Vec<multirag_datasets::Query>) {
+        let data = MoviesSpec::small().generate(42);
+        let mut writer = IndexWriter::new(data.graph, MultiRagConfig::default(), 42);
+        (writer.publish(), data.queries)
+    }
+
+    #[test]
+    fn l1_hit_short_circuits_and_replays_the_same_answer() {
+        let (snap, queries) = snapshot();
+        let caches = CacheStack::new();
+        let config = ServeConfig::default();
+        let stream = build_workload(&queries[..2], 2, 42);
+        let mut pipeline = snapshot_pipeline(&snap, &caches, &config);
+        let first = serve_one(&mut pipeline, &caches, &stream[0]);
+        let again = serve_one(&mut pipeline, &caches, &stream[0]);
+        assert!(!first.result_cache_hit);
+        assert!(again.result_cache_hit);
+        assert_eq!(again.service_ms, RESULT_CACHE_HIT_MS);
+        assert_eq!(again.verdict, first.verdict);
+        assert!(first.service_ms > again.service_ms);
+    }
+
+    #[test]
+    fn concurrent_answers_match_the_sequential_oracle() {
+        let (snap, queries) = snapshot();
+        let config = ServeConfig {
+            workers: 4,
+            ..ServeConfig::default()
+        };
+        let stream = build_workload(&queries, queries.len() * 2, 42);
+        // Separate cache stacks: shared caches would let one path's
+        // fill order change the other's hit pattern mid-comparison.
+        let oracle = serve_sequential(&snap, &CacheStack::new(), &config, &stream);
+        let served = serve_concurrent(&snap, &CacheStack::new(), &config, stream);
+        assert_eq!(oracle.len(), served.len());
+        for (o, s) in oracle.iter().zip(&served) {
+            assert_eq!(o.seq, s.seq);
+            // Cache-hit flags may differ (fill order is scheduling-
+            // dependent) but the answers themselves must not.
+            assert_eq!(o.verdict, s.verdict, "answer divergence at seq {}", o.seq);
+        }
+    }
+
+    #[test]
+    fn bounded_admission_sheds_deterministically_when_gated() {
+        let (snap, queries) = snapshot();
+        let config = ServeConfig {
+            workers: 2,
+            queue_depth: 3,
+            ..ServeConfig::default()
+        };
+        let stream = build_workload(&queries, 8, 42);
+        let gate = AtomicBool::new(true);
+        let responses =
+            serve_with_admission_gated(&snap, &CacheStack::new(), &config, stream, Some(&gate));
+        let shed: Vec<u32> = responses
+            .iter()
+            .filter(|r| r.verdict == ServeVerdict::Overloaded)
+            .map(|r| r.seq)
+            .collect();
+        // Workers are gated until admission finishes, so exactly
+        // queue_depth requests are accepted and the rest shed, in order.
+        assert_eq!(shed, vec![3, 4, 5, 6, 7]);
+        for response in &responses[..3] {
+            assert!(matches!(response.verdict, ServeVerdict::Answered(_)));
+            assert!(response.service_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn ungated_admission_serves_everything_under_light_load() {
+        let (snap, queries) = snapshot();
+        let config = ServeConfig {
+            workers: 4,
+            queue_depth: 64,
+            ..ServeConfig::default()
+        };
+        let stream = build_workload(&queries, queries.len(), 42);
+        let responses = serve_with_admission(&snap, &CacheStack::new(), &config, stream);
+        assert!(responses
+            .iter()
+            .all(|r| matches!(r.verdict, ServeVerdict::Answered(_))));
+    }
+
+    #[test]
+    fn feedback_tally_counts_each_computation_once_and_sorts() {
+        let (snap, queries) = snapshot();
+        let caches = CacheStack::new();
+        let config = ServeConfig::default();
+        // Serve the dataset twice: the second pass is all L1 hits.
+        let mut stream = build_workload(&queries, queries.len(), 42);
+        let mut second = stream.clone();
+        for request in &mut second {
+            request.seq += stream.len() as u32;
+        }
+        stream.extend(second);
+        let responses = serve_sequential(&snap, &caches, &config, &stream);
+        assert!(responses
+            .iter()
+            .skip(queries.len())
+            .all(|r| r.result_cache_hit));
+        let tally = feedback_tally(&responses);
+        assert!(!tally.is_empty(), "answered queries must produce feedback");
+        let only_first = feedback_tally(&responses[..queries.len()]);
+        assert_eq!(tally, only_first, "L1 replays must not double-count");
+        let mut sorted = tally.clone();
+        sorted.sort_by_key(|&(source, _, _)| source);
+        assert_eq!(tally, sorted);
+        for &(_, correct, total) in &tally {
+            assert!(correct <= total);
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Byte-stable JSON reporting for the serving harness.
+//!
+//! Built on [`multirag_obs::json`]'s insertion-ordered object builder
+//! and fixed-precision float formatting, so `results/serve.json` is
+//! byte-identical across runs with the same seed — the CI serve-smoke
+//! job diffs two fresh runs. The shape is fixed: every abstain reason
+//! is always emitted (zero or not), optional sections never disappear.
+
+use crate::cache::CacheCounters;
+use crate::engine::{ServeResponse, ServeVerdict};
+use crate::simloop::LoadPoint;
+use multirag_core::AbstainReason;
+use multirag_datasets::Query;
+use multirag_kg::Value;
+use multirag_obs::json::{fmt_f64, JsonObj};
+
+/// Per-epoch index shape, reported once per published epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochSummary {
+    /// Epoch number.
+    pub epoch: u64,
+    /// Triples in the epoch's graph.
+    pub triples: usize,
+    /// Homologous groups in the epoch's index.
+    pub groups: usize,
+    /// Isolated (single-assertion) slots in the index.
+    pub isolated: usize,
+    /// Stream updates folded in since the previous epoch.
+    pub updates_applied: u64,
+}
+
+/// Answer-quality tallies for one serving level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AnswerTally {
+    /// Responses carrying a non-abstained answer.
+    pub answered: usize,
+    /// Responses carrying a structured abstention.
+    pub abstained: usize,
+    /// [`AbstainReason::UnknownSlot`] count.
+    pub unknown_slot: usize,
+    /// [`AbstainReason::AllSourcesDown`] count.
+    pub all_sources_down: usize,
+    /// [`AbstainReason::NoTrustedContext`] count.
+    pub no_trusted_context: usize,
+    /// [`AbstainReason::GenerationFailed`] count.
+    pub generation_failed: usize,
+    /// Answered responses whose value set equals the query's gold set.
+    pub correct: usize,
+}
+
+/// Tallies served responses against their queries. `queries[i]` must
+/// be the query behind `responses[i]`; shed responses count nowhere.
+/// Correctness is representation-insensitive set equality
+/// ([`Value::answer_key`]) between emitted values and gold.
+pub fn tally_answers(responses: &[ServeResponse], queries: &[&Query]) -> AnswerTally {
+    let mut tally = AnswerTally::default();
+    for (response, query) in responses.iter().zip(queries) {
+        let ServeVerdict::Answered(answer) = &response.verdict else {
+            continue;
+        };
+        if answer.abstained {
+            tally.abstained += 1;
+            match answer.abstain_reason {
+                Some(AbstainReason::UnknownSlot) => tally.unknown_slot += 1,
+                Some(AbstainReason::AllSourcesDown) => tally.all_sources_down += 1,
+                Some(AbstainReason::NoTrustedContext) => tally.no_trusted_context += 1,
+                Some(AbstainReason::GenerationFailed { .. }) => tally.generation_failed += 1,
+                None => {}
+            }
+            continue;
+        }
+        tally.answered += 1;
+        let emitted: std::collections::BTreeSet<String> =
+            answer.values.iter().map(Value::answer_key).collect();
+        let gold: std::collections::BTreeSet<String> =
+            query.gold.iter().map(Value::answer_key).collect();
+        if emitted == gold {
+            tally.correct += 1;
+        }
+    }
+    tally
+}
+
+/// One operating point of the harness: a workload wave served at a
+/// concurrency level, under one epoch and fault rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelReport {
+    /// Stable label, e.g. `epoch1-c16` or `faults-c16`.
+    pub label: String,
+    /// Epoch the level served against.
+    pub epoch: u64,
+    /// Uniform fault rate in effect (0 for healthy levels).
+    pub fault_rate: f64,
+    /// Queueing/latency measurements from the closed loop.
+    pub point: LoadPoint,
+    /// Answer-quality tallies for the wave.
+    pub tally: AnswerTally,
+}
+
+/// The whole `results/serve.json` artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Seed the run served with.
+    pub seed: u64,
+    /// Scale label (`Small`/`Bench`/`Large`).
+    pub scale: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Worker pool size.
+    pub workers: usize,
+    /// Admission queue depth.
+    pub queue_depth: usize,
+    /// Retry deadline budget for healthy levels, simulated ms.
+    pub deadline_ms: f64,
+    /// Every published epoch, in order.
+    pub epochs: Vec<EpochSummary>,
+    /// Every measured level, in run order.
+    pub levels: Vec<LevelReport>,
+    /// Cache-stack counters at end of run.
+    pub cache: CacheCounters,
+    /// Whether every served answer matched the cache-free batch
+    /// pipeline bound to the same epoch.
+    pub parity_matches: bool,
+    /// Requests covered by the parity check.
+    pub parity_queries: usize,
+}
+
+fn epoch_json(e: &EpochSummary) -> String {
+    JsonObj::new()
+        .u64("epoch", e.epoch)
+        .usize("triples", e.triples)
+        .usize("groups", e.groups)
+        .usize("isolated", e.isolated)
+        .u64("updates_applied", e.updates_applied)
+        .build()
+}
+
+fn level_json(l: &LevelReport) -> String {
+    let abstain = JsonObj::new()
+        .usize("unknown_slot", l.tally.unknown_slot)
+        .usize("all_sources_down", l.tally.all_sources_down)
+        .usize("no_trusted_context", l.tally.no_trusted_context)
+        .usize("generation_failed", l.tally.generation_failed)
+        .build();
+    let graded = l.tally.answered;
+    let rate = if graded > 0 {
+        l.tally.correct as f64 / graded as f64
+    } else {
+        0.0
+    };
+    let accuracy = JsonObj::new()
+        .usize("correct", l.tally.correct)
+        .usize("total", graded)
+        .f64("rate", rate)
+        .build();
+    JsonObj::new()
+        .str("label", &l.label)
+        .u64("epoch", l.epoch)
+        .f64("fault_rate", l.fault_rate)
+        .usize("concurrency", l.point.concurrency)
+        .usize("offered", l.point.offered)
+        .usize("completed", l.point.completed)
+        .usize("shed", l.point.shed)
+        .f64("throughput_qps", l.point.throughput_qps)
+        .f64("p50_ms", l.point.p50_ms)
+        .f64("p95_ms", l.point.p95_ms)
+        .f64("p99_ms", l.point.p99_ms)
+        .f64("sim_total_ms", l.point.sim_total_ms)
+        .usize("answered", l.tally.answered)
+        .usize("abstained", l.tally.abstained)
+        .raw("abstain", &abstain)
+        .raw("accuracy", &accuracy)
+        .build()
+}
+
+/// Renders the full report as deterministic JSON (one object, fixed
+/// key order, [`fmt_f64`] floats).
+pub fn serve_report_json(report: &ServeReport) -> String {
+    let cache = JsonObj::new()
+        .u64("result_hits", report.cache.result_hits)
+        .u64("result_misses", report.cache.result_misses)
+        .u64("memo_hits", report.cache.memo_hits)
+        .u64("memo_misses", report.cache.memo_misses)
+        .u64("llm_hits", report.cache.llm_hits)
+        .u64("llm_misses", report.cache.llm_misses)
+        .build();
+    let parity = JsonObj::new()
+        .bool("batch_matches_serve", report.parity_matches)
+        .usize("queries", report.parity_queries)
+        .build();
+    JsonObj::new()
+        .u64("seed", report.seed)
+        .str("scale", &report.scale)
+        .str("dataset", &report.dataset)
+        .usize("workers", report.workers)
+        .usize("queue_depth", report.queue_depth)
+        .f64("deadline_ms", report.deadline_ms)
+        .arr("epochs", report.epochs.iter().map(epoch_json))
+        .arr("levels", report.levels.iter().map(level_json))
+        .raw("cache", &cache)
+        .raw("parity", &parity)
+        .build()
+}
+
+/// One-line human summary of a level for the harness's stdout table.
+pub fn level_row(l: &LevelReport) -> Vec<String> {
+    vec![
+        l.label.clone(),
+        l.point.concurrency.to_string(),
+        l.point.completed.to_string(),
+        l.point.shed.to_string(),
+        fmt_f64(l.point.throughput_qps),
+        fmt_f64(l.point.p50_ms),
+        fmt_f64(l.point.p99_ms),
+        l.tally.abstained.to_string(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::RequestKind;
+    use multirag_core::PipelineAnswer;
+
+    fn answer(values: Vec<Value>, reason: Option<AbstainReason>) -> PipelineAnswer {
+        PipelineAnswer {
+            abstained: reason.is_some(),
+            abstain_reason: reason,
+            values,
+            fusion_values: Vec::new(),
+            hallucinated: false,
+            graph_confidence: None,
+            kept: Vec::new(),
+            dropped: 0,
+            examined: 0,
+            quarantined_claims: 0,
+        }
+    }
+
+    fn response(seq: u32, verdict: ServeVerdict) -> ServeResponse {
+        ServeResponse {
+            seq,
+            kind: RequestKind::Fresh,
+            verdict,
+            result_cache_hit: false,
+            service_ms: 1.0,
+        }
+    }
+
+    fn query(gold: Vec<Value>) -> Query {
+        Query {
+            id: 1,
+            text: "q".into(),
+            entity: "e".into(),
+            attribute: "a".into(),
+            gold,
+        }
+    }
+
+    #[test]
+    fn tally_grades_answers_and_buckets_abstentions() {
+        let q_int = query(vec![Value::Int(5)]);
+        let responses = vec![
+            response(0, ServeVerdict::Answered(answer(vec![Value::Int(5)], None))),
+            response(1, ServeVerdict::Answered(answer(vec![Value::Int(6)], None))),
+            response(
+                2,
+                ServeVerdict::Answered(answer(
+                    Vec::new(),
+                    Some(AbstainReason::GenerationFailed { attempts: 3 }),
+                )),
+            ),
+            response(3, ServeVerdict::Overloaded),
+        ];
+        let queries = vec![&q_int, &q_int, &q_int, &q_int];
+        let tally = tally_answers(&responses, &queries);
+        assert_eq!(tally.answered, 2);
+        assert_eq!(tally.correct, 1);
+        assert_eq!(tally.abstained, 1);
+        assert_eq!(tally.generation_failed, 1);
+        assert_eq!(tally.unknown_slot, 0);
+    }
+
+    #[test]
+    fn report_json_is_stable_and_fixed_shape() {
+        let report = ServeReport {
+            seed: 42,
+            scale: "Small".into(),
+            dataset: "movies".into(),
+            workers: 4,
+            queue_depth: 8,
+            deadline_ms: 20_000.0,
+            epochs: vec![EpochSummary {
+                epoch: 1,
+                triples: 100,
+                groups: 20,
+                isolated: 5,
+                updates_applied: 0,
+            }],
+            levels: vec![LevelReport {
+                label: "epoch1-c4".into(),
+                epoch: 1,
+                fault_rate: 0.0,
+                point: LoadPoint {
+                    concurrency: 4,
+                    offered: 10,
+                    completed: 10,
+                    shed: 0,
+                    throughput_qps: 123.456789,
+                    p50_ms: 1.0,
+                    p95_ms: 2.0,
+                    p99_ms: 2.5,
+                    sim_total_ms: 80.0,
+                },
+                tally: AnswerTally::default(),
+            }],
+            cache: CacheCounters::default(),
+            parity_matches: true,
+            parity_queries: 10,
+        };
+        let a = serve_report_json(&report);
+        let b = serve_report_json(&report);
+        assert_eq!(a, b);
+        // Fixed shape: every abstain bucket is present even when zero.
+        for key in [
+            "\"unknown_slot\":0",
+            "\"all_sources_down\":0",
+            "\"no_trusted_context\":0",
+            "\"generation_failed\":0",
+            "\"batch_matches_serve\":true",
+            "\"throughput_qps\":123.456789",
+        ] {
+            assert!(a.contains(key), "missing {key} in {a}");
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Deterministic request-stream synthesis for the load harness.
+//!
+//! A serving workload is not a batch sweep: real traffic repeats itself
+//! (exact re-asks hit L1) and rephrases itself (paraphrases miss L1 but
+//! share the slot, so L2/L3 still hit). [`build_workload`] expands a
+//! dataset's query list into such a stream with seeded draws from
+//! [`multirag_llmsim::determinism`], so the same `(queries, total,
+//! seed)` triple always yields the same request sequence.
+
+use multirag_datasets::Query;
+use multirag_llmsim::determinism;
+
+/// How a request relates to the ones before it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// First appearance of this query, verbatim dataset text.
+    Fresh,
+    /// Byte-identical repeat of an earlier request (L1-cacheable).
+    Repeat,
+    /// Same slot as an earlier request, different surface text
+    /// (L1 miss by design; L2/L3 may still hit).
+    Paraphrase,
+}
+
+impl RequestKind {
+    /// Stable lowercase label for reports.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            RequestKind::Fresh => "fresh",
+            RequestKind::Repeat => "repeat",
+            RequestKind::Paraphrase => "paraphrase",
+        }
+    }
+}
+
+/// One request in the synthesized stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeRequest {
+    /// Position in the stream (0-based, unique).
+    pub seq: u32,
+    /// The query to serve. For paraphrases this keeps the original id,
+    /// entity, attribute and gold values — only `text` differs.
+    pub query: Query,
+    /// Relation to earlier requests.
+    pub kind: RequestKind,
+}
+
+/// Rewrites a query's surface text without touching its slot. The
+/// three templates cycle by `variant`, so a query paraphrased more than
+/// once in a stream can take different wordings.
+pub fn paraphrase(query: &Query, variant: u64) -> Query {
+    let attribute = query.attribute.replace('_', " ");
+    let text = match variant % 3 {
+        0 => format!("Tell me the {} of {}.", attribute, query.entity),
+        1 => format!("{} — what is its {}?", query.entity, attribute),
+        _ => format!(
+            "Could you report the {} recorded for {}?",
+            attribute, query.entity
+        ),
+    };
+    Query {
+        text,
+        ..query.clone()
+    }
+}
+
+/// Expands `queries` into a deterministic stream of `total` requests.
+///
+/// The first cycle walks the dataset in order (all [`Fresh`]) so every
+/// slot is seen at least once before traffic starts repeating; after
+/// that, each request picks a seen query with a seeded draw and flips a
+/// seeded coin between an exact [`Repeat`] and a [`Paraphrase`].
+///
+/// [`Fresh`]: RequestKind::Fresh
+/// [`Repeat`]: RequestKind::Repeat
+/// [`Paraphrase`]: RequestKind::Paraphrase
+pub fn build_workload(queries: &[Query], total: usize, seed: u64) -> Vec<ServeRequest> {
+    let mut stream = Vec::with_capacity(total);
+    for (seq, query) in queries.iter().take(total).enumerate() {
+        stream.push(ServeRequest {
+            seq: seq as u32,
+            query: query.clone(),
+            kind: RequestKind::Fresh,
+        });
+    }
+    for seq in stream.len()..total {
+        let pick = determinism::pick(seed, &format!("workload-pick-{seq}"), queries.len())
+            .expect("build_workload needs a non-empty query list");
+        let base = &queries[pick];
+        let (query, kind) = if determinism::bernoulli(seed, &format!("workload-repeat-{seq}"), 0.5)
+        {
+            (base.clone(), RequestKind::Repeat)
+        } else {
+            let variant = determinism::draw(seed, &format!("workload-variant-{seq}"));
+            (paraphrase(base, variant), RequestKind::Paraphrase)
+        };
+        stream.push(ServeRequest {
+            seq: seq as u32,
+            query,
+            kind,
+        });
+    }
+    stream
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multirag_kg::Value;
+
+    fn queries() -> Vec<Query> {
+        (0..4)
+            .map(|i| Query {
+                id: i,
+                text: format!("What is the release_year of Movie{i}?"),
+                entity: format!("Movie{i}"),
+                attribute: "release_year".into(),
+                gold: vec![Value::Int(1990 + i as i64)],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn paraphrase_keeps_the_slot_and_changes_the_text() {
+        let q = &queries()[0];
+        for variant in 0..3u64 {
+            let p = paraphrase(q, variant);
+            assert_eq!(p.key(), q.key(), "slot key must survive paraphrasing");
+            assert_eq!(p.gold, q.gold);
+            assert_ne!(p.text, q.text);
+            assert!(
+                p.text.contains("release year"),
+                "underscores are prose in {:?}",
+                p.text
+            );
+        }
+    }
+
+    #[test]
+    fn first_cycle_is_fresh_and_in_order() {
+        let qs = queries();
+        let stream = build_workload(&qs, 10, 42);
+        assert_eq!(stream.len(), 10);
+        for (i, q) in qs.iter().enumerate() {
+            assert_eq!(stream[i].kind, RequestKind::Fresh);
+            assert_eq!(&stream[i].query, q);
+        }
+        for req in &stream[qs.len()..] {
+            assert_ne!(req.kind, RequestKind::Fresh);
+            assert!(qs.iter().any(|q| q.key() == req.query.key()));
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic_and_seed_sensitive() {
+        let qs = queries();
+        let a = build_workload(&qs, 24, 42);
+        let b = build_workload(&qs, 24, 42);
+        assert_eq!(a, b);
+        let c = build_workload(&qs, 24, 43);
+        assert_ne!(a, c, "a different seed must reshuffle the tail");
+    }
+
+    #[test]
+    fn workload_mixes_repeats_and_paraphrases() {
+        let qs = queries();
+        let stream = build_workload(&qs, 60, 42);
+        let repeats = stream
+            .iter()
+            .filter(|r| r.kind == RequestKind::Repeat)
+            .count();
+        let paraphrases = stream
+            .iter()
+            .filter(|r| r.kind == RequestKind::Paraphrase)
+            .count();
+        assert!(
+            repeats > 5,
+            "expected a healthy repeat share, got {repeats}"
+        );
+        assert!(
+            paraphrases > 5,
+            "expected a healthy paraphrase share, got {paraphrases}"
+        );
+        assert_eq!(repeats + paraphrases + qs.len(), stream.len());
+    }
+}

@@ -26,6 +26,8 @@
 //!   table and figure of the paper.
 //! * [`obs`] — observability substrate: metrics registry, span-style
 //!   stage tracing, deterministic per-query trace export.
+//! * [`serve`] — concurrent query serving: epoch-snapshotted indexes,
+//!   multi-level caching, bounded admission, closed-loop load harness.
 //!
 //! ## Quickstart
 //!
@@ -53,3 +55,4 @@ pub use multirag_kg as kg;
 pub use multirag_llmsim as llmsim;
 pub use multirag_obs as obs;
 pub use multirag_retrieval as retrieval;
+pub use multirag_serve as serve;
