@@ -82,7 +82,8 @@ fn ingest_curve(data: &MultiSourceDataset, seed: u64, obs: &ObsHandle) -> Vec<Ch
             let report = fuse_sources_with(&corrupted, IngestMode::Lenient)
                 .expect("lenient fusion never fails");
             report.record_metrics(&obs.registry());
-            let graph = load_into_graph(&corrupted, &report.adapted);
+            let graph =
+                load_into_graph(&corrupted, &report.adapted).expect("fused indices are in range");
             let mut point = run_multirag_chaos_observed(
                 data,
                 &graph,
@@ -209,6 +210,7 @@ fn main() {
             json.len()
         );
     }
+    check_schema("chaos", &json);
 
     // Counters only: sums are order-independent, so this file is
     // byte-stable for a fixed seed even though the legs above raced on

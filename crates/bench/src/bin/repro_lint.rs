@@ -1,0 +1,208 @@
+//! Determinism & panic-safety audit — the `multirag-lint` driver.
+//!
+//! Scans every workspace source file with the token-level analyzer,
+//! reconciles the findings against the ratcheted budgets in
+//! `lint_allow.toml`, and writes the byte-stable `results/lint.json`
+//! artifact (sorted findings, no wall clock, no absolute paths — CI
+//! runs this binary twice and `cmp`s the artifacts).
+//!
+//! Exit status:
+//!
+//! * any rule self-test failure, unreadable/invalid `lint_allow.toml`,
+//!   or over-budget finding → non-zero (the ratchet never loosens);
+//! * stale budgets (count dropped below budget) → non-zero only under
+//!   `MULTIRAG_LINT_STRICT=1` (set in CI), so local burn-down work
+//!   isn't blocked mid-stream;
+//! * `MULTIRAG_LINT_UPDATE_BUDGETS=1` regenerates `lint_allow.toml`
+//!   from observed counts instead of failing — justification comments
+//!   must then be restored by hand in review.
+//!
+//! Before scanning, a self-test drives every rule over a positive and
+//! a negative snippet: a broken rule (one that stops firing on code it
+//! must catch, or fires on clean code) fails the run before any
+//! reconciliation — the lint gate cannot be green because the lint
+//! went blind.
+//!
+//! ```sh
+//! cargo run --release -p multirag-bench --bin repro_lint
+//! ```
+
+use multirag_bench::check_schema;
+use multirag_lint::{lint_json, lint_source, lint_workspace, AllowList, RULES};
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Per-rule positive/negative self-test snippets. The positive snippet
+/// MUST produce at least one finding for the rule; the negative MUST
+/// produce none.
+const SELF_TESTS: &[(&str, &str, &str, &str)] = &[
+    (
+        "D01",
+        "crates/x/src/lib.rs",
+        "fn f(m: &FxHashMap<u8, u8>) -> Vec<u8> { m.keys().copied().collect() }",
+        "fn f(m: &BTreeMap<u8, u8>) -> Vec<u8> { m.keys().copied().collect() }",
+    ),
+    (
+        "D02",
+        "crates/x/src/lib.rs",
+        "fn f() -> Instant { Instant::now() }",
+        "fn f(clock: &SimClock) -> u64 { clock.now_us() }",
+    ),
+    (
+        "D03",
+        "crates/x/src/lib.rs",
+        "fn f(d: &FxHashMap<u8, f64>) -> f64 { d.values().sum::<f64>() }",
+        "fn f(d: &BTreeMap<u8, f64>) -> f64 { d.values().sum::<f64>() }",
+    ),
+    (
+        "R01",
+        "crates/x/src/lib.rs",
+        "fn f(o: Option<u8>) -> u8 { o.unwrap() }",
+        "fn f(o: Option<u8>) -> u8 { o.unwrap_or(0) }",
+    ),
+    (
+        "S01",
+        "crates/bench/src/bin/repro_x.rs",
+        "fn main() { std::fs::write(\"results/x.json\", b\"{}\").ok(); }",
+        "fn main() { std::fs::write(\"results/x.json\", b\"{}\").ok(); check_schema(\"x\", \"\"); }",
+    ),
+    (
+        "P01",
+        "crates/x/src/lib.rs",
+        "fn f() -> Config { Config { graph_threshold: 0.5 } }",
+        "fn f(t: f64) -> Config { Config { graph_threshold: t } }",
+    ),
+];
+
+/// Proves every rule still fires on code it must catch and stays
+/// silent on clean code. Returns the failure messages (empty = pass).
+fn rule_self_test() -> Vec<String> {
+    let mut failures = Vec::new();
+    for (rule, rel, positive, negative) in SELF_TESTS {
+        let hits = |src: &str| {
+            lint_source(rel, src)
+                .iter()
+                .filter(|f| f.rule == *rule)
+                .count()
+        };
+        if hits(positive) == 0 {
+            failures.push(format!(
+                "{rule}: rule went blind — the positive snippet no longer produces a finding"
+            ));
+        }
+        if hits(negative) != 0 {
+            failures.push(format!(
+                "{rule}: rule over-fires — the negative snippet produces a finding"
+            ));
+        }
+    }
+    failures
+}
+
+fn main() -> ExitCode {
+    let strict = std::env::var("MULTIRAG_LINT_STRICT").as_deref() == Ok("1");
+    let update = std::env::var("MULTIRAG_LINT_UPDATE_BUDGETS").as_deref() == Ok("1");
+    println!("=== repro_lint: determinism & panic-safety audit ===");
+
+    let self_test_failures = rule_self_test();
+    if self_test_failures.is_empty() {
+        println!(
+            "self-test: {} rules × (positive fires, negative silent) — ok",
+            SELF_TESTS.len()
+        );
+    } else {
+        for failure in &self_test_failures {
+            println!("self-test FAILED: {failure}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let (files_scanned, findings) = lint_workspace(&root);
+
+    let allow_path = root.join("lint_allow.toml");
+    let allow = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => match AllowList::parse(&text) {
+            Ok(allow) => allow,
+            Err(err) => {
+                println!("lint_allow.toml is invalid: {err}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(err) if update => {
+            println!("lint_allow.toml missing ({err}); regenerating from scratch");
+            AllowList::default()
+        }
+        Err(err) => {
+            println!("cannot read {}: {err}", allow_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let recon = allow.reconcile(&findings);
+
+    println!(
+        "scanned {files_scanned} files: {} finding(s), {} exempted",
+        recon.kept.len(),
+        findings.len() - recon.kept.len()
+    );
+    println!(
+        "{:<6} {:<22} {:>8} {:>8} {:>9}",
+        "rule", "name", "found", "budget", "exempted"
+    );
+    for rule in RULES {
+        println!(
+            "{:<6} {:<22} {:>8} {:>8} {:>9}",
+            rule.id,
+            rule.name,
+            recon.rule_count(rule.id),
+            recon.rule_budget(rule.id),
+            recon.rule_exempted(rule.id)
+        );
+    }
+
+    if update {
+        let rendered = allow.render_from(&recon);
+        if let Err(err) = std::fs::write(&allow_path, rendered) {
+            println!("could not write {}: {err}", allow_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "rewrote {} from observed counts — restore justification comments before committing",
+            allow_path.display()
+        );
+    }
+
+    let json = lint_json(files_scanned, &recon.kept, &recon);
+    let out_dir = Path::new("results");
+    if let Err(err) = std::fs::create_dir_all(out_dir)
+        .and_then(|()| std::fs::write(out_dir.join("lint.json"), &json))
+    {
+        println!("note: could not write results/lint.json: {err}");
+    } else {
+        println!(
+            "wrote results/lint.json ({} bytes; byte-identical across runs)",
+            json.len()
+        );
+    }
+    check_schema("lint", &json);
+
+    if update {
+        return ExitCode::SUCCESS;
+    }
+    for violation in &recon.violations {
+        println!("VIOLATION: {violation}");
+    }
+    for stale in &recon.stale {
+        if strict {
+            println!("STALE: {stale}");
+        } else {
+            println!("stale (warn): {stale}");
+        }
+    }
+    if !recon.violations.is_empty() || (strict && !recon.stale.is_empty()) {
+        println!("lint gate: FAILED");
+        return ExitCode::FAILURE;
+    }
+    println!("lint gate: clean (ratchet holds)");
+    ExitCode::SUCCESS
+}

@@ -154,6 +154,10 @@ fn main() {
                 Err(err) => println!("note: could not write {}: {err}", path.display()),
             }
         }
+        // Each dataset gates its own section: nullable fields and
+        // sometimes-empty arrays collapse to different outlines per
+        // dataset, so one shared golden line cannot cover all four.
+        check_schema(&format!("obs_traces_{}", data.name), &traces);
         datasets_json.push(dataset_json(&data.name, data.queries.len(), &obs));
     }
     println!("{}", table.render());

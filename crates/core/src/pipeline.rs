@@ -198,7 +198,7 @@ impl<'g> MklgpPipeline<'g> {
         // in. Without MKA this signal does not exist (part of the
         // w/o-MKA F1 drop in Table III).
         if let Some(mlg) = &mlg {
-            let groups: Vec<Vec<(multirag_kg::SourceId, String)>> = mlg
+            let groups: Vec<Vec<(SourceId, String)>> = mlg
                 .sets()
                 .groups
                 .iter()
@@ -209,7 +209,7 @@ impl<'g> MklgpPipeline<'g> {
                         .map(|&tid| {
                             let t = kg.triple(tid);
                             let key = match &t.object {
-                                multirag_kg::Object::Literal(v) => v.standardized().canonical_key(),
+                                Object::Literal(v) => v.standardized().canonical_key(),
                                 other => other.canonical_key(),
                             };
                             (t.source, key)
@@ -217,12 +217,10 @@ impl<'g> MklgpPipeline<'g> {
                         .collect()
                 })
                 .collect();
-            let mut cred: FxHashMap<multirag_kg::SourceId, f64> = FxHashMap::default();
-            let mut final_tally: FxHashMap<multirag_kg::SourceId, (usize, usize)> =
-                FxHashMap::default();
+            let mut cred: FxHashMap<SourceId, f64> = FxHashMap::default();
+            let mut final_tally: FxHashMap<SourceId, (usize, usize)> = FxHashMap::default();
             for _round in 0..3 {
-                let mut tally: FxHashMap<multirag_kg::SourceId, (usize, usize)> =
-                    FxHashMap::default();
+                let mut tally: FxHashMap<SourceId, (usize, usize)> = FxHashMap::default();
                 for claims in &groups {
                     if claims.len() < 2 {
                         continue;
@@ -730,7 +728,7 @@ impl<'g> MklgpPipeline<'g> {
 
         // Step 5: historical credibility update, using the emitted
         // answer set as the feedback signal.
-        let mut per_source: FxHashMap<multirag_kg::SourceId, (usize, usize)> = FxHashMap::default();
+        let mut per_source: FxHashMap<SourceId, (usize, usize)> = FxHashMap::default();
         for node in &kept {
             let correct = generated
                 .values
@@ -886,7 +884,7 @@ impl<'g> MklgpPipeline<'g> {
         // All benchmark graphs are single-domain; read it off the first
         // source.
         if self.kg.source_count() > 0 {
-            let rec = self.kg.source(multirag_kg::SourceId(0));
+            let rec = self.kg.source(SourceId(0));
             self.kg.resolve(rec.domain)
         } else {
             ""
@@ -1065,8 +1063,7 @@ fn sets_from_extraction(
     if extracted.len() >= 2 {
         let mut triples = extracted.to_vec();
         triples.sort_unstable();
-        let mut sources: Vec<multirag_kg::SourceId> =
-            triples.iter().map(|&tid| kg.triple(tid).source).collect();
+        let mut sources: Vec<SourceId> = triples.iter().map(|&tid| kg.triple(tid).source).collect();
         sources.sort_unstable();
         sources.dedup();
         sets.groups.push(crate::homologous::HomologousGroup {
@@ -1241,7 +1238,7 @@ mod tests {
         };
         let chaos_off = {
             let mut p = MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42)
-                .with_fault_plan(multirag_faults::FaultPlan::healthy(42));
+                .with_fault_plan(FaultPlan::healthy(42));
             data.queries.iter().map(|q| p.answer(q)).collect::<Vec<_>>()
         };
         assert_eq!(plain, chaos_off);
@@ -1440,7 +1437,7 @@ mod tests {
     #[test]
     fn response_cache_preserves_answers_and_counts_hits() {
         let data = dataset();
-        let run = |cache: Option<multirag_llmsim::LlmResponseCache>| {
+        let run = |cache: Option<LlmResponseCache>| {
             let mut p = MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42);
             p.history().freeze();
             if let Some(c) = cache {
@@ -1454,7 +1451,7 @@ mod tests {
                 .collect();
             (answers, p.llm().usage())
         };
-        let cache = multirag_llmsim::LlmResponseCache::new();
+        let cache = LlmResponseCache::new();
         let (plain, _) = run(None);
         let (cached, usage) = run(Some(cache.clone()));
         assert_eq!(plain, cached, "cache must never change an answer");

@@ -4,7 +4,8 @@
 
 use crate::spec::MultiSourceDataset;
 use multirag_ingest::{RawSource, SourceFormat};
-use multirag_kg::{FxHashMap, Object, SourceId, Value};
+use multirag_kg::{Object, SourceId, Value};
+use std::collections::BTreeMap;
 
 /// Renders one generated source as raw text in its declared format.
 pub fn render_source(data: &MultiSourceDataset, source: SourceId) -> RawSource {
@@ -15,8 +16,8 @@ pub fn render_source(data: &MultiSourceDataset, source: SourceId) -> RawSource {
         .find(|s| s.id == source)
         .expect("unknown source");
     // Collect entity → (attr → values) for this source's triples.
-    let mut rows: Vec<(String, FxHashMap<String, Vec<Value>>)> = Vec::new();
-    let mut row_lookup: FxHashMap<String, usize> = FxHashMap::default();
+    let mut rows: Vec<(String, BTreeMap<String, Vec<Value>>)> = Vec::new();
+    let mut row_lookup: BTreeMap<String, usize> = BTreeMap::new();
     let mut attr_order: Vec<String> = Vec::new();
     for (_, t) in kg.iter_triples() {
         if t.source != source {
@@ -29,7 +30,7 @@ pub fn render_source(data: &MultiSourceDataset, source: SourceId) -> RawSource {
             Object::Literal(v) => v.clone(),
         };
         let idx = *row_lookup.entry(entity.clone()).or_insert_with(|| {
-            rows.push((entity.clone(), FxHashMap::default()));
+            rows.push((entity.clone(), BTreeMap::new()));
             rows.len() - 1
         });
         if !attr_order.contains(&attr) {
@@ -79,7 +80,7 @@ fn value_text(values: &[Value]) -> String {
     }
 }
 
-fn render_csv(rows: &[(String, FxHashMap<String, Vec<Value>>)], attrs: &[String]) -> String {
+fn render_csv(rows: &[(String, BTreeMap<String, Vec<Value>>)], attrs: &[String]) -> String {
     let mut out = String::from("name");
     for attr in attrs {
         out.push(',');
@@ -107,7 +108,7 @@ fn csv_escape(field: &str) -> String {
     }
 }
 
-fn render_json(rows: &[(String, FxHashMap<String, Vec<Value>>)], attrs: &[String]) -> String {
+fn render_json(rows: &[(String, BTreeMap<String, Vec<Value>>)], attrs: &[String]) -> String {
     use multirag_ingest::json::{to_string, JsonValue};
     let objects: Vec<JsonValue> = rows
         .iter()
@@ -141,7 +142,7 @@ fn value_to_json(v: &Value) -> multirag_ingest::json::JsonValue {
     }
 }
 
-fn render_xml(rows: &[(String, FxHashMap<String, Vec<Value>>)], attrs: &[String]) -> String {
+fn render_xml(rows: &[(String, BTreeMap<String, Vec<Value>>)], attrs: &[String]) -> String {
     let mut out = String::from("<records>");
     for (entity, values) in rows {
         out.push_str("<record>");
@@ -165,7 +166,7 @@ fn xml_escape(text: &str) -> String {
         .replace('>', "&gt;")
 }
 
-fn render_kg(rows: &[(String, FxHashMap<String, Vec<Value>>)], attrs: &[String]) -> String {
+fn render_kg(rows: &[(String, BTreeMap<String, Vec<Value>>)], attrs: &[String]) -> String {
     let mut out = String::new();
     for (entity, values) in rows {
         for attr in attrs {
@@ -191,7 +192,7 @@ mod tests {
         let raw = render_all_sources(&data);
         assert_eq!(raw.len(), 13);
         let fused = fuse_sources(&raw).expect("rendered sources must parse");
-        let kg = load_into_graph(&raw, &fused);
+        let kg = load_into_graph(&raw, &fused).unwrap();
         assert_eq!(kg.source_count(), 13);
         // The reconstructed graph should carry a comparable number of
         // claims (JSON/CSV collapse multi-valued slots into one claim,
@@ -206,14 +207,14 @@ mod tests {
 
     #[test]
     fn csv_rendering_escapes_fields() {
-        let rows = vec![("A, \"B\"".to_string(), FxHashMap::default())];
+        let rows = vec![("A, \"B\"".to_string(), BTreeMap::new())];
         let text = render_csv(&rows, &[]);
         assert!(text.contains("\"A, \"\"B\"\"\""));
     }
 
     #[test]
     fn xml_rendering_escapes_entities() {
-        let mut values: FxHashMap<String, Vec<Value>> = FxHashMap::default();
+        let mut values: BTreeMap<String, Vec<Value>> = BTreeMap::new();
         values.insert("note".into(), vec![Value::from("a < b & c")]);
         let rows = vec![("E".to_string(), values)];
         let text = render_xml(&rows, &["note".to_string()]);

@@ -10,7 +10,7 @@
 
 use crate::csv;
 use crate::dsm::ColumnStore;
-use crate::error::ParseError;
+use crate::error::{IngestError, ParseError};
 use crate::json::{self, JsonValue};
 use crate::jsonld::NormalizedRecord;
 use crate::xml::{self, XmlElement, XmlNode};
@@ -606,7 +606,7 @@ impl Adapter for TextAdapter {
 /// let fused = fuse_sources(&sources).unwrap();
 /// assert_eq!(fused[0].1.claims.len(), 1);
 /// ```
-pub fn fuse_sources(sources: &[RawSource]) -> Result<Vec<(usize, AdaptedSource)>, ParseError> {
+pub fn fuse_sources(sources: &[RawSource]) -> Result<Vec<(usize, AdaptedSource)>, IngestError> {
     Ok(fuse_sources_with(sources, IngestMode::Strict)?.adapted)
 }
 
@@ -711,7 +711,7 @@ fn adapter_for(format: SourceFormat) -> Box<dyn Adapter> {
 pub fn fuse_sources_with(
     sources: &[RawSource],
     mode: IngestMode,
-) -> Result<FusionReport, ParseError> {
+) -> Result<FusionReport, IngestError> {
     let mut report = FusionReport::default();
     let mut next_id = 0u64;
     for (index, source) in sources.iter().enumerate() {
@@ -737,12 +737,23 @@ pub fn fuse_sources_with(
 }
 
 /// Loads fused claims into a fresh [`KnowledgeGraph`], registering one
-/// graph source per raw source.
-pub fn load_into_graph(sources: &[RawSource], fused: &[(usize, AdaptedSource)]) -> KnowledgeGraph {
+/// graph source per raw source. Fails with
+/// [`IngestError::SourceIndexOutOfRange`] if the fusion output
+/// references a source the slice does not contain — a mismatched
+/// `(sources, fused)` pair must surface as a typed error, not a panic.
+pub fn load_into_graph(
+    sources: &[RawSource],
+    fused: &[(usize, AdaptedSource)],
+) -> Result<KnowledgeGraph, IngestError> {
     let total_claims: usize = fused.iter().map(|(_, a)| a.claims.len()).sum();
     let mut kg = KnowledgeGraph::with_capacity(total_claims / 2 + 8, total_claims);
     for (index, adapted) in fused {
-        let raw = &sources[*index];
+        let raw = sources
+            .get(*index)
+            .ok_or(IngestError::SourceIndexOutOfRange {
+                index: *index,
+                sources: sources.len(),
+            })?;
         let source_id = kg.add_source(&raw.name, raw.format.tag(), &raw.domain);
         for claim in &adapted.claims {
             let subject = kg.add_entity(&claim.entity, &raw.domain);
@@ -759,7 +770,7 @@ pub fn load_into_graph(sources: &[RawSource], fused: &[(usize, AdaptedSource)]) 
             kg.add_triple(subject, predicate, object, source_id, claim.chunk);
         }
     }
-    kg
+    Ok(kg)
 }
 
 #[cfg(test)]
@@ -1056,7 +1067,7 @@ mod tests {
     fn load_into_graph_builds_provenance() {
         let sources = vec![csv_source(), json_source()];
         let fused = fuse_sources(&sources).unwrap();
-        let kg = load_into_graph(&sources, &fused);
+        let kg = load_into_graph(&sources, &fused).unwrap();
         assert_eq!(kg.source_count(), 2);
         let heat = kg.find_entity("Heat", "movies").unwrap();
         let year = kg.find_relation("year").unwrap();
@@ -1077,7 +1088,7 @@ mod tests {
         };
         let sources = vec![kg_dump];
         let fused = fuse_sources(&sources).unwrap();
-        let kg = load_into_graph(&sources, &fused);
+        let kg = load_into_graph(&sources, &fused).unwrap();
         let heat = kg.find_entity("Heat", "movies").unwrap();
         let mann = kg.find_entity("Mann", "movies").unwrap();
         assert_eq!(kg.neighbors(heat), vec![mann]);

@@ -8,13 +8,16 @@
 
 use crate::csv::Table;
 use multirag_kg::{FxHashMap, Value};
+use std::collections::BTreeMap;
 
 /// One column: the values in row order plus an inverted index from
 /// canonical value key to row positions.
 #[derive(Debug, Clone, Default)]
 pub struct Column {
     values: Vec<Value>,
-    inverted: FxHashMap<String, Vec<u32>>,
+    /// BTreeMap: `value_frequencies` walks this, so the walk order must
+    /// be a function of the data, not of insertion history.
+    inverted: BTreeMap<String, Vec<u32>>,
 }
 
 impl Column {

@@ -1,4 +1,5 @@
-//! Parse-error reporting shared by the JSON / CSV / XML parsers.
+//! Parse-error reporting shared by the JSON / CSV / XML parsers, and
+//! the typed [`IngestError`] the fusion / graph-loading API surfaces.
 
 use std::fmt;
 
@@ -27,7 +28,7 @@ impl ParseError {
         message: impl Into<String>,
     ) -> Self {
         let clamped = offset.min(input.len());
-        let prefix = &input.as_bytes()[..clamped];
+        let prefix = input.as_bytes().get(..clamped).unwrap_or_default();
         let line = prefix.iter().filter(|&&b| b == b'\n').count() + 1;
         let column = clamped
             - prefix
@@ -57,6 +58,52 @@ impl fmt::Display for ParseError {
 }
 
 impl std::error::Error for ParseError {}
+
+/// Typed error for the ingest pipeline above the parser layer. Library
+/// code propagates this instead of panicking, so malformed or
+/// inconsistent inputs surface as structured failures the chaos
+/// harness and the CLI can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// A source failed to parse or adapt; carries the positional error.
+    Parse(ParseError),
+    /// A fused claim batch referenced a raw-source index that does not
+    /// exist in the source list handed to graph loading — the fusion
+    /// output and the source slice are out of sync.
+    SourceIndexOutOfRange {
+        /// The offending index from the fusion output.
+        index: usize,
+        /// Number of raw sources actually provided.
+        sources: usize,
+    },
+}
+
+impl From<ParseError> for IngestError {
+    fn from(err: ParseError) -> Self {
+        IngestError::Parse(err)
+    }
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Parse(err) => err.fmt(f),
+            IngestError::SourceIndexOutOfRange { index, sources } => write!(
+                f,
+                "fused output references source index {index}, but only {sources} raw source(s) were provided"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Parse(err) => Some(err),
+            IngestError::SourceIndexOutOfRange { .. } => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -92,5 +139,18 @@ mod tests {
         assert!(text.contains("json"));
         assert!(text.contains("line 1"));
         assert!(text.contains("unexpected char"));
+    }
+
+    #[test]
+    fn ingest_error_wraps_and_explains() {
+        let parse = ParseError::at("csv", "x", 0, "boom");
+        let wrapped = IngestError::from(parse.clone());
+        assert_eq!(wrapped.to_string(), parse.to_string());
+        let oob = IngestError::SourceIndexOutOfRange {
+            index: 7,
+            sources: 3,
+        };
+        let text = oob.to_string();
+        assert!(text.contains('7') && text.contains('3'));
     }
 }

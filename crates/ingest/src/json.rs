@@ -294,7 +294,20 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+    /// Remaining input from the cursor. The scanner keeps `pos` on a
+    /// char boundary; if that invariant ever broke this degrades to
+    /// `""` and the caller reports a parse error — adversarial input
+    /// can never panic the parser.
+    fn rest(&self) -> &'a str {
+        self.input.get(self.pos..).unwrap_or("")
+    }
+
+    /// Checked `input[start..end]`, degrading to `""` like [`Self::rest`].
+    fn slice(&self, start: usize, end: usize) -> &'a str {
+        self.input.get(start..end).unwrap_or("")
+    }
+
+    fn expect_byte(&mut self, byte: u8) -> Result<(), ParseError> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
@@ -318,7 +331,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_keyword(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, ParseError> {
-        if self.input[self.pos..].starts_with(word) {
+        if self.rest().starts_with(word) {
             self.pos += word.len();
             Ok(value)
         } else {
@@ -327,7 +340,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_object(&mut self) -> Result<JsonValue, ParseError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut members = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b'}') {
@@ -338,7 +351,7 @@ impl<'a> Parser<'a> {
             self.skip_whitespace();
             let key = self.parse_string()?;
             self.skip_whitespace();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_whitespace();
             let value = self.parse_value()?;
             members.push((key, value));
@@ -357,7 +370,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_array(&mut self) -> Result<JsonValue, ParseError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b']') {
@@ -382,7 +395,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_string(&mut self) -> Result<String, ParseError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             let Some(b) = self.peek() else {
@@ -412,7 +425,7 @@ impl<'a> Parser<'a> {
                             let unit = self.parse_hex4()?;
                             let c = if (0xD800..0xDC00).contains(&unit) {
                                 // High surrogate: must be followed by \uDC00-\uDFFF.
-                                if self.input[self.pos..].starts_with("\\u") {
+                                if self.rest().starts_with("\\u") {
                                     self.pos += 2;
                                     let low = self.parse_hex4()?;
                                     if !(0xDC00..0xE000).contains(&low) {
@@ -458,7 +471,7 @@ impl<'a> Parser<'a> {
         if self.pos + 4 > self.bytes.len() {
             return Err(self.error("truncated \\u escape"));
         }
-        let hex = &self.input[self.pos..self.pos + 4];
+        let hex = self.slice(self.pos, self.pos + 4);
         let value = u32::from_str_radix(hex, 16)
             .map_err(|_| self.error(format!("invalid hex in \\u escape: '{hex}'")))?;
         self.pos += 4;
@@ -504,7 +517,7 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = &self.input[start..self.pos];
+        let text = self.slice(start, self.pos);
         if is_float {
             text.parse::<f64>()
                 .map(JsonValue::Float)

@@ -37,6 +37,6 @@ pub use adapter::{
     IngestDiagnostic, IngestMode, RawSource, SourceFormat,
 };
 pub use dsm::ColumnStore;
-pub use error::ParseError;
+pub use error::{IngestError, ParseError};
 pub use json::JsonValue;
 pub use jsonld::NormalizedRecord;

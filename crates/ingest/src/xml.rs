@@ -181,8 +181,21 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
+    /// Remaining input from the cursor. The scanning invariants keep
+    /// `pos` on a char boundary; if a bug ever violated them this
+    /// degrades to `""` — the caller reports a parse error instead of
+    /// the parser panicking on adversarial input.
+    fn rest(&self) -> &'a str {
+        self.input.get(self.pos..).unwrap_or("")
+    }
+
+    /// Checked `input[start..end]`, degrading to `""` like [`Self::rest`].
+    fn slice(&self, start: usize, end: usize) -> &'a str {
+        self.input.get(start..end).unwrap_or("")
+    }
+
     fn starts_with(&self, prefix: &str) -> bool {
-        self.input[self.pos..].starts_with(prefix)
+        self.rest().starts_with(prefix)
     }
 
     fn skip_whitespace(&mut self) {
@@ -213,7 +226,7 @@ impl<'a> Parser<'a> {
 
     fn skip_comment(&mut self) -> Result<(), ParseError> {
         self.pos += 4; // "<!--"
-        match self.input[self.pos..].find("-->") {
+        match self.rest().find("-->") {
             Some(idx) => {
                 self.pos += idx + 3;
                 Ok(())
@@ -223,7 +236,7 @@ impl<'a> Parser<'a> {
     }
 
     fn skip_until(&mut self, terminator: &str) -> Result<(), ParseError> {
-        match self.input[self.pos..].find(terminator) {
+        match self.rest().find(terminator) {
             Some(idx) => {
                 self.pos += idx + terminator.len();
                 Ok(())
@@ -250,7 +263,7 @@ impl<'a> Parser<'a> {
         if self.pos == start {
             return Err(self.error("expected a name"));
         }
-        Ok(self.input[start..self.pos].to_string())
+        Ok(self.slice(start, self.pos).to_string())
     }
 
     fn parse_element(&mut self) -> Result<XmlElement, ParseError> {
@@ -335,10 +348,10 @@ impl<'a> Parser<'a> {
                 self.skip_comment()?;
             } else if self.starts_with("<![CDATA[") {
                 self.pos += 9;
-                match self.input[self.pos..].find("]]>") {
+                match self.rest().find("]]>") {
                     Some(idx) => {
                         children.push(XmlNode::Text(
-                            self.input[self.pos..self.pos + idx].to_string(),
+                            self.slice(self.pos, self.pos + idx).to_string(),
                         ));
                         self.pos += idx + 3;
                     }
@@ -396,15 +409,16 @@ fn decode_entities(raw: &str, doc: &str, base: usize) -> Result<String, ParseErr
             "quot" => out.push('"'),
             "apos" => out.push('\''),
             _ if entity.starts_with("#x") || entity.starts_with("#X") => {
-                let code = u32::from_str_radix(&entity[2..], 16).map_err(|_| {
-                    ParseError::at("xml", doc, base + consumed + idx, "bad hex char reference")
-                })?;
+                let code =
+                    u32::from_str_radix(entity.get(2..).unwrap_or(""), 16).map_err(|_| {
+                        ParseError::at("xml", doc, base + consumed + idx, "bad hex char reference")
+                    })?;
                 out.push(char::from_u32(code).ok_or_else(|| {
                     ParseError::at("xml", doc, base + consumed + idx, "invalid char reference")
                 })?);
             }
             _ if entity.starts_with('#') => {
-                let code = entity[1..].parse::<u32>().map_err(|_| {
+                let code = entity.get(1..).unwrap_or("").parse::<u32>().map_err(|_| {
                     ParseError::at("xml", doc, base + consumed + idx, "bad char reference")
                 })?;
                 out.push(char::from_u32(code).ok_or_else(|| {
@@ -421,7 +435,7 @@ fn decode_entities(raw: &str, doc: &str, base: usize) -> Result<String, ParseErr
             }
         }
         consumed += idx + 1 + end + 1;
-        rest = &after[end + 1..];
+        rest = after.get(end + 1..).unwrap_or("");
     }
     out.push_str(rest);
     Ok(out)

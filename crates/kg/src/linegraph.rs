@@ -13,7 +13,6 @@
 //! all-pairs `O(n²)`.
 
 use crate::graph::{KnowledgeGraph, TripleId};
-use crate::hash::FxHashMap;
 use crate::triple::{EntityId, Triple};
 
 /// Aggregate statistics of a line graph.
@@ -53,8 +52,11 @@ impl LineGraph {
     /// retrieved for one query).
     pub fn from_triples(kg: &KnowledgeGraph, subset: &[TripleId]) -> Self {
         let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); subset.len()];
-        // Bucket node positions by entity endpoint.
-        let mut buckets: FxHashMap<EntityId, Vec<u32>> = FxHashMap::default();
+        // Bucket node positions by entity endpoint. A BTreeMap keeps
+        // the bucket walk in entity order — adjacency lists come out
+        // identical regardless of insertion history.
+        let mut buckets: std::collections::BTreeMap<EntityId, Vec<u32>> =
+            std::collections::BTreeMap::new();
         for (pos, &tid) in subset.iter().enumerate() {
             let triple: &Triple = kg.triple(tid);
             let (s, o) = triple.endpoints();

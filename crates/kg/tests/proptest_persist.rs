@@ -141,7 +141,7 @@ proptest! {
         prop_assert_eq!(objects.len(), 2);
         match &objects[0] {
             multirag_kg::Object::Literal(Value::Str(got)) => prop_assert_eq!(got, &s),
-            other => return Err(proptest::test_runner::TestCaseError::Fail(
+            other => return Err(TestCaseError::Fail(
                 format!("expected string literal, got {other:?}"),
             )),
         }

@@ -1,0 +1,266 @@
+//! The ratcheted allow-list (`lint_allow.toml`) and its reconciliation.
+//!
+//! Budgets are per `(rule, file)` counts of *accepted* findings, each
+//! justified by a comment in the TOML. The ratchet has one direction:
+//!
+//! * `count > budget` → **violation**: new debt was introduced; fix it
+//!   (budgets are never raised for existing rules without a design
+//!   discussion — the file is reviewed like code).
+//! * `count < budget` → **stale budget**: debt was paid down; the
+//!   budget must shrink to match, so it can never silently grow back.
+//!   Stale budgets fail under `MULTIRAG_LINT_STRICT=1` (CI).
+//!
+//! `[exempt.<RULE>] files = […]` structurally exempts whole files from
+//! one rule — the escape hatch for code whose job *is* the forbidden
+//! thing (the wall-clock timing module, for D02).
+
+use crate::report::{Finding, RULES};
+use crate::toml::{self, TomlValue};
+use std::collections::BTreeMap;
+
+/// Parsed `lint_allow.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct AllowList {
+    /// `(rule, file)` → accepted finding count.
+    budgets: BTreeMap<(String, String), usize>,
+    /// rule → files fully exempt from it.
+    exempt: BTreeMap<String, Vec<String>>,
+}
+
+/// Outcome of reconciling findings against an [`AllowList`].
+#[derive(Debug, Clone, Default)]
+pub struct Reconciliation {
+    /// Findings that survived exemption filtering, in canonical order.
+    pub kept: Vec<Finding>,
+    /// `(rule, file)` → `(count, budget)`, union of both sides.
+    pub rows: BTreeMap<(String, String), (usize, usize)>,
+    /// Formatted over-budget failures.
+    pub violations: Vec<String>,
+    /// Formatted shrink-the-budget notices.
+    pub stale: Vec<String>,
+    /// rule → findings suppressed by `[exempt.*]`.
+    pub exempted: BTreeMap<String, usize>,
+}
+
+impl AllowList {
+    /// Parses the allow-list text; unknown rule ids are hard errors so
+    /// a typo cannot silently allow anything.
+    pub fn parse(input: &str) -> Result<Self, String> {
+        let doc = toml::parse(input)?;
+        let mut out = AllowList::default();
+        for (section, entries) in &doc {
+            if let Some(rule) = section.strip_prefix("budget.") {
+                let rule = known_rule(rule)?;
+                for (file, value) in entries {
+                    let TomlValue::Int(n) = value else {
+                        return Err(format!("[{section}] {file}: budget must be an integer"));
+                    };
+                    out.budgets
+                        .insert((rule.to_string(), file.clone()), *n as usize);
+                }
+            } else if let Some(rule) = section.strip_prefix("exempt.") {
+                let rule = known_rule(rule)?;
+                match entries.get("files") {
+                    Some(TomlValue::StrArray(files)) => {
+                        out.exempt.insert(rule.to_string(), files.clone());
+                    }
+                    _ => return Err(format!("[{section}] needs `files = [\"…\"]`")),
+                }
+            } else {
+                return Err(format!("unknown section [{section}]"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether `file` is structurally exempt from `rule`.
+    pub fn is_exempt(&self, rule: &str, file: &str) -> bool {
+        self.exempt
+            .get(rule)
+            .is_some_and(|files| files.iter().any(|f| f == file))
+    }
+
+    /// Filters exemptions and compares surviving counts against
+    /// budgets.
+    pub fn reconcile(&self, findings: &[Finding]) -> Reconciliation {
+        let mut recon = Reconciliation::default();
+        for finding in findings {
+            if self.is_exempt(finding.rule, &finding.file) {
+                *recon.exempted.entry(finding.rule.to_string()).or_insert(0) += 1;
+            } else {
+                recon.kept.push(finding.clone());
+            }
+        }
+        crate::report::sort_findings(&mut recon.kept);
+        for finding in &recon.kept {
+            recon
+                .rows
+                .entry((finding.rule.to_string(), finding.file.clone()))
+                .or_insert((0, 0))
+                .0 += 1;
+        }
+        for (key, &budget) in &self.budgets {
+            recon.rows.entry(key.clone()).or_insert((0, 0)).1 = budget;
+        }
+        for ((rule, file), &(count, budget)) in &recon.rows {
+            if count > budget {
+                recon.violations.push(format!(
+                    "{rule} {file}: {count} finding(s) exceed budget {budget} — fix the regression or justify a budget change in lint_allow.toml"
+                ));
+            } else if count < budget {
+                recon.stale.push(format!(
+                    "{rule} {file}: budget {budget} > {count} finding(s) — shrink the budget (the ratchet only tightens)"
+                ));
+            }
+        }
+        recon
+    }
+
+    /// Renders a fresh allow-list from observed counts, preserving the
+    /// exemption sections. Used by `MULTIRAG_LINT_UPDATE_BUDGETS=1`;
+    /// justification comments must be re-added by hand in review.
+    pub fn render_from(&self, recon: &Reconciliation) -> String {
+        let mut out = String::from(
+            "# lint_allow.toml — ratcheted budgets for multirag-lint (see DESIGN.md §5.9).\n\
+             #\n\
+             # Every entry is accepted, justified technical debt: `\"file\" = count`.\n\
+             # CI fails when a count grows past its budget AND when a budget is\n\
+             # stale (larger than the current count) — budgets only shrink.\n\
+             # Regenerate with: MULTIRAG_LINT_UPDATE_BUDGETS=1 cargo run --release \\\n\
+             #   -p multirag-bench --bin repro_lint   (then re-justify entries)\n",
+        );
+        for (rule, files) in &self.exempt {
+            out.push_str(&format!("\n[exempt.{rule}]\nfiles = ["));
+            for (i, f) in files.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{f}\""));
+            }
+            out.push_str("]\n");
+        }
+        for rule in RULES {
+            let entries: Vec<(&str, usize)> = recon
+                .rows
+                .iter()
+                .filter(|((r, _), &(count, _))| r == rule.id && count > 0)
+                .map(|((_, file), &(count, _))| (file.as_str(), count))
+                .collect();
+            if entries.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("\n[budget.{}]\n", rule.id));
+            for (file, count) in entries {
+                out.push_str(&format!("\"{file}\" = {count}\n"));
+            }
+        }
+        out
+    }
+}
+
+impl Reconciliation {
+    /// Surviving findings for one rule.
+    pub fn rule_count(&self, rule: &str) -> usize {
+        self.rows
+            .iter()
+            .filter(|((r, _), _)| r == rule)
+            .map(|(_, &(count, _))| count)
+            .sum()
+    }
+
+    /// Total budget for one rule.
+    pub fn rule_budget(&self, rule: &str) -> usize {
+        self.rows
+            .iter()
+            .filter(|((r, _), _)| r == rule)
+            .map(|(_, &(_, budget))| budget)
+            .sum()
+    }
+
+    /// Exempted findings for one rule.
+    pub fn rule_exempted(&self, rule: &str) -> usize {
+        self.exempted.get(rule).copied().unwrap_or(0)
+    }
+
+    /// Total budget across rules.
+    pub fn total_budget(&self) -> usize {
+        self.rows.values().map(|&(_, budget)| budget).sum()
+    }
+}
+
+fn known_rule(rule: &str) -> Result<&str, String> {
+    RULES
+        .iter()
+        .find(|r| r.id == rule)
+        .map(|r| r.id)
+        .ok_or_else(|| format!("unknown rule id `{rule}` in lint_allow.toml"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line: 1,
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn over_budget_is_a_violation() {
+        let allow = AllowList::parse("[budget.R01]\n\"a.rs\" = 1\n").unwrap();
+        let recon = allow.reconcile(&[finding("R01", "a.rs"), finding("R01", "a.rs")]);
+        assert_eq!(recon.violations.len(), 1);
+        assert!(recon.stale.is_empty());
+        assert_eq!(recon.rule_count("R01"), 2);
+        assert_eq!(recon.rule_budget("R01"), 1);
+    }
+
+    #[test]
+    fn under_budget_is_stale() {
+        let allow = AllowList::parse("[budget.R01]\n\"a.rs\" = 3\n").unwrap();
+        let recon = allow.reconcile(&[finding("R01", "a.rs")]);
+        assert!(recon.violations.is_empty());
+        assert_eq!(recon.stale.len(), 1);
+    }
+
+    #[test]
+    fn exact_budget_is_clean() {
+        let allow = AllowList::parse("[budget.D01]\n\"a.rs\" = 1\n").unwrap();
+        let recon = allow.reconcile(&[finding("D01", "a.rs")]);
+        assert!(recon.violations.is_empty() && recon.stale.is_empty());
+    }
+
+    #[test]
+    fn exemptions_suppress_findings() {
+        let allow = AllowList::parse("[exempt.D02]\nfiles = [\"t.rs\"]\n").unwrap();
+        let recon = allow.reconcile(&[finding("D02", "t.rs"), finding("D02", "o.rs")]);
+        assert_eq!(recon.kept.len(), 1);
+        assert_eq!(recon.rule_exempted("D02"), 1);
+        assert_eq!(
+            recon.violations.len(),
+            1,
+            "non-exempt file still unbudgeted"
+        );
+    }
+
+    #[test]
+    fn unknown_rules_are_rejected() {
+        assert!(AllowList::parse("[budget.Z99]\n\"a.rs\" = 1\n").is_err());
+        assert!(AllowList::parse("[exempt.nope]\nfiles = []\n").is_err());
+    }
+
+    #[test]
+    fn render_round_trips_counts() {
+        let allow = AllowList::parse("[exempt.D02]\nfiles = [\"t.rs\"]\n").unwrap();
+        let recon = allow.reconcile(&[finding("D01", "a.rs"), finding("D01", "a.rs")]);
+        let rendered = allow.render_from(&recon);
+        let reparsed = AllowList::parse(&rendered).unwrap();
+        let recon2 = reparsed.reconcile(&[finding("D01", "a.rs"), finding("D01", "a.rs")]);
+        assert!(recon2.violations.is_empty() && recon2.stale.is_empty());
+        assert!(reparsed.is_exempt("D02", "t.rs"));
+    }
+}

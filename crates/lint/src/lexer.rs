@@ -1,0 +1,430 @@
+//! A small Rust lexer producing a flat, line-annotated token stream.
+//!
+//! The workspace has no crates.io access, so `syn` is unavailable; the
+//! lint rules instead pattern-match over this token stream. The lexer's
+//! job is to make that sound: comments (line, doc, nested block) are
+//! dropped, string/char literals are tokenized as opaque values (so a
+//! `"unwrap()"` inside a message can never trip a rule), lifetimes are
+//! distinguished from char literals, and raw strings with arbitrary
+//! `#` fences are handled. Multi-character operators that the rules
+//! care about (`::`, `..`, `=>`, `==`, …) are emitted as single tokens.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Lifetime such as `'a` (without the quote in `text`).
+    Lifetime,
+    /// Numeric literal (integer or float, suffix included).
+    Number,
+    /// String literal; `text` holds the *inner* contents, un-unescaped.
+    Str,
+    /// Char or byte literal; `text` holds the inner contents.
+    Char,
+    /// Punctuation / operator, possibly multi-character.
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lexeme class.
+    pub kind: TokenKind,
+    /// Lexeme text (see [`TokenKind`] for per-kind conventions).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// Multi-character operators emitted as single [`TokenKind::Punct`]
+/// tokens, longest-match-first.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+/// Lexes `source` into a token stream. The lexer never fails: malformed
+/// trailing input degrades into single-character punct tokens, which is
+/// safe for linting (rules only match well-formed patterns).
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        chars: source.char_indices().collect(),
+        src: source,
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<(usize, char)>,
+    src: &'a str,
+    /// Index into `chars`.
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0);
+        if let Some(ch) = c {
+            if ch == '\n' {
+                self.line += 1;
+            }
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn byte_offset(&self) -> usize {
+        self.chars
+            .get(self.pos)
+            .map(|&(b, _)| b)
+            .unwrap_or(self.src.len())
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                ' ' | '\t' | '\r' | '\n' => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.skip_line_comment(),
+                '/' if self.peek(1) == Some('*') => self.skip_block_comment(),
+                '"' => self.lex_string(line),
+                '\'' => self.lex_quote(line),
+                'r' if matches!(self.peek(1), Some('"') | Some('#'))
+                    && self.raw_string_ahead(1) =>
+                {
+                    self.bump();
+                    self.lex_raw_string(line);
+                }
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.lex_string(line);
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.lex_quote(line);
+                }
+                'b' if self.peek(1) == Some('r') && self.raw_string_ahead(2) => {
+                    self.bump();
+                    self.bump();
+                    self.lex_raw_string(line);
+                }
+                c if c.is_ascii_digit() => self.lex_number(line),
+                c if c == '_' || c.is_alphabetic() => self.lex_ident(line),
+                _ => self.lex_punct(line),
+            }
+        }
+        self.out
+    }
+
+    /// Whether the characters starting `ahead` after the current one
+    /// form the start of a raw-string fence (`#*"`).
+    fn raw_string_ahead(&self, ahead: usize) -> bool {
+        let mut i = ahead;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn skip_line_comment(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn skip_block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    fn lex_string(&mut self, line: u32) {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '"' => break,
+                '\\' => {
+                    text.push(c);
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                _ => text.push(c),
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    fn lex_raw_string(&mut self, line: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        let start = self.byte_offset();
+        let mut end = start;
+        'scan: while let Some(c) = self.peek(0) {
+            if c == '"' {
+                let mut ok = true;
+                for i in 0..hashes {
+                    if self.peek(1 + i) != Some('#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    end = self.byte_offset();
+                    self.bump();
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break 'scan;
+                }
+            }
+            self.bump();
+            end = self.byte_offset();
+        }
+        let text = self.src.get(start..end).unwrap_or("").to_string();
+        self.push(TokenKind::Str, text, line);
+    }
+
+    /// `'` starts either a char literal or a lifetime.
+    fn lex_quote(&mut self, line: u32) {
+        self.bump(); // '
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal.
+                let mut text = String::new();
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                    text.push(c);
+                    if c == '\\' {
+                        if let Some(esc) = self.bump() {
+                            text.push(esc);
+                        }
+                    }
+                }
+                self.push(TokenKind::Char, text, line);
+            }
+            Some(c) if c == '_' || c.is_alphanumeric() => {
+                // Could be `'a'` (char) or `'a` / `'static` (lifetime).
+                let mut ident = String::new();
+                let mut i = 0usize;
+                while let Some(ch) = self.peek(i) {
+                    if ch == '_' || ch.is_alphanumeric() {
+                        ident.push(ch);
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if self.peek(i) == Some('\'') {
+                    for _ in 0..=i {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Char, ident, line);
+                } else {
+                    for _ in 0..i {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Lifetime, ident, line);
+                }
+            }
+            _ => {
+                // `'(' `, stray quote, etc. — treat as punct.
+                self.push(TokenKind::Punct, "'".to_string(), line);
+            }
+        }
+    }
+
+    fn lex_number(&mut self, line: u32) {
+        let mut text = String::new();
+        // Integer / radix part plus any alphanumeric suffix.
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Fractional part only when `.` is followed by a digit, so
+        // `0..n` and `1.max(2)` stay separate tokens.
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            text.push('.');
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        // Exponent with sign (`1e-3`): the `e` was consumed above, the
+        // sign and digits were not.
+        if (text.ends_with('e') || text.ends_with('E'))
+            && matches!(self.peek(0), Some('+') | Some('-'))
+            && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            text.push(self.bump().unwrap_or('-'));
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.push(TokenKind::Number, text, line);
+    }
+
+    fn lex_ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    fn lex_punct(&mut self, line: u32) {
+        for op in MULTI_PUNCT {
+            let mut matches = true;
+            for (i, expected) in op.chars().enumerate() {
+                if self.peek(i) != Some(expected) {
+                    matches = false;
+                    break;
+                }
+            }
+            if matches {
+                for _ in 0..op.chars().count() {
+                    self.bump();
+                }
+                self.push(TokenKind::Punct, (*op).to_string(), line);
+                return;
+            }
+        }
+        if let Some(c) = self.bump() {
+            self.push(TokenKind::Punct, c.to_string(), line);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let toks = lex("let x = \"a.unwrap()\"; // .unwrap()\n/* .keys() */ y");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "x", "y"]);
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Str));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let toks = lex(r####"let s = r#"has "quotes" and unwrap()"#; done"####);
+        let s = toks.iter().find(|t| t.kind == TokenKind::Str).unwrap();
+        assert!(s.text.contains("unwrap()"));
+        assert!(toks.iter().any(|t| t.text == "done"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "a"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Char && t.text == "x"));
+    }
+
+    #[test]
+    fn floats_ranges_and_operators() {
+        assert_eq!(texts("0.5"), vec!["0.5"]);
+        assert_eq!(texts("0..n"), vec!["0", "..", "n"]);
+        assert_eq!(texts("a::b"), vec!["a", "::", "b"]);
+        assert_eq!(texts("x == 1e-3"), vec!["x", "==", "1e-3"]);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        assert_eq!(texts("a /* x /* y */ z */ b"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = lex(r##"let a = b"bytes"; let c = br#"raw"#;"##);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec!["bytes", "raw"]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Findings, the rule catalogue, and byte-stable `lint.json` rendering.
+//!
+//! The report is a *deterministic artifact*: findings are sorted by
+//! `(rule, file, line, message)`, counts are plain integers, and no
+//! wall clock or absolute path ever enters the output — two runs over
+//! the same tree are byte-identical, which the CI lint-gate job checks
+//! with `cmp`.
+
+use crate::allow::Reconciliation;
+use multirag_obs::json::JsonObj;
+
+/// One diagnostic emitted by a rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`D01`, `R01`, …).
+    pub rule: &'static str,
+    /// Workspace-relative file, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Catalogue entry describing a rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable id, also the budget-table key.
+    pub id: &'static str,
+    /// Short kebab-case name.
+    pub name: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+}
+
+/// The full rule catalogue, in report order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "D01",
+        name: "hash-iteration",
+        summary: "iteration over HashMap/HashSet order in library code can leak nondeterminism into artifacts",
+    },
+    RuleInfo {
+        id: "D02",
+        name: "wall-clock-entropy",
+        summary: "wall-clock or entropy calls outside the exempt timing module break replayability",
+    },
+    RuleInfo {
+        id: "D03",
+        name: "float-over-hash-order",
+        summary: "f64 sum/fold over hash-ordered iteration is order-sensitive",
+    },
+    RuleInfo {
+        id: "R01",
+        name: "panic-site",
+        summary: "unwrap/expect/panic!/indexing in non-test library code",
+    },
+    RuleInfo {
+        id: "S01",
+        name: "ungated-artifact",
+        summary: "repro binaries writing results/*.json must register under the MULTIRAG_CHECK_SCHEMA golden gate",
+    },
+    RuleInfo {
+        id: "P01",
+        name: "paper-constant",
+        summary: "paper hyper-parameters may only be defined in core::config",
+    },
+];
+
+/// Sorts findings into canonical report order.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.rule, &a.file, a.line, &a.message).cmp(&(b.rule, &b.file, b.line, &b.message))
+    });
+}
+
+/// Renders the `results/lint.json` artifact. `files_scanned` is the
+/// discovery count; `recon` carries per-rule counts, budgets and
+/// ratchet verdicts.
+pub fn lint_json(files_scanned: usize, findings: &[Finding], recon: &Reconciliation) -> String {
+    let rules = RULES.iter().map(|rule| {
+        JsonObj::new()
+            .str("rule", rule.id)
+            .str("name", rule.name)
+            .usize("findings", recon.rule_count(rule.id))
+            .usize("budget", recon.rule_budget(rule.id))
+            .usize("exempted", recon.rule_exempted(rule.id))
+            .build()
+    });
+    let findings_json = findings.iter().map(|f| {
+        JsonObj::new()
+            .str("rule", f.rule)
+            .str("file", &f.file)
+            .u64("line", u64::from(f.line))
+            .str("message", &f.message)
+            .build()
+    });
+    let totals = JsonObj::new()
+        .usize("findings", findings.len())
+        .usize("budget", recon.total_budget())
+        .usize("violations", recon.violations.len())
+        .usize("stale_budgets", recon.stale.len())
+        .build();
+    JsonObj::new()
+        .u64("schema_version", 1)
+        .usize("files_scanned", files_scanned)
+        .arr("rules", rules)
+        .arr("findings", findings_json)
+        .raw("totals", &totals)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allow::AllowList;
+
+    fn finding(rule: &'static str, file: &str, line: u32) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn findings_sort_by_rule_file_line() {
+        let mut v = vec![
+            finding("R01", "b.rs", 2),
+            finding("D01", "z.rs", 9),
+            finding("R01", "a.rs", 5),
+            finding("R01", "a.rs", 1),
+        ];
+        sort_findings(&mut v);
+        let order: Vec<(&str, &str, u32)> = v
+            .iter()
+            .map(|f| (f.rule, f.file.as_str(), f.line))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("D01", "z.rs", 9),
+                ("R01", "a.rs", 1),
+                ("R01", "a.rs", 5),
+                ("R01", "b.rs", 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn json_is_stable_and_covers_every_rule() {
+        let findings = vec![finding("D01", "crates/x/src/lib.rs", 3)];
+        let recon = AllowList::default().reconcile(&findings);
+        let a = lint_json(7, &findings, &recon);
+        let b = lint_json(7, &findings, &recon);
+        assert_eq!(a, b);
+        for rule in RULES {
+            assert!(a.contains(&format!("\"rule\":\"{}\"", rule.id)));
+        }
+        assert!(a.contains("\"files_scanned\":7"));
+        assert!(a.contains("\"violations\":1"));
+    }
+}

@@ -1,0 +1,62 @@
+//! D01 — iteration over hash-ordered collections in library code.
+//!
+//! `HashMap`/`HashSet`/`FxHashMap`/`FxHashSet` iterate in memory /
+//! hasher order. Even with the deterministic `FxHasher` the order is
+//! an artifact of insertion history, not of the data — one refactor
+//! away from leaking into a serialized report. Library code must
+//! iterate `BTreeMap`/`BTreeSet` or sort the collected entries.
+//! Sites that additionally float-accumulate belong to D03 and are not
+//! double-reported here.
+
+use crate::report::Finding;
+use crate::rules::util::{hash_iteration_sites, FileCtx};
+use crate::walk::FileKind;
+
+/// Runs the rule over one file.
+pub fn check(ctx: &FileCtx<'_>) -> Vec<Finding> {
+    if ctx.kind != FileKind::Library {
+        return Vec::new();
+    }
+    hash_iteration_sites(ctx)
+        .into_iter()
+        .filter(|site| !site.float_accumulation)
+        .map(|site| Finding {
+            rule: "D01",
+            file: ctx.rel.to_string(),
+            line: ctx.line(site.idx),
+            message: format!(
+                "iteration over hash-ordered `{}` ({}) — order can leak into artifacts; use a BTree collection or sort the collect",
+                site.name, site.method
+            ),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lint_source;
+
+    #[test]
+    fn positive_hash_iteration_in_library_code() {
+        let src = "fn f(m: &FxHashMap<u8, u8>) -> Vec<u8> { m.keys().copied().collect() }";
+        let findings = lint_source("crates/x/src/lib.rs", src);
+        assert!(findings.iter().any(|f| f.rule == "D01"), "{findings:?}");
+    }
+
+    #[test]
+    fn negative_btree_iteration_is_clean() {
+        let src = "fn f(m: &BTreeMap<u8, u8>) -> Vec<u8> { m.keys().copied().collect() }";
+        let findings = lint_source("crates/x/src/lib.rs", src);
+        assert!(!findings.iter().any(|f| f.rule == "D01"));
+    }
+
+    #[test]
+    fn negative_test_code_and_bins_are_out_of_scope() {
+        let src = "#[cfg(test)]\nmod tests { fn t(m: &FxHashMap<u8,u8>) { let _ = m.keys(); } }";
+        assert!(lint_source("crates/x/src/lib.rs", src).is_empty());
+        let bin = "fn main() { let m = FxHashMap::default(); for x in &m {} }";
+        assert!(!lint_source("crates/bench/src/bin/repro_x.rs", bin)
+            .iter()
+            .any(|f| f.rule == "D01"));
+    }
+}

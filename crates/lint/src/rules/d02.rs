@@ -1,0 +1,78 @@
+//! D02 — wall-clock and entropy calls in library code.
+//!
+//! Every repro artifact promises byte-identity for a fixed seed.
+//! `Instant::now` / `SystemTime::now` readings that reach a scored or
+//! serialized path silently break that, and `thread_rng` /
+//! `RandomState` / `from_entropy` inject OS entropy no seed controls.
+//! Wall-clock *measurement* is legitimate exactly once, in the
+//! designated timing module — exempted via `[exempt.D02]` in
+//! `lint_allow.toml`, not hard-coded here.
+
+use crate::report::Finding;
+use crate::rules::util::FileCtx;
+use crate::walk::FileKind;
+
+const ENTROPY_IDENTS: &[&str] = &["thread_rng", "RandomState", "from_entropy"];
+
+/// Runs the rule over one file.
+pub fn check(ctx: &FileCtx<'_>) -> Vec<Finding> {
+    if ctx.kind != FileKind::Library {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for i in 0..ctx.tokens.len() {
+        if ctx.is_test(i) {
+            continue;
+        }
+        let what = if (ctx.is_ident(i, "Instant") || ctx.is_ident(i, "SystemTime"))
+            && ctx.is_punct(i + 1, "::")
+            && ctx.is_ident(i + 2, "now")
+        {
+            Some(format!("{}::now", ctx.text(i)))
+        } else {
+            ENTROPY_IDENTS
+                .iter()
+                .find(|id| ctx.is_ident(i, id))
+                .map(|id| (*id).to_string())
+        };
+        if let Some(what) = what {
+            findings.push(Finding {
+                rule: "D02",
+                file: ctx.rel.to_string(),
+                line: ctx.line(i),
+                message: format!(
+                    "`{what}` in library code — wall clock / entropy breaks seeded byte-identity; use simulated time or a seeded RNG (timing module is exempt via lint_allow.toml)"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lint_source;
+
+    #[test]
+    fn positive_wall_clock_and_entropy() {
+        let src = "fn f() { let t = Instant::now(); let r = thread_rng(); }";
+        let findings = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(findings.iter().filter(|f| f.rule == "D02").count(), 2);
+    }
+
+    #[test]
+    fn negative_seeded_rng_and_sim_time() {
+        let src = "fn f(rng: &mut Rng) { let t = sim_clock.now_us(); let x = rng.next_u64(); }";
+        assert!(!lint_source("crates/x/src/lib.rs", src)
+            .iter()
+            .any(|f| f.rule == "D02"));
+    }
+
+    #[test]
+    fn negative_bins_may_measure_wall_time() {
+        let src = "fn main() { let t = Instant::now(); }";
+        assert!(!lint_source("crates/bench/src/bin/repro_x.rs", src)
+            .iter()
+            .any(|f| f.rule == "D02"));
+    }
+}

@@ -1,0 +1,66 @@
+//! D03 — float accumulation over hash-ordered iteration.
+//!
+//! Float addition is not associative: summing `HashMap::values()` in
+//! hasher order gives a result that depends on insertion history, so
+//! two logically equal maps can disagree in the last ulp — enough to
+//! flip a threshold comparison (the Eq. 8/9 confidence gates) or drift
+//! a serialized score. Stricter than D01 because the damage is in the
+//! *value*, not just the order, these sites must iterate sorted keys.
+
+use crate::report::Finding;
+use crate::rules::util::{hash_iteration_sites, FileCtx};
+use crate::walk::FileKind;
+
+/// Runs the rule over one file.
+pub fn check(ctx: &FileCtx<'_>) -> Vec<Finding> {
+    if ctx.kind != FileKind::Library {
+        return Vec::new();
+    }
+    hash_iteration_sites(ctx)
+        .into_iter()
+        .filter(|site| site.float_accumulation)
+        .map(|site| Finding {
+            rule: "D03",
+            file: ctx.rel.to_string(),
+            line: ctx.line(site.idx),
+            message: format!(
+                "f64 accumulation over hash-ordered `{}`.{}() — float addition is order-sensitive; iterate sorted entries",
+                site.name, site.method
+            ),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lint_source;
+
+    #[test]
+    fn positive_float_sum_over_hash_values() {
+        let src = "fn entropy(dist: &FxHashMap<String, f64>) -> f64 {\n\
+                     dist.values().map(|&p| p * p.ln()).sum::<f64>()\n\
+                   }";
+        let findings = lint_source("crates/x/src/lib.rs", src);
+        assert!(findings.iter().any(|f| f.rule == "D03"), "{findings:?}");
+        assert!(
+            !findings.iter().any(|f| f.rule == "D01"),
+            "no double-report"
+        );
+    }
+
+    #[test]
+    fn negative_float_sum_over_sorted_map() {
+        let src = "fn f(dist: &BTreeMap<String, f64>) -> f64 { dist.values().sum::<f64>() }";
+        assert!(!lint_source("crates/x/src/lib.rs", src)
+            .iter()
+            .any(|f| f.rule == "D03"));
+    }
+
+    #[test]
+    fn negative_integer_sum_is_d01_not_d03() {
+        let src = "fn f(m: &FxHashMap<u8, u64>) -> u64 { m.values().copied().count() as u64 }";
+        let findings = lint_source("crates/x/src/lib.rs", src);
+        assert!(findings.iter().any(|f| f.rule == "D01"));
+        assert!(!findings.iter().any(|f| f.rule == "D03"));
+    }
+}

@@ -1,0 +1,27 @@
+//! The rule modules. Each exposes `check(&FileCtx) -> Vec<Finding>`;
+//! the engine in the crate root runs all of them over every file and
+//! sorts the union.
+
+pub mod util;
+
+pub mod d01;
+pub mod d02;
+pub mod d03;
+pub mod p01;
+pub mod r01;
+pub mod s01;
+
+use crate::report::Finding;
+use util::FileCtx;
+
+/// Runs every rule over one file context.
+pub fn check_all(ctx: &FileCtx<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    findings.extend(d01::check(ctx));
+    findings.extend(d02::check(ctx));
+    findings.extend(d03::check(ctx));
+    findings.extend(r01::check(ctx));
+    findings.extend(s01::check(ctx));
+    findings.extend(p01::check(ctx));
+    findings
+}

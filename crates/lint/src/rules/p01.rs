@@ -1,0 +1,99 @@
+//! P01 — paper constants may only be defined in `core::config`.
+//!
+//! The paper's hyper-parameters (graph threshold 0.5, node threshold
+//! 0.7, α) have exactly one home: `MultiRagConfig`'s defaults in
+//! `crates/core/src/config.rs` (exempted via `lint_allow.toml`).
+//! Re-hard-coding `graph_threshold: 0.55` in a pipeline, baseline or
+//! repro binary forks the paper's configuration invisibly — sweeps
+//! must go through `with_alpha`-style builders so the override is
+//! explicit and auditable.
+
+use crate::lexer::TokenKind;
+use crate::report::Finding;
+use crate::rules::util::FileCtx;
+
+/// Identifier names whose float-literal (re)definition is policed.
+/// `beta` is deliberately absent: TruthFinder / LTM carry unrelated
+/// Beta-prior parameters of the same name.
+const PAPER_KNOBS: &[&str] = &["node_threshold", "graph_threshold", "alpha"];
+
+/// Runs the rule over one file (library *and* bins — a repro binary
+/// hard-coding a threshold is exactly the drift this catches).
+pub fn check(ctx: &FileCtx<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for i in 0..ctx.tokens.len() {
+        if ctx.is_test(i) {
+            continue;
+        }
+        let Some(knob) = PAPER_KNOBS.iter().find(|k| ctx.is_ident(i, k)) else {
+            continue;
+        };
+        // `knob: 0.5` (struct literal / field default) or `knob = 0.5`
+        // (assignment). `==` comparisons lex as one token and don't
+        // match; `knob: f64` has an ident after the colon.
+        if !(ctx.is_punct(i + 1, ":") || ctx.is_punct(i + 1, "=")) {
+            continue;
+        }
+        let is_float_literal = ctx
+            .tokens
+            .get(i + 2)
+            .is_some_and(|t| t.kind == TokenKind::Number && t.text.contains('.'));
+        if is_float_literal {
+            findings.push(Finding {
+                rule: "P01",
+                file: ctx.rel.to_string(),
+                line: ctx.line(i),
+                message: format!(
+                    "paper constant `{knob}` re-hard-coded as `{}` — the only definition site is core::config (use the config builders for overrides)",
+                    ctx.text(i + 2)
+                ),
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lint_source;
+
+    #[test]
+    fn positive_struct_literal_and_assignment() {
+        let src = "fn f(mut c: Config) -> Config {\n\
+                     let d = Config { graph_threshold: 0.5, ..c };\n\
+                     c.alpha = 0.7;\n\
+                     d\n\
+                   }";
+        let findings = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(findings.iter().filter(|f| f.rule == "P01").count(), 2);
+    }
+
+    #[test]
+    fn positive_applies_to_bins_too() {
+        let src = "fn main() { let c = Config { node_threshold: 0.9 }; }";
+        assert!(lint_source("crates/bench/src/bin/repro_x.rs", src)
+            .iter()
+            .any(|f| f.rule == "P01"));
+    }
+
+    #[test]
+    fn negative_declarations_builders_and_variables() {
+        let src = "struct C { alpha: f64 }\n\
+                   fn f(c: C, sweep: f64) {\n\
+                     let d = c.with_alpha(sweep);\n\
+                     let ok = c.alpha == 0.5;\n\
+                     let e = Config { alpha: sweep };\n\
+                   }";
+        assert!(!lint_source("crates/x/src/lib.rs", src)
+            .iter()
+            .any(|f| f.rule == "P01"));
+    }
+
+    #[test]
+    fn negative_unrelated_betas() {
+        let src = "fn f() { let prior = Beta { beta: 0.5 }; }";
+        assert!(!lint_source("crates/x/src/lib.rs", src)
+            .iter()
+            .any(|f| f.rule == "P01"));
+    }
+}

@@ -1,0 +1,140 @@
+//! R01 — panic sites in non-test library code.
+//!
+//! `unwrap` / `expect` / `panic!`-family macros / slice indexing are
+//! all fine in tests and at binary top level; in library code they are
+//! availability bugs waiting for the first malformed input (the exact
+//! paths `repro_chaos` corrupts). Library code propagates typed errors
+//! (`IngestError`, `LlmError`, …) or uses `.get()`. Accepted sites —
+//! e.g. indexing with ids the same module just created — carry a
+//! justified budget in `lint_allow.toml`.
+
+use crate::lexer::TokenKind;
+use crate::report::Finding;
+use crate::rules::util::FileCtx;
+use crate::walk::FileKind;
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Runs the rule over one file.
+pub fn check(ctx: &FileCtx<'_>) -> Vec<Finding> {
+    if ctx.kind != FileKind::Library {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    let mut push = |i: usize, message: String| {
+        findings.push(Finding {
+            rule: "R01",
+            file: ctx.rel.to_string(),
+            line: ctx.line(i),
+            message,
+        });
+    };
+    for i in 0..ctx.tokens.len() {
+        if ctx.is_test(i) {
+            continue;
+        }
+        // `.unwrap()` / `.expect(`
+        if ctx.is_punct(i, ".") && ctx.is_punct(i + 2, "(") {
+            for method in ["unwrap", "expect"] {
+                if ctx.is_ident(i + 1, method) {
+                    push(
+                        i + 1,
+                        format!("`.{method}()` in library code — propagate a typed error instead"),
+                    );
+                }
+            }
+        }
+        // `panic!` family.
+        if ctx.is_punct(i + 1, "!") {
+            if let Some(mac) = PANIC_MACROS.iter().find(|m| ctx.is_ident(i, m)) {
+                push(
+                    i,
+                    format!("`{mac}!` in library code — return a typed error instead"),
+                );
+            }
+        }
+        // Indexing `expr[...]`: a `[` directly after an identifier or a
+        // closing `)` / `]`. Attribute brackets (`#[…]`) and macro
+        // brackets (`vec![…]`) have `#` / `!` before them and are
+        // skipped.
+        if ctx.is_punct(i, "[") && i > 0 {
+            let prev = &ctx.tokens[i - 1];
+            let prev_is_recv = (prev.kind == TokenKind::Ident && !is_keyword(&prev.text))
+                || (prev.kind == TokenKind::Punct && (prev.text == ")" || prev.text == "]"));
+            if prev_is_recv {
+                push(
+                    i,
+                    "slice/array indexing can panic — prefer `.get()` or a checked pattern"
+                        .to_string(),
+                );
+            }
+        }
+    }
+    findings
+}
+
+/// Keywords that can directly precede `[` without forming an indexing
+/// expression (`let [a, b] = …`, `return [x]`, `in [1, 2]`, …).
+fn is_keyword(text: &str) -> bool {
+    matches!(
+        text,
+        "let" | "return" | "in" | "if" | "else" | "match" | "mut" | "ref" | "move" | "box"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lint_source;
+
+    #[test]
+    fn positive_unwrap_expect_panic_index() {
+        let src = "fn f(v: &[u8], o: Option<u8>) -> u8 {\n\
+                     let a = o.unwrap();\n\
+                     let b = o.expect(\"msg\");\n\
+                     if v.is_empty() { panic!(\"boom\"); }\n\
+                     v[0] + a + b\n\
+                   }";
+        let findings = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(findings.iter().filter(|f| f.rule == "R01").count(), 4);
+    }
+
+    #[test]
+    fn negative_checked_code_is_clean() {
+        let src = "fn f(v: &[u8]) -> Result<u8, E> {\n\
+                     let x = v.get(0).ok_or(E::Empty)?;\n\
+                     let [a, b] = [1u8, 2u8];\n\
+                     Ok(*x + a + b)\n\
+                   }";
+        assert!(!lint_source("crates/x/src/lib.rs", src)
+            .iter()
+            .any(|f| f.rule == "R01"));
+    }
+
+    #[test]
+    fn negative_attributes_macros_and_types_are_not_indexing() {
+        let src = "#[derive(Debug)]\nstruct S { buf: [u8; 4] }\n\
+                   fn f() -> Vec<u8> { vec![1, 2] }\n\
+                   fn g(x: &[u8]) -> &[u8] { x }";
+        assert!(!lint_source("crates/x/src/lib.rs", src)
+            .iter()
+            .any(|f| f.rule == "R01"));
+    }
+
+    #[test]
+    fn negative_unwrap_or_variants_are_fine() {
+        let src = "fn f(o: Option<u8>) -> u8 { o.unwrap_or(0).max(o.unwrap_or_default()) }";
+        assert!(!lint_source("crates/x/src/lib.rs", src)
+            .iter()
+            .any(|f| f.rule == "R01"));
+    }
+
+    #[test]
+    fn negative_tests_and_bins_may_panic() {
+        let src = "#[test]\nfn t() { Some(1).unwrap(); }";
+        assert!(lint_source("crates/x/src/lib.rs", src).is_empty());
+        let bin = "fn main() { std::fs::read(\"x\").unwrap(); }";
+        assert!(!lint_source("crates/bench/src/bin/repro_x.rs", bin)
+            .iter()
+            .any(|f| f.rule == "R01"));
+    }
+}

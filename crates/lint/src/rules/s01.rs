@@ -1,0 +1,159 @@
+//! S01 — repro binaries must gate their JSON artifacts.
+//!
+//! Every `crates/bench/src/bin/repro_*.rs` that writes a
+//! `results/<stem>.json` artifact must also call
+//! `check_schema("<stem>", …)`, registering the artifact's structural
+//! outline under the `MULTIRAG_CHECK_SCHEMA=1` golden gate
+//! (`crates/bench/golden/obs_schema.txt`). Otherwise a schema drift in
+//! a "byte-stable" artifact ships silently. Dynamic names
+//! (`obs_traces_{name}.json`) gate under their static prefix
+//! (`obs_traces`).
+
+use crate::lexer::TokenKind;
+use crate::report::Finding;
+use crate::rules::util::FileCtx;
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// Runs the rule over one file.
+pub fn check(ctx: &FileCtx<'_>) -> Vec<Finding> {
+    let is_repro_bin = ctx
+        .rel
+        .rsplit('/')
+        .next()
+        .is_some_and(|f| f.starts_with("repro_"))
+        && ctx.rel.contains("/bin/");
+    if !is_repro_bin {
+        return Vec::new();
+    }
+    // stem → first-mention line.
+    let mut written: BTreeMap<String, u32> = BTreeMap::new();
+    let mut gated: BTreeSet<String> = BTreeSet::new();
+    for i in 0..ctx.tokens.len() {
+        let Some(tok) = ctx.tokens.get(i) else {
+            continue;
+        };
+        if tok.kind == TokenKind::Str {
+            if let Some(stem) = artifact_stem(&tok.text) {
+                written.entry(stem).or_insert(tok.line);
+            }
+        }
+        if ctx.is_ident(i, "check_schema") && ctx.is_punct(i + 1, "(") {
+            // The section argument is either a string literal or a
+            // `&format!("prefix_{}", …)` — take the first literal in
+            // the call and reduce it to its static prefix, mirroring
+            // how dynamic artifact names gate under their prefix.
+            for j in i + 2..(i + 8).min(ctx.tokens.len()) {
+                if let Some(arg) = ctx.tokens.get(j) {
+                    if arg.kind == TokenKind::Str {
+                        gated.insert(static_prefix(&arg.text));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    written
+        .into_iter()
+        .filter(|(stem, _)| !gated.contains(stem))
+        .map(|(stem, line)| Finding {
+            rule: "S01",
+            file: ctx.rel.to_string(),
+            line,
+            message: format!(
+                "writes `results/{stem}*.json` without `check_schema(\"{stem}\", …)` — register the artifact under the MULTIRAG_CHECK_SCHEMA golden gate"
+            ),
+        })
+        .collect()
+}
+
+/// Extracts the golden-section stem from a string literal naming a
+/// `.json` artifact: basename without the extension; for
+/// format-string names, the static prefix before the first `{` with
+/// trailing `_` trimmed. Returns `None` for non-artifact literals.
+fn artifact_stem(literal: &str) -> Option<String> {
+    let base = literal.rsplit('/').next().unwrap_or(literal);
+    let stem = static_prefix(base.strip_suffix(".json")?);
+    if stem.is_empty()
+        || !stem
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+    {
+        return None;
+    }
+    Some(stem.to_string())
+}
+
+/// The static prefix of a (possibly `format!`) string: everything
+/// before the first `{`, with a trailing `_` separator trimmed.
+fn static_prefix(s: &str) -> String {
+    match s.find('{') {
+        Some(idx) => s.get(..idx).unwrap_or("").trim_end_matches('_').to_string(),
+        None => s.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::lint_source;
+
+    #[test]
+    fn positive_ungated_artifact() {
+        let src = "fn main() {\n\
+                     std::fs::write(out.join(\"chaos.json\"), &json).ok();\n\
+                   }";
+        let findings = lint_source("crates/bench/src/bin/repro_chaos.rs", src);
+        assert!(findings
+            .iter()
+            .any(|f| f.rule == "S01" && f.message.contains("chaos")));
+    }
+
+    #[test]
+    fn negative_gated_artifact() {
+        let src = "fn main() {\n\
+                     std::fs::write(out.join(\"serve.json\"), &json).ok();\n\
+                     check_schema(\"serve\", &json);\n\
+                   }";
+        assert!(!lint_source("crates/bench/src/bin/repro_serve.rs", src)
+            .iter()
+            .any(|f| f.rule == "S01"));
+    }
+
+    #[test]
+    fn dynamic_names_gate_under_their_prefix() {
+        let gated = "fn main() {\n\
+                       let p = format!(\"obs_traces_{}.json\", name);\n\
+                       check_schema(\"obs_traces\", &traces);\n\
+                     }";
+        assert!(!lint_source("crates/bench/src/bin/repro_profile.rs", gated)
+            .iter()
+            .any(|f| f.rule == "S01"));
+        let ungated = "fn main() { let p = format!(\"obs_traces_{}.json\", name); }";
+        assert!(
+            lint_source("crates/bench/src/bin/repro_profile.rs", ungated)
+                .iter()
+                .any(|f| f.rule == "S01" && f.message.contains("obs_traces"))
+        );
+    }
+
+    #[test]
+    fn format_string_section_argument_gates_under_its_prefix() {
+        let src = "fn main() {\n\
+                     let p = format!(\"obs_traces_{}.json\", name);\n\
+                     check_schema(&format!(\"obs_traces_{}\", name), &traces);\n\
+                   }";
+        assert!(!lint_source("crates/bench/src/bin/repro_profile.rs", src)
+            .iter()
+            .any(|f| f.rule == "S01"));
+    }
+
+    #[test]
+    fn negative_non_repro_files_and_txt_artifacts() {
+        let src = "fn main() { std::fs::write(\"results/table.txt\", &text).ok(); }";
+        assert!(lint_source("crates/bench/src/bin/repro_table1.rs", src).is_empty());
+        let lib = "fn f() { let _ = \"something.json\"; }";
+        assert!(!lint_source("crates/bench/src/lib.rs", lib)
+            .iter()
+            .any(|f| f.rule == "S01"));
+    }
+}

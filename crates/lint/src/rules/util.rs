@@ -1,0 +1,318 @@
+//! Shared pattern-matching helpers for the rule modules.
+
+use crate::lexer::{Token, TokenKind};
+use crate::scope;
+use crate::walk::FileKind;
+use std::collections::BTreeSet;
+
+/// Everything a rule needs to scan one file.
+#[derive(Debug)]
+pub struct FileCtx<'a> {
+    /// Workspace-relative path.
+    pub rel: &'a str,
+    /// Library / bin classification.
+    pub kind: FileKind,
+    /// Lexed token stream.
+    pub tokens: &'a [Token],
+    /// Token-index ranges covered by test-only items.
+    pub test_ranges: &'a [(usize, usize)],
+}
+
+impl<'a> FileCtx<'a> {
+    /// Token text at `i`, or `""` past the end.
+    pub fn text(&self, i: usize) -> &str {
+        self.tokens.get(i).map(|t| t.text.as_str()).unwrap_or("")
+    }
+
+    /// Whether token `i` is an identifier equal to `s`.
+    pub fn is_ident(&self, i: usize, s: &str) -> bool {
+        self.tokens
+            .get(i)
+            .is_some_and(|t| t.kind == TokenKind::Ident && t.text == s)
+    }
+
+    /// Whether token `i` is punctuation equal to `s`.
+    pub fn is_punct(&self, i: usize, s: &str) -> bool {
+        self.tokens
+            .get(i)
+            .is_some_and(|t| t.kind == TokenKind::Punct && t.text == s)
+    }
+
+    /// 1-based line of token `i` (0 past the end, which never happens
+    /// for emitted findings).
+    pub fn line(&self, i: usize) -> u32 {
+        self.tokens.get(i).map(|t| t.line).unwrap_or(0)
+    }
+
+    /// Whether token `i` belongs to a test-only item.
+    pub fn is_test(&self, i: usize) -> bool {
+        scope::in_ranges(i, self.test_ranges)
+    }
+}
+
+/// Hash-ordered collection type names: iterating these leaks memory /
+/// hasher order.
+pub const HASH_TYPES: &[&str] = &["FxHashMap", "FxHashSet", "HashMap", "HashSet"];
+
+/// Order-leaking iteration methods.
+pub const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Collects identifiers that are (conservatively) known to be
+/// hash-ordered collections in this file, from three declaration
+/// shapes:
+///
+/// * `name: FxHashMap<…>` — struct fields, fn params, annotated lets;
+/// * `let name = FxHashMap::default()` / `HashMap::new()` — inferred
+///   lets whose initializer *starts* with a hash-type path;
+/// * `let name: &FxHashMap<…>` and `&mut` variants.
+pub fn hash_idents(ctx: &FileCtx<'_>) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for i in 0..ctx.tokens.len() {
+        // A name declared inside a test item must not taint the
+        // library namespace (resolution is per-file and name-based).
+        if ctx.is_test(i) {
+            continue;
+        }
+        let Some(tok) = ctx.tokens.get(i) else {
+            continue;
+        };
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        // `name : <type-path containing a hash type>`
+        if ctx.is_punct(i + 1, ":") && type_ahead_is_hash(ctx, i + 2) {
+            out.insert(tok.text.clone());
+        }
+        // `let [mut] name = <hash-type path> ::`
+        if tok.text == "let" {
+            let mut j = i + 1;
+            if ctx.is_ident(j, "mut") {
+                j += 1;
+            }
+            let name = ctx.text(j).to_string();
+            if !name.is_empty() && ctx.is_punct(j + 1, "=") && type_ahead_is_hash(ctx, j + 2) {
+                out.insert(name);
+            }
+        }
+    }
+    out
+}
+
+/// Whether the tokens starting at `i` spell a type/constructor path
+/// that reaches a hash type within a few path segments (`&`, `mut`,
+/// idents and `::` only — generic brackets end the search).
+fn type_ahead_is_hash(ctx: &FileCtx<'_>, mut i: usize) -> bool {
+    for _ in 0..8 {
+        let t = ctx.text(i);
+        match t {
+            "&" | "mut" | "::" => i += 1,
+            _ if HASH_TYPES.contains(&t) => return true,
+            _ if ctx
+                .tokens
+                .get(i)
+                .is_some_and(|tok| tok.kind == TokenKind::Ident)
+                // Path segment like `std` / `collections` / `crate`.
+                && ctx.is_punct(i + 1, "::") =>
+            {
+                i += 2;
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// One hash-order iteration site.
+#[derive(Debug, Clone)]
+pub struct IterSite {
+    /// Token index of the receiver identifier.
+    pub idx: usize,
+    /// Receiver name.
+    pub name: String,
+    /// Iteration method (`keys`, `values`, …) or `"for-in"` loops.
+    pub method: &'static str,
+    /// Whether the same statement float-accumulates (`sum`/`fold` with
+    /// `f64` evidence) over the iterator.
+    pub float_accumulation: bool,
+}
+
+/// Finds iteration over known hash-ordered receivers:
+/// `name.keys()` / `self.name.values()` / `for x in &name { … }`.
+pub fn hash_iteration_sites(ctx: &FileCtx<'_>) -> Vec<IterSite> {
+    let names = hash_idents(ctx);
+    let mut sites = Vec::new();
+    for i in 0..ctx.tokens.len() {
+        if ctx.is_test(i) {
+            continue;
+        }
+        let Some(tok) = ctx.tokens.get(i) else {
+            continue;
+        };
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        // Method form: `name . method (`
+        if names.contains(&tok.text) && ctx.is_punct(i + 1, ".") {
+            if let Some(method) = ITER_METHODS
+                .iter()
+                .find(|m| ctx.is_ident(i + 2, m) && ctx.is_punct(i + 3, "("))
+            {
+                sites.push(IterSite {
+                    idx: i,
+                    name: tok.text.clone(),
+                    method,
+                    float_accumulation: chain_float_accumulates(ctx, i + 3),
+                });
+                continue;
+            }
+        }
+        // Loop form: `for pat in [&][mut] [self.]name {`
+        if tok.text == "in" && i > 0 {
+            let mut j = i + 1;
+            while ctx.is_punct(j, "&") || ctx.is_ident(j, "mut") {
+                j += 1;
+            }
+            if ctx.is_ident(j, "self") && ctx.is_punct(j + 1, ".") {
+                j += 2;
+            }
+            let name = ctx.text(j).to_string();
+            if names.contains(&name) && ctx.is_punct(j + 1, "{") {
+                sites.push(IterSite {
+                    idx: j,
+                    name,
+                    method: "for-in",
+                    float_accumulation: false,
+                });
+            }
+        }
+    }
+    sites
+}
+
+/// Scans the rest of the statement after an iteration call for a
+/// `sum`/`fold`/`product` accumulation with float evidence (an `f64`
+/// turbofish or a float literal argument).
+fn chain_float_accumulates(ctx: &FileCtx<'_>, from: usize) -> bool {
+    let mut accumulates = false;
+    let mut float_evidence = false;
+    for i in from..(from + 80).min(ctx.tokens.len()) {
+        let Some(tok) = ctx.tokens.get(i) else {
+            break;
+        };
+        if tok.kind == TokenKind::Punct && tok.text == ";" {
+            break;
+        }
+        match tok.kind {
+            TokenKind::Ident if matches!(tok.text.as_str(), "sum" | "fold" | "product") => {
+                accumulates = true;
+            }
+            TokenKind::Ident if tok.text == "f64" => float_evidence = true,
+            TokenKind::Number if tok.text.contains('.') || tok.text.contains("f64") => {
+                float_evidence = true;
+            }
+            _ => {}
+        }
+    }
+    accumulates && float_evidence
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scope::test_ranges;
+
+    fn ctx_of(tokens: &[Token], ranges: &[(usize, usize)]) -> Vec<IterSite> {
+        let ctx = FileCtx {
+            rel: "crates/x/src/lib.rs",
+            kind: FileKind::Library,
+            tokens,
+            test_ranges: ranges,
+        };
+        hash_iteration_sites(&ctx)
+    }
+
+    #[test]
+    fn detects_field_param_and_let_declarations() {
+        let src = "struct S { m: FxHashMap<u32, u32> }\n\
+                   fn f(d: &std::collections::HashMap<u8, u8>) {\n\
+                     let mut local = FxHashSet::default();\n\
+                     let sorted: BTreeMap<u8, u8> = BTreeMap::new();\n\
+                   }";
+        let toks = lex(src);
+        let ctx = FileCtx {
+            rel: "r",
+            kind: FileKind::Library,
+            tokens: &toks,
+            test_ranges: &[],
+        };
+        let names = hash_idents(&ctx);
+        assert!(names.contains("m") && names.contains("d") && names.contains("local"));
+        assert!(!names.contains("sorted"));
+    }
+
+    #[test]
+    fn finds_method_and_loop_iteration() {
+        let src = "fn f(m: &FxHashMap<u8, u8>) {\n\
+                     for (k, v) in &m { touch(k, v); }\n\
+                     let ks: Vec<_> = m.keys().collect();\n\
+                   }";
+        let toks = lex(src);
+        let ranges = test_ranges(&toks);
+        let sites = ctx_of(&toks, &ranges);
+        // `for … in &m {` — the lexed pattern is `in & m {`.
+        assert!(sites.iter().any(|s| s.method == "for-in"));
+        assert!(sites.iter().any(|s| s.method == "keys"));
+    }
+
+    #[test]
+    fn float_sum_is_classified() {
+        let src = "fn f(dist: &FxHashMap<String, f64>) -> f64 {\n\
+                     dist.values().map(|&p| p * p).sum::<f64>()\n\
+                   }";
+        let toks = lex(src);
+        let sites = ctx_of(&toks, &[]);
+        assert_eq!(sites.len(), 1);
+        assert!(sites.first().is_some_and(|s| s.float_accumulation));
+    }
+
+    #[test]
+    fn integer_count_is_not_float_accumulation() {
+        let src = "fn f(m: &FxHashMap<u8, u8>) -> usize { m.values().filter(|v| **v > 1).count() }";
+        let toks = lex(src);
+        let sites = ctx_of(&toks, &[]);
+        assert_eq!(sites.len(), 1);
+        assert!(!sites.first().is_some_and(|s| s.float_accumulation));
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let src = "#[cfg(test)]\nmod tests { fn t(m: &FxHashMap<u8,u8>) { for x in &m {} } }";
+        let toks = lex(src);
+        let ranges = test_ranges(&toks);
+        assert!(ctx_of(&toks, &ranges).is_empty());
+    }
+
+    #[test]
+    fn test_declarations_do_not_taint_library_names() {
+        // `values` is a hash map only inside the test module; the
+        // library fn of the same parameter name must stay clean.
+        let src = "fn value_text(values: &[u8]) -> usize { values.iter().count() }\n\
+                   #[cfg(test)]\nmod tests {\n\
+                     fn t() { let values: FxHashMap<u8, u8> = FxHashMap::default(); }\n\
+                   }";
+        let toks = lex(src);
+        let ranges = test_ranges(&toks);
+        assert!(ctx_of(&toks, &ranges).is_empty());
+    }
+}

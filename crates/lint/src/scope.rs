@@ -1,0 +1,172 @@
+//! Test-region detection over the flat token stream.
+//!
+//! The panic-safety and determinism rules only police *library* code:
+//! `#[cfg(test)]` modules and `#[test]` functions may unwrap and
+//! iterate hash maps freely. This module finds those regions by
+//! matching test-flavoured attributes and brace-matching the item that
+//! follows, yielding token-index ranges the rules skip.
+
+use crate::lexer::{Token, TokenKind};
+
+/// Returns `[start, end]` token-index ranges (inclusive) covered by
+/// test-only items: any item annotated with an attribute whose text
+/// mentions `test` (`#[cfg(test)]`, `#[test]`, `#[cfg(all(test, …))]`,
+/// `#[bench]` via `#[cfg(test)]` wrappers, …).
+pub fn test_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut ranges: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !is_punct(tokens, i, "#") || !is_punct(tokens, i + 1, "[") {
+            i += 1;
+            continue;
+        }
+        let Some(attr_end) = matching_bracket(tokens, i + 1) else {
+            break;
+        };
+        if !attr_mentions_test(tokens, i + 2, attr_end) {
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip any further attributes stacked on the same item.
+        let mut j = attr_end + 1;
+        while is_punct(tokens, j, "#") && is_punct(tokens, j + 1, "[") {
+            match matching_bracket(tokens, j + 1) {
+                Some(end) => j = end + 1,
+                None => return ranges,
+            }
+        }
+        // Find the item's opening brace: the first `{` with all
+        // parens/brackets balanced (so `fn f(x: [u8; 2])` is crossed
+        // safely). A `;` at balance ends a braceless item.
+        let mut parens = 0i32;
+        let mut brackets = 0i32;
+        let mut open = None;
+        while j < tokens.len() {
+            match tokens[j].text.as_str() {
+                "(" => parens += 1,
+                ")" => parens -= 1,
+                "[" => brackets += 1,
+                "]" => brackets -= 1,
+                "{" if parens == 0 && brackets == 0 => {
+                    open = Some(j);
+                    break;
+                }
+                ";" if parens == 0 && brackets == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            i = attr_end + 1;
+            continue;
+        };
+        let close = matching_brace(tokens, open).unwrap_or(tokens.len() - 1);
+        ranges.push((i, close));
+        i = close + 1;
+    }
+    merge(ranges)
+}
+
+/// Whether token index `idx` falls inside any of `ranges`.
+pub fn in_ranges(idx: usize, ranges: &[(usize, usize)]) -> bool {
+    ranges.iter().any(|&(s, e)| idx >= s && idx <= e)
+}
+
+fn is_punct(tokens: &[Token], i: usize, s: &str) -> bool {
+    tokens
+        .get(i)
+        .is_some_and(|t| t.kind == TokenKind::Punct && t.text == s)
+}
+
+fn attr_mentions_test(tokens: &[Token], start: usize, end: usize) -> bool {
+    tokens
+        .get(start..end)
+        .unwrap_or(&[])
+        .iter()
+        .any(|t| t.kind == TokenKind::Ident && t.text == "test")
+}
+
+/// Index of the `]` matching the `[` at `open`.
+fn matching_bracket(tokens: &[Token], open: usize) -> Option<usize> {
+    matching(tokens, open, "[", "]")
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
+    matching(tokens, open, "{", "}")
+}
+
+fn matching(tokens: &[Token], open: usize, op: &str, cl: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.kind == TokenKind::Punct {
+            if t.text == op {
+                depth += 1;
+            } else if t.text == cl {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn merge(mut ranges: Vec<(usize, usize)>) -> Vec<(usize, usize)> {
+    ranges.sort_unstable();
+    let mut out: Vec<(usize, usize)> = Vec::new();
+    for (s, e) in ranges {
+        match out.last_mut() {
+            Some(last) if s <= last.1 + 1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn cfg_test_module_is_covered() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\nfn lib2() {}";
+        let toks = lex(src);
+        let ranges = test_ranges(&toks);
+        assert_eq!(ranges.len(), 1);
+        let unwrap_idx = toks.iter().position(|t| t.text == "unwrap").unwrap();
+        let lib2_idx = toks.iter().position(|t| t.text == "lib2").unwrap();
+        assert!(in_ranges(unwrap_idx, &ranges));
+        assert!(!in_ranges(lib2_idx, &ranges));
+    }
+
+    #[test]
+    fn test_fn_attribute_is_covered() {
+        let src = "#[test]\nfn check() { v[0]; }\nfn real(v: &[u8]) {}";
+        let toks = lex(src);
+        let ranges = test_ranges(&toks);
+        let idx = toks.iter().position(|t| t.text == "check").unwrap();
+        let real = toks.iter().position(|t| t.text == "real").unwrap();
+        assert!(in_ranges(idx, &ranges));
+        assert!(!in_ranges(real, &ranges));
+    }
+
+    #[test]
+    fn non_test_attributes_are_ignored() {
+        let src = "#[derive(Debug)]\nstruct S { x: u8 }";
+        assert!(test_ranges(&lex(src)).is_empty());
+    }
+
+    #[test]
+    fn stacked_attributes_and_signatures_with_brackets() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn t(x: [u8; 2]) { x[0]; }\nfn after() {}";
+        let toks = lex(src);
+        let ranges = test_ranges(&toks);
+        let after = toks.iter().position(|t| t.text == "after").unwrap();
+        assert_eq!(ranges.len(), 1);
+        assert!(!in_ranges(after, &ranges));
+    }
+}

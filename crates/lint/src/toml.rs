@@ -1,0 +1,166 @@
+//! A minimal TOML-subset reader for `lint_allow.toml`.
+//!
+//! The container has no crates.io access, so this parses exactly the
+//! subset the allow-list uses: `[dotted.section]` headers, `key =
+//! integer`, `key = "string"`, `key = ["a", "b"]`, quoted keys, `#`
+//! comments and blank lines. Anything else is a hard error — the
+//! allow-list is policy, and policy files should fail loudly rather
+//! than be half-read.
+
+use std::collections::BTreeMap;
+
+/// A parsed value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TomlValue {
+    /// Non-negative integer.
+    Int(u64),
+    /// String.
+    Str(String),
+    /// Array of strings.
+    StrArray(Vec<String>),
+}
+
+/// Section name → (key → value), both in sorted order.
+pub type TomlDoc = BTreeMap<String, BTreeMap<String, TomlValue>>;
+
+/// Parses `input`; errors carry the 1-based line number.
+pub fn parse(input: &str) -> Result<TomlDoc, String> {
+    let mut doc: TomlDoc = BTreeMap::new();
+    let mut section = String::new();
+    for (idx, raw) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = name.trim().to_string();
+            if section.is_empty() {
+                return Err(format!("line {lineno}: empty section name"));
+            }
+            doc.entry(section.clone()).or_default();
+            continue;
+        }
+        let Some(eq) = find_unquoted(line, '=') else {
+            return Err(format!("line {lineno}: expected `key = value`"));
+        };
+        let key = parse_key(line.get(..eq).unwrap_or("").trim())
+            .ok_or_else(|| format!("line {lineno}: bad key"))?;
+        let value = parse_value(line.get(eq + 1..).unwrap_or("").trim())
+            .ok_or_else(|| format!("line {lineno}: unsupported value"))?;
+        if section.is_empty() {
+            return Err(format!("line {lineno}: key outside any [section]"));
+        }
+        doc.entry(section.clone()).or_default().insert(key, value);
+    }
+    Ok(doc)
+}
+
+/// Strips a `#` comment that is not inside a double-quoted string.
+fn strip_comment(line: &str) -> &str {
+    match find_unquoted(line, '#') {
+        Some(idx) => line.get(..idx).unwrap_or(line),
+        None => line,
+    }
+}
+
+/// Byte index of the first `needle` outside double quotes.
+fn find_unquoted(line: &str, needle: char) -> Option<usize> {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        if c == '"' {
+            in_str = !in_str;
+        } else if c == needle && !in_str {
+            return Some(i);
+        }
+    }
+    None
+}
+
+fn parse_key(raw: &str) -> Option<String> {
+    if let Some(inner) = raw.strip_prefix('"').and_then(|r| r.strip_suffix('"')) {
+        return Some(inner.to_string());
+    }
+    if !raw.is_empty()
+        && raw
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'))
+    {
+        return Some(raw.to_string());
+    }
+    None
+}
+
+fn parse_value(raw: &str) -> Option<TomlValue> {
+    if let Some(inner) = raw.strip_prefix('"').and_then(|r| r.strip_suffix('"')) {
+        return Some(TomlValue::Str(inner.to_string()));
+    }
+    if let Some(inner) = raw.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+        let inner = inner.trim();
+        if inner.is_empty() {
+            return Some(TomlValue::StrArray(Vec::new()));
+        }
+        let mut items = Vec::new();
+        for piece in inner.split(',') {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                continue; // trailing comma
+            }
+            let s = piece.strip_prefix('"').and_then(|r| r.strip_suffix('"'))?;
+            items.push(s.to_string());
+        }
+        return Some(TomlValue::StrArray(items));
+    }
+    raw.parse::<u64>().ok().map(TomlValue::Int)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_keys_and_values() {
+        let doc = parse(
+            "# header\n[budget.D01]\n\"crates/a/src/lib.rs\" = 3 # why\n[exempt.D02]\nfiles = [\"a.rs\", \"b.rs\"]\nname = \"x\"\n",
+        )
+        .unwrap();
+        assert_eq!(
+            doc.get("budget.D01")
+                .and_then(|s| s.get("crates/a/src/lib.rs")),
+            Some(&TomlValue::Int(3))
+        );
+        assert_eq!(
+            doc.get("exempt.D02").and_then(|s| s.get("files")),
+            Some(&TomlValue::StrArray(vec![
+                "a.rs".to_string(),
+                "b.rs".to_string()
+            ]))
+        );
+        assert_eq!(
+            doc.get("exempt.D02").and_then(|s| s.get("name")),
+            Some(&TomlValue::Str("x".to_string()))
+        );
+    }
+
+    #[test]
+    fn hash_inside_quotes_is_not_a_comment() {
+        let doc = parse("[s]\n\"a#b\" = 1\n").unwrap();
+        assert_eq!(
+            doc.get("s").and_then(|s| s.get("a#b")),
+            Some(&TomlValue::Int(1))
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("[s]\nkey value\n").is_err());
+        assert!(parse("key = 1\n").is_err(), "key outside section");
+        assert!(parse("[s]\nkey = 1.5\n").is_err(), "floats unsupported");
+    }
+
+    #[test]
+    fn empty_and_comment_only_input() {
+        assert!(parse("").unwrap().is_empty());
+        assert!(parse("# just a comment\n\n").unwrap().is_empty());
+    }
+}

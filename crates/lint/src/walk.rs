@@ -1,0 +1,126 @@
+//! Deterministic workspace source discovery.
+//!
+//! Collects every `.rs` file under the workspace's `src/` and
+//! `crates/*/src/` trees in sorted relative-path order, classifying
+//! each as library code or a binary. `shims/` (offline stand-ins for
+//! external crates), `target/`, `tests/` directories and the lint
+//! crate's own fixture data are out of scope: the invariants under
+//! enforcement are about *this* project's library and artifact-writing
+//! code.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// How a source file participates in linting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code: all determinism / panic-safety rules apply.
+    Library,
+    /// Binary entry point (`src/bin/*` or `src/main.rs`): only the
+    /// artifact-gate (S01) and paper-constant (P01) rules apply —
+    /// top-level drivers may unwrap and measure wall time.
+    Bin,
+}
+
+/// One discovered source file.
+#[derive(Debug, Clone)]
+pub struct SourceEntry {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel: String,
+    /// Library or binary classification.
+    pub kind: FileKind,
+}
+
+/// Discovers all lintable sources under `root`, sorted by relative
+/// path. Returns `(entry, contents)` pairs; unreadable files are
+/// skipped (the lint must stay total).
+pub fn workspace_sources(root: &Path) -> Vec<(SourceEntry, String)> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    collect_rs(&root.join("src"), &mut files);
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        let mut crates: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        crates.sort();
+        for krate in crates {
+            collect_rs(&krate.join("src"), &mut files);
+        }
+    }
+    let mut out: Vec<(SourceEntry, String)> = files
+        .into_iter()
+        .filter_map(|path| {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            let contents = fs::read_to_string(&path).ok()?;
+            Some((
+                SourceEntry {
+                    kind: classify(&rel),
+                    rel,
+                },
+                contents,
+            ))
+        })
+        .collect();
+    out.sort_by(|a, b| a.0.rel.cmp(&b.0.rel));
+    out
+}
+
+/// Classifies a workspace-relative path.
+pub fn classify(rel: &str) -> FileKind {
+    if rel.contains("/bin/") || rel == "src/main.rs" || rel.ends_with("/src/main.rs") {
+        FileKind::Bin
+    } else {
+        FileKind::Library
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_separates_bins_from_library() {
+        assert_eq!(classify("crates/kg/src/graph.rs"), FileKind::Library);
+        assert_eq!(
+            classify("crates/bench/src/bin/repro_lint.rs"),
+            FileKind::Bin
+        );
+        assert_eq!(classify("src/main.rs"), FileKind::Bin);
+        assert_eq!(classify("src/cli.rs"), FileKind::Library);
+    }
+
+    #[test]
+    fn discovery_is_sorted_and_covers_this_crate() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let sources = workspace_sources(&root);
+        assert!(sources
+            .iter()
+            .any(|(e, _)| e.rel == "crates/lint/src/walk.rs"));
+        assert!(!sources.iter().any(|(e, _)| e.rel.starts_with("shims/")));
+        let rels: Vec<&str> = sources.iter().map(|(e, _)| e.rel.as_str()).collect();
+        let mut sorted = rels.clone();
+        sorted.sort_unstable();
+        assert_eq!(rels, sorted, "discovery order must be deterministic");
+    }
+}

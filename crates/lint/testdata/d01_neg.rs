@@ -1,0 +1,22 @@
+//! D01 negative: sorted iteration in the library, hash iteration only
+//! inside tests.
+use std::collections::BTreeMap;
+
+pub fn render_counts(counts: &BTreeMap<String, u32>) -> String {
+    let mut out = String::new();
+    for (name, count) in counts.iter() {
+        out.push_str(&format!("{name}={count}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::hash::FxHashMap;
+
+    #[test]
+    fn hash_iteration_in_tests_is_fine() {
+        let m: FxHashMap<u32, u32> = FxHashMap::default();
+        assert_eq!(m.iter().count(), 0);
+    }
+}

@@ -1,0 +1,10 @@
+//! D01 positive: hash-map iteration order leaks into rendered output.
+use crate::hash::FxHashMap;
+
+pub fn render_counts(counts: &FxHashMap<String, u32>) -> String {
+    let mut out = String::new();
+    for (name, count) in counts.iter() {
+        out.push_str(&format!("{name}={count}\n"));
+    }
+    out
+}

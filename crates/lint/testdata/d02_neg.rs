@@ -1,0 +1,5 @@
+//! D02 negative: simulated time is injected by the caller, never read
+//! from the machine.
+pub fn scored_elapsed_ms(sim_clock_ms: u128, cost_ms: u128) -> u128 {
+    sim_clock_ms + cost_ms
+}

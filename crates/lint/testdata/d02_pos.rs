@@ -1,0 +1,8 @@
+//! D02 positive: wall clock read in a scored library path.
+use std::time::Instant;
+
+pub fn scored_elapsed_ms(work: impl Fn()) -> u128 {
+    let start = Instant::now();
+    work();
+    start.elapsed().as_millis()
+}

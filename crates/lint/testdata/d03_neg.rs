@@ -1,0 +1,7 @@
+//! D03 negative: the accumulation runs over a sorted snapshot, so the
+//! summation order is fixed.
+use std::collections::BTreeMap;
+
+pub fn entropy(dist: &BTreeMap<String, f64>) -> f64 {
+    dist.values().map(|&p| -p * p.ln()).sum::<f64>()
+}

@@ -1,0 +1,6 @@
+//! D03 positive: float accumulation over hash iteration order.
+use crate::hash::FxHashMap;
+
+pub fn entropy(dist: &FxHashMap<String, f64>) -> f64 {
+    dist.values().map(|&p| -p * p.ln()).sum::<f64>()
+}

@@ -1,0 +1,5 @@
+//! P01 negative: thresholds flow in from `core::config`, never
+//! re-hard-coded at the use site.
+pub fn graph_gate(confidence: f64, graph_threshold: f64) -> bool {
+    confidence >= graph_threshold
+}

@@ -1,0 +1,9 @@
+//! P01 positive: a paper hyper-parameter re-hard-coded outside
+//! `core::config`.
+pub struct LocalKnobs {
+    pub graph_threshold: f64,
+}
+
+pub fn defaults() -> LocalKnobs {
+    LocalKnobs { graph_threshold: 0.5 }
+}

@@ -1,0 +1,17 @@
+//! R01 negative: checked access and error propagation; unwrap only in
+//! tests.
+pub fn first_byte(bytes: &[u8]) -> Option<u8> {
+    bytes.first().copied()
+}
+
+pub fn parsed(text: &str) -> Result<u32, std::num::ParseIntError> {
+    text.parse()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::parsed("7").unwrap(), 7);
+    }
+}

@@ -1,0 +1,9 @@
+//! R01 positive: panic sites in library code — raw indexing and an
+//! unchecked unwrap.
+pub fn first_byte(bytes: &[u8]) -> u8 {
+    bytes[0]
+}
+
+pub fn parsed(text: &str) -> u32 {
+    text.parse().unwrap()
+}

@@ -1,0 +1,6 @@
+//! S01 negative: the artifact is registered under the golden gate.
+fn main() {
+    let json = String::from("{}");
+    std::fs::write("results/fixture.json", &json).ok();
+    check_schema("fixture", &json);
+}

@@ -1,0 +1,6 @@
+//! S01 positive: a repro binary writes a JSON artifact but never
+//! registers it under the MULTIRAG_CHECK_SCHEMA golden gate.
+fn main() {
+    let json = String::from("{}");
+    std::fs::write("results/fixture.json", &json).ok();
+}

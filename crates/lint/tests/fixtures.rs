@@ -1,0 +1,104 @@
+//! Fixture-file coverage for every lint rule — one positive and one
+//! negative snippet per rule under `testdata/` — plus a golden
+//! `lint.json` snapshot over the whole fixture set.
+//!
+//! Regenerate the snapshot after intentional rule or report changes:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p multirag-lint --test fixtures
+//! ```
+
+use multirag_lint::{lint_json, lint_source, sort_findings, AllowList, Finding};
+use std::path::{Path, PathBuf};
+
+/// Every rule with its fixture stem. The workspace-relative path each
+/// fixture is linted under drives classification: library rules lint
+/// under a library path, S01 under a repro-binary path.
+const RULES: &[&str] = &["d01", "d02", "d03", "r01", "s01", "p01"];
+
+fn testdata() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("testdata")
+}
+
+/// The synthetic workspace-relative path a fixture is linted under.
+fn rel_for(stem: &str, suffix: &str) -> String {
+    if stem == "s01" {
+        format!("crates/bench/src/bin/repro_{stem}_{suffix}.rs")
+    } else {
+        format!("crates/fixture/src/{stem}_{suffix}.rs")
+    }
+}
+
+fn lint_fixture(stem: &str, suffix: &str) -> Vec<Finding> {
+    let path = testdata().join(format!("{stem}_{suffix}.rs"));
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    lint_source(&rel_for(stem, suffix), &source)
+}
+
+#[test]
+fn every_rule_fires_on_its_positive_fixture() {
+    for stem in RULES {
+        let rule = stem.to_uppercase();
+        let findings = lint_fixture(stem, "pos");
+        assert!(
+            findings.iter().any(|f| f.rule == rule),
+            "{rule} must fire on testdata/{stem}_pos.rs; got {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn every_rule_is_silent_on_its_negative_fixture() {
+    for stem in RULES {
+        let rule = stem.to_uppercase();
+        let findings = lint_fixture(stem, "neg");
+        assert!(
+            !findings.iter().any(|f| f.rule == rule),
+            "{rule} must stay silent on testdata/{stem}_neg.rs; got {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn float_accumulation_classifies_as_d03_not_d01() {
+    let findings = lint_fixture("d03", "pos");
+    assert!(findings.iter().any(|f| f.rule == "D03"), "{findings:?}");
+    assert!(!findings.iter().any(|f| f.rule == "D01"), "{findings:?}");
+}
+
+/// The full fixture set rendered through the same report path as
+/// `repro_lint`, snapshotted. Guards the report format (ordering, key
+/// layout, budget reconciliation rendering) against silent drift.
+#[test]
+fn golden_lint_json_snapshot() {
+    let mut findings = Vec::new();
+    let mut files_scanned = 0usize;
+    for stem in RULES {
+        for suffix in ["pos", "neg"] {
+            findings.extend(lint_fixture(stem, suffix));
+            files_scanned += 1;
+        }
+    }
+    sort_findings(&mut findings);
+    let allow = AllowList::parse("").expect("empty allow-list parses");
+    let recon = allow.reconcile(&findings);
+    let json = lint_json(files_scanned, &recon.kept, &recon);
+
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/fixtures_lint.json");
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&golden_path, &json).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); regenerate with UPDATE_GOLDEN=1",
+            golden_path.display()
+        )
+    });
+    assert_eq!(
+        json, golden,
+        "fixture lint report drifted from tests/golden/fixtures_lint.json; \
+         if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}

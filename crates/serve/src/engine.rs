@@ -15,8 +15,9 @@ use crate::workload::{RequestKind, ServeRequest};
 use multirag_core::{MklgpPipeline, PipelineAnswer};
 use multirag_eval::parallel_map_with;
 use multirag_faults::{FaultPlan, RetryPolicy};
-use multirag_kg::{FxHashMap, SourceId};
+use multirag_kg::SourceId;
 use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, TrySendError};
 
@@ -250,10 +251,11 @@ fn serve_with_admission_gated(
 /// Counts one observation per *computed* answer — L1 hits replay an
 /// already-counted computation and shed requests never produced one.
 /// Comparison is representation-insensitive ([`Value::answer_key`]),
-/// matching the evaluation metrics. The tally comes back sorted by
-/// source id, so folding order never depends on serving interleavings.
+/// matching the evaluation metrics. The tally accumulates in a
+/// `BTreeMap` and comes back in source-id order by construction, so
+/// folding order never depends on serving interleavings.
 pub fn feedback_tally(responses: &[ServeResponse]) -> Vec<(SourceId, usize, usize)> {
-    let mut per_source: FxHashMap<SourceId, (usize, usize)> = FxHashMap::default();
+    let mut per_source: BTreeMap<SourceId, (usize, usize)> = BTreeMap::new();
     for response in responses {
         let ServeVerdict::Answered(answer) = &response.verdict else {
             continue;
@@ -273,12 +275,10 @@ pub fn feedback_tally(responses: &[ServeResponse]) -> Vec<(SourceId, usize, usiz
             }
         }
     }
-    let mut tally: Vec<(SourceId, usize, usize)> = per_source
+    per_source
         .into_iter()
         .map(|(source, (correct, total))| (source, correct, total))
-        .collect();
-    tally.sort_by_key(|&(source, _, _)| source);
-    tally
+        .collect()
 }
 
 #[cfg(test)]

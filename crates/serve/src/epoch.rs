@@ -28,6 +28,7 @@ use multirag_core::{HistoryStore, IncrementalMlg, MklgpPipeline, MultiRagConfig}
 use multirag_kg::{persist, FxHashMap, KnowledgeGraph, SourceId, Value};
 use multirag_obs::MetricsRegistry;
 use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// One streamed triple: names instead of ids so updates are
@@ -131,7 +132,7 @@ pub struct IndexWriter {
     index: IncrementalMlg,
     history: HistoryStore,
     sources: FxHashMap<String, SourceId>,
-    feedback: FxHashMap<SourceId, (usize, usize)>,
+    feedback: BTreeMap<SourceId, (usize, usize)>,
     config: MultiRagConfig,
     seed: u64,
     domain: String,
@@ -163,7 +164,7 @@ impl IndexWriter {
             index,
             history,
             sources,
-            feedback: FxHashMap::default(),
+            feedback: BTreeMap::new(),
             config,
             seed,
             domain,
@@ -228,14 +229,13 @@ impl IndexWriter {
         }
     }
 
-    /// Folds pending feedback into the credibility store (sorted source
-    /// order — deterministic regardless of serving interleavings) and
-    /// publishes a new immutable snapshot.
+    /// Folds pending feedback into the credibility store (the
+    /// `BTreeMap` yields source order by construction — deterministic
+    /// regardless of serving interleavings) and publishes a new
+    /// immutable snapshot.
     pub fn publish(&mut self) -> Arc<EpochSnapshot> {
         self.history.thaw();
-        let mut pending: Vec<(SourceId, (usize, usize))> = self.feedback.drain().collect();
-        pending.sort_unstable_by_key(|&(source, _)| source);
-        for (source, (correct, total)) in pending {
+        for (source, (correct, total)) in std::mem::take(&mut self.feedback) {
             self.history.record(source, correct, total);
         }
         let history = self.history.clone();

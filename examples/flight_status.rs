@@ -70,7 +70,7 @@ fn main() {
             adapted.text_chunks.len()
         );
     }
-    let mut kg = load_into_graph(&sources, &fused);
+    let mut kg = load_into_graph(&sources, &fused).expect("fused indices are in range");
 
     // Unstructured text goes through the simulated LLM's extraction
     // (the ner.py / triple.py prompt path).

@@ -73,7 +73,7 @@ pub fn ingest_files(paths: &[String], domain: &str) -> Result<KnowledgeGraph, Cl
         });
     }
     let fused = fuse_sources(&sources).map_err(|e| err(format!("parse error: {e}")))?;
-    Ok(load_into_graph(&sources, &fused))
+    load_into_graph(&sources, &fused).map_err(|e| err(format!("ingest error: {e}")))
 }
 
 /// Renders graph statistics.

@@ -17,7 +17,7 @@ fn rendered_sources_round_trip_through_the_full_pipeline() {
     let data = MoviesSpec::small().generate(42);
     let raw = render_all_sources(&data);
     let fused = fuse_sources(&raw).expect("rendered sources parse");
-    let kg = load_into_graph(&raw, &fused);
+    let kg = load_into_graph(&raw, &fused).expect("fused indices are in range");
     assert_eq!(kg.source_count(), data.graph.source_count());
 
     let mut pipeline = MklgpPipeline::new(&kg, MultiRagConfig::default(), 42);
@@ -66,7 +66,7 @@ fn handwritten_sources_fuse_and_answer() {
         },
     ];
     let fused = fuse_sources(&sources).unwrap();
-    let kg = load_into_graph(&sources, &fused);
+    let kg = load_into_graph(&sources, &fused).expect("fused indices are in range");
     let mut pipeline = MklgpPipeline::new(&kg, MultiRagConfig::default(), 1);
 
     // Tenet's year conflicts 2-1 (2020 vs 2021); Heat's director is
