@@ -38,12 +38,12 @@ pub mod mlg;
 pub mod pipeline;
 pub mod qa;
 
-pub use confidence::{GraphConfidence, NodeConfidence};
+pub use confidence::{ClaimProfile, GraphConfidence, KernelCounters, MccOutcome, NodeConfidence};
 pub use config::MultiRagConfig;
 pub use history::HistoryStore;
 pub use homologous::{HomologousGroup, HomologousSets};
 pub use incremental::IncrementalMlg;
-pub use memo::{subgraph_hash, ConfidenceMemo, SlotVerdict};
+pub use memo::{profile_fingerprint, ConfidenceMemo, SlotVerdict};
 pub use mlg::MultiSourceLineGraph;
-pub use pipeline::{AbstainReason, MklgpPipeline, PipelineAnswer};
+pub use pipeline::{AbstainReason, MccWorker, MklgpPipeline, PipelineAnswer};
 pub use qa::{MultiHopOutcome, MultiRagQa};

@@ -8,16 +8,18 @@
 //! therefore reuse the whole verdict instead of re-running the
 //! consistency checks and their simulated LLM cost.
 //!
-//! The memo key is a canonical subgraph hash: entity name, relation
-//! name, and the sorted `(source name, standardized value key)` pairs
-//! of the post-quarantine claim set. Keys are content-addressed so a
-//! slot whose membership changed (a source quarantined mid-plan, a new
-//! claim streamed in) misses cleanly. Entries are only valid within one
-//! epoch — `C(G)` thresholds, `max_degree` and frozen credibility are
-//! epoch-scoped — so the serving layer clears the memo on every swap.
+//! The memo key is a [`profile_fingerprint`]: entity name, relation
+//! name, and the sorted `(source name, interned standardized value
+//! key)` pairs of the slot's [`ClaimProfile`]s — resolved from the
+//! pipeline's [`multirag_kg::KeyInterner`], so no per-lookup `String`
+//! is built. Keys are content-addressed so a slot whose membership
+//! changed (a source quarantined mid-plan, a new claim streamed in)
+//! misses cleanly. Entries are only valid within one epoch — `C(G)`
+//! thresholds, `max_degree` and frozen credibility are epoch-scoped —
+//! so the serving layer clears the memo on every swap.
 
-use crate::confidence::{GraphConfidence, NodeConfidence};
-use multirag_kg::{EntityId, FxHashMap, KnowledgeGraph, Object, RelationId, TripleId};
+use crate::confidence::{ClaimProfile, GraphConfidence, NodeConfidence};
+use multirag_kg::{EntityId, FxHashMap, KeyInterner, KnowledgeGraph, RelationId};
 use multirag_obs::MetricsRegistry;
 use parking_lot::Mutex;
 use std::hash::{Hash, Hasher};
@@ -38,27 +40,26 @@ pub struct SlotVerdict {
 }
 
 /// Canonical content hash of a slot subgraph: entity name, relation
-/// name, and sorted `(source name, standardized value key)` pairs.
+/// name, and sorted `(source name, standardized value key)` pairs of
+/// its claim profiles.
 ///
-/// Object-entity claims hash their surface entity name (the same form
-/// the pipeline standardizes them to), so the key is stable under
-/// triple-id renumbering across warm starts.
-pub fn subgraph_hash(
+/// The value keys are resolved from the interner the profiles were
+/// built against — no string is rebuilt or allocated per lookup.
+/// Object-entity claims already profile as their surface entity name
+/// (the form the pipeline standardizes), so the key is stable under
+/// triple-id renumbering across warm starts. A multi-valued source
+/// contributes its aggregate list key, which discriminates exactly as
+/// finely as hashing its member triples one by one.
+pub fn profile_fingerprint(
     kg: &KnowledgeGraph,
     entity: EntityId,
     relation: RelationId,
-    triples: &[TripleId],
+    profiles: &[ClaimProfile],
+    keys: &KeyInterner,
 ) -> u64 {
-    let mut pairs: Vec<(String, String)> = triples
+    let mut pairs: Vec<(&str, &str)> = profiles
         .iter()
-        .map(|&tid| {
-            let t = kg.triple(tid);
-            let value_key = match &t.object {
-                Object::Literal(v) => v.standardized().canonical_key(),
-                other => other.canonical_key(),
-            };
-            (kg.source_name(t.source).to_string(), value_key)
-        })
+        .map(|p| (kg.source_name(p.source), keys.resolve(p.key)))
         .collect();
     pairs.sort_unstable();
     let mut hasher = multirag_kg::FxHasher::default();
@@ -148,34 +149,56 @@ impl ConfidenceMemo {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::confidence::build_profiles;
+    use crate::homologous::match_slot;
     use multirag_kg::Value;
 
-    fn slot_graph(values: &[&str]) -> (KnowledgeGraph, EntityId, RelationId, Vec<TripleId>) {
+    fn slot_graph(values: &[&str]) -> (KnowledgeGraph, EntityId, RelationId) {
         let mut kg = KnowledgeGraph::new();
         let e = kg.add_entity("X", "d");
         let r = kg.add_relation("attr");
-        let mut tids = Vec::new();
         for (i, v) in values.iter().enumerate() {
             let s = kg.add_source(&format!("s{i}"), "json", "d");
             kg.add_triple(e, r, Value::from(*v), s, 0);
-            tids.push(TripleId(i as u32));
         }
-        (kg, e, r, tids)
+        (kg, e, r)
+    }
+
+    fn fingerprint_of(values: &[&str]) -> u64 {
+        let (kg, e, r) = slot_graph(values);
+        let group = match_slot(&kg, e, r)
+            .groups
+            .into_iter()
+            .next()
+            .expect("homologous slot");
+        let mut keys = KeyInterner::for_graph(&kg);
+        let profiles = build_profiles(&kg, &group, &mut keys);
+        profile_fingerprint(&kg, e, r, &profiles, &keys)
     }
 
     #[test]
-    fn hash_is_stable_and_content_sensitive() {
-        let (kg, e, r, tids) = slot_graph(&["a", "b"]);
-        let h1 = subgraph_hash(&kg, e, r, &tids);
-        assert_eq!(h1, subgraph_hash(&kg, e, r, &tids));
-        // Insertion order of the triple list does not matter.
-        let reversed: Vec<TripleId> = tids.iter().rev().copied().collect();
-        assert_eq!(h1, subgraph_hash(&kg, e, r, &reversed));
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let h1 = fingerprint_of(&["a", "b"]);
+        assert_eq!(h1, fingerprint_of(&["a", "b"]), "pure function of content");
+        // Profile order does not matter — the pairs are sorted.
+        let (kg, e, r) = slot_graph(&["a", "b"]);
+        let group = match_slot(&kg, e, r)
+            .groups
+            .into_iter()
+            .next()
+            .expect("homologous slot");
+        let mut keys = KeyInterner::for_graph(&kg);
+        let mut profiles = build_profiles(&kg, &group, &mut keys);
+        profiles.reverse();
+        assert_eq!(h1, profile_fingerprint(&kg, e, r, &profiles, &keys));
         // Different content, different key.
-        let (kg2, e2, r2, tids2) = slot_graph(&["a", "c"]);
-        assert_ne!(h1, subgraph_hash(&kg2, e2, r2, &tids2));
+        assert_ne!(h1, fingerprint_of(&["a", "c"]));
         // A subset (one source quarantined) misses.
-        assert_ne!(h1, subgraph_hash(&kg, e, r, &tids[..1]));
+        assert_ne!(
+            h1,
+            profile_fingerprint(&kg, e, r, &profiles[..1], &keys),
+            "membership change must miss"
+        );
     }
 
     #[test]

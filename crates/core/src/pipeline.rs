@@ -14,14 +14,17 @@
 //!    that context is),
 //! 5. updates the historical source-credibility store.
 
-use crate::confidence::{mcc_filter, GraphConfidence, NodeConfidence};
+use crate::confidence::{self, GraphConfidence, KernelCounters, MccOutcome, NodeConfidence};
 use crate::config::MultiRagConfig;
 use crate::history::HistoryStore;
-use crate::memo::{subgraph_hash, ConfidenceMemo, SlotVerdict};
+use crate::homologous::HomologousGroup;
+use crate::memo::{profile_fingerprint, ConfidenceMemo, SlotVerdict};
 use crate::mlg::MultiSourceLineGraph;
 use multirag_datasets::Query;
 use multirag_faults::{FaultPlan, RetryPolicy};
-use multirag_kg::{FxHashMap, FxHashSet, KnowledgeGraph, Object, SourceId, TripleId, Value};
+use multirag_kg::{
+    FxHashMap, FxHashSet, KeyInterner, KnowledgeGraph, Object, SourceId, TripleId, Value,
+};
 use multirag_llmsim::{ContextProfile, LlmResponseCache, LlmUsage, MockLlm, Schema};
 use multirag_obs::{
     AnswerProvenance, ObsHandle, QueryTrace, SourceContribution, Stage, StageCost, StageSpan,
@@ -133,6 +136,14 @@ pub struct MklgpPipeline<'g> {
     mlg_cost: StageCost,
     mlg_groups: usize,
     memo: Option<ConfidenceMemo>,
+    /// Per-graph canonical-key interner; every triple's standardized
+    /// value key is precomputed, so MCC never builds a key `String`.
+    keys: KeyInterner,
+    /// Kernel op counters, flushed into the metrics registry per query.
+    kernel: KernelCounters,
+    /// Registry watermark: `(nmi_pairs, profiles_built, interner hits,
+    /// interner misses)` already flushed, so counters export as deltas.
+    flushed: (u64, u64, u64, u64),
 }
 
 /// Raw per-query observations collected while answering; the [`answer`]
@@ -290,6 +301,9 @@ impl<'g> MklgpPipeline<'g> {
             mlg_cost,
             mlg_groups,
             memo: None,
+            keys: KeyInterner::for_graph(kg),
+            kernel: KernelCounters::default(),
+            flushed: (0, 0, 0, 0),
         }
     }
 
@@ -395,6 +409,48 @@ impl<'g> MklgpPipeline<'g> {
         &self.history
     }
 
+    /// The homologous groups of the MLG slot index, in `(entity,
+    /// relation)` order. Empty when MKA is ablated — there is no
+    /// aggregated index to fan out over.
+    pub fn slot_groups(&self) -> &[HomologousGroup] {
+        self.mlg
+            .as_ref()
+            .map(|m| m.sets().groups.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Snapshot of the kernel op counters accumulated by this pipeline.
+    pub fn kernel_counters(&self) -> KernelCounters {
+        self.kernel
+    }
+
+    /// Canonical-key interner statistics: `(hits, misses)`. Hits
+    /// include per-triple cache lookups; misses are distinct keys
+    /// interned (including the up-front `for_graph` pass).
+    pub fn interner_stats(&self) -> (u64, u64) {
+        (self.keys.hits(), self.keys.misses())
+    }
+
+    /// Splits off a self-contained slot-level MCC evaluator: cloned LLM
+    /// stream (usage meter reset), cloned interner, the current history
+    /// snapshot, and fresh op counters. The deterministic fan-out path
+    /// gives each worker thread one of these; because MCC never writes
+    /// history, every worker observes exactly the state a serial sweep
+    /// would.
+    pub fn mcc_worker(&self) -> MccWorker<'g> {
+        let mut llm = self.llm.clone();
+        llm.reset_usage();
+        MccWorker {
+            kg: self.kg,
+            llm,
+            keys: self.keys.clone(),
+            history: self.history.clone(),
+            config: self.config,
+            max_degree: self.max_degree,
+            counters: KernelCounters::default(),
+        }
+    }
+
     /// Answers one benchmark query (Algorithm 2). When an observer is
     /// attached the query additionally emits a [`QueryTrace`] — spans,
     /// subgraph verdicts, chaos events and answer provenance.
@@ -402,11 +458,58 @@ impl<'g> MklgpPipeline<'g> {
         let usage_before = self.llm.usage();
         let mut stats = AnswerStats::default();
         let answer = self.answer_with_stats(query, &mut stats);
+        self.flush_kernel_metrics();
         if let Some(obs) = self.obs.clone() {
             let trace = self.build_trace(query, &answer, stats, &usage_before);
             obs.finish_query(trace);
         }
         answer
+    }
+
+    /// Like [`MklgpPipeline::answer`], but also hands the caller the
+    /// [`QueryTrace`]. The deterministic fan-out harness answers on
+    /// worker clones (no observer attached) and republishes the traces
+    /// in query order, so parallel trace exports stay byte-identical to
+    /// serial runs. When an observer *is* attached, the trace is still
+    /// published exactly as [`MklgpPipeline::answer`] would.
+    pub fn answer_traced(&mut self, query: &Query) -> (PipelineAnswer, QueryTrace) {
+        let usage_before = self.llm.usage();
+        let mut stats = AnswerStats::default();
+        let answer = self.answer_with_stats(query, &mut stats);
+        self.flush_kernel_metrics();
+        let trace = self.build_trace(query, &answer, stats, &usage_before);
+        if let Some(obs) = &self.obs {
+            obs.finish_query(trace.clone());
+        }
+        (answer, trace)
+    }
+
+    /// Publishes kernel-counter deltas into the observer's metrics
+    /// registry: `mcc_nmi_pairs_total`, `claim_profiles_built_total`,
+    /// `claim_key_interner_hits_total`, `claim_key_interner_misses_total`.
+    /// Deltas since the last flush, so repeated calls never double-count;
+    /// zero deltas are skipped so metric exports only list counters that
+    /// actually moved.
+    fn flush_kernel_metrics(&mut self) {
+        let Some(obs) = &self.obs else { return };
+        let registry = obs.registry();
+        let now = (
+            self.kernel.nmi_pairs,
+            self.kernel.profiles_built,
+            self.keys.hits(),
+            self.keys.misses(),
+        );
+        for (name, delta) in [
+            ("mcc_nmi_pairs_total", now.0 - self.flushed.0),
+            ("claim_profiles_built_total", now.1 - self.flushed.1),
+            ("claim_key_interner_hits_total", now.2 - self.flushed.2),
+            ("claim_key_interner_misses_total", now.3 - self.flushed.3),
+        ] {
+            if delta > 0 {
+                registry.inc(name, delta);
+            }
+        }
+        self.flushed = now;
     }
 
     /// Algorithm 2's body, recording raw observations into `stats`.
@@ -533,25 +636,45 @@ impl<'g> MklgpPipeline<'g> {
         let (graph_confidence, kept, dropped) = if let Some(group) = sets.groups.first() {
             let group_triples = group.triples.len();
             let group_sources = group.source_count;
+            // Claim profiles are built once per slot — resolved to
+            // interned keys, distributions sorted, entropy precomputed —
+            // and shared by the memo fingerprint, the graph gate and the
+            // node assessment below.
+            let profiles = confidence::build_profiles(self.kg, group, &mut self.keys);
+            self.kernel.profiles_built += profiles.len() as u64;
             // Per-epoch MCC memo: the verdict is a pure function of the
             // slot's (post-quarantine) content once history is frozen,
             // so a content-hash hit replays it without touching the LLM.
             let memo_key = self
                 .memo
                 .as_ref()
-                .map(|_| subgraph_hash(self.kg, entity, relation, &group.triples));
+                .map(|_| profile_fingerprint(self.kg, entity, relation, &profiles, &self.keys));
             let spans_before = stats.spans.len();
             let verdict = memo_key
                 .and_then(|key| self.memo.as_ref().and_then(|m| m.get(key)))
                 .unwrap_or_else(|| {
-                    let outcome = mcc_filter(
-                        self.kg,
-                        group,
-                        &mut self.llm,
-                        &self.history,
-                        &self.config,
-                        self.max_degree,
-                    );
+                    let outcome = if self.config.use_reference_mcc {
+                        confidence::mcc_filter_reference(
+                            self.kg,
+                            group,
+                            &mut self.llm,
+                            &self.history,
+                            &self.config,
+                            self.max_degree,
+                        )
+                    } else {
+                        confidence::mcc_filter_profiles(
+                            self.kg,
+                            group,
+                            &profiles,
+                            &self.keys,
+                            &mut self.llm,
+                            &self.history,
+                            &self.config,
+                            self.max_degree,
+                            &mut self.kernel,
+                        )
+                    };
                     let verdict = SlotVerdict {
                         graph: outcome.graph,
                         kept: outcome.kept,
@@ -1066,7 +1189,7 @@ fn sets_from_extraction(
         let mut sources: Vec<SourceId> = triples.iter().map(|&tid| kg.triple(tid).source).collect();
         sources.sort_unstable();
         sources.dedup();
-        sets.groups.push(crate::homologous::HomologousGroup {
+        sets.groups.push(HomologousGroup {
             entity,
             relation,
             triples,
@@ -1076,6 +1199,74 @@ fn sets_from_extraction(
         sets.isolated = extracted.to_vec();
     }
     sets
+}
+
+/// A self-contained slot-level MCC evaluator split off a pipeline via
+/// [`MklgpPipeline::mcc_worker`]: its own LLM stream, key interner and
+/// op counters over the shared (read-only) graph and a history
+/// snapshot. The `eval` fan-out harness runs one worker per thread and
+/// folds usage and counters back together in slot order, so parallel
+/// sweeps are byte-identical to serial ones.
+#[derive(Clone)]
+pub struct MccWorker<'g> {
+    kg: &'g KnowledgeGraph,
+    llm: MockLlm,
+    keys: KeyInterner,
+    history: HistoryStore,
+    config: MultiRagConfig,
+    max_degree: usize,
+    counters: KernelCounters,
+}
+
+impl<'g> MccWorker<'g> {
+    /// Runs MCC (Algorithm 1) over one homologous group, honouring the
+    /// pipeline's `use_reference_mcc` switch.
+    pub fn run(&mut self, group: &HomologousGroup) -> MccOutcome {
+        if self.config.use_reference_mcc {
+            return confidence::mcc_filter_reference(
+                self.kg,
+                group,
+                &mut self.llm,
+                &self.history,
+                &self.config,
+                self.max_degree,
+            );
+        }
+        let profiles = confidence::build_profiles(self.kg, group, &mut self.keys);
+        self.counters.profiles_built += profiles.len() as u64;
+        confidence::mcc_filter_profiles(
+            self.kg,
+            group,
+            &profiles,
+            &self.keys,
+            &mut self.llm,
+            &self.history,
+            &self.config,
+            self.max_degree,
+            &mut self.counters,
+        )
+    }
+
+    /// The worker's LLM usage meter.
+    pub fn usage(&self) -> LlmUsage {
+        self.llm.usage()
+    }
+
+    /// Resets the worker's usage meter (fan-out cells meter per-group
+    /// deltas).
+    pub fn reset_usage(&mut self) {
+        self.llm.reset_usage();
+    }
+
+    /// Kernel op counters accumulated by this worker.
+    pub fn counters(&self) -> KernelCounters {
+        self.counters
+    }
+
+    /// Interner statistics `(hits, misses)` for this worker's clone.
+    pub fn interner_stats(&self) -> (u64, u64) {
+        (self.keys.hits(), self.keys.misses())
+    }
 }
 
 #[cfg(test)]

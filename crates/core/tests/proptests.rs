@@ -1,9 +1,12 @@
 //! Property-based tests over the confidence machinery's invariants.
 
-use multirag_core::confidence::{graph_confidence, mcc_filter, mi_similarity};
+use multirag_core::confidence::{
+    build_profiles, graph_confidence, mcc_filter, mcc_filter_profiles, mcc_filter_reference,
+    mi_similarity, nmi_similarity, ClaimProfile, KernelCounters,
+};
 use multirag_core::homologous::{match_homologous, match_slot};
 use multirag_core::{HistoryStore, MultiRagConfig};
-use multirag_kg::{KnowledgeGraph, Value};
+use multirag_kg::{KeyInterner, KnowledgeGraph, SourceId, TripleId, Value};
 use multirag_llmsim::{MockLlm, Schema};
 use proptest::prelude::*;
 
@@ -144,7 +147,7 @@ proptest! {
         updates in proptest::collection::vec((0usize..20, 1usize..20), 1..20),
     ) {
         let store = HistoryStore::paper_defaults();
-        let source = multirag_kg::SourceId(0);
+        let source = SourceId(0);
         let mut seen_correct = 0usize;
         let mut seen_total = 0usize;
         for (correct, extra) in updates {
@@ -161,5 +164,132 @@ proptest! {
         // (or equal at the boundary).
         let (lo, hi) = if observed < 0.5 { (observed, 0.5) } else { (0.5, observed) };
         prop_assert!(c >= lo - 1e-9 && c <= hi + 1e-9, "c {c} outside [{lo}, {hi}]");
+    }
+}
+
+/// A slot where sources may assert multiple claims: `assignments[i]`
+/// is the source index of `values[i]`, so the profile builder's list
+/// aggregation path gets exercised alongside the scalar path.
+fn multi_claim_slot(
+    values: &[Value],
+    assignments: &[usize],
+    sources: usize,
+) -> (
+    KnowledgeGraph,
+    multirag_kg::EntityId,
+    multirag_kg::RelationId,
+) {
+    let mut kg = KnowledgeGraph::new();
+    let e = kg.add_entity("X", "d");
+    let r = kg.add_relation("attr");
+    let ids: Vec<SourceId> = (0..sources)
+        .map(|i| kg.add_source(&format!("s{i}"), "json", "d"))
+        .collect();
+    for (v, &si) in values.iter().zip(assignments) {
+        let source = *ids.get(si % sources).expect("source index in range");
+        kg.add_triple(e, r, v.clone(), source, 0);
+    }
+    (kg, e, r)
+}
+
+proptest! {
+    /// The merge-join NMI kernel is bit-identical — `to_bits()`, not
+    /// ε-close — to the reference `mi_similarity` on arbitrary value
+    /// pairs, lists included.
+    #[test]
+    fn nmi_kernel_is_bit_identical_to_mi_reference(
+        a in value_strategy(),
+        b in value_strategy(),
+    ) {
+        let (a, b) = (a.standardized(), b.standardized());
+        let kg = KnowledgeGraph::new();
+        let mut keys = KeyInterner::for_graph(&kg);
+        let pa = ClaimProfile::build(TripleId(0), a.clone(), SourceId(0), None, &mut keys);
+        let pb = ClaimProfile::build(TripleId(1), b.clone(), SourceId(1), None, &mut keys);
+        let kernel = nmi_similarity(&pa, &pb, &keys);
+        let reference = mi_similarity(&a, &b);
+        prop_assert_eq!(
+            kernel.to_bits(),
+            reference.to_bits(),
+            "kernel {} vs reference {} for {:?} / {:?}",
+            kernel,
+            reference,
+            a,
+            b
+        );
+        // And symmetric at the bit level too.
+        let flipped = nmi_similarity(&pb, &pa, &keys);
+        prop_assert_eq!(kernel.to_bits(), flipped.to_bits());
+    }
+
+    /// The full profile-kernel filter reproduces the reference filter
+    /// bit-for-bit on random multi-claim slots: same gate decision,
+    /// same kept/dropped partition, every confidence field identical
+    /// to the last ULP, same simulated LLM cost.
+    #[test]
+    fn kernel_filter_matches_reference_on_random_slots(
+        values in proptest::collection::vec(value_strategy(), 2..10),
+        assignments in proptest::collection::vec(0usize..5, 10),
+        sources in 2usize..5,
+        graph_level in any::<bool>(),
+        node_level in any::<bool>(),
+    ) {
+        let (kg, e, r) = multi_claim_slot(&values, &assignments, sources);
+        let sets = match_slot(&kg, e, r);
+        prop_assume!(!sets.groups.is_empty());
+        let group = &sets.groups[0];
+        let config = MultiRagConfig {
+            enable_graph_level: graph_level,
+            enable_node_level: node_level,
+            ..MultiRagConfig::default()
+        };
+        let history = HistoryStore::paper_defaults();
+
+        let mut keys = KeyInterner::for_graph(&kg);
+        let mut counters = KernelCounters::default();
+        let profiles = build_profiles(&kg, group, &mut keys);
+        let mut llm_k = MockLlm::new(Schema::new(), 7);
+        let kernel = mcc_filter_profiles(
+            &kg, group, &profiles, &keys, &mut llm_k, &history, &config, 4, &mut counters,
+        );
+        let mut llm_r = MockLlm::new(Schema::new(), 7);
+        let reference = mcc_filter_reference(&kg, group, &mut llm_r, &history, &config, 4);
+
+        match (kernel.graph, reference.graph) {
+            (Some(x), Some(y)) => {
+                prop_assert_eq!(x.value.to_bits(), y.value.to_bits());
+                prop_assert_eq!(x.unordered_pairs, y.unordered_pairs);
+                prop_assert_eq!(x.ordered_pairs, y.ordered_pairs);
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "graph confidence presence mismatch"),
+        }
+        prop_assert_eq!(kernel.gated, reference.gated);
+        prop_assert_eq!(kernel.kept.len(), reference.kept.len());
+        prop_assert_eq!(kernel.dropped.len(), reference.dropped.len());
+        for (a, b) in kernel
+            .kept
+            .iter()
+            .zip(&reference.kept)
+            .chain(kernel.dropped.iter().zip(&reference.dropped))
+        {
+            prop_assert_eq!(a.triple, b.triple);
+            prop_assert_eq!(&a.value, &b.value);
+            prop_assert_eq!(a.source, b.source);
+            prop_assert_eq!(a.consistency.to_bits(), b.consistency.to_bits());
+            prop_assert_eq!(a.auth_llm.to_bits(), b.auth_llm.to_bits());
+            prop_assert_eq!(a.auth_hist.to_bits(), b.auth_hist.to_bits());
+            prop_assert_eq!(a.authority.to_bits(), b.authority.to_bits());
+            prop_assert_eq!(a.confidence.to_bits(), b.confidence.to_bits());
+        }
+        prop_assert_eq!(
+            kernel.graph_cost.sim_ms.to_bits(),
+            reference.graph_cost.sim_ms.to_bits()
+        );
+        prop_assert_eq!(
+            kernel.node_cost.sim_ms.to_bits(),
+            reference.node_cost.sim_ms.to_bits()
+        );
+        prop_assert_eq!(llm_k.usage(), llm_r.usage(), "identical LLM call streams");
     }
 }

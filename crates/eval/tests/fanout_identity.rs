@@ -1,0 +1,116 @@
+//! Fan-out bit-transparency across every benchmark dataset: the
+//! parallel query sweep must be invisible in the canonical trace
+//! export and in the result row — byte-identical JSON at any worker
+//! count, and identical whether the MCC stage runs the profile kernel
+//! or the retained naive reference.
+
+use multirag_core::MultiRagConfig;
+use multirag_datasets::books::BooksSpec;
+use multirag_datasets::flights::FlightsSpec;
+use multirag_datasets::movies::MoviesSpec;
+use multirag_datasets::spec::MultiSourceDataset;
+use multirag_datasets::stocks::StocksSpec;
+use multirag_eval::run_multirag_fanout;
+use multirag_obs::{traces_json, Observer};
+
+const SEED: u64 = 42;
+
+fn all_small() -> Vec<MultiSourceDataset> {
+    vec![
+        MoviesSpec::small().generate(SEED),
+        BooksSpec::small().generate(SEED),
+        FlightsSpec::small().generate(SEED),
+        StocksSpec::small().generate(SEED),
+    ]
+}
+
+fn traces_at(data: &MultiSourceDataset, config: MultiRagConfig, workers: usize) -> (String, u64) {
+    let obs = Observer::new();
+    let row = run_multirag_fanout(data, &data.graph, config, SEED, workers, Some(obs.clone()));
+    (
+        traces_json(SEED, &data.name, &obs.traces()),
+        row.f1.to_bits(),
+    )
+}
+
+#[test]
+fn fanout_traces_are_byte_identical_across_worker_counts() {
+    for data in all_small() {
+        let config = MultiRagConfig::default();
+        let (serial, f1_serial) = traces_at(&data, config, 1);
+        for workers in [2usize, 4] {
+            let (parallel, f1_parallel) = traces_at(&data, config, workers);
+            assert_eq!(
+                serial, parallel,
+                "[{}] trace JSON drifted at {workers} workers",
+                data.name
+            );
+            assert_eq!(
+                f1_serial, f1_parallel,
+                "[{}] f1 drifted at {workers} workers",
+                data.name
+            );
+        }
+        assert!(
+            serial.contains("\"traces\":["),
+            "[{}] export looks empty",
+            data.name
+        );
+    }
+}
+
+#[test]
+fn fanout_traces_are_byte_identical_kernel_vs_reference() {
+    for data in all_small() {
+        let (kernel, f1_kernel) = traces_at(&data, MultiRagConfig::default(), 4);
+        let (reference, f1_reference) =
+            traces_at(&data, MultiRagConfig::default().with_reference_mcc(), 4);
+        assert_eq!(
+            kernel, reference,
+            "[{}] kernel and reference MCC must export identical traces",
+            data.name
+        );
+        assert_eq!(f1_kernel, f1_reference, "[{}] f1 drifted", data.name);
+    }
+}
+
+#[test]
+fn fanout_answers_match_direct_pipeline_answers() {
+    use multirag_core::MklgpPipeline;
+    for data in all_small() {
+        let obs = Observer::new();
+        run_multirag_fanout(
+            &data,
+            &data.graph,
+            MultiRagConfig::default(),
+            SEED,
+            3,
+            Some(obs.clone()),
+        );
+        let traces = obs.traces();
+        assert_eq!(traces.len(), data.queries.len(), "[{}]", data.name);
+
+        // A plain serial pipeline (frozen the same way) answers every
+        // query identically — fan-out is a pure execution strategy.
+        let mut serial = MklgpPipeline::new(&data.graph, MultiRagConfig::default(), SEED);
+        serial.history().freeze();
+        for (query, trace) in data.queries.iter().zip(&traces) {
+            let answer = serial.answer(query);
+            assert_eq!(
+                !answer.abstained, trace.answer.answered,
+                "[{}] q{} abstain drift",
+                data.name, query.id
+            );
+            let values: Vec<String> = answer
+                .fusion_values
+                .iter()
+                .map(|v| v.canonical_key())
+                .collect();
+            assert_eq!(
+                values, trace.answer.fusion_values,
+                "[{}] q{} fusion drift",
+                data.name, query.id
+            );
+        }
+    }
+}

@@ -219,6 +219,16 @@ impl KnowledgeGraph {
         &self.triples
     }
 
+    /// The triple's object as a [`Value`]: literals verbatim, entity
+    /// objects as their surface name — the form the confidence layer
+    /// standardizes and compares.
+    pub fn triple_value(&self, id: TripleId) -> Value {
+        match &self.triple(id).object {
+            Object::Entity(e) => Value::Str(self.entity_name(*e).to_string()),
+            Object::Literal(v) => v.clone(),
+        }
+    }
+
     /// Iterates `(TripleId, &Triple)`.
     pub fn iter_triples(&self) -> impl Iterator<Item = (TripleId, &Triple)> {
         self.triples

@@ -117,6 +117,109 @@ impl Interner {
     }
 }
 
+/// A canonical-key interner for claim values.
+///
+/// The confidence machinery compares claims by their
+/// [`Value::canonical_key`] equivalence class. Building that `String`
+/// once per *comparison* dominates the MCC hot path, so this wrapper
+/// interns keys once and hands out [`Symbol`]s: symbol equality is
+/// exactly canonical-key equality for symbols from the same
+/// `KeyInterner`. [`KeyInterner::for_graph`] additionally precomputes
+/// the key of every triple's **standardized** object value, so per-slot
+/// profile construction is a table lookup instead of a string build.
+///
+/// A single scratch buffer is reused across [`KeyInterner::key_of`]
+/// calls; hit/miss counters feed the `claim_key_interner_*` metrics.
+#[derive(Debug, Default, Clone)]
+pub struct KeyInterner {
+    keys: Interner,
+    /// `triple_keys[tid]` — key of triple `tid`'s standardized value
+    /// (empty unless built with [`KeyInterner::for_graph`]).
+    triple_keys: Vec<Symbol>,
+    scratch: String,
+    hits: u64,
+    misses: u64,
+}
+
+impl KeyInterner {
+    /// An empty interner with no per-triple cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the interner for a graph, precomputing the canonical key
+    /// of every triple's standardized object value ([`Value::Str`] of
+    /// the entity name for entity objects — the same form the
+    /// confidence layer compares).
+    pub fn for_graph(kg: &crate::graph::KnowledgeGraph) -> Self {
+        let mut this = Self {
+            keys: Interner::with_capacity(kg.triple_count() / 2 + 1),
+            triple_keys: Vec::with_capacity(kg.triple_count()),
+            ..Self::default()
+        };
+        for (tid, _) in kg.iter_triples() {
+            let value = kg.triple_value(tid).standardized();
+            let sym = this.key_of(&value);
+            this.triple_keys.push(sym);
+        }
+        this
+    }
+
+    /// Interns `value`'s canonical key, reusing the scratch buffer.
+    pub fn key_of(&mut self, value: &crate::value::Value) -> Symbol {
+        self.scratch.clear();
+        value.write_canonical_key(&mut self.scratch);
+        let before = self.keys.len();
+        let sym = self.keys.intern(&self.scratch);
+        if self.keys.len() == before {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        sym
+    }
+
+    /// The precomputed key of a triple's standardized value, if this
+    /// interner was built with [`KeyInterner::for_graph`] over a graph
+    /// containing `tid`. Cache uses count as interner hits.
+    pub fn triple_key(&mut self, tid: crate::graph::TripleId) -> Option<Symbol> {
+        let sym = self.triple_keys.get(tid.index()).copied();
+        if sym.is_some() {
+            self.hits += 1;
+        }
+        sym
+    }
+
+    /// Resolves a key symbol back to its canonical-key string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was not produced by this interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        self.keys.resolve(sym)
+    }
+
+    /// Number of distinct interned keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether no keys have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Lookups that found an existing key (including triple-cache uses).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that interned a new key.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,5 +297,43 @@ mod tests {
         let e = interner.intern("");
         assert_eq!(interner.resolve(e), "");
         assert_eq!(interner.intern(""), e);
+    }
+
+    #[test]
+    fn key_interner_symbols_match_canonical_keys() {
+        use crate::value::Value;
+        let mut keys = KeyInterner::new();
+        let a = keys.key_of(&Value::from("Delayed "));
+        let b = keys.key_of(&Value::from("delayed"));
+        let c = keys.key_of(&Value::Int(3));
+        let d = keys.key_of(&Value::Float(3.0));
+        assert_eq!(a, b, "same equivalence class, same symbol");
+        assert_eq!(c, d, "3 and 3.0 collapse");
+        assert_ne!(a, c);
+        assert_eq!(keys.resolve(a), Value::from("delayed").canonical_key());
+        assert_eq!(keys.hits(), 2);
+        assert_eq!(keys.misses(), 2);
+    }
+
+    #[test]
+    fn key_interner_for_graph_precomputes_triple_keys() {
+        use crate::graph::{KnowledgeGraph, TripleId};
+        use crate::value::Value;
+        let mut kg = KnowledgeGraph::new();
+        let flight = kg.add_entity("CA981", "flights");
+        let status = kg.add_relation("status");
+        let s0 = kg.add_source("s0", "json", "flights");
+        let s1 = kg.add_source("s1", "json", "flights");
+        let t0 = kg.add_triple(flight, status, Value::from("Delayed"), s0, 0);
+        let t1 = kg.add_triple(flight, status, Value::from("delayed"), s1, 0);
+        let mut keys = KeyInterner::for_graph(&kg);
+        let k0 = keys.triple_key(t0).expect("cached");
+        let k1 = keys.triple_key(t1).expect("cached");
+        assert_eq!(k0, k1, "standardized keys collapse surface variants");
+        assert_eq!(
+            keys.resolve(k0),
+            Value::from("Delayed").standardized().canonical_key()
+        );
+        assert_eq!(keys.triple_key(TripleId(99)), None, "foreign triple");
     }
 }

@@ -38,7 +38,7 @@ pub mod value;
 
 pub use graph::{GraphStats, KnowledgeGraph, TripleId};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
-pub use intern::{Interner, Symbol};
+pub use intern::{Interner, KeyInterner, Symbol};
 pub use linegraph::{LineGraph, LineGraphStats};
 pub use triple::{EntityId, Object, RelationId, SourceId, Triple};
 pub use value::Value;

@@ -35,24 +35,60 @@ impl Value {
     /// Strings are trimmed and lower-cased; integral floats collapse to
     /// their integer form so `3` and `3.0` agree across sources.
     pub fn canonical_key(&self) -> String {
+        let mut out = String::new();
+        self.write_canonical_key(&mut out);
+        out
+    }
+
+    /// Appends the canonical key to `out` without allocating a fresh
+    /// `String` per call. Hot paths (the claim-key interner) hold one
+    /// scratch buffer and reuse it across every triple; the bytes
+    /// produced are identical to [`Value::canonical_key`].
+    pub fn write_canonical_key(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        // Writing to a `String` cannot fail; the `let _ =` keeps the
+        // signature infallible.
         match self {
-            Value::Null => "\u{0}null".to_string(),
-            Value::Bool(b) => format!("\u{0}b:{b}"),
-            Value::Int(i) => format!("\u{0}n:{i}"),
+            Value::Null => out.push_str("\u{0}null"),
+            Value::Bool(b) => {
+                let _ = write!(out, "\u{0}b:{b}");
+            }
+            Value::Int(i) => {
+                let _ = write!(out, "\u{0}n:{i}");
+            }
             Value::Float(f) => {
                 if f.is_nan() {
-                    "\u{0}n:nan".to_string()
+                    out.push_str("\u{0}n:nan");
                 } else if f.fract() == 0.0 && f.abs() < 9.0e15 {
-                    format!("\u{0}n:{}", *f as i64)
+                    let _ = write!(out, "\u{0}n:{}", *f as i64);
                 } else {
-                    format!("\u{0}n:{f}")
+                    let _ = write!(out, "\u{0}n:{f}");
                 }
             }
-            Value::Str(s) => format!("\u{0}s:{}", s.trim().to_lowercase()),
+            Value::Str(s) => {
+                out.push_str("\u{0}s:");
+                let trimmed = s.trim();
+                if trimmed.is_ascii() && !trimmed.bytes().any(|b| b.is_ascii_uppercase()) {
+                    // Already lower-case ASCII: skip the `to_lowercase`
+                    // String (the common case for standardized values).
+                    out.push_str(trimmed);
+                } else {
+                    out.push_str(&trimmed.to_lowercase());
+                }
+            }
             Value::List(items) => {
+                // Member keys must sort lexicographically, so the list
+                // form still materializes per-member strings.
                 let mut keys: Vec<String> = items.iter().map(Value::canonical_key).collect();
                 keys.sort();
-                format!("\u{0}l:[{}]", keys.join(","))
+                out.push_str("\u{0}l:[");
+                for (i, k) in keys.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(k);
+                }
+                out.push(']');
             }
         }
     }

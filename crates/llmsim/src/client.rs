@@ -70,6 +70,20 @@ impl LlmUsage {
     pub fn simulated_secs(&self) -> f64 {
         self.simulated_ms / 1000.0
     }
+
+    /// Adds another usage meter into this one — every field is a plain
+    /// sum. The deterministic fan-out harness meters each worker
+    /// separately and merge-reduces in slot order, so a parallel sweep
+    /// reports exactly the usage a serial sweep would.
+    pub fn merge(&mut self, other: &LlmUsage) {
+        self.calls += other.calls;
+        self.input_tokens += other.input_tokens;
+        self.output_tokens += other.output_tokens;
+        self.simulated_ms += other.simulated_ms;
+        self.retries += other.retries;
+        self.failed_calls += other.failed_calls;
+        self.cache_hits += other.cache_hits;
+    }
 }
 
 /// The deterministic mock LLM.

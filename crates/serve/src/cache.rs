@@ -3,12 +3,16 @@
 //! | level | keyed by | survives epoch swap? |
 //! |---|---|---|
 //! | L1 result cache | exact `(query key, query text)` | no — cleared |
-//! | L2 MCC memo | canonical subgraph content hash | no — cleared |
+//! | L2 MCC memo | claim-profile fingerprint | no — cleared |
 //! | L3 LLM response cache | kind + seed + every call operand | **yes** |
 //!
 //! L1 short-circuits the whole pipeline for byte-identical repeats. L2
 //! ([`multirag_core::ConfidenceMemo`]) replays an MCC verdict for
-//! paraphrases that resolve to the same slot. L3
+//! paraphrases that resolve to the same slot; it is keyed by
+//! [`multirag_core::profile_fingerprint`] — entity, relation and the
+//! sorted `(source, interned standardized-value key)` pairs of the
+//! slot's claim profiles, hashed without building any per-lookup
+//! strings. L3
 //! ([`multirag_llmsim::LlmResponseCache`]) fronts individual simulated
 //! LLM calls; its keys hash the schema fingerprint and every operand,
 //! so entries from an old epoch can only hit when the call would have
