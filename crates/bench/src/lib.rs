@@ -263,8 +263,28 @@ mod tests {
     }
 
     #[test]
+    fn serve_golden_enumerates_every_abstain_reason() {
+        let golden = golden_schema("serve").expect("serve golden exists");
+        let (_, rest) = golden
+            .split_once("abstain:{")
+            .expect("serve golden has an abstain tally object");
+        let (body, _) = rest.split_once('}').expect("abstain object closes");
+        let keys: Vec<&str> = body
+            .split(',')
+            .map(|kv| kv.split_once(':').expect("key:type pair").0)
+            .collect();
+        assert_eq!(
+            keys,
+            multirag_core::AbstainReason::ALL_SLUGS,
+            "the serve schema golden must enumerate exactly the abstain \
+             reasons, in declaration order — adding a reason is a reviewed \
+             schema change"
+        );
+    }
+
+    #[test]
     fn golden_sections_exist_and_parse() {
-        for section in ["obs_profile", "obs_chaos", "serve"] {
+        for section in ["obs_profile", "obs_chaos", "serve", "loop"] {
             let outline = golden_schema(section)
                 .unwrap_or_else(|| panic!("missing golden section [{section}]"));
             assert!(

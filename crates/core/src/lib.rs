@@ -27,12 +27,16 @@
 //!   subgraph hash (the serving subsystem's mid-level cache).
 //! * [`pipeline`] — MKLGP (Algorithm 2): logic form → extraction → MLG
 //!   → MCC → trustworthy answer.
+//! * [`loopctl`] — closed-loop grounded generation: grade the drafted
+//!   answer against the kept context and escalate (widen → consult →
+//!   tighten) under a deadline-bounded budget.
 
 pub mod confidence;
 pub mod config;
 pub mod history;
 pub mod homologous;
 pub mod incremental;
+pub mod loopctl;
 pub mod memo;
 pub mod mlg;
 pub mod pipeline;
@@ -43,6 +47,7 @@ pub use config::MultiRagConfig;
 pub use history::HistoryStore;
 pub use homologous::{HomologousGroup, HomologousSets};
 pub use incremental::IncrementalMlg;
+pub use loopctl::{grade_supported, LadderStep, LoopConfig};
 pub use memo::{profile_fingerprint, ConfidenceMemo, SlotVerdict};
 pub use mlg::MultiSourceLineGraph;
 pub use pipeline::{AbstainReason, MccWorker, MklgpPipeline, PipelineAnswer};

@@ -18,18 +18,23 @@ use crate::confidence::{self, GraphConfidence, KernelCounters, MccOutcome, NodeC
 use crate::config::MultiRagConfig;
 use crate::history::HistoryStore;
 use crate::homologous::HomologousGroup;
+use crate::loopctl::{grade_supported, LadderStep, LoopConfig};
 use crate::memo::{profile_fingerprint, ConfidenceMemo, SlotVerdict};
 use crate::mlg::MultiSourceLineGraph;
 use multirag_datasets::Query;
-use multirag_faults::{FaultPlan, RetryPolicy};
+use multirag_faults::{ms_to_us, FaultPlan, RetryPolicy};
+use multirag_ingest::{fuse_sources_with, Claim, IngestMode, RawSource};
 use multirag_kg::{
-    FxHashMap, FxHashSet, KeyInterner, KnowledgeGraph, Object, SourceId, TripleId, Value,
+    EntityId, FxHashMap, FxHashSet, KeyInterner, KnowledgeGraph, Object, RelationId, SourceId,
+    TripleId, Value,
 };
+use multirag_llmsim::halluc::GeneratedAnswer;
 use multirag_llmsim::{ContextProfile, LlmResponseCache, LlmUsage, MockLlm, Schema};
 use multirag_obs::{
     AnswerProvenance, ObsHandle, QueryTrace, SourceContribution, Stage, StageCost, StageSpan,
     SubgraphDecision, TraceEvent,
 };
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Why the pipeline declined to answer — degraded modes surface a
@@ -51,6 +56,13 @@ pub enum AbstainReason {
         /// Attempts the retry policy made before giving up.
         attempts: u32,
     },
+    /// The closed loop kept grading the draft as unsupported and ran
+    /// out of escalation budget (attempts or deadline); abstaining is
+    /// the honest verdict — the fusion result still stands.
+    EscalationExhausted {
+        /// Escalation attempts spent before giving up.
+        attempts: u32,
+    },
 }
 
 impl AbstainReason {
@@ -62,8 +74,24 @@ impl AbstainReason {
             AbstainReason::AllSourcesDown => "all_sources_down",
             AbstainReason::NoTrustedContext => "no_trusted_context",
             AbstainReason::GenerationFailed { .. } => "generation_failed",
+            AbstainReason::EscalationExhausted { .. } => "escalation_exhausted",
         }
     }
+
+    /// Alias for [`AbstainReason::slug`] under the conventional name.
+    pub fn as_str(&self) -> &'static str {
+        self.slug()
+    }
+
+    /// Every reason's slug, in declaration order — the schema golden
+    /// enumerates these so a new reason is a reviewed schema change.
+    pub const ALL_SLUGS: [&'static str; 5] = [
+        "unknown_slot",
+        "all_sources_down",
+        "no_trusted_context",
+        "generation_failed",
+        "escalation_exhausted",
+    ];
 }
 
 impl std::fmt::Display for AbstainReason {
@@ -74,6 +102,9 @@ impl std::fmt::Display for AbstainReason {
             AbstainReason::NoTrustedContext => write!(f, "no trustworthy context"),
             AbstainReason::GenerationFailed { attempts } => {
                 write!(f, "generation failed after {attempts} attempt(s)")
+            }
+            AbstainReason::EscalationExhausted { attempts } => {
+                write!(f, "escalation budget exhausted after {attempts} attempt(s)")
             }
         }
     }
@@ -108,6 +139,9 @@ pub struct PipelineAnswer {
     pub examined: usize,
     /// Claims skipped because their source is quarantined (down).
     pub quarantined_claims: usize,
+    /// Escalation attempts the closed loop spent on this answer (0
+    /// when the loop is disabled or the first grade already passed).
+    pub escalation_attempts: u32,
 }
 
 /// The MKLGP pipeline bound to one knowledge graph.
@@ -144,6 +178,12 @@ pub struct MklgpPipeline<'g> {
     /// Registry watermark: `(nmi_pairs, profiles_built, interner hits,
     /// interner misses)` already flushed, so counters export as deltas.
     flushed: (u64, u64, u64, u64),
+    /// Closed-loop budget; `None` (the default) disables grading and
+    /// escalation entirely — bit-identical to the single-pass pipeline.
+    loopcfg: Option<LoopConfig>,
+    /// Pre-fused reserve claims the consult rung draws on, shared
+    /// across pipeline clones.
+    reserve: Option<Arc<Vec<Claim>>>,
 }
 
 /// Raw per-query observations collected while answering; the [`answer`]
@@ -156,6 +196,49 @@ struct AnswerStats {
     spans: Vec<StageSpan>,
     subgraph: Option<SubgraphDecision>,
     quarantined: Vec<(SourceId, usize)>,
+    /// Closed-loop events (grade failures, escalations) in occurrence
+    /// order, republished into the trace.
+    events: Vec<TraceEvent>,
+}
+
+/// What the escalation loop reported back to `answer_with_stats`.
+struct LoopOutcome {
+    /// Escalation attempts actually spent.
+    attempts: u32,
+    /// True when the budget ran out before a passing grade — the caller
+    /// abstains with [`AbstainReason::EscalationExhausted`].
+    exhausted: bool,
+}
+
+/// Records the loop's two stages. Wall time is pinned to zero: the loop
+/// runs on metered simulated time only, and wall clocks are excluded
+/// from the canonical trace JSON anyway. The grade span's output is the
+/// number of drafts ultimately accepted (1, or 0 on exhaustion); the
+/// escalation span maps attempts to emitted values.
+fn push_loop_spans(
+    stats: &mut AnswerStats,
+    grade_calls: usize,
+    grade_sim: f64,
+    attempts: u32,
+    esc_sim: f64,
+    emitted: usize,
+) {
+    stats.spans.push(StageSpan {
+        stage: Stage::Grade,
+        wall_s: 0.0,
+        sim_ms: grade_sim,
+        input: grade_calls,
+        output: usize::from(emitted > 0 || attempts == 0),
+    });
+    if attempts > 0 {
+        stats.spans.push(StageSpan {
+            stage: Stage::Escalation,
+            wall_s: 0.0,
+            sim_ms: esc_sim,
+            input: attempts as usize,
+            output: emitted,
+        });
+    }
 }
 
 impl AnswerStats {
@@ -186,7 +269,7 @@ impl<'g> MklgpPipeline<'g> {
     pub fn new(kg: &'g KnowledgeGraph, config: MultiRagConfig, seed: u64) -> Self {
         let mut schema = Schema::new();
         for r in 0..kg.relation_count() {
-            schema.add_relation(kg.relation_name(multirag_kg::RelationId(r as u32)));
+            schema.add_relation(kg.relation_name(RelationId(r as u32)));
         }
         for e in kg.entity_ids() {
             schema.add_entity_verbatim(kg.entity_name(e));
@@ -304,6 +387,8 @@ impl<'g> MklgpPipeline<'g> {
             keys: KeyInterner::for_graph(kg),
             kernel: KernelCounters::default(),
             flushed: (0, 0, 0, 0),
+            loopcfg: None,
+            reserve: None,
         }
     }
 
@@ -381,6 +466,39 @@ impl<'g> MklgpPipeline<'g> {
     /// LLM (see [`MockLlm::with_response_cache`]).
     pub fn with_llm_response_cache(mut self, cache: LlmResponseCache) -> Self {
         self.llm = self.llm.with_response_cache(cache);
+        self
+    }
+
+    /// Enables the closed loop (grade → escalate → regenerate) with the
+    /// given budget. A config with `max_attempts == 0` keeps the loop
+    /// off, bit-identical to never calling this.
+    pub fn with_loop_control(mut self, cfg: LoopConfig) -> Self {
+        self.loopcfg = cfg.enabled().then_some(cfg);
+        self
+    }
+
+    /// The active closed-loop budget, if any.
+    pub fn loop_control(&self) -> Option<LoopConfig> {
+        self.loopcfg
+    }
+
+    /// Installs reserve sources for the consult rung of the escalation
+    /// ladder. They are fused once, leniently (malformed reserves must
+    /// not poison escalation — lenient fusion cannot fail, and if it
+    /// ever did the rung would simply have nothing to consult), and
+    /// shared across pipeline clones; the simulated cost of consulting
+    /// them is charged when the rung runs.
+    pub fn with_reserve_sources(mut self, sources: &[RawSource]) -> Self {
+        let claims: Vec<Claim> = fuse_sources_with(sources, IngestMode::Lenient)
+            .map(|report| {
+                report
+                    .adapted
+                    .into_iter()
+                    .flat_map(|(_, adapted)| adapted.claims)
+                    .collect()
+            })
+            .unwrap_or_default();
+        self.reserve = Some(Arc::new(claims));
         self
     }
 
@@ -557,6 +675,7 @@ impl<'g> MklgpPipeline<'g> {
                 dropped: 0,
                 examined: 0,
                 quarantined_claims: 0,
+                escalation_attempts: 0,
             };
         };
 
@@ -617,6 +736,7 @@ impl<'g> MklgpPipeline<'g> {
                 dropped: 0,
                 examined,
                 quarantined_claims,
+                escalation_attempts: 0,
             };
         }
 
@@ -633,7 +753,7 @@ impl<'g> MklgpPipeline<'g> {
             examined,
             slot_triples.len(),
         );
-        let (graph_confidence, kept, dropped) = if let Some(group) = sets.groups.first() {
+        let (graph_confidence, mut kept, dropped) = if let Some(group) = sets.groups.first() {
             let group_triples = group.triples.len();
             let group_sources = group.source_count;
             // Claim profiles are built once per slot — resolved to
@@ -800,12 +920,13 @@ impl<'g> MklgpPipeline<'g> {
                 dropped,
                 examined,
                 quarantined_claims,
+                escalation_attempts: 0,
             };
         }
         let fusion_values = self.restore_surface(entity, relation, faithful.clone());
         let generated = match self.llm.try_generate_answer(
             &query.key(),
-            faithful,
+            faithful.clone(),
             &distractors,
             &profile,
             context_tokens,
@@ -836,6 +957,7 @@ impl<'g> MklgpPipeline<'g> {
                     dropped,
                     examined,
                     quarantined_claims,
+                    escalation_attempts: 0,
                 };
             }
         };
@@ -848,6 +970,50 @@ impl<'g> MklgpPipeline<'g> {
             context_claims,
             generated.values.len(),
         );
+
+        // Closed loop (§5.11): grade the draft against the kept
+        // context; on a failing grade walk the escalation ladder under
+        // the configured deadline budget. Disabled (`loopcfg: None`)
+        // this block is a no-op and the pipeline is bit-identical to
+        // its single-pass form.
+        let mut generated = generated;
+        let mut escalation_attempts = 0u32;
+        if let Some(cfg) = self.loopcfg {
+            let outcome = self.escalate(
+                query,
+                cfg,
+                entity,
+                relation,
+                &slot_triples,
+                &noise_triples,
+                &mut kept,
+                dropped,
+                faithful,
+                distractors,
+                profile,
+                context_tokens,
+                &mut generated,
+                stats,
+            );
+            escalation_attempts = outcome.attempts;
+            if outcome.exhausted {
+                return PipelineAnswer {
+                    values: Vec::new(),
+                    fusion_values,
+                    abstained: true,
+                    abstain_reason: Some(AbstainReason::EscalationExhausted {
+                        attempts: outcome.attempts,
+                    }),
+                    hallucinated: false,
+                    graph_confidence,
+                    kept,
+                    dropped,
+                    examined,
+                    quarantined_claims,
+                    escalation_attempts: outcome.attempts,
+                };
+            }
+        }
 
         // Step 5: historical credibility update, using the emitted
         // answer set as the feedback signal.
@@ -878,6 +1044,210 @@ impl<'g> MklgpPipeline<'g> {
             dropped,
             examined,
             quarantined_claims,
+            escalation_attempts,
+        }
+    }
+
+    /// The closed loop's body: grade the current draft, and while the
+    /// grade fails walk the ladder (widen → consult → tighten),
+    /// regenerate, and re-grade — all within `cfg`'s attempt and
+    /// deadline budgets. Degradation contract: a dead grader accepts
+    /// the single-pass verdict (never panics, never loops), a dead
+    /// regenerator keeps the current draft and stops escalating, and a
+    /// blown budget reports exhaustion so the caller abstains.
+    #[allow(clippy::too_many_arguments)]
+    fn escalate(
+        &mut self,
+        query: &Query,
+        cfg: LoopConfig,
+        entity: EntityId,
+        relation: RelationId,
+        slot_triples: &[TripleId],
+        noise_triples: &[TripleId],
+        kept: &mut Vec<NodeConfidence>,
+        dropped: usize,
+        mut faithful: Vec<Value>,
+        mut distractors: Vec<Value>,
+        mut profile: ContextProfile,
+        mut context_tokens: usize,
+        generated: &mut GeneratedAnswer,
+        stats: &mut AnswerStats,
+    ) -> LoopOutcome {
+        let loop_sim_start = self.llm.usage().simulated_ms;
+        let mut grade_calls = 0usize;
+        let mut grade_sim = 0.0f64;
+        let mut esc_sim = 0.0f64;
+        let mut attempts = 0u32;
+
+        // Initial grade of the single-pass draft.
+        let mut passed = {
+            let sim_before = self.llm.usage().simulated_ms;
+            grade_calls += 1;
+            let verdict = match self.llm.try_grade_support(
+                &format!("grade:{}#g0", query.key()),
+                context_tokens,
+                generated.values.len(),
+            ) {
+                Ok(()) => grade_supported(&generated.values, &faithful, &mut self.keys),
+                // Dead grader: fall back to the single-pass verdict.
+                Err(_) => {
+                    stats.events.push(TraceEvent::GradeFailed { attempt: 0 });
+                    true
+                }
+            };
+            grade_sim += self.llm.usage().simulated_ms - sim_before;
+            verdict
+        };
+
+        while !passed {
+            // Budget gate: attempts and the metered µs deadline. All
+            // meter charges are whole microseconds, so the delta is
+            // exact.
+            let elapsed_us = ms_to_us(self.llm.usage().simulated_ms - loop_sim_start);
+            if attempts >= cfg.max_attempts || elapsed_us >= cfg.deadline_us {
+                push_loop_spans(stats, grade_calls, grade_sim, attempts, esc_sim, 0);
+                return LoopOutcome {
+                    attempts,
+                    exhausted: true,
+                };
+            }
+            attempts += 1;
+            let step = LadderStep::for_attempt(attempts);
+            stats.events.push(TraceEvent::Escalated {
+                step: step.slug().to_string(),
+                attempt: attempts,
+            });
+            let sim_before = self.llm.usage().simulated_ms;
+            match step {
+                LadderStep::Widen => {
+                    // Rescue slot claims MCC dropped (quarantined ones
+                    // were filtered out of `slot_triples` upstream):
+                    // each is re-assessed leniently and the context is
+                    // rebuilt over the widened kept set.
+                    let mut have: Vec<TripleId> = kept.iter().map(|n| n.triple).collect();
+                    have.sort_unstable();
+                    for &tid in slot_triples {
+                        if have.binary_search(&tid).is_err() {
+                            kept.push(self.singleton_assessment(tid));
+                        }
+                    }
+                    let (f, d, p, t) = self.build_context(kept, dropped, noise_triples);
+                    faithful = f;
+                    distractors = d;
+                    profile = p;
+                    context_tokens = t;
+                }
+                LadderStep::Consult => {
+                    // Fold in reserve claims for this slot: agreement
+                    // shrinks the conflict profile, disagreement joins
+                    // the distractors. No reserves configured is a
+                    // no-op — the rung still regenerates.
+                    if let Some(reserve) = self.reserve.clone() {
+                        let entity_name = self.kg.entity_name(entity);
+                        let relation_name = self.kg.relation_name(relation);
+                        let faithful_keys: Vec<multirag_kg::Symbol> =
+                            faithful.iter().map(|v| self.keys.key_of(v)).collect();
+                        let mut distractor_keys: Vec<multirag_kg::Symbol> =
+                            distractors.iter().map(|v| self.keys.key_of(v)).collect();
+                        let mut matched = 0usize;
+                        let mut agree = 0usize;
+                        for claim in reserve.iter() {
+                            if !claim.entity.eq_ignore_ascii_case(entity_name)
+                                || !claim.attribute.eq_ignore_ascii_case(relation_name)
+                            {
+                                continue;
+                            }
+                            matched += 1;
+                            let value = claim.value.standardized();
+                            let key = self.keys.key_of(&value);
+                            if faithful_keys.contains(&key) {
+                                agree += 1;
+                            } else if !distractor_keys.contains(&key) {
+                                distractor_keys.push(key);
+                                distractors.push(value);
+                            }
+                        }
+                        // Independent agreement dilutes the conflict
+                        // mass; the context itself grows by the
+                        // consulted claims.
+                        profile.conflict_ratio *= 1.0 / (1.0 + agree as f64);
+                        profile.claims += matched;
+                        context_tokens += 16 * matched;
+                        // The simulated cost of reading the reserves.
+                        self.llm.reason(64 + 16 * matched, 16);
+                    }
+                }
+                LadderStep::Tighten => {
+                    // Last rung: regenerate against the faithful set
+                    // alone with the conflict profile collapsed — the
+                    // cheapest, lowest-risk context we can offer.
+                    distractors.clear();
+                    profile.conflict_ratio *= 0.25;
+                    profile.irrelevance_ratio = 0.0;
+                    profile.claims = faithful.len();
+                    context_tokens = 24 * faithful.len();
+                }
+            }
+            // Regenerate with the tightened context. The suffixed call
+            // key re-rolls both the fault plan and the hallucination
+            // draw — an escalation is a genuinely new call.
+            match self.llm.try_generate_answer(
+                &format!("{}#e{attempts}", query.key()),
+                faithful.clone(),
+                &distractors,
+                &profile,
+                context_tokens,
+            ) {
+                Ok(g) => *generated = g,
+                // Dead regenerator: keep the current draft and stop
+                // escalating — degraded, never panicking.
+                Err(_) => {
+                    esc_sim += self.llm.usage().simulated_ms - sim_before;
+                    push_loop_spans(
+                        stats,
+                        grade_calls,
+                        grade_sim,
+                        attempts,
+                        esc_sim,
+                        generated.values.len(),
+                    );
+                    return LoopOutcome {
+                        attempts,
+                        exhausted: false,
+                    };
+                }
+            }
+            esc_sim += self.llm.usage().simulated_ms - sim_before;
+
+            // Re-grade the fresh draft.
+            let sim_before = self.llm.usage().simulated_ms;
+            grade_calls += 1;
+            passed = match self.llm.try_grade_support(
+                &format!("grade:{}#g{attempts}", query.key()),
+                context_tokens,
+                generated.values.len(),
+            ) {
+                Ok(()) => grade_supported(&generated.values, &faithful, &mut self.keys),
+                Err(_) => {
+                    stats
+                        .events
+                        .push(TraceEvent::GradeFailed { attempt: attempts });
+                    true
+                }
+            };
+            grade_sim += self.llm.usage().simulated_ms - sim_before;
+        }
+        push_loop_spans(
+            stats,
+            grade_calls,
+            grade_sim,
+            attempts,
+            esc_sim,
+            generated.values.len(),
+        );
+        LoopOutcome {
+            attempts,
+            exhausted: false,
         }
     }
 
@@ -946,6 +1316,9 @@ impl<'g> MklgpPipeline<'g> {
                 .events
                 .push(TraceEvent::LlmCallsFailed { count: failed });
         }
+        // Closed-loop events (grade failures, escalations) in
+        // occurrence order, ahead of the final abstention verdict.
+        trace.events.extend(stats.events);
         if let Some(reason) = answer.abstain_reason {
             trace.events.push(TraceEvent::Abstained {
                 reason: reason.slug().to_string(),
@@ -979,8 +1352,8 @@ impl<'g> MklgpPipeline<'g> {
     /// a source actually wrote).
     fn restore_surface(
         &self,
-        entity: multirag_kg::EntityId,
-        relation: multirag_kg::RelationId,
+        entity: EntityId,
+        relation: RelationId,
         values: Vec<Value>,
     ) -> Vec<Value> {
         let raw: Vec<Value> = self
@@ -1018,8 +1391,8 @@ impl<'g> MklgpPipeline<'g> {
     /// scan. Returns `(slot_triples, noise_triples, examined_count)`.
     fn extract(
         &mut self,
-        entity: multirag_kg::EntityId,
-        relation: multirag_kg::RelationId,
+        entity: EntityId,
+        relation: RelationId,
     ) -> (Vec<TripleId>, Vec<TripleId>, usize) {
         if self.mlg.is_some() {
             // MKA: O(slot) probe through the homologous index.
@@ -1178,8 +1551,8 @@ impl<'g> MklgpPipeline<'g> {
 /// retrieval recall (the w/o-MKA path may have missed claims).
 fn sets_from_extraction(
     kg: &KnowledgeGraph,
-    entity: multirag_kg::EntityId,
-    relation: multirag_kg::RelationId,
+    entity: EntityId,
+    relation: RelationId,
     extracted: &[TripleId],
 ) -> crate::homologous::HomologousSets {
     let mut sets = crate::homologous::HomologousSets::default();
@@ -1674,5 +2047,196 @@ mod tests {
             with_conf > 0,
             "dense movies data must have homologous slots"
         );
+    }
+
+    /// A perturbed dataset with a non-zero baseline hallucination rate
+    /// — the regime the closed loop is for.
+    fn conflicted_dataset() -> MultiSourceDataset {
+        let data = dataset();
+        let data = multirag_datasets::perturb::inject_conflicts(&data, 0.35, 42);
+        multirag_datasets::perturb::mask_relations(&data, 0.2, 42)
+    }
+
+    #[test]
+    fn loop_off_is_bit_identical_to_single_pass() {
+        let data = conflicted_dataset();
+        let run = |cfg: Option<LoopConfig>| {
+            let mut p = MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42);
+            if let Some(cfg) = cfg {
+                p = p.with_loop_control(cfg);
+            }
+            data.queries.iter().map(|q| p.answer(q)).collect::<Vec<_>>()
+        };
+        let plain = run(None);
+        let zero_budget = run(Some(LoopConfig::default().with_max_attempts(0)));
+        assert_eq!(plain, zero_budget, "max_attempts=0 must disable the loop");
+    }
+
+    #[test]
+    fn closed_loop_strictly_reduces_hallucinations() {
+        let data = conflicted_dataset();
+        let halluc = |attempts: u32| {
+            let mut p = MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42)
+                .with_loop_control(LoopConfig::default().with_max_attempts(attempts));
+            data.queries
+                .iter()
+                .map(|q| p.answer(q))
+                .filter(|a| a.hallucinated)
+                .count()
+        };
+        let baseline = halluc(0);
+        assert!(baseline > 0, "perturbation must induce hallucination");
+        for attempts in 1..=3 {
+            assert!(
+                halluc(attempts) < baseline,
+                "escalation at {attempts} attempt(s) must beat the baseline {baseline}"
+            );
+        }
+    }
+
+    #[test]
+    fn dead_grader_degrades_to_the_single_pass_verdict() {
+        let data = conflicted_dataset();
+        let run = |grader_failure_rate: f64, attempts: u32| {
+            let obs = multirag_obs::Observer::new();
+            let mut p = MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42)
+                .with_fault_plan(FaultPlan {
+                    grader_failure_rate,
+                    ..FaultPlan::healthy(42)
+                })
+                .with_loop_control(LoopConfig::default().with_max_attempts(attempts))
+                .with_observer(obs.clone());
+            let answers: Vec<PipelineAnswer> = data.queries.iter().map(|q| p.answer(q)).collect();
+            (answers, obs)
+        };
+        // Every grader dead: the loop must accept every single-pass
+        // draft — same values as a loop-free pipeline, zero escalation.
+        let (dead, obs) = run(1.0, 3);
+        let single_pass = {
+            let mut p = MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42);
+            data.queries.iter().map(|q| p.answer(q)).collect::<Vec<_>>()
+        };
+        assert_eq!(dead.len(), single_pass.len());
+        for (d, s) in dead.iter().zip(&single_pass) {
+            assert_eq!(d.values, s.values, "dead grader must not change answers");
+            assert_eq!(d.escalation_attempts, 0);
+        }
+        let snap = obs.registry().snapshot();
+        assert_eq!(
+            snap.counter("loop_grade_failed_total"),
+            data.queries.len() as u64,
+            "every grading call must have been recorded as failed"
+        );
+        assert_eq!(snap.counter("loop_escalations_total"), 0);
+    }
+
+    #[test]
+    fn exhausted_deadline_abstains_with_structured_reason() {
+        let data = conflicted_dataset();
+        // A 1µs deadline: the first failing grade exhausts the budget
+        // before any escalation attempt is allowed.
+        let mut p = MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42)
+            .with_loop_control(
+                LoopConfig::default()
+                    .with_max_attempts(3)
+                    .with_deadline_us(1),
+            );
+        let answers: Vec<PipelineAnswer> = data.queries.iter().map(|q| p.answer(q)).collect();
+        let exhausted: Vec<&PipelineAnswer> = answers
+            .iter()
+            .filter(|a| {
+                matches!(
+                    a.abstain_reason,
+                    Some(AbstainReason::EscalationExhausted { .. })
+                )
+            })
+            .collect();
+        assert!(
+            !exhausted.is_empty(),
+            "failing grades under a spent deadline must abstain"
+        );
+        for a in exhausted {
+            assert!(a.abstained && a.values.is_empty());
+            assert_eq!(
+                a.abstain_reason,
+                Some(AbstainReason::EscalationExhausted { attempts: 0 }),
+                "deadline fired before the first escalation attempt"
+            );
+            assert!(
+                !a.fusion_values.is_empty(),
+                "fusion stands even when the loop gives up"
+            );
+            assert!(!a.hallucinated, "abstention is never a hallucination");
+        }
+    }
+
+    #[test]
+    fn escalation_charges_metered_time() {
+        let data = conflicted_dataset();
+        let sim = |attempts: u32| {
+            let mut p = MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42)
+                .with_loop_control(LoopConfig::default().with_max_attempts(attempts));
+            for q in &data.queries {
+                p.answer(q);
+            }
+            p.llm().usage().simulated_ms
+        };
+        let off = {
+            let mut p = MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42);
+            for q in &data.queries {
+                p.answer(q);
+            }
+            p.llm().usage().simulated_ms
+        };
+        assert!(
+            sim(1) > off,
+            "grading and escalation must cost simulated time"
+        );
+    }
+
+    #[test]
+    fn reserve_consultation_is_deterministic_and_clone_safe() {
+        let data = conflicted_dataset();
+        let reserves = multirag_datasets::render::render_all_sources(&dataset());
+        let mut original = MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42)
+            .with_reserve_sources(&reserves)
+            .with_loop_control(LoopConfig::default().with_max_attempts(3));
+        original.history().freeze();
+        let mut fork = original.clone();
+        for q in &data.queries {
+            assert_eq!(original.answer(q), fork.answer(q));
+        }
+    }
+
+    #[test]
+    fn loop_events_appear_in_traces_before_the_abstain_verdict() {
+        let data = conflicted_dataset();
+        let obs = multirag_obs::Observer::new();
+        let mut p = MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42)
+            .with_loop_control(LoopConfig::default().with_max_attempts(2))
+            .with_observer(obs.clone());
+        for q in &data.queries {
+            p.answer(q);
+        }
+        let traces = obs.take_traces();
+        let escalated: Vec<&QueryTrace> = traces
+            .iter()
+            .filter(|t| t.events.iter().any(|e| e.kind() == "escalated"))
+            .collect();
+        assert!(!escalated.is_empty(), "conflicted data must escalate");
+        for t in &escalated {
+            let stages: Vec<&str> = t.spans.iter().map(|s| s.stage.name()).collect();
+            assert!(stages.contains(&"grade"));
+            assert!(stages.contains(&"escalation"));
+            // Any abstain verdict must come after the loop events.
+            if let Some(abstain_at) = t.events.iter().position(|e| e.kind() == "abstained") {
+                let last_loop = t
+                    .events
+                    .iter()
+                    .rposition(|e| matches!(e.kind(), "escalated" | "grade_failed"))
+                    .unwrap();
+                assert!(last_loop < abstain_at);
+            }
+        }
     }
 }

@@ -19,6 +19,9 @@
 //! * [`fanout`] — deterministic slot/query fan-out for the MKLGP
 //!   pipeline: frozen-history worker clones, per-cell metering, and
 //!   slot-order reduction keep parallel runs byte-identical to serial.
+//! * [`loopsweep`] — closed-loop fan-out: runs the pipeline with an
+//!   escalation budget and returns per-query answers plus integer-µs
+//!   service times for the serving crate's queueing model.
 //! * [`errors`] — the Q4 hallucination/failure taxonomy.
 //! * [`degradation`] — chaos-run metrics: fault-rate degradation curves
 //!   with deterministic JSON serialization.
@@ -27,6 +30,7 @@ pub mod degradation;
 pub mod errors;
 pub mod fanout;
 pub mod harness;
+pub mod loopsweep;
 pub mod metrics;
 pub mod parallel;
 pub mod table;
@@ -41,6 +45,7 @@ pub use harness::{
     run_fusion_method, run_multihop_method, run_multirag, run_multirag_multihop,
     run_multirag_observed, MethodResult, MultiHopResult,
 };
+pub use loopsweep::{run_loop_sweep, LoopSweep, LoopSweepConfig};
 pub use metrics::{f1_score, precision_recall, recall_at_k, SetScores};
 pub use parallel::{
     parallel_map, parallel_map_with, try_parallel_map, try_parallel_map_with, CellPanic,

@@ -19,7 +19,7 @@ mod retry;
 
 pub use corrupt::{bit_flip, corrupt_text, truncate, CorruptionKind};
 pub use plan::{FaultDecision, FaultKind, FaultPlan, SourceFaults};
-pub use retry::{BackoffSchedule, RetryOutcome, RetryPolicy};
+pub use retry::{ms_to_us, us_to_ms, BackoffSchedule, RetryOutcome, RetryPolicy};
 
 /// SplitMix64 finalizer — the primitive every seeded draw builds on.
 /// Mirrors `multirag_llmsim::determinism::mix` (duplicated here so the

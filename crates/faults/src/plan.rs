@@ -16,6 +16,9 @@ pub enum FaultKind {
     LlmFailure,
     /// A simulated LLM call succeeds but takes a latency hit.
     LlmLatencySpike,
+    /// A support-grader call fails, degrading the answer loop to its
+    /// single-pass verdict.
+    GraderFailure,
 }
 
 /// Outcome of probing the plan at one injection point.
@@ -62,6 +65,10 @@ pub struct FaultPlan {
     pub llm_failure_rate: f64,
     /// Probability that a given LLM call takes a latency spike.
     pub llm_latency_spike_rate: f64,
+    /// Probability that a support-grader call fails (a separate key
+    /// family from generation so chaos sweeps can kill graders without
+    /// touching generators, and vice versa).
+    pub grader_failure_rate: f64,
 }
 
 impl FaultPlan {
@@ -74,6 +81,7 @@ impl FaultPlan {
             staleness_rate: 0.0,
             llm_failure_rate: 0.0,
             llm_latency_spike_rate: 0.0,
+            grader_failure_rate: 0.0,
         }
     }
 
@@ -89,6 +97,7 @@ impl FaultPlan {
             staleness_rate: rate,
             llm_failure_rate: rate,
             llm_latency_spike_rate: (2.0 * rate).min(1.0),
+            grader_failure_rate: rate,
         }
     }
 
@@ -99,6 +108,7 @@ impl FaultPlan {
             && self.staleness_rate <= 0.0
             && self.llm_failure_rate <= 0.0
             && self.llm_latency_spike_rate <= 0.0
+            && self.grader_failure_rate <= 0.0
     }
 
     /// Is `source` down for this entire run?
@@ -145,6 +155,17 @@ impl FaultPlan {
             self.llm_latency_spike_rate,
         ) {
             return FaultDecision::Inject(FaultKind::LlmLatencySpike);
+        }
+        FaultDecision::Healthy
+    }
+
+    /// Probes one support-grader call attempt. Grader faults live in
+    /// their own `grader:` key family so a dead grader and a dead
+    /// generator are independent events even for the same query.
+    pub fn grader_call(&self, call_key: &str, attempt: u32) -> FaultDecision {
+        let key = format!("grader:{call_key}:a{attempt}");
+        if bernoulli(self.seed, &format!("{key}:fail"), self.grader_failure_rate) {
+            return FaultDecision::Inject(FaultKind::GraderFailure);
         }
         FaultDecision::Healthy
     }
@@ -236,6 +257,34 @@ mod tests {
                 && plan.llm_call(&key, 1) == FaultDecision::Healthy
         });
         assert!(recovered);
+    }
+
+    #[test]
+    fn grader_faults_are_independent_of_generator_faults() {
+        let plan = FaultPlan::uniform(29, 0.5);
+        // Same call key, same attempt: the two channels draw from
+        // different key families, so their verdicts must diverge for
+        // some key at a 50% rate.
+        let diverges = (0..64).any(|i| {
+            let key = format!("q{i}");
+            let gen_failed = plan.llm_call(&key, 0) == FaultDecision::Inject(FaultKind::LlmFailure);
+            let grade_failed =
+                plan.grader_call(&key, 0) == FaultDecision::Inject(FaultKind::GraderFailure);
+            gen_failed != grade_failed
+        });
+        assert!(diverges);
+        assert_eq!(plan.grader_call("q0", 1), plan.grader_call("q0", 1));
+    }
+
+    #[test]
+    fn healthy_plan_never_fails_graders() {
+        let plan = FaultPlan::healthy(3);
+        for i in 0..200 {
+            assert_eq!(
+                plan.grader_call(&format!("g{i}"), 0),
+                FaultDecision::Healthy
+            );
+        }
     }
 
     #[test]

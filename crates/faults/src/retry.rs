@@ -1,11 +1,28 @@
 //! Retry policy with seeded exponential backoff and deadline budgets.
 //!
-//! Everything here is expressed in *simulated milliseconds*: callers
-//! (the MockLlm cost model) accumulate the returned delays into their
-//! simulated-latency meters instead of sleeping, which keeps chaos runs
-//! fast and bit-identical.
+//! Delays are *specified* in simulated milliseconds (the MockLlm cost
+//! model's unit) but *accounted* in integer simulated microseconds —
+//! the serve simulator's convention — so deadline checks never drift
+//! from float summation. Callers accumulate the returned totals into
+//! their simulated-latency meters instead of sleeping, which keeps
+//! chaos runs fast and bit-identical.
 
 use crate::unit;
+
+/// Quantizes a simulated-millisecond cost to integer microseconds, the
+/// unit every deadline and latency ledger accumulates in.
+pub fn ms_to_us(ms: f64) -> u64 {
+    if !ms.is_finite() || ms <= 0.0 {
+        return 0;
+    }
+    (ms * 1_000.0).round() as u64
+}
+
+/// Converts an integer-microsecond total back to milliseconds for
+/// reporting. Exact for any total below 2^53 µs (~285 years).
+pub fn us_to_ms(us: u64) -> f64 {
+    us as f64 / 1_000.0
+}
 
 /// One resolved backoff schedule: the delay to wait before each retry.
 #[derive(Debug, Clone, PartialEq)]
@@ -15,9 +32,12 @@ pub struct BackoffSchedule {
 }
 
 impl BackoffSchedule {
-    /// Total simulated time spent backing off.
-    pub fn total_ms(&self) -> f64 {
-        self.delays_ms.iter().sum()
+    /// Total simulated backoff in integer microseconds. Summing the
+    /// quantized delays (rather than quantizing a float sum) keeps the
+    /// total consistent with what [`RetryPolicy::run`] charges per
+    /// attempt.
+    pub fn total_us(&self) -> u64 {
+        self.delays_ms.iter().map(|&d| ms_to_us(d)).sum()
     }
 }
 
@@ -114,48 +134,62 @@ impl RetryPolicy {
         }
     }
 
+    /// The deadline budget in integer microseconds; an infinite (or
+    /// absent) deadline maps to `u64::MAX`.
+    pub fn deadline_us(&self) -> u64 {
+        if self.deadline_ms.is_finite() {
+            ms_to_us(self.deadline_ms)
+        } else {
+            u64::MAX
+        }
+    }
+
     /// Drives `attempt_cost` until success, exhaustion, or deadline.
     ///
     /// `attempt_cost(attempt)` returns `Some(cost_ms)` when the attempt
     /// succeeds after `cost_ms` of simulated work, or `None` when it
     /// fails. Returns the outcome plus the *total* simulated time spent
     /// (work + backoff) — failed attempts still cost their backoff.
+    /// Time is accumulated in integer microseconds (each charge
+    /// quantized via [`ms_to_us`]) so deadline checks are exact; the
+    /// returned total is that integer ledger converted back to ms.
     pub fn run<F>(&self, seed: u64, key: &str, mut attempt_cost: F) -> (RetryOutcome, f64)
     where
         F: FnMut(u32) -> Option<f64>,
     {
-        let mut elapsed_ms = 0.0;
+        let mut elapsed_us: u64 = 0;
+        let deadline_us = self.deadline_us();
         let attempts = self.max_attempts.max(1);
         for attempt in 0..attempts {
-            let backoff = self.delay_before_attempt_ms(seed, key, attempt);
-            if elapsed_ms + backoff > self.deadline_ms {
+            let backoff_us = ms_to_us(self.delay_before_attempt_ms(seed, key, attempt));
+            if elapsed_us.saturating_add(backoff_us) > deadline_us {
                 return (
                     RetryOutcome::DeadlineExceeded { attempts: attempt },
-                    elapsed_ms,
+                    us_to_ms(elapsed_us),
                 );
             }
-            elapsed_ms += backoff;
+            elapsed_us += backoff_us;
             match attempt_cost(attempt) {
                 Some(cost_ms) => {
-                    elapsed_ms += cost_ms;
-                    return (RetryOutcome::Succeeded { attempt }, elapsed_ms);
+                    elapsed_us += ms_to_us(cost_ms);
+                    return (RetryOutcome::Succeeded { attempt }, us_to_ms(elapsed_us));
                 }
                 None => {
                     // A failed attempt still burns nominal work time
                     // before the failure surfaces.
-                    elapsed_ms += self.base_delay_ms.min(self.max_delay_ms);
-                    if elapsed_ms > self.deadline_ms {
+                    elapsed_us += ms_to_us(self.base_delay_ms.min(self.max_delay_ms));
+                    if elapsed_us > deadline_us {
                         return (
                             RetryOutcome::DeadlineExceeded {
                                 attempts: attempt + 1,
                             },
-                            elapsed_ms,
+                            us_to_ms(elapsed_us),
                         );
                     }
                 }
             }
         }
-        (RetryOutcome::Exhausted { attempts }, elapsed_ms)
+        (RetryOutcome::Exhausted { attempts }, us_to_ms(elapsed_us))
     }
 }
 
@@ -261,10 +295,48 @@ mod tests {
         let p = RetryPolicy::default();
         let sched = p.schedule(3, "call", 2);
         assert_eq!(sched.delays_ms.len(), 2);
-        let expected: f64 = (1..=2)
-            .map(|a| p.delay_before_attempt_ms(3, "call", a))
+        let expected: u64 = (1..=2)
+            .map(|a| ms_to_us(p.delay_before_attempt_ms(3, "call", a)))
             .sum();
-        assert!((sched.total_ms() - expected).abs() < 1e-9);
+        assert_eq!(sched.total_us(), expected);
+    }
+
+    #[test]
+    fn microsecond_quantization_round_trips_exactly() {
+        assert_eq!(ms_to_us(0.0), 0);
+        assert_eq!(ms_to_us(-5.0), 0);
+        assert_eq!(ms_to_us(f64::INFINITY), 0);
+        assert_eq!(ms_to_us(1.0), 1_000);
+        assert_eq!(ms_to_us(0.0004), 0, "sub-half-µs rounds down");
+        assert_eq!(ms_to_us(0.0006), 1, "over-half-µs rounds up");
+        assert_eq!(us_to_ms(1_234), 1.234);
+        // The float-drift poster child: 0.1ms summed 10× in f64 is not
+        // 1.0, but the integer ledger is exactly 1 000µs.
+        let drift: f64 = (0..10).map(|_| 0.1).sum();
+        assert_ne!(drift, 1.0);
+        assert_eq!((0..10).map(|_| ms_to_us(0.1)).sum::<u64>(), 1_000);
+    }
+
+    #[test]
+    fn run_elapsed_is_an_exact_microsecond_total() {
+        let p = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        let (_, ms) = p.run(1, "k", |attempt| (attempt == 2).then_some(50.0));
+        // The returned ms is a µs integer divided by 1 000 — no float
+        // residue from summing the five charges.
+        assert_eq!(ms_to_us(ms), 550_000);
+        assert_eq!(ms, 550.0);
+    }
+
+    #[test]
+    fn infinite_deadline_maps_to_umax() {
+        assert_eq!(RetryPolicy::default().deadline_us(), u64::MAX);
+        assert_eq!(
+            RetryPolicy::default().with_deadline_ms(150.0).deadline_us(),
+            150_000
+        );
     }
 
     #[test]

@@ -18,10 +18,22 @@ use crate::logic::{generate_logic_form, LogicForm};
 use crate::ner::{extract_entities, Mention};
 use crate::respcache::{CachedResponse, KeyBuilder, LlmResponseCache};
 use crate::schema::Schema;
-use multirag_faults::{FaultDecision, FaultKind, FaultPlan, RetryOutcome, RetryPolicy};
+use multirag_faults::{
+    ms_to_us, us_to_ms, FaultDecision, FaultKind, FaultPlan, RetryOutcome, RetryPolicy,
+};
 use multirag_kg::Value;
 use multirag_obs::MetricsRegistry;
 use multirag_retrieval::text::raw_tokens;
+
+/// Which fault-plan channel a guarded call consults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CallChannel {
+    /// Ordinary LLM work: extraction, logic forms, generation.
+    Generation,
+    /// Support grading — its own key family so chaos sweeps can kill
+    /// graders and generators independently.
+    Grading,
+}
 
 /// Latency model approximating a local Llama3-8B-class deployment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -234,9 +246,14 @@ impl MockLlm {
     }
 
     fn meter(&mut self, input_text_tokens: usize, output_tokens: usize) {
-        let call_ms = self.cost.base_ms
-            + self.cost.ms_per_input_token * input_text_tokens as f64
-            + self.cost.ms_per_output_token * output_tokens as f64;
+        // Quantized to integer µs, matching the ledger RetryPolicy::run
+        // keeps — so a guarded call under a healthy plan charges the
+        // bit-identical amount this unguarded path does.
+        let call_ms = us_to_ms(ms_to_us(
+            self.cost.base_ms
+                + self.cost.ms_per_input_token * input_text_tokens as f64
+                + self.cost.ms_per_output_token * output_tokens as f64,
+        ));
         self.usage.calls += 1;
         self.usage.input_tokens += input_text_tokens as u64;
         self.usage.output_tokens += output_tokens as u64;
@@ -260,6 +277,21 @@ impl MockLlm {
         input_text_tokens: usize,
         output_tokens: usize,
     ) -> Result<(), LlmError> {
+        self.meter_guarded_on(
+            CallChannel::Generation,
+            call_key,
+            input_text_tokens,
+            output_tokens,
+        )
+    }
+
+    fn meter_guarded_on(
+        &mut self,
+        channel: CallChannel,
+        call_key: &str,
+        input_text_tokens: usize,
+        output_tokens: usize,
+    ) -> Result<(), LlmError> {
         let Some(plan) = self.faults.clone() else {
             self.meter(input_text_tokens, output_tokens);
             return Ok(());
@@ -268,8 +300,13 @@ impl MockLlm {
             + self.cost.ms_per_input_token * input_text_tokens as f64
             + self.cost.ms_per_output_token * output_tokens as f64;
         let (outcome, total_ms) = self.retry.run(plan.seed, call_key, |attempt| {
-            match plan.llm_call(call_key, attempt) {
-                FaultDecision::Inject(FaultKind::LlmFailure) => None,
+            let decision = match channel {
+                CallChannel::Generation => plan.llm_call(call_key, attempt),
+                CallChannel::Grading => plan.grader_call(call_key, attempt),
+            };
+            match decision {
+                FaultDecision::Inject(FaultKind::LlmFailure)
+                | FaultDecision::Inject(FaultKind::GraderFailure) => None,
                 FaultDecision::Inject(FaultKind::LlmLatencySpike) => {
                     Some(nominal_ms * plan.latency_spike_factor(call_key, attempt))
                 }
@@ -521,6 +558,28 @@ impl MockLlm {
             cache.put(key, CachedResponse::Answer(out.clone()));
         }
         Ok(out)
+    }
+
+    /// One metered support-grading call. The containment verdict itself
+    /// is computed deterministically by the caller (interned claim-id
+    /// set comparison — the mock has no judgement to add); this call
+    /// charges the simulated cost of asking an LLM judge and consults
+    /// the fault plan's grader channel ([`FaultPlan::grader_call`]).
+    /// `Ok(())` means the grader ran and the caller's verdict stands; a
+    /// typed error means the grader died and the control loop must fall
+    /// back to its single-pass verdict.
+    pub fn try_grade_support(
+        &mut self,
+        call_key: &str,
+        context_tokens: usize,
+        claim_count: usize,
+    ) -> Result<(), LlmError> {
+        self.meter_guarded_on(
+            CallChannel::Grading,
+            call_key,
+            context_tokens + claim_count * 12 + 64,
+            8,
+        )
     }
 }
 
@@ -884,6 +943,72 @@ mod tests {
         assert_eq!(snap.counter("llm_failed_calls_total"), 1);
         assert_eq!(snap.counter("llm_retries_total"), 2);
         assert_eq!(snap.counter("llm_output_tokens_total"), 0);
+    }
+
+    #[test]
+    fn grader_calls_are_metered_and_fault_isolated() {
+        // A plan that kills every generator but no grader: grading
+        // succeeds while generation dies, proving the channels are
+        // independent.
+        let plan = FaultPlan {
+            llm_failure_rate: 1.0,
+            ..FaultPlan::healthy(7)
+        };
+        let mut llm = MockLlm::new(schema(), 7).with_fault_plan(plan);
+        llm.try_grade_support("q1", 200, 3).unwrap();
+        let after_grade = llm.usage();
+        assert_eq!(after_grade.calls, 1);
+        assert!(after_grade.simulated_ms > 0.0);
+        llm.try_logic_form("q1", "What is the status of CA981?")
+            .unwrap_err();
+
+        // And the inverse: a dead grader surfaces a typed error while
+        // generation keeps working.
+        let dead_grader = FaultPlan {
+            grader_failure_rate: 1.0,
+            ..FaultPlan::healthy(7)
+        };
+        let mut llm = MockLlm::new(schema(), 7).with_fault_plan(dead_grader);
+        llm.try_logic_form("q1", "What is the status of CA981?")
+            .unwrap();
+        let err = llm.try_grade_support("q1", 200, 3).unwrap_err();
+        assert_eq!(
+            err,
+            LlmError::Exhausted {
+                call_key: "q1".into(),
+                attempts: 3
+            }
+        );
+        assert!(
+            llm.usage().simulated_ms > 0.0,
+            "a dead grader still burns its attempts' time"
+        );
+    }
+
+    #[test]
+    fn grader_cost_under_healthy_plan_matches_no_plan() {
+        let run = |plan: Option<FaultPlan>| {
+            let mut llm = MockLlm::new(schema(), 42);
+            if let Some(p) = plan {
+                llm = llm.with_fault_plan(p);
+            }
+            llm.try_grade_support("q1", 200, 3).unwrap();
+            llm.usage()
+        };
+        assert_eq!(run(None), run(Some(FaultPlan::healthy(42))));
+    }
+
+    #[test]
+    fn metered_charges_are_whole_microseconds() {
+        let mut llm = MockLlm::new(schema(), 42);
+        llm.reason(1000, 100);
+        llm.extract_triples("The status of CA981 is delayed.");
+        let ms = llm.usage().simulated_ms;
+        assert_eq!(
+            ms,
+            us_to_ms(ms_to_us(ms)),
+            "the meter accumulates exact µs: {ms}"
+        );
     }
 
     #[test]

@@ -127,6 +127,14 @@ impl Observer {
                     1,
                 );
             }
+            TraceEvent::GradeFailed { .. } => {
+                self.registry.inc("loop_grade_failed_total", 1);
+            }
+            TraceEvent::Escalated { step, .. } => {
+                self.registry.inc("loop_escalations_total", 1);
+                self.registry
+                    .inc(&labeled("loop_escalation_step_total", &[("step", step)]), 1);
+            }
         }
     }
 
@@ -229,12 +237,23 @@ mod tests {
         obs.record_event(&TraceEvent::Abstained {
             reason: "all_sources_down".into(),
         });
+        obs.record_event(&TraceEvent::GradeFailed { attempt: 0 });
+        obs.record_event(&TraceEvent::Escalated {
+            step: "widen".into(),
+            attempt: 1,
+        });
         let snap = obs.registry().snapshot();
         assert_eq!(snap.counter("chaos_quarantined_claims_total"), 3);
         assert_eq!(snap.counter("chaos_llm_retries_total"), 2);
         assert_eq!(snap.counter("chaos_abstain_total"), 1);
         assert_eq!(
             snap.counter("chaos_abstain_reason_total{reason=\"all_sources_down\"}"),
+            1
+        );
+        assert_eq!(snap.counter("loop_grade_failed_total"), 1);
+        assert_eq!(snap.counter("loop_escalations_total"), 1);
+        assert_eq!(
+            snap.counter("loop_escalation_step_total{step=\"widen\"}"),
             1
         );
     }

@@ -10,6 +10,8 @@
 //! | `graph_confidence` | Eqs. 4–7 graph-level gating |
 //! | `node_confidence` | Eqs. 8–11 node assessment + thresholding |
 //! | `generation` | trustworthy answer generation |
+//! | `grade` | support grading of the drafted answer |
+//! | `escalation` | escalation ladder work after a failing grade |
 //!
 //! Each span records **wall time** (measured, nondeterministic),
 //! **simulated LLM time** (the deterministic cost-model latency) and
@@ -39,17 +41,23 @@ pub enum Stage {
     NodeConfidence,
     /// Trustworthy answer generation.
     Generation,
+    /// Support grading of a drafted answer against the kept subgraphs.
+    Grade,
+    /// Escalation ladder work (widening, consulting, regeneration).
+    Escalation,
 }
 
 impl Stage {
     /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 6] = [
+    pub const ALL: [Stage; 8] = [
         Stage::Ingest,
         Stage::MlgBuild,
         Stage::HomologousGroup,
         Stage::GraphConfidence,
         Stage::NodeConfidence,
         Stage::Generation,
+        Stage::Grade,
+        Stage::Escalation,
     ];
 
     /// The stage's snake-case name (used in metric labels and JSON).
@@ -61,6 +69,8 @@ impl Stage {
             Stage::GraphConfidence => "graph_confidence",
             Stage::NodeConfidence => "node_confidence",
             Stage::Generation => "generation",
+            Stage::Grade => "grade",
+            Stage::Escalation => "escalation",
         }
     }
 }
@@ -136,6 +146,19 @@ pub enum TraceEvent {
         /// Structured abstain reason (snake-case).
         reason: String,
     },
+    /// A support-grader call died; the loop kept the single-pass
+    /// verdict.
+    GradeFailed {
+        /// Escalation attempt the grader died on (0 = initial grade).
+        attempt: u32,
+    },
+    /// The escalation ladder took one step.
+    Escalated {
+        /// Ladder step taken (snake-case slug).
+        step: String,
+        /// Escalation attempt number (1-based).
+        attempt: u32,
+    },
 }
 
 impl TraceEvent {
@@ -147,6 +170,8 @@ impl TraceEvent {
             TraceEvent::LlmCallsFailed { .. } => "llm_calls_failed",
             TraceEvent::LenientSkip { .. } => "lenient_skip",
             TraceEvent::Abstained { .. } => "abstained",
+            TraceEvent::GradeFailed { .. } => "grade_failed",
+            TraceEvent::Escalated { .. } => "escalated",
         }
     }
 
@@ -166,6 +191,10 @@ impl TraceEvent {
                 obj.str("source", source).str("detail", detail)
             }
             TraceEvent::Abstained { reason } => obj.str("reason", reason),
+            TraceEvent::GradeFailed { attempt } => obj.u64("attempt", u64::from(*attempt)),
+            TraceEvent::Escalated { step, attempt } => {
+                obj.str("step", step).u64("attempt", u64::from(*attempt))
+            }
         }
         .build()
     }
@@ -401,7 +430,7 @@ mod tests {
         let names: Vec<&str> = Stage::ALL.iter().map(Stage::name).collect();
         let mut dedup = names.clone();
         dedup.dedup();
-        assert_eq!(names.len(), 6);
+        assert_eq!(names.len(), 8);
         assert_eq!(names, dedup);
         assert!(names
             .iter()

@@ -204,6 +204,7 @@ mod tests {
             dropped: 0,
             examined: 3,
             quarantined_claims: 0,
+            escalation_attempts: 0,
         }
     }
 

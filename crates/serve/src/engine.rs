@@ -12,7 +12,7 @@
 use crate::cache::{result_key, CacheStack};
 use crate::epoch::EpochSnapshot;
 use crate::workload::{RequestKind, ServeRequest};
-use multirag_core::{MklgpPipeline, PipelineAnswer};
+use multirag_core::{LoopConfig, MklgpPipeline, PipelineAnswer};
 use multirag_eval::parallel_map_with;
 use multirag_faults::{FaultPlan, RetryPolicy};
 use multirag_kg::SourceId;
@@ -40,6 +40,11 @@ pub struct ServeConfig {
     pub deadline_ms: f64,
     /// Optional fault plan the snapshot pipelines serve under.
     pub fault_plan: Option<FaultPlan>,
+    /// Optional closed-loop budget (grade → escalate → regenerate);
+    /// `None` serves single-pass. Escalation time is metered, so an
+    /// enabled loop shows up directly in per-request `service_ms` and
+    /// the closed-loop latency percentiles.
+    pub loop_control: Option<LoopConfig>,
 }
 
 impl Default for ServeConfig {
@@ -49,6 +54,7 @@ impl Default for ServeConfig {
             queue_depth: 8,
             deadline_ms: 20_000.0,
             fault_plan: None,
+            loop_control: None,
         }
     }
 }
@@ -94,6 +100,9 @@ pub fn snapshot_pipeline<'s>(
         .with_retry_policy(RetryPolicy::default().with_deadline_ms(config.deadline_ms));
     if let Some(plan) = &config.fault_plan {
         pipeline = pipeline.with_fault_plan(plan.clone());
+    }
+    if let Some(cfg) = config.loop_control {
+        pipeline = pipeline.with_loop_control(cfg);
     }
     pipeline
 }
@@ -372,6 +381,38 @@ mod tests {
         assert!(responses
             .iter()
             .all(|r| matches!(r.verdict, ServeVerdict::Answered(_))));
+    }
+
+    #[test]
+    fn loop_control_cost_lands_in_service_time() {
+        let (snap, queries) = snapshot();
+        let stream = build_workload(&queries, queries.len(), 42);
+        let serve = |loop_control: Option<LoopConfig>| {
+            let config = ServeConfig {
+                loop_control,
+                ..ServeConfig::default()
+            };
+            serve_sequential(&snap, &CacheStack::new(), &config, &stream)
+        };
+        let plain = serve(None);
+        let looped = serve(Some(LoopConfig::default().with_max_attempts(2)));
+        let total = |rs: &[ServeResponse]| rs.iter().map(|r| r.service_ms).sum::<f64>();
+        assert!(
+            total(&looped) > total(&plain),
+            "metered grading must surface in service_ms: {} vs {}",
+            total(&looped),
+            total(&plain)
+        );
+        // Grading never flips a healthy answer's values.
+        for (p, l) in plain.iter().zip(&looped) {
+            let (ServeVerdict::Answered(a), ServeVerdict::Answered(b)) = (&p.verdict, &l.verdict)
+            else {
+                panic!("light load must answer everything");
+            };
+            if !a.hallucinated {
+                assert_eq!(a.values, b.values);
+            }
+        }
     }
 
     #[test]

@@ -44,6 +44,8 @@ pub struct AnswerTally {
     pub no_trusted_context: usize,
     /// [`AbstainReason::GenerationFailed`] count.
     pub generation_failed: usize,
+    /// [`AbstainReason::EscalationExhausted`] count.
+    pub escalation_exhausted: usize,
     /// Answered responses whose value set equals the query's gold set.
     pub correct: usize,
 }
@@ -65,6 +67,7 @@ pub fn tally_answers(responses: &[ServeResponse], queries: &[&Query]) -> AnswerT
                 Some(AbstainReason::AllSourcesDown) => tally.all_sources_down += 1,
                 Some(AbstainReason::NoTrustedContext) => tally.no_trusted_context += 1,
                 Some(AbstainReason::GenerationFailed { .. }) => tally.generation_failed += 1,
+                Some(AbstainReason::EscalationExhausted { .. }) => tally.escalation_exhausted += 1,
                 None => {}
             }
             continue;
@@ -141,6 +144,7 @@ fn level_json(l: &LevelReport) -> String {
         .usize("all_sources_down", l.tally.all_sources_down)
         .usize("no_trusted_context", l.tally.no_trusted_context)
         .usize("generation_failed", l.tally.generation_failed)
+        .usize("escalation_exhausted", l.tally.escalation_exhausted)
         .build();
     let graded = l.tally.answered;
     let rate = if graded > 0 {
@@ -234,6 +238,7 @@ mod tests {
             dropped: 0,
             examined: 0,
             quarantined_claims: 0,
+            escalation_attempts: 0,
         }
     }
 
@@ -327,6 +332,7 @@ mod tests {
             "\"all_sources_down\":0",
             "\"no_trusted_context\":0",
             "\"generation_failed\":0",
+            "\"escalation_exhausted\":0",
             "\"batch_matches_serve\":true",
             "\"throughput_qps\":123.456789",
         ] {
