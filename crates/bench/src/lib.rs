@@ -16,6 +16,7 @@
 //! | `repro_sensitivity` | design-choice sweeps beyond α (θ, graph threshold, top-k, H, β) |
 //! | `repro_scaling` | Q5 scaling study + serve-path throughput vs workers |
 //! | `repro_serve` | serving harness: epochs, caches, closed-loop load (`results/serve.json`) |
+//! | `repro_slo` | SLO telemetry: burn-rate alerts, log-bucket percentiles, tail attribution (`results/slo.json`) |
 //!
 //! Criterion microbenches (in `benches/`) cover module-level costs
 //! (Q5): MLG construction, homologous matching, MI confidence, BM25 /
@@ -284,7 +285,7 @@ mod tests {
 
     #[test]
     fn golden_sections_exist_and_parse() {
-        for section in ["obs_profile", "obs_chaos", "serve", "loop"] {
+        for section in ["obs_profile", "obs_chaos", "serve", "loop", "slo"] {
             let outline = golden_schema(section)
                 .unwrap_or_else(|| panic!("missing golden section [{section}]"));
             assert!(

@@ -101,6 +101,26 @@ impl FaultPlan {
         }
     }
 
+    /// A query-time-only brownout: LLM failures, latency spikes (at
+    /// twice the base rate, like [`FaultPlan::uniform`]) and source
+    /// outages fire, while the ingest-time channels (corruption,
+    /// staleness) and the grader stay healthy. This is the serving-SLO
+    /// fault leg: the knowledge base is intact, but answering it is
+    /// degraded — abstains and latency spikes burn the error budget
+    /// without perturbing what was indexed.
+    pub fn brownout(seed: u64, rate: f64) -> Self {
+        let rate = rate.clamp(0.0, 1.0);
+        Self {
+            seed,
+            outage_rate: rate,
+            corruption_rate: 0.0,
+            staleness_rate: 0.0,
+            llm_failure_rate: rate,
+            llm_latency_spike_rate: (2.0 * rate).min(1.0),
+            grader_failure_rate: 0.0,
+        }
+    }
+
     /// True when no channel can ever fire.
     pub fn is_healthy(&self) -> bool {
         self.outage_rate <= 0.0
@@ -296,6 +316,29 @@ mod tests {
             assert!((4.0..16.0).contains(&f));
             assert_eq!(f, plan.latency_spike_factor(&key, 0));
         }
+    }
+
+    #[test]
+    fn brownout_spares_ingest_and_grader_channels() {
+        let plan = FaultPlan::brownout(31, 0.3);
+        assert!(!plan.is_healthy());
+        assert_eq!(plan.corruption_rate, 0.0);
+        assert_eq!(plan.staleness_rate, 0.0);
+        assert_eq!(plan.grader_failure_rate, 0.0);
+        assert_eq!(plan.llm_failure_rate, 0.3);
+        assert_eq!(plan.llm_latency_spike_rate, 0.6);
+        for i in 0..200 {
+            let src = format!("s{i}");
+            assert!(plan.record_corruption(&src, "r").is_none());
+            assert!(!plan.record_stale(&src, "r"));
+            assert_eq!(plan.grader_call(&src, 0), FaultDecision::Healthy);
+        }
+        // Query-time channels do fire at these rates.
+        let fails = (0..400)
+            .filter(|i| plan.llm_call(&format!("c{i}"), 0).is_fault())
+            .count();
+        assert!(fails > 100, "brownout must degrade LLM calls: {fails}");
+        assert_eq!(plan, FaultPlan::brownout(31, 0.3));
     }
 
     #[test]

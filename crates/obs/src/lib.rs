@@ -15,6 +15,9 @@
 //!   deterministically so traces are **byte-stable for a fixed seed**.
 //! * [`observer`] — the shared [`Observer`] handle that instrumented
 //!   code feeds and the harness drains.
+//! * [`slo`] — the SLO engine: mergeable log-bucket latency histograms,
+//!   sim-clock windowed aggregation, multi-window burn-rate alerts with
+//!   exemplar sampling, and tail-latency attribution.
 //! * [`json`] — the deterministic JSON building blocks both expositions
 //!   share.
 //!
@@ -25,10 +28,15 @@
 pub mod json;
 pub mod metrics;
 pub mod observer;
+pub mod slo;
 pub mod trace;
 
-pub use metrics::{labeled, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{labeled, window_series, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use observer::{ObsHandle, Observer, StageProfile};
+pub use slo::{
+    Attribution, AttributionRow, Completion, Exemplar, LatencyParts, LogHistogram, SloEngine,
+    SloOutcome, SloSpec,
+};
 pub use trace::{
     traces_json, AnswerProvenance, QueryTrace, SourceContribution, Stage, StageCost, StageSpan,
     SubgraphDecision, TraceEvent,

@@ -40,6 +40,16 @@ pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
     format!("{name}{{{}}}", body.join(","))
 }
 
+/// Builds the key for a `_window`-suffixed series: `name_window` with a
+/// zero-padded `window` label, e.g. `slo_shed_window{window="000003"}`.
+///
+/// Zero-padding keeps the lexicographic snapshot order equal to the
+/// numeric window order, so windowed series render in time order in
+/// both expositions without any renderer changes.
+pub fn window_series(name: &str, window: u64) -> String {
+    format!("{name}_window{{window=\"{window:06}\"}}")
+}
+
 /// Fixed-bucket histogram state.
 #[derive(Debug, Clone, PartialEq)]
 struct Histogram {
@@ -432,6 +442,21 @@ mod tests {
             "a_bucket{x=\"1\",le=\"+Inf\"}"
         );
         assert_eq!(suffixed("a{x=\"1\"}", "_sum"), "a_sum{x=\"1\"}");
+    }
+
+    #[test]
+    fn window_series_zero_pads_for_time_order() {
+        assert_eq!(
+            window_series("slo_shed", 3),
+            "slo_shed_window{window=\"000003\"}"
+        );
+        let reg = MetricsRegistry::new();
+        reg.inc(&window_series("slo_shed", 10), 1);
+        reg.inc(&window_series("slo_shed", 2), 1);
+        let snap = reg.snapshot();
+        // Lexicographic snapshot order == numeric window order.
+        assert_eq!(snap.counters[0].0, "slo_shed_window{window=\"000002\"}");
+        assert_eq!(snap.counters[1].0, "slo_shed_window{window=\"000010\"}");
     }
 
     #[test]

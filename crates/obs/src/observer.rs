@@ -135,6 +135,12 @@ impl Observer {
                 self.registry
                     .inc(&labeled("loop_escalation_step_total", &[("step", step)]), 1);
             }
+            TraceEvent::SloAlert { alert, to, .. } => {
+                self.registry.inc(
+                    &labeled("slo_alert_events_total", &[("alert", alert), ("to", to)]),
+                    1,
+                );
+            }
         }
     }
 

@@ -159,6 +159,18 @@ pub enum TraceEvent {
         /// Escalation attempt number (1-based).
         attempt: u32,
     },
+    /// An SLO burn-rate alert changed state (see `obs::slo`).
+    SloAlert {
+        /// Alert name (`latency_p99` / `error_budget`).
+        alert: String,
+        /// State before the transition (snake-case slug).
+        from: String,
+        /// State after the transition (`pending` / `firing` /
+        /// `resolved`).
+        to: String,
+        /// Window index whose evaluation caused the move.
+        window: u64,
+    },
 }
 
 impl TraceEvent {
@@ -172,6 +184,7 @@ impl TraceEvent {
             TraceEvent::Abstained { .. } => "abstained",
             TraceEvent::GradeFailed { .. } => "grade_failed",
             TraceEvent::Escalated { .. } => "escalated",
+            TraceEvent::SloAlert { .. } => "slo_alert",
         }
     }
 
@@ -195,6 +208,16 @@ impl TraceEvent {
             TraceEvent::Escalated { step, attempt } => {
                 obj.str("step", step).u64("attempt", u64::from(*attempt))
             }
+            TraceEvent::SloAlert {
+                alert,
+                from,
+                to,
+                window,
+            } => obj
+                .str("alert", alert)
+                .str("from", from)
+                .str("to", to)
+                .u64("window", *window),
         }
         .build()
     }

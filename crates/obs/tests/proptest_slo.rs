@@ -1,0 +1,107 @@
+//! Property tests for the SLO log-bucket histogram: the bucket map is
+//! invertible, merging is associative and commutative (so per-shard
+//! histograms can be combined in any grouping or order), merging equals
+//! recording the concatenated stream, and quantiles never drift more
+//! than one log bucket from exact nearest-rank.
+
+use multirag_obs::slo::{bucket_bounds, bucket_of, LogHistogram};
+use proptest::prelude::*;
+
+/// Latencies up to ~50 simulated seconds — spans the exact singleton
+/// range, several log decades, and the harness's realistic tail.
+fn latencies(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..50_000_000, 0..max_len)
+}
+
+fn hist(values: &[u64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Exact nearest-rank percentile over a sorted slice, with the same
+/// integer ceiling rank the simulator and the engine use.
+fn exact_rank(sorted: &[u64], percent: u64) -> u64 {
+    let Some(last) = sorted.last() else {
+        return 0;
+    };
+    let n = sorted.len() as u64;
+    let rank = (n * percent).div_ceil(100);
+    *sorted.get((rank.clamp(1, n) - 1) as usize).unwrap_or(last)
+}
+
+proptest! {
+    /// Every value lands inside the bounds of its own bucket.
+    #[test]
+    fn bucket_map_is_invertible(shift in 0u32..64, offset in 0u64..1_000_000) {
+        // Cover all magnitudes: a random bit position plus an offset.
+        let v = (1u64 << shift).saturating_add(offset);
+        let index = bucket_of(v);
+        let (low, high) = bucket_bounds(index);
+        prop_assert!(low <= v && v <= high, "{v} outside [{low}, {high}] of bucket {index}");
+    }
+
+    /// Merge is commutative: A ∪ B == B ∪ A, state-for-state.
+    #[test]
+    fn merge_is_commutative(a in latencies(120), b in latencies(120)) {
+        let mut ab = hist(&a);
+        ab.merge(&hist(&b));
+        let mut ba = hist(&b);
+        ba.merge(&hist(&a));
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Merge is associative, and any grouping equals recording the
+    /// concatenated stream into one histogram — the property that lets
+    /// per-worker shards roll up into per-window totals in any order.
+    #[test]
+    fn merge_is_associative_and_matches_concatenation(
+        a in latencies(80),
+        b in latencies(80),
+        c in latencies(80),
+    ) {
+        let mut left = hist(&a);
+        left.merge(&hist(&b));
+        left.merge(&hist(&c));
+
+        let mut bc = hist(&b);
+        bc.merge(&hist(&c));
+        let mut right = hist(&a);
+        right.merge(&bc);
+
+        let mut whole: Vec<u64> = Vec::new();
+        whole.extend_from_slice(&a);
+        whole.extend_from_slice(&b);
+        whole.extend_from_slice(&c);
+
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(&left, &hist(&whole));
+    }
+
+    /// The log-bucket quantile stays within one bucket of the exact
+    /// nearest-rank value, for every percentile, and never exceeds the
+    /// recorded maximum.
+    #[test]
+    fn quantiles_stay_within_one_bucket_of_exact(
+        values in proptest::collection::vec(0u64..50_000_000, 1..200),
+        percent in 1u64..=100,
+    ) {
+        let h = hist(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let exact = exact_rank(&sorted, percent);
+        let approx = h.quantile_us(percent);
+        let drift = bucket_of(approx).abs_diff(bucket_of(exact));
+        prop_assert!(
+            drift <= 1,
+            "p{percent}: approx {approx} vs exact {exact} drifts {drift} buckets"
+        );
+        prop_assert!(approx <= h.max_us());
+        // The reported value never undershoots the exact rank: the
+        // walk stops in the exact value's bucket and reports its upper
+        // bound (clamped to the max).
+        prop_assert!(approx >= exact.min(h.max_us()));
+    }
+}

@@ -154,6 +154,27 @@ pub fn serve_sequential(
         .collect()
 }
 
+/// [`serve_sequential`] with an observer attached to the pipeline:
+/// every *computed* (non-L1-hit) answer records a [`QueryTrace`] into
+/// `obs`'s capture buffer, in stream order — the feed the SLO layer's
+/// tail-latency attribution splits into per-stage costs. Answers are
+/// byte-identical to the unobserved oracle.
+///
+/// [`QueryTrace`]: multirag_obs::QueryTrace
+pub fn serve_sequential_observed(
+    snapshot: &EpochSnapshot,
+    caches: &CacheStack,
+    config: &ServeConfig,
+    requests: &[ServeRequest],
+    obs: &multirag_obs::ObsHandle,
+) -> Vec<ServeResponse> {
+    let mut pipeline = snapshot_pipeline(snapshot, caches, config).with_observer(obs.clone());
+    requests
+        .iter()
+        .map(|request| serve_one(&mut pipeline, caches, request))
+        .collect()
+}
+
 /// Serves the stream on a worker pool, one snapshot-bound pipeline per
 /// worker (built once via the stateful fan-out, not per request), all
 /// workers sharing the cache stack. Responses come back in stream

@@ -19,13 +19,18 @@
 //!   bounded admission with load shedding, and the Step-5 credibility
 //!   feedback tally that frozen-history serving defers to publish time.
 //! * [`simloop`] — a closed-loop discrete-event simulator over integer
-//!   simulated microseconds, for byte-stable latency/throughput curves.
+//!   simulated microseconds, for byte-stable latency/throughput curves
+//!   with per-request [`RequestTiming`] timelines.
+//! * [`attrib`] — tail-latency attribution: rebuilds each request's
+//!   service time from its trace's per-stage costs so latency
+//!   decomposes exactly into queue wait + stages + overhead.
 //! * [`report`] — the deterministic `results/serve.json` artifact.
 //!
 //! DESIGN.md §5.8 documents the epoch-swap protocol, the cache key
 //! derivations, and the shedding policy; EXPERIMENTS.md explains how
 //! to read the `repro_serve` output.
 
+pub mod attrib;
 pub mod cache;
 pub mod engine;
 pub mod epoch;
@@ -33,16 +38,20 @@ pub mod report;
 pub mod simloop;
 pub mod workload;
 
+pub use attrib::{attribute, request_costs, round_us, AttributionOutcome, RequestCost};
 pub use cache::{result_key, CacheCounters, CacheStack, ResultCache};
 pub use engine::{
-    feedback_tally, serve_concurrent, serve_one, serve_sequential, serve_with_admission,
-    snapshot_pipeline, ServeConfig, ServeResponse, ServeVerdict, RESULT_CACHE_HIT_MS,
-    SERVE_OVERHEAD_MS,
+    feedback_tally, serve_concurrent, serve_one, serve_sequential, serve_sequential_observed,
+    serve_with_admission, snapshot_pipeline, ServeConfig, ServeResponse, ServeVerdict,
+    RESULT_CACHE_HIT_MS, SERVE_OVERHEAD_MS,
 };
 pub use epoch::{EpochIndex, EpochSnapshot, IndexWriter, TripleUpdate};
 pub use report::{
     level_row, serve_report_json, tally_answers, AnswerTally, EpochSummary, LevelReport,
     ServeReport,
 };
-pub use simloop::{closed_loop, closed_loop_detail, LoadPoint, SHED_BACKOFF_US};
+pub use simloop::{
+    closed_loop, closed_loop_detail, closed_loop_timeline, LoadPoint, RequestTiming,
+    SHED_BACKOFF_US,
+};
 pub use workload::{build_workload, paraphrase, RequestKind, ServeRequest};

@@ -166,6 +166,9 @@ fn level_json(l: &LevelReport) -> String {
         .usize("completed", l.point.completed)
         .usize("shed", l.point.shed)
         .f64("throughput_qps", l.point.throughput_qps)
+        .u64("p50_us", l.point.p50_us)
+        .u64("p95_us", l.point.p95_us)
+        .u64("p99_us", l.point.p99_us)
         .f64("p50_ms", l.point.p50_ms)
         .f64("p95_ms", l.point.p95_ms)
         .f64("p99_ms", l.point.p99_ms)
@@ -312,6 +315,9 @@ mod tests {
                     completed: 10,
                     shed: 0,
                     throughput_qps: 123.456789,
+                    p50_us: 1_000,
+                    p95_us: 2_000,
+                    p99_us: 2_500,
                     p50_ms: 1.0,
                     p95_ms: 2.0,
                     p99_ms: 2.5,
@@ -335,6 +341,8 @@ mod tests {
             "\"escalation_exhausted\":0",
             "\"batch_matches_serve\":true",
             "\"throughput_qps\":123.456789",
+            "\"p99_us\":2500",
+            "\"p99_ms\":2.500000",
         ] {
             assert!(a.contains(key), "missing {key} in {a}");
         }

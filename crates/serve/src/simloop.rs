@@ -17,6 +17,14 @@
 //! Event ordering is total: by time, then completions before
 //! submissions (a worker freed at `t` can pick up a request submitted
 //! at `t`), then by a monotonic tiebreaker sequence.
+//!
+//! Percentiles are pure integer nearest-rank over the µs latencies
+//! (`⌈n·p/100⌉`, no float rank arithmetic), exported both as integer
+//! µs ([`LoadPoint::p99_us`]) and as derived ms floats; the µs fields
+//! are the source of truth. [`closed_loop_timeline`] additionally
+//! returns one [`RequestTiming`] per request — the raw
+//! submitted/started/completed stamps the SLO layer's windowing and
+//! tail attribution consume.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -38,37 +46,75 @@ pub struct LoadPoint {
     pub shed: usize,
     /// Completed requests per simulated second.
     pub throughput_qps: f64,
-    /// Median end-to-end latency (queue wait + service), simulated ms.
+    /// Median end-to-end latency (queue wait + service), integer µs.
+    pub p50_us: u64,
+    /// 95th-percentile latency, integer µs.
+    pub p95_us: u64,
+    /// 99th-percentile latency, integer µs.
+    pub p99_us: u64,
+    /// Median latency in simulated ms (derived: `p50_us / 1000`).
     pub p50_ms: f64,
-    /// 95th-percentile latency, simulated ms.
+    /// 95th-percentile latency in simulated ms (derived).
     pub p95_ms: f64,
-    /// 99th-percentile latency, simulated ms.
+    /// 99th-percentile latency in simulated ms (derived).
     pub p99_ms: f64,
     /// Total simulated time until the last client finished, ms.
     pub sim_total_ms: f64,
 }
 
+/// Per-request lifecycle stamps on the simulator clock. For a shed
+/// request all three stamps equal the shed instant; for a served one
+/// `completed_us - submitted_us` is the end-to-end latency and
+/// `started_us - submitted_us` the queue wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RequestTiming {
+    /// Whether the request was served (vs shed at admission).
+    pub served: bool,
+    /// When the client submitted the request (µs).
+    pub submitted_us: u64,
+    /// When a worker began service (µs).
+    pub started_us: u64,
+    /// When service finished — or the shed instant (µs).
+    pub completed_us: u64,
+}
+
+impl RequestTiming {
+    /// End-to-end latency: queue wait + service (0 for shed requests).
+    pub fn latency_us(&self) -> u64 {
+        self.completed_us - self.submitted_us
+    }
+
+    /// Time spent waiting in the admission queue (0 for shed requests).
+    pub fn queue_wait_us(&self) -> u64 {
+        self.started_us - self.submitted_us
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Event {
     /// A worker finishes request `request` that `client` submitted at
-    /// `submitted`.
+    /// `submitted` and a worker picked up at `started`.
     Complete {
         client: usize,
         request: usize,
         submitted: u64,
+        started: u64,
     },
     /// A client submits its next request (or retires if none remain).
     Arrive { client: usize },
 }
 
 /// Nearest-rank percentile over an ascending-sorted sample, in the
-/// sample's own unit.
-fn nearest_rank(sorted: &[u64], percentile: f64) -> u64 {
+/// sample's own unit. Pure integer ceiling rank — `⌈n·p/100⌉` clamped
+/// to `[1, n]` — so rank selection cannot drift on float rounding.
+fn nearest_rank(sorted: &[u64], percent: u64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
-    let rank = ((percentile / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+    let n = sorted.len() as u64;
+    let rank = (n * percent).div_ceil(100);
+    let idx = (rank.clamp(1, n) - 1) as usize;
+    sorted.get(idx).copied().unwrap_or(0)
 }
 
 /// Runs the closed loop: `concurrency` clients replay `service_us`
@@ -83,7 +129,7 @@ pub fn closed_loop(
     workers: usize,
     queue_depth: usize,
 ) -> LoadPoint {
-    closed_loop_detail(service_us, concurrency, workers, queue_depth).0
+    closed_loop_timeline(service_us, concurrency, workers, queue_depth).0
 }
 
 /// [`closed_loop`] plus a per-request completion mask: `mask[i]` is
@@ -96,12 +142,30 @@ pub fn closed_loop_detail(
     workers: usize,
     queue_depth: usize,
 ) -> (LoadPoint, Vec<bool>) {
+    let (point, timings) = closed_loop_timeline(service_us, concurrency, workers, queue_depth);
+    let mask = timings.iter().map(|t| t.served).collect();
+    (point, mask)
+}
+
+/// [`closed_loop`] plus the full per-request [`RequestTiming`]
+/// timeline, indexed by request. This is the SLO layer's feed: each
+/// timing carries the simulator-clock stamps that windowed aggregation
+/// buckets by and that tail attribution splits into queue wait vs
+/// service.
+pub fn closed_loop_timeline(
+    service_us: &[u64],
+    concurrency: usize,
+    workers: usize,
+    queue_depth: usize,
+) -> (LoadPoint, Vec<RequestTiming>) {
     let concurrency = concurrency.max(1);
     let workers = workers.max(1);
     // Round-robin partition of the request stream across clients.
     let mut client_requests: Vec<VecDeque<(usize, u64)>> = vec![VecDeque::new(); concurrency];
     for (i, &s) in service_us.iter().enumerate() {
-        client_requests[i % concurrency].push_back((i, s));
+        if let Some(stream) = client_requests.get_mut(i % concurrency) {
+            stream.push_back((i, s));
+        }
     }
 
     let mut heap: BinaryHeap<Reverse<(u64, u8, u64, Event)>> = BinaryHeap::new();
@@ -125,7 +189,7 @@ pub fn closed_loop_detail(
     // Waiting requests: (client, request, submitted, service).
     let mut queue: VecDeque<(usize, usize, u64, u64)> = VecDeque::new();
     let mut latencies_us: Vec<u64> = Vec::new();
-    let mut completed_mask = vec![false; service_us.len()];
+    let mut timings = vec![RequestTiming::default(); service_us.len()];
     let mut shed: usize = 0;
     let mut end_time: u64 = 0;
 
@@ -136,9 +200,17 @@ pub fn closed_loop_detail(
                 client,
                 request,
                 submitted,
+                started,
             } => {
                 latencies_us.push(now - submitted);
-                completed_mask[request] = true;
+                if let Some(t) = timings.get_mut(request) {
+                    *t = RequestTiming {
+                        served: true,
+                        submitted_us: submitted,
+                        started_us: started,
+                        completed_us: now,
+                    };
+                }
                 if let Some((qclient, qrequest, qsubmitted, qservice)) = queue.pop_front() {
                     // The freed worker immediately takes the oldest
                     // queued request; `busy` is unchanged.
@@ -149,6 +221,7 @@ pub fn closed_loop_detail(
                             client: qclient,
                             request: qrequest,
                             submitted: qsubmitted,
+                            started: now,
                         },
                     );
                 } else {
@@ -157,7 +230,10 @@ pub fn closed_loop_detail(
                 push(&mut heap, now, Event::Arrive { client });
             }
             Event::Arrive { client } => {
-                let Some((request, service)) = client_requests[client].pop_front() else {
+                let Some((request, service)) = client_requests
+                    .get_mut(client)
+                    .and_then(VecDeque::pop_front)
+                else {
                     continue; // client retired
                 };
                 if busy < workers {
@@ -169,12 +245,21 @@ pub fn closed_loop_detail(
                             client,
                             request,
                             submitted: now,
+                            started: now,
                         },
                     );
                 } else if queue.len() < queue_depth {
                     queue.push_back((client, request, now, service));
                 } else {
                     shed += 1;
+                    if let Some(t) = timings.get_mut(request) {
+                        *t = RequestTiming {
+                            served: false,
+                            submitted_us: now,
+                            started_us: now,
+                            completed_us: now,
+                        };
+                    }
                     push(&mut heap, now + SHED_BACKOFF_US, Event::Arrive { client });
                 }
             }
@@ -188,18 +273,24 @@ pub fn closed_loop_detail(
     } else {
         0.0
     };
+    let p50_us = nearest_rank(&latencies_us, 50);
+    let p95_us = nearest_rank(&latencies_us, 95);
+    let p99_us = nearest_rank(&latencies_us, 99);
     let point = LoadPoint {
         concurrency,
         offered: service_us.len(),
         completed,
         shed,
         throughput_qps,
-        p50_ms: nearest_rank(&latencies_us, 50.0) as f64 / 1000.0,
-        p95_ms: nearest_rank(&latencies_us, 95.0) as f64 / 1000.0,
-        p99_ms: nearest_rank(&latencies_us, 99.0) as f64 / 1000.0,
+        p50_us,
+        p95_us,
+        p99_us,
+        p50_ms: p50_us as f64 / 1000.0,
+        p95_ms: p95_us as f64 / 1000.0,
+        p99_ms: p99_us as f64 / 1000.0,
         sim_total_ms: end_time as f64 / 1000.0,
     };
-    (point, completed_mask)
+    (point, timings)
 }
 
 #[cfg(test)]
@@ -214,6 +305,8 @@ mod tests {
         assert_eq!(point.shed, 0);
         assert_eq!(point.p50_ms, 1.0);
         assert_eq!(point.p99_ms, 1.0);
+        assert_eq!(point.p50_us, 1_000);
+        assert_eq!(point.p99_us, 1_000);
         assert_eq!(point.sim_total_ms, 10.0);
         assert!((point.throughput_qps - 1000.0).abs() < 1e-9);
     }
@@ -270,8 +363,46 @@ mod tests {
     #[test]
     fn nearest_rank_matches_hand_computation() {
         let sorted = vec![10, 20, 30, 40];
-        assert_eq!(nearest_rank(&sorted, 50.0), 20);
-        assert_eq!(nearest_rank(&sorted, 95.0), 40);
-        assert_eq!(nearest_rank(&[], 50.0), 0);
+        assert_eq!(nearest_rank(&sorted, 50), 20);
+        assert_eq!(nearest_rank(&sorted, 95), 40);
+        assert_eq!(nearest_rank(&sorted, 100), 40);
+        assert_eq!(nearest_rank(&sorted, 0), 10);
+        assert_eq!(nearest_rank(&[], 50), 0);
+        // Integer ceiling rank: 101 samples, p99 → rank ⌈101·99/100⌉ = 100.
+        let big: Vec<u64> = (1..=101).collect();
+        assert_eq!(nearest_rank(&big, 99), 100);
+    }
+
+    #[test]
+    fn timeline_stamps_are_internally_consistent() {
+        let service: Vec<u64> = (0..40).map(|i| 1_000 + (i % 5) * 700).collect();
+        let (point, timings) = closed_loop_timeline(&service, 8, 2, 4);
+        assert_eq!(timings.len(), service.len());
+        let mut served = 0;
+        for (i, t) in timings.iter().enumerate() {
+            if !t.served {
+                assert_eq!(t.latency_us(), 0);
+                continue;
+            }
+            served += 1;
+            assert!(t.started_us >= t.submitted_us, "request {i} started early");
+            // Service occupies exactly the oracle's metered time.
+            assert_eq!(t.completed_us - t.started_us, service[i]);
+            assert_eq!(t.latency_us(), t.queue_wait_us() + service[i]);
+        }
+        assert_eq!(served, point.completed);
+        // The detail mask is the timeline's served flags.
+        let (_, mask) = closed_loop_detail(&service, 8, 2, 4);
+        let flags: Vec<bool> = timings.iter().map(|t| t.served).collect();
+        assert_eq!(mask, flags);
+    }
+
+    #[test]
+    fn derived_ms_fields_mirror_integer_us() {
+        let service: Vec<u64> = (0..30).map(|i| 777 + i * 13).collect();
+        let point = closed_loop(&service, 4, 2, 8);
+        assert_eq!(point.p50_ms, point.p50_us as f64 / 1000.0);
+        assert_eq!(point.p95_ms, point.p95_us as f64 / 1000.0);
+        assert_eq!(point.p99_ms, point.p99_us as f64 / 1000.0);
     }
 }
