@@ -17,6 +17,7 @@
 //! | `repro_scaling` | Q5 scaling study + serve-path throughput vs workers |
 //! | `repro_serve` | serving harness: epochs, caches, closed-loop load (`results/serve.json`) |
 //! | `repro_slo` | SLO telemetry: burn-rate alerts, log-bucket percentiles, tail attribution (`results/slo.json`) |
+//! | `repro_cluster` | sharded serving: 1-node == N-node parity, merge tier, shard scaling (`results/cluster.json`) |
 //!
 //! Criterion microbenches (in `benches/`) cover module-level costs
 //! (Q5): MLG construction, homologous matching, MI confidence, BM25 /
@@ -285,7 +286,14 @@ mod tests {
 
     #[test]
     fn golden_sections_exist_and_parse() {
-        for section in ["obs_profile", "obs_chaos", "serve", "loop", "slo"] {
+        for section in [
+            "obs_profile",
+            "obs_chaos",
+            "serve",
+            "loop",
+            "slo",
+            "cluster",
+        ] {
             let outline = golden_schema(section)
                 .unwrap_or_else(|| panic!("missing golden section [{section}]"));
             assert!(

@@ -1,0 +1,67 @@
+//! Byte-stable JSON fragments for `results/cluster.json`.
+//!
+//! Everything here renders through `multirag_obs::json::JsonObj`, the
+//! same deterministic builder every other artifact uses: fixed key
+//! order, `fmt_f64` floats, no maps with ambient iteration order. The
+//! `repro_cluster` binary assembles these fragments into the full
+//! `[cluster]`-schema artifact and double-runs it under `cmp`.
+
+use crate::sim::{ClusterLoadPoint, ClusterSimOutcome};
+use multirag_obs::json::JsonObj;
+
+/// Canonical JSON for one cluster operating point.
+pub fn load_point_json(point: &ClusterLoadPoint) -> String {
+    JsonObj::new()
+        .u64("shards", u64::from(point.shards))
+        .usize("concurrency", point.concurrency)
+        .usize("workers_per_shard", point.workers_per_shard)
+        .usize("offered", point.offered)
+        .usize("completed", point.completed)
+        .usize("shed", point.shed)
+        .usize("failovers", point.failovers)
+        .usize("unrouted", point.unrouted)
+        .f64("throughput_qps", point.throughput_qps)
+        .u64("p50_us", point.p50_us)
+        .u64("p95_us", point.p95_us)
+        .u64("p99_us", point.p99_us)
+        .f64("sim_total_ms", point.sim_total_ms)
+        .build()
+}
+
+/// Canonical JSON for one full sim outcome: the operating point plus
+/// per-shard completion counts and peak queue depths (shard order, so
+/// the array index *is* the shard id).
+pub fn outcome_json(outcome: &ClusterSimOutcome) -> String {
+    JsonObj::new()
+        .raw("point", &load_point_json(&outcome.point))
+        .arr(
+            "per_shard_completed",
+            outcome.per_shard_completed.iter().map(u64::to_string),
+        )
+        .arr(
+            "per_shard_peak_queue",
+            outcome.per_shard_peak_queue.iter().map(u64::to_string),
+        )
+        .u64("overall_count", outcome.overall.count())
+        .u64("overall_max_us", outcome.overall.max_us())
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::cluster_closed_loop;
+
+    #[test]
+    fn outcome_json_is_deterministic_and_well_formed() {
+        let service: Vec<u64> = (0..32).map(|i| 700 + (i % 4) * 500).collect();
+        let cands: Vec<Vec<u32>> = (0..32).map(|i| vec![(i as u32) % 2, 1]).collect();
+        let out = cluster_closed_loop(&service, &cands, 256, 2, 8, 2, 4, None);
+        let a = outcome_json(&out);
+        let b = outcome_json(&out);
+        assert_eq!(a, b);
+        assert!(a.starts_with('{') && a.ends_with('}'));
+        assert!(a.contains("\"shards\":2"));
+        assert!(a.contains("\"per_shard_completed\":["));
+    }
+}

@@ -1,0 +1,183 @@
+//! Consistent-hash ring over (entity, attribute) slots.
+//!
+//! The sharding unit is the *slot* — the `(entity, attribute)` pair
+//! that also keys homologous grouping, the result cache and the
+//! confidence memo. Hashing slots (not documents, not queries) keeps
+//! every representation of the same fact on the same node, so
+//! homologous matching stays shard-local (Hierarchical Lexical Graph's
+//! argument, see PAPERS.md).
+//!
+//! The ring is the classic virtual-node construction: every node
+//! projects [`DEFAULT_VNODES`] seeded points onto the `u64` circle and
+//! a slot is owned by the successor of its own hash. All hashes come
+//! from [`determinism::draw`], so ownership is a pure function of
+//! `(seed, node count, slot key)` — two processes building the same
+//! ring agree byte-for-byte, and growing the fleet moves only the
+//! slots whose successor changed (bounded movement, asserted in the
+//! crate's property tests).
+
+use multirag_llmsim::determinism;
+
+/// Virtual nodes per physical node. 64 points per node keeps the
+/// max/min ownership ratio low single-digit percent at the slot counts
+/// the datasets produce, while keeping ring construction trivial.
+pub const DEFAULT_VNODES: usize = 64;
+
+/// ASCII unit separator: joins entity and attribute into one slot key
+/// without colliding with either name's own characters.
+const SLOT_SEP: char = '\u{1f}';
+
+/// Builds the canonical slot key for an `(entity, attribute)` pair.
+pub fn slot_key(entity: &str, attribute: &str) -> String {
+    format!("{entity}{SLOT_SEP}{attribute}")
+}
+
+/// A deterministic consistent-hash ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashRing {
+    seed: u64,
+    nodes: u32,
+    /// `(point, node)` pairs sorted by point (ties broken by node id,
+    /// which also makes construction order irrelevant).
+    points: Vec<(u64, u32)>,
+}
+
+impl HashRing {
+    /// Builds a ring of `nodes` physical nodes with `vnodes` points
+    /// each. `nodes` and `vnodes` are clamped to at least 1.
+    pub fn new(nodes: u32, vnodes: usize, seed: u64) -> Self {
+        let nodes = nodes.max(1);
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(nodes as usize * vnodes);
+        for node in 0..nodes {
+            for v in 0..vnodes {
+                points.push((determinism::draw(seed, &format!("ring:{node}:{v}")), node));
+            }
+        }
+        points.sort_unstable();
+        Self {
+            seed,
+            nodes,
+            points,
+        }
+    }
+
+    /// Number of physical nodes on the ring.
+    pub fn node_count(&self) -> u32 {
+        self.nodes
+    }
+
+    /// The node owning `slot` (successor of the slot's hash point).
+    pub fn owner(&self, slot: &str) -> u32 {
+        let hash = determinism::draw(self.seed, &format!("slot:{slot}"));
+        let idx = self.points.partition_point(|&(p, _)| p < hash);
+        // Successor, wrapping past the top of the circle.
+        self.points
+            .get(idx)
+            .or_else(|| self.points.first())
+            .map(|&(_, node)| node)
+            .unwrap_or(0)
+    }
+
+    /// The slot's candidate nodes, owner first, then up to `count - 1`
+    /// distinct further nodes walking clockwise. This is the
+    /// deterministic replica-placement rule: replicas of a slot are
+    /// the next distinct nodes on the circle, so every process derives
+    /// the same failover order without coordination.
+    pub fn candidates(&self, slot: &str, count: usize) -> Vec<u32> {
+        let want = count.clamp(1, self.nodes as usize);
+        let hash = determinism::draw(self.seed, &format!("slot:{slot}"));
+        let start = self.points.partition_point(|&(p, _)| p < hash);
+        let mut out: Vec<u32> = Vec::with_capacity(want);
+        for step in 0..self.points.len() {
+            let idx = (start + step) % self.points.len().max(1);
+            let Some(&(_, node)) = self.points.get(idx) else {
+                break;
+            };
+            if !out.contains(&node) {
+                out.push(node);
+                if out.len() == want {
+                    break;
+                }
+            }
+        }
+        if out.is_empty() {
+            out.push(0);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ownership_is_deterministic_and_covers_all_nodes() {
+        let a = HashRing::new(4, DEFAULT_VNODES, 42);
+        let b = HashRing::new(4, DEFAULT_VNODES, 42);
+        assert_eq!(a, b);
+        let mut seen = [false; 4];
+        for i in 0..400 {
+            let slot = slot_key(&format!("Entity{i}"), "release_year");
+            let owner = a.owner(&slot);
+            assert_eq!(owner, b.owner(&slot));
+            assert!(owner < 4);
+            if let Some(flag) = seen.get_mut(owner as usize) {
+                *flag = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "400 slots must touch all 4 nodes");
+    }
+
+    #[test]
+    fn candidates_start_at_owner_and_are_distinct() {
+        let ring = HashRing::new(5, DEFAULT_VNODES, 7);
+        for i in 0..100 {
+            let slot = slot_key(&format!("E{i}"), "attr");
+            let cands = ring.candidates(&slot, 3);
+            assert_eq!(cands.len(), 3);
+            assert_eq!(cands[0], ring.owner(&slot));
+            let mut sorted = cands.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "candidates must be distinct nodes");
+        }
+    }
+
+    #[test]
+    fn candidate_count_clamps_to_fleet_size() {
+        let ring = HashRing::new(2, DEFAULT_VNODES, 7);
+        assert_eq!(ring.candidates("a", 8).len(), 2);
+        assert_eq!(ring.candidates("a", 0).len(), 1);
+    }
+
+    #[test]
+    fn growth_moves_a_bounded_slot_fraction() {
+        let before = HashRing::new(4, DEFAULT_VNODES, 42);
+        let after = HashRing::new(8, DEFAULT_VNODES, 42);
+        let total = 1000;
+        let moved = (0..total)
+            .filter(|i| {
+                let slot = slot_key(&format!("Entity{i}"), "a");
+                before.owner(&slot) != after.owner(&slot)
+            })
+            .count();
+        // Consistent hashing: doubling the fleet moves ~1/2 the slots;
+        // a mod-N rehash would move ~7/8. Anything ≤ 65% shows the
+        // bounded-movement property held.
+        assert!(moved > 0, "growing the fleet must move some slots");
+        assert!(
+            moved * 100 <= total * 65,
+            "moved {moved}/{total}: movement not bounded"
+        );
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let ring = HashRing::new(1, DEFAULT_VNODES, 3);
+        for i in 0..50 {
+            assert_eq!(ring.owner(&slot_key(&format!("E{i}"), "a")), 0);
+        }
+    }
+}

@@ -1,0 +1,394 @@
+//! Deterministic closed-loop simulator for the sharded fleet.
+//!
+//! Extends `multirag_serve`'s integer-µs discrete-event loop from one
+//! worker pool to N per-node pools: every shard has its own busy
+//! counter, bounded queue and service clock, and each request carries
+//! the candidate-node list its slot's ring position dictates. As in
+//! the single-node loop there is no wall clock and no OS scheduler —
+//! the same inputs produce the same [`ClusterLoadPoint`] bytes on
+//! every machine.
+//!
+//! The workload is *replicated*: request `i` reuses the service time
+//! and candidate list of base request `i % base_len`, which is how the
+//! scaling leg drives millions of simulated queries from a
+//! few-thousand-request measured oracle without materializing
+//! per-request state. Latencies accumulate straight into
+//! [`LogHistogram`]s (per shard and cluster-wide), so memory stays
+//! O(buckets), not O(requests) — and the cluster-wide percentiles are
+//! read from the *merge* of the per-shard histograms, exercising the
+//! merge-tier property on every run.
+//!
+//! Event ordering is total: by time, then completions before arrivals,
+//! then a monotonic tiebreaker — identical to the single-node loop.
+
+use multirag_faults::FaultPlan;
+use multirag_obs::LogHistogram;
+use multirag_serve::SHED_BACKOFF_US;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// One measured operating point of the cluster closed loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterLoadPoint {
+    /// Number of shard nodes.
+    pub shards: u32,
+    /// Closed-loop client count.
+    pub concurrency: usize,
+    /// Worker pool size per shard.
+    pub workers_per_shard: usize,
+    /// Requests the clients attempted to submit.
+    pub offered: usize,
+    /// Requests served to completion.
+    pub completed: usize,
+    /// Requests shed (every candidate full, or every candidate down).
+    pub shed: usize,
+    /// Requests that could not run on their preferred candidate (it
+    /// was down) and ran on a replica instead.
+    pub failovers: usize,
+    /// Requests whose every candidate was down for their window.
+    pub unrouted: usize,
+    /// Completed requests per simulated second.
+    pub throughput_qps: f64,
+    /// Median end-to-end latency (log-bucket bound), integer µs.
+    pub p50_us: u64,
+    /// 95th-percentile latency, integer µs.
+    pub p95_us: u64,
+    /// 99th-percentile latency, integer µs.
+    pub p99_us: u64,
+    /// Total simulated time until the last client finished, ms.
+    pub sim_total_ms: f64,
+}
+
+/// The full outcome: the operating point plus the latency histograms
+/// and per-shard load the report renders.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSimOutcome {
+    /// Summary operating point.
+    pub point: ClusterLoadPoint,
+    /// Per-shard end-to-end latency histograms.
+    pub per_shard: Vec<LogHistogram>,
+    /// Cluster-wide histogram: the merge of `per_shard`.
+    pub overall: LogHistogram,
+    /// Completions per shard.
+    pub per_shard_completed: Vec<u64>,
+    /// Peak admission-queue depth per shard.
+    pub per_shard_peak_queue: Vec<u64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    /// Shard `shard` finishes a request submitted at `submitted` by
+    /// `client`.
+    Complete {
+        client: usize,
+        shard: u32,
+        submitted: u64,
+    },
+    /// A client submits its next request (or retires if none remain).
+    Arrive { client: usize },
+}
+
+/// Runs the cluster closed loop.
+///
+/// `base_service_us[i % len]` and `base_candidates[i % len]` supply
+/// request `i`'s service time and candidate nodes (owner first);
+/// `total` requests are driven by `concurrency` clients. `outage`
+/// optionally supplies a fault plan plus the simulated-µs width of one
+/// outage window; a down node accepts no starts and no enqueues for
+/// that window.
+#[allow(clippy::too_many_arguments)]
+pub fn cluster_closed_loop(
+    base_service_us: &[u64],
+    base_candidates: &[Vec<u32>],
+    total: usize,
+    shards: u32,
+    concurrency: usize,
+    workers_per_shard: usize,
+    queue_depth: usize,
+    outage: Option<(&FaultPlan, u64)>,
+) -> ClusterSimOutcome {
+    let shards = shards.max(1);
+    let concurrency = concurrency.max(1);
+    let workers_per_shard = workers_per_shard.max(1);
+    let base_len = base_service_us.len().max(1);
+    let cand_len = base_candidates.len().max(1);
+
+    let mut heap: BinaryHeap<Reverse<(u64, u8, u64, Event)>> = BinaryHeap::new();
+    let mut tiebreak: u64 = 0;
+    let mut push =
+        |heap: &mut BinaryHeap<Reverse<(u64, u8, u64, Event)>>, time: u64, event: Event| {
+            // Completions sort before arrivals at the same instant so a
+            // freed worker can take a same-instant submission.
+            let kind = match event {
+                Event::Complete { .. } => 0u8,
+                Event::Arrive { .. } => 1u8,
+            };
+            tiebreak += 1;
+            heap.push(Reverse((time, kind, tiebreak, event)));
+        };
+    for client in 0..concurrency {
+        push(&mut heap, 0, Event::Arrive { client });
+    }
+
+    // Round-robin request ownership: client `c` drives requests
+    // `c, c + concurrency, c + 2·concurrency, …` — a counter per
+    // client instead of materialized per-request streams, so a
+    // million-request workload costs no per-request memory.
+    let mut submitted_by_client: Vec<usize> = vec![0; concurrency];
+    let quota = |client: usize| total / concurrency + usize::from(client < total % concurrency);
+
+    let mut busy: Vec<usize> = vec![0; shards as usize];
+    let mut queues: Vec<VecDeque<(usize, u64, u64)>> = vec![VecDeque::new(); shards as usize];
+    let mut peak_queue: Vec<u64> = vec![0; shards as usize];
+    let mut per_shard: Vec<LogHistogram> = vec![LogHistogram::new(); shards as usize];
+    let mut per_shard_completed: Vec<u64> = vec![0; shards as usize];
+    let mut shed: usize = 0;
+    let mut failovers: usize = 0;
+    let mut unrouted: usize = 0;
+    let mut end_time: u64 = 0;
+
+    while let Some(Reverse((now, _, _, event))) = heap.pop() {
+        end_time = end_time.max(now);
+        match event {
+            Event::Complete {
+                client,
+                shard,
+                submitted,
+            } => {
+                let s = shard as usize;
+                if let Some(h) = per_shard.get_mut(s) {
+                    h.record(now - submitted);
+                }
+                if let Some(n) = per_shard_completed.get_mut(s) {
+                    *n += 1;
+                }
+                let next = queues.get_mut(s).and_then(VecDeque::pop_front);
+                if let Some((qclient, qsubmitted, qservice)) = next {
+                    // The freed worker immediately takes the oldest
+                    // queued request; `busy` is unchanged.
+                    push(
+                        &mut heap,
+                        now + qservice,
+                        Event::Complete {
+                            client: qclient,
+                            shard,
+                            submitted: qsubmitted,
+                        },
+                    );
+                } else if let Some(b) = busy.get_mut(s) {
+                    *b -= 1;
+                }
+                push(&mut heap, now, Event::Arrive { client });
+            }
+            Event::Arrive { client } => {
+                let attempted = submitted_by_client.get(client).copied().unwrap_or(0);
+                if attempted >= quota(client) {
+                    continue; // client retired
+                }
+                if let Some(n) = submitted_by_client.get_mut(client) {
+                    *n += 1;
+                }
+                let i = client + attempted * concurrency;
+                let service = base_service_us.get(i % base_len).copied().unwrap_or(1);
+                let empty: Vec<u32> = Vec::new();
+                let candidates = base_candidates.get(i % cand_len).unwrap_or(&empty);
+
+                let is_down = |node: u32| match outage {
+                    Some((plan, window_us)) => plan.node_outage(node, now / window_us.max(1)),
+                    None => false,
+                };
+                let preferred_live = candidates.iter().copied().find(|&n| !is_down(n));
+                let live: Vec<u32> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&n| n < shards && !is_down(n))
+                    .collect();
+                if live.is_empty() {
+                    // Every candidate down: structured shed, client
+                    // backs off and moves on.
+                    unrouted += 1;
+                    shed += 1;
+                    push(&mut heap, now + SHED_BACKOFF_US, Event::Arrive { client });
+                    continue;
+                }
+                if preferred_live != candidates.first().copied() {
+                    failovers += 1;
+                }
+                // First live candidate with a free worker starts now;
+                // otherwise first live candidate with queue space.
+                let started = live.iter().copied().find(|&n| {
+                    busy.get(n as usize).copied().unwrap_or(workers_per_shard) < workers_per_shard
+                });
+                if let Some(shard) = started {
+                    if let Some(b) = busy.get_mut(shard as usize) {
+                        *b += 1;
+                    }
+                    push(
+                        &mut heap,
+                        now + service,
+                        Event::Complete {
+                            client,
+                            shard,
+                            submitted: now,
+                        },
+                    );
+                    continue;
+                }
+                let queued = live.iter().copied().find(|&n| {
+                    queues
+                        .get(n as usize)
+                        .map(|q| q.len() < queue_depth)
+                        .unwrap_or(false)
+                });
+                if let Some(shard) = queued {
+                    if let Some(q) = queues.get_mut(shard as usize) {
+                        q.push_back((client, now, service));
+                        if let Some(peak) = peak_queue.get_mut(shard as usize) {
+                            *peak = (*peak).max(q.len() as u64);
+                        }
+                    }
+                } else {
+                    shed += 1;
+                    push(&mut heap, now + SHED_BACKOFF_US, Event::Arrive { client });
+                }
+            }
+        }
+    }
+
+    let mut overall = LogHistogram::new();
+    for h in &per_shard {
+        overall.merge(h);
+    }
+    let completed = overall.count() as usize;
+    let throughput_qps = if end_time > 0 {
+        completed as f64 / (end_time as f64 / 1_000_000.0)
+    } else {
+        0.0
+    };
+    let point = ClusterLoadPoint {
+        shards,
+        concurrency,
+        workers_per_shard,
+        offered: total,
+        completed,
+        shed,
+        failovers,
+        unrouted,
+        throughput_qps,
+        p50_us: overall.quantile_us(50),
+        p95_us: overall.quantile_us(95),
+        p99_us: overall.quantile_us(99),
+        sim_total_ms: end_time as f64 / 1000.0,
+    };
+    ClusterSimOutcome {
+        point,
+        per_shard,
+        overall,
+        per_shard_completed,
+        per_shard_peak_queue: peak_queue,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_candidates(total: usize, shards: u32) -> Vec<Vec<u32>> {
+        (0..total)
+            .map(|i| {
+                let owner = (i as u32) % shards;
+                vec![owner, (owner + 1) % shards]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_shard_single_client_sees_pure_service_time() {
+        let service = vec![1_000u64; 10];
+        let cands = vec![vec![0u32]; 10];
+        let out = cluster_closed_loop(&service, &cands, 10, 1, 1, 2, 8, None);
+        assert_eq!(out.point.completed, 10);
+        assert_eq!(out.point.shed, 0);
+        assert_eq!(out.point.sim_total_ms, 10.0);
+        // Log-bucket bound: within one sub-bucket of 1000µs.
+        assert!(
+            (970..=1040).contains(&out.point.p50_us),
+            "{}",
+            out.point.p50_us
+        );
+    }
+
+    #[test]
+    fn accounting_always_balances() {
+        let service: Vec<u64> = (0..64).map(|i| 500 + (i % 7) * 300).collect();
+        let cands = uniform_candidates(64, 4);
+        let out = cluster_closed_loop(&service, &cands, 512, 4, 16, 2, 2, None);
+        assert_eq!(out.point.completed + out.point.shed, out.point.offered);
+        assert_eq!(
+            out.per_shard_completed.iter().sum::<u64>(),
+            out.point.completed as u64
+        );
+    }
+
+    #[test]
+    fn overall_histogram_is_the_per_shard_merge() {
+        let service: Vec<u64> = (0..40).map(|i| 800 + (i % 5) * 400).collect();
+        let cands = uniform_candidates(40, 4);
+        let out = cluster_closed_loop(&service, &cands, 400, 4, 8, 2, 4, None);
+        let mut merged = LogHistogram::new();
+        for h in &out.per_shard {
+            merged.merge(h);
+        }
+        assert_eq!(merged, out.overall);
+    }
+
+    #[test]
+    fn more_shards_raise_throughput() {
+        let service = vec![2_000u64; 128];
+        let one = cluster_closed_loop(
+            &service,
+            &uniform_candidates(128, 1),
+            2048,
+            1,
+            32,
+            2,
+            8,
+            None,
+        );
+        let eight = cluster_closed_loop(
+            &service,
+            &uniform_candidates(128, 8),
+            2048,
+            8,
+            32,
+            2,
+            8,
+            None,
+        );
+        assert!(
+            eight.point.throughput_qps > one.point.throughput_qps * 3.0,
+            "8 shards must scale: {} vs {}",
+            eight.point.throughput_qps,
+            one.point.throughput_qps
+        );
+    }
+
+    #[test]
+    fn identical_inputs_produce_identical_outcomes() {
+        let service: Vec<u64> = (0..50).map(|i| 500 + (i % 9) * 250).collect();
+        let cands = uniform_candidates(50, 4);
+        let a = cluster_closed_loop(&service, &cands, 1000, 4, 12, 2, 4, None);
+        let b = cluster_closed_loop(&service, &cands, 1000, 4, 12, 2, 4, None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn outages_cause_failovers_without_losing_accounting() {
+        let plan = FaultPlan::node_outages(17, 0.4);
+        let service = vec![1_000u64; 64];
+        let cands = uniform_candidates(64, 4);
+        let out = cluster_closed_loop(&service, &cands, 2048, 4, 16, 2, 8, Some((&plan, 10_000)));
+        assert!(out.point.failovers > 0, "0.4 outage rate must fail over");
+        assert_eq!(out.point.completed + out.point.shed, out.point.offered);
+    }
+}

@@ -38,6 +38,7 @@ pub mod homologous;
 pub mod incremental;
 pub mod loopctl;
 pub mod memo;
+pub mod merge;
 pub mod mlg;
 pub mod pipeline;
 pub mod qa;
@@ -49,6 +50,7 @@ pub use homologous::{HomologousGroup, HomologousSets};
 pub use incremental::IncrementalMlg;
 pub use loopctl::{grade_supported, LadderStep, LoopConfig};
 pub use memo::{profile_fingerprint, ConfidenceMemo, SlotVerdict};
+pub use merge::{reduce_shard_answers, MergedVerdict};
 pub use mlg::MultiSourceLineGraph;
-pub use pipeline::{AbstainReason, MccWorker, MklgpPipeline, PipelineAnswer};
+pub use pipeline::{kg_schema, AbstainReason, MccWorker, MklgpPipeline, PipelineAnswer};
 pub use qa::{MultiHopOutcome, MultiRagQa};

@@ -1,0 +1,246 @@
+//! Cross-shard merge tier: reduces per-shard MCC verdicts into one
+//! cluster answer.
+//!
+//! A sharded deployment fans a query out to the slot's owner and its
+//! replicas; each shard runs the same MCC pipeline and returns a
+//! [`PipelineAnswer`]. This module folds those verdicts back into one
+//! answer the router can return. Two properties carry the cluster's
+//! determinism story:
+//!
+//! 1. **Order invariance.** Verdicts are sorted by shard id before any
+//!    reduction, so the merged result is a pure function of the *set*
+//!    of `(shard, answer)` pairs — the arrival interleaving (which
+//!    replica responded first) can never leak into the output.
+//! 2. **Identity on agreement.** The merged answer is the winning
+//!    shard's answer *verbatim*, never a re-synthesis. When every
+//!    shard computed the same answer (the shared-snapshot design
+//!    guarantees this in healthy operation), the merge tier returns
+//!    exactly that answer — which is what makes 1-node == N-node
+//!    parity assertable byte-for-byte downstream.
+//!
+//! Cross-shard homologous matching happens on the `kept` claim sets:
+//! claims are keyed by `(source, triple, canonical value)` — the same
+//! identity the MLG's homologous grouping uses shard-locally — and
+//! counted across shards, so the router can see how much of the
+//! evidence set every replica independently reproduced.
+
+use crate::confidence::NodeConfidence;
+use crate::pipeline::PipelineAnswer;
+use std::collections::BTreeMap;
+
+/// The merge tier's reduction of one query's per-shard verdicts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedVerdict {
+    /// Shard whose answer was selected.
+    pub shard: u32,
+    /// The selected answer, verbatim (no re-synthesis).
+    pub answer: PipelineAnswer,
+    /// Distinct homologous claims across every shard's kept set, keyed
+    /// by `(source, triple, canonical value)`.
+    pub matched_claims: usize,
+    /// True when every non-abstaining shard produced the same emitted
+    /// value set (compared on canonical answer keys).
+    pub unanimous: bool,
+    /// How many shard verdicts were reduced.
+    pub shards: usize,
+}
+
+/// Key under which two shards' claims count as the same homologous
+/// claim: same source, same triple, same canonical value.
+fn claim_key(claim: &NodeConfidence) -> (u32, u32, String) {
+    (claim.source.0, claim.triple.0, claim.value.answer_key())
+}
+
+/// Canonical emitted-value fingerprint of an answer: sorted answer
+/// keys, so two shards agree iff they emit the same value set
+/// regardless of emission order.
+fn answer_fingerprint(answer: &PipelineAnswer) -> Vec<String> {
+    let mut keys: Vec<String> = answer.values.iter().map(|v| v.answer_key()).collect();
+    keys.sort();
+    keys
+}
+
+/// Reduces per-shard verdicts for one query in sorted-shard order.
+///
+/// Selection rule, applied after sorting by shard id:
+///
+/// - a non-abstaining shard always beats an abstaining one;
+/// - among non-abstaining shards, the highest graph confidence wins
+///   (`f64::total_cmp`, so the comparison itself is deterministic),
+///   ties going to the lowest shard id;
+/// - when every shard abstained, the lowest shard's abstention is
+///   returned so the caller still gets a structured verdict.
+///
+/// Returns `None` only for an empty input.
+pub fn reduce_shard_answers(verdicts: &[(u32, PipelineAnswer)]) -> Option<MergedVerdict> {
+    let mut ordered: Vec<&(u32, PipelineAnswer)> = verdicts.iter().collect();
+    ordered.sort_by_key(|(shard, _)| *shard);
+
+    // Cross-shard homologous matching over every shard's kept claims.
+    let mut matched: BTreeMap<(u32, u32, String), f64> = BTreeMap::new();
+    for (_, answer) in &ordered {
+        for claim in &answer.kept {
+            let entry = matched.entry(claim_key(claim)).or_insert(claim.confidence);
+            if claim.confidence > *entry {
+                *entry = claim.confidence;
+            }
+        }
+    }
+
+    let mut winner: Option<&(u32, PipelineAnswer)> = None;
+    for candidate in &ordered {
+        let better = match winner {
+            None => true,
+            Some((_, best)) => match (best.abstained, candidate.1.abstained) {
+                (true, false) => true,
+                (false, true) | (true, true) => false,
+                (false, false) => {
+                    let best_c = best.graph_confidence.map(|g| g.value).unwrap_or(0.0);
+                    let cand_c = candidate.1.graph_confidence.map(|g| g.value).unwrap_or(0.0);
+                    cand_c.total_cmp(&best_c) == std::cmp::Ordering::Greater
+                }
+            },
+        };
+        if better {
+            winner = Some(candidate);
+        }
+    }
+    let (shard, answer) = winner?;
+
+    let mut fingerprints = ordered
+        .iter()
+        .filter(|(_, a)| !a.abstained)
+        .map(|(_, a)| answer_fingerprint(a));
+    let unanimous = match fingerprints.next() {
+        Some(first) => fingerprints.all(|fp| fp == first),
+        // All shards abstained: vacuously unanimous.
+        None => true,
+    };
+
+    Some(MergedVerdict {
+        shard: *shard,
+        answer: answer.clone(),
+        matched_claims: matched.len(),
+        unanimous,
+        shards: ordered.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::AbstainReason;
+    use multirag_kg::{SourceId, TripleId, Value};
+
+    fn answered(confidence: f64, value: &str) -> PipelineAnswer {
+        PipelineAnswer {
+            values: vec![Value::Str(value.to_string())],
+            fusion_values: vec![Value::Str(value.to_string())],
+            abstained: false,
+            abstain_reason: None,
+            hallucinated: false,
+            graph_confidence: Some(crate::confidence::GraphConfidence {
+                value: confidence,
+                unordered_pairs: 1,
+                ordered_pairs: 2,
+            }),
+            kept: vec![NodeConfidence {
+                triple: TripleId(0),
+                value: Value::Str(value.to_string()),
+                source: SourceId(0),
+                consistency: 0.5,
+                auth_llm: 0.5,
+                auth_hist: 0.5,
+                authority: 0.5,
+                confidence,
+            }],
+            dropped: 0,
+            examined: 1,
+            quarantined_claims: 0,
+            escalation_attempts: 0,
+        }
+    }
+
+    fn abstained() -> PipelineAnswer {
+        PipelineAnswer {
+            values: Vec::new(),
+            fusion_values: Vec::new(),
+            abstained: true,
+            abstain_reason: Some(AbstainReason::AllSourcesDown),
+            hallucinated: false,
+            graph_confidence: None,
+            kept: Vec::new(),
+            dropped: 0,
+            examined: 0,
+            quarantined_claims: 0,
+            escalation_attempts: 0,
+        }
+    }
+
+    #[test]
+    fn empty_input_reduces_to_none() {
+        assert_eq!(reduce_shard_answers(&[]), None);
+    }
+
+    #[test]
+    fn single_verdict_is_identity() {
+        let a = answered(0.8, "x");
+        let merged = reduce_shard_answers(&[(3, a.clone())]).unwrap();
+        assert_eq!(merged.shard, 3);
+        assert_eq!(merged.answer, a);
+        assert_eq!(merged.matched_claims, 1);
+        assert!(merged.unanimous);
+    }
+
+    #[test]
+    fn reduction_is_order_invariant() {
+        let verdicts = vec![
+            (2, answered(0.4, "b")),
+            (0, answered(0.9, "a")),
+            (1, abstained()),
+        ];
+        let mut shuffled = verdicts.clone();
+        shuffled.rotate_left(2);
+        let a = reduce_shard_answers(&verdicts).unwrap();
+        let b = reduce_shard_answers(&shuffled).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.shard, 0);
+        assert!(!a.unanimous);
+    }
+
+    #[test]
+    fn answered_beats_abstained_and_ties_go_low() {
+        let merged = reduce_shard_answers(&[
+            (0, abstained()),
+            (2, answered(0.7, "x")),
+            (1, answered(0.7, "x")),
+        ])
+        .unwrap();
+        // Equal confidence: the lowest shard id wins.
+        assert_eq!(merged.shard, 1);
+        assert!(!merged.answer.abstained);
+        assert!(merged.unanimous);
+        assert_eq!(merged.shards, 3);
+    }
+
+    #[test]
+    fn all_abstained_returns_lowest_shard_verdict() {
+        let merged = reduce_shard_answers(&[(5, abstained()), (2, abstained())]).unwrap();
+        assert_eq!(merged.shard, 2);
+        assert!(merged.answer.abstained);
+        assert!(merged.unanimous);
+    }
+
+    #[test]
+    fn homologous_claims_dedupe_across_shards() {
+        // Identical answers on two shards: one distinct claim.
+        let merged =
+            reduce_shard_answers(&[(0, answered(0.8, "x")), (1, answered(0.8, "x"))]).unwrap();
+        assert_eq!(merged.matched_claims, 1);
+        // Different values: two distinct claims.
+        let merged =
+            reduce_shard_answers(&[(0, answered(0.8, "x")), (1, answered(0.6, "y"))]).unwrap();
+        assert_eq!(merged.matched_claims, 2);
+        assert!(!merged.unanimous);
+    }
+}

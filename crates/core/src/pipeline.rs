@@ -263,18 +263,53 @@ impl AnswerStats {
     }
 }
 
+/// Builds the extraction schema a pipeline (or a cluster router) uses
+/// for this graph: every relation plus every entity name, verbatim.
+/// Split out of [`MklgpPipeline::new`] so the sharded router can build
+/// the *same* schema — and therefore the same logic forms — without
+/// paying for a full pipeline.
+pub fn kg_schema(kg: &KnowledgeGraph) -> Schema {
+    let mut schema = Schema::new();
+    for r in 0..kg.relation_count() {
+        schema.add_relation(kg.relation_name(RelationId(r as u32)));
+    }
+    for e in kg.entity_ids() {
+        schema.add_entity_verbatim(kg.entity_name(e));
+    }
+    schema
+}
+
 impl<'g> MklgpPipeline<'g> {
     /// Builds the pipeline: schema from the graph's relations and
-    /// entities, the MLG (unless ablated), and a fresh history store.
+    /// entities, the MLG (unless ablated), and a fresh history store
+    /// seeded by MKA consensus feedback.
     pub fn new(kg: &'g KnowledgeGraph, config: MultiRagConfig, seed: u64) -> Self {
-        let mut schema = Schema::new();
-        for r in 0..kg.relation_count() {
-            schema.add_relation(kg.relation_name(RelationId(r as u32)));
-        }
-        for e in kg.entity_ids() {
-            schema.add_entity_verbatim(kg.entity_name(e));
-        }
-        let llm = MockLlm::new(schema, seed);
+        Self::build(kg, config, seed, None)
+    }
+
+    /// Builds the pipeline around an externally supplied history store,
+    /// skipping the MKA consensus-feedback rounds entirely. The serving
+    /// layer holds a frozen per-epoch credibility snapshot; rebuilding
+    /// consensus in [`MklgpPipeline::new`] only to discard it via
+    /// [`MklgpPipeline::with_history`] wastes the dominant share of
+    /// per-worker pipeline construction, which matters once a cluster
+    /// spins up one pipeline per (node, worker) pair.
+    pub fn new_with_history(
+        kg: &'g KnowledgeGraph,
+        config: MultiRagConfig,
+        seed: u64,
+        history: HistoryStore,
+    ) -> Self {
+        Self::build(kg, config, seed, Some(history))
+    }
+
+    fn build(
+        kg: &'g KnowledgeGraph,
+        config: MultiRagConfig,
+        seed: u64,
+        supplied_history: Option<HistoryStore>,
+    ) -> Self {
+        let llm = MockLlm::new(kg_schema(kg), seed);
         let mlg_started = Instant::now();
         let mlg = config.enable_mka.then(|| MultiSourceLineGraph::build(kg));
         let max_degree = kg
@@ -282,7 +317,9 @@ impl<'g> MklgpPipeline<'g> {
             .map(|e| kg.neighbors(e).len())
             .max()
             .unwrap_or(0);
-        let history = HistoryStore::new(config.history_pseudo, 0.5);
+        let seed_consensus = supplied_history.is_none();
+        let history =
+            supplied_history.unwrap_or_else(|| HistoryStore::new(config.history_pseudo, 0.5));
         // MKA consistency feedback: the homologous line graph makes
         // cross-source agreement a local property (§III-C: "enabling
         // rapid consistency checks and conflict feedback for homologous
@@ -290,8 +327,9 @@ impl<'g> MklgpPipeline<'g> {
         // aggregated groups estimate each source's historical
         // credibility — the `Pr^h(D)` that `Auth_hist` (Eq. 11) blends
         // in. Without MKA this signal does not exist (part of the
-        // w/o-MKA F1 drop in Table III).
-        if let Some(mlg) = &mlg {
+        // w/o-MKA F1 drop in Table III). A caller-supplied history is
+        // already settled, so the rounds are skipped outright.
+        if let Some(mlg) = mlg.as_ref().filter(|_| seed_consensus) {
             let groups: Vec<Vec<(SourceId, String)>> = mlg
                 .sets()
                 .groups

@@ -19,6 +19,8 @@ pub enum FaultKind {
     /// A support-grader call fails, degrading the answer loop to its
     /// single-pass verdict.
     GraderFailure,
+    /// A whole serving node is unreachable for one outage window.
+    NodeOutage,
 }
 
 /// Outcome of probing the plan at one injection point.
@@ -69,6 +71,10 @@ pub struct FaultPlan {
     /// family from generation so chaos sweeps can kill graders without
     /// touching generators, and vice versa).
     pub grader_failure_rate: f64,
+    /// Probability that a given serving node is down for a given
+    /// outage window (`(node, window)` pairs re-roll independently, so
+    /// outages are transient, not permanent).
+    pub node_outage_rate: f64,
 }
 
 impl FaultPlan {
@@ -82,6 +88,7 @@ impl FaultPlan {
             llm_failure_rate: 0.0,
             llm_latency_spike_rate: 0.0,
             grader_failure_rate: 0.0,
+            node_outage_rate: 0.0,
         }
     }
 
@@ -98,6 +105,7 @@ impl FaultPlan {
             llm_failure_rate: rate,
             llm_latency_spike_rate: (2.0 * rate).min(1.0),
             grader_failure_rate: rate,
+            node_outage_rate: rate,
         }
     }
 
@@ -118,6 +126,19 @@ impl FaultPlan {
             llm_failure_rate: rate,
             llm_latency_spike_rate: (2.0 * rate).min(1.0),
             grader_failure_rate: 0.0,
+            node_outage_rate: 0.0,
+        }
+    }
+
+    /// A cluster-only plan: serving nodes drop out for whole outage
+    /// windows while every record-, source-, and LLM-level channel
+    /// stays healthy. This is the failover leg for sharded serving —
+    /// the knowledge base and the model are fine, but the node owning
+    /// a slot may be gone and the router must take a replica instead.
+    pub fn node_outages(seed: u64, rate: f64) -> Self {
+        Self {
+            node_outage_rate: rate.clamp(0.0, 1.0),
+            ..Self::healthy(seed)
         }
     }
 
@@ -129,6 +150,7 @@ impl FaultPlan {
             && self.llm_failure_rate <= 0.0
             && self.llm_latency_spike_rate <= 0.0
             && self.grader_failure_rate <= 0.0
+            && self.node_outage_rate <= 0.0
     }
 
     /// Is `source` down for this entire run?
@@ -188,6 +210,19 @@ impl FaultPlan {
             return FaultDecision::Inject(FaultKind::GraderFailure);
         }
         FaultDecision::Healthy
+    }
+
+    /// Is serving node `node` down for outage window `window`? Each
+    /// `(node, window)` pair rolls independently, so a node that is
+    /// down in one window can be back in the next — outages are
+    /// transient windows, not run-long deaths like
+    /// [`FaultPlan::source_down`].
+    pub fn node_outage(&self, node: u32, window: u64) -> bool {
+        bernoulli(
+            self.seed,
+            &format!("node:{node}:w{window}"),
+            self.node_outage_rate,
+        )
     }
 
     /// Latency multiplier for a spiking call, in `[4, 16)`. Keyed like
@@ -339,6 +374,46 @@ mod tests {
             .count();
         assert!(fails > 100, "brownout must degrade LLM calls: {fails}");
         assert_eq!(plan, FaultPlan::brownout(31, 0.3));
+    }
+
+    #[test]
+    fn node_outages_are_windowed_and_replayable() {
+        let plan = FaultPlan::node_outages(41, 0.3);
+        assert!(!plan.is_healthy());
+        // Every other channel stays quiet.
+        for i in 0..100 {
+            let src = format!("s{i}");
+            assert!(!plan.source_down(&src));
+            assert_eq!(plan.llm_call(&src, 0), FaultDecision::Healthy);
+        }
+        // Outages fire roughly at the configured rate and replay.
+        let again = FaultPlan::node_outages(41, 0.3);
+        let mut fired = 0usize;
+        for node in 0..8u32 {
+            for window in 0..500u64 {
+                let down = plan.node_outage(node, window);
+                assert_eq!(down, again.node_outage(node, window));
+                fired += usize::from(down);
+            }
+        }
+        let total = 8 * 500;
+        assert!(
+            (total * 2 / 10..total * 4 / 10).contains(&fired),
+            "fired={fired}"
+        );
+        // A node that is down in some window recovers in another.
+        let recovers = (0..200u64).any(|w| plan.node_outage(0, w) && !plan.node_outage(0, w + 1));
+        assert!(recovers);
+    }
+
+    #[test]
+    fn healthy_plan_never_drops_nodes() {
+        let plan = FaultPlan::healthy(7);
+        for node in 0..16u32 {
+            for window in 0..64u64 {
+                assert!(!plan.node_outage(node, window));
+            }
+        }
     }
 
     #[test]

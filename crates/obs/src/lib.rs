@@ -31,7 +31,9 @@ pub mod observer;
 pub mod slo;
 pub mod trace;
 
-pub use metrics::{labeled, window_series, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{
+    labeled, shard_series, window_series, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+};
 pub use observer::{ObsHandle, Observer, StageProfile};
 pub use slo::{
     Attribution, AttributionRow, Completion, Exemplar, LatencyParts, LogHistogram, SloEngine,

@@ -50,6 +50,16 @@ pub fn window_series(name: &str, window: u64) -> String {
     format!("{name}_window{{window=\"{window:06}\"}}")
 }
 
+/// Builds the key for a per-shard series: `name` with a zero-padded
+/// `shard` label, e.g. `cluster_shard_queries_total{shard="003"}`.
+///
+/// Same trick as [`window_series`]: three-digit padding keeps the
+/// lexicographic snapshot order equal to the numeric shard order, so a
+/// fleet's series render shard 0 → shard N in both expositions.
+pub fn shard_series(name: &str, shard: u64) -> String {
+    format!("{name}{{shard=\"{shard:03}\"}}")
+}
+
 /// Fixed-bucket histogram state.
 #[derive(Debug, Clone, PartialEq)]
 struct Histogram {
@@ -457,6 +467,27 @@ mod tests {
         // Lexicographic snapshot order == numeric window order.
         assert_eq!(snap.counters[0].0, "slo_shed_window{window=\"000002\"}");
         assert_eq!(snap.counters[1].0, "slo_shed_window{window=\"000010\"}");
+    }
+
+    #[test]
+    fn shard_series_zero_pads_for_shard_order() {
+        assert_eq!(
+            shard_series("cluster_shard_queries_total", 3),
+            "cluster_shard_queries_total{shard=\"003\"}"
+        );
+        let reg = MetricsRegistry::new();
+        reg.inc(&shard_series("cluster_shard_queries_total", 10), 1);
+        reg.inc(&shard_series("cluster_shard_queries_total", 2), 1);
+        let snap = reg.snapshot();
+        // Lexicographic snapshot order == numeric shard order.
+        assert_eq!(
+            snap.counters[0].0,
+            "cluster_shard_queries_total{shard=\"002\"}"
+        );
+        assert_eq!(
+            snap.counters[1].0,
+            "cluster_shard_queries_total{shard=\"010\"}"
+        );
     }
 
     #[test]

@@ -220,12 +220,30 @@ fn serve_with_admission_gated(
     gate: Option<&AtomicBool>,
 ) -> Vec<ServeResponse> {
     let n = requests.len();
+    // Identity of every request, kept outside the scope so any slot a
+    // worker failed to fill (a poisoned cell, a dead scope) degrades to
+    // a shed verdict for *that* request instead of a panic.
+    let meta: Vec<(u32, RequestKind)> = requests.iter().map(|r| (r.seq, r.kind)).collect();
+    let shed = |(seq, kind): (u32, RequestKind)| ServeResponse {
+        seq,
+        kind,
+        verdict: ServeVerdict::Overloaded,
+        result_cache_hit: false,
+        service_ms: 0.0,
+    };
     let (tx, rx) = sync_channel::<(usize, ServeRequest)>(config.queue_depth.max(1));
     let rx = Mutex::new(rx);
     let mut results: Vec<Option<ServeResponse>> = (0..n).map(|_| None).collect();
     let out = Mutex::new(&mut results);
-    crossbeam::scope(|scope| {
-        let (rx, out) = (&rx, &out);
+    let store = |idx: usize, response: ServeResponse| {
+        if let Some(slot) = out.lock().get_mut(idx) {
+            *slot = Some(response);
+        }
+    };
+    // A worker dying mid-epoch aborts the scope; its unfilled slots
+    // degrade to shed verdicts below rather than poisoning the batch.
+    let _ = crossbeam::scope(|scope| {
+        let (rx, store) = (&rx, &store);
         for _ in 0..config.workers.max(1) {
             scope.spawn(move |_| {
                 let mut pipeline = snapshot_pipeline(snapshot, caches, config);
@@ -240,24 +258,20 @@ fn serve_with_admission_gated(
                         break;
                     };
                     let response = serve_one(&mut pipeline, caches, &request);
-                    out.lock()[idx] = Some(response);
+                    store(idx, response);
                 }
             });
         }
         for (idx, request) in requests.into_iter().enumerate() {
             match tx.try_send((idx, request)) {
                 Ok(()) => {}
-                Err(TrySendError::Full((idx, request))) => {
-                    out.lock()[idx] = Some(ServeResponse {
-                        seq: request.seq,
-                        kind: request.kind,
-                        verdict: ServeVerdict::Overloaded,
-                        result_cache_hit: false,
-                        service_ms: 0.0,
-                    });
-                }
-                Err(TrySendError::Disconnected(_)) => {
-                    unreachable!("workers hold the receiver until the sender closes")
+                Err(TrySendError::Full((idx, request)))
+                | Err(TrySendError::Disconnected((idx, request))) => {
+                    // Full: the admission queue shed the request.
+                    // Disconnected: every worker is gone (cannot happen
+                    // while they hold the receiver, but degrading to a
+                    // shed is strictly better than crashing serving).
+                    store(idx, shed((request.seq, request.kind)));
                 }
             }
         }
@@ -265,11 +279,11 @@ fn serve_with_admission_gated(
         if let Some(gate) = gate {
             gate.store(false, Ordering::SeqCst);
         }
-    })
-    .expect("admission worker died outside the cell boundary");
+    });
     results
         .into_iter()
-        .map(|slot| slot.expect("every request resolved"))
+        .zip(meta)
+        .map(|(slot, ids)| slot.unwrap_or_else(|| shed(ids)))
         .collect()
 }
 

@@ -73,9 +73,13 @@ pub struct EpochSnapshot {
 impl EpochSnapshot {
     /// Builds a pipeline bound to this snapshot, with the epoch's
     /// frozen credibility store installed. Callers layer caches, fault
-    /// plans and retry policies on top.
+    /// plans and retry policies on top. Uses
+    /// [`MklgpPipeline::new_with_history`] so the MKA consensus rounds
+    /// — whose output the frozen store would replace anyway — are never
+    /// computed; a cluster spinning up one pipeline per (node, worker)
+    /// pair pays only for line-graph construction.
     pub fn pipeline(&self) -> MklgpPipeline<'_> {
-        MklgpPipeline::new(&self.graph, self.config, self.seed).with_history(self.history.clone())
+        MklgpPipeline::new_with_history(&self.graph, self.config, self.seed, self.history.clone())
     }
 }
 

@@ -83,10 +83,17 @@ pub fn build_workload(queries: &[Query], total: usize, seed: u64) -> Vec<ServeRe
             kind: RequestKind::Fresh,
         });
     }
+    // An empty query list has nothing to repeat: the stream is simply
+    // empty rather than a panic (`pick` below would have no draw space).
+    if queries.is_empty() {
+        return stream;
+    }
     for seq in stream.len()..total {
-        let pick = determinism::pick(seed, &format!("workload-pick-{seq}"), queries.len())
-            .expect("build_workload needs a non-empty query list");
-        let base = &queries[pick];
+        let Some(base) = determinism::pick(seed, &format!("workload-pick-{seq}"), queries.len())
+            .and_then(|pick| queries.get(pick))
+        else {
+            break;
+        };
         let (query, kind) = if determinism::bernoulli(seed, &format!("workload-repeat-{seq}"), 0.5)
         {
             (base.clone(), RequestKind::Repeat)
