@@ -28,7 +28,8 @@
 //! ```
 
 use multirag_bench::check_schema;
-use multirag_lint::{lint_json, lint_source, lint_workspace, AllowList, RULES};
+use multirag_lint::walk::{classify, SourceEntry};
+use multirag_lint::{analyze_sources, analyze_workspace, lint_json, lint_source, AllowList, RULES};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -72,7 +73,34 @@ const SELF_TESTS: &[(&str, &str, &str, &str)] = &[
         "fn f() -> Config { Config { graph_threshold: 0.5 } }",
         "fn f(t: f64) -> Config { Config { graph_threshold: t } }",
     ),
+    (
+        "C01",
+        "crates/x/src/lib.rs",
+        "fn f() { let (tx, rx) = std::sync::mpsc::channel(); }",
+        "fn f() { let (tx, rx) = std::sync::mpsc::sync_channel(4); }",
+    ),
 ];
+
+/// Interprocedural T01 self-test snippets: each is a whole one-file
+/// "workspace" driven through the call-graph + taint pass.
+const TAINT_SELF_TESTS: &[(&str, &str, &str)] = &[(
+    "T01",
+    // Positive: hash iteration flows unsanitized into an artifact.
+    "fn main() {\n\
+       let m: HashMap<u8, u8> = HashMap::new();\n\
+       let mut rows = Vec::new();\n\
+       for v in m.values() { rows.push(*v); }\n\
+       std::fs::write(\"results/x.json\", format!(\"{rows:?}\")).ok();\n\
+     }",
+    // Negative: the sort between source and sink sanitizes.
+    "fn main() {\n\
+       let m: HashMap<u8, u8> = HashMap::new();\n\
+       let mut rows = Vec::new();\n\
+       for v in m.values() { rows.push(*v); }\n\
+       rows.sort();\n\
+       std::fs::write(\"results/x.json\", format!(\"{rows:?}\")).ok();\n\
+     }",
+)];
 
 /// Proves every rule still fires on code it must catch and stays
 /// silent on clean code. Returns the failure messages (empty = pass).
@@ -96,6 +124,33 @@ fn rule_self_test() -> Vec<String> {
             ));
         }
     }
+    for (rule, positive, negative) in TAINT_SELF_TESTS {
+        let hits = |src: &str| {
+            let rel = "crates/bench/src/bin/repro_selftest.rs";
+            let sources = vec![(
+                SourceEntry {
+                    kind: classify(rel),
+                    rel: rel.to_string(),
+                },
+                src.to_string(),
+            )];
+            analyze_sources(&sources)
+                .findings
+                .iter()
+                .filter(|f| f.rule == *rule)
+                .count()
+        };
+        if hits(positive) == 0 {
+            failures.push(format!(
+                "{rule}: taint pass went blind — the positive snippet no longer produces a chain"
+            ));
+        }
+        if hits(negative) != 0 {
+            failures.push(format!(
+                "{rule}: taint pass over-fires — the sanitized snippet produces a chain"
+            ));
+        }
+    }
     failures
 }
 
@@ -108,7 +163,7 @@ fn main() -> ExitCode {
     if self_test_failures.is_empty() {
         println!(
             "self-test: {} rules × (positive fires, negative silent) — ok",
-            SELF_TESTS.len()
+            SELF_TESTS.len() + TAINT_SELF_TESTS.len()
         );
     } else {
         for failure in &self_test_failures {
@@ -118,7 +173,12 @@ fn main() -> ExitCode {
     }
 
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let (files_scanned, findings) = lint_workspace(&root);
+    let analysis = analyze_workspace(&root);
+    let (files_scanned, findings) = (analysis.files_scanned, &analysis.findings);
+    println!(
+        "call graph: {} node(s), {} edge(s) across the workspace",
+        analysis.graph_nodes, analysis.graph_edges
+    );
 
     let allow_path = root.join("lint_allow.toml");
     let allow = match std::fs::read_to_string(&allow_path) {
@@ -138,7 +198,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let recon = allow.reconcile(&findings);
+    let recon = allow.reconcile(findings);
 
     println!(
         "scanned {files_scanned} files: {} finding(s), {} exempted",
@@ -172,7 +232,34 @@ fn main() -> ExitCode {
         );
     }
 
-    let json = lint_json(files_scanned, &recon.kept, &recon);
+    // Every discovered source→sink chain goes into the artifact; the
+    // exempt flag marks chains whose source file is `[exempt.T01]`
+    // (justified wall-clock measurement plumbing). Non-exempt chains
+    // are hard failures below — T01 is burned down, never budgeted.
+    let taint_paths: Vec<_> = analysis
+        .taint_paths
+        .iter()
+        .map(|p| (p.clone(), allow.is_exempt("T01", &p.source_file)))
+        .collect();
+    for (path, exempt) in &taint_paths {
+        let status = if *exempt { "exempt" } else { "UNSANITIZED" };
+        println!(
+            "taint [{status}] {} {}:{} -> {} via {}",
+            path.kind,
+            path.source_file,
+            path.source_line,
+            path.sink,
+            path.chain.join(" -> ")
+        );
+    }
+    let unsanitized = taint_paths.iter().filter(|(_, exempt)| !exempt).count();
+    println!(
+        "taint paths: {} total, {unsanitized} unsanitized",
+        taint_paths.len()
+    );
+
+    let json = lint_json(files_scanned, &recon.kept, &recon,
+        (analysis.graph_nodes, analysis.graph_edges), &taint_paths);
     let out_dir = Path::new("results");
     if let Err(err) = std::fs::create_dir_all(out_dir)
         .and_then(|()| std::fs::write(out_dir.join("lint.json"), &json))
@@ -199,7 +286,10 @@ fn main() -> ExitCode {
             println!("stale (warn): {stale}");
         }
     }
-    if !recon.violations.is_empty() || (strict && !recon.stale.is_empty()) {
+    if unsanitized != 0 {
+        println!("T01: {unsanitized} unsanitized taint path(s) — fix the source or justify an [exempt.T01] entry; T01 is never budgeted");
+    }
+    if !recon.violations.is_empty() || unsanitized != 0 || (strict && !recon.stale.is_empty()) {
         println!("lint gate: FAILED");
         return ExitCode::FAILURE;
     }

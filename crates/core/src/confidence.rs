@@ -764,16 +764,16 @@ pub struct MccOutcome {
 /// elapsed time feeds only the *measured* `wall_s` half of
 /// [`multirag_obs::StageCost`]; every byte-stable artifact consumes
 /// `sim_ms` instead.
-struct StageClock(std::time::Instant);
+struct StageClock(multirag_obs::WallTimer);
 
 impl StageClock {
     fn start() -> StageClock {
-        StageClock(std::time::Instant::now())
+        StageClock(multirag_obs::WallTimer::start())
     }
 
     fn cost(&self, sim_ms: f64) -> multirag_obs::StageCost {
         multirag_obs::StageCost {
-            wall_s: self.0.elapsed().as_secs_f64(),
+            wall_s: self.0.elapsed_s(),
             sim_ms,
         }
     }

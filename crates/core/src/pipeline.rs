@@ -35,7 +35,7 @@ use multirag_obs::{
     SubgraphDecision, TraceEvent,
 };
 use std::sync::Arc;
-use std::time::Instant;
+use multirag_obs::WallTimer;
 
 /// Why the pipeline declined to answer — degraded modes surface a
 /// structured verdict instead of a silent empty answer, so the chaos
@@ -247,7 +247,7 @@ impl AnswerStats {
     fn span(
         &mut self,
         stage: Stage,
-        started: Instant,
+        started: WallTimer,
         sim_before: f64,
         sim_now: f64,
         input: usize,
@@ -255,7 +255,7 @@ impl AnswerStats {
     ) {
         self.spans.push(StageSpan {
             stage,
-            wall_s: started.elapsed().as_secs_f64(),
+            wall_s: started.elapsed_s(),
             sim_ms: sim_now - sim_before,
             input,
             output,
@@ -310,7 +310,7 @@ impl<'g> MklgpPipeline<'g> {
         supplied_history: Option<HistoryStore>,
     ) -> Self {
         let llm = MockLlm::new(kg_schema(kg), seed);
-        let mlg_started = Instant::now();
+        let mlg_started = WallTimer::start();
         let mlg = config.enable_mka.then(|| MultiSourceLineGraph::build(kg));
         let max_degree = kg
             .entity_ids()
@@ -403,7 +403,7 @@ impl<'g> MklgpPipeline<'g> {
         // consistency-feedback rounds above — the full cost of having
         // aggregation (zero in the w/o-MKA ablation).
         let mlg_cost = StageCost {
-            wall_s: mlg_started.elapsed().as_secs_f64(),
+            wall_s: mlg_started.elapsed_s(),
             sim_ms: 0.0,
         };
         let mlg_groups = mlg
@@ -670,7 +670,7 @@ impl<'g> MklgpPipeline<'g> {
 
     /// Algorithm 2's body, recording raw observations into `stats`.
     fn answer_with_stats(&mut self, query: &Query, stats: &mut AnswerStats) -> PipelineAnswer {
-        let extract_started = Instant::now();
+        let extract_started = WallTimer::start();
         let sim_at_start = self.llm.usage().simulated_ms;
         // Step 1: logic-form generation. A failed call (fault plan +
         // exhausted retries) degrades to the slot the benchmark query
@@ -893,7 +893,7 @@ impl<'g> MklgpPipeline<'g> {
         } else {
             // Isolated slot: a single claim, assessed leniently (no
             // peers to contradict it).
-            let node_started = Instant::now();
+            let node_started = WallTimer::start();
             let sim_before = self.llm.usage().simulated_ms;
             let kept: Vec<NodeConfidence> = sets
                 .isolated
@@ -932,7 +932,7 @@ impl<'g> MklgpPipeline<'g> {
         };
 
         // Step 4: trustworthy answer generation.
-        let gen_started = Instant::now();
+        let gen_started = WallTimer::start();
         let sim_before_gen = self.llm.usage().simulated_ms;
         let context_claims = kept.len() + noise_triples.len();
         let (faithful, distractors, profile, context_tokens) =

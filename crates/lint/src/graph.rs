@@ -1,0 +1,538 @@
+//! The deterministic workspace call graph.
+//!
+//! Nodes are fully-qualified function ids
+//! (`multirag_core::pipeline::MklgpPipeline::answer`), sorted; edges
+//! are `(caller, callee)` index pairs, sorted and deduplicated — two
+//! builds over the same sources are structurally identical, which the
+//! determinism test renders to bytes and compares.
+//!
+//! Edge construction resolves each call site in this order:
+//!
+//! 1. **absolute path** — the `use`-normalized path matches a node id
+//!    exactly;
+//! 2. **crate-qualified suffix** — the path names a workspace crate
+//!    root and the final segment names exactly the functions with that
+//!    name in that crate (covers re-exports like
+//!    `multirag_eval::parallel_map`);
+//! 3. **bare name** — a same-module function, else a same-file
+//!    function, else a workspace-unique free function of that name;
+//! 4. **method name** — every `impl` method of that name in the
+//!    workspace, provided the name is not on the std-collision deny
+//!    list and the candidate set is small.
+//!
+//! Rules 2–4 over-approximate (trait dispatch, same-named methods) and
+//! under-approximate (function pointers, macro bodies); both sides of
+//! that imprecision are deliberate and documented in DESIGN.md §5.14.
+
+use crate::items::{self, FnItem};
+use crate::lexer::{self, Token};
+use crate::resolve::{self, Callee, Imports};
+use crate::scope;
+use crate::walk::{FileKind, SourceEntry};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Method names too common in std/collection code to resolve by name
+/// alone — a `.len()` call must never bind to some workspace type's
+/// `len` and drag taint across an edge that does not exist.
+const METHOD_DENY: &[&str] = &[
+    "new", "default", "clone", "cmp", "eq", "fmt", "hash", "from", "into", "len", "is_empty",
+    "get", "get_mut", "insert", "remove", "push", "pop", "iter", "iter_mut", "into_iter", "next",
+    "contains", "contains_key", "extend", "clear", "entry", "keys", "values", "drain", "as_str",
+    "as_ref", "as_mut", "to_string", "map", "filter", "fold", "sum", "count", "min", "max",
+    "take", "skip", "find", "position", "any", "all", "collect", "sort", "sort_unstable", "join",
+    "split", "write", "read", "lock", "send", "recv", "abs", "clamp", "floor", "ceil", "round",
+];
+
+/// Ambiguity cap for method-name resolution: if more than this many
+/// impls share a method name, the edge is dropped rather than sprayed.
+const METHOD_FANOUT_CAP: usize = 4;
+
+/// One function node in the workspace call graph.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Fully-qualified id.
+    pub id: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based declaration line.
+    pub line: u32,
+    /// Index into the analysis' file table.
+    pub file_idx: usize,
+    /// Inclusive token range of the body (declaration token → closing
+    /// brace), or the declaration token alone for braceless items.
+    pub span: (usize, usize),
+    /// Whether the function is test-only code.
+    pub is_test: bool,
+    /// Library / bin classification of the containing file.
+    pub kind: FileKind,
+}
+
+/// One lexed workspace file plus everything resolution derived from it.
+#[derive(Debug)]
+pub struct FileAnalysis {
+    /// Workspace-relative path.
+    pub rel: String,
+    /// Library / bin classification.
+    pub kind: FileKind,
+    /// Lexed token stream.
+    pub tokens: Vec<Token>,
+    /// Test-region token ranges.
+    pub test_ranges: Vec<(usize, usize)>,
+    /// Canonical module path.
+    pub module: Vec<String>,
+    /// Parsed `use` table.
+    pub imports: Imports,
+    /// Extracted function items.
+    pub items: Vec<FnItem>,
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Nodes sorted by id.
+    pub nodes: Vec<FnNode>,
+    /// `(caller, callee)` node-index pairs, sorted, deduplicated.
+    pub edges: Vec<(usize, usize)>,
+    /// Per-caller call events `(token_idx, callee)`, sorted by token
+    /// index — the taint propagator's within-body ordering.
+    pub calls: Vec<Vec<(usize, usize)>>,
+}
+
+impl CallGraph {
+    /// Renders the edge list as stable text (`caller -> callee` per
+    /// line) — the byte-comparison surface for determinism tests.
+    pub fn edges_text(&self) -> String {
+        let mut out = String::new();
+        for &(caller, callee) in &self.edges {
+            let from = self.nodes.get(caller).map(|n| n.id.as_str()).unwrap_or("?");
+            let to = self.nodes.get(callee).map(|n| n.id.as_str()).unwrap_or("?");
+            out.push_str(from);
+            out.push_str(" -> ");
+            out.push_str(to);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Lexes and analyzes every file, then builds the call graph.
+pub fn build(sources: &[(SourceEntry, String)]) -> (Vec<FileAnalysis>, CallGraph) {
+    let files: Vec<FileAnalysis> = sources
+        .iter()
+        .map(|(entry, contents)| {
+            let tokens = lexer::lex(contents);
+            let test_ranges = scope::test_ranges(&tokens);
+            let module = resolve::file_module(&entry.rel);
+            let imports = resolve::imports(&tokens, &module);
+            let items = items::extract(&tokens, &test_ranges);
+            FileAnalysis {
+                rel: entry.rel.clone(),
+                kind: entry.kind,
+                tokens,
+                test_ranges,
+                module,
+                imports,
+                items,
+            }
+        })
+        .collect();
+
+    // Node table, sorted by id for determinism.
+    let mut nodes: Vec<FnNode> = Vec::new();
+    for (file_idx, file) in files.iter().enumerate() {
+        for item in &file.items {
+            let mut segs: Vec<String> = file.module.clone();
+            segs.extend(item.modules.iter().cloned());
+            if let Some(owner) = &item.owner {
+                segs.push(owner.clone());
+            }
+            segs.push(item.name.clone());
+            let span = match item.body {
+                Some((_, close)) => (item.decl, close),
+                None => (item.decl, item.decl),
+            };
+            nodes.push(FnNode {
+                id: segs.join("::"),
+                file: file.rel.clone(),
+                line: item.line,
+                file_idx,
+                span,
+                is_test: item.is_test,
+                kind: file.kind,
+            });
+        }
+    }
+    nodes.sort_by(|a, b| (&a.id, &a.file, a.line).cmp(&(&b.id, &b.file, b.line)));
+
+    // Lookup tables.
+    let mut by_id: BTreeMap<&str, usize> = BTreeMap::new();
+    // crate root → fn name → node indexes.
+    let mut by_crate_name: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    // free-function name → node indexes (no owner).
+    let mut free_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    // method name → node indexes (owner present).
+    let mut methods_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (idx, node) in nodes.iter().enumerate() {
+        by_id.entry(&node.id).or_insert(idx);
+        let krate = node.id.split("::").next().unwrap_or("");
+        let name = node.id.rsplit("::").next().unwrap_or("");
+        by_crate_name.entry((krate, name)).or_default().push(idx);
+        let file = files.get(node.file_idx);
+        let is_method = file
+            .and_then(|f| {
+                f.items
+                    .iter()
+                    .find(|i| i.decl == node.span.0)
+                    .map(|i| i.owner.is_some())
+            })
+            .unwrap_or(false);
+        if is_method {
+            methods_by_name.entry(name).or_default().push(idx);
+        } else {
+            free_by_name.entry(name).or_default().push(idx);
+        }
+    }
+
+    // Edge construction.
+    let mut edge_set: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut calls: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nodes.len()];
+    for (caller_idx, node) in nodes.iter().enumerate() {
+        let Some(file) = files.get(node.file_idx) else {
+            continue;
+        };
+        let Some(item) = file.items.iter().find(|i| i.decl == node.span.0) else {
+            continue;
+        };
+        let Some(body) = item.body else {
+            continue;
+        };
+        for site in resolve::call_sites(&file.tokens, body) {
+            let targets = resolve_callee(
+                &site.callee,
+                file,
+                item,
+                &by_id,
+                &by_crate_name,
+                &free_by_name,
+                &methods_by_name,
+                &nodes,
+            );
+            for target in targets {
+                if target == caller_idx {
+                    continue; // self-recursion adds nothing to taint
+                }
+                edge_set.insert((caller_idx, target));
+                if let Some(list) = calls.get_mut(caller_idx) {
+                    list.push((site.at, target));
+                }
+            }
+        }
+    }
+    for list in &mut calls {
+        list.sort_unstable();
+        list.dedup();
+    }
+
+    let graph = CallGraph {
+        edges: edge_set.into_iter().collect(),
+        nodes,
+        calls,
+    };
+    (files, graph)
+}
+
+/// Resolves one call site to zero or more node indexes.
+#[allow(clippy::too_many_arguments)]
+fn resolve_callee(
+    callee: &Callee,
+    file: &FileAnalysis,
+    item: &FnItem,
+    by_id: &BTreeMap<&str, usize>,
+    by_crate_name: &BTreeMap<(&str, &str), Vec<usize>>,
+    free_by_name: &BTreeMap<&str, Vec<usize>>,
+    methods_by_name: &BTreeMap<&str, Vec<usize>>,
+    nodes: &[FnNode],
+) -> Vec<usize> {
+    match callee {
+        Callee::Method(name) => {
+            if METHOD_DENY.contains(&name.as_str()) {
+                return Vec::new();
+            }
+            let candidates = methods_by_name
+                .get(name.as_str())
+                .cloned()
+                .unwrap_or_default();
+            if candidates.is_empty() || candidates.len() > METHOD_FANOUT_CAP {
+                return Vec::new();
+            }
+            candidates
+        }
+        Callee::Path(segs) => {
+            let Some(last) = segs.last() else {
+                return Vec::new();
+            };
+            if segs.len() == 1 {
+                return resolve_bare(last, file, item, free_by_name, nodes);
+            }
+            // Normalize the prefix through the import table: a first
+            // segment bound by `use` expands to its absolute path.
+            let mut abs: Vec<String> = match segs.first().and_then(|s| file.imports.map.get(s)) {
+                Some(prefix) => {
+                    let mut v = prefix.clone();
+                    v.extend(segs.iter().skip(1).cloned());
+                    v
+                }
+                None => resolve::absolutize(segs, &file.module),
+            };
+            // `Type::method` with a local/imported type: try the
+            // enclosing module's qualification too.
+            let joined = abs.join("::");
+            if let Some(&idx) = by_id.get(joined.as_str()) {
+                return vec![idx];
+            }
+            let mut local = file.module.clone();
+            local.extend(abs.iter().cloned());
+            if let Some(&idx) = by_id.get(local.join("::").as_str()) {
+                return vec![idx];
+            }
+            // Crate-qualified suffix match (re-exports).
+            if let Some(krate) = abs.first().cloned() {
+                if krate.starts_with("multirag") || krate.starts_with("bin$") {
+                    if let Some(found) = by_crate_name.get(&(krate.as_str(), last.as_str())) {
+                        return found.clone();
+                    }
+                }
+            }
+            // `Type::assoc(…)` where `Type` is defined in this file or
+            // imported: match methods of that owner name anywhere.
+            if abs.len() >= 2 {
+                let owner = abs.remove(abs.len() - 2);
+                let matches: Vec<usize> = methods_by_name
+                    .get(last.as_str())
+                    .map(|cands| {
+                        cands
+                            .iter()
+                            .copied()
+                            .filter(|&i| {
+                                nodes.get(i).is_some_and(|n| {
+                                    let segs: Vec<&str> = n.id.split("::").collect();
+                                    segs.len() >= 2
+                                        && segs.get(segs.len() - 2).copied()
+                                            == Some(owner.as_str())
+                                })
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                if !matches.is_empty() {
+                    return matches;
+                }
+            }
+            Vec::new()
+        }
+    }
+}
+
+/// Resolves a bare (one-segment) call: same module, then same file,
+/// then `use`-imported, then workspace-unique free function.
+fn resolve_bare(
+    name: &str,
+    file: &FileAnalysis,
+    item: &FnItem,
+    free_by_name: &BTreeMap<&str, Vec<usize>>,
+    nodes: &[FnNode],
+) -> Vec<usize> {
+    let candidates = free_by_name.get(name).cloned().unwrap_or_default();
+    // Same file, same in-file module path first.
+    let same_module: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .filter(|&i| {
+            nodes.get(i).is_some_and(|n| {
+                n.file == file.rel
+                    && file
+                        .items
+                        .iter()
+                        .find(|it| it.decl == n.span.0)
+                        .is_some_and(|it| it.modules == item.modules)
+            })
+        })
+        .collect();
+    if !same_module.is_empty() {
+        return same_module;
+    }
+    let same_file: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .filter(|&i| nodes.get(i).is_some_and(|n| n.file == file.rel))
+        .collect();
+    if !same_file.is_empty() {
+        return same_file;
+    }
+    if let Some(path) = file.imports.map.get(name) {
+        let joined = path.join("::");
+        let imported: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&i| nodes.get(i).is_some_and(|n| n.id == joined))
+            .collect();
+        if !imported.is_empty() {
+            return imported;
+        }
+        // Re-export: `use multirag_eval::parallel_map` binds a fn whose
+        // true module is `multirag_eval::parallel::parallel_map`.
+        if let (Some(krate), Some(last)) = (path.first(), path.last()) {
+            let crate_matches: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    nodes.get(i).is_some_and(|n| {
+                        n.id.split("::").next() == Some(krate.as_str())
+                            && n.id.rsplit("::").next() == Some(last.as_str())
+                    })
+                })
+                .collect();
+            if !crate_matches.is_empty() {
+                return crate_matches;
+            }
+        }
+        return Vec::new();
+    }
+    // Workspace-unique free function.
+    if candidates.len() == 1 {
+        return candidates;
+    }
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walk::classify;
+
+    fn entry(rel: &str) -> SourceEntry {
+        SourceEntry {
+            kind: classify(rel),
+            rel: rel.to_string(),
+        }
+    }
+
+    fn build_src(files: &[(&str, &str)]) -> (Vec<FileAnalysis>, CallGraph) {
+        let sources: Vec<(SourceEntry, String)> = files
+            .iter()
+            .map(|(rel, src)| (entry(rel), src.to_string()))
+            .collect();
+        build(&sources)
+    }
+
+    fn edge(graph: &CallGraph, from: &str, to: &str) -> bool {
+        graph.edges.iter().any(|&(a, b)| {
+            graph.nodes.get(a).is_some_and(|n| n.id == from)
+                && graph.nodes.get(b).is_some_and(|n| n.id == to)
+        })
+    }
+
+    #[test]
+    fn bare_calls_resolve_within_a_file() {
+        let (_, graph) = build_src(&[(
+            "crates/x/src/lib.rs",
+            "fn a() { b(); }\nfn b() {}",
+        )]);
+        assert!(edge(&graph, "multirag_x::a", "multirag_x::b"));
+    }
+
+    #[test]
+    fn imported_calls_resolve_across_files_and_reexports() {
+        let (_, graph) = build_src(&[
+            (
+                "crates/eval/src/parallel.rs",
+                "pub fn parallel_map() {}",
+            ),
+            (
+                "crates/core/src/pipeline.rs",
+                "use multirag_eval::parallel_map;\nfn run() { parallel_map(); }",
+            ),
+            (
+                "crates/serve/src/engine.rs",
+                "fn serve() { multirag_eval::parallel::parallel_map(); }",
+            ),
+        ]);
+        assert!(edge(
+            &graph,
+            "multirag_core::pipeline::run",
+            "multirag_eval::parallel::parallel_map"
+        ));
+        assert!(edge(
+            &graph,
+            "multirag_serve::engine::serve",
+            "multirag_eval::parallel::parallel_map"
+        ));
+    }
+
+    #[test]
+    fn method_calls_resolve_by_name_with_deny_list() {
+        let (_, graph) = build_src(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub struct W;\nimpl W { pub fn widgetize(&self) {} pub fn len(&self) {} }",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "fn use_it(w: &W, v: &[u8]) { w.widgetize(); v.len(); }",
+            ),
+        ]);
+        assert!(edge(&graph, "multirag_b::use_it", "multirag_a::W::widgetize"));
+        assert!(
+            !edge(&graph, "multirag_b::use_it", "multirag_a::W::len"),
+            "deny-listed method must not bind"
+        );
+    }
+
+    #[test]
+    fn crate_and_self_paths_resolve() {
+        let (_, graph) = build_src(&[(
+            "crates/x/src/walk.rs",
+            "pub fn classify() {}\nfn caller() { crate::walk::classify(); self::classify(); }",
+        )]);
+        let count = graph
+            .edges
+            .iter()
+            .filter(|&&(a, b)| {
+                graph.nodes.get(a).is_some_and(|n| n.id.ends_with("caller"))
+                    && graph.nodes.get(b).is_some_and(|n| n.id.ends_with("classify"))
+            })
+            .count();
+        assert_eq!(count, 1, "both spellings resolve to one deduped edge");
+    }
+
+    #[test]
+    fn graph_is_deterministic() {
+        let files = &[
+            (
+                "crates/x/src/lib.rs",
+                "fn a() { b(); c(); }\nfn b() { c(); }\nfn c() {}",
+            ),
+            (
+                "crates/y/src/lib.rs",
+                "use multirag_x::a;\nfn d() { a(); }",
+            ),
+        ];
+        let (_, g1) = build_src(files);
+        let (_, g2) = build_src(files);
+        assert_eq!(g1.edges_text(), g2.edges_text());
+        assert!(!g1.edges_text().is_empty());
+    }
+
+    #[test]
+    fn test_functions_are_marked() {
+        let (_, graph) = build_src(&[(
+            "crates/x/src/lib.rs",
+            "fn lib() {}\n#[cfg(test)]\nmod tests { fn t() { super::lib(); } }",
+        )]);
+        assert!(graph
+            .nodes
+            .iter()
+            .find(|n| n.id.ends_with("tests::t"))
+            .is_some_and(|n| n.is_test));
+    }
+}

@@ -1,0 +1,371 @@
+//! Item extraction: `fn` / `impl` / `mod` declarations with token
+//! spans, from the flat token stream.
+//!
+//! The interprocedural pass needs to know *which function* every token
+//! belongs to before it can build call edges or propagate taint. This
+//! module walks one file's token stream with a scope stack (inline
+//! `mod name { … }` and `impl Type { … }` blocks) and yields every
+//! function item with its in-file module path, its owning `impl` type
+//! (if any), and the token range of its body. Nested functions are
+//! extracted too (each gets its own item); closures are not items —
+//! their bodies stay part of the enclosing function, which is exactly
+//! what the taint pass wants.
+
+use crate::lexer::{Token, TokenKind};
+use crate::scope;
+
+/// One extracted function item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// `impl` type the function is a method of, if any.
+    pub owner: Option<String>,
+    /// In-file module path (`mod a { mod b { … } }` → `["a", "b"]`).
+    pub modules: Vec<String>,
+    /// Token index of the `fn` keyword.
+    pub decl: usize,
+    /// Inclusive token range of the body braces, `None` for a
+    /// braceless signature (trait method declaration).
+    pub body: Option<(usize, usize)>,
+    /// 1-based line of the declaration.
+    pub line: u32,
+    /// Whether the item sits inside a `#[test]`/`#[cfg(test)]` region.
+    pub is_test: bool,
+}
+
+/// A scope frame the extractor is currently inside.
+#[derive(Debug)]
+enum Frame {
+    /// `mod name { … }`, closing at the given token index.
+    Module(String, usize),
+    /// `impl Type { … }`, closing at the given token index.
+    Impl(String, usize),
+}
+
+/// Extracts every function item from one file's token stream.
+/// `test_ranges` comes from [`scope::test_ranges`] over the same
+/// stream.
+pub fn extract(tokens: &[Token], test_ranges: &[(usize, usize)]) -> Vec<FnItem> {
+    let mut items = Vec::new();
+    let mut frames: Vec<Frame> = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Pop scopes whose closing brace we have passed.
+        frames.retain(|frame| {
+            let close = match frame {
+                Frame::Module(_, close) | Frame::Impl(_, close) => *close,
+            };
+            i <= close
+        });
+        let Some(tok) = tokens.get(i) else {
+            break;
+        };
+        if tok.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        match tok.text.as_str() {
+            "mod" => {
+                // `mod name { … }` (an out-of-line `mod name;` has no
+                // body here and adds no scope).
+                let name = ident_text(tokens, i + 1);
+                if let (Some(name), Some(open)) = (name, brace_of(tokens, i + 2, i + 2)) {
+                    if let Some(close) = scope_matching_brace(tokens, open) {
+                        frames.push(Frame::Module(name, close));
+                    }
+                }
+                i += 1;
+            }
+            "impl" => {
+                if let Some((type_name, open)) = impl_header(tokens, i) {
+                    if let Some(close) = scope_matching_brace(tokens, open) {
+                        frames.push(Frame::Impl(type_name, close));
+                        // Enter the impl body rather than skipping it.
+                        i = open + 1;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            "fn" => {
+                let Some(name) = ident_text(tokens, i + 1) else {
+                    i += 1;
+                    continue;
+                };
+                let body = fn_body(tokens, i + 2);
+                let modules = frames
+                    .iter()
+                    .filter_map(|f| match f {
+                        Frame::Module(name, _) => Some(name.clone()),
+                        Frame::Impl(..) => None,
+                    })
+                    .collect();
+                let owner = frames.iter().rev().find_map(|f| match f {
+                    Frame::Impl(type_name, _) => Some(type_name.clone()),
+                    Frame::Module(..) => None,
+                });
+                items.push(FnItem {
+                    name,
+                    owner,
+                    modules,
+                    decl: i,
+                    body,
+                    line: tokens.get(i).map(|t| t.line).unwrap_or(0),
+                    is_test: scope::in_ranges(i, test_ranges),
+                });
+                // Continue *inside* the body so nested fns are found.
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    items
+}
+
+fn ident_text(tokens: &[Token], i: usize) -> Option<String> {
+    tokens
+        .get(i)
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.clone())
+}
+
+fn is_punct(tokens: &[Token], i: usize, s: &str) -> bool {
+    tokens
+        .get(i)
+        .is_some_and(|t| t.kind == TokenKind::Punct && t.text == s)
+}
+
+/// Finds the `{` opening a block at or shortly after `from`, provided
+/// nothing but the expected header tokens intervene. Used for `mod`
+/// headers where the brace directly follows the name.
+fn brace_of(tokens: &[Token], from: usize, limit: usize) -> Option<usize> {
+    for i in from..=limit.min(tokens.len().saturating_sub(1)) {
+        if is_punct(tokens, i, "{") {
+            return Some(i);
+        }
+        if is_punct(tokens, i, ";") {
+            return None;
+        }
+    }
+    None
+}
+
+/// Parses an `impl` header starting at `impl_idx`: skips the generic
+/// parameter list, reads the implemented type (the path after `for` in
+/// `impl Trait for Type`, else the first path), and returns
+/// `(type_name, open_brace_idx)`. The type name is the *last* segment
+/// of the path (`foo::Bar` → `Bar`).
+fn impl_header(tokens: &[Token], impl_idx: usize) -> Option<(String, usize)> {
+    let mut i = impl_idx + 1;
+    // Generic parameters: `impl<'a, T: Bound> …`.
+    if is_punct(tokens, i, "<") {
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if is_punct(tokens, i, "<") {
+                depth += 1;
+            } else if is_punct(tokens, i, ">") {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    // Scan the header up to the opening `{` (or `;`), tracking the
+    // last path segment seen before and after a `for` keyword. Angle
+    // brackets inside the header (generic args) are skipped at depth.
+    let mut depth = 0i32;
+    let mut before_for: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut saw_for = false;
+    while i < tokens.len() {
+        let Some(tok) = tokens.get(i) else {
+            break;
+        };
+        match (tok.kind, tok.text.as_str()) {
+            (TokenKind::Punct, "{") if depth == 0 => {
+                let name = if saw_for { after_for } else { before_for };
+                return name.map(|n| (n, i));
+            }
+            (TokenKind::Punct, ";") if depth == 0 => return None,
+            (TokenKind::Punct, "<") => depth += 1,
+            (TokenKind::Punct, ">") => depth -= 1,
+            (TokenKind::Ident, "for") if depth == 0 => saw_for = true,
+            (TokenKind::Ident, "where") if depth == 0 => {
+                // Where clauses may mention other types; stop updating.
+                let name = if saw_for {
+                    after_for.clone()
+                } else {
+                    before_for.clone()
+                };
+                // Find the `{` that opens the body.
+                let mut j = i;
+                let mut wdepth = 0i32;
+                while j < tokens.len() {
+                    if is_punct(tokens, j, "<") {
+                        wdepth += 1;
+                    } else if is_punct(tokens, j, ">") {
+                        wdepth -= 1;
+                    } else if is_punct(tokens, j, "{") && wdepth == 0 {
+                        return name.map(|n| (n, j));
+                    } else if is_punct(tokens, j, ";") && wdepth == 0 {
+                        return None;
+                    }
+                    j += 1;
+                }
+                return None;
+            }
+            (TokenKind::Ident, text) if depth == 0 => {
+                if saw_for {
+                    after_for = Some(text.to_string());
+                } else {
+                    before_for = Some(text.to_string());
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Finds a function's body braces starting the scan after its name:
+/// crosses the parameter list, return type and where clause at
+/// bracket balance, returning the inclusive `{…}` token range. A `;`
+/// at balance means a braceless trait signature.
+fn fn_body(tokens: &[Token], from: usize) -> Option<(usize, usize)> {
+    let mut parens = 0i32;
+    let mut brackets = 0i32;
+    let mut angles = 0i32;
+    let mut i = from;
+    while i < tokens.len() {
+        let Some(tok) = tokens.get(i) else {
+            break;
+        };
+        if tok.kind == TokenKind::Punct {
+            match tok.text.as_str() {
+                "(" => parens += 1,
+                ")" => parens -= 1,
+                "[" => brackets += 1,
+                "]" => brackets -= 1,
+                "<" => angles += 1,
+                ">" => angles = (angles - 1).max(0),
+                "->" => {}
+                "{" if parens == 0 && brackets == 0 => {
+                    let close = scope_matching_brace(tokens, i)?;
+                    return Some((i, close));
+                }
+                ";" if parens == 0 && brackets == 0 => return None,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Index of the `}` matching the `{` at `open` (brace depth only —
+/// strings and comments are already opaque in the token stream).
+fn scope_matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.kind == TokenKind::Punct {
+            if t.text == "{" {
+                depth += 1;
+            } else if t.text == "}" {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scope::test_ranges;
+
+    fn extract_src(src: &str) -> Vec<FnItem> {
+        let toks = lex(src);
+        let ranges = test_ranges(&toks);
+        extract(&toks, &ranges)
+    }
+
+    #[test]
+    fn free_fns_methods_and_modules() {
+        let src = "fn top() {}\n\
+                   mod inner {\n\
+                     pub fn nested() {}\n\
+                     impl Widget { fn method(&self) -> u8 { 1 } }\n\
+                   }\n\
+                   impl<'a> Other<'a> { fn late(&self) {} }";
+        let items = extract_src(src);
+        let by_name = |n: &str| items.iter().find(|f| f.name == n);
+        assert!(by_name("top").is_some_and(|f| f.modules.is_empty() && f.owner.is_none()));
+        assert!(by_name("nested").is_some_and(|f| f.modules == ["inner"]));
+        assert!(by_name("method")
+            .is_some_and(|f| f.owner.as_deref() == Some("Widget") && f.modules == ["inner"]));
+        assert!(by_name("late").is_some_and(|f| f.owner.as_deref() == Some("Other")));
+    }
+
+    #[test]
+    fn trait_impls_attribute_the_implementing_type() {
+        let src = "impl Display for Report { fn fmt(&self) {} }\n\
+                   impl foo::Trait for bar::Thing { fn go(&self) {} }";
+        let items = extract_src(src);
+        assert!(items
+            .iter()
+            .any(|f| f.name == "fmt" && f.owner.as_deref() == Some("Report")));
+        assert!(items
+            .iter()
+            .any(|f| f.name == "go" && f.owner.as_deref() == Some("Thing")));
+    }
+
+    #[test]
+    fn bodies_cover_nested_braces_and_signatures_are_braceless() {
+        let src = "fn f(x: [u8; 2]) -> u8 { if x.is_empty() { 0 } else { 1 } }\n\
+                   trait T { fn sig(&self); fn with_default(&self) -> u8 { 2 } }";
+        let items = extract_src(src);
+        let f = items.iter().find(|i| i.name == "f").expect("f extracted");
+        let (open, close) = f.body.expect("f has a body");
+        assert!(open < close);
+        let sig = items.iter().find(|i| i.name == "sig").expect("sig");
+        assert!(sig.body.is_none());
+        assert!(items
+            .iter()
+            .find(|i| i.name == "with_default")
+            .is_some_and(|i| i.body.is_some()));
+    }
+
+    #[test]
+    fn nested_fns_are_separate_items_and_tests_are_marked() {
+        let src = "fn outer() { fn helper() {} helper(); }\n\
+                   #[cfg(test)]\nmod tests { fn t() {} }";
+        let items = extract_src(src);
+        assert!(items.iter().any(|f| f.name == "helper"));
+        assert!(items
+            .iter()
+            .find(|f| f.name == "t")
+            .is_some_and(|f| f.is_test && f.modules == ["tests"]));
+        assert!(items
+            .iter()
+            .find(|f| f.name == "outer")
+            .is_some_and(|f| !f.is_test));
+    }
+
+    #[test]
+    fn where_clauses_and_generic_impls() {
+        let src = "impl<T> Holder<T> where T: Clone { fn hold(&self) {} }";
+        let items = extract_src(src);
+        assert!(items
+            .iter()
+            .any(|f| f.name == "hold" && f.owner.as_deref() == Some("Holder")));
+    }
+}

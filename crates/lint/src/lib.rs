@@ -27,19 +27,40 @@
 //! binary, which CI runs twice and `cmp`s.
 
 pub mod allow;
+pub mod graph;
+pub mod items;
 pub mod lexer;
 pub mod report;
+pub mod resolve;
 pub mod rules;
 pub mod scope;
+pub mod taint;
 pub mod toml;
 pub mod walk;
 
 pub use allow::{AllowList, Reconciliation};
 pub use report::{lint_json, sort_findings, Finding, RuleInfo, RULES};
+pub use taint::TaintPath;
 
 use rules::util::FileCtx;
 use std::path::Path;
 use walk::SourceEntry;
+
+/// Whole-workspace analysis: per-file findings plus the
+/// interprocedural call graph and taint pass.
+#[derive(Debug)]
+pub struct WorkspaceAnalysis {
+    /// Number of source files scanned.
+    pub files_scanned: usize,
+    /// Sorted union of all rule findings (intra-file rules + T01).
+    pub findings: Vec<Finding>,
+    /// Call-graph node count.
+    pub graph_nodes: usize,
+    /// Call-graph edge count.
+    pub graph_edges: usize,
+    /// Deduplicated, sorted T01 source→sink chains.
+    pub taint_paths: Vec<TaintPath>,
+}
 
 /// Lints a single source text under its workspace-relative path.
 /// The path drives classification (library vs bin, repro-binary
@@ -58,17 +79,37 @@ pub fn lint_source(rel: &str, source: &str) -> Vec<Finding> {
     findings
 }
 
-/// Lints every discovered workspace source under `root`. Returns the
-/// number of files scanned and the sorted union of findings.
-pub fn lint_workspace(root: &Path) -> (usize, Vec<Finding>) {
-    let sources = walk::workspace_sources(root);
-    let files_scanned = sources.len();
+/// Analyzes a fixed set of sources: every intra-file rule per file,
+/// then the interprocedural call graph + taint pass across them.
+pub fn analyze_sources(sources: &[(SourceEntry, String)]) -> WorkspaceAnalysis {
     let mut findings = Vec::new();
-    for (SourceEntry { rel, .. }, contents) in &sources {
+    for (SourceEntry { rel, .. }, contents) in sources {
         findings.extend(lint_source(rel, contents));
     }
+    let (files, call_graph) = graph::build(sources);
+    let (taint_paths, taint_findings) = taint::analyze(&files, &call_graph);
+    findings.extend(taint_findings);
     sort_findings(&mut findings);
-    (files_scanned, findings)
+    WorkspaceAnalysis {
+        files_scanned: sources.len(),
+        findings,
+        graph_nodes: call_graph.nodes.len(),
+        graph_edges: call_graph.edges.len(),
+        taint_paths,
+    }
+}
+
+/// Discovers and analyzes every workspace source under `root`.
+pub fn analyze_workspace(root: &Path) -> WorkspaceAnalysis {
+    analyze_sources(&walk::workspace_sources(root))
+}
+
+/// Lints every discovered workspace source under `root`. Returns the
+/// number of files scanned and the sorted union of findings
+/// (including interprocedural T01 chains).
+pub fn lint_workspace(root: &Path) -> (usize, Vec<Finding>) {
+    let analysis = analyze_workspace(root);
+    (analysis.files_scanned, analysis.findings)
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 //! with `cmp`.
 
 use crate::allow::Reconciliation;
+use crate::taint::TaintPath;
 use multirag_obs::json::JsonObj;
 
 /// One diagnostic emitted by a rule.
@@ -65,6 +66,16 @@ pub const RULES: &[RuleInfo] = &[
         name: "paper-constant",
         summary: "paper hyper-parameters may only be defined in core::config",
     },
+    RuleInfo {
+        id: "T01",
+        name: "taint-to-sink",
+        summary: "interprocedural: an unsanitized nondeterminism source reaches a serialized sink (full call chain in the message)",
+    },
+    RuleInfo {
+        id: "C01",
+        name: "concurrency-hygiene",
+        summary: "unbounded channel construction, or a lock guard held across a fan-out call",
+    },
 ];
 
 /// Sorts findings into canonical report order.
@@ -76,8 +87,16 @@ pub fn sort_findings(findings: &mut [Finding]) {
 
 /// Renders the `results/lint.json` artifact. `files_scanned` is the
 /// discovery count; `recon` carries per-rule counts, budgets and
-/// ratchet verdicts.
-pub fn lint_json(files_scanned: usize, findings: &[Finding], recon: &Reconciliation) -> String {
+/// ratchet verdicts; `graph` is the workspace call graph's
+/// `(nodes, edges)`; `taint_paths` pairs each T01 source→sink chain
+/// with whether its source file is `[exempt.T01]`.
+pub fn lint_json(
+    files_scanned: usize,
+    findings: &[Finding],
+    recon: &Reconciliation,
+    graph: (usize, usize),
+    taint_paths: &[(TaintPath, bool)],
+) -> String {
     let rules = RULES.iter().map(|rule| {
         JsonObj::new()
             .str("rule", rule.id)
@@ -95,6 +114,20 @@ pub fn lint_json(files_scanned: usize, findings: &[Finding], recon: &Reconciliat
             .str("message", &f.message)
             .build()
     });
+    let graph_json = JsonObj::new()
+        .usize("nodes", graph.0)
+        .usize("edges", graph.1)
+        .build();
+    let paths_json = taint_paths.iter().map(|(path, exempt)| {
+        JsonObj::new()
+            .str("kind", path.kind)
+            .str("source", &path.source_file)
+            .u64("line", u64::from(path.source_line))
+            .str("sink", &path.sink)
+            .str_arr("chain", path.chain.iter().map(String::as_str))
+            .bool("exempt", *exempt)
+            .build()
+    });
     let totals = JsonObj::new()
         .usize("findings", findings.len())
         .usize("budget", recon.total_budget())
@@ -102,10 +135,12 @@ pub fn lint_json(files_scanned: usize, findings: &[Finding], recon: &Reconciliat
         .usize("stale_budgets", recon.stale.len())
         .build();
     JsonObj::new()
-        .u64("schema_version", 1)
+        .u64("schema_version", 2)
         .usize("files_scanned", files_scanned)
+        .raw("graph", &graph_json)
         .arr("rules", rules)
         .arr("findings", findings_json)
+        .arr("taint_paths", paths_json)
         .raw("totals", &totals)
         .build()
 }
@@ -152,13 +187,26 @@ mod tests {
     fn json_is_stable_and_covers_every_rule() {
         let findings = vec![finding("D01", "crates/x/src/lib.rs", 3)];
         let recon = AllowList::default().reconcile(&findings);
-        let a = lint_json(7, &findings, &recon);
-        let b = lint_json(7, &findings, &recon);
+        let paths = vec![(
+            TaintPath {
+                kind: "hash_iter",
+                source_file: "crates/x/src/lib.rs".to_string(),
+                source_line: 3,
+                sink: "to_json".to_string(),
+                chain: vec!["multirag_x::f".to_string()],
+            },
+            false,
+        )];
+        let a = lint_json(7, &findings, &recon, (10, 12), &paths);
+        let b = lint_json(7, &findings, &recon, (10, 12), &paths);
         assert_eq!(a, b);
         for rule in RULES {
             assert!(a.contains(&format!("\"rule\":\"{}\"", rule.id)));
         }
         assert!(a.contains("\"files_scanned\":7"));
         assert!(a.contains("\"violations\":1"));
+        assert!(a.contains("\"graph\":{\"nodes\":10,\"edges\":12}"));
+        assert!(a.contains("\"taint_paths\":[{\"kind\":\"hash_iter\""));
+        assert!(a.contains("\"exempt\":false"));
     }
 }

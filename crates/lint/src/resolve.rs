@@ -1,0 +1,416 @@
+//! Name-resolution heuristics: file → module path, `use`-import
+//! tables, and call-site extraction.
+//!
+//! Real name resolution needs type information this offline, `syn`-less
+//! analyzer does not have. What it has instead is the workspace's own
+//! conventions, which are strict enough to resolve the overwhelming
+//! majority of call edges:
+//!
+//! * every crate under `crates/<dir>` is named `multirag-<dir>`, so a
+//!   path beginning `multirag_<dir>::…` identifies the crate root;
+//! * `crate::` / `self::` / `super::` resolve against the file's
+//!   module path, which follows directly from its workspace-relative
+//!   path (`crates/core/src/pipeline.rs` → `multirag_core::pipeline`);
+//! * `use` declarations (including braced groups, `as` renames and
+//!   `self` members) map local names to absolute paths.
+//!
+//! What this cannot see — re-exports, trait dispatch, function
+//! pointers, macro-generated items — is resolved conservatively at
+//! graph-build time by crate-qualified or workspace-unique suffix
+//! matching (see [`crate::graph`]), and the residual imprecision is
+//! documented in DESIGN.md §5.14.
+
+use crate::lexer::{Token, TokenKind};
+use std::collections::BTreeMap;
+
+/// One resolved `use` binding: local alias → absolute path segments.
+pub type ImportMap = BTreeMap<String, Vec<String>>;
+
+/// Derives a file's canonical module path from its workspace-relative
+/// path. Binary targets are their own crates and get a synthetic,
+/// collision-free root (`bin$repro_lint`).
+pub fn file_module(rel: &str) -> Vec<String> {
+    let stripped = rel.strip_suffix(".rs").unwrap_or(rel);
+    let parts: Vec<&str> = stripped.split('/').collect();
+    let (crate_root, rest): (String, &[&str]) = match parts.as_slice() {
+        ["crates", krate, "src", rest @ ..] => {
+            (format!("multirag_{}", krate.replace('-', "_")), rest)
+        }
+        ["src", rest @ ..] => ("multirag".to_string(), rest),
+        _ => return vec![stripped.replace('/', "_")],
+    };
+    // Binary targets: `src/bin/<stem>.rs` and `src/main.rs`.
+    if let ["bin", stem] = rest {
+        return vec![format!("bin${stem}")];
+    }
+    if rest == ["main"] {
+        return vec![format!("bin${crate_root}")];
+    }
+    let mut out = vec![crate_root];
+    for (i, seg) in rest.iter().enumerate() {
+        // `lib.rs` is the crate root; `mod.rs` is its directory's
+        // module, already named by the preceding component.
+        if (i == rest.len() - 1 && (*seg == "lib" || *seg == "mod")) || seg.is_empty() {
+            continue;
+        }
+        out.push((*seg).to_string());
+    }
+    out
+}
+
+/// Parsed imports for one file: the alias table plus any glob-import
+/// prefixes (`use foo::*;`).
+#[derive(Debug, Clone, Default)]
+pub struct Imports {
+    /// Local name → absolute path segments.
+    pub map: ImportMap,
+    /// Prefixes imported wholesale via `*`.
+    pub globs: Vec<Vec<String>>,
+}
+
+/// Scans a token stream for `use` declarations and resolves each
+/// against the file's module path. Group imports, renames and `self`
+/// members are expanded; relative prefixes (`crate`, `self`, `super`)
+/// are normalized to absolute paths.
+pub fn imports(tokens: &[Token], module: &[String]) -> Imports {
+    let mut out = Imports::default();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let is_use = tokens
+            .get(i)
+            .is_some_and(|t| t.kind == TokenKind::Ident && t.text == "use");
+        if !is_use {
+            i += 1;
+            continue;
+        }
+        let end = semicolon_after(tokens, i + 1);
+        parse_tree(tokens, i + 1, end, &Vec::new(), module, &mut out);
+        i = end + 1;
+    }
+    out
+}
+
+/// Token index of the `;` terminating a `use` declaration.
+fn semicolon_after(tokens: &[Token], from: usize) -> usize {
+    let mut depth = 0i32;
+    for (i, t) in tokens.iter().enumerate().skip(from) {
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => depth -= 1,
+                ";" if depth <= 0 => return i,
+                _ => {}
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Recursively parses one `use`-tree between `from` and `end`
+/// (exclusive), under `prefix`. Populates `out`.
+fn parse_tree(
+    tokens: &[Token],
+    from: usize,
+    end: usize,
+    prefix: &[String],
+    module: &[String],
+    out: &mut Imports,
+) {
+    let mut path: Vec<String> = prefix.to_vec();
+    let mut i = from;
+    let mut alias: Option<String> = None;
+    let mut last_seg: Option<String> = None;
+    while i < end {
+        let Some(tok) = tokens.get(i) else {
+            break;
+        };
+        match (tok.kind, tok.text.as_str()) {
+            (TokenKind::Ident, "as") => {
+                alias = tokens
+                    .get(i + 1)
+                    .filter(|t| t.kind == TokenKind::Ident)
+                    .map(|t| t.text.clone());
+                i += 2;
+            }
+            (TokenKind::Ident, "self") if !path.is_empty() => {
+                // `use a::b::{self, …}` — binds the prefix itself.
+                let resolved = absolutize(&path, module);
+                if let Some(name) = resolved.last() {
+                    out.map.insert(name.clone(), resolved.clone());
+                }
+                i += 1;
+            }
+            (TokenKind::Ident, seg) => {
+                path.push(seg.to_string());
+                last_seg = Some(seg.to_string());
+                i += 1;
+            }
+            (TokenKind::Punct, "::") => i += 1,
+            (TokenKind::Punct, "*") => {
+                out.globs.push(absolutize(&path, module));
+                i += 1;
+            }
+            (TokenKind::Punct, "{") => {
+                // Split the group into comma-separated subtrees at this
+                // brace depth and recurse into each.
+                let close = matching_close(tokens, i, end);
+                let mut start = i + 1;
+                let mut depth = 0i32;
+                for j in i + 1..close {
+                    let Some(t) = tokens.get(j) else {
+                        break;
+                    };
+                    if t.kind == TokenKind::Punct {
+                        match t.text.as_str() {
+                            "{" => depth += 1,
+                            "}" => depth -= 1,
+                            "," if depth == 0 => {
+                                parse_tree(tokens, start, j, &path, module, out);
+                                start = j + 1;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                parse_tree(tokens, start, close, &path, module, out);
+                return;
+            }
+            (TokenKind::Punct, ",") => break,
+            _ => i += 1,
+        }
+    }
+    if let Some(last) = last_seg {
+        let resolved = absolutize(&path, module);
+        out.map.insert(alias.unwrap_or(last), resolved);
+    }
+}
+
+fn matching_close(tokens: &[Token], open: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    for (i, t) in tokens.iter().enumerate().skip(open).take(end - open) {
+        if t.kind == TokenKind::Punct {
+            if t.text == "{" {
+                depth += 1;
+            } else if t.text == "}" {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+        }
+    }
+    end
+}
+
+/// Normalizes a path's leading `crate` / `self` / `super` segments
+/// against the file's module path.
+pub fn absolutize(path: &[String], module: &[String]) -> Vec<String> {
+    let mut segs = path.iter();
+    let mut base: Vec<String> = Vec::new();
+    match segs.clone().next().map(String::as_str) {
+        Some("crate") => {
+            segs.next();
+            base.extend(module.first().cloned());
+        }
+        Some("self") => {
+            segs.next();
+            base.extend(module.iter().cloned());
+        }
+        Some("super") => {
+            base.extend(module.iter().cloned());
+            while segs.clone().next().map(String::as_str) == Some("super") {
+                segs.next();
+                base.pop();
+            }
+        }
+        _ => {}
+    }
+    base.extend(segs.cloned());
+    base
+}
+
+/// A call site found inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Token index of the called name.
+    pub at: usize,
+    /// What is being called.
+    pub callee: Callee,
+}
+
+/// The syntactic shape of a call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Callee {
+    /// `a::b::f(…)` or bare `f(…)` (a one-segment path).
+    Path(Vec<String>),
+    /// `.m(…)` method-call syntax.
+    Method(String),
+}
+
+/// Keywords and value constructors that precede `(` without being
+/// function calls.
+const NON_CALL_IDENTS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "in", "as",
+    "move", "fn", "let", "mut", "ref", "unsafe", "where", "impl", "use", "pub", "mod", "struct",
+    "enum", "trait", "type", "const", "static", "dyn", "await", "Some", "None", "Ok", "Err",
+];
+
+/// Extracts every call site in `tokens[range]`. Paths are collected by
+/// walking identifier/`::` chains; macro invocations (`name!`) never
+/// match because the `!` separates the identifier from the `(`.
+pub fn call_sites(tokens: &[Token], range: (usize, usize)) -> Vec<CallSite> {
+    let (start, end) = range;
+    let mut out = Vec::new();
+    let mut i = start;
+    while i <= end.min(tokens.len().saturating_sub(1)) {
+        let Some(tok) = tokens.get(i) else {
+            break;
+        };
+        let next_is_open = tokens
+            .get(i + 1)
+            .is_some_and(|t| t.kind == TokenKind::Punct && t.text == "(");
+        if tok.kind != TokenKind::Ident || !next_is_open || NON_CALL_IDENTS.contains(&tok.text.as_str())
+        {
+            i += 1;
+            continue;
+        }
+        let prev = i.checked_sub(1).and_then(|p| tokens.get(p));
+        let prev_text = prev.map(|t| t.text.as_str()).unwrap_or("");
+        // `fn name(` is a declaration, not a call.
+        if prev.is_some_and(|t| t.kind == TokenKind::Ident) && prev_text == "fn" {
+            i += 1;
+            continue;
+        }
+        if prev.is_some_and(|t| t.kind == TokenKind::Punct) && prev_text == "." {
+            out.push(CallSite {
+                at: i,
+                callee: Callee::Method(tok.text.clone()),
+            });
+            i += 1;
+            continue;
+        }
+        // Walk back over `seg::seg::…::` to the path start.
+        let mut segs = vec![tok.text.clone()];
+        let mut j = i;
+        while j >= 2
+            && tokens
+                .get(j - 1)
+                .is_some_and(|t| t.kind == TokenKind::Punct && t.text == "::")
+            && tokens.get(j - 2).is_some_and(|t| t.kind == TokenKind::Ident)
+        {
+            if let Some(seg) = tokens.get(j - 2) {
+                segs.push(seg.text.clone());
+            }
+            j -= 2;
+        }
+        segs.reverse();
+        out.push(CallSite {
+            at: i,
+            callee: Callee::Path(segs),
+        });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn strv(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn file_modules_follow_workspace_layout() {
+        assert_eq!(
+            file_module("crates/core/src/pipeline.rs"),
+            strv(&["multirag_core", "pipeline"])
+        );
+        assert_eq!(file_module("crates/lint/src/lib.rs"), strv(&["multirag_lint"]));
+        assert_eq!(
+            file_module("crates/lint/src/rules/mod.rs"),
+            strv(&["multirag_lint", "rules"])
+        );
+        assert_eq!(
+            file_module("crates/lint/src/rules/d01.rs"),
+            strv(&["multirag_lint", "rules", "d01"])
+        );
+        assert_eq!(
+            file_module("crates/bench/src/bin/repro_lint.rs"),
+            strv(&["bin$repro_lint"])
+        );
+        assert_eq!(file_module("src/cli.rs"), strv(&["multirag", "cli"]));
+        assert_eq!(file_module("src/main.rs"), strv(&["bin$multirag"]));
+    }
+
+    #[test]
+    fn plain_group_and_renamed_imports() {
+        let toks = lex(
+            "use multirag_eval::parallel_map;\n\
+             use crate::rules::{util, d01 as first};\n\
+             use super::report::Finding;\n\
+             use std::collections::*;",
+        );
+        let module = strv(&["multirag_lint", "walk"]);
+        let imp = imports(&toks, &module);
+        assert_eq!(
+            imp.map.get("parallel_map"),
+            Some(&strv(&["multirag_eval", "parallel_map"]))
+        );
+        assert_eq!(
+            imp.map.get("util"),
+            Some(&strv(&["multirag_lint", "rules", "util"]))
+        );
+        assert_eq!(
+            imp.map.get("first"),
+            Some(&strv(&["multirag_lint", "rules", "d01"]))
+        );
+        assert_eq!(
+            imp.map.get("Finding"),
+            Some(&strv(&["multirag_lint", "report", "Finding"]))
+        );
+        assert_eq!(imp.globs, vec![strv(&["std", "collections"])]);
+    }
+
+    #[test]
+    fn group_self_member_binds_the_prefix() {
+        let toks = lex("use crate::taint::{self, TaintKind};");
+        let module = strv(&["multirag_lint"]);
+        let imp = imports(&toks, &module);
+        assert_eq!(
+            imp.map.get("taint"),
+            Some(&strv(&["multirag_lint", "taint"]))
+        );
+        assert_eq!(
+            imp.map.get("TaintKind"),
+            Some(&strv(&["multirag_lint", "taint", "TaintKind"]))
+        );
+    }
+
+    #[test]
+    fn call_sites_cover_bare_path_and_method_calls() {
+        let toks = lex("fn f() { helper(); crate::walk::classify(rel); out.push(x); if x(y) {} }");
+        let sites = call_sites(&toks, (0, toks.len() - 1));
+        assert!(sites
+            .iter()
+            .any(|s| s.callee == Callee::Path(strv(&["helper"]))));
+        assert!(sites
+            .iter()
+            .any(|s| s.callee == Callee::Path(strv(&["crate", "walk", "classify"]))));
+        assert!(sites
+            .iter()
+            .any(|s| s.callee == Callee::Method("push".to_string())));
+        assert!(sites
+            .iter()
+            .any(|s| s.callee == Callee::Path(strv(&["x"]))));
+    }
+
+    #[test]
+    fn keywords_macros_and_struct_literals_are_not_calls() {
+        let toks = lex("fn f() { if (a) {} vec![1]; assert_eq!(a, b); let s = S { x: 1 }; }");
+        let sites = call_sites(&toks, (0, toks.len() - 1));
+        assert!(sites.is_empty(), "{sites:?}");
+    }
+}

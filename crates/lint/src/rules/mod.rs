@@ -4,6 +4,7 @@
 
 pub mod util;
 
+pub mod c01;
 pub mod d01;
 pub mod d02;
 pub mod d03;
@@ -23,5 +24,6 @@ pub fn check_all(ctx: &FileCtx<'_>) -> Vec<Finding> {
     findings.extend(r01::check(ctx));
     findings.extend(s01::check(ctx));
     findings.extend(p01::check(ctx));
+    findings.extend(c01::check(ctx));
     findings
 }

@@ -71,7 +71,7 @@ pub fn check(ctx: &FileCtx<'_>) -> Vec<Finding> {
 /// `.json` artifact: basename without the extension; for
 /// format-string names, the static prefix before the first `{` with
 /// trailing `_` trimmed. Returns `None` for non-artifact literals.
-fn artifact_stem(literal: &str) -> Option<String> {
+pub(crate) fn artifact_stem(literal: &str) -> Option<String> {
     let base = literal.rsplit('/').next().unwrap_or(literal);
     let stem = static_prefix(base.strip_suffix(".json")?);
     if stem.is_empty()

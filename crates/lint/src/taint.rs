@@ -1,0 +1,696 @@
+//! T01 — the interprocedural determinism-taint propagator.
+//!
+//! Three vocabularies drive a fixed-point dataflow over the workspace
+//! call graph:
+//!
+//! * **sources** introduce nondeterminism — hash-ordered iteration,
+//!   wall clock / entropy in library code, `f64` folds over unordered
+//!   iterators, worker completion order (`recv` + `push` in a
+//!   spawning function);
+//! * **sanitizers** restore determinism — sorts, `BTreeMap`/`BTreeSet`
+//!   collection, order-independent folds (`count`/`min`/`max`/
+//!   `all`/`any`), the integer-µs sim clock (`now_us`);
+//! * **sinks** serialize — `results/*.json` literals in binaries, the
+//!   JSON / Prometheus / trace exposition functions, anything behind a
+//!   `MULTIRAG_CHECK_SCHEMA` golden (`check_schema`), and every call
+//!   into a function from which such a sink is reachable.
+//!
+//! Within a body the model is linear in token order: taint introduced
+//! by a source (or flowing out of a tainted callee) is live until a
+//! sanitizer token, and a sink reached while taint is live records a
+//! full source→…→sink chain. Taint live at the end of a body is the
+//! function's *out-taint*, which call sites splice into their callers
+//! until a fixed point. Chains only ever shrink under the
+//! `(length, lexicographic)` order, so the iteration terminates; the
+//! reported path per `(kind, source file, line)` is the minimum chain.
+//!
+//! This is deliberately approximate — no argument tracking, no
+//! branch sensitivity — and both error directions are documented in
+//! DESIGN.md §5.14. Exemptions (`[exempt.T01]`) are applied by the
+//! reconciler on the *source* file, which is also where findings
+//! anchor, so a justified wall-clock module clears its whole chain.
+
+use crate::graph::{CallGraph, FileAnalysis};
+use crate::lexer::TokenKind;
+use crate::report::Finding;
+use crate::rules::s01;
+use crate::rules::util::{hash_iteration_sites, FileCtx};
+use crate::scope;
+use crate::walk::FileKind;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Order-restoring call vocabulary: an occurrence of `name(` clears
+/// live *order* taint (`hash_iter` / `float_unordered` /
+/// `completion_order`) in the linear model. Order sanitizers never
+/// clear `wall_clock` or `entropy` — sorting a wall-clock reading
+/// does not make it reproducible.
+const ORDER_SANITIZER_FNS: &[&str] = &[
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "sort_by_cached_key",
+    "count",
+    "min",
+    "max",
+    "min_by",
+    "max_by",
+    "min_by_key",
+    "max_by_key",
+    "all",
+    "any",
+];
+
+/// The integer-µs sim clock: a `now_us(` read marks the surrounding
+/// computation as using simulated time, clearing `wall_clock` taint.
+/// Nothing clears `entropy` — OS randomness must be seeded, not
+/// laundered.
+const CLOCK_SANITIZER_FNS: &[&str] = &["now_us"];
+
+/// Ordered-collection type names: collecting into these sanitizes.
+const SANITIZER_TYPES: &[&str] = &["BTreeMap", "BTreeSet"];
+
+/// Serialization functions: a call to any of these is a direct sink.
+const SINK_FNS: &[&str] = &[
+    "check_schema",
+    "traces_json",
+    "to_json",
+    "to_prometheus",
+    "lint_json",
+    "schema_outline",
+    "export_metrics",
+];
+
+/// Maximum provenance chain length — cycles in the call graph cannot
+/// grow chains past this, and real workspace chains are far shorter.
+const CHAIN_CAP: usize = 12;
+
+/// One source→…→sink taint path.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TaintPath {
+    /// Source kind (`hash_iter`, `wall_clock`, `entropy`,
+    /// `float_unordered`, `completion_order`).
+    pub kind: &'static str,
+    /// File introducing the taint (where the finding anchors).
+    pub source_file: String,
+    /// 1-based source line.
+    pub source_line: u32,
+    /// Sink description (`results/foo.json`, `to_prometheus`, or a
+    /// sink-reaching callee id).
+    pub sink: String,
+    /// Call chain of fully-qualified fn ids, source fn first.
+    pub chain: Vec<String>,
+}
+
+/// Taint identity: `(source file, line, kind)`.
+type Key = (String, u32, &'static str);
+/// Live / out-taint map: identity → minimum provenance chain.
+type LiveMap = BTreeMap<Key, Vec<String>>;
+
+/// One in-body event, ordered by token index (then discriminant).
+#[derive(Debug)]
+enum Event {
+    /// A nondeterminism source.
+    Source { kind: &'static str, line: u32 },
+    /// A resolved call to another workspace fn (graph node index).
+    Call { callee: usize },
+    /// A direct serialization sink.
+    Sink { desc: String },
+    /// A sanitizer: clears the live taint kinds in its scope.
+    Sanitize(SanitizerScope),
+}
+
+/// What a sanitizer is able to clear.
+#[derive(Debug, Clone, Copy)]
+enum SanitizerScope {
+    /// Order nondeterminism: `hash_iter`, `float_unordered`,
+    /// `completion_order`.
+    Order,
+    /// Wall-clock nondeterminism only.
+    Clock,
+}
+
+impl SanitizerScope {
+    fn clears(self, kind: &str) -> bool {
+        match self {
+            SanitizerScope::Order => {
+                matches!(kind, "hash_iter" | "float_unordered" | "completion_order")
+            }
+            SanitizerScope::Clock => kind == "wall_clock",
+        }
+    }
+}
+
+fn event_order(e: &Event) -> u8 {
+    match e {
+        Event::Source { .. } => 0,
+        Event::Call { .. } => 1,
+        Event::Sink { .. } => 2,
+        Event::Sanitize(_) => 3,
+    }
+}
+
+/// Runs the taint analysis over an analyzed workspace. Returns the
+/// deduplicated, sorted taint paths and their T01 findings (one per
+/// `(kind, source file, line)`, anchored at the source).
+pub fn analyze(files: &[FileAnalysis], graph: &CallGraph) -> (Vec<TaintPath>, Vec<Finding>) {
+    let events = collect_events(files, graph);
+
+    // Reverse-transitive closure of direct-sink functions: a call into
+    // any member forwards (potentially tainted) data toward a sink.
+    let mut sink_reach: BTreeSet<usize> = events
+        .iter()
+        .enumerate()
+        .filter(|(_, evs)| evs.iter().any(|(_, e)| matches!(e, Event::Sink { .. })))
+        .map(|(i, _)| i)
+        .collect();
+    loop {
+        let before = sink_reach.len();
+        for &(caller, callee) in &graph.edges {
+            if sink_reach.contains(&callee) {
+                sink_reach.insert(caller);
+            }
+        }
+        if sink_reach.len() == before {
+            break;
+        }
+    }
+
+    // Fixed point on out-taint. Chains only shrink under (len, lex),
+    // so the loop terminates; the counter is a pure backstop.
+    let mut out: Vec<LiveMap> = vec![LiveMap::new(); graph.nodes.len()];
+    for _ in 0..1000 {
+        let mut changed = false;
+        for idx in 0..graph.nodes.len() {
+            let live = simulate(idx, &events, graph, &out, &sink_reach, None);
+            for (key, chain) in live {
+                if let Some(slot) = out.get_mut(idx) {
+                    changed |= merge(slot, key, chain);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Recording pass: every sink hit under live taint becomes a path.
+    let mut raw: Vec<TaintPath> = Vec::new();
+    for idx in 0..graph.nodes.len() {
+        simulate(idx, &events, graph, &out, &sink_reach, Some(&mut raw));
+    }
+
+    // One path per (kind, source file, line): minimum chain, then
+    // minimum sink description.
+    let mut best: BTreeMap<Key, TaintPath> = BTreeMap::new();
+    for path in raw {
+        let key = (path.source_file.clone(), path.source_line, path.kind);
+        match best.get(&key) {
+            Some(prev)
+                if (prev.chain.len(), &prev.chain, &prev.sink)
+                    <= (path.chain.len(), &path.chain, &path.sink) => {}
+            _ => {
+                best.insert(key, path);
+            }
+        }
+    }
+    let mut paths: Vec<TaintPath> = best.into_values().collect();
+    paths.sort();
+
+    let findings = paths
+        .iter()
+        .map(|p| Finding {
+            rule: "T01",
+            file: p.source_file.clone(),
+            line: p.source_line,
+            message: format!(
+                "`{}` taint reaches sink `{}` via {}",
+                p.kind,
+                p.sink,
+                p.chain.join(" -> ")
+            ),
+        })
+        .collect();
+    (paths, findings)
+}
+
+/// Simulates one body linearly. Returns the live map at body end
+/// (the out-taint candidate); with `record`, pushes a path for every
+/// sink reached under live taint.
+fn simulate(
+    idx: usize,
+    events: &[Vec<(usize, Event)>],
+    graph: &CallGraph,
+    out: &[LiveMap],
+    sink_reach: &BTreeSet<usize>,
+    mut record: Option<&mut Vec<TaintPath>>,
+) -> LiveMap {
+    let Some(node) = graph.nodes.get(idx) else {
+        return LiveMap::new();
+    };
+    let Some(evs) = events.get(idx) else {
+        return LiveMap::new();
+    };
+    let mut live = LiveMap::new();
+    for (_, event) in evs {
+        match event {
+            Event::Source { kind, line } => {
+                merge(
+                    &mut live,
+                    (node.file.clone(), *line, kind),
+                    vec![node.id.clone()],
+                );
+            }
+            Event::Sanitize(scope) => {
+                live.retain(|(_, _, kind), _| !scope.clears(kind));
+            }
+            Event::Sink { desc } => {
+                if let Some(rec) = record.as_deref_mut() {
+                    record_paths(rec, &live, desc);
+                }
+            }
+            Event::Call { callee } => {
+                // A call into the sink-reaching set serializes before
+                // splicing the callee's own out-taint into this body.
+                if sink_reach.contains(callee) {
+                    if let (Some(rec), Some(target)) =
+                        (record.as_deref_mut(), graph.nodes.get(*callee))
+                    {
+                        record_paths(rec, &live, &target.id);
+                    }
+                }
+                if let Some(callee_out) = out.get(*callee) {
+                    for (key, chain) in callee_out {
+                        if chain.len() >= CHAIN_CAP {
+                            continue;
+                        }
+                        let mut extended = chain.clone();
+                        extended.push(node.id.clone());
+                        merge(&mut live, key.clone(), extended);
+                    }
+                }
+            }
+        }
+    }
+    live
+}
+
+/// Records one path per live taint at a sink.
+fn record_paths(record: &mut Vec<TaintPath>, live: &LiveMap, sink: &str) {
+    for ((file, line, kind), chain) in live {
+        record.push(TaintPath {
+            kind,
+            source_file: file.clone(),
+            source_line: *line,
+            sink: sink.to_string(),
+            chain: chain.clone(),
+        });
+    }
+}
+
+/// Inserts `chain` under `key` if absent or smaller by `(len, lex)`.
+/// Returns whether the map changed.
+fn merge(map: &mut LiveMap, key: Key, chain: Vec<String>) -> bool {
+    match map.get(&key) {
+        Some(prev) if (prev.len(), prev) <= (chain.len(), &chain) => false,
+        _ => {
+            map.insert(key, chain);
+            true
+        }
+    }
+}
+
+/// Builds each node's in-body event stream, token-ordered.
+fn collect_events(files: &[FileAnalysis], graph: &CallGraph) -> Vec<Vec<(usize, Event)>> {
+    // File-level source scans, sliced per node below.
+    let per_file_sites: Vec<Vec<(usize, &'static str, u32)>> = files
+        .iter()
+        .map(|file| {
+            let ctx = FileCtx {
+                rel: &file.rel,
+                kind: file.kind,
+                tokens: &file.tokens,
+                test_ranges: &file.test_ranges,
+            };
+            hash_iteration_sites(&ctx)
+                .into_iter()
+                .map(|site| {
+                    let kind = if site.float_accumulation {
+                        "float_unordered"
+                    } else {
+                        "hash_iter"
+                    };
+                    (site.idx, kind, ctx.line(site.idx))
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut events: Vec<Vec<(usize, Event)>> = Vec::with_capacity(graph.nodes.len());
+    for node in &graph.nodes {
+        let mut evs: Vec<(usize, Event)> = Vec::new();
+        let Some(file) = files.get(node.file_idx) else {
+            events.push(evs);
+            continue;
+        };
+        if node.is_test || node.span.0 == node.span.1 {
+            events.push(evs);
+            continue;
+        }
+        let (lo, hi) = node.span;
+        let ctx = FileCtx {
+            rel: &file.rel,
+            kind: file.kind,
+            tokens: &file.tokens,
+            test_ranges: &file.test_ranges,
+        };
+
+        // Hash-iteration sources from the file-level scan.
+        if let Some(sites) = per_file_sites.get(node.file_idx) {
+            for &(at, kind, line) in sites {
+                if at >= lo && at <= hi {
+                    evs.push((at, Event::Source { kind, line }));
+                }
+            }
+        }
+
+        let spawns = (lo..=hi).any(|i| ctx.is_ident(i, "spawn"));
+        for i in lo..=hi.min(file.tokens.len().saturating_sub(1)) {
+            if scope::in_ranges(i, &file.test_ranges) {
+                continue;
+            }
+            let Some(tok) = file.tokens.get(i) else {
+                continue;
+            };
+            match tok.kind {
+                TokenKind::Str if node.kind == FileKind::Bin => {
+                    // Artifact-path literal sink (binaries write them).
+                    if let Some(stem) = s01::artifact_stem(&tok.text) {
+                        evs.push((
+                            i,
+                            Event::Sink {
+                                desc: format!("results/{stem}.json"),
+                            },
+                        ));
+                    }
+                }
+                TokenKind::Ident => {
+                    let text = tok.text.as_str();
+                    // Wall clock / entropy: library code only — repro
+                    // binaries legitimately measure wall time.
+                    if node.kind == FileKind::Library {
+                        if (text == "Instant" || text == "SystemTime")
+                            && ctx.is_punct(i + 1, "::")
+                            && ctx.is_ident(i + 2, "now")
+                        {
+                            evs.push((
+                                i,
+                                Event::Source {
+                                    kind: "wall_clock",
+                                    line: tok.line,
+                                },
+                            ));
+                        }
+                        if matches!(text, "thread_rng" | "RandomState" | "from_entropy") {
+                            evs.push((
+                                i,
+                                Event::Source {
+                                    kind: "entropy",
+                                    line: tok.line,
+                                },
+                            ));
+                        }
+                    }
+                    // Worker completion order: a `.recv()` whose
+                    // statement accumulates (`push`) inside a fn that
+                    // also spawns.
+                    if spawns
+                        && matches!(text, "recv" | "recv_timeout")
+                        && ctx.is_punct(i.wrapping_sub(1), ".")
+                        && ctx.is_punct(i + 1, "(")
+                        && statement_pushes(&ctx, i)
+                    {
+                        evs.push((
+                            i,
+                            Event::Source {
+                                kind: "completion_order",
+                                line: tok.line,
+                            },
+                        ));
+                    }
+                    if SANITIZER_TYPES.contains(&text) {
+                        evs.push((i, Event::Sanitize(SanitizerScope::Order)));
+                    }
+                    if ORDER_SANITIZER_FNS.contains(&text) && ctx.is_punct(i + 1, "(") {
+                        evs.push((i, Event::Sanitize(SanitizerScope::Order)));
+                    }
+                    if CLOCK_SANITIZER_FNS.contains(&text) && ctx.is_punct(i + 1, "(") {
+                        evs.push((i, Event::Sanitize(SanitizerScope::Clock)));
+                    }
+                    if SINK_FNS.contains(&text) && ctx.is_punct(i + 1, "(") {
+                        evs.push((
+                            i,
+                            Event::Sink {
+                                desc: text.to_string(),
+                            },
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Resolved call events from the graph.
+        if let Some(calls) = graph.calls.get(events.len()) {
+            for &(at, callee) in calls {
+                evs.push((at, Event::Call { callee }));
+            }
+        }
+
+        evs.sort_by_key(|e| (e.0, event_order(&e.1)));
+        events.push(evs);
+    }
+    events
+}
+
+/// Whether the statement containing token `i` (scanning forward to the
+/// next `;`) pushes into an accumulator.
+fn statement_pushes(ctx: &FileCtx<'_>, from: usize) -> bool {
+    for i in from..(from + 60).min(ctx.tokens.len()) {
+        if ctx.is_punct(i, ";") {
+            return false;
+        }
+        if ctx.is_ident(i, "push") || ctx.is_ident(i, "extend") {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph;
+    use crate::walk::{classify, SourceEntry};
+
+    fn run(files: &[(&str, &str)]) -> (Vec<TaintPath>, Vec<Finding>) {
+        let sources: Vec<(SourceEntry, String)> = files
+            .iter()
+            .map(|(rel, src)| {
+                (
+                    SourceEntry {
+                        kind: classify(rel),
+                        rel: (*rel).to_string(),
+                    },
+                    (*src).to_string(),
+                )
+            })
+            .collect();
+        let (analyses, g) = graph::build(&sources);
+        analyze(&analyses, &g)
+    }
+
+    #[test]
+    fn local_hash_iteration_reaching_an_artifact_fires() {
+        let (paths, findings) = run(&[(
+            "crates/bench/src/bin/repro_x.rs",
+            "fn main() {\n\
+               let m: HashMap<u8, u8> = HashMap::new();\n\
+               let mut rows = Vec::new();\n\
+               for (k, v) in &m { rows.push((k, v)); }\n\
+               std::fs::write(\"results/x.json\", format!(\"{rows:?}\")).ok();\n\
+             }",
+        )]);
+        assert_eq!(paths.len(), 1);
+        assert!(paths
+            .first()
+            .is_some_and(|p| p.kind == "hash_iter" && p.sink == "results/x.json"));
+        assert!(findings.iter().any(|f| f.rule == "T01" && f.line == 4));
+    }
+
+    #[test]
+    fn sort_between_source_and_sink_sanitizes() {
+        let (paths, _) = run(&[(
+            "crates/bench/src/bin/repro_x.rs",
+            "fn main() {\n\
+               let m: HashMap<u8, u8> = HashMap::new();\n\
+               let mut rows: Vec<_> = m.iter().collect();\n\
+               rows.sort();\n\
+               std::fs::write(\"results/x.json\", format!(\"{rows:?}\")).ok();\n\
+             }",
+        )]);
+        assert!(paths.is_empty(), "sorted rows are deterministic: {paths:?}");
+    }
+
+    #[test]
+    fn taint_crosses_function_boundaries_with_full_chain() {
+        let (paths, _) = run(&[
+            (
+                "crates/core/src/stats.rs",
+                "pub fn summarize(m: &HashMap<String, u64>) -> Vec<String> {\n\
+                   let mut out = Vec::new();\n\
+                   for k in m.keys() { out.push(k.clone()); }\n\
+                   out\n\
+                 }",
+            ),
+            (
+                "crates/bench/src/bin/repro_y.rs",
+                "use multirag_core::stats::summarize;\n\
+                 fn main() {\n\
+                   let rows = summarize(&m);\n\
+                   std::fs::write(\"results/y.json\", rows.join(\",\")).ok();\n\
+                 }",
+            ),
+        ]);
+        assert_eq!(paths.len(), 1, "{paths:?}");
+        let path = paths.first().expect("one path");
+        assert_eq!(path.source_file, "crates/core/src/stats.rs");
+        assert_eq!(
+            path.chain,
+            vec![
+                "multirag_core::stats::summarize".to_string(),
+                "bin$repro_y::main".to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn sanitized_callee_exports_no_taint() {
+        let (paths, _) = run(&[
+            (
+                "crates/core/src/stats.rs",
+                "pub fn summarize(m: &HashMap<String, u64>) -> Vec<String> {\n\
+                   let mut out: Vec<String> = m.keys().cloned().collect();\n\
+                   out.sort();\n\
+                   out\n\
+                 }",
+            ),
+            (
+                "crates/bench/src/bin/repro_y.rs",
+                "use multirag_core::stats::summarize;\n\
+                 fn main() {\n\
+                   let rows = summarize(&m);\n\
+                   std::fs::write(\"results/y.json\", rows.join(\",\")).ok();\n\
+                 }",
+            ),
+        ]);
+        assert!(paths.is_empty(), "{paths:?}");
+    }
+
+    #[test]
+    fn wall_clock_reaching_serialization_fires_in_library_only() {
+        let (paths, _) = run(&[(
+            "crates/obs/src/metrics.rs",
+            "pub fn snapshot() -> String {\n\
+               let t = Instant::now();\n\
+               to_json(t.elapsed())\n\
+             }",
+        )]);
+        assert!(paths
+            .iter()
+            .any(|p| p.kind == "wall_clock" && p.sink == "to_json"));
+        let (bin_paths, _) = run(&[(
+            "crates/bench/src/bin/repro_z.rs",
+            "fn main() { let t = Instant::now(); to_json(t.elapsed()); }",
+        )]);
+        assert!(bin_paths.is_empty(), "bins may measure wall time");
+    }
+
+    #[test]
+    fn completion_order_requires_spawn_and_accumulation() {
+        let (paths, _) = run(&[(
+            "crates/eval/src/pool.rs",
+            "pub fn collect_all(rx: &Receiver<u8>) -> String {\n\
+               spawn(work);\n\
+               let mut out = Vec::new();\n\
+               while let Ok(v) = rx.recv() { out.push(v); }\n\
+               to_json(&out)\n\
+             }",
+        )]);
+        assert!(paths.iter().any(|p| p.kind == "completion_order"));
+        // Indexed reassembly (no push) stays clean.
+        let (clean, _) = run(&[(
+            "crates/eval/src/pool.rs",
+            "pub fn collect_all(rx: &Receiver<(usize, u8)>) -> String {\n\
+               spawn(work);\n\
+               let mut out = vec![0; 4];\n\
+               while let Ok((i, v)) = rx.recv() { if let Some(slot) = out.get_mut(i) { *slot = v; } }\n\
+               to_json(&out)\n\
+             }",
+        )]);
+        assert!(clean.is_empty(), "{clean:?}");
+    }
+
+    #[test]
+    fn calls_into_sink_reaching_functions_count_as_sinks() {
+        let (paths, _) = run(&[
+            (
+                "crates/obs/src/export.rs",
+                "pub fn emit(rows: &[u8]) { to_json(rows); }",
+            ),
+            (
+                "crates/core/src/agg.rs",
+                "use multirag_obs::export::emit;\n\
+                 pub fn publish(m: &HashMap<u8, u8>) {\n\
+                   let mut rows = Vec::new();\n\
+                   for v in m.values() { rows.push(*v); }\n\
+                   emit(&rows);\n\
+                 }",
+            ),
+        ]);
+        assert!(
+            paths
+                .iter()
+                .any(|p| p.kind == "hash_iter" && p.sink == "multirag_obs::export::emit"),
+            "{paths:?}"
+        );
+    }
+
+    #[test]
+    fn analysis_is_deterministic() {
+        let files = &[
+            (
+                "crates/core/src/stats.rs",
+                "pub fn summarize(m: &HashMap<String, u64>) -> Vec<String> {\n\
+                   let mut out = Vec::new();\n\
+                   for k in m.keys() { out.push(k.clone()); }\n\
+                   out\n\
+                 }",
+            ),
+            (
+                "crates/bench/src/bin/repro_y.rs",
+                "use multirag_core::stats::summarize;\n\
+                 fn main() {\n\
+                   let rows = summarize(&m);\n\
+                   std::fs::write(\"results/y.json\", rows.join(\",\")).ok();\n\
+                 }",
+            ),
+        ];
+        let (a, _) = run(files);
+        let (b, _) = run(files);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+}

@@ -1,12 +1,19 @@
-//! Deterministic workspace source discovery.
+//! Deterministic workspace source discovery, driven by the root
+//! `Cargo.toml`.
 //!
-//! Collects every `.rs` file under the workspace's `src/` and
-//! `crates/*/src/` trees in sorted relative-path order, classifying
-//! each as library code or a binary. `shims/` (offline stand-ins for
-//! external crates), `target/`, `tests/` directories and the lint
-//! crate's own fixture data are out of scope: the invariants under
-//! enforcement are about *this* project's library and artifact-writing
-//! code.
+//! Member discovery parses the workspace `members` array (expanding
+//! `crates/*`-style globs against the filesystem) so that a crate
+//! added to the manifest can never silently escape the linter — the
+//! `cluster` crate once landed after the walker was written and was
+//! only scanned because the old hardcoded `crates/*` glob happened to
+//! cover it. Each member's `src/` tree is collected in sorted
+//! relative-path order, classifying every file as library code or a
+//! binary. `shims/` members (offline stand-ins for external crates),
+//! `target/`, `tests/` directories and the lint crate's own fixture
+//! data are out of scope: the invariants under enforcement are about
+//! *this* project's library and artifact-writing code. The root
+//! package's own `src/` is included because the root manifest carries
+//! a `[package]` section.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -31,21 +38,77 @@ pub struct SourceEntry {
     pub kind: FileKind,
 }
 
+/// The workspace `members` globs from the root manifest, expanded
+/// against the filesystem and sorted: every directory that Cargo
+/// treats as a workspace member. Shim members are *included* here —
+/// `workspace_sources` filters them by policy — so coverage tests can
+/// diff this list against what actually gets scanned.
+pub fn workspace_members(root: &Path) -> Vec<String> {
+    let manifest = fs::read_to_string(root.join("Cargo.toml")).unwrap_or_default();
+    let mut members: Vec<String> = Vec::new();
+    for pattern in members_patterns(&manifest) {
+        match pattern.strip_suffix("/*") {
+            Some(prefix) => {
+                let Ok(entries) = fs::read_dir(root.join(prefix)) else {
+                    continue;
+                };
+                for entry in entries.filter_map(|e| e.ok()) {
+                    let path = entry.path();
+                    if path.is_dir() && path.join("Cargo.toml").is_file() {
+                        members.push(format!("{prefix}/{}", entry.file_name().to_string_lossy()));
+                    }
+                }
+            }
+            None => {
+                if root.join(&pattern).join("Cargo.toml").is_file() {
+                    members.push(pattern);
+                }
+            }
+        }
+    }
+    members.sort();
+    members.dedup();
+    members
+}
+
+/// Extracts the string entries of the `members = [ … ]` array from the
+/// `[workspace]` section. Line-based on purpose: the crate's own TOML
+/// subset parser rejects the root manifest's inline tables, and the
+/// members array is the only field needed here.
+fn members_patterns(manifest: &str) -> Vec<String> {
+    let Some(start) = manifest.find("members") else {
+        return Vec::new();
+    };
+    let tail = manifest.get(start..).unwrap_or("");
+    let Some(open) = tail.find('[') else {
+        return Vec::new();
+    };
+    let Some(close) = tail.find(']') else {
+        return Vec::new();
+    };
+    if close < open {
+        return Vec::new();
+    }
+    let body = tail.get(open + 1..close).unwrap_or("");
+    body.split(',')
+        .map(|s| s.trim().trim_matches('"').to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
 /// Discovers all lintable sources under `root`, sorted by relative
-/// path. Returns `(entry, contents)` pairs; unreadable files are
-/// skipped (the lint must stay total).
+/// path: the `src/` tree of every workspace member (from the root
+/// manifest) except `shims/*`, plus the root package's own `src/`.
+/// Returns `(entry, contents)` pairs; unreadable files are skipped
+/// (the lint must stay total).
 pub fn workspace_sources(root: &Path) -> Vec<(SourceEntry, String)> {
     let mut files: Vec<PathBuf> = Vec::new();
     collect_rs(&root.join("src"), &mut files);
-    if let Ok(entries) = fs::read_dir(root.join("crates")) {
-        let mut crates: Vec<PathBuf> = entries
-            .filter_map(|e| e.ok().map(|e| e.path()))
-            .filter(|p| p.is_dir())
-            .collect();
-        crates.sort();
-        for krate in crates {
-            collect_rs(&krate.join("src"), &mut files);
+    for member in workspace_members(root) {
+        if member.starts_with("shims/") {
+            continue;
         }
+        collect_rs(&root.join(&member).join("src"), &mut files);
     }
     let mut out: Vec<(SourceEntry, String)> = files
         .into_iter()
@@ -122,5 +185,46 @@ mod tests {
         let mut sorted = rels.clone();
         sorted.sort_unstable();
         assert_eq!(rels, sorted, "discovery order must be deterministic");
+    }
+
+    /// Diffs the scanned crate roots against the root manifest's
+    /// workspace members: a crate added to `Cargo.toml` can never
+    /// silently escape the linter (the `cluster` crate landed after
+    /// the original hardcoded walker was written).
+    #[test]
+    fn every_workspace_member_is_scanned() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let members = workspace_members(&root);
+        assert!(
+            members.contains(&"crates/cluster".to_string()),
+            "member discovery must see post-PR-5 crates: {members:?}"
+        );
+        assert!(
+            members.iter().any(|m| m.starts_with("shims/")),
+            "member discovery must enumerate shims (policy filters them later)"
+        );
+
+        let expected: std::collections::BTreeSet<String> = members
+            .into_iter()
+            .filter(|m| !m.starts_with("shims/"))
+            .collect();
+        let scanned: std::collections::BTreeSet<String> = workspace_sources(&root)
+            .iter()
+            .filter_map(|(e, _)| e.rel.find("/src/").map(|i| e.rel[..i].to_string()))
+            .filter(|r| r.starts_with("crates/"))
+            .collect();
+        assert_eq!(
+            scanned, expected,
+            "scanned crate roots must exactly match non-shim workspace members"
+        );
+    }
+
+    #[test]
+    fn members_array_parses_globs_and_literals() {
+        let patterns = members_patterns(
+            "[workspace]\nmembers = [\"crates/*\", \"tools/xtask\"]\nresolver = \"2\"\n",
+        );
+        assert_eq!(patterns, vec!["crates/*".to_string(), "tools/xtask".to_string()]);
+        assert!(members_patterns("[package]\nname = \"x\"\n").is_empty());
     }
 }

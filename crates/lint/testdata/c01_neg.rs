@@ -1,0 +1,16 @@
+//! C01 negative: bounded channel; guard scoped out before fan-out.
+use std::sync::Mutex;
+
+fn bounded_queue() -> usize {
+    let (tx, rx) = std::sync::mpsc::sync_channel(8);
+    drop(tx);
+    rx.try_iter().count()
+}
+
+fn scoped_guard(state: &Mutex<u64>) -> Vec<u64> {
+    let base = {
+        let guard = state.lock().expect("poisoned");
+        *guard
+    };
+    parallel_map(4, move |i| i + base)
+}

@@ -1,0 +1,14 @@
+//! C01 positive: unbounded channel construction, and a lock guard
+//! held across a fan-out call.
+use std::sync::Mutex;
+
+fn unbounded_queue() -> usize {
+    let (tx, rx) = std::sync::mpsc::channel();
+    drop(tx);
+    rx.try_iter().count()
+}
+
+fn guarded_fanout(state: &Mutex<u64>) -> Vec<u64> {
+    let guard = state.lock().expect("poisoned");
+    parallel_map(4, |i| i + *guard)
+}

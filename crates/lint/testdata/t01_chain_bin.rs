@@ -1,0 +1,9 @@
+//! T01 cross-module chain, sink side: calls the tainted `summarize`
+//! and serializes its result.
+use multirag_fixture::t01_chain_lib::summarize;
+
+fn main() {
+    let counts = Default::default();
+    let rows = summarize(&counts);
+    std::fs::write("results/chain.json", rows.join(",")).ok();
+}

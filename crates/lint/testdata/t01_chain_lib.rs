@@ -1,0 +1,12 @@
+//! T01 cross-module chain, source side: the hash-order taint is
+//! introduced here and flows out through the return value; the sink
+//! lives in `t01_chain_bin.rs`.
+use std::collections::HashMap;
+
+pub fn summarize(counts: &HashMap<String, u64>) -> Vec<String> {
+    let mut rows = Vec::new();
+    for key in counts.keys() {
+        rows.push(key.clone());
+    }
+    rows
+}

@@ -1,0 +1,14 @@
+//! T01 negative: the same hash-order iteration, but sorted before the
+//! artifact write — the sanitizer clears the taint.
+use std::collections::HashMap;
+
+fn main() {
+    let counts: HashMap<String, u64> = HashMap::new();
+    let mut rows = Vec::new();
+    for (key, value) in &counts {
+        rows.push(format!("{key}={value}"));
+    }
+    rows.sort();
+    let json = rows.join(",");
+    std::fs::write("results/taint.json", json).ok();
+}

@@ -1,0 +1,13 @@
+//! T01 positive: hash-order iteration reaches a serialized artifact
+//! with no sanitizer in between.
+use std::collections::HashMap;
+
+fn main() {
+    let counts: HashMap<String, u64> = HashMap::new();
+    let mut rows = Vec::new();
+    for (key, value) in &counts {
+        rows.push(format!("{key}={value}"));
+    }
+    let json = rows.join(",");
+    std::fs::write("results/taint.json", json).ok();
+}

@@ -1,6 +1,7 @@
 //! Fixture-file coverage for every lint rule — one positive and one
-//! negative snippet per rule under `testdata/` — plus a golden
-//! `lint.json` snapshot over the whole fixture set.
+//! negative snippet per rule under `testdata/` (plus a cross-module
+//! pair for the interprocedural T01 chain) — and a golden `lint.json`
+//! snapshot over the whole fixture set.
 //!
 //! Regenerate the snapshot after intentional rule or report changes:
 //!
@@ -8,13 +9,18 @@
 //! UPDATE_GOLDEN=1 cargo test -p multirag-lint --test fixtures
 //! ```
 
-use multirag_lint::{lint_json, lint_source, sort_findings, AllowList, Finding};
+use multirag_lint::walk::{classify, SourceEntry};
+use multirag_lint::{
+    analyze_sources, lint_json, lint_source, AllowList, Finding, WorkspaceAnalysis,
+};
 use std::path::{Path, PathBuf};
 
-/// Every rule with its fixture stem. The workspace-relative path each
-/// fixture is linted under drives classification: library rules lint
-/// under a library path, S01 under a repro-binary path.
-const RULES: &[&str] = &["d01", "d02", "d03", "r01", "s01", "p01"];
+/// Every intra-file rule with its fixture stem. The workspace-relative
+/// path each fixture is linted under drives classification: library
+/// rules lint under a library path, S01 under a repro-binary path.
+/// T01 is interprocedural and exercised separately via
+/// [`analyze_sources`].
+const RULES: &[&str] = &["c01", "d01", "d02", "d03", "r01", "s01", "p01"];
 
 fn testdata() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("testdata")
@@ -22,18 +28,41 @@ fn testdata() -> PathBuf {
 
 /// The synthetic workspace-relative path a fixture is linted under.
 fn rel_for(stem: &str, suffix: &str) -> String {
-    if stem == "s01" {
-        format!("crates/bench/src/bin/repro_{stem}_{suffix}.rs")
-    } else {
-        format!("crates/fixture/src/{stem}_{suffix}.rs")
+    match stem {
+        "s01" => format!("crates/bench/src/bin/repro_{stem}_{suffix}.rs"),
+        "t01" => format!("crates/bench/src/bin/repro_{stem}_{suffix}.rs"),
+        "t01_chain_lib" => "crates/fixture/src/t01_chain_lib.rs".to_string(),
+        "t01_chain_bin" => "crates/bench/src/bin/repro_t01_chain.rs".to_string(),
+        _ => format!("crates/fixture/src/{stem}_{suffix}.rs"),
     }
 }
 
+fn read_fixture(name: &str) -> String {
+    let path = testdata().join(format!("{name}.rs"));
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
 fn lint_fixture(stem: &str, suffix: &str) -> Vec<Finding> {
-    let path = testdata().join(format!("{stem}_{suffix}.rs"));
-    let source = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
-    lint_source(&rel_for(stem, suffix), &source)
+    lint_source(&rel_for(stem, suffix), &read_fixture(&format!("{stem}_{suffix}")))
+}
+
+/// Runs the whole-workspace analysis over named fixtures, each under
+/// its synthetic workspace path.
+fn analyze_fixtures(names: &[(&str, &str)]) -> WorkspaceAnalysis {
+    let sources: Vec<(SourceEntry, String)> = names
+        .iter()
+        .map(|(name, rel)| {
+            (
+                SourceEntry {
+                    kind: classify(rel),
+                    rel: (*rel).to_string(),
+                },
+                read_fixture(name),
+            )
+        })
+        .collect();
+    analyze_sources(&sources)
 }
 
 #[test]
@@ -67,23 +96,105 @@ fn float_accumulation_classifies_as_d03_not_d01() {
     assert!(!findings.iter().any(|f| f.rule == "D01"), "{findings:?}");
 }
 
+#[test]
+fn t01_fires_on_its_positive_fixture() {
+    let analysis = analyze_fixtures(&[("t01_pos", "crates/bench/src/bin/repro_t01_pos.rs")]);
+    assert!(
+        analysis.findings.iter().any(|f| f.rule == "T01"),
+        "{:?}",
+        analysis.findings
+    );
+    assert!(analysis
+        .taint_paths
+        .iter()
+        .any(|p| p.kind == "hash_iter" && p.sink == "results/taint.json"));
+}
+
+#[test]
+fn t01_sanitizer_clears_taint_on_its_negative_fixture() {
+    let analysis = analyze_fixtures(&[("t01_neg", "crates/bench/src/bin/repro_t01_neg.rs")]);
+    assert!(
+        !analysis.findings.iter().any(|f| f.rule == "T01"),
+        "{:?}",
+        analysis.findings
+    );
+    assert!(analysis.taint_paths.is_empty());
+}
+
+#[test]
+fn t01_reports_a_cross_module_chain() {
+    let analysis = analyze_fixtures(&[
+        ("t01_chain_lib", "crates/fixture/src/t01_chain_lib.rs"),
+        ("t01_chain_bin", "crates/bench/src/bin/repro_t01_chain.rs"),
+    ]);
+    let path = analysis
+        .taint_paths
+        .iter()
+        .find(|p| p.kind == "hash_iter")
+        .unwrap_or_else(|| panic!("no cross-module path: {:?}", analysis.taint_paths));
+    assert_eq!(path.source_file, "crates/fixture/src/t01_chain_lib.rs");
+    assert_eq!(path.sink, "results/chain.json");
+    assert_eq!(
+        path.chain,
+        vec![
+            "multirag_fixture::t01_chain_lib::summarize".to_string(),
+            "bin$repro_t01_chain::main".to_string(),
+        ]
+    );
+    // The finding anchors at the source, so burn-down / exemption is
+    // actionable on the file introducing the nondeterminism.
+    assert!(analysis
+        .findings
+        .iter()
+        .any(|f| f.rule == "T01" && f.file == "crates/fixture/src/t01_chain_lib.rs"));
+}
+
 /// The full fixture set rendered through the same report path as
 /// `repro_lint`, snapshotted. Guards the report format (ordering, key
-/// layout, budget reconciliation rendering) against silent drift.
+/// layout, graph and taint-path sections, budget reconciliation
+/// rendering) against silent drift.
 #[test]
 fn golden_lint_json_snapshot() {
-    let mut findings = Vec::new();
-    let mut files_scanned = 0usize;
+    let mut names: Vec<(String, String)> = Vec::new();
     for stem in RULES {
         for suffix in ["pos", "neg"] {
-            findings.extend(lint_fixture(stem, suffix));
-            files_scanned += 1;
+            names.push((format!("{stem}_{suffix}"), rel_for(stem, suffix)));
         }
     }
-    sort_findings(&mut findings);
+    for stem in ["t01"] {
+        for suffix in ["pos", "neg"] {
+            names.push((format!("{stem}_{suffix}"), rel_for(stem, suffix)));
+        }
+    }
+    names.push((
+        "t01_chain_lib".to_string(),
+        rel_for("t01_chain_lib", ""),
+    ));
+    names.push((
+        "t01_chain_bin".to_string(),
+        rel_for("t01_chain_bin", ""),
+    ));
+    names.sort_by(|a, b| a.1.cmp(&b.1));
+    let borrowed: Vec<(&str, &str)> = names
+        .iter()
+        .map(|(n, r)| (n.as_str(), r.as_str()))
+        .collect();
+    let analysis = analyze_fixtures(&borrowed);
+
     let allow = AllowList::parse("").expect("empty allow-list parses");
-    let recon = allow.reconcile(&findings);
-    let json = lint_json(files_scanned, &recon.kept, &recon);
+    let recon = allow.reconcile(&analysis.findings);
+    let paths: Vec<_> = analysis
+        .taint_paths
+        .iter()
+        .map(|p| (p.clone(), false))
+        .collect();
+    let json = lint_json(
+        analysis.files_scanned,
+        &recon.kept,
+        &recon,
+        (analysis.graph_nodes, analysis.graph_edges),
+        &paths,
+    );
 
     let golden_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/fixtures_lint.json");
     if std::env::var("UPDATE_GOLDEN").is_ok() {

@@ -30,6 +30,7 @@ pub mod metrics;
 pub mod observer;
 pub mod slo;
 pub mod trace;
+pub mod wallclock;
 
 pub use metrics::{
     labeled, shard_series, window_series, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
@@ -43,3 +44,4 @@ pub use trace::{
     traces_json, AnswerProvenance, QueryTrace, SourceContribution, Stage, StageCost, StageSpan,
     SubgraphDecision, TraceEvent,
 };
+pub use wallclock::WallTimer;
