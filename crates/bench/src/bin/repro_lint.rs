@@ -258,8 +258,13 @@ fn main() -> ExitCode {
         taint_paths.len()
     );
 
-    let json = lint_json(files_scanned, &recon.kept, &recon,
-        (analysis.graph_nodes, analysis.graph_edges), &taint_paths);
+    let json = lint_json(
+        files_scanned,
+        &recon.kept,
+        &recon,
+        (analysis.graph_nodes, analysis.graph_edges),
+        &taint_paths,
+    );
     let out_dir = Path::new("results");
     if let Err(err) = std::fs::create_dir_all(out_dir)
         .and_then(|()| std::fs::write(out_dir.join("lint.json"), &json))

@@ -28,11 +28,11 @@
 //! cargo run --release -p multirag-bench --bin repro_perf
 //! ```
 
-use multirag_bench::{check_schema, schema_outline, seed};
+use multirag_bench::{check_schema, replicate_graph, schema_outline, seed};
 use multirag_core::{KernelCounters, MccOutcome, MklgpPipeline, MultiRagConfig};
 use multirag_eval::fanout::{mcc_sweep, run_multirag_fanout};
 use multirag_eval::table::{fmt2, Table};
-use multirag_kg::{FxHasher, KnowledgeGraph, Object};
+use multirag_kg::FxHasher;
 use multirag_obs::json::JsonObj;
 use multirag_obs::{traces_json, Observer};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -74,55 +74,6 @@ fn alloc_snapshot() -> (u64, u64) {
         ALLOCS.load(Ordering::Relaxed),
         BYTES.load(Ordering::Relaxed),
     )
-}
-
-/// Replicates a graph `factor` times: relations and sources are shared
-/// (ids map 1:1), entities of replica `r > 0` are renamed
-/// `name#rep<r>` so their slots stay disjoint, and every triple is
-/// re-added per replica with subject/object entities remapped. The
-/// result has `factor`× the homologous groups of the original, each
-/// group identical in shape to its template — synthetic slot scale
-/// without changing per-slot statistics.
-fn replicate(graph: &KnowledgeGraph, factor: usize) -> KnowledgeGraph {
-    let mut out =
-        KnowledgeGraph::with_capacity(graph.entity_count() * factor, graph.triple_count() * factor);
-    for r in 0..graph.relation_count() {
-        out.add_relation(graph.relation_name(multirag_kg::RelationId(r as u32)));
-    }
-    for s in graph.source_ids() {
-        let rec = graph.source(s);
-        out.add_source(
-            graph.resolve(rec.name),
-            graph.resolve(rec.format),
-            graph.resolve(rec.domain),
-        );
-    }
-    for rep in 0..factor {
-        let mut entities = Vec::with_capacity(graph.entity_count());
-        for e in graph.entity_ids() {
-            let name = graph.entity_name(e);
-            let scoped = if rep == 0 {
-                name.to_string()
-            } else {
-                format!("{name}#rep{rep}")
-            };
-            entities.push(out.add_entity(&scoped, graph.entity_domain(e)));
-        }
-        let remap = |e: multirag_kg::EntityId| {
-            entities
-                .get(e.index())
-                .copied()
-                .unwrap_or_else(|| panic!("entity {} out of range", e.index()))
-        };
-        for (_, t) in graph.iter_triples() {
-            let object = match &t.object {
-                Object::Entity(e) => Object::Entity(remap(*e)),
-                Object::Literal(v) => Object::Literal(v.clone()),
-            };
-            out.add_triple(remap(t.subject), t.predicate, object, t.source, t.chunk);
-        }
-    }
-    out
 }
 
 /// Order-sensitive digest over every deterministic field of a sweep's
@@ -250,7 +201,7 @@ fn main() {
 
     for data in &datasets {
         for &factor in &[1usize, 4, 16] {
-            let graph = replicate(&data.graph, factor);
+            let graph = replicate_graph(&data.graph, factor);
             let kernel_pipe = MklgpPipeline::new(&graph, config, seed);
             let reference_pipe = MklgpPipeline::new(&graph, config.with_reference_mcc(), seed);
             let kernel = serial_stage(&kernel_pipe);

@@ -147,6 +147,27 @@ fn main() {
             row.answered_rate * 100.0
         );
 
+        // Tiered-index pruning rate: of the candidate claims the
+        // descents probed (`bitset_and_ops`), how many the relation
+        // bitset rejected before any value work happened.
+        let snap = obs.registry().snapshot();
+        let counter = |needle: &str| {
+            snap.counters
+                .iter()
+                .find(|(name, _)| name == needle)
+                .map_or(0, |&(_, value)| value)
+        };
+        let descents = counter("tindex_tier_descents_total");
+        let probed = counter("tindex_bitset_and_ops_total");
+        let pruned = counter("tindex_candidates_pruned_total");
+        if probed > 0 {
+            println!(
+                "tindex [{}]: {descents} descents, {probed} candidates probed, {pruned} pruned ({:.1}% pruning rate)",
+                data.name,
+                pruned as f64 / probed as f64 * 100.0
+            );
+        }
+
         if writable {
             let path = out_dir.join(format!("obs_traces_{}.json", data.name));
             match std::fs::write(&path, &traces) {

@@ -44,6 +44,7 @@ use multirag_datasets::{
     books::BooksSpec, flights::FlightsSpec, movies::MoviesSpec, stocks::StocksSpec,
 };
 use multirag_ingest::JsonValue;
+use multirag_kg::{KnowledgeGraph, Object, RelationId};
 
 /// Reads the experiment scale from `MULTIRAG_SCALE`.
 pub fn scale() -> Scale {
@@ -72,6 +73,59 @@ pub fn all_datasets() -> Vec<MultiSourceDataset> {
         FlightsSpec::at_scale(s).generate(seed),
         StocksSpec::at_scale(s).generate(seed),
     ]
+}
+
+/// Replicates a graph `factor` times: relations and sources are shared
+/// (ids map 1:1), entities of replica `r > 0` are renamed
+/// `name#rep<r>` so their slots stay disjoint, and every triple is
+/// re-added per replica with subject/object entities remapped. The
+/// result has `factor`× the homologous groups of the original, each
+/// group identical in shape to its template — synthetic slot scale
+/// without changing per-slot statistics. Shared by `repro_perf` and
+/// `repro_index` so both harnesses scale workloads identically.
+pub fn replicate_graph(graph: &KnowledgeGraph, factor: usize) -> KnowledgeGraph {
+    let mut out =
+        KnowledgeGraph::with_capacity(graph.entity_count() * factor, graph.triple_count() * factor);
+    for r in 0..graph.relation_count() {
+        out.add_relation(graph.relation_name(RelationId(r as u32)));
+    }
+    for s in graph.source_ids() {
+        let rec = graph.source(s);
+        out.add_source(
+            graph.resolve(rec.name),
+            graph.resolve(rec.format),
+            graph.resolve(rec.domain),
+        );
+    }
+    for rep in 0..factor {
+        let mut entities = Vec::with_capacity(graph.entity_count());
+        for e in graph.entity_ids() {
+            let name = graph.entity_name(e);
+            let scoped = if rep == 0 {
+                name.to_string()
+            } else {
+                format!("{name}#rep{rep}")
+            };
+            entities.push(out.add_entity(&scoped, graph.entity_domain(e)));
+        }
+        for (_, t) in graph.iter_triples() {
+            // Entity ids are dense and every subject/object was just
+            // re-added above, so the lookups always hit; skipping (not
+            // panicking) keeps the library panic-free by construction.
+            let Some(subject) = entities.get(t.subject.index()).copied() else {
+                continue;
+            };
+            let object = match &t.object {
+                Object::Entity(e) => match entities.get(e.index()).copied() {
+                    Some(mapped) => Object::Entity(mapped),
+                    None => continue,
+                },
+                Object::Literal(v) => Object::Literal(v.clone()),
+            };
+            out.add_triple(subject, t.predicate, object, t.source, t.chunk);
+        }
+    }
+    out
 }
 
 /// The Table II source-format combos per dataset (J=json, C=csv,
@@ -233,6 +287,19 @@ mod tests {
     }
 
     #[test]
+    fn replicate_scales_slots_without_changing_shape() {
+        let data = MoviesSpec::small().generate(42);
+        let big = replicate_graph(&data.graph, 4);
+        assert_eq!(big.triple_count(), data.graph.triple_count() * 4);
+        assert_eq!(big.entity_count(), data.graph.entity_count() * 4);
+        assert_eq!(big.relation_count(), data.graph.relation_count());
+        assert_eq!(big.source_count(), data.graph.source_count());
+        // Factor 1 is an identity replication.
+        let same = replicate_graph(&data.graph, 1);
+        assert_eq!(same.triple_count(), data.graph.triple_count());
+    }
+
+    #[test]
     fn outline_collapses_values_to_shapes() {
         let json = r#"{"seed":42,"name":"movies","f1":93.5,"ok":true,"none":null}"#;
         assert_eq!(
@@ -293,6 +360,7 @@ mod tests {
             "loop",
             "slo",
             "cluster",
+            "index",
         ] {
             let outline = golden_schema(section)
                 .unwrap_or_else(|| panic!("missing golden section [{section}]"));

@@ -10,7 +10,7 @@
 //! Matching sorts triples by slot key — `O(n log n)` in the number of
 //! triples, as the paper claims.
 
-use multirag_kg::{EntityId, KnowledgeGraph, RelationId, TripleId};
+use multirag_kg::{EntityId, KnowledgeGraph, RelationId, SlotId, TieredIndex, TripleId};
 
 /// One homologous group: the triples of one multi-source slot.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -95,6 +95,33 @@ pub fn match_homologous(kg: &KnowledgeGraph) -> HomologousSets {
             sets.isolated.extend(members);
         }
         i = j;
+    }
+    sets
+}
+
+/// Matches homologous groups by tier descent over a prebuilt
+/// [`TieredIndex`] — the sub-linear replacement for
+/// [`match_homologous`], which is retained as the reference oracle.
+///
+/// The index's slot tier is already sorted by `(entity, relation)`
+/// with ascending member ids and precomputed distinct-source counts,
+/// so matching degenerates to one pass over the slot columns: no
+/// re-sort, no per-slot source scan. The output is byte-identical to
+/// the oracle's (`repro_index` gates this with outcome digests).
+pub fn match_homologous_tiered(index: &TieredIndex) -> HomologousSets {
+    let mut sets = HomologousSets::default();
+    for slot in (0..index.slot_count() as u32).map(SlotId) {
+        let members = index.claims(slot);
+        if members.len() >= 2 {
+            sets.groups.push(HomologousGroup {
+                entity: index.slot_entity(slot),
+                relation: index.slot_relation(slot),
+                triples: members.to_vec(),
+                source_count: index.slot_source_count(slot),
+            });
+        } else {
+            sets.isolated.extend_from_slice(members);
+        }
     }
     sets
 }
@@ -208,6 +235,19 @@ mod tests {
         let local = match_slot(&kg, f1, gate);
         assert!(local.groups.is_empty());
         assert_eq!(local.isolated.len(), 1);
+    }
+
+    #[test]
+    fn tiered_matching_equals_sorted_scan_oracle() {
+        let kg = sample();
+        let oracle = match_homologous(&kg);
+        let index = TieredIndex::build(&kg);
+        let tiered = match_homologous_tiered(&index);
+        assert_eq!(tiered.groups, oracle.groups);
+        assert_eq!(tiered.isolated, oracle.isolated);
+        let empty = TieredIndex::build(&KnowledgeGraph::new());
+        let sets = match_homologous_tiered(&empty);
+        assert!(sets.groups.is_empty() && sets.isolated.is_empty());
     }
 
     #[test]

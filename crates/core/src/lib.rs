@@ -46,7 +46,7 @@ pub mod qa;
 pub use confidence::{ClaimProfile, GraphConfidence, KernelCounters, MccOutcome, NodeConfidence};
 pub use config::MultiRagConfig;
 pub use history::HistoryStore;
-pub use homologous::{HomologousGroup, HomologousSets};
+pub use homologous::{match_homologous, match_homologous_tiered, HomologousGroup, HomologousSets};
 pub use incremental::IncrementalMlg;
 pub use loopctl::{grade_supported, LadderStep, LoopConfig};
 pub use memo::{profile_fingerprint, ConfidenceMemo, SlotVerdict};

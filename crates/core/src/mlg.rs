@@ -7,8 +7,12 @@
 //! the original graph — the source of the MKA module's 10–100× query
 //! acceleration (Table III).
 
-use crate::homologous::{match_homologous, HomologousGroup, HomologousSets};
-use multirag_kg::{EntityId, FxHashMap, KnowledgeGraph, LineGraph, RelationId, TripleId};
+use crate::homologous::{
+    match_homologous, match_homologous_tiered, HomologousGroup, HomologousSets,
+};
+use multirag_kg::{
+    EntityId, FxHashMap, KnowledgeGraph, LineGraph, RelationId, TieredIndex, TripleId,
+};
 
 /// The aggregated multi-source line graph with its slot index.
 ///
@@ -41,8 +45,18 @@ impl MultiSourceLineGraph {
     /// Builds the MLG for a knowledge graph: line-graph transform plus
     /// homologous matching and indexing.
     pub fn build(kg: &KnowledgeGraph) -> Self {
-        let line_graph = LineGraph::from_graph(kg);
-        let sets = match_homologous(kg);
+        Self::assemble(LineGraph::from_graph(kg), match_homologous(kg))
+    }
+
+    /// Builds the MLG from a prebuilt [`TieredIndex`]: homologous
+    /// matching runs by tier descent (one pass over the sorted slot
+    /// columns, no re-sort) instead of the keyed scan. The result is
+    /// byte-identical to [`MultiSourceLineGraph::build`].
+    pub fn build_with_index(kg: &KnowledgeGraph, index: &TieredIndex) -> Self {
+        Self::assemble(LineGraph::from_graph(kg), match_homologous_tiered(index))
+    }
+
+    fn assemble(line_graph: LineGraph, sets: HomologousSets) -> Self {
         let mut by_entity: FxHashMap<EntityId, Vec<u32>> = FxHashMap::default();
         for (gi, group) in sets.groups.iter().enumerate() {
             by_entity.entry(group.entity).or_default().push(gi as u32);
@@ -210,6 +224,17 @@ mod tests {
         let gate = kg.find_relation("gate").unwrap();
         assert!(mlg.slot_group(flight, status).is_some());
         assert!(mlg.slot_group(flight, gate).is_none());
+    }
+
+    #[test]
+    fn index_backed_build_matches_scan_build() {
+        let kg = sample();
+        let index = TieredIndex::build(&kg);
+        let plain = MultiSourceLineGraph::build(&kg);
+        let tiered = MultiSourceLineGraph::build_with_index(&kg, &index);
+        assert_eq!(tiered.sets().groups, plain.sets().groups);
+        assert_eq!(tiered.sets().isolated, plain.sets().isolated);
+        assert_eq!(tiered.stats(), plain.stats());
     }
 
     #[test]

@@ -26,16 +26,16 @@ use multirag_faults::{ms_to_us, FaultPlan, RetryPolicy};
 use multirag_ingest::{fuse_sources_with, Claim, IngestMode, RawSource};
 use multirag_kg::{
     EntityId, FxHashMap, FxHashSet, KeyInterner, KnowledgeGraph, Object, RelationId, SourceId,
-    TripleId, Value,
+    TieredIndex, TindexCounters, TripleId, Value,
 };
 use multirag_llmsim::halluc::GeneratedAnswer;
 use multirag_llmsim::{ContextProfile, LlmResponseCache, LlmUsage, MockLlm, Schema};
+use multirag_obs::WallTimer;
 use multirag_obs::{
     AnswerProvenance, ObsHandle, QueryTrace, SourceContribution, Stage, StageCost, StageSpan,
     SubgraphDecision, TraceEvent,
 };
 use std::sync::Arc;
-use multirag_obs::WallTimer;
 
 /// Why the pipeline declined to answer — degraded modes surface a
 /// structured verdict instead of a silent empty answer, so the chaos
@@ -184,6 +184,16 @@ pub struct MklgpPipeline<'g> {
     /// Pre-fused reserve claims the consult rung draws on, shared
     /// across pipeline clones.
     reserve: Option<Arc<Vec<Claim>>>,
+    /// Prebuilt tiered retrieval index (DESIGN.md §5.15). When
+    /// attached, slot extraction and homologous matching resolve by
+    /// tier descent instead of linear/keyed scans — identical answers,
+    /// sub-linear candidate cost. Shared across pipeline clones.
+    tindex: Option<Arc<TieredIndex>>,
+    /// Tier-descent cost counters, flushed into the registry as deltas
+    /// like `kernel`.
+    tcounters: TindexCounters,
+    /// Registry watermark for the tindex counters.
+    flushed_tindex: TindexCounters,
 }
 
 /// Raw per-query observations collected while answering; the [`answer`]
@@ -284,7 +294,21 @@ impl<'g> MklgpPipeline<'g> {
     /// entities, the MLG (unless ablated), and a fresh history store
     /// seeded by MKA consensus feedback.
     pub fn new(kg: &'g KnowledgeGraph, config: MultiRagConfig, seed: u64) -> Self {
-        Self::build(kg, config, seed, None)
+        Self::build(kg, config, seed, None, None)
+    }
+
+    /// Builds the pipeline around a prebuilt [`TieredIndex`]: homologous
+    /// matching runs by tier descent during MLG construction, and slot
+    /// extraction probes the index instead of the graph's slot map.
+    /// Answers are bit-identical to [`MklgpPipeline::new`]; only the
+    /// candidate-selection cost changes (`repro_index` gates both).
+    pub fn new_with_index(
+        kg: &'g KnowledgeGraph,
+        config: MultiRagConfig,
+        seed: u64,
+        index: Arc<TieredIndex>,
+    ) -> Self {
+        Self::build(kg, config, seed, None, Some(index))
     }
 
     /// Builds the pipeline around an externally supplied history store,
@@ -300,7 +324,21 @@ impl<'g> MklgpPipeline<'g> {
         seed: u64,
         history: HistoryStore,
     ) -> Self {
-        Self::build(kg, config, seed, Some(history))
+        Self::build(kg, config, seed, Some(history), None)
+    }
+
+    /// [`MklgpPipeline::new_with_history`] plus a prebuilt
+    /// [`TieredIndex`] — the epoch-serving constructor: the snapshot
+    /// carries both the frozen credibility store and the index, so
+    /// per-worker pipeline construction pays for neither.
+    pub fn new_with_history_and_index(
+        kg: &'g KnowledgeGraph,
+        config: MultiRagConfig,
+        seed: u64,
+        history: HistoryStore,
+        index: Arc<TieredIndex>,
+    ) -> Self {
+        Self::build(kg, config, seed, Some(history), Some(index))
     }
 
     fn build(
@@ -308,10 +346,14 @@ impl<'g> MklgpPipeline<'g> {
         config: MultiRagConfig,
         seed: u64,
         supplied_history: Option<HistoryStore>,
+        index: Option<Arc<TieredIndex>>,
     ) -> Self {
         let llm = MockLlm::new(kg_schema(kg), seed);
         let mlg_started = WallTimer::start();
-        let mlg = config.enable_mka.then(|| MultiSourceLineGraph::build(kg));
+        let mlg = config.enable_mka.then(|| match index.as_deref() {
+            Some(tindex) => MultiSourceLineGraph::build_with_index(kg, tindex),
+            None => MultiSourceLineGraph::build(kg),
+        });
         let max_degree = kg
             .entity_ids()
             .map(|e| kg.neighbors(e).len())
@@ -427,6 +469,9 @@ impl<'g> MklgpPipeline<'g> {
             flushed: (0, 0, 0, 0),
             loopcfg: None,
             reserve: None,
+            tindex: index,
+            tcounters: TindexCounters::default(),
+            flushed_tindex: TindexCounters::default(),
         }
     }
 
@@ -580,6 +625,17 @@ impl<'g> MklgpPipeline<'g> {
         self.kernel
     }
 
+    /// Snapshot of the tier-descent cost counters (all zero when no
+    /// tiered index is attached).
+    pub fn tindex_counters(&self) -> TindexCounters {
+        self.tcounters
+    }
+
+    /// The attached tiered retrieval index, if any.
+    pub fn tindex(&self) -> Option<&Arc<TieredIndex>> {
+        self.tindex.as_ref()
+    }
+
     /// Canonical-key interner statistics: `(hits, misses)`. Hits
     /// include per-triple cache lookups; misses are distinct keys
     /// interned (including the up-front `for_graph` pass).
@@ -666,6 +722,18 @@ impl<'g> MklgpPipeline<'g> {
             }
         }
         self.flushed = now;
+        let tnow = self.tcounters;
+        let tdelta = tnow.since(self.flushed_tindex);
+        for (name, delta) in [
+            ("tindex_tier_descents_total", tdelta.tier_descents),
+            ("tindex_bitset_and_ops_total", tdelta.bitset_and_ops),
+            ("tindex_candidates_pruned_total", tdelta.candidates_pruned),
+        ] {
+            if delta > 0 {
+                registry.inc(name, delta);
+            }
+        }
+        self.flushed_tindex = tnow;
     }
 
     /// Algorithm 2's body, recording raw observations into `stats`.
@@ -1433,8 +1501,14 @@ impl<'g> MklgpPipeline<'g> {
         relation: RelationId,
     ) -> (Vec<TripleId>, Vec<TripleId>, usize) {
         if self.mlg.is_some() {
-            // MKA: O(slot) probe through the homologous index.
-            let slot = self.kg.slot_triples(entity, relation).to_vec();
+            // MKA: O(slot) probe — tier descent through the prebuilt
+            // index when one is attached (entity lookup → slot bitset
+            // → claim postings), otherwise the graph's slot map. Both
+            // return the same ascending-id claim set.
+            let slot = match self.tindex.as_ref() {
+                Some(index) => index.descend(entity, relation, &mut self.tcounters),
+                None => self.kg.slot_triples(entity, relation).to_vec(),
+            };
             let examined = slot.len();
             (slot, Vec::new(), examined)
         } else {
@@ -1712,6 +1786,25 @@ mod tests {
         } else {
             2.0 * p * r / (p + r)
         }
+    }
+
+    #[test]
+    fn tiered_index_pipeline_is_answer_identical() {
+        let data = dataset();
+        let index = Arc::new(TieredIndex::build(&data.graph));
+        let mut plain = MklgpPipeline::new(&data.graph, MultiRagConfig::default(), 42);
+        let mut tiered =
+            MklgpPipeline::new_with_index(&data.graph, MultiRagConfig::default(), 42, index);
+        for query in &data.queries {
+            let a = plain.answer(query);
+            let b = tiered.answer(query);
+            assert_eq!(a.fusion_values, b.fusion_values, "query {}", query.key());
+            assert_eq!(a.abstained, b.abstained);
+            assert_eq!(a.examined, b.examined);
+        }
+        let counters = tiered.tindex_counters();
+        assert!(counters.tier_descents > 0, "descents must be counted");
+        assert_eq!(plain.tindex_counters(), TindexCounters::default());
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //!   degree statistics used by the homologous-subgraph matcher.
 //! * [`persist`] — a line-oriented dump/load format so aggregated
 //!   graphs can be snapshotted and reloaded without re-ingestion.
+//! * [`tindex`] — the hierarchical tiered retrieval index: a columnar,
+//!   arena-backed triple store with entity → attribute-slot → claim
+//!   tiers and bitset adjacency, so candidate selection resolves by
+//!   tier descent instead of linear scans (DESIGN.md §5.15).
 //!
 //! The crate has no dependencies and is fully deterministic.
 
@@ -33,6 +37,7 @@ pub mod hash;
 pub mod intern;
 pub mod linegraph;
 pub mod persist;
+pub mod tindex;
 pub mod triple;
 pub mod value;
 
@@ -40,5 +45,6 @@ pub use graph::{GraphStats, KnowledgeGraph, TripleId};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use intern::{Interner, KeyInterner, Symbol};
 pub use linegraph::{LineGraph, LineGraphStats};
+pub use tindex::{Bitset, SlotId, TieredIndex, TindexCounters, TindexStats};
 pub use triple::{EntityId, Object, RelationId, SourceId, Triple};
 pub use value::Value;

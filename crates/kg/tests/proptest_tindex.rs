@@ -1,0 +1,181 @@
+//! Property-based tests for the tiered retrieval index: the bitset
+//! substrate against naive set algebra, and tier descent against
+//! linear-scan oracles on random multi-source graphs.
+
+use multirag_kg::{Bitset, KnowledgeGraph, TieredIndex, TindexCounters, TripleId, Value};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A compact random multi-source graph description: `n` entities,
+/// `r` relations, `s` sources, and triples as index tuples. Objects
+/// alternate between entity links and literals so both tindex object
+/// columns are exercised.
+#[derive(Debug, Clone)]
+struct GraphSpec {
+    n: usize,
+    r: usize,
+    s: usize,
+    triples: Vec<(usize, usize, usize, i64)>,
+}
+
+fn graph_spec() -> impl Strategy<Value = GraphSpec> {
+    (2usize..16, 1usize..5, 1usize..4).prop_flat_map(|(n, r, s)| {
+        let triples = proptest::collection::vec((0..n, 0..r, 0..s, -4i64..4), 0..64);
+        (Just(n), Just(r), Just(s), triples).prop_map(|(n, r, s, triples)| GraphSpec {
+            n,
+            r,
+            s,
+            triples,
+        })
+    })
+}
+
+fn build(spec: &GraphSpec) -> KnowledgeGraph {
+    let mut kg = KnowledgeGraph::new();
+    let sources: Vec<_> = (0..spec.s)
+        .map(|i| kg.add_source(&format!("s{i}"), "kg", "prop"))
+        .collect();
+    let relations: Vec<_> = (0..spec.r)
+        .map(|i| kg.add_relation(&format!("rel{i}")))
+        .collect();
+    let entities: Vec<_> = (0..spec.n)
+        .map(|i| kg.add_entity(&format!("n{i}"), "prop"))
+        .collect();
+    for &(subj, rel, src, v) in &spec.triples {
+        // Negative payloads become entity links (to the |v|-th
+        // entity), non-negative ones literal values.
+        if v < 0 {
+            let obj = entities[(-v) as usize % spec.n];
+            kg.add_triple(entities[subj], relations[rel], obj, sources[src], 0);
+        } else {
+            kg.add_triple(
+                entities[subj],
+                relations[rel],
+                Value::Int(v),
+                sources[src],
+                0,
+            );
+        }
+    }
+    kg
+}
+
+proptest! {
+    /// Bitset round-trip: inserted bits are contained, absent bits are
+    /// not, count matches the distinct insert count, and iteration
+    /// yields the sorted distinct bits.
+    #[test]
+    fn bitset_round_trip(bits in proptest::collection::vec(0u32..512, 0..64)) {
+        let mut set = Bitset::with_capacity(512);
+        let mut model: BTreeSet<u32> = BTreeSet::new();
+        for &b in &bits {
+            prop_assert_eq!(set.insert(b), model.insert(b));
+        }
+        prop_assert_eq!(set.count(), model.len());
+        prop_assert_eq!(set.is_empty(), model.is_empty());
+        for b in 0..512u32 {
+            prop_assert_eq!(set.contains(b), model.contains(&b));
+        }
+        let iterated: Vec<u32> = set.iter().collect();
+        let expected: Vec<u32> = model.iter().copied().collect();
+        prop_assert_eq!(iterated, expected);
+    }
+
+    /// Intersection and disjointness agree with naive set algebra, and
+    /// the op counter is bounded by the shorter word array.
+    #[test]
+    fn bitset_intersection_matches_set_algebra(
+        a in proptest::collection::vec(0u32..256, 0..48),
+        b in proptest::collection::vec(0u32..256, 0..48),
+    ) {
+        let mut sa = Bitset::with_capacity(256);
+        let mut sb = Bitset::with_capacity(256);
+        let ma: BTreeSet<u32> = a.iter().copied().collect();
+        let mb: BTreeSet<u32> = b.iter().copied().collect();
+        for &x in &a { sa.insert(x); }
+        for &x in &b { sb.insert(x); }
+
+        let mut ops = 0u64;
+        let both = sa.intersect(&sb, &mut ops);
+        let expected: Vec<u32> = ma.intersection(&mb).copied().collect();
+        let got: Vec<u32> = both.iter().collect();
+        prop_assert_eq!(got, expected.clone());
+        prop_assert!(ops as usize <= sa.word_count().min(sb.word_count()));
+
+        let mut dops = 0u64;
+        prop_assert_eq!(sa.is_disjoint(&sb, &mut dops), expected.is_empty());
+
+        let mut unioned = sa.clone();
+        unioned.union_with(&sb);
+        let want_union: BTreeSet<u32> = ma.union(&mb).copied().collect();
+        prop_assert_eq!(unioned.count(), want_union.len());
+        for &x in &want_union {
+            prop_assert!(unioned.contains(x));
+        }
+    }
+
+    /// Tier descent must return exactly what a linear scan over every
+    /// triple returns, for every (entity, relation) pair — id-for-id,
+    /// in ascending order.
+    #[test]
+    fn descent_equals_linear_scan(spec in graph_spec()) {
+        let kg = build(&spec);
+        let index = TieredIndex::build(&kg);
+        let mut counters = TindexCounters::default();
+        for entity in kg.entity_ids() {
+            for rel in 0..kg.relation_count() {
+                let relation = multirag_kg::RelationId(rel as u32);
+                let scanned: Vec<TripleId> = kg
+                    .iter_triples()
+                    .filter(|(_, t)| t.subject == entity && t.predicate == relation)
+                    .map(|(tid, _)| tid)
+                    .collect();
+                let descended = index.descend(entity, relation, &mut counters);
+                prop_assert_eq!(descended, scanned.clone());
+                prop_assert_eq!(index.descend_slice(entity, relation, &mut counters), &scanned[..]);
+            }
+        }
+    }
+
+    /// Claim-tier neighborhoods must agree with the pairwise
+    /// `shares_endpoint` predicate (Definition 2's line-graph
+    /// adjacency), excluding the claim itself.
+    #[test]
+    fn neighbors_match_shared_endpoint_definition(spec in graph_spec()) {
+        let kg = build(&spec);
+        let index = TieredIndex::build(&kg);
+        let mut counters = TindexCounters::default();
+        for (tid, t) in kg.iter_triples() {
+            let expected: Vec<TripleId> = kg
+                .iter_triples()
+                .filter(|&(oid, o)| oid != tid && t.shares_endpoint(o))
+                .map(|(oid, _)| oid)
+                .collect();
+            let got = index.neighbors_of(tid, &mut counters);
+            prop_assert_eq!(got, expected);
+        }
+    }
+
+    /// The slot tier partitions the claim tier: every triple belongs
+    /// to exactly one slot, and that slot's claim list equals the
+    /// graph's own slot postings.
+    #[test]
+    fn slots_partition_claims(spec in graph_spec()) {
+        let kg = build(&spec);
+        let index = TieredIndex::build(&kg);
+        let mut seen = 0usize;
+        for slot in (0..index.slot_count() as u32).map(multirag_kg::SlotId) {
+            let entity = index.slot_entity(slot);
+            let relation = index.slot_relation(slot);
+            let claims = index.claims(slot);
+            prop_assert!(!claims.is_empty());
+            prop_assert_eq!(claims, kg.slot_triples(entity, relation));
+            for &claim in claims {
+                prop_assert_eq!(index.slot_of_claim(claim), Some(slot));
+            }
+            seen += claims.len();
+        }
+        prop_assert_eq!(seen, kg.triple_count());
+        prop_assert_eq!(index.claim_count(), kg.triple_count());
+    }
+}

@@ -35,12 +35,67 @@ use std::collections::{BTreeMap, BTreeSet};
 /// alone — a `.len()` call must never bind to some workspace type's
 /// `len` and drag taint across an edge that does not exist.
 const METHOD_DENY: &[&str] = &[
-    "new", "default", "clone", "cmp", "eq", "fmt", "hash", "from", "into", "len", "is_empty",
-    "get", "get_mut", "insert", "remove", "push", "pop", "iter", "iter_mut", "into_iter", "next",
-    "contains", "contains_key", "extend", "clear", "entry", "keys", "values", "drain", "as_str",
-    "as_ref", "as_mut", "to_string", "map", "filter", "fold", "sum", "count", "min", "max",
-    "take", "skip", "find", "position", "any", "all", "collect", "sort", "sort_unstable", "join",
-    "split", "write", "read", "lock", "send", "recv", "abs", "clamp", "floor", "ceil", "round",
+    "new",
+    "default",
+    "clone",
+    "cmp",
+    "eq",
+    "fmt",
+    "hash",
+    "from",
+    "into",
+    "len",
+    "is_empty",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "contains",
+    "contains_key",
+    "extend",
+    "clear",
+    "entry",
+    "keys",
+    "values",
+    "drain",
+    "as_str",
+    "as_ref",
+    "as_mut",
+    "to_string",
+    "map",
+    "filter",
+    "fold",
+    "sum",
+    "count",
+    "min",
+    "max",
+    "take",
+    "skip",
+    "find",
+    "position",
+    "any",
+    "all",
+    "collect",
+    "sort",
+    "sort_unstable",
+    "join",
+    "split",
+    "write",
+    "read",
+    "lock",
+    "send",
+    "recv",
+    "abs",
+    "clamp",
+    "floor",
+    "ceil",
+    "round",
 ];
 
 /// Ambiguity cap for method-name resolution: if more than this many
@@ -317,8 +372,7 @@ fn resolve_callee(
                                 nodes.get(i).is_some_and(|n| {
                                     let segs: Vec<&str> = n.id.split("::").collect();
                                     segs.len() >= 2
-                                        && segs.get(segs.len() - 2).copied()
-                                            == Some(owner.as_str())
+                                        && segs.get(segs.len() - 2).copied() == Some(owner.as_str())
                                 })
                             })
                             .collect()
@@ -434,20 +488,14 @@ mod tests {
 
     #[test]
     fn bare_calls_resolve_within_a_file() {
-        let (_, graph) = build_src(&[(
-            "crates/x/src/lib.rs",
-            "fn a() { b(); }\nfn b() {}",
-        )]);
+        let (_, graph) = build_src(&[("crates/x/src/lib.rs", "fn a() { b(); }\nfn b() {}")]);
         assert!(edge(&graph, "multirag_x::a", "multirag_x::b"));
     }
 
     #[test]
     fn imported_calls_resolve_across_files_and_reexports() {
         let (_, graph) = build_src(&[
-            (
-                "crates/eval/src/parallel.rs",
-                "pub fn parallel_map() {}",
-            ),
+            ("crates/eval/src/parallel.rs", "pub fn parallel_map() {}"),
             (
                 "crates/core/src/pipeline.rs",
                 "use multirag_eval::parallel_map;\nfn run() { parallel_map(); }",
@@ -481,7 +529,11 @@ mod tests {
                 "fn use_it(w: &W, v: &[u8]) { w.widgetize(); v.len(); }",
             ),
         ]);
-        assert!(edge(&graph, "multirag_b::use_it", "multirag_a::W::widgetize"));
+        assert!(edge(
+            &graph,
+            "multirag_b::use_it",
+            "multirag_a::W::widgetize"
+        ));
         assert!(
             !edge(&graph, "multirag_b::use_it", "multirag_a::W::len"),
             "deny-listed method must not bind"
@@ -499,7 +551,10 @@ mod tests {
             .iter()
             .filter(|&&(a, b)| {
                 graph.nodes.get(a).is_some_and(|n| n.id.ends_with("caller"))
-                    && graph.nodes.get(b).is_some_and(|n| n.id.ends_with("classify"))
+                    && graph
+                        .nodes
+                        .get(b)
+                        .is_some_and(|n| n.id.ends_with("classify"))
             })
             .count();
         assert_eq!(count, 1, "both spellings resolve to one deduped edge");
@@ -512,10 +567,7 @@ mod tests {
                 "crates/x/src/lib.rs",
                 "fn a() { b(); c(); }\nfn b() { c(); }\nfn c() {}",
             ),
-            (
-                "crates/y/src/lib.rs",
-                "use multirag_x::a;\nfn d() { a(); }",
-            ),
+            ("crates/y/src/lib.rs", "use multirag_x::a;\nfn d() { a(); }"),
         ];
         let (_, g1) = build_src(files);
         let (_, g2) = build_src(files);

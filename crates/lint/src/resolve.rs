@@ -269,7 +269,9 @@ pub fn call_sites(tokens: &[Token], range: (usize, usize)) -> Vec<CallSite> {
         let next_is_open = tokens
             .get(i + 1)
             .is_some_and(|t| t.kind == TokenKind::Punct && t.text == "(");
-        if tok.kind != TokenKind::Ident || !next_is_open || NON_CALL_IDENTS.contains(&tok.text.as_str())
+        if tok.kind != TokenKind::Ident
+            || !next_is_open
+            || NON_CALL_IDENTS.contains(&tok.text.as_str())
         {
             i += 1;
             continue;
@@ -296,7 +298,9 @@ pub fn call_sites(tokens: &[Token], range: (usize, usize)) -> Vec<CallSite> {
             && tokens
                 .get(j - 1)
                 .is_some_and(|t| t.kind == TokenKind::Punct && t.text == "::")
-            && tokens.get(j - 2).is_some_and(|t| t.kind == TokenKind::Ident)
+            && tokens
+                .get(j - 2)
+                .is_some_and(|t| t.kind == TokenKind::Ident)
         {
             if let Some(seg) = tokens.get(j - 2) {
                 segs.push(seg.text.clone());
@@ -328,7 +332,10 @@ mod tests {
             file_module("crates/core/src/pipeline.rs"),
             strv(&["multirag_core", "pipeline"])
         );
-        assert_eq!(file_module("crates/lint/src/lib.rs"), strv(&["multirag_lint"]));
+        assert_eq!(
+            file_module("crates/lint/src/lib.rs"),
+            strv(&["multirag_lint"])
+        );
         assert_eq!(
             file_module("crates/lint/src/rules/mod.rs"),
             strv(&["multirag_lint", "rules"])
@@ -347,12 +354,10 @@ mod tests {
 
     #[test]
     fn plain_group_and_renamed_imports() {
-        let toks = lex(
-            "use multirag_eval::parallel_map;\n\
+        let toks = lex("use multirag_eval::parallel_map;\n\
              use crate::rules::{util, d01 as first};\n\
              use super::report::Finding;\n\
-             use std::collections::*;",
-        );
+             use std::collections::*;");
         let module = strv(&["multirag_lint", "walk"]);
         let imp = imports(&toks, &module);
         assert_eq!(
@@ -402,9 +407,7 @@ mod tests {
         assert!(sites
             .iter()
             .any(|s| s.callee == Callee::Method("push".to_string())));
-        assert!(sites
-            .iter()
-            .any(|s| s.callee == Callee::Path(strv(&["x"]))));
+        assert!(sites.iter().any(|s| s.callee == Callee::Path(strv(&["x"]))));
     }
 
     #[test]

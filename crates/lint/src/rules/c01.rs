@@ -156,11 +156,7 @@ fn statement_end(ctx: &FileCtx<'_>, from: usize) -> Option<usize> {
 
 /// Scans the rest of the enclosing block for a fan-out call occurring
 /// before `drop(name)`. Returns the fan-out fn and its line.
-fn fanout_before_drop(
-    ctx: &FileCtx<'_>,
-    from: usize,
-    name: &str,
-) -> Option<(&'static str, u32)> {
+fn fanout_before_drop(ctx: &FileCtx<'_>, from: usize, name: &str) -> Option<(&'static str, u32)> {
     let mut depth: i32 = 0;
     for i in from..ctx.tokens.len() {
         let t = ctx.text(i);

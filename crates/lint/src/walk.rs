@@ -224,7 +224,10 @@ mod tests {
         let patterns = members_patterns(
             "[workspace]\nmembers = [\"crates/*\", \"tools/xtask\"]\nresolver = \"2\"\n",
         );
-        assert_eq!(patterns, vec!["crates/*".to_string(), "tools/xtask".to_string()]);
+        assert_eq!(
+            patterns,
+            vec!["crates/*".to_string(), "tools/xtask".to_string()]
+        );
         assert!(members_patterns("[package]\nname = \"x\"\n").is_empty());
     }
 }

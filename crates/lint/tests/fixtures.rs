@@ -44,7 +44,10 @@ fn read_fixture(name: &str) -> String {
 }
 
 fn lint_fixture(stem: &str, suffix: &str) -> Vec<Finding> {
-    lint_source(&rel_for(stem, suffix), &read_fixture(&format!("{stem}_{suffix}")))
+    lint_source(
+        &rel_for(stem, suffix),
+        &read_fixture(&format!("{stem}_{suffix}")),
+    )
 }
 
 /// Runs the whole-workspace analysis over named fixtures, each under
@@ -166,14 +169,8 @@ fn golden_lint_json_snapshot() {
             names.push((format!("{stem}_{suffix}"), rel_for(stem, suffix)));
         }
     }
-    names.push((
-        "t01_chain_lib".to_string(),
-        rel_for("t01_chain_lib", ""),
-    ));
-    names.push((
-        "t01_chain_bin".to_string(),
-        rel_for("t01_chain_bin", ""),
-    ));
+    names.push(("t01_chain_lib".to_string(), rel_for("t01_chain_lib", "")));
+    names.push(("t01_chain_bin".to_string(), rel_for("t01_chain_bin", "")));
     names.sort_by(|a, b| a.1.cmp(&b.1));
     let borrowed: Vec<(&str, &str)> = names
         .iter()

@@ -1,0 +1,169 @@
+//! Index-backed candidate narrowing — the thin integration layer
+//! between the text-retrieval substrate and the [`TieredIndex`]
+//! (DESIGN.md §5.15).
+//!
+//! A logic-form query names an `(entity, attribute)` slot; retrieval
+//! must narrow the corpus to that slot's claims before confidence
+//! checking. Two strategies are kept side by side, the
+//! `mcc_filter_reference` pattern: [`CandidateStrategy::LinearScan`]
+//! is the original corpus walk, retained as the reference oracle;
+//! [`CandidateStrategy::TierDescent`] resolves the same slot through
+//! the tiered index. `repro_index` gates the two on outcome-digest
+//! equality — the index changes cost, never answers.
+
+use multirag_kg::{EntityId, KnowledgeGraph, RelationId, TieredIndex, TindexCounters, TripleId};
+
+/// How slot candidates are selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CandidateStrategy {
+    /// Tier descent through a prebuilt [`TieredIndex`]: entity lookup
+    /// → slot bitset → claim postings. Falls back to the scan when no
+    /// index is supplied.
+    TierDescent,
+    /// The reference oracle: walk every triple and keep the slot's.
+    LinearScan,
+}
+
+/// The outcome of one narrowing call, with its cost accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidateReport {
+    /// Slot claims, ascending by id (strategy-independent).
+    pub candidates: Vec<TripleId>,
+    /// Candidate comparisons spent: triples examined by the scan, or
+    /// bitset membership probes by the descent.
+    pub comparisons: u64,
+    /// Candidates examined but rejected.
+    pub pruned: u64,
+}
+
+/// Narrows a slot to its claim candidates under the chosen strategy.
+/// Both strategies return the identical ascending-id claim set;
+/// descent cost is additionally charged to `counters` so pipelines can
+/// flush it into the metrics registry.
+pub fn narrow_slot(
+    kg: &KnowledgeGraph,
+    index: Option<&TieredIndex>,
+    entity: EntityId,
+    relation: RelationId,
+    strategy: CandidateStrategy,
+    counters: &mut TindexCounters,
+) -> CandidateReport {
+    match (strategy, index) {
+        (CandidateStrategy::TierDescent, Some(index)) => {
+            let before = *counters;
+            let candidates = index.descend(entity, relation, counters);
+            let spent = counters.since(before);
+            CandidateReport {
+                pruned: spent.candidates_pruned,
+                comparisons: spent.bitset_and_ops,
+                candidates,
+            }
+        }
+        (CandidateStrategy::TierDescent, None) | (CandidateStrategy::LinearScan, _) => {
+            let mut candidates = Vec::new();
+            let mut comparisons = 0u64;
+            for (tid, t) in kg.iter_triples() {
+                comparisons += 1;
+                if t.subject == entity && t.predicate == relation {
+                    candidates.push(tid);
+                }
+            }
+            CandidateReport {
+                pruned: comparisons - candidates.len() as u64,
+                comparisons,
+                candidates,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multirag_kg::Value;
+
+    fn sample() -> KnowledgeGraph {
+        let mut kg = KnowledgeGraph::new();
+        let s0 = kg.add_source("a", "csv", "flights");
+        let s1 = kg.add_source("b", "json", "flights");
+        let f1 = kg.add_entity("CA981", "flights");
+        let f2 = kg.add_entity("CA982", "flights");
+        let status = kg.add_relation("status");
+        let gate = kg.add_relation("gate");
+        kg.add_triple(f1, status, Value::from("delayed"), s0, 0);
+        kg.add_triple(f1, status, Value::from("on-time"), s1, 0);
+        kg.add_triple(f1, gate, Value::Int(12), s0, 0);
+        kg.add_triple(f2, status, Value::from("boarding"), s1, 0);
+        kg
+    }
+
+    #[test]
+    fn descent_and_scan_agree_with_descent_cheaper() {
+        let kg = sample();
+        let index = TieredIndex::build(&kg);
+        let f1 = kg.find_entity("CA981", "flights").unwrap();
+        let status = kg.find_relation("status").unwrap();
+        let mut counters = TindexCounters::default();
+        let scan = narrow_slot(
+            &kg,
+            None,
+            f1,
+            status,
+            CandidateStrategy::LinearScan,
+            &mut counters,
+        );
+        let descent = narrow_slot(
+            &kg,
+            Some(&index),
+            f1,
+            status,
+            CandidateStrategy::TierDescent,
+            &mut counters,
+        );
+        assert_eq!(descent.candidates, scan.candidates);
+        assert_eq!(descent.candidates.len(), 2);
+        assert!(descent.comparisons < scan.comparisons);
+        assert_eq!(scan.comparisons, kg.triple_count() as u64);
+        assert_eq!(counters.tier_descents, 1);
+    }
+
+    #[test]
+    fn descent_without_index_falls_back_to_scan() {
+        let kg = sample();
+        let f2 = kg.find_entity("CA982", "flights").unwrap();
+        let gate = kg.find_relation("gate").unwrap();
+        let mut counters = TindexCounters::default();
+        let report = narrow_slot(
+            &kg,
+            None,
+            f2,
+            gate,
+            CandidateStrategy::TierDescent,
+            &mut counters,
+        );
+        assert!(report.candidates.is_empty());
+        assert_eq!(report.comparisons, kg.triple_count() as u64);
+        assert_eq!(counters, TindexCounters::default());
+    }
+
+    #[test]
+    fn report_accounts_every_comparison() {
+        let kg = sample();
+        let index = TieredIndex::build(&kg);
+        let f1 = kg.find_entity("CA981", "flights").unwrap();
+        let gate = kg.find_relation("gate").unwrap();
+        let mut counters = TindexCounters::default();
+        let report = narrow_slot(
+            &kg,
+            Some(&index),
+            f1,
+            gate,
+            CandidateStrategy::TierDescent,
+            &mut counters,
+        );
+        // CA981 has 3 subject claims; 1 survives the gate bitset.
+        assert_eq!(report.candidates.len(), 1);
+        assert_eq!(report.comparisons, 3);
+        assert_eq!(report.pruned, 2);
+    }
+}

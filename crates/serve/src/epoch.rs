@@ -25,7 +25,7 @@
 
 use multirag_core::homologous::HomologousSets;
 use multirag_core::{HistoryStore, IncrementalMlg, MklgpPipeline, MultiRagConfig};
-use multirag_kg::{persist, FxHashMap, KnowledgeGraph, SourceId, Value};
+use multirag_kg::{persist, FxHashMap, KnowledgeGraph, SourceId, TieredIndex, Value};
 use multirag_obs::MetricsRegistry;
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
@@ -68,6 +68,10 @@ pub struct EpochSnapshot {
     pub seed: u64,
     /// Updates applied since the previous epoch.
     pub updates_applied: u64,
+    /// Prebuilt tiered retrieval index over [`EpochSnapshot::graph`]
+    /// (DESIGN.md §5.15), shared by every pipeline bound to this
+    /// epoch: built once at publish, descended by all workers.
+    pub tindex: Arc<TieredIndex>,
 }
 
 impl EpochSnapshot {
@@ -77,9 +81,16 @@ impl EpochSnapshot {
     /// [`MklgpPipeline::new_with_history`] so the MKA consensus rounds
     /// — whose output the frozen store would replace anyway — are never
     /// computed; a cluster spinning up one pipeline per (node, worker)
-    /// pair pays only for line-graph construction.
+    /// pair pays only for line-graph construction — and descends the
+    /// epoch's shared [`TieredIndex`] instead of re-deriving slot maps.
     pub fn pipeline(&self) -> MklgpPipeline<'_> {
-        MklgpPipeline::new_with_history(&self.graph, self.config, self.seed, self.history.clone())
+        MklgpPipeline::new_with_history_and_index(
+            &self.graph,
+            self.config,
+            self.seed,
+            self.history.clone(),
+            self.tindex.clone(),
+        )
     }
 }
 
@@ -254,6 +265,7 @@ impl IndexWriter {
             config: self.config,
             seed: self.seed,
             updates_applied: self.updates_since_publish,
+            tindex: Arc::new(TieredIndex::build(&self.graph)),
         };
         self.updates_since_publish = 0;
         Arc::new(snapshot)
